@@ -1,0 +1,26 @@
+"""Benchmark A1: SWEEP variants (the Section 5.3 optimizations).
+
+Shape: all variants are completely consistent with identical message
+counts; the parallel left/right sweep shortens the install critical path.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments.ablation import (
+    format_sweep_variants,
+    run_sweep_variants,
+)
+
+
+def bench_ablation_sweep_variants(benchmark, save_result):
+    rows = run_once(benchmark, run_sweep_variants)
+    save_result("a1_sweep_variants", format_sweep_variants(rows))
+    by = {r["variant"]: r for r in rows}
+
+    # Correctness is variant-independent.
+    assert all(r["consistency"] == "complete" for r in rows)
+    # So is message count (parallelism changes latency, not traffic).
+    assert len({r["queries_per_update"] for r in rows}) == 1
+    # The parallel sweep wins on install latency...
+    assert by["parallel"]["mean_install_lag"] < by["sequential"]["mean_install_lag"]
+    # ... and pipelining wins big: sweeps overlap instead of queueing.
+    assert by["pipelined"]["mean_install_lag"] < by["sequential"]["mean_install_lag"] / 2

@@ -1,0 +1,32 @@
+"""Benchmark A2: Nested SWEEP's forced-termination guard (Section 6.2).
+
+Shape: under alternating interference, unbounded recursion folds the whole
+stream into one late composite install; tightening the depth cap restores
+install granularity (depth 0 degenerates to SWEEP: one install per update,
+complete consistency) at the cost of more messages.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments.ablation import (
+    format_nested_depth,
+    run_nested_depth,
+)
+
+
+def bench_ablation_termination(benchmark, save_result):
+    rows = run_once(benchmark, run_nested_depth, depths=(None, 1, 0))
+    save_result("a2_nested_termination", format_nested_depth(rows))
+    by = {r["max_depth"]: r for r in rows}
+
+    # Unbounded: one composite install, minimal messages, strong consistency.
+    assert by["unbounded"]["installs"] == 1
+    assert by["unbounded"]["consistency"] in ("strong", "complete")
+
+    # Depth 0 degenerates to SWEEP: complete, one install per update.
+    assert by[0]["consistency"] == "complete"
+    assert by[0]["installs"] == 16
+    assert by[0]["depth_limit_hits"] > 0
+
+    # The guard trades messages for install granularity.
+    assert by[0]["queries_total"] >= by[1]["queries_total"] >= by["unbounded"]["queries_total"]
+    assert by[0]["installs"] >= by[1]["installs"] >= by["unbounded"]["installs"]

@@ -1,0 +1,35 @@
+"""Benchmark S4: Nested SWEEP's message amortization (Section 6.2).
+
+Shape: as updates bunch up (smaller inter-arrival), Nested SWEEP absorbs
+more updates per composite sweep, so queries-per-update falls while SWEEP
+stays constant at 2(n-1)/2 queries.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments.amortization import (
+    format_amortization,
+    run_amortization,
+)
+
+INTERARRIVALS = (30.0, 3.0, 0.3)
+
+
+def bench_amortization(benchmark, save_result):
+    rows = run_once(benchmark, run_amortization, interarrivals=INTERARRIVALS)
+    save_result("s4_amortization", format_amortization(rows))
+    sweep = {r["interarrival"]: r for r in rows if r["algorithm"] == "sweep"}
+    nested = {r["interarrival"]: r for r in rows if r["algorithm"] == "nested-sweep"}
+
+    # SWEEP: constant cost, one install per update.
+    assert {r["queries_per_update"] for r in sweep.values()} == {4.0}
+    assert all(r["updates_per_install"] == 1.0 for r in sweep.values())
+
+    # Nested SWEEP: amortization strengthens as the stream gets denser.
+    assert (
+        nested[0.3]["queries_per_update"]
+        < nested[3.0]["queries_per_update"]
+        <= nested[30.0]["queries_per_update"]
+    )
+    assert nested[0.3]["updates_per_install"] > nested[30.0]["updates_per_install"]
+    # ... and under bursts it undercuts SWEEP by a sizable factor.
+    assert nested[0.3]["queries_per_update"] < sweep[0.3]["queries_per_update"] / 2

@@ -1,0 +1,37 @@
+"""Benchmark S2: message cost vs concurrency (local vs remote compensation).
+
+Shape: SWEEP's message count is invariant in the update rate -- all its
+compensation is local -- while C-Strobe's grows as racing updates trigger
+remote compensating queries (Section 3's cascade).
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments.concurrency import (
+    format_concurrency,
+    run_concurrency,
+)
+
+INTERARRIVALS = (8.0, 2.0, 0.5)
+
+
+def bench_concurrency(benchmark, save_result):
+    rows = run_once(benchmark, run_concurrency, interarrivals=INTERARRIVALS)
+    save_result("s2_concurrency", format_concurrency(rows))
+    sweep = {r["interarrival"]: r for r in rows if r["algorithm"] == "sweep"}
+    cstrobe = {r["interarrival"]: r for r in rows if r["algorithm"] == "c-strobe"}
+
+    # SWEEP: flat cost across the whole concurrency sweep (n=5 -> 8 msgs).
+    costs = {r["msgs_per_update"] for r in sweep.values()}
+    assert costs == {8.0}
+
+    # ... even though local compensation is working hard at high rates.
+    assert sweep[0.5]["local_compensations"] > 0
+    assert all(r["remote_comp_queries"] == 0 for r in sweep.values())
+
+    # C-Strobe: strictly above SWEEP everywhere, rising with concurrency.
+    for ia in INTERARRIVALS:
+        assert cstrobe[ia]["msgs_per_update"] > sweep[ia]["msgs_per_update"]
+    assert (
+        cstrobe[0.5]["remote_comp_queries"]
+        >= cstrobe[8.0]["remote_comp_queries"]
+    )

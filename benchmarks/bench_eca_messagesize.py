@@ -1,0 +1,32 @@
+"""Benchmark S5: ECA's compensating-query payload growth (Section 3).
+
+Shape: ECA's mean query payload (rows shipped per query) grows steeply
+with concurrency -- the quadratic-message-size critique -- while SWEEP's
+payloads stay delta-sized and flat.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments.messagesize import (
+    format_messagesize,
+    run_messagesize,
+)
+
+INTERARRIVALS = (50.0, 4.0, 1.0)
+
+
+def bench_eca_messagesize(benchmark, save_result):
+    rows = run_once(benchmark, run_messagesize, interarrivals=INTERARRIVALS)
+    save_result("s5_eca_messagesize", format_messagesize(rows))
+    eca = {r["interarrival"]: r for r in rows if r["algorithm"] == "eca"}
+    sweep = {r["interarrival"]: r for r in rows if r["algorithm"] == "sweep"}
+
+    # ECA payloads explode with concurrency (calm -> busy: > 5x growth).
+    assert eca[1.0]["mean_query_rows"] > 5 * eca[50.0]["mean_query_rows"]
+    # Term counts (the K in the quadratic argument) grow alongside.
+    assert eca[1.0]["mean_query_terms"] > eca[50.0]["mean_query_terms"]
+
+    # SWEEP's payloads don't react to the update rate at all.
+    sweep_sizes = {r["mean_query_rows"] for r in sweep.values()}
+    assert max(sweep_sizes) - min(sweep_sizes) < 0.5
+    # ... and busy ECA ships vastly more query rows than busy SWEEP.
+    assert eca[1.0]["total_query_rows"] > 10 * sweep[1.0]["total_query_rows"]

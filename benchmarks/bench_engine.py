@@ -1,0 +1,119 @@
+"""Engine microbenchmarks: the primitives every sweep step exercises.
+
+Unlike the experiment benches (single-round simulator runs), these measure
+steady-state throughput of the bag engine and backends with normal
+pytest-benchmark rounds: hash join, incremental sweep step vs full
+recomputation, and the sqlite ComputeJoin path.
+"""
+
+import random
+
+from repro.relational.algebra import join
+from repro.relational.delta import Delta
+from repro.relational.incremental import PartialView
+from repro.relational.relation import Relation
+from repro.sources.memory import MemoryBackend
+from repro.sources.sqlite import SqliteBackend
+from repro.workloads.data_gen import generate_initial_states
+from repro.workloads.schema_gen import chain_view
+
+ROWS = 2_000
+
+
+def _setup(n=3, rows=ROWS):
+    view = chain_view(n)
+    states, gen = generate_initial_states(
+        view, random.Random(42), rows, match_fraction=1.0
+    )
+    return view, states, gen
+
+
+def bench_hash_join_2k_rows(benchmark):
+    view, states, _ = _setup()
+    cond = view.conditions_joining(2, frozenset({1}))
+    result = benchmark(join, states["R1"], states["R2"], cond)
+    assert result.total_count > 0
+
+
+def bench_sweep_step_small_delta(benchmark):
+    """One ComputeJoin with a single-row delta against 2k rows -- the hot
+    operation of SWEEP (payload stays delta-sized)."""
+    view, states, gen = _setup()
+    target = next(iter(states["R2"].rows()))
+    delta = Delta.insert(view.schema_of(1), (99_999, target[0], 1))
+    partial = PartialView.initial(view, 1, delta)
+    result = benchmark(partial.extend, 2, states["R2"])
+    assert result.delta.total_count >= 1
+
+
+def bench_sweep_step_indexed(benchmark):
+    """The same probe with a hash index on the join column -- the path
+    source backends use.  Compare with bench_sweep_step_small_delta."""
+    view, states, gen = _setup()
+    states["R2"].create_index(("K2",))
+    target = next(iter(states["R2"].rows()))
+    delta = Delta.insert(view.schema_of(1), (99_999, target[0], 1))
+    partial = PartialView.initial(view, 1, delta)
+    result = benchmark(partial.extend, 2, states["R2"])
+    assert result.delta.total_count >= 1
+
+
+def bench_full_recompute_3_way(benchmark):
+    """Full 3-way join recomputation -- what the naive approach pays."""
+    view, states, _ = _setup()
+    result = benchmark(view.evaluate, states)
+    assert result.total_count > 0
+
+
+def bench_incremental_vs_recompute_ratio(benchmark):
+    """A full single-update sweep (both directions) end to end."""
+    view, states, gen = _setup()
+    target = next(iter(states["R3"].rows()))
+    delta = Delta.insert(
+        view.schema_of(2), (99_999, target[0], 1)
+    )
+
+    def sweep():
+        partial = PartialView.initial(view, 2, delta)
+        partial = partial.extend(1, states["R1"])
+        return partial.extend(3, states["R3"])
+
+    result = benchmark(sweep)
+    assert result.complete
+
+
+def bench_sqlite_compute_join(benchmark):
+    view, states, _ = _setup(rows=500)
+    backend = SqliteBackend(view, 2, states["R2"])
+    target = next(iter(states["R2"].rows()))
+    delta = Delta.insert(view.schema_of(1), (99_999, target[0], 1))
+    partial = PartialView.initial(view, 1, delta)
+    result = benchmark(backend.compute_join, partial)
+    assert result.delta.total_count >= 1
+    backend.close()
+
+
+def bench_memory_compute_join(benchmark):
+    view, states, _ = _setup(rows=500)
+    backend = MemoryBackend(view, 2, states["R2"])
+    target = next(iter(states["R2"].rows()))
+    delta = Delta.insert(view.schema_of(1), (99_999, target[0], 1))
+    partial = PartialView.initial(view, 1, delta)
+    result = benchmark(backend.compute_join, partial)
+    assert result.delta.total_count >= 1
+
+
+def bench_view_apply_delta(benchmark):
+    view, states, _ = _setup()
+    base = view.evaluate(states)
+    delta = Delta(base.schema)
+    rows = list(base.rows())[:50]
+    for row in rows:
+        delta.add(row, 1)
+
+    def apply_and_revert():
+        base.apply_delta(delta)
+        base.apply_delta(delta.negated())
+
+    benchmark(apply_and_revert)
+    assert base == view.evaluate(states)

@@ -1,0 +1,19 @@
+"""Benchmark F5: the Figure 5 trajectory under SWEEP with racing updates."""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments.fig5 import format_fig5, run_fig5
+
+
+def bench_fig5_sweep_concurrent(benchmark, save_result):
+    rows = run_once(benchmark, run_fig5, algorithm="sweep", spacing=0.5)
+    save_result("fig5_sweep", format_fig5(rows))
+    assert all(row["match"] == "yes" for row in rows)
+    assert len(rows) == 4  # initial + three updates
+
+
+def bench_fig5_sweep_sequential(benchmark, save_result):
+    """With wide spacing the run degenerates to the paper's sequential
+    walkthrough -- same trajectory."""
+    rows = run_once(benchmark, run_fig5, algorithm="sweep", spacing=100.0)
+    save_result("fig5_sweep_sequential", format_fig5(rows))
+    assert all(row["match"] == "yes" for row in rows)

@@ -1,0 +1,108 @@
+"""Benchmark A5: the analytical model vs the simulator.
+
+Reproduces the role of the paper's [Yur97] analytical companion: for a
+sweep of update rates, compare the first-order predictions (compensation
+frequency, M/D/1 install lag, Nested SWEEP absorption, ECA term counts)
+against measurement.  Shape assertions: the model must track the measured
+curves' direction and regime changes.
+"""
+
+import math
+
+from benchmarks.conftest import run_once
+from repro.analysis.model import (
+    eca_expected_terms,
+    expected_compensation_events,
+    nested_updates_per_install,
+    sweep_install_lag,
+)
+from repro.harness.config import ExperimentConfig
+from repro.harness.report import format_dict_table
+from repro.harness.runner import run_experiment
+
+RATES = (0.01, 0.02, 0.05, 0.2)
+N, LATENCY, UPDATES = 4, 5.0, 40
+
+
+def _simulate(algorithm, lam):
+    return run_experiment(
+        ExperimentConfig(
+            algorithm=algorithm,
+            seed=11,
+            n_sources=N,
+            n_updates=UPDATES,
+            mean_interarrival=1.0 / lam,
+            latency=LATENCY,
+            latency_model="exponential",
+            match_fraction=1.0,
+            insert_fraction=0.5,
+            rows_per_relation=8,
+            check_consistency=False,
+        )
+    )
+
+
+def run_validation_rows() -> list[dict]:
+    rows = []
+    for lam in RATES:
+        sweep = _simulate("sweep", lam)
+        nested = _simulate("nested-sweep", lam)
+        eca = _simulate("eca", lam)
+        lag_model = sweep_install_lag(N, lam, LATENCY)
+        absorb_model = nested_updates_per_install(N, lam, LATENCY)
+        terms_model = eca_expected_terms(lam, LATENCY)
+        rows.append(
+            {
+                "rate": lam,
+                "comp/upd model": expected_compensation_events(N, lam, LATENCY),
+                "comp/upd meas": sweep.metrics.counters.get("compensations", 0)
+                / UPDATES,
+                "lag model": "inf" if math.isinf(lag_model) else lag_model,
+                "lag meas": sweep.mean_install_delay,
+                "absorb model": "inf" if math.isinf(absorb_model) else absorb_model,
+                "absorb meas": nested.updates_delivered / max(1, nested.installs),
+                "eca terms model": "inf" if math.isinf(terms_model) else terms_model,
+                "eca terms meas": eca.metrics.mean_observation("eca_query_terms"),
+            }
+        )
+    return rows
+
+
+def bench_model_validation(benchmark, save_result):
+    rows = run_once(benchmark, run_validation_rows)
+    save_result(
+        "a5_model_validation",
+        format_dict_table(
+            rows,
+            columns=[
+                "rate", "comp/upd model", "comp/upd meas", "lag model",
+                "lag meas", "absorb model", "absorb meas",
+                "eca terms model", "eca terms meas",
+            ],
+            title="A5: analytical model vs simulation (n=4, L=5)",
+        ),
+    )
+    by = {r["rate"]: r for r in rows}
+
+    # Measured compensation frequency rises with rate, like the model.
+    assert by[0.2]["comp/upd meas"] > by[0.01]["comp/upd meas"]
+    assert by[0.2]["comp/upd model"] > by[0.01]["comp/upd model"]
+
+    # Stable regime: M/D/1 lag within a 3x band.
+    stable = by[0.01]
+    assert stable["lag model"] != "inf"
+    assert stable["lag model"] / 3 <= stable["lag meas"] <= stable["lag model"] * 3
+
+    # The model's instability point is real: where it says inf, measured
+    # lag dwarfs the stable-regime lag.
+    unstable = by[0.2]
+    assert unstable["lag model"] == "inf"
+    assert unstable["lag meas"] > 5 * stable["lag meas"]
+
+    # Nested absorption: subcritical ~1, supercritical -> whole stream.
+    assert by[0.01]["absorb meas"] < 3
+    assert by[0.2]["absorb model"] == "inf"
+    assert by[0.2]["absorb meas"] > UPDATES / 3
+
+    # ECA term growth crosses its divergence threshold.
+    assert by[0.2]["eca terms meas"] > 3 * by[0.01]["eca terms meas"]

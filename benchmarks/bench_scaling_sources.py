@@ -1,0 +1,35 @@
+"""Benchmark S1: message cost vs number of sources (Section 5.3).
+
+Shape: SWEEP's per-update messages are exactly ``2(n-1)`` at every chain
+length; C-Strobe matches SWEEP's consistency but its cost curve bends away
+super-linearly once compensation cascades start (clearly by n >= 6 under
+this contention level).
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments.scaling import format_scaling, run_scaling
+
+SOURCES = (2, 3, 4, 6, 8)
+
+
+def bench_scaling_sources(benchmark, save_result):
+    rows = run_once(benchmark, run_scaling, sources=SOURCES)
+    save_result("s1_scaling", format_scaling(rows))
+    sweep = {r["n_sources"]: r for r in rows if r["algorithm"] == "sweep"}
+    cstrobe = {r["n_sources"]: r for r in rows if r["algorithm"] == "c-strobe"}
+    nested = {r["n_sources"]: r for r in rows if r["algorithm"] == "nested-sweep"}
+
+    # SWEEP: exactly linear, 2(n-1) messages per update, at every n.
+    for n in SOURCES:
+        assert sweep[n]["msgs_per_update"] == 2 * (n - 1)
+
+    # Nested SWEEP never exceeds SWEEP (Section 6.2's amortization bound).
+    for n in SOURCES:
+        assert nested[n]["msgs_per_update"] <= sweep[n]["msgs_per_update"]
+
+    # C-Strobe's curve leaves SWEEP's line behind as n grows.
+    assert cstrobe[8]["msgs_per_update"] > 2 * sweep[8]["msgs_per_update"]
+    # ... and grows faster than linearly relative to its own small-n cost.
+    growth_cstrobe = cstrobe[8]["msgs_per_update"] / cstrobe[2]["msgs_per_update"]
+    growth_sweep = sweep[8]["msgs_per_update"] / sweep[2]["msgs_per_update"]
+    assert growth_cstrobe > growth_sweep

@@ -1,0 +1,35 @@
+"""Benchmark S3: staleness / quiescence requirement (Sections 3, 5.3).
+
+Shape: under a sustained stream, SWEEP keeps installing one state per
+update; Strobe's installs collapse toward a single quiescent install and
+the first refresh happens only after the stream ends.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments.staleness import format_staleness, run_staleness
+
+INTERARRIVALS = (20.0, 2.0)
+
+
+def bench_staleness(benchmark, save_result):
+    rows = run_once(benchmark, run_staleness, interarrivals=INTERARRIVALS,
+                    n_updates=30)
+    save_result("s3_staleness", format_staleness(rows))
+    by = {(r["interarrival"], r["algorithm"]): r for r in rows}
+
+    # SWEEP installs every update at every rate.
+    for ia in INTERARRIVALS:
+        assert by[(ia, "sweep")]["installs"] == 30
+
+    # Strobe under load: installs collapse to the few quiescent points and
+    # essentially none land while the stream is still running.
+    busy_strobe = by[(2.0, "strobe")]
+    assert busy_strobe["installs"] < 30 // 2
+    assert busy_strobe["installs_during_stream"] <= busy_strobe["installs"]
+
+    # Nested SWEEP also defers (composite installs) -- by design it trades
+    # install granularity for message amortization.
+    assert by[(2.0, "nested-sweep")]["installs"] < 30
+
+    # With sparse updates everyone installs per update.
+    assert by[(20.0, "strobe")]["installs"] >= 2

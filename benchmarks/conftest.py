@@ -1,0 +1,35 @@
+"""Shared benchmark plumbing.
+
+Each ``bench_*`` module regenerates one paper artifact (DESIGN.md Section
+4).  The pattern: ``benchmark.pedantic`` times the experiment once (these
+are full simulator runs, not microseconds-scale kernels), the resulting
+paper-style table is printed *and* written to ``results/``, and shape
+assertions pin the qualitative claims (who wins, by roughly what factor).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def save_result():
+    """Write a rendered table to results/<name>.txt (and echo it)."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print()
+        print(text)
+
+    return _save
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` with a single round (experiments are seconds-scale)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""The update anomaly of Section 3, made visible.
+
+Runs the *same* racing update history twice: once with naive incremental
+maintenance (sweep the sources, never compensate -- what a
+convergence-only product does) and once with SWEEP.  The naive warehouse
+ends up with a view that matches **no** state the sources ever were in;
+SWEEP's installs all verify completely consistent.
+
+    python examples/anomaly_demo.py
+"""
+
+from repro.consistency.checker import evaluate_at
+from repro.consistency.levels import ConsistencyLevel
+from repro.harness.config import ExperimentConfig
+from repro.harness.runner import run_experiment
+from repro.simulation.rng import RngRegistry
+from repro.workloads.scenarios import make_workload
+from repro.workloads.stream import UpdateStreamConfig
+
+
+def hostile_workload():
+    """Updates arriving much faster than a sweep completes."""
+    rng = RngRegistry(3).stream("anomaly")
+    return make_workload(
+        4,
+        rng,
+        rows_per_relation=10,
+        match_fraction=1.0,
+        stream=UpdateStreamConfig(
+            n_updates=30, mean_interarrival=1.0, insert_fraction=0.5
+        ),
+    )
+
+
+def main() -> None:
+    workload = hostile_workload()
+    runs = {}
+    for algorithm in ("convergent", "sweep"):
+        runs[algorithm] = run_experiment(
+            ExperimentConfig(
+                algorithm=algorithm,
+                workload=workload,
+                n_sources=4,
+                latency=8.0,
+                latency_model="uniform",
+                seed=3,
+            )
+        )
+
+    naive, sweep = runs["convergent"], runs["sweep"]
+
+    print("Same 30-update history, two maintenance strategies:\n")
+    for name, result in runs.items():
+        verdict = result.classified_level.name
+        print(f"  {name:<11}: consistency = {verdict:<9}"
+              f" installs = {result.installs}")
+    print()
+
+    truth = evaluate_at(
+        sweep.recorder.view, sweep.recorder.history,
+        sweep.recorder.history.final_vector(),
+    )
+    print(f"Ground truth final view: {truth.distinct_count} rows")
+    print(f"SWEEP final view       : {sweep.final_view.distinct_count} rows"
+          f" (equal: {sweep.final_view == truth})")
+    print(f"naive final view       : {naive.final_view.distinct_count} rows"
+          f" (equal: {naive.final_view == truth})")
+    print()
+
+    diff_missing = [
+        row for row in truth.rows() if naive.final_view.count(row) != truth.count(row)
+    ]
+    diff_phantom = [
+        row for row in naive.final_view.rows()
+        if naive.final_view.count(row) != truth.count(row)
+    ]
+    print(f"Rows the naive view got wrong: {len(set(diff_missing) | set(diff_phantom))}"
+          f" (anomaly counter: {naive.warehouse.anomalies})")
+    print()
+    assert sweep.classified_level == ConsistencyLevel.COMPLETE
+    print("SWEEP's on-line local error correction removed every error term;"
+          " the oracle verified complete consistency for all"
+          f" {sweep.installs} installed states.")
+
+
+if __name__ == "__main__":
+    main()

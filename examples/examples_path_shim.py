@@ -1,0 +1,8 @@
+"""Make sibling example modules (and the repo root) importable anywhere."""
+
+import pathlib
+import sys
+
+_here = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(_here))
+sys.path.insert(0, str(_here.parent))

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Quickstart: maintain a 3-source warehouse view with SWEEP.
+
+Runs a generated workload of 20 updates against three autonomous data
+sources, maintains the join view incrementally with SWEEP, and prints the
+run report -- including the oracle's verdict that every installed view
+state was completely consistent.
+
+    python examples/quickstart.py
+"""
+
+from repro import quick_run
+
+
+def main() -> None:
+    result = quick_run(
+        algorithm="sweep",
+        n_sources=3,
+        n_updates=20,
+        seed=7,
+        mean_interarrival=2.0,  # updates race the sweeps
+    )
+
+    print(result.report())
+    print()
+    print("Final materialized view:")
+    print(result.final_view.pretty())
+    print()
+    comps = result.metrics.counters.get("compensations", 0)
+    print(
+        f"SWEEP compensated {comps} interfering update(s) locally --"
+        " no compensation queries were sent."
+    )
+
+
+if __name__ == "__main__":
+    main()

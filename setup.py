@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The sandboxed environment ships a setuptools too old for PEP 660 editable
+installs (no ``wheel``/``bdist_wheel``).  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` work offline; all
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""Reproduction of *Efficient View Maintenance at Data Warehouses* (SIGMOD 1997).
+
+This package implements the SWEEP and Nested SWEEP incremental view
+maintenance algorithms of Agrawal, El Abbadi, Singh and Yurek, together with
+every substrate they require and every baseline the paper compares against:
+
+* :mod:`repro.relational` -- a multiset (bag) relational engine with signed
+  tuple counts, SPJ view definitions and delta algebra.
+* :mod:`repro.simulation` -- a deterministic discrete-event kernel with
+  generator-based processes and reliable FIFO channels.
+* :mod:`repro.sources` -- data-source servers (paper Figure 3) backed by
+  in-memory relations or sqlite3 tables.
+* :mod:`repro.warehouse` -- the warehouse runtime (paper Figure 4) hosting
+  SWEEP, Nested SWEEP, ECA, Strobe, C-Strobe and naive baselines.
+* :mod:`repro.consistency` -- oracles that verify convergence, weak, strong
+  and complete consistency of installed view snapshots.
+* :mod:`repro.workloads` -- seeded workload and scenario generators,
+  including the paper's Figure 5 example.
+* :mod:`repro.harness` -- experiment runner and paper-style reporting used
+  by the benchmark suite to regenerate Table 1 and the analytical claims.
+
+Quickstart::
+
+    from repro import quick_run
+    result = quick_run(algorithm="sweep", n_sources=3, n_updates=20, seed=7)
+    print(result.report())
+"""
+
+from repro._version import __version__
+from repro.api import quick_run
+
+__all__ = ["__version__", "quick_run"]

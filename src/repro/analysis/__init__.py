@@ -1,0 +1,49 @@
+"""Analytical performance models (the paper's [Yur97] companion analysis).
+
+Section 6.2 references an analytical model characterizing Nested SWEEP's
+performance; the thesis itself is not public, so this package derives the
+natural first-order models from the paper's stated assumptions (Poisson
+update arrivals, FIFO channels with known mean latency, sequential query
+service) and validates them against the simulator:
+
+* :func:`~repro.analysis.model.sweep_messages_per_update` -- exact.
+* :func:`~repro.analysis.model.expected_compensation_events` -- how often
+  SWEEP's local error correction fires.
+* :func:`~repro.analysis.model.sweep_utilization` /
+  :func:`~repro.analysis.model.sweep_install_lag` -- M/D/1 queueing of
+  sequential sweeps; predicts the staleness knee and instability point.
+* :func:`~repro.analysis.model.nested_updates_per_install` -- geometric
+  absorption model for Nested SWEEP's amortization.
+* :func:`~repro.analysis.model.eca_expected_terms` -- compounding of
+  pending-query interaction terms (the quadratic-size regime and beyond).
+
+The ``bench_model_validation`` benchmark prints model-vs-measured tables;
+tests assert agreement within stated tolerance bands.
+"""
+
+from repro.analysis.advisor import Recommendation, WorkloadFacts, explain, recommend
+from repro.analysis.model import (
+    eca_expected_pending,
+    eca_expected_terms,
+    expected_compensation_events,
+    nested_updates_per_install,
+    sweep_install_lag,
+    sweep_messages_per_update,
+    sweep_duration,
+    sweep_utilization,
+)
+
+__all__ = [
+    "Recommendation",
+    "WorkloadFacts",
+    "eca_expected_pending",
+    "explain",
+    "recommend",
+    "eca_expected_terms",
+    "expected_compensation_events",
+    "nested_updates_per_install",
+    "sweep_duration",
+    "sweep_install_lag",
+    "sweep_messages_per_update",
+    "sweep_utilization",
+]

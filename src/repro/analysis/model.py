@@ -1,0 +1,146 @@
+"""First-order analytical models of the maintenance algorithms.
+
+Modeling assumptions (matching the simulator's defaults):
+
+* updates form a Poisson process of total rate ``lam``, spread uniformly
+  over ``n`` sources (per-source rate ``lam/n``);
+* every channel has mean one-way latency ``latency``; query service time
+  at sources is negligible unless stated;
+* the warehouse processes updates sequentially (plain SWEEP).
+
+These are *first-order* models: they capture where curves bend and how
+they scale, not third-digit accuracy.  Tests hold them to explicit
+tolerance bands against the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+# ---------------------------------------------------------------------------
+# SWEEP
+# ---------------------------------------------------------------------------
+
+def sweep_messages_per_update(n: int) -> int:
+    """Protocol messages per update: exactly 2(n-1), deterministically."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return 2 * (n - 1)
+
+
+def sweep_duration(n: int, latency: float, service_time: float = 0.0) -> float:
+    """Virtual time of one sequential sweep: (n-1) query round trips."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return (n - 1) * (2 * latency + service_time)
+
+
+def expected_compensation_events(
+    n: int, lam: float, latency: float, service_time: float = 0.0
+) -> float:
+    """Expected compensation *events* per update under Poisson arrivals.
+
+    The answer from source ``j`` is compensated iff at least one update
+    from ``j`` sits in the queue when it arrives.  An update from ``j``
+    interferes iff it commits inside the query's exposure window, which
+    for a query in flight is one round trip (``2*latency + service``) --
+    plus everything from ``j`` that accumulated while *earlier* updates
+    were being processed (queueing).  The first-order model ignores the
+    backlog contribution and uses the in-flight window only, so it is a
+    **lower bound** that is tight at low utilization:
+
+        events/update = sum over the n-1 queried sources of
+                        1 - exp(-(lam/n) * window)
+    """
+    if n < 2:
+        return 0.0
+    window = 2 * latency + service_time
+    p_interfere = 1.0 - math.exp(-(lam / n) * window)
+    return (n - 1) * p_interfere
+
+
+def sweep_utilization(n: int, lam: float, latency: float) -> float:
+    """Offered load of the sequential sweep server: rho = lam * D."""
+    return lam * sweep_duration(n, latency)
+
+
+def sweep_install_lag(n: int, lam: float, latency: float) -> float:
+    """Mean delivery-to-install lag of sequential SWEEP (M/D/1).
+
+    Service is deterministic at ``D = sweep_duration``; Poisson arrivals
+    at rate ``lam``.  Pollaczek-Khinchine for M/D/1::
+
+        W_q = rho * D / (2 * (1 - rho)),   lag = W_q + D
+
+    Returns ``inf`` when ``rho >= 1`` (the queue grows without bound --
+    the regime where the staleness experiment's lag explodes).
+    """
+    d = sweep_duration(n, latency)
+    rho = lam * d
+    if rho >= 1.0:
+        return math.inf
+    return rho * d / (2 * (1 - rho)) + d
+
+
+# ---------------------------------------------------------------------------
+# Nested SWEEP
+# ---------------------------------------------------------------------------
+
+def nested_updates_per_install(n: int, lam: float, latency: float) -> float:
+    """Expected updates folded into one composite install.
+
+    Geometric absorption model: a sweep is exposed for roughly one plain
+    sweep duration ``D``; every update arriving within the exposure of a
+    not-yet-passed source is absorbed and extends the recursion, which in
+    turn exposes more time.  With offered load ``rho = lam * D``, the
+    branching process absorbs ``1/(1-rho)`` updates in expectation while
+    subcritical, and the entire stream once ``rho >= 1`` (the paper's
+    oscillation regime: the install waits for the stream to break).
+    """
+    rho = sweep_utilization(n, lam, latency)
+    if rho >= 1.0:
+        return math.inf
+    return 1.0 / (1.0 - rho)
+
+
+# ---------------------------------------------------------------------------
+# ECA
+# ---------------------------------------------------------------------------
+
+def eca_expected_pending(lam: float, latency: float, service_time: float = 0.0) -> float:
+    """Expected in-flight queries when a new update arrives (M/G/infinity).
+
+    Each query occupies one round trip; arrivals are Poisson, so the
+    number in flight is Poisson with mean ``lam * round_trip``.
+    """
+    return lam * (2 * latency + service_time)
+
+
+def eca_expected_terms(lam: float, latency: float, service_time: float = 0.0) -> float:
+    """Expected signed terms per ECA query.
+
+    A new query starts from one term and adds (roughly) every term of
+    every pending query, so term counts satisfy ``T = 1 + K * T`` with
+    ``K`` the expected pending count -- i.e. ``T = 1/(1-K)`` while
+    subcritical, diverging as the pending population reaches one full
+    query's worth.  Beyond ``K >= 1`` term counts compound each round
+    trip; the model returns ``inf`` there (the measured curve grows until
+    the finite stream ends).
+    """
+    k = eca_expected_pending(lam, latency, service_time)
+    if k >= 1.0:
+        return math.inf
+    return 1.0 / (1.0 - k)
+
+
+__all__ = [
+    "eca_expected_pending",
+    "eca_expected_terms",
+    "expected_compensation_events",
+    "nested_updates_per_install",
+    "sweep_duration",
+    "sweep_install_lag",
+    "sweep_messages_per_update",
+    "sweep_utilization",
+]

@@ -1,0 +1,56 @@
+"""Top-level convenience API.
+
+:func:`quick_run` wires a generated workload, a set of simulated data
+sources and a maintenance algorithm into one simulator run and returns the
+:class:`~repro.harness.results.RunResult`.  It is the one-call entry point
+used by the README quickstart; richer configuration lives in
+:mod:`repro.harness`.
+"""
+
+from __future__ import annotations
+
+
+def quick_run(
+    algorithm: str = "sweep",
+    n_sources: int = 3,
+    n_updates: int = 20,
+    seed: int = 0,
+    **overrides,
+):
+    """Run one maintenance experiment end to end.
+
+    Parameters
+    ----------
+    algorithm:
+        One of the registered algorithm names (``"sweep"``,
+        ``"nested-sweep"``, ``"strobe"``, ``"c-strobe"``, ``"eca"``,
+        ``"convergent"``, ``"recompute"``).
+    n_sources:
+        Number of autonomous data sources (the paper's ``n``).
+    n_updates:
+        Total updates generated across all sources.
+    seed:
+        Seed for all randomness (workload, latencies).
+    overrides:
+        Any additional :class:`~repro.harness.config.ExperimentConfig`
+        fields (e.g. ``mean_interarrival=5.0``, ``backend="sqlite"``).
+
+    Returns
+    -------
+    RunResult
+        Metrics, installed snapshots and consistency verdicts.
+    """
+    from repro.harness.config import ExperimentConfig
+    from repro.harness.runner import run_experiment
+
+    config = ExperimentConfig(
+        algorithm=algorithm,
+        n_sources=n_sources,
+        n_updates=n_updates,
+        seed=seed,
+        **overrides,
+    )
+    return run_experiment(config)
+
+
+__all__ = ["quick_run"]

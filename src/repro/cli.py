@@ -1,0 +1,265 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``          one maintenance experiment (all ExperimentConfig knobs)
+``algorithms``   list registered algorithms with their Table 1 properties
+``table1``       regenerate the measured Table 1
+``fig5``         replay the paper's Figure 5 example
+``experiments``  run every experiment module and print its table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_run_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("run", help="run one maintenance experiment")
+    p.add_argument("--algorithm", "-a", default="sweep")
+    p.add_argument("--sources", "-n", type=int, default=3)
+    p.add_argument("--updates", "-u", type=int, default=20)
+    p.add_argument("--seed", "-s", type=int, default=0)
+    p.add_argument("--backend", choices=("memory", "sqlite"), default="memory")
+    p.add_argument("--latency", type=float, default=5.0)
+    p.add_argument(
+        "--latency-model", choices=("constant", "uniform", "exponential"),
+        default="uniform",
+    )
+    p.add_argument("--interarrival", type=float, default=10.0)
+    p.add_argument("--insert-fraction", type=float, default=0.6)
+    p.add_argument("--rows", type=int, default=20)
+    p.add_argument("--global-txn-fraction", type=float, default=0.0)
+    p.add_argument("--no-keys", action="store_true",
+                   help="project out key attributes (rejected by Strobe family)")
+    p.add_argument("--trace", action="store_true", help="print the event trace")
+    p.add_argument("--no-check", action="store_true",
+                   help="skip consistency verification")
+    p.add_argument("--show-view", action="store_true",
+                   help="print the final materialized view")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.harness.config import ExperimentConfig
+    from repro.harness.runner import run_experiment
+
+    config = ExperimentConfig(
+        algorithm=args.algorithm,
+        n_sources=args.sources,
+        n_updates=args.updates,
+        seed=args.seed,
+        backend=args.backend,
+        latency=args.latency,
+        latency_model=args.latency_model,
+        mean_interarrival=args.interarrival,
+        insert_fraction=args.insert_fraction,
+        rows_per_relation=args.rows,
+        global_txn_fraction=args.global_txn_fraction,
+        project_keys=not args.no_keys,
+        trace=args.trace,
+        check_consistency=not args.no_check,
+    )
+    result = run_experiment(config)
+    if args.trace and result.trace is not None:
+        print(result.trace.format())
+        print()
+    print(result.report())
+    if args.show_view:
+        print()
+        print(result.final_view.pretty())
+    return 0
+
+
+def _cmd_algorithms(_args: argparse.Namespace) -> int:
+    from repro.harness.report import format_table
+    from repro.warehouse.registry import ALGORITHMS
+
+    rows = [
+        [
+            info.name,
+            info.architecture,
+            info.claimed_consistency.name.lower(),
+            info.message_cost,
+            "yes" if info.requires_keys else "no",
+            "yes" if info.requires_quiescence else "no",
+            info.comments,
+        ]
+        for info in ALGORITHMS.values()
+    ]
+    print(
+        format_table(
+            ["name", "architecture", "consistency", "msg cost", "keys?",
+             "quiescence?", "comments"],
+            rows,
+            title="Registered maintenance algorithms",
+        )
+    )
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.harness.experiments.table1 import format_table1, run_table1
+
+    print(
+        format_table1(
+            run_table1(
+                seed=args.seed,
+                n_sources=args.sources,
+                n_updates=args.updates,
+                include_baselines=args.baselines,
+            )
+        )
+    )
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    from repro.harness.experiments.fig5 import format_fig5, run_fig5
+
+    rows = run_fig5(spacing=args.spacing)
+    print(format_fig5(rows))
+    return 0 if all(r["match"] == "yes" for r in rows) else 1
+
+
+def _experiment_sections() -> list[tuple[str, str, str]]:
+    """(tag, description, rendered table) for every experiment module."""
+    from repro.harness.experiments import (
+        ablation,
+        amortization,
+        concurrency,
+        fig5,
+        messagesize,
+        scaling,
+        staleness,
+        table1,
+    )
+
+    return [
+        ("T1", "Table 1, measured",
+         table1.format_table1(table1.run_table1(include_baselines=True))),
+        ("F5", "Figure 5 trajectory under SWEEP",
+         fig5.format_fig5(fig5.run_fig5())),
+        ("S1", "message cost vs number of sources",
+         scaling.format_scaling(scaling.run_scaling())),
+        ("S2", "message cost vs concurrency",
+         concurrency.format_concurrency(concurrency.run_concurrency())),
+        ("S3", "staleness under sustained updates",
+         staleness.format_staleness(staleness.run_staleness())),
+        ("S4", "Nested SWEEP amortization",
+         amortization.format_amortization(amortization.run_amortization())),
+        ("S5", "ECA query payload growth",
+         messagesize.format_messagesize(messagesize.run_messagesize())),
+        ("A1", "SWEEP variants ablation",
+         ablation.format_sweep_variants(ablation.run_sweep_variants())),
+        ("A2", "Nested SWEEP termination ablation",
+         ablation.format_nested_depth(ablation.run_nested_depth())),
+    ]
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    sections = _experiment_sections()
+    for tag, _desc, text in sections:
+        print(f"\n### {tag} ###")
+        print(text)
+    if getattr(args, "save", None):
+        lines = [
+            "# Experiment report",
+            "",
+            "Regenerated with `python -m repro experiments --save ...`;",
+            "see EXPERIMENTS.md for paper-vs-measured commentary.",
+        ]
+        for tag, desc, text in sections:
+            lines += ["", f"## {tag} — {desc}", "", "```", text, "```"]
+        import pathlib
+
+        path = pathlib.Path(args.save)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        print(f"\nreport written to {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Efficient View Maintenance at Data"
+            " Warehouses' (SIGMOD 1997)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    _add_run_parser(sub)
+    sub.add_parser("algorithms", help="list registered algorithms")
+
+    t1 = sub.add_parser("table1", help="regenerate the measured Table 1")
+    t1.add_argument("--seed", type=int, default=7)
+    t1.add_argument("--sources", type=int, default=4)
+    t1.add_argument("--updates", type=int, default=24)
+    t1.add_argument("--baselines", action="store_true")
+
+    f5 = sub.add_parser("fig5", help="replay the Figure 5 example")
+    f5.add_argument("--spacing", type=float, default=0.5)
+
+    exp = sub.add_parser("experiments", help="run every experiment module")
+    exp.add_argument("--save", metavar="PATH",
+                     help="also write a markdown report to PATH")
+
+    adv = sub.add_parser(
+        "advise", help="recommend an algorithm for a workload"
+    )
+    adv.add_argument("--sources", "-n", type=int, default=4)
+    adv.add_argument("--rate", type=float, default=0.02,
+                     help="total update rate (updates per time unit)")
+    adv.add_argument("--latency", type=float, default=5.0)
+    adv.add_argument(
+        "--require", choices=("convergence", "weak", "strong", "complete"),
+        default="strong",
+    )
+    adv.add_argument("--keys", action="store_true",
+                     help="the view keeps a key of every relation")
+    adv.add_argument("--centralized-ok", action="store_true")
+    adv.add_argument("--fresh", action="store_true",
+                     help="installs must keep up with the stream")
+    adv.add_argument("--global-txns", action="store_true")
+    return parser
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.analysis.advisor import WorkloadFacts, explain
+    from repro.consistency.levels import ConsistencyLevel
+
+    facts = WorkloadFacts(
+        n_sources=args.sources,
+        update_rate=args.rate,
+        latency=args.latency,
+        required_consistency=ConsistencyLevel[args.require.upper()],
+        view_has_all_keys=args.keys,
+        centralized_ok=args.centralized_ok,
+        needs_fresh_view=args.fresh,
+        has_global_transactions=args.global_txns,
+    )
+    print(explain(facts))
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "algorithms": _cmd_algorithms,
+    "table1": _cmd_table1,
+    "fig5": _cmd_fig5,
+    "experiments": _cmd_experiments,
+    "advise": _cmd_advise,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

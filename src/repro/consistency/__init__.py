@@ -1,0 +1,59 @@
+"""Consistency oracles for warehouse view maintenance.
+
+The paper (Section 2, following ZGMW96/HZ96a) ranks algorithms by the
+consistency of the view states they install:
+
+* **convergence** -- the final view equals the final source state;
+* **weak** -- every installed state corresponds to *some* valid source
+  state vector;
+* **strong** -- additionally, those vectors can be chosen monotonically
+  (installed states never go back in time);
+* **complete** -- one distinct installed state per delivered update, in
+  delivery order.
+
+This package records everything needed to *verify* those properties after a
+run -- per-source update histories, the warehouse's delivery order, and
+every installed view snapshot -- and provides both an **independent
+checker** (searches for matching state vectors without trusting the
+algorithm) and an **instrumented checker** (validates the state vector each
+algorithm claims for each install).
+"""
+
+from repro.consistency.atomicity import (
+    AtomicityResult,
+    check_transaction_atomicity,
+    collect_transactions,
+)
+from repro.consistency.checker import (
+    CheckResult,
+    check_complete,
+    check_convergence,
+    check_strong,
+    check_weak,
+    classify,
+    evaluate_at,
+    vector_for_delivery_prefix,
+)
+from repro.consistency.history import SourceHistory
+from repro.consistency.levels import ConsistencyLevel
+from repro.consistency.oracle import RunRecorder
+from repro.consistency.snapshots import SnapshotLog, ViewSnapshot
+
+__all__ = [
+    "AtomicityResult",
+    "CheckResult",
+    "check_transaction_atomicity",
+    "collect_transactions",
+    "ConsistencyLevel",
+    "RunRecorder",
+    "SnapshotLog",
+    "SourceHistory",
+    "ViewSnapshot",
+    "check_complete",
+    "check_convergence",
+    "check_strong",
+    "check_weak",
+    "classify",
+    "evaluate_at",
+    "vector_for_delivery_prefix",
+]

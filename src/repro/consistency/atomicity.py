@@ -1,0 +1,78 @@
+"""Atomicity checking for global (multi-source) transactions.
+
+A global transaction's parts are updates at different sources sharing a
+``txn_id``.  Atomic visibility means no installed view state reflects some
+parts of a transaction without the others.  The check walks each install's
+claimed state vector: part ``(source, seq)`` is *covered* by vector ``v``
+iff ``v[source] >= seq``; a transaction must be covered all-or-nothing by
+every vector.
+
+(The independent weak/strong checkers still verify the vectors themselves
+match the installed contents, so claimed vectors cannot hide a violation:
+a state genuinely exposing half a transaction matches only half-covering
+vectors.)
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.consistency.history import SourceHistory
+from repro.consistency.snapshots import SnapshotLog
+from repro.sources.messages import UpdateNotice
+
+
+@dataclass
+class AtomicityResult:
+    """Outcome of the transaction-atomicity check."""
+
+    ok: bool
+    transactions_checked: int
+    violations: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def collect_transactions(history: SourceHistory) -> dict[str, list[UpdateNotice]]:
+    """Group every source's applied updates by transaction id."""
+    txns: dict[str, list[UpdateNotice]] = defaultdict(list)
+    for index in history.source_indices:
+        for notice in history.updates_of(index):
+            if notice.txn_id is not None:
+                txns[notice.txn_id].append(notice)
+    return dict(txns)
+
+
+def check_transaction_atomicity(
+    history: SourceHistory,
+    snapshots: SnapshotLog,
+) -> AtomicityResult:
+    """Verify no install's claimed vector splits any transaction."""
+    txns = collect_transactions(history)
+    violations: list[str] = []
+    for t, snap in enumerate(snapshots, start=1):
+        vector = snap.claimed_vector
+        if vector is None:
+            violations.append(f"install #{t} claims no state vector")
+            continue
+        for txn_id, parts in txns.items():
+            covered = sum(
+                1
+                for part in parts
+                if vector.get(part.source_index, 0) >= part.seq
+            )
+            if 0 < covered < len(parts):
+                violations.append(
+                    f"install #{t} exposes {covered}/{len(parts)} parts of"
+                    f" transaction {txn_id}"
+                )
+    return AtomicityResult(
+        ok=not violations,
+        transactions_checked=len(txns),
+        violations=violations,
+    )
+
+
+__all__ = ["AtomicityResult", "check_transaction_atomicity", "collect_transactions"]

@@ -1,0 +1,263 @@
+"""Consistency checkers: independent search and instrumented validation.
+
+Definitions operationalized (DESIGN.md Section 6): a *state vector*
+``v = (k_1, ..., k_n)`` picks, per source, how many of its updates are
+applied; ``V(v)`` is the view recomputed over those states.  The warehouse's
+*delivery order* induces prefix vectors ``prefix_t`` counting, per source,
+the updates among the first ``t`` delivered.
+
+* ``check_convergence`` -- final snapshot equals ``V(final vector)``.
+* ``check_complete``    -- snapshots are exactly ``V(prefix_1..T)``.
+* ``check_weak``        -- every snapshot equals ``V(v)`` for *some* ``v``
+  (independent brute-force over the vector space, no trust in algorithms).
+* ``check_strong``      -- matching vectors can be chosen monotonically
+  non-decreasing (dynamic program over per-snapshot candidate sets).
+
+For workloads whose vector space exceeds ``max_vectors``, weak/strong fall
+back to validating each snapshot's *claimed* vector (monotonicity included)
+-- the result's ``method`` field says which mode ran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.consistency.history import SourceHistory
+from repro.consistency.levels import ConsistencyLevel
+from repro.consistency.snapshots import SnapshotLog
+from repro.relational.relation import Relation
+from repro.relational.view import ViewDefinition
+from repro.sources.messages import UpdateNotice
+
+
+@dataclass(slots=True)
+class CheckResult:
+    """Outcome of one consistency check."""
+
+    level: ConsistencyLevel
+    ok: bool
+    method: str = "independent"
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+# ---------------------------------------------------------------------------
+# Vector helpers
+# ---------------------------------------------------------------------------
+
+def vector_for_delivery_prefix(
+    deliveries: list[UpdateNotice], t: int
+) -> dict[int, int]:
+    """Per-source update counts among the first ``t`` delivered updates."""
+    if not 0 <= t <= len(deliveries):
+        raise ValueError(f"prefix length {t} out of range 0..{len(deliveries)}")
+    vector: dict[int, int] = {}
+    for notice in deliveries[:t]:
+        vector[notice.source_index] = vector.get(notice.source_index, 0) + 1
+    return vector
+
+
+def evaluate_at(
+    view: ViewDefinition, history: SourceHistory, vector: dict[int, int]
+) -> Relation:
+    """Recompute the view over the states selected by ``vector``."""
+    return view.evaluate(history.states_at_vector(vector))
+
+
+def _view_key(relation: Relation) -> tuple:
+    """A hashable canonical form of a view state."""
+    return tuple(sorted(relation.items()))
+
+
+def _dominates(a: tuple[int, ...], b: tuple[int, ...]) -> bool:
+    """Component-wise ``a >= b``."""
+    return all(x >= y for x, y in zip(a, b))
+
+
+def _vector_index(
+    view: ViewDefinition, history: SourceHistory
+) -> dict[tuple, list[tuple[int, ...]]]:
+    """Map every reachable view state to the vectors producing it."""
+    indices = history.source_indices
+    ranges = [range(history.n_updates(i) + 1) for i in indices]
+    table: dict[tuple, list[tuple[int, ...]]] = {}
+    for combo in product(*ranges):
+        vector = dict(zip(indices, combo))
+        key = _view_key(evaluate_at(view, history, vector))
+        table.setdefault(key, []).append(combo)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Checks
+# ---------------------------------------------------------------------------
+
+def check_convergence(
+    view: ViewDefinition, history: SourceHistory, snapshots: SnapshotLog
+) -> CheckResult:
+    """Does the final installed state equal the fully updated view?"""
+    final = snapshots.final_view
+    if final is None:
+        return CheckResult(
+            ConsistencyLevel.CONVERGENCE, False, detail="no view state recorded"
+        )
+    expected = evaluate_at(view, history, history.final_vector())
+    ok = final == expected
+    detail = "" if ok else (
+        f"final view has {final.distinct_count} rows,"
+        f" expected {expected.distinct_count}"
+    )
+    return CheckResult(ConsistencyLevel.CONVERGENCE, ok, detail=detail)
+
+
+def check_complete(
+    view: ViewDefinition,
+    history: SourceHistory,
+    deliveries: list[UpdateNotice],
+    snapshots: SnapshotLog,
+) -> CheckResult:
+    """One snapshot per delivered update, each matching its prefix vector."""
+    if len(snapshots) != len(deliveries):
+        return CheckResult(
+            ConsistencyLevel.COMPLETE,
+            False,
+            detail=(
+                f"{len(snapshots)} installs for {len(deliveries)} delivered"
+                " updates"
+            ),
+        )
+    for t, snap in enumerate(snapshots, start=1):
+        expected = evaluate_at(
+            view, history, vector_for_delivery_prefix(deliveries, t)
+        )
+        if snap.view != expected:
+            return CheckResult(
+                ConsistencyLevel.COMPLETE,
+                False,
+                detail=f"install #{t} does not match delivery prefix {t}",
+            )
+    return CheckResult(ConsistencyLevel.COMPLETE, True)
+
+
+def _claimed_vectors_valid(
+    view: ViewDefinition,
+    history: SourceHistory,
+    snapshots: SnapshotLog,
+    require_monotone: bool,
+) -> CheckResult:
+    """Instrumented fallback: validate the vectors algorithms claim."""
+    level = ConsistencyLevel.STRONG if require_monotone else ConsistencyLevel.WEAK
+    prev: dict[int, int] | None = None
+    for t, snap in enumerate(snapshots, start=1):
+        if snap.claimed_vector is None:
+            return CheckResult(
+                level, False, method="instrumented",
+                detail=f"install #{t} claims no vector",
+            )
+        expected = evaluate_at(view, history, snap.claimed_vector)
+        if snap.view != expected:
+            return CheckResult(
+                level, False, method="instrumented",
+                detail=f"install #{t} does not match its claimed vector",
+            )
+        if require_monotone and prev is not None:
+            regressed = [
+                i for i in history.source_indices
+                if snap.claimed_vector.get(i, 0) < prev.get(i, 0)
+            ]
+            if regressed:
+                return CheckResult(
+                    level, False, method="instrumented",
+                    detail=f"install #{t} regresses sources {regressed}",
+                )
+        prev = snap.claimed_vector
+    return CheckResult(level, True, method="instrumented")
+
+
+def check_weak(
+    view: ViewDefinition,
+    history: SourceHistory,
+    snapshots: SnapshotLog,
+    max_vectors: int = 50_000,
+) -> CheckResult:
+    """Every snapshot matches some state vector (independent search)."""
+    if history.vector_space_size() > max_vectors:
+        return _claimed_vectors_valid(view, history, snapshots, require_monotone=False)
+    table = _vector_index(view, history)
+    for t, snap in enumerate(snapshots, start=1):
+        if _view_key(snap.view) not in table:
+            return CheckResult(
+                ConsistencyLevel.WEAK,
+                False,
+                detail=f"install #{t} matches no source state vector",
+            )
+    return CheckResult(ConsistencyLevel.WEAK, True)
+
+
+def check_strong(
+    view: ViewDefinition,
+    history: SourceHistory,
+    snapshots: SnapshotLog,
+    max_vectors: int = 50_000,
+) -> CheckResult:
+    """Snapshots match a monotone chain of state vectors (independent DP)."""
+    if history.vector_space_size() > max_vectors:
+        return _claimed_vectors_valid(view, history, snapshots, require_monotone=True)
+    table = _vector_index(view, history)
+    # frontier: minimal vectors reachable after matching the prefix of
+    # snapshots processed so far (an antichain; domination-pruned).
+    indices = history.source_indices
+    frontier: list[tuple[int, ...]] = [tuple(0 for _ in indices)]
+    for t, snap in enumerate(snapshots, start=1):
+        candidates = table.get(_view_key(snap.view), [])
+        reachable = [
+            c for c in candidates if any(_dominates(c, f) for f in frontier)
+        ]
+        if not reachable:
+            detail = (
+                f"install #{t} matches no source state vector"
+                if not candidates
+                else f"install #{t} cannot extend any monotone chain"
+            )
+            return CheckResult(ConsistencyLevel.STRONG, False, detail=detail)
+        # prune to minimal elements
+        frontier = [
+            c for c in reachable
+            if not any(c != other and _dominates(c, other) for other in reachable)
+        ]
+    return CheckResult(ConsistencyLevel.STRONG, True)
+
+
+def classify(
+    view: ViewDefinition,
+    history: SourceHistory,
+    deliveries: list[UpdateNotice],
+    snapshots: SnapshotLog,
+    max_vectors: int = 50_000,
+) -> ConsistencyLevel:
+    """The strongest consistency level the recorded run satisfies."""
+    converged = check_convergence(view, history, snapshots)
+    if not converged:
+        return ConsistencyLevel.NONE
+    if check_complete(view, history, deliveries, snapshots):
+        return ConsistencyLevel.COMPLETE
+    if check_strong(view, history, snapshots, max_vectors=max_vectors):
+        return ConsistencyLevel.STRONG
+    if check_weak(view, history, snapshots, max_vectors=max_vectors):
+        return ConsistencyLevel.WEAK
+    return ConsistencyLevel.CONVERGENCE
+
+
+__all__ = [
+    "CheckResult",
+    "check_complete",
+    "check_convergence",
+    "check_strong",
+    "check_weak",
+    "classify",
+    "evaluate_at",
+    "vector_for_delivery_prefix",
+]

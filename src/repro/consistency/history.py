@@ -1,0 +1,112 @@
+"""Per-source update histories: ground truth for the oracle.
+
+A :class:`SourceHistory` holds, for every source, the initial relation
+contents and the ordered list of applied update deltas.  From those it can
+reconstruct ``R_i^k`` -- the state of source ``i`` after its first ``k``
+updates -- for any ``k``, which is what the consistency definitions
+quantify over.
+
+Reconstruction is cached prefix-by-prefix, so checking many vectors over
+the same history stays cheap.
+"""
+
+from __future__ import annotations
+
+from repro.relational.relation import Relation
+from repro.sources.messages import UpdateNotice
+
+
+class SourceHistory:
+    """Initial states plus ordered update logs for all sources."""
+
+    def __init__(self) -> None:
+        self._initial: dict[int, Relation] = {}
+        self._names: dict[int, str] = {}
+        self._updates: dict[int, list[UpdateNotice]] = {}
+        # _state_cache[i][k] is R_i after its first k updates.
+        self._state_cache: dict[int, list[Relation]] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def register_source(self, index: int, name: str, initial: Relation) -> None:
+        """Declare source ``index`` with its initial contents."""
+        if index in self._initial:
+            raise ValueError(f"source {index} already registered")
+        self._initial[index] = initial.copy()
+        self._names[index] = name
+        self._updates[index] = []
+        self._state_cache[index] = [initial.copy()]
+
+    def on_source_update(self, notice: UpdateNotice) -> None:
+        """Listener hook: append an applied update to its source's log."""
+        log = self._updates.get(notice.source_index)
+        if log is None:
+            raise ValueError(f"source {notice.source_index} never registered")
+        expected_seq = len(log) + 1
+        if notice.seq != expected_seq:
+            raise ValueError(
+                f"source {notice.source_index} update seq {notice.seq} recorded"
+                f" out of order (expected {expected_seq})"
+            )
+        log.append(notice)
+
+    # ------------------------------------------------------------------
+    # Reconstruction
+    # ------------------------------------------------------------------
+    @property
+    def source_indices(self) -> tuple[int, ...]:
+        """Registered source indices, ascending."""
+        return tuple(sorted(self._initial))
+
+    def name_of(self, index: int) -> str:
+        return self._names[index]
+
+    def n_updates(self, index: int) -> int:
+        """Number of updates applied at source ``index``."""
+        return len(self._updates[index])
+
+    def updates_of(self, index: int) -> tuple[UpdateNotice, ...]:
+        """The ordered update log of source ``index``."""
+        return tuple(self._updates[index])
+
+    def state_at(self, index: int, k: int) -> Relation:
+        """``R_index`` after its first ``k`` updates (``k=0``: initial).
+
+        Returned relations are cached internals -- do not mutate.
+        """
+        if not 0 <= k <= self.n_updates(index):
+            raise ValueError(
+                f"source {index} has {self.n_updates(index)} updates; k={k}"
+            )
+        cache = self._state_cache[index]
+        while len(cache) <= k:
+            nxt = cache[-1].copy()
+            nxt.apply_delta(self._updates[index][len(cache) - 1].delta)
+            cache.append(nxt)
+        return cache[k]
+
+    def final_vector(self) -> dict[int, int]:
+        """The vector of all update counts (the fully applied state)."""
+        return {i: self.n_updates(i) for i in self.source_indices}
+
+    def states_at_vector(self, vector: dict[int, int]) -> dict[str, Relation]:
+        """Name-keyed states for a vector (input to ViewDefinition.evaluate)."""
+        return {
+            self._names[i]: self.state_at(i, vector.get(i, 0))
+            for i in self.source_indices
+        }
+
+    def vector_space_size(self) -> int:
+        """Number of distinct state vectors (for brute-force feasibility)."""
+        size = 1
+        for i in self.source_indices:
+            size *= self.n_updates(i) + 1
+        return size
+
+    def __repr__(self) -> str:
+        counts = {self._names[i]: self.n_updates(i) for i in self.source_indices}
+        return f"SourceHistory({counts})"
+
+
+__all__ = ["SourceHistory"]

@@ -1,0 +1,49 @@
+"""The consistency spectrum of Section 2, as an ordered enum."""
+
+from __future__ import annotations
+
+import enum
+
+
+class ConsistencyLevel(enum.IntEnum):
+    """Consistency of installed warehouse view states, weakest to strongest.
+
+    The integer ordering matches the paper's hierarchy: every completely
+    consistent run is strongly consistent, every strongly consistent run is
+    weakly consistent, and every weakly consistent run (with a finished
+    workload) converges.
+    """
+
+    #: No guarantee beyond eventually matching the final source state.
+    NONE = 0
+
+    #: The final view equals the view over the final source states.
+    CONVERGENCE = 1
+
+    #: Every installed state reflects *some* valid source state vector.
+    WEAK = 2
+
+    #: Matching vectors can be chosen monotonically non-decreasing.
+    STRONG = 3
+
+    #: One distinct installed state per delivered update, in delivery order.
+    COMPLETE = 4
+
+    def describe(self) -> str:
+        """Human-readable definition used in reports."""
+        return _DESCRIPTIONS[self]
+
+
+_DESCRIPTIONS = {
+    ConsistencyLevel.NONE: "no consistency guarantee",
+    ConsistencyLevel.CONVERGENCE: "final view matches final source states",
+    ConsistencyLevel.WEAK: "every installed state matches some source state vector",
+    ConsistencyLevel.STRONG: (
+        "installed states match a monotone sequence of source state vectors"
+    ),
+    ConsistencyLevel.COMPLETE: (
+        "one installed state per delivered update, in delivery order"
+    ),
+}
+
+__all__ = ["ConsistencyLevel"]

@@ -1,0 +1,120 @@
+"""RunRecorder: one object wiring all consistency instrumentation.
+
+The harness creates a :class:`RunRecorder` per experiment, registers it as
+
+* an update listener on every source (building the
+  :class:`~repro.consistency.history.SourceHistory`),
+* the warehouse dispatcher's delivery hook (building the delivery order), and
+* the warehouse install hook (building the
+  :class:`~repro.consistency.snapshots.SnapshotLog`),
+
+then asks it for consistency verdicts after the run.
+"""
+
+from __future__ import annotations
+
+from repro.consistency.checker import (
+    CheckResult,
+    check_complete,
+    check_convergence,
+    check_strong,
+    check_weak,
+    classify,
+)
+from repro.consistency.history import SourceHistory
+from repro.consistency.levels import ConsistencyLevel
+from repro.consistency.snapshots import SnapshotLog
+from repro.relational.relation import Relation
+from repro.relational.view import ViewDefinition
+from repro.sources.messages import UpdateNotice
+
+
+class RunRecorder:
+    """Collects source histories, delivery order and installed snapshots."""
+
+    def __init__(self, view: ViewDefinition):
+        self.view = view
+        self.history = SourceHistory()
+        self.deliveries: list[UpdateNotice] = []
+        self.snapshots = SnapshotLog()
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def register_source(self, index: int, name: str, initial: Relation) -> None:
+        """Record a source's initial contents (before the run starts)."""
+        self.history.register_source(index, name, initial)
+
+    def on_source_update(self, notice: UpdateNotice) -> None:
+        """Source-side listener: an update committed locally."""
+        self.history.on_source_update(notice)
+
+    def on_delivery(self, notice: UpdateNotice) -> None:
+        """Warehouse-side hook: an update entered the update message queue."""
+        notice.delivery_seq = len(self.deliveries) + 1
+        self.deliveries.append(notice)
+
+    def set_initial_view(self, view_state: Relation) -> None:
+        """Record the warehouse's starting materialized view."""
+        self.snapshots.set_initial(view_state)
+
+    def on_install(
+        self,
+        time: float,
+        view_state: Relation,
+        claimed_vector: dict[int, int] | None = None,
+        note: str = "",
+    ) -> None:
+        """Warehouse-side hook: a view change was installed."""
+        self.snapshots.record(time, view_state, claimed_vector, note)
+
+    # ------------------------------------------------------------------
+    # Verdicts
+    # ------------------------------------------------------------------
+    def check(self, level: ConsistencyLevel, max_vectors: int = 50_000) -> CheckResult:
+        """Run one named consistency check over the recorded run."""
+        if level == ConsistencyLevel.CONVERGENCE:
+            return check_convergence(self.view, self.history, self.snapshots)
+        if level == ConsistencyLevel.COMPLETE:
+            return check_complete(
+                self.view, self.history, self.deliveries, self.snapshots
+            )
+        if level == ConsistencyLevel.WEAK:
+            return check_weak(
+                self.view, self.history, self.snapshots, max_vectors=max_vectors
+            )
+        if level == ConsistencyLevel.STRONG:
+            return check_strong(
+                self.view, self.history, self.snapshots, max_vectors=max_vectors
+            )
+        raise ValueError(f"no check for level {level!r}")
+
+    def classify(self, max_vectors: int = 50_000) -> ConsistencyLevel:
+        """Strongest level the run satisfies (Table 1's consistency column)."""
+        return classify(
+            self.view,
+            self.history,
+            self.deliveries,
+            self.snapshots,
+            max_vectors=max_vectors,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def updates_delivered(self) -> int:
+        """Updates that reached the warehouse queue."""
+        return len(self.deliveries)
+
+    @property
+    def updates_installed(self) -> int:
+        """Install events at the warehouse."""
+        return len(self.snapshots)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunRecorder({self.view.name}: {self.updates_delivered} delivered,"
+            f" {self.updates_installed} installed)"
+        )
+
+
+__all__ = ["RunRecorder"]

@@ -1,0 +1,96 @@
+"""Installed view snapshots recorded at the warehouse."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.relational.relation import Relation
+
+
+@dataclass(slots=True)
+class ViewSnapshot:
+    """One installed view state.
+
+    ``claimed_vector`` is the per-source update-count vector the algorithm
+    *believes* this state reflects (instrumentation); the independent
+    checker ignores it, the instrumented checker validates it.
+    """
+
+    time: float
+    view: Relation
+    claimed_vector: dict[int, int] | None = None
+    note: str = ""
+
+    def __repr__(self) -> str:
+        return (
+            f"ViewSnapshot(t={self.time:.3f}, {self.view.distinct_count} rows,"
+            f" claims={self.claimed_vector})"
+        )
+
+
+@dataclass
+class SnapshotLog:
+    """Ordered snapshots: the initial view state plus one per install."""
+
+    initial: Relation | None = None
+    snapshots: list[ViewSnapshot] = field(default_factory=list)
+
+    def set_initial(self, view: Relation) -> None:
+        """Record the view state the warehouse started from."""
+        self.initial = view.copy()
+
+    def record(
+        self,
+        time: float,
+        view: Relation,
+        claimed_vector: dict[int, int] | None = None,
+        note: str = "",
+    ) -> ViewSnapshot:
+        """Append a snapshot of the installed state (copies the view)."""
+        snap = ViewSnapshot(
+            time=time,
+            view=view.copy(),
+            claimed_vector=dict(claimed_vector) if claimed_vector else claimed_vector,
+            note=note,
+        )
+        self.snapshots.append(snap)
+        return snap
+
+    @property
+    def final_view(self) -> Relation | None:
+        """The last installed state (or the initial one if none installed)."""
+        if self.snapshots:
+            return self.snapshots[-1].view
+        return self.initial
+
+    def view_as_of(self, time: float) -> Relation | None:
+        """The view a reader would have seen at virtual ``time``.
+
+        Returns the last state installed at or before ``time`` (the initial
+        state if nothing was installed yet, None if that is unknown).
+        """
+        current = self.initial
+        for snap in self.snapshots:
+            if snap.time > time:
+                break
+            current = snap.view
+        return current
+
+    def distinct_states(self) -> int:
+        """Number of snapshots that changed the view vs. their predecessor."""
+        count = 0
+        prev = self.initial
+        for snap in self.snapshots:
+            if prev is None or snap.view != prev:
+                count += 1
+            prev = snap.view
+        return count
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def __iter__(self):
+        return iter(self.snapshots)
+
+
+__all__ = ["SnapshotLog", "ViewSnapshot"]

@@ -1,0 +1,85 @@
+"""Experiment configuration: one frozen dataclass drives one run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.workloads.scenarios import Workload
+
+
+@dataclass
+class ExperimentConfig:
+    """Everything that determines a maintenance experiment.
+
+    The defaults describe a small but contention-prone setup: channel
+    latency comparable to update inter-arrival times, so sweeps routinely
+    race with updates and compensation paths are exercised.
+    """
+
+    # -- what runs ------------------------------------------------------
+    algorithm: str = "sweep"
+    seed: int = 0
+
+    # -- workload -------------------------------------------------------
+    n_sources: int = 3
+    n_updates: int = 20
+    rows_per_relation: int = 20
+    match_fraction: float = 0.8
+    insert_fraction: float = 0.6
+    mean_interarrival: float = 10.0
+    interarrival_distribution: str = "exponential"
+    txn_fraction: float = 0.0
+    txn_max_rows: int = 3
+    global_txn_fraction: float = 0.0
+    project_keys: bool = True
+    #: Pre-built workload overriding all generation knobs above (used to run
+    #: several algorithms against the *same* update history).
+    workload: Workload | None = None
+
+    # -- environment ----------------------------------------------------
+    backend: str = "memory"  # "memory" | "sqlite"
+    latency: float = 5.0
+    latency_model: str = "uniform"  # "constant" | "uniform" | "exponential"
+    query_service_time: float = 0.0
+    #: Chaos mode: drop the FIFO guarantee on every channel.  The paper's
+    #: algorithms are NOT correct without FIFO; this exists to demonstrate
+    #: that the assumption is load-bearing (see tests/test_chaos.py).
+    fifo_channels: bool = True
+
+    # -- algorithm options ---------------------------------------------
+    sweep_parallel: bool = False
+    sweep_merge_queue_updates: bool = True
+    nested_max_depth: int | None = None
+    pipeline_max_parallel: int = 8
+
+    # -- instrumentation --------------------------------------------
+    trace: bool = False
+    check_consistency: bool = True
+    max_check_vectors: int = 20_000
+    max_events: int = 2_000_000
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_sources < 1:
+            raise ValueError("n_sources must be >= 1")
+        if self.n_updates < 0:
+            raise ValueError("n_updates must be >= 0")
+        if self.backend not in ("memory", "sqlite"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.latency_model not in ("constant", "uniform", "exponential"):
+            raise ValueError(f"unknown latency model {self.latency_model!r}")
+        if self.latency < 0:
+            raise ValueError("latency must be >= 0")
+
+    def describe(self) -> str:
+        """One-line human-readable summary used in reports."""
+        return (
+            f"{self.algorithm} n={self.n_sources} updates={self.n_updates}"
+            f" seed={self.seed} backend={self.backend}"
+            f" lat={self.latency}({self.latency_model})"
+            f" ia={self.mean_interarrival}"
+        )
+
+
+__all__ = ["ExperimentConfig"]

@@ -1,0 +1,17 @@
+"""One module per reproduced paper artifact (see DESIGN.md Section 4).
+
+===============  ======================================================
+``table1``       Table 1 -- measured algorithm comparison
+``fig5``         Figure 5 -- the Section 5.2 trajectory under SWEEP
+``scaling``      S1 -- messages per update vs number of sources
+``concurrency``  S2 -- messages per update vs update rate (compensation)
+``staleness``    S3 -- view staleness under sustained updates
+``amortization`` S4 -- Nested SWEEP's message amortization over bursts
+``messagesize``  S5 -- ECA compensating-query payload growth
+``ablation``     A1/A2 -- SWEEP variants and Nested SWEEP depth caps
+===============  ======================================================
+
+Every module exposes ``run_*`` returning plain row dicts plus a
+``format_*`` renderer, and is runnable as a script
+(``python -m repro.harness.experiments.table1``).
+"""

@@ -1,0 +1,139 @@
+"""Ablations A1/A2: the Section 5.3 optimizations and the Section 6.2 guard.
+
+* **A1 -- SWEEP variants.**  Parallel left/right sweeps halve the critical
+  path (Section 5.3's first optimization); merging queued updates into one
+  compensation term (the second) changes bookkeeping but not messages.
+  Correctness is identical across variants -- measured here alongside the
+  install-latency win.
+* **A2 -- Nested SWEEP termination.**  Under the alternating-interference
+  adversary, unbounded recursion absorbs every new update and never
+  refreshes the view until the stream breaks; a depth cap trades messages
+  for continuous installs (depth 0 degenerates to SWEEP).
+"""
+
+from __future__ import annotations
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.report import format_dict_table
+from repro.harness.runner import run_experiment
+from repro.simulation.rng import RngRegistry
+from repro.workloads.scenarios import alternating_interference_workload
+
+
+def run_sweep_variants(
+    seed: int = 6, n_sources: int = 6, n_updates: int = 18
+) -> list[dict]:
+    """A1: sequential vs parallel sweeps, merged vs per-update compensation."""
+    variants = (
+        ("sequential", "sweep", {}),
+        ("parallel", "sweep", {"sweep_parallel": True}),
+        ("unmerged-compensation", "sweep", {"sweep_merge_queue_updates": False}),
+        ("pipelined", "pipelined-sweep", {}),
+    )
+    rows = []
+    for label, algorithm, overrides in variants:
+        result = run_experiment(
+            ExperimentConfig(
+                algorithm=algorithm,
+                seed=seed,
+                n_sources=n_sources,
+                n_updates=n_updates,
+                rows_per_relation=8,
+                match_fraction=1.0,
+                insert_fraction=0.5,
+                mean_interarrival=2.0,
+                latency=6.0,
+                latency_model="uniform",
+                **overrides,
+            )
+        )
+        rows.append(
+            {
+                "variant": label,
+                "consistency": result.classified_level.name.lower(),
+                "queries_per_update": result.queries_per_update,
+                "mean_install_lag": result.mean_install_delay or 0.0,
+                "compensations": result.metrics.counters.get("compensations", 0),
+            }
+        )
+    return rows
+
+
+def format_sweep_variants(rows: list[dict]) -> str:
+    return format_dict_table(
+        rows,
+        columns=[
+            "variant",
+            "consistency",
+            "queries_per_update",
+            "mean_install_lag",
+            "compensations",
+        ],
+        title="A1: SWEEP variants (Section 5.3 optimizations)",
+    )
+
+
+def run_nested_depth(
+    depths: tuple[int | None, ...] = (None, 2, 1, 0),
+    seed: int = 0,
+    n_sources: int = 3,
+    n_rounds: int = 8,
+) -> list[dict]:
+    """A2: Nested SWEEP depth caps under alternating interference."""
+    rng = RngRegistry(seed).stream("ablation-adversary")
+    workload = alternating_interference_workload(
+        n_sources, rng, n_rounds=n_rounds, spacing=0.5
+    )
+    rows = []
+    for depth in depths:
+        result = run_experiment(
+            ExperimentConfig(
+                algorithm="nested-sweep",
+                seed=seed,
+                workload=workload,
+                n_sources=n_sources,
+                latency=10.0,
+                latency_model="constant",
+                nested_max_depth=depth,
+            )
+        )
+        rows.append(
+            {
+                "max_depth": "unbounded" if depth is None else depth,
+                "consistency": result.classified_level.name.lower(),
+                "installs": result.installs,
+                "queries_total": result.queries_sent,
+                "depth_limit_hits": result.warehouse.max_depth_hits,
+                "first_install_at": (
+                    result.recorder.snapshots.snapshots[0].time
+                    if result.installs
+                    else float("nan")
+                ),
+            }
+        )
+    return rows
+
+
+def format_nested_depth(rows: list[dict]) -> str:
+    return format_dict_table(
+        rows,
+        columns=[
+            "max_depth",
+            "consistency",
+            "installs",
+            "queries_total",
+            "depth_limit_hits",
+            "first_install_at",
+        ],
+        title="A2: Nested SWEEP termination guard under alternating interference",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(format_sweep_variants(run_sweep_variants()))
+    print()
+    print(format_nested_depth(run_nested_depth()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

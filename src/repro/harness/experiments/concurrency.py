@@ -1,0 +1,80 @@
+"""Experiment S2: message cost vs concurrency (the compensation gap).
+
+Section 3's analysis: as more updates interfere with each in-flight query
+(higher K), C-Strobe must send cascading compensating queries, while SWEEP
+compensates locally and its message count does not move at all.  The
+update inter-arrival time sweeps the concurrency level at fixed latency.
+"""
+
+from __future__ import annotations
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.report import format_dict_table
+from repro.harness.runner import run_experiment
+
+DEFAULT_INTERARRIVALS = (8.0, 4.0, 2.0, 1.0, 0.5)
+DEFAULT_ALGORITHMS = ("sweep", "c-strobe")
+
+
+def run_concurrency(
+    interarrivals: tuple[float, ...] = DEFAULT_INTERARRIVALS,
+    algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+    n_sources: int = 5,
+    n_updates: int = 20,
+    seed: int = 5,
+) -> list[dict]:
+    rows = []
+    for ia in interarrivals:
+        for algorithm in algorithms:
+            result = run_experiment(
+                ExperimentConfig(
+                    algorithm=algorithm,
+                    seed=seed,
+                    n_sources=n_sources,
+                    n_updates=n_updates,
+                    rows_per_relation=8,
+                    match_fraction=1.0,
+                    insert_fraction=0.5,
+                    mean_interarrival=ia,
+                    latency=6.0,
+                    latency_model="uniform",
+                    check_consistency=False,
+                )
+            )
+            counters = result.metrics.counters
+            rows.append(
+                {
+                    "interarrival": ia,
+                    "algorithm": algorithm,
+                    "queries_per_update": result.queries_per_update,
+                    "msgs_per_update": result.messages_per_update,
+                    "local_compensations": counters.get("compensations", 0),
+                    "remote_comp_queries": counters.get(
+                        "cstrobe_compensating_queries", 0
+                    ),
+                }
+            )
+    return rows
+
+
+def format_concurrency(rows: list[dict]) -> str:
+    return format_dict_table(
+        rows,
+        columns=[
+            "interarrival",
+            "algorithm",
+            "queries_per_update",
+            "msgs_per_update",
+            "local_compensations",
+            "remote_comp_queries",
+        ],
+        title="S2: message cost vs concurrency (local vs remote compensation)",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(format_concurrency(run_concurrency()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

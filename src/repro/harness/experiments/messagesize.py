@@ -1,0 +1,83 @@
+"""Experiment S5: ECA's compensating-query payload growth.
+
+Section 3 (and Table 1): "In ECA the size of query messages is quadratic
+in the number of interfering updates."  At a single site, each new update's
+query subtracts interaction terms with every still-pending query, so
+payload size grows with the number of in-flight queries -- which rises as
+inter-arrival time falls relative to the query round-trip.  SWEEP's query
+payloads (the partial Delta-V) are shown alongside for contrast.
+"""
+
+from __future__ import annotations
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.report import format_dict_table
+from repro.harness.runner import run_experiment
+
+DEFAULT_INTERARRIVALS = (50.0, 10.0, 4.0, 2.0, 1.0, 0.5)
+
+
+def run_messagesize(
+    interarrivals: tuple[float, ...] = DEFAULT_INTERARRIVALS,
+    n_sources: int = 3,
+    n_updates: int = 24,
+    seed: int = 4,
+) -> list[dict]:
+    rows = []
+    for ia in interarrivals:
+        for algorithm in ("eca", "sweep"):
+            result = run_experiment(
+                ExperimentConfig(
+                    algorithm=algorithm,
+                    seed=seed,
+                    n_sources=n_sources,
+                    n_updates=n_updates,
+                    rows_per_relation=8,
+                    match_fraction=1.0,
+                    insert_fraction=0.5,
+                    mean_interarrival=ia,
+                    latency=8.0,
+                    latency_model="constant",
+                    check_consistency=False,
+                )
+            )
+            queries = max(1, result.queries_sent)
+            metrics = result.metrics
+            rows.append(
+                {
+                    "interarrival": ia,
+                    "algorithm": algorithm,
+                    "mean_query_rows": result.query_rows_sent / queries,
+                    "max_query_terms": metrics.max_observation("eca_query_terms")
+                    or 1,
+                    "mean_query_terms": metrics.mean_observation(
+                        "eca_query_terms"
+                    )
+                    or 1,
+                    "total_query_rows": result.query_rows_sent,
+                }
+            )
+    return rows
+
+
+def format_messagesize(rows: list[dict]) -> str:
+    return format_dict_table(
+        rows,
+        columns=[
+            "interarrival",
+            "algorithm",
+            "mean_query_rows",
+            "mean_query_terms",
+            "max_query_terms",
+            "total_query_rows",
+        ],
+        title="S5: ECA compensating-query size vs concurrency",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(format_messagesize(run_messagesize()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,78 @@
+"""Experiment S1: messages per update vs number of sources.
+
+The paper's Section 5.3 claim: SWEEP needs a number of messages *linear* in
+``n`` per update even under concurrency (exactly ``2(n-1)``), while
+C-Strobe's remote compensation cascades and grows much faster.  Each point
+runs the same style of contention-prone workload at a different chain
+length.
+"""
+
+from __future__ import annotations
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.report import format_dict_table
+from repro.harness.runner import run_experiment
+
+DEFAULT_SOURCES = (2, 3, 4, 6, 8, 10)
+DEFAULT_ALGORITHMS = ("sweep", "nested-sweep", "c-strobe")
+
+
+def run_scaling(
+    sources: tuple[int, ...] = DEFAULT_SOURCES,
+    algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+    n_updates: int = 16,
+    seed: int = 11,
+) -> list[dict]:
+    """One row per (algorithm, n): measured message costs."""
+    rows = []
+    for n in sources:
+        for algorithm in algorithms:
+            result = run_experiment(
+                ExperimentConfig(
+                    algorithm=algorithm,
+                    seed=seed,
+                    n_sources=n,
+                    n_updates=n_updates,
+                    rows_per_relation=8,
+                    match_fraction=1.0,
+                    insert_fraction=0.5,
+                    mean_interarrival=1.5,
+                    latency=6.0,
+                    latency_model="uniform",
+                    check_consistency=False,  # cost sweep, not a correctness run
+                )
+            )
+            rows.append(
+                {
+                    "n_sources": n,
+                    "algorithm": algorithm,
+                    "queries_per_update": result.queries_per_update,
+                    "msgs_per_update": result.messages_per_update,
+                    "sweep_bound_2(n-1)": 2 * (n - 1),
+                    "installs": result.installs,
+                }
+            )
+    return rows
+
+
+def format_scaling(rows: list[dict]) -> str:
+    return format_dict_table(
+        rows,
+        columns=[
+            "n_sources",
+            "algorithm",
+            "queries_per_update",
+            "msgs_per_update",
+            "sweep_bound_2(n-1)",
+            "installs",
+        ],
+        title="S1: message cost vs number of sources (Section 5.3 claim)",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(format_scaling(run_scaling()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,163 @@
+"""Run results: metrics, consistency verdicts and report rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.consistency.checker import CheckResult
+from repro.consistency.levels import ConsistencyLevel
+from repro.consistency.oracle import RunRecorder
+from repro.harness.config import ExperimentConfig
+from repro.relational.relation import Relation
+from repro.simulation.metrics import MetricsCollector
+from repro.simulation.trace import TraceLog
+from repro.warehouse.base import WarehouseBase
+from repro.warehouse.registry import AlgorithmInfo
+
+
+@dataclass
+class RunResult:
+    """Everything an experiment run produced."""
+
+    config: ExperimentConfig
+    info: AlgorithmInfo
+    final_view: Relation
+    sim_time: float
+    wall_seconds: float
+    metrics: MetricsCollector
+    recorder: RunRecorder
+    warehouse: WarehouseBase
+    trace: TraceLog | None = None
+    consistency: dict[ConsistencyLevel, CheckResult] = field(default_factory=dict)
+    classified_level: ConsistencyLevel | None = None
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def updates_delivered(self) -> int:
+        return self.recorder.updates_delivered
+
+    @property
+    def installs(self) -> int:
+        return len(self.recorder.snapshots)
+
+    @property
+    def queries_sent(self) -> int:
+        return self.metrics.counters.get("queries_sent", 0)
+
+    @property
+    def messages_total(self) -> int:
+        return self.metrics.messages_total
+
+    @property
+    def protocol_messages(self) -> int:
+        """Messages excluding the unavoidable update notices themselves."""
+        return self.messages_total - self.updates_delivered
+
+    @property
+    def messages_per_update(self) -> float:
+        """Protocol messages (queries + answers) per delivered update."""
+        if self.updates_delivered == 0:
+            return 0.0
+        return self.protocol_messages / self.updates_delivered
+
+    @property
+    def queries_per_update(self) -> float:
+        if self.updates_delivered == 0:
+            return 0.0
+        return self.queries_sent / self.updates_delivered
+
+    @property
+    def query_rows_sent(self) -> int:
+        """Total payload rows carried by query messages (size metric)."""
+        return self.metrics.rows_of_kind("query")
+
+    @property
+    def mean_install_delay(self) -> float | None:
+        """Mean virtual time from delivery to install (staleness proxy)."""
+        return self.metrics.mean_observation("install_delay")
+
+    @property
+    def uninstalled_updates(self) -> int:
+        """Updates delivered but never reflected by an install."""
+        return self.updates_delivered - self.metrics.counters.get(
+            "updates_installed", 0
+        )
+
+    def mean_unreflected_updates(self) -> float:
+        """Time-averaged count of delivered-but-unreflected updates.
+
+        This is what a reader at the warehouse experiences: how many
+        already-delivered updates are, on average over the run, *not yet*
+        visible in the view it queries.  Computed post hoc by integrating
+        a step function over the run: +1 at each delivery, -k at each
+        install covering k updates (from the claimed state vectors).
+        """
+        deliveries = self.recorder.deliveries
+        if not deliveries:
+            return 0.0
+        events: list[tuple[float, int]] = [
+            (n.delivered_at, +1) for n in deliveries
+        ]
+        prev_total = 0
+        for snap in self.recorder.snapshots:
+            vector = snap.claimed_vector or {}
+            total = sum(vector.values())
+            if total > prev_total:
+                events.append((snap.time, -(total - prev_total)))
+                prev_total = total
+        events.sort(key=lambda e: e[0])
+        start = events[0][0]
+        end = max(self.sim_time, events[-1][0])
+        if end <= start:
+            return 0.0
+        area = 0.0
+        level = 0
+        prev_time = start
+        for time, delta in events:
+            area += level * (time - prev_time)
+            level += delta
+            prev_time = time
+        area += level * (end - prev_time)
+        return area / (end - start)
+
+    # ------------------------------------------------------------------
+    def consistency_verdict(self) -> str:
+        """Short verdict string for reports."""
+        if self.classified_level is not None:
+            return self.classified_level.name.lower()
+        passed = [
+            lvl.name.lower() for lvl, res in sorted(self.consistency.items()) if res.ok
+        ]
+        return ",".join(passed) if passed else "unchecked"
+
+    def report(self) -> str:
+        """Multi-line human-readable summary of the run."""
+        lines = [
+            f"algorithm        : {self.info.name} ({self.info.architecture})",
+            f"config           : {self.config.describe()}",
+            f"updates delivered: {self.updates_delivered}",
+            f"installs         : {self.installs}",
+            f"queries sent     : {self.queries_sent}",
+            f"messages total   : {self.messages_total}"
+            f" (per update: {self.messages_per_update:.2f})",
+            f"query payload    : {self.query_rows_sent} rows",
+            f"sim time         : {self.sim_time:.2f}",
+            f"wall time        : {self.wall_seconds * 1000:.1f} ms",
+            f"final view       : {self.final_view.distinct_count} rows",
+            f"consistency      : {self.consistency_verdict()}",
+        ]
+        delay = self.mean_install_delay
+        if delay is not None:
+            lines.append(f"mean install lag : {delay:.2f}")
+        for level, result in sorted(self.consistency.items()):
+            status = "PASS" if result.ok else "FAIL"
+            suffix = f" ({result.detail})" if result.detail else ""
+            lines.append(
+                f"  {level.name.lower():<12}: {status} [{result.method}]{suffix}"
+            )
+        return "\n".join(lines)
+
+
+__all__ = ["RunResult"]

@@ -1,0 +1,242 @@
+"""Wiring one experiment: workload -> sources -> warehouse -> verdicts."""
+
+from __future__ import annotations
+
+import time as _time
+
+from repro.consistency.levels import ConsistencyLevel
+from repro.consistency.oracle import RunRecorder
+from repro.harness.config import ExperimentConfig
+from repro.harness.results import RunResult
+from repro.simulation.channel import Channel
+from repro.simulation.kernel import Simulator
+from repro.simulation.latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    LatencyModel,
+    UniformLatency,
+)
+from repro.simulation.mailbox import Mailbox
+from repro.simulation.metrics import MetricsCollector
+from repro.simulation.rng import RngRegistry
+from repro.simulation.trace import TraceLog
+from repro.sources.central import CentralSource
+from repro.sources.memory import MemoryBackend
+from repro.sources.server import DataSourceServer
+from repro.sources.sqlite import SqliteBackend
+from repro.sources.updater import ScheduledUpdater
+from repro.warehouse.registry import algorithm_info
+from repro.warehouse.sweep import SweepOptions
+from repro.workloads.scenarios import Workload, make_workload
+from repro.workloads.stream import UpdateStreamConfig
+
+import random
+
+
+def build_latency_model(
+    kind: str, mean: float, rng: random.Random
+) -> LatencyModel:
+    """Instantiate one of the named latency models around ``mean``."""
+    if kind == "constant":
+        return ConstantLatency(mean)
+    if kind == "uniform":
+        return UniformLatency(0.5 * mean, 1.5 * mean, rng)
+    if kind == "exponential":
+        return ExponentialLatency(mean, rng)
+    raise ValueError(f"unknown latency model {kind!r}")
+
+
+def _latency(config: ExperimentConfig, rngs: RngRegistry, name: str) -> LatencyModel:
+    rng = rngs.stream(f"latency:{name}")
+    if config.latency_model == "constant":
+        return ConstantLatency(config.latency)
+    if config.latency_model == "uniform":
+        return UniformLatency(0.5 * config.latency, 1.5 * config.latency, rng)
+    return ExponentialLatency(config.latency, rng)
+
+
+def _build_workload(config: ExperimentConfig, rngs: RngRegistry) -> Workload:
+    if config.workload is not None:
+        return config.workload
+    stream = UpdateStreamConfig(
+        n_updates=config.n_updates,
+        mean_interarrival=config.mean_interarrival,
+        distribution=config.interarrival_distribution,
+        insert_fraction=config.insert_fraction,
+        match_fraction=config.match_fraction,
+        txn_fraction=config.txn_fraction,
+        txn_max_rows=config.txn_max_rows,
+        global_txn_fraction=config.global_txn_fraction,
+    )
+    return make_workload(
+        config.n_sources,
+        rngs.stream("workload"),
+        rows_per_relation=config.rows_per_relation,
+        stream=stream,
+        project_keys=config.project_keys,
+        match_fraction=config.match_fraction,
+    )
+
+
+def _algorithm_kwargs(config: ExperimentConfig) -> dict:
+    if config.algorithm == "sweep":
+        return {
+            "options": SweepOptions(
+                parallel=config.sweep_parallel,
+                merge_queue_updates=config.sweep_merge_queue_updates,
+            )
+        }
+    if config.algorithm == "nested-sweep":
+        return {"max_depth": config.nested_max_depth}
+    if config.algorithm == "pipelined-sweep":
+        return {"max_parallel": config.pipeline_max_parallel}
+    return {}
+
+
+def run_experiment(config: ExperimentConfig, warehouse_hook=None) -> RunResult:
+    """Run one experiment to quiescence and return its results.
+
+    ``warehouse_hook(warehouse)``, when given, is invoked after the
+    warehouse is constructed and before the simulation starts -- e.g. to
+    attach aggregate views that must observe every install.
+    """
+    rngs = RngRegistry(config.seed)
+    workload = _build_workload(config, rngs)
+    view = workload.view
+    info = algorithm_info(config.algorithm)
+
+    sim = Simulator()
+    metrics = MetricsCollector()
+    trace = TraceLog(enabled=config.trace)
+    recorder = RunRecorder(view)
+    inbox = Mailbox(sim, "warehouse-inbox")
+
+    backends = []
+    if config.algorithm == "eca":
+        # Centralized architecture: one site holds every base relation.
+        to_wh = Channel(
+            sim, "central->wh", inbox, _latency(config, rngs, "central-up"),
+            metrics, enforce_fifo=config.fifo_channels,
+        )
+        central = CentralSource(
+            sim,
+            view,
+            to_wh,
+            initial=workload.initial_states,
+            query_service_time=config.query_service_time,
+            trace=trace if config.trace else None,
+        )
+        central.add_update_listener(recorder.on_source_update)
+        for index in range(1, view.n_relations + 1):
+            recorder.register_source(
+                index, view.name_of(index), workload.initial_states[view.name_of(index)]
+            )
+        query_channels = {
+            0: Channel(
+                sim,
+                "wh->central",
+                central.query_inbox,
+                _latency(config, rngs, "central-down"),
+                metrics,
+                enforce_fifo=config.fifo_channels,
+            )
+        }
+        updaters = [
+            ScheduledUpdater(
+                sim,
+                f"R{index}",
+                (lambda delta, i=index: central.local_update(i, delta)),
+                schedule,
+            )
+            for index, schedule in sorted(workload.schedules.items())
+        ]
+    else:
+        query_channels = {}
+        servers: dict[int, DataSourceServer] = {}
+        for index in range(1, view.n_relations + 1):
+            name = view.name_of(index)
+            initial = workload.initial_states[name]
+            if config.backend == "sqlite":
+                backend = SqliteBackend(view, index, initial)
+            else:
+                backend = MemoryBackend(view, index, initial)
+            backends.append(backend)
+            to_wh = Channel(
+                sim, f"{name}->wh", inbox, _latency(config, rngs, f"{name}-up"),
+                metrics, enforce_fifo=config.fifo_channels,
+            )
+            server = DataSourceServer(
+                sim,
+                name,
+                index,
+                backend,
+                to_wh,
+                query_service_time=config.query_service_time,
+                trace=trace if config.trace else None,
+            )
+            server.add_update_listener(recorder.on_source_update)
+            recorder.register_source(index, name, initial)
+            query_channels[index] = Channel(
+                sim,
+                f"wh->{name}",
+                server.query_inbox,
+                _latency(config, rngs, f"{name}-down"),
+                metrics,
+                enforce_fifo=config.fifo_channels,
+            )
+            servers[index] = server
+        updaters = [
+            ScheduledUpdater(sim, view.name_of(index), servers[index].local_update, schedule)
+            for index, schedule in sorted(workload.schedules.items())
+        ]
+    del updaters  # processes are owned by the simulator
+
+    warehouse = info.cls(
+        sim,
+        view,
+        query_channels,
+        initial_view=view.evaluate(workload.initial_states),
+        recorder=recorder,
+        metrics=metrics,
+        trace=trace if config.trace else None,
+        inbox=inbox,
+        **_algorithm_kwargs(config),
+    )
+
+    if warehouse_hook is not None:
+        warehouse_hook(warehouse)
+
+    started = _time.perf_counter()
+    sim.run(max_events=config.max_events)
+    wall = _time.perf_counter() - started
+
+    result = RunResult(
+        config=config,
+        info=info,
+        final_view=warehouse.current_view(),
+        sim_time=sim.now,
+        wall_seconds=wall,
+        metrics=metrics,
+        recorder=recorder,
+        warehouse=warehouse,
+        trace=trace if config.trace else None,
+    )
+    if config.check_consistency:
+        for level in (
+            ConsistencyLevel.CONVERGENCE,
+            ConsistencyLevel.WEAK,
+            ConsistencyLevel.STRONG,
+            ConsistencyLevel.COMPLETE,
+        ):
+            result.consistency[level] = recorder.check(
+                level, max_vectors=config.max_check_vectors
+            )
+        result.classified_level = recorder.classify(
+            max_vectors=config.max_check_vectors
+        )
+    for backend in backends:
+        backend.close()
+    return result
+
+
+__all__ = ["build_latency_model", "run_experiment"]

@@ -1,0 +1,85 @@
+"""ASCII timeline rendering of a traced run.
+
+Turns a :class:`~repro.simulation.trace.TraceLog` into a lane-per-actor
+sequence chart, so the interleaving the paper reasons about -- updates
+racing queries, compensation firing, installs landing -- can be *read*:
+
+    t=  1.00 | R2         | local-update   +(3,5)
+    t=  6.00 | warehouse  | process        UpdateNotice(src=2, ...)
+    t=  6.00 | warehouse  | query->R1      req=17
+    t=  7.50 | R1         | local-update   -(2,3)
+    t= 11.00 | warehouse  | compensate     src=1 x1
+    ...
+
+Used by ``examples/paper_example.py`` and handy in the REPL:
+``print(render_timeline(result.trace))``.
+"""
+
+from __future__ import annotations
+
+from repro.simulation.trace import TraceLog, TraceRecord
+
+
+def _actor_order(records: list[TraceRecord]) -> list[str]:
+    """Actors in first-appearance order, warehouse last (rightmost lane)."""
+    seen: list[str] = []
+    for record in records:
+        if record.actor not in seen:
+            seen.append(record.actor)
+    if "warehouse" in seen:
+        seen.remove("warehouse")
+        seen.append("warehouse")
+    return seen
+
+
+def render_timeline(
+    trace: TraceLog,
+    kinds: tuple[str, ...] | None = None,
+    limit: int | None = None,
+) -> str:
+    """Render the trace as one line per event with actor lanes.
+
+    ``kinds`` filters to the given event kinds; ``limit`` truncates.
+    """
+    records = list(trace)
+    if kinds is not None:
+        records = [r for r in records if r.kind in kinds]
+    total = len(records)
+    if limit is not None:
+        records = records[:limit]
+    if not records:
+        return "(no trace records)"
+
+    actors = _actor_order(records)
+    lane_of = {a: i for i, a in enumerate(actors)}
+    actor_width = max(len(a) for a in actors)
+    kind_width = max(len(r.kind) for r in records)
+
+    lines = []
+    header = "  ".join(a.center(actor_width) for a in actors)
+    lines.append(" " * 11 + header)
+    for record in records:
+        lane = lane_of[record.actor]
+        cells = []
+        for i, _ in enumerate(actors):
+            cells.append(("█" if i == lane else "·").center(actor_width))
+        lines.append(
+            f"t={record.time:8.2f} "
+            + "  ".join(cells)
+            + f"  {record.kind:<{kind_width}}  {record.detail}"
+        )
+    if limit is not None and total > limit:
+        lines.append(f"... ({total - limit} more events)")
+    return "\n".join(lines)
+
+
+def summarize_lanes(trace: TraceLog) -> dict[str, dict[str, int]]:
+    """Per-actor event-kind counts (quick shape of a run)."""
+    out: dict[str, dict[str, int]] = {}
+    for record in trace:
+        lane = out.setdefault(record.actor, {})
+        lane[record.kind] = lane.get(record.kind, 0) + 1
+    return out
+
+
+__all__ = ["render_timeline", "summarize_lanes"]

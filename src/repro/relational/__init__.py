@@ -1,0 +1,86 @@
+"""Multiset (bag) relational engine used by every layer of the reproduction.
+
+The paper maintains tuple multiplicities in the materialized view (the
+``(7,8)[2]`` bookkeeping of Figure 5) following the counting algorithm of
+Gupta, Mumick and Subramanian (SIGMOD 1993).  This package provides:
+
+* :class:`~repro.relational.schema.Schema` -- ordered, uniquely named
+  attributes, optionally marked as key attributes.
+* :class:`~repro.relational.relation.Relation` -- a bag of rows with strictly
+  positive counts (base relations and materialized views).
+* :class:`~repro.relational.delta.Delta` -- a signed bag (inserts carry
+  positive counts, deletes negative counts) used for updates and partial
+  view-change results.
+* :mod:`~repro.relational.predicate` -- selection / join condition trees.
+* :mod:`~repro.relational.algebra` -- select, project, equi-join, union,
+  difference and scaling over bags and signed bags.
+* :class:`~repro.relational.view.ViewDefinition` -- SPJ view
+  ``pi_ProjAttr sigma_SelectCond (R1 |><| ... |><| Rn)`` over a chain of
+  sources, with full recomputation and incremental helpers.
+* :mod:`~repro.relational.incremental` -- the sweep-step algebra shared by
+  all maintenance algorithms (extend a partial Delta-V by one relation,
+  compensate error terms).
+* :mod:`~repro.relational.sqlgen` -- SQL generation so a data source can be
+  backed by sqlite3 instead of the in-memory engine.
+"""
+
+from repro.relational.algebra import (
+    concat_schemas,
+    difference,
+    join,
+    project,
+    scale,
+    select,
+    union,
+)
+from repro.relational.delta import Delta
+from repro.relational.errors import (
+    HeterogeneousSchemaError,
+    NegativeCountError,
+    RelationalError,
+    SchemaError,
+    UnknownAttributeError,
+)
+from repro.relational.predicate import (
+    And,
+    AttrCompare,
+    AttrEq,
+    Const,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.sqlview import SqlParseError, parse_view
+from repro.relational.view import ViewDefinition
+
+__all__ = [
+    "And",
+    "AttrCompare",
+    "AttrEq",
+    "Const",
+    "Delta",
+    "HeterogeneousSchemaError",
+    "NegativeCountError",
+    "Not",
+    "Or",
+    "Predicate",
+    "Relation",
+    "RelationalError",
+    "Schema",
+    "SchemaError",
+    "SqlParseError",
+    "TruePredicate",
+    "UnknownAttributeError",
+    "ViewDefinition",
+    "concat_schemas",
+    "difference",
+    "join",
+    "parse_view",
+    "project",
+    "scale",
+    "select",
+    "union",
+]

@@ -1,0 +1,246 @@
+"""Pure bag-algebra operators over :class:`Relation` and :class:`Delta`.
+
+Count discipline (GMS93 counting algorithm, which the paper adopts for its
+materialized view):
+
+* ``select`` keeps counts unchanged,
+* ``project`` sums the counts of rows collapsing onto one projected row,
+* ``join`` multiplies counts -- so a signed delta joined with a relation
+  yields a signed delta whose signs compose exactly like the paper's error
+  terms,
+* ``union``/``difference`` add/subtract counts pointwise.
+
+Every operator is pure: inputs are never mutated and results are fresh
+objects.  The result type is :class:`Delta` whenever any operand is signed,
+otherwise :class:`Relation`.
+
+Joins with at least one equality conjunct across the operands run as hash
+joins; anything else falls back to a nested loop with the compiled residual
+predicate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.relational.delta import Delta
+from repro.relational.errors import HeterogeneousSchemaError
+from repro.relational.predicate import (
+    AttrEq,
+    Predicate,
+    TruePredicate,
+    conjunction,
+)
+from repro.relational.relation import BagBase, Relation
+from repro.relational.schema import Schema
+
+
+def _result_type(*operands: BagBase) -> type[BagBase]:
+    """Delta if any operand is signed, else Relation."""
+    if any(isinstance(op, Delta) for op in operands):
+        return Delta
+    return Relation
+
+
+def concat_schemas(left: Schema, right: Schema) -> Schema:
+    """Schema of the concatenation (convenience re-export of Schema.concat)."""
+    return left.concat(right)
+
+
+# ---------------------------------------------------------------------------
+# Unary operators
+# ---------------------------------------------------------------------------
+
+def select(bag: BagBase, predicate: Predicate) -> BagBase:
+    """Rows of ``bag`` satisfying ``predicate``, counts unchanged."""
+    test = predicate.compile(bag.schema)
+    cls = _result_type(bag)
+    out = cls(bag.schema)
+    for row, count in bag.items():
+        if test(row):
+            out.add(row, count)
+    return out
+
+
+def project(bag: BagBase, attributes: Sequence[str]) -> BagBase:
+    """Project onto ``attributes``; counts of collapsing rows are summed.
+
+    This is the step that turns the wide sweep result (full concatenated
+    rows) into view rows with multiplicities, e.g. both ``(1,3,5,6)`` and
+    ``(2,3,5,6)`` collapsing to ``(5,6)[2]`` in the paper's example.
+    """
+    indices = bag.schema.project_indices(attributes)
+    out_schema = bag.schema.project(attributes)
+    cls = _result_type(bag)
+    out = cls(out_schema)
+    for row, count in bag.items():
+        out.add(tuple(row[i] for i in indices), count)
+    return out
+
+
+def scale(bag: BagBase, factor: int) -> Delta:
+    """Multiply every count by ``factor`` (result is always signed)."""
+    out = Delta(bag.schema)
+    if factor == 0:
+        return out
+    for row, count in bag.items():
+        out.add(row, count * factor)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Binary set operators
+# ---------------------------------------------------------------------------
+
+def _check_same_schema(left: BagBase, right: BagBase) -> None:
+    if left.schema.attributes != right.schema.attributes:
+        raise HeterogeneousSchemaError(left.schema.attributes, right.schema.attributes)
+
+
+def union(left: BagBase, right: BagBase) -> BagBase:
+    """Pointwise count sum.  Relation + Relation stays a Relation."""
+    _check_same_schema(left, right)
+    cls = _result_type(left, right)
+    out = cls(left.schema, left.as_dict())
+    for row, count in right.items():
+        out.add(row, count)
+    return out
+
+
+def difference(left: BagBase, right: BagBase) -> Delta:
+    """Pointwise count difference ``left - right`` (always signed).
+
+    This is the compensation operator of SWEEP:
+    ``Delta-V = Delta-V - (Delta-Rj |><| TempView)``.
+    """
+    _check_same_schema(left, right)
+    out = Delta(left.schema, left.as_dict())
+    for row, count in right.items():
+        out.add(row, -count)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Join
+# ---------------------------------------------------------------------------
+
+def _split_join_condition(
+    condition: Predicate,
+    left: Schema,
+    right: Schema,
+) -> tuple[list[tuple[str, str]], Predicate]:
+    """Partition ``condition`` into hashable cross equalities and a residual.
+
+    Returns ``(pairs, residual)`` where each pair ``(l_attr, r_attr)`` is an
+    equality with one side in each schema, and ``residual`` holds every other
+    conjunct (left-only or right-only selections, cross non-equi conditions).
+    """
+    pairs: list[tuple[str, str]] = []
+    residual: list[Predicate] = []
+    for conj in condition.conjuncts():
+        if isinstance(conj, AttrEq):
+            if conj.left in left and conj.right in right:
+                pairs.append((conj.left, conj.right))
+                continue
+            if conj.right in left and conj.left in right:
+                pairs.append((conj.right, conj.left))
+                continue
+        residual.append(conj)
+    return pairs, conjunction(residual)
+
+
+def join(
+    left: BagBase,
+    right: BagBase,
+    condition: Predicate | None = None,
+) -> BagBase:
+    """Theta-join of two bags; counts multiply.
+
+    ``condition`` may mention attributes of either operand; equality
+    conjuncts spanning both sides are executed as a hash join.  ``None``
+    (or :class:`TruePredicate`) computes the cross product -- view chains
+    always pass explicit equalities.
+    """
+    out_schema = left.schema.concat(right.schema)
+    cls = _result_type(left, right)
+    out = cls(out_schema)
+    if not left or not right:
+        return out
+    if condition is None:
+        condition = TruePredicate()
+
+    pairs, residual = _split_join_condition(condition, left.schema, right.schema)
+    residual_test = None
+    if not isinstance(residual, TruePredicate):
+        residual_test = residual.compile(out_schema)
+
+    if pairs:
+        l_idx = tuple(left.schema.index_of(a) for a, _ in pairs)
+        r_idx = tuple(right.schema.index_of(b) for _, b in pairs)
+        # Prebuilt hash indexes (sources index their join columns) let a
+        # small operand probe a large one without scanning it.
+        r_index = right.get_index(r_idx)
+        if r_index is not None and left.distinct_count <= right.distinct_count:
+            for lrow, lcount in left.items():
+                for rrow in r_index.get(tuple(lrow[i] for i in l_idx), ()):
+                    combined = lrow + rrow
+                    if residual_test is None or residual_test(combined):
+                        out.add(combined, lcount * right.count(rrow))
+            return out
+        l_index = left.get_index(l_idx)
+        if l_index is not None and right.distinct_count <= left.distinct_count:
+            for rrow, rcount in right.items():
+                for lrow in l_index.get(tuple(rrow[i] for i in r_idx), ()):
+                    combined = lrow + rrow
+                    if residual_test is None or residual_test(combined):
+                        out.add(combined, left.count(lrow) * rcount)
+            return out
+        # Hash the smaller side to bound memory.
+        if left.distinct_count <= right.distinct_count:
+            table: dict[tuple, list[tuple[tuple, int]]] = {}
+            for lrow, lcount in left.items():
+                table.setdefault(tuple(lrow[i] for i in l_idx), []).append(
+                    (lrow, lcount)
+                )
+            for rrow, rcount in right.items():
+                bucket = table.get(tuple(rrow[i] for i in r_idx))
+                if not bucket:
+                    continue
+                for lrow, lcount in bucket:
+                    combined = lrow + rrow
+                    if residual_test is None or residual_test(combined):
+                        out.add(combined, lcount * rcount)
+        else:
+            table = {}
+            for rrow, rcount in right.items():
+                table.setdefault(tuple(rrow[i] for i in r_idx), []).append(
+                    (rrow, rcount)
+                )
+            for lrow, lcount in left.items():
+                bucket = table.get(tuple(lrow[i] for i in l_idx))
+                if not bucket:
+                    continue
+                for rrow, rcount in bucket:
+                    combined = lrow + rrow
+                    if residual_test is None or residual_test(combined):
+                        out.add(combined, lcount * rcount)
+        return out
+
+    # No usable equality: nested-loop theta join.
+    for lrow, lcount in left.items():
+        for rrow, rcount in right.items():
+            combined = lrow + rrow
+            if residual_test is None or residual_test(combined):
+                out.add(combined, lcount * rcount)
+    return out
+
+
+__all__ = [
+    "concat_schemas",
+    "difference",
+    "join",
+    "project",
+    "scale",
+    "select",
+    "union",
+]

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the relational engine.
+
+All engine errors derive from :class:`RelationalError` so callers can catch
+one base class.  The hierarchy is deliberately fine-grained: algorithm code
+distinguishes schema mistakes (a bug in wiring) from count violations (a bug
+in maintenance logic), and tests assert on the specific class.
+"""
+
+from __future__ import annotations
+
+
+class RelationalError(Exception):
+    """Base class for all relational-engine errors."""
+
+
+class SchemaError(RelationalError):
+    """A schema is malformed (duplicate attributes, empty, bad key set)."""
+
+
+class UnknownAttributeError(SchemaError):
+    """An attribute name was referenced that the schema does not define."""
+
+    def __init__(self, attribute: str, schema_attrs: tuple[str, ...]):
+        self.attribute = attribute
+        self.schema_attrs = schema_attrs
+        super().__init__(
+            f"unknown attribute {attribute!r}; schema has {list(schema_attrs)!r}"
+        )
+
+
+class HeterogeneousSchemaError(SchemaError):
+    """Two operands of a union/difference have different schemas."""
+
+    def __init__(self, left: tuple[str, ...], right: tuple[str, ...]):
+        self.left = left
+        self.right = right
+        super().__init__(
+            f"schema mismatch: {list(left)!r} vs {list(right)!r}"
+        )
+
+
+class NegativeCountError(RelationalError):
+    """A non-negative bag (base relation / materialized view) would go negative.
+
+    This signals a maintenance bug: a delete was applied for a tuple that the
+    view does not derive, i.e. the algorithm produced an incorrect Delta-V.
+    """
+
+    def __init__(self, row: tuple, count: int):
+        self.row = row
+        self.count = count
+        super().__init__(f"row {row!r} would have count {count} < 0")
+
+
+class ArityError(RelationalError):
+    """A row's width does not match its schema."""
+
+    def __init__(self, row: tuple, expected: int):
+        self.row = row
+        self.expected = expected
+        super().__init__(
+            f"row {row!r} has arity {len(row)}, schema expects {expected}"
+        )

@@ -1,0 +1,162 @@
+"""The sweep-step algebra: partial view changes and their extension.
+
+A maintenance sweep (paper Figure 2) carries a *partial view change*:
+a signed bag whose rows span a contiguous range ``lo..hi`` of the view's
+relation chain.  Two operations drive every algorithm in this repository:
+
+* **extend** -- join the partial result with one more relation (``lo-1`` or
+  ``hi+1``).  At a data source this is ``ComputeJoin(Delta-V, R)`` from the
+  paper's Figure 3; at the warehouse the *same* operation with a queued
+  update ``Delta-Rj`` in place of ``Rj`` yields the error term
+  ``Delta-Rj |><| TempView`` used for local compensation.
+* **compensate** -- subtract such an error term from a received answer.
+
+Keeping the two on one code path is what makes SWEEP's on-line error
+correction exact: the error term is computed with precisely the join
+conditions the source itself applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relational.algebra import difference, join, project
+from repro.relational.delta import Delta
+from repro.relational.errors import SchemaError
+from repro.relational.relation import BagBase
+from repro.relational.view import ViewDefinition
+
+
+@dataclass(frozen=True)
+class PartialView:
+    """A signed partial view change covering relations ``lo..hi`` of ``view``.
+
+    ``delta`` rows are in canonical attribute order (the concatenation of the
+    schemas of relations ``lo..hi``), regardless of the order in which the
+    sweep visited them.
+    """
+
+    view: ViewDefinition
+    lo: int
+    hi: int
+    delta: Delta
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def initial(cls, view: ViewDefinition, index: int, change: BagBase) -> "PartialView":
+        """Seed a sweep with an update ``Delta-Ri`` at relation ``index``."""
+        expected = view.schema_of(index)
+        if change.schema.attributes != expected.attributes:
+            raise SchemaError(
+                f"update schema {list(change.schema.attributes)!r} does not match"
+                f" relation {view.name_of(index)!r} schema"
+                f" {list(expected.attributes)!r}"
+            )
+        return cls(view, index, index, Delta(expected, change.as_dict()))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def covered(self) -> frozenset[int]:
+        """The covered 1-based relation indices."""
+        return frozenset(range(self.lo, self.hi + 1))
+
+    @property
+    def complete(self) -> bool:
+        """True when the sweep spans the whole chain."""
+        return self.lo == 1 and self.hi == self.view.n_relations
+
+    def is_adjacent(self, index: int) -> bool:
+        """Whether relation ``index`` can extend this partial result."""
+        return index in (self.lo - 1, self.hi + 1)
+
+    # ------------------------------------------------------------------
+    # The sweep step
+    # ------------------------------------------------------------------
+    def extend(self, index: int, contents: BagBase) -> "PartialView":
+        """Join with ``contents`` standing for relation ``index``.
+
+        ``contents`` is the base relation when evaluating at a source, or a
+        queued update delta when computing a compensation error term at the
+        warehouse.  ``index`` must be adjacent to the covered range.
+        """
+        if not self.is_adjacent(index):
+            raise SchemaError(
+                f"relation {index} is not adjacent to covered range"
+                f" {self.lo}..{self.hi}"
+            )
+        expected = self.view.schema_of(index)
+        if contents.schema.attributes != expected.attributes:
+            raise SchemaError(
+                f"contents schema {list(contents.schema.attributes)!r} does not"
+                f" match relation {self.view.name_of(index)!r}"
+            )
+        cond = self.view.conditions_joining(index, self.covered)
+        # Operand order chooses the output column order; putting the new
+        # relation on the correct side yields canonical order directly and
+        # skips the reordering projection.
+        if index < self.lo:
+            joined = join(contents, self.delta, cond)
+        else:
+            joined = join(self.delta, contents, cond)
+        new_lo, new_hi = min(self.lo, index), max(self.hi, index)
+        canonical = self.view.wide_schema_range(new_lo, new_hi)
+        if joined.schema.attributes != canonical.attributes:
+            joined = project(joined, canonical.attributes)
+        if not isinstance(joined, Delta):
+            joined = Delta.from_relation(joined)
+        return PartialView(self.view, new_lo, new_hi, joined)
+
+    def compensate(self, error: "PartialView") -> "PartialView":
+        """Subtract an error term covering the same range.
+
+        Implements the paper's ``Delta-V = Delta-V - Delta-Rj |><| TempView``.
+        """
+        if (error.lo, error.hi) != (self.lo, self.hi):
+            raise SchemaError(
+                f"error term covers {error.lo}..{error.hi}, expected"
+                f" {self.lo}..{self.hi}"
+            )
+        return PartialView(
+            self.view, self.lo, self.hi, difference(self.delta, error.delta)
+        )
+
+    def add(self, other: "PartialView") -> "PartialView":
+        """Pointwise sum with another partial result over the same range.
+
+        Nested SWEEP merges recursively computed view changes this way
+        (``Delta-V = Delta-V + ViewChange(...)`` in Figure 6).
+        """
+        if (other.lo, other.hi) != (self.lo, self.hi):
+            raise SchemaError(
+                f"cannot add partial views covering {other.lo}..{other.hi} and"
+                f" {self.lo}..{self.hi}"
+            )
+        return PartialView(self.view, self.lo, self.hi, self.delta.merged(other.delta))
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"PartialView({self.view.name}, {self.lo}..{self.hi},"
+            f" {self.delta.distinct_count} rows)"
+        )
+
+
+def compute_join(view: ViewDefinition, partial: PartialView, index: int, relation: BagBase) -> PartialView:
+    """The data-source service ``ComputeJoin(Delta-V, R)`` (paper Figure 3).
+
+    Free-function form used by source servers; equivalent to
+    ``partial.extend(index, relation)`` with a view identity check.
+    """
+    if partial.view is not view and partial.view.name != view.name:
+        raise SchemaError(
+            f"partial view {partial.view.name!r} does not belong to view"
+            f" {view.name!r}"
+        )
+    return partial.extend(index, relation)
+
+
+__all__ = ["PartialView", "compute_join"]

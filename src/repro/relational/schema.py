@@ -1,0 +1,129 @@
+"""Relation schemas: ordered, uniquely named attributes with optional keys.
+
+A :class:`Schema` is an immutable ordered tuple of attribute names.  Within a
+view definition, attribute names must be unique *across* all participating
+base relations (the paper writes ``R1[A, B], R2[C, D], R3[E, F]``); the
+engine relies on that to give concatenated join rows an unambiguous schema.
+Callers that want SQL-style qualification simply use names like ``"R1.A"``.
+
+Key attributes are tracked because the Strobe family of algorithms
+(ZGMW96) assumes the view projection retains a key of every base relation;
+:class:`~repro.relational.view.ViewDefinition` validates that assumption for
+those algorithms and the workload generator produces key columns.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.relational.errors import SchemaError, UnknownAttributeError
+
+
+class Schema:
+    """An immutable, ordered list of uniquely named attributes.
+
+    Parameters
+    ----------
+    attributes:
+        Ordered attribute names.  Must be non-empty and free of duplicates.
+    key:
+        Optional subset of ``attributes`` forming a key of the relation.
+        Only consulted by algorithms that need the unique-key assumption
+        (Strobe / C-Strobe); SWEEP never uses it.
+
+    Examples
+    --------
+    >>> s = Schema(("A", "B"), key=("A",))
+    >>> s.index_of("B")
+    1
+    >>> s.project_indices(["B"])
+    (1,)
+    """
+
+    __slots__ = ("attributes", "key", "_index")
+
+    def __init__(
+        self,
+        attributes: Sequence[str],
+        key: Sequence[str] | None = None,
+    ):
+        attrs = tuple(attributes)
+        if not attrs:
+            raise SchemaError("schema must have at least one attribute")
+        if len(set(attrs)) != len(attrs):
+            raise SchemaError(f"duplicate attributes in schema: {list(attrs)!r}")
+        self.attributes: tuple[str, ...] = attrs
+        self._index: dict[str, int] = {a: i for i, a in enumerate(attrs)}
+        key_attrs = tuple(key) if key is not None else ()
+        for k in key_attrs:
+            if k not in self._index:
+                raise SchemaError(f"key attribute {k!r} not in schema {list(attrs)!r}")
+        if len(set(key_attrs)) != len(key_attrs):
+            raise SchemaError(f"duplicate key attributes: {list(key_attrs)!r}")
+        self.key: tuple[str, ...] = key_attrs
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def index_of(self, attribute: str) -> int:
+        """Return the position of ``attribute``, raising if absent."""
+        try:
+            return self._index[attribute]
+        except KeyError:
+            raise UnknownAttributeError(attribute, self.attributes) from None
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._index
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self):
+        return iter(self.attributes)
+
+    def project_indices(self, attributes: Iterable[str]) -> tuple[int, ...]:
+        """Return the positions of ``attributes`` in order (for projection)."""
+        return tuple(self.index_of(a) for a in attributes)
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def concat(self, other: "Schema") -> "Schema":
+        """Schema of the concatenation of a row of ``self`` with one of ``other``.
+
+        Keys are concatenated too: the combination of a key of each operand is
+        a key of the (join) result for the equi-join chains used here.
+        """
+        overlap = set(self.attributes) & set(other.attributes)
+        if overlap:
+            raise SchemaError(
+                f"cannot concatenate schemas sharing attributes {sorted(overlap)!r}"
+            )
+        return Schema(self.attributes + other.attributes, key=self.key + other.key)
+
+    def project(self, attributes: Sequence[str]) -> "Schema":
+        """Schema after projecting onto ``attributes`` (keys intersected)."""
+        indices = self.project_indices(attributes)  # validates names
+        del indices
+        kept = tuple(a for a in self.key if a in set(attributes))
+        return Schema(tuple(attributes), key=kept)
+
+    def without_key(self) -> "Schema":
+        """A copy of this schema with key information dropped."""
+        return Schema(self.attributes)
+
+    # ------------------------------------------------------------------
+    # Value protocol
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash(self.attributes)
+
+    def __repr__(self) -> str:
+        if self.key:
+            return f"Schema({list(self.attributes)!r}, key={list(self.key)!r})"
+        return f"Schema({list(self.attributes)!r})"

@@ -1,0 +1,193 @@
+"""SQL generation for sqlite3-backed data sources.
+
+A sqlite-backed source stores its base relation as a table with one column
+per attribute plus a ``_count`` multiplicity column (bag semantics with one
+physical row per distinct tuple).  ``ComputeJoin(Delta-V, R)`` uploads the
+partial view change into a temp table and evaluates the join *inside
+sqlite*, so the reproduction exercises a real SQL engine at the sources as
+the paper's architecture intends.
+
+The predicate compiler covers the SPJ fragment used by view chains:
+attribute equality, attribute/constant comparison, AND/OR/NOT and constants.
+Parameters are always bound (never interpolated) for values.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.relational.predicate import (
+    And,
+    AttrCompare,
+    AttrEq,
+    Const,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.relational.schema import Schema
+
+#: Name of the multiplicity column in every generated table.
+COUNT_COLUMN = "_count"
+
+
+def quote_ident(name: str) -> str:
+    """Quote an identifier for sqlite (handles dots, spaces, keywords)."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+def create_table_sql(table: str, schema: Schema) -> str:
+    """DDL for a bag table: attribute columns + ``_count``, PK on attributes."""
+    cols = ", ".join(quote_ident(a) for a in schema.attributes)
+    col_defs = ", ".join(f"{quote_ident(a)} NOT NULL" for a in schema.attributes)
+    return (
+        f"CREATE TABLE {quote_ident(table)} ({col_defs},"
+        f" {COUNT_COLUMN} INTEGER NOT NULL, PRIMARY KEY ({cols}))"
+    )
+
+
+def create_temp_table_sql(table: str, schema: Schema) -> str:
+    """DDL for a temp table holding a signed partial view change."""
+    col_defs = ", ".join(f"{quote_ident(a)}" for a in schema.attributes)
+    return (
+        f"CREATE TEMP TABLE {quote_ident(table)} ({col_defs},"
+        f" {COUNT_COLUMN} INTEGER NOT NULL)"
+    )
+
+
+def drop_table_sql(table: str) -> str:
+    """DDL to drop a table if it exists."""
+    return f"DROP TABLE IF EXISTS {quote_ident(table)}"
+
+
+def insert_rows_sql(table: str, schema: Schema) -> str:
+    """Parameterized INSERT of ``(attributes..., _count)``."""
+    cols = ", ".join(quote_ident(a) for a in schema.attributes)
+    params = ", ".join("?" for _ in range(len(schema) + 1))
+    return (
+        f"INSERT INTO {quote_ident(table)} ({cols}, {COUNT_COLUMN})"
+        f" VALUES ({params})"
+    )
+
+
+def upsert_count_sql(table: str, schema: Schema) -> str:
+    """Parameterized count upsert: add to ``_count`` on key conflict."""
+    cols = ", ".join(quote_ident(a) for a in schema.attributes)
+    pk = ", ".join(quote_ident(a) for a in schema.attributes)
+    params = ", ".join("?" for _ in range(len(schema) + 1))
+    return (
+        f"INSERT INTO {quote_ident(table)} ({cols}, {COUNT_COLUMN})"
+        f" VALUES ({params})"
+        f" ON CONFLICT ({pk}) DO UPDATE SET"
+        f" {COUNT_COLUMN} = {COUNT_COLUMN} + excluded.{COUNT_COLUMN}"
+    )
+
+
+def prune_zero_sql(table: str) -> str:
+    """Delete rows whose multiplicity dropped to zero (or below)."""
+    return f"DELETE FROM {quote_ident(table)} WHERE {COUNT_COLUMN} <= 0"
+
+
+def select_all_sql(table: str, schema: Schema) -> str:
+    """SELECT of all attribute columns plus ``_count``."""
+    cols = ", ".join(quote_ident(a) for a in schema.attributes)
+    return f"SELECT {cols}, {COUNT_COLUMN} FROM {quote_ident(table)}"
+
+
+# ---------------------------------------------------------------------------
+# Predicate compilation
+# ---------------------------------------------------------------------------
+
+class UnsupportedPredicateError(ValueError):
+    """The predicate uses a construct the SQL backend cannot express."""
+
+
+def predicate_to_sql(
+    predicate: Predicate,
+    qualify: Callable[[str], str],
+    params: list[object],
+) -> str:
+    """Compile ``predicate`` to a SQL boolean expression.
+
+    ``qualify`` maps an attribute name to a fully qualified, quoted column
+    reference (e.g. ``dv."B"``).  Constant operands are appended to
+    ``params`` and referenced with ``?`` placeholders.
+    """
+    if isinstance(predicate, TruePredicate):
+        return "1"
+    if isinstance(predicate, Const):
+        return "1" if predicate.value else "0"
+    if isinstance(predicate, AttrEq):
+        return f"{qualify(predicate.left)} = {qualify(predicate.right)}"
+    if isinstance(predicate, AttrCompare):
+        params.append(predicate.value)
+        op = "<>" if predicate.op == "!=" else predicate.op
+        op = "=" if op == "==" else op
+        return f"{qualify(predicate.attribute)} {op} ?"
+    if isinstance(predicate, And):
+        parts = [predicate_to_sql(p, qualify, params) for p in predicate.parts]
+        return "(" + " AND ".join(parts) + ")"
+    if isinstance(predicate, Or):
+        parts = [predicate_to_sql(p, qualify, params) for p in predicate.parts]
+        return "(" + " OR ".join(parts) + ")"
+    if isinstance(predicate, Not):
+        return "(NOT " + predicate_to_sql(predicate.part, qualify, params) + ")"
+    raise UnsupportedPredicateError(
+        f"cannot compile predicate of type {type(predicate).__name__} to SQL"
+    )
+
+
+def join_partial_sql(
+    base_table: str,
+    base_schema: Schema,
+    partial_table: str,
+    partial_attrs: Sequence[str],
+    condition: Predicate,
+    output_attrs: Sequence[str],
+) -> tuple[str, list[object]]:
+    """The ComputeJoin query evaluated inside sqlite.
+
+    Joins the uploaded partial view change (``partial_table``) with the base
+    relation (``base_table``) under ``condition`` and returns rows in
+    ``output_attrs`` order with multiplied counts.
+
+    Returns ``(sql, params)``.
+    """
+    partial_set = set(partial_attrs)
+    base_set = set(base_schema.attributes)
+
+    def qualify(attr: str) -> str:
+        if attr in partial_set:
+            return f"dv.{quote_ident(attr)}"
+        if attr in base_set:
+            return f"r.{quote_ident(attr)}"
+        raise UnsupportedPredicateError(
+            f"attribute {attr!r} belongs to neither join operand"
+        )
+
+    params: list[object] = []
+    on_clause = predicate_to_sql(condition, qualify, params)
+    select_cols = ", ".join(qualify(a) for a in output_attrs)
+    sql = (
+        f"SELECT {select_cols}, dv.{COUNT_COLUMN} * r.{COUNT_COLUMN}"
+        f" FROM {quote_ident(partial_table)} dv"
+        f" JOIN {quote_ident(base_table)} r ON {on_clause}"
+    )
+    return sql, params
+
+
+__all__ = [
+    "COUNT_COLUMN",
+    "UnsupportedPredicateError",
+    "create_table_sql",
+    "create_temp_table_sql",
+    "drop_table_sql",
+    "insert_rows_sql",
+    "join_partial_sql",
+    "predicate_to_sql",
+    "prune_zero_sql",
+    "quote_ident",
+    "select_all_sql",
+    "upsert_count_sql",
+]

@@ -1,0 +1,305 @@
+"""Parse SQL view definitions into :class:`ViewDefinition`.
+
+The paper writes its example view as SQL (Section 5.2)::
+
+    SELECT R2.D, R3.F
+    WHERE  R1.B = R2.C AND R2.D = R3.E
+
+This module parses that fragment -- ``SELECT`` projection, optional
+``FROM`` relation list, ``WHERE`` as a conjunction of simple comparisons
+-- against a *catalog* of relation schemas, and produces the equivalent
+:class:`~repro.relational.view.ViewDefinition`:
+
+* attribute equalities across two relations become join conditions,
+* every other comparison (attribute vs literal, or an equality within one
+  relation) becomes part of the selection,
+* ``SELECT *`` keeps all attributes.
+
+The supported fragment is deliberately the paper's: conjunctions only
+(``AND``), comparison operators ``= != <> < <= > >=``, integer / float /
+single-quoted string literals.  Anything else raises
+:class:`SqlParseError` with a pointed message.
+
+Example
+-------
+>>> from repro.relational.schema import Schema
+>>> catalog = {"R1": Schema(("A", "B")), "R2": Schema(("C", "D")),
+...            "R3": Schema(("E", "F"))}
+>>> view = parse_view(
+...     "SELECT R2.D, R3.F WHERE R1.B = R2.C AND R2.D = R3.E",
+...     catalog, name="V")
+>>> view.projection
+('D', 'F')
+>>> len(view.join_conditions)
+2
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Mapping, Sequence
+
+from repro.relational.predicate import (
+    AttrCompare,
+    AttrEq,
+    Predicate,
+    conjunction,
+)
+from repro.relational.schema import Schema
+from repro.relational.view import ViewDefinition
+
+
+class SqlParseError(ValueError):
+    """The SQL text is outside the supported SPJ fragment (or malformed)."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        (?P<string>'(?:[^']|'')*')      # 'quoted string'
+      | (?P<number>\d+\.\d+|\d+)        # 123 or 1.5
+      | (?P<op><=|>=|<>|!=|=|<|>)       # comparison operators
+      | (?P<punct>[,*()])               # punctuation
+      | (?P<word>[A-Za-z_][\w.]*)       # identifiers (possibly dotted)
+    )
+    """,
+    re.VERBOSE,
+)
+
+_OP_MAP = {"=": "==", "<>": "!=", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+def _tokenize(sql: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(sql):
+        if sql[pos].isspace():
+            pos += 1
+            continue
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None or match.start(1) != pos:
+            raise SqlParseError(f"unexpected character {sql[pos]!r} at offset {pos}")
+        tokens.append(match.group(1))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str], catalog: Mapping[str, Schema]):
+        self.tokens = tokens
+        self.pos = 0
+        self.catalog = catalog
+        self.mentioned: list[str] = []  # relations in first-mention order
+
+    # -- token helpers -------------------------------------------------
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise SqlParseError("unexpected end of query")
+        self.pos += 1
+        return token
+
+    def expect_keyword(self, word: str) -> None:
+        token = self.next()
+        if token.upper() != word:
+            raise SqlParseError(f"expected {word}, got {token!r}")
+
+    def at_keyword(self, word: str) -> bool:
+        token = self.peek()
+        return token is not None and token.upper() == word
+
+    # -- attribute resolution -------------------------------------------
+    def resolve(self, token: str) -> tuple[str, str]:
+        """Resolve a (possibly qualified) identifier to (relation, attr)."""
+        if "." in token:
+            rel, attr = token.split(".", 1)
+            if rel not in self.catalog:
+                raise SqlParseError(f"unknown relation {rel!r} in {token!r}")
+            if attr not in self.catalog[rel]:
+                raise SqlParseError(
+                    f"relation {rel!r} has no attribute {attr!r}"
+                )
+        else:
+            owners = [
+                rel for rel, schema in self.catalog.items() if token in schema
+            ]
+            if not owners:
+                raise SqlParseError(f"unknown attribute {token!r}")
+            if len(owners) > 1:
+                raise SqlParseError(
+                    f"attribute {token!r} is ambiguous (in {sorted(owners)});"
+                    " qualify it"
+                )
+            rel, attr = owners[0], token
+        if rel not in self.mentioned:
+            self.mentioned.append(rel)
+        return rel, attr
+
+    # -- clauses ---------------------------------------------------------
+    def parse_projection(self) -> list[str] | None:
+        self.expect_keyword("SELECT")
+        if self.peek() == "*":
+            self.next()
+            return None
+        attrs: list[str] = []
+        while True:
+            token = self.next()
+            _, attr = self.resolve(token)
+            attrs.append(attr)
+            if self.peek() == ",":
+                self.next()
+                continue
+            break
+        return attrs
+
+    def parse_from(self) -> list[str] | None:
+        if not self.at_keyword("FROM"):
+            return None
+        self.next()
+        relations: list[str] = []
+        while True:
+            token = self.next()
+            if token not in self.catalog:
+                raise SqlParseError(f"unknown relation {token!r} in FROM")
+            relations.append(token)
+            if token not in self.mentioned:
+                self.mentioned.append(token)
+            if self.peek() == ",":
+                self.next()
+                continue
+            break
+        return relations
+
+    def parse_where(self) -> list[tuple]:
+        """Returns comparison triples ``(lhs, op, rhs)``; attrs resolved."""
+        if self.peek() is None:
+            return []
+        self.expect_keyword("WHERE")
+        comparisons = []
+        while True:
+            comparisons.append(self.parse_comparison())
+            if self.at_keyword("AND"):
+                self.next()
+                continue
+            break
+        if self.peek() is not None:
+            raise SqlParseError(
+                f"unsupported construct at {self.peek()!r} (the supported"
+                " fragment is SELECT ... [FROM ...] WHERE <comparison>"
+                " AND <comparison> ...)"
+            )
+        return comparisons
+
+    def parse_comparison(self) -> tuple:
+        lhs = self.next()
+        if lhs.upper() in ("OR", "NOT") or lhs == "(":
+            raise SqlParseError(
+                f"{lhs!r} is not supported; only AND-conjunctions of simple"
+                " comparisons"
+            )
+        op = self.next()
+        if op not in _OP_MAP:
+            raise SqlParseError(f"expected a comparison operator, got {op!r}")
+        rhs = self.next()
+        return (lhs, _OP_MAP[op], rhs)
+
+    # -- literals ----------------------------------------------------------
+    @staticmethod
+    def literal_value(token: str):
+        if token.startswith("'"):
+            return token[1:-1].replace("''", "'")
+        if re.fullmatch(r"\d+", token):
+            return int(token)
+        if re.fullmatch(r"\d+\.\d+", token):
+            return float(token)
+        return None  # an identifier
+
+    def is_attribute(self, token: str) -> bool:
+        return self.literal_value(token) is None
+
+
+def parse_view(
+    sql: str,
+    catalog: Mapping[str, Schema],
+    name: str = "V",
+    relation_order: Sequence[str] | None = None,
+) -> ViewDefinition:
+    """Parse a SQL SPJ view over ``catalog`` into a :class:`ViewDefinition`.
+
+    Relation order (the sweep chain) is, in priority: ``relation_order``,
+    the ``FROM`` clause, or the catalog's insertion order restricted to the
+    relations the query references.
+    """
+    parser = _Parser(_tokenize(sql), catalog)
+    projection = parser.parse_projection()
+    from_relations = parser.parse_from()
+    comparisons = parser.parse_where()
+
+    joins: list[Predicate] = []
+    selections: list[Predicate] = []
+    for lhs, op, rhs in comparisons:
+        lhs_is_attr = parser.is_attribute(lhs)
+        rhs_is_attr = parser.is_attribute(rhs)
+        if lhs_is_attr and rhs_is_attr:
+            l_rel, l_attr = parser.resolve(lhs)
+            r_rel, r_attr = parser.resolve(rhs)
+            if op != "==":
+                raise SqlParseError(
+                    f"only equality is supported between attributes"
+                    f" ({lhs} {op} {rhs})"
+                )
+            if l_rel == r_rel:
+                selections.append(AttrEq(l_attr, r_attr))
+            else:
+                joins.append(AttrEq(l_attr, r_attr))
+        elif lhs_is_attr or rhs_is_attr:
+            attr_token, literal_token = (lhs, rhs) if lhs_is_attr else (rhs, lhs)
+            if not lhs_is_attr:
+                # flip the operator: 5 < A  ==  A > 5
+                flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+                op = flip.get(op, op)
+            _, attr = parser.resolve(attr_token)
+            selections.append(
+                AttrCompare(attr, op, parser.literal_value(literal_token))
+            )
+        else:
+            raise SqlParseError(
+                f"comparison of two literals ({lhs} {op} {rhs}) is not useful"
+            )
+
+    if relation_order is not None:
+        order = list(relation_order)
+        unknown = [r for r in order if r not in catalog]
+        if unknown:
+            raise SqlParseError(f"unknown relations in relation_order: {unknown}")
+    elif from_relations is not None:
+        order = from_relations
+    else:
+        # Default: the catalog's insertion order restricted to referenced
+        # relations -- the catalog *is* the source chain.
+        order = [r for r in catalog if r in set(parser.mentioned)]
+    if not order:
+        raise SqlParseError("the query references no relations")
+
+    referenced = set(parser.mentioned)
+    missing = referenced - set(order)
+    if missing:
+        raise SqlParseError(
+            f"relations {sorted(missing)} are referenced but not in the"
+            " relation order"
+        )
+
+    return ViewDefinition(
+        name=name,
+        relation_names=tuple(order),
+        schemas=tuple(catalog[r] for r in order),
+        join_conditions=tuple(joins),
+        selection=conjunction(selections) if selections else None,
+        projection=projection,
+    )
+
+
+__all__ = ["SqlParseError", "parse_view"]

@@ -1,0 +1,23 @@
+"""Exception types raised by the simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulator errors."""
+
+
+class StalledSimulationError(SimulationError):
+    """The event budget was exhausted before the run completed.
+
+    Usually indicates livelock -- e.g. Nested SWEEP oscillating between two
+    alternating interfering sources without the forced-termination guard.
+    """
+
+
+class DeadProcessError(SimulationError):
+    """An effect was delivered to a process that already terminated."""
+
+
+class MailboxOwnershipError(SimulationError):
+    """A second process tried to wait on a single-consumer mailbox."""

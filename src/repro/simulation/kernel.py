@@ -1,0 +1,134 @@
+"""The simulator: a virtual clock driving an event heap and processes.
+
+Typical wiring::
+
+    sim = Simulator()
+    box = Mailbox(sim, "wh-updates")
+
+    def server():
+        while True:
+            msg = yield box.get()
+            ...
+
+    sim.spawn("server", server())
+    sim.run()
+
+``run()`` executes events in ``(time, insertion)`` order until the heap
+empties (natural quiescence: every process is blocked on input that will
+never arrive) or a budget is exceeded.  The kernel never uses wall-clock
+time or unseeded randomness, so identical configurations replay
+identically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+
+from repro.simulation.errors import StalledSimulationError
+from repro.simulation.events import Event, EventQueue
+from repro.simulation.process import Process
+
+
+class Simulator:
+    """Discrete-event executor with generator-based processes."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._processes: list[Process] = []
+        self._events_executed = 0
+
+    # ------------------------------------------------------------------
+    # Clock and scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events fired so far (budget accounting)."""
+        return self._events_executed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` ``delay`` time units from now (``delay >= 0``)."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self._queue.push(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` at absolute virtual ``time`` (``>= now``)."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule at {time} < now {self._now}")
+        return self._queue.push(time, callback)
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+    def spawn(self, name: str, generator: Generator) -> Process:
+        """Create a process from ``generator`` and start it immediately.
+
+        The first resume happens via a zero-delay event, so processes
+        spawned together begin in spawn order at the current time.
+        """
+        process = Process(self, name, generator)
+        self._processes.append(process)
+        self.schedule(0.0, process.start)
+        return process
+
+    @property
+    def processes(self) -> tuple[Process, ...]:
+        """All processes ever spawned (running, blocked or finished)."""
+        return tuple(self._processes)
+
+    def blocked_processes(self) -> list[Process]:
+        """Processes currently waiting on a mailbox (diagnostics)."""
+        return [p for p in self._processes if p.is_blocked]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the heap is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._now = event.time
+        self._events_executed += 1
+        event.callback()
+        return True
+
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int = 5_000_000,
+    ) -> None:
+        """Run until the heap empties, or virtual time passes ``until``.
+
+        Raises :class:`StalledSimulationError` when ``max_events`` fire
+        without reaching either condition -- the livelock guard that catches
+        e.g. unguarded Nested SWEEP oscillation.
+        """
+        executed = 0
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                return
+            if until is not None and next_time > until:
+                self._now = until
+                return
+            self.step()
+            executed += 1
+            if executed >= max_events:
+                raise StalledSimulationError(
+                    f"no quiescence after {executed} events (t={self._now});"
+                    " livelocked algorithm?"
+                )
+
+    def run_for(self, duration: float, max_events: int = 5_000_000) -> None:
+        """Run for ``duration`` units of virtual time from now."""
+        self.run(until=self._now + duration, max_events=max_events)
+
+
+__all__ = ["Simulator"]

@@ -1,0 +1,54 @@
+"""Named, independently seeded random streams.
+
+Every stochastic component of an experiment (per-source update timing, each
+channel's latency, workload data generation) draws from its own named
+stream.  Streams are derived from the experiment seed and the stream name
+with SHA-256, so
+
+* the same ``(seed, name)`` always yields the same sequence, and
+* adding a new consumer never perturbs existing streams -- experiments stay
+  reproducible across code evolution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def derive_seed(seed: int, name: str) -> int:
+    """A 64-bit child seed deterministically derived from ``(seed, name)``."""
+    digest = hashlib.sha256(f"{seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RngRegistry:
+    """A factory of named :class:`random.Random` streams.
+
+    >>> reg = RngRegistry(seed=42)
+    >>> a = reg.stream("source-1")
+    >>> b = reg.stream("source-2")
+    >>> a is reg.stream("source-1")
+    True
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._streams: dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """The stream called ``name`` (created and cached on first use)."""
+        if name not in self._streams:
+            self._streams[name] = random.Random(derive_seed(self.seed, name))
+        return self._streams[name]
+
+    def fork(self, name: str) -> "RngRegistry":
+        """A child registry whose streams are independent of this one's."""
+        return RngRegistry(derive_seed(self.seed, f"fork:{name}"))
+
+    def names(self) -> list[str]:
+        """Names of streams created so far (for diagnostics)."""
+        return sorted(self._streams)
+
+
+__all__ = ["RngRegistry", "derive_seed"]

@@ -1,0 +1,69 @@
+"""Structured event traces.
+
+Examples and debugging want a readable account of a run: which update was
+delivered when, which sweep step queried which source, where compensation
+fired.  :class:`TraceLog` collects :class:`TraceRecord` entries; it can be
+disabled (the default for benchmarks) at effectively zero cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One traced event: ``(time, actor, kind, detail)``."""
+
+    time: float
+    actor: str
+    kind: str
+    detail: str
+
+    def format(self) -> str:
+        return f"[t={self.time:9.3f}] {self.actor:<14} {self.kind:<18} {self.detail}"
+
+
+class TraceLog:
+    """An append-only, optionally disabled event log."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.records: list[TraceRecord] = []
+
+    def record(self, time: float, actor: str, kind: str, detail: Any = "") -> None:
+        """Append a record when tracing is enabled."""
+        if not self.enabled:
+            return
+        self.records.append(TraceRecord(time, actor, kind, str(detail)))
+
+    def filter(self, kind: str | None = None, actor: str | None = None) -> list[TraceRecord]:
+        """Records matching the given kind and/or actor."""
+        out = self.records
+        if kind is not None:
+            out = [r for r in out if r.kind == kind]
+        if actor is not None:
+            out = [r for r in out if r.actor == actor]
+        return list(out)
+
+    def format(self, limit: int | None = None) -> str:
+        """Multi-line rendering of (up to ``limit``) records."""
+        records = self.records if limit is None else self.records[:limit]
+        lines = [r.format() for r in records]
+        if limit is not None and len(self.records) > limit:
+            lines.append(f"... ({len(self.records) - limit} more records)")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __bool__(self) -> bool:
+        """Always truthy: ``if trace:`` guards presence, not emptiness."""
+        return True
+
+    def __iter__(self):
+        return iter(self.records)
+
+
+__all__ = ["TraceLog", "TraceRecord"]

@@ -1,0 +1,53 @@
+"""Data sources: the update & query servers of the paper's Figure 3.
+
+Each source site stores one base relation (conceptually ``Ri`` at source
+``i``, Section 2), applies local update transactions atomically, forwards
+every update to the warehouse as a single message, and answers incremental
+``ComputeJoin(Delta-V, R)`` queries.
+
+* :class:`~repro.sources.base.SourceBackend` -- storage abstraction.
+* :class:`~repro.sources.memory.MemoryBackend` -- bag-engine storage.
+* :class:`~repro.sources.sqlite.SqliteBackend` -- sqlite3 storage; joins are
+  evaluated by SQL inside the source's database.
+* :class:`~repro.sources.server.DataSourceServer` -- the Figure 3 server:
+  a ``ProcessQuery`` process plus update forwarding, sharing one FIFO
+  channel to the warehouse (so an update sent before an answer always
+  arrives before it -- the property SWEEP's compensation relies on).
+* :class:`~repro.sources.central.CentralSource` -- the single-site variant
+  used by ECA, holding *all* base relations.
+* :class:`~repro.sources.updater.ScheduledUpdater` -- replays a generated
+  update schedule against a source.
+* :mod:`~repro.sources.transactions` -- source-local multi-row transactions.
+"""
+
+from repro.sources.base import SourceBackend
+from repro.sources.central import CentralSource
+from repro.sources.memory import MemoryBackend
+from repro.sources.messages import (
+    EcaQuery,
+    EcaQueryTerm,
+    QueryAnswer,
+    QueryRequest,
+    UpdateNotice,
+)
+from repro.sources.server import DataSourceServer
+from repro.sources.sqlite import SqliteBackend
+from repro.sources.transactions import Transaction, TransactionOp
+from repro.sources.updater import ScheduledUpdater, ScheduledUpdate
+
+__all__ = [
+    "CentralSource",
+    "DataSourceServer",
+    "EcaQuery",
+    "EcaQueryTerm",
+    "MemoryBackend",
+    "QueryAnswer",
+    "QueryRequest",
+    "ScheduledUpdate",
+    "ScheduledUpdater",
+    "SourceBackend",
+    "SqliteBackend",
+    "Transaction",
+    "TransactionOp",
+    "UpdateNotice",
+]

@@ -1,0 +1,45 @@
+"""Storage abstraction behind a data source."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.relational.delta import Delta
+from repro.relational.incremental import PartialView
+from repro.relational.relation import Relation
+
+
+class SourceBackend(ABC):
+    """Stores one base relation and evaluates sweep-step joins against it.
+
+    Two implementations ship: :class:`~repro.sources.memory.MemoryBackend`
+    (the bag engine) and :class:`~repro.sources.sqlite.SqliteBackend`
+    (a real sqlite3 database).  Both must behave identically; the test
+    suite runs the same scenarios against each.
+    """
+
+    @abstractmethod
+    def apply(self, delta: Delta) -> None:
+        """Atomically apply an update transaction to the base relation.
+
+        Raises if the delta deletes rows the relation does not hold -- a
+        workload bug, never silently ignored.
+        """
+
+    @abstractmethod
+    def snapshot(self) -> Relation:
+        """A consistent copy of the current relation contents."""
+
+    @abstractmethod
+    def compute_join(self, partial: PartialView) -> PartialView:
+        """The Figure 3 service: join ``partial`` with the local relation.
+
+        The result covers this source's index in addition to ``partial``'s
+        range.  Evaluation is atomic with respect to :meth:`apply`.
+        """
+
+    def close(self) -> None:
+        """Release resources (sqlite connections); default is a no-op."""
+
+
+__all__ = ["SourceBackend"]

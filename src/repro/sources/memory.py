@@ -1,0 +1,65 @@
+"""In-memory source storage on the bag engine."""
+
+from __future__ import annotations
+
+from repro.relational.delta import Delta
+from repro.relational.incremental import PartialView
+from repro.relational.relation import Relation
+from repro.relational.view import ViewDefinition
+from repro.sources.base import SourceBackend
+
+
+class MemoryBackend(SourceBackend):
+    """Stores the base relation as a :class:`Relation`.
+
+    Parameters
+    ----------
+    view:
+        The warehouse view definition (sources know the view so they can
+        apply the right join conditions, as in the paper's architecture
+        where the view definition is distributed with the monitors).
+    index:
+        This source's 1-based position in the view's relation chain.
+    initial:
+        Initial contents; empty when omitted.
+    """
+
+    def __init__(self, view: ViewDefinition, index: int, initial: Relation | None = None):
+        self.view = view
+        self.index = index
+        schema = view.schema_of(index)
+        if initial is not None:
+            if initial.schema.attributes != schema.attributes:
+                from repro.relational.errors import SchemaError
+
+                raise SchemaError(
+                    f"initial contents schema {list(initial.schema.attributes)!r}"
+                    f" does not match relation {view.name_of(index)!r}"
+                )
+            self._relation = initial.copy()
+        else:
+            self._relation = Relation(schema)
+        # Index the local join columns: ComputeJoin probes become
+        # O(|delta|) lookups instead of O(|relation|) scans.
+        for cond in view.join_conditions:
+            for attr in cond.attributes():
+                if attr in schema:
+                    self._relation.create_index((attr,))
+
+    def apply(self, delta: Delta) -> None:
+        self._relation.apply_delta(delta)
+
+    def snapshot(self) -> Relation:
+        return self._relation.copy()
+
+    def compute_join(self, partial: PartialView) -> PartialView:
+        return partial.extend(self.index, self._relation)
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryBackend({self.view.name_of(self.index)!r},"
+            f" {self._relation.distinct_count} rows)"
+        )
+
+
+__all__ = ["MemoryBackend"]

@@ -1,0 +1,185 @@
+"""Protocol payloads exchanged between sources and the warehouse.
+
+Three payloads implement the paper's distributed protocol:
+
+* :class:`UpdateNotice` -- a source forwards an atomically applied update.
+* :class:`QueryRequest` / :class:`QueryAnswer` -- one sweep step: the
+  warehouse ships the partial view change ``Delta-V``; the source returns
+  ``ComputeJoin(Delta-V, R)``.
+
+ECA's centralized queries are sums of signed join terms with some relations
+replaced by update deltas (:class:`EcaQueryTerm`); their payload size is
+what grows quadratically with the number of interfering updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+
+from repro.relational.delta import Delta
+from repro.relational.incremental import PartialView
+
+_request_ids = count(1)
+
+
+def next_request_id() -> int:
+    """A process-wide unique id correlating answers with requests."""
+    return next(_request_ids)
+
+
+@dataclass(slots=True)
+class UpdateNotice:
+    """An update applied at a source, forwarded to the warehouse.
+
+    ``seq`` is the per-source sequence number (1-based) of the update;
+    ``delivery_seq`` is stamped by the warehouse dispatcher with the global
+    delivery order, which defines the total order SWEEP materializes.
+    """
+
+    source_index: int
+    seq: int
+    delta: Delta
+    applied_at: float = 0.0
+    delivery_seq: int | None = None
+    delivered_at: float = 0.0
+    #: Global-transaction tagging (update type 3 of Section 2): parts of
+    #: one transaction share a ``txn_id`` and carry the total part count.
+    txn_id: str | None = None
+    txn_total: int = 0
+
+    def payload_size(self) -> int:
+        return max(1, self.delta.distinct_count)
+
+    def __repr__(self) -> str:
+        return (
+            f"UpdateNotice(src={self.source_index}, seq={self.seq},"
+            f" {self.delta.distinct_count} rows)"
+        )
+
+
+@dataclass(slots=True)
+class QueryRequest:
+    """One sweep step: extend ``partial`` with the receiving source's relation."""
+
+    request_id: int
+    partial: PartialView
+    target_index: int
+
+    def payload_size(self) -> int:
+        return max(1, self.partial.delta.distinct_count)
+
+
+@dataclass(slots=True)
+class QueryAnswer:
+    """The source's reply to a :class:`QueryRequest`."""
+
+    request_id: int
+    partial: PartialView
+
+    def payload_size(self) -> int:
+        return max(1, self.partial.delta.distinct_count)
+
+
+@dataclass(slots=True)
+class MultiQueryRequest:
+    """One sweep step on behalf of several views at once.
+
+    The multi-view warehouse batches the partial view changes of all its
+    views into a single message per source per update, keeping message
+    *count* independent of the number of maintained views (payload rows
+    still scale with the views).
+    """
+
+    request_id: int
+    partials: list[PartialView]
+    target_index: int
+
+    def payload_size(self) -> int:
+        return max(1, sum(p.delta.distinct_count for p in self.partials))
+
+
+@dataclass(slots=True)
+class MultiQueryAnswer:
+    """Per-view answers to a :class:`MultiQueryRequest` (same order)."""
+
+    request_id: int
+    partials: list[PartialView]
+
+    def payload_size(self) -> int:
+        return max(1, sum(p.delta.distinct_count for p in self.partials))
+
+
+@dataclass(slots=True)
+class SnapshotRequest:
+    """Ask a source for its full current contents (recompute baseline)."""
+
+    request_id: int
+
+    def payload_size(self) -> int:
+        return 1
+
+
+@dataclass(slots=True)
+class SnapshotAnswer:
+    """Full relation contents in reply to a :class:`SnapshotRequest`."""
+
+    request_id: int
+    source_index: int
+    relation: "object"  # Relation; typed loosely to avoid an import cycle
+
+    def payload_size(self) -> int:
+        return max(1, self.relation.distinct_count)
+
+
+@dataclass(slots=True)
+class EcaQueryTerm:
+    """One signed join term of an ECA query.
+
+    ``substitutions`` maps 1-based relation indices to the delta that stands
+    in for that relation; unsubstituted relations are read from the central
+    source's current state.  ``sign`` is +1 or -1 (compensation subtracts).
+    """
+
+    substitutions: dict[int, Delta]
+    sign: int = 1
+
+    def payload_size(self) -> int:
+        return max(1, sum(d.distinct_count for d in self.substitutions.values()))
+
+
+@dataclass(slots=True)
+class EcaQuery:
+    """A (possibly compensating) ECA query: a sum of signed join terms."""
+
+    request_id: int
+    terms: list[EcaQueryTerm] = field(default_factory=list)
+
+    def payload_size(self) -> int:
+        return max(1, sum(t.payload_size() for t in self.terms))
+
+
+@dataclass(slots=True)
+class EcaAnswer:
+    """The central source's evaluation of an :class:`EcaQuery` (wide rows)."""
+
+    request_id: int
+    delta: Delta
+
+    def payload_size(self) -> int:
+        return max(1, self.delta.distinct_count)
+
+
+__all__ = [
+    "EcaAnswer",
+    "EcaQuery",
+    "EcaQueryTerm",
+    "MultiQueryAnswer",
+    "MultiQueryRequest",
+    "QueryAnswer",
+    "QueryRequest",
+    "SnapshotAnswer",
+    "SnapshotRequest",
+    "UpdateNotice",
+    "next_request_id",
+]

@@ -1,0 +1,69 @@
+"""Source-local transactions (update type 2 of Section 2).
+
+The paper distinguishes single-update transactions from *source-local
+transactions*: several inserts/deletes executed atomically at one source
+and shipped to the warehouse as one unit.  A :class:`Transaction` is an
+ordered list of :class:`TransactionOp`; :meth:`Transaction.as_delta`
+collapses it into the single signed bag that travels in one
+:class:`~repro.sources.messages.UpdateNotice`.
+
+Modifies are modelled as delete-then-insert, as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.relational.delta import Delta
+from repro.relational.schema import Schema
+
+
+@dataclass(frozen=True, slots=True)
+class TransactionOp:
+    """One operation: ``kind`` is ``"insert"`` or ``"delete"``."""
+
+    kind: str
+    row: tuple
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("insert", "delete"):
+            raise ValueError(f"op kind must be insert/delete, got {self.kind!r}")
+        object.__setattr__(self, "row", tuple(self.row))
+
+
+@dataclass
+class Transaction:
+    """An atomic sequence of operations against one base relation."""
+
+    ops: list[TransactionOp] = field(default_factory=list)
+
+    def insert(self, row: tuple) -> "Transaction":
+        """Append an insert; returns self for chaining."""
+        self.ops.append(TransactionOp("insert", row))
+        return self
+
+    def delete(self, row: tuple) -> "Transaction":
+        """Append a delete; returns self for chaining."""
+        self.ops.append(TransactionOp("delete", row))
+        return self
+
+    def modify(self, old_row: tuple, new_row: tuple) -> "Transaction":
+        """A modify is a delete followed by an insert (Section 2)."""
+        return self.delete(old_row).insert(new_row)
+
+    def as_delta(self, schema: Schema) -> Delta:
+        """Collapse the operation list into one signed bag.
+
+        Opposite operations on the same row cancel (the net effect is what
+        the warehouse needs); an empty net effect yields an empty delta.
+        """
+        delta = Delta(schema)
+        for op in self.ops:
+            delta.add(op.row, +1 if op.kind == "insert" else -1)
+        return delta
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+__all__ = ["Transaction", "TransactionOp"]

@@ -1,0 +1,74 @@
+"""Replaying generated update schedules against sources.
+
+Workload generation (in :mod:`repro.workloads`) produces, per source, a
+list of :class:`ScheduledUpdate` -- absolute commit times with the update
+delta.  :class:`ScheduledUpdater` spawns a simulated process that sleeps
+until each commit time and fires
+:meth:`~repro.sources.server.DataSourceServer.local_update`, modelling the
+autonomous local transactions of the paper's Section 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relational.delta import Delta
+from repro.simulation.kernel import Simulator
+from repro.simulation.process import Delay
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduledUpdate:
+    """An update transaction committing at ``time`` (absolute virtual time).
+
+    ``txn_id``/``txn_total`` mark this update as one part of a global
+    (multi-source) transaction; plain local updates leave them unset.
+    """
+
+    time: float
+    delta: Delta
+    txn_id: str | None = None
+    txn_total: int = 0
+
+
+class ScheduledUpdater:
+    """Drives one source (or one relation of a central source) on a schedule."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        apply_update,
+        schedule: list[ScheduledUpdate],
+    ):
+        """``apply_update`` is a callable taking the delta (already bound to
+        the right source/relation)."""
+        self.sim = sim
+        self.name = name
+        self.schedule = sorted(schedule, key=lambda u: u.time)
+        self.applied = 0
+        self._apply = apply_update
+        sim.spawn(f"updater-{name}", self._run())
+
+    def _run(self):
+        for update in self.schedule:
+            delay = update.time - self.sim.now
+            if delay > 0:
+                yield Delay(delay)
+            if update.txn_id is not None:
+                self._apply(
+                    update.delta,
+                    txn_id=update.txn_id,
+                    txn_total=update.txn_total,
+                )
+            else:
+                self._apply(update.delta)
+            self.applied += 1
+
+    @property
+    def done(self) -> bool:
+        """True once every scheduled update has been applied."""
+        return self.applied == len(self.schedule)
+
+
+__all__ = ["ScheduledUpdate", "ScheduledUpdater"]

@@ -1,0 +1,265 @@
+"""Warehouse runtime plumbing (the paper's Figure 4 module).
+
+:class:`WarehouseBase` owns everything every algorithm needs:
+
+* the single **inbox** into which all source channels deliver -- update
+  notices and query answers share each source's FIFO channel, which is what
+  makes concurrency detection exact;
+* per-source **query channels** back to the sources;
+* the :class:`~repro.warehouse.view_store.MaterializedView` plus install
+  instrumentation (consistency recorder, metrics, trace);
+* ``applied_counts``, the per-source count of updates whose effects are in
+  the view -- each install's *claimed vector*.
+
+:class:`QueueDrivenWarehouse` adds the paper's two processes: *LogUpdates*
+(the dispatcher routing updates into the ``UpdateMessageQueue`` and answers
+to the waiting sweep) and *UpdateView* (pop an update, run the
+algorithm-specific ``view_change`` coroutine, install the result).
+ECA and Strobe are event-driven instead and subclass ``WarehouseBase``
+directly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Generator
+
+from repro.consistency.oracle import RunRecorder
+from repro.relational.delta import Delta, merge_deltas
+from repro.relational.incremental import PartialView
+from repro.relational.relation import Relation
+from repro.relational.view import ViewDefinition
+from repro.simulation.channel import Channel, Message
+from repro.simulation.kernel import Simulator
+from repro.simulation.mailbox import Mailbox
+from repro.simulation.metrics import MetricsCollector
+from repro.simulation.trace import TraceLog
+from repro.sources.messages import (
+    QueryRequest,
+    UpdateNotice,
+    next_request_id,
+)
+from repro.warehouse.errors import ProtocolError
+from repro.warehouse.view_store import MaterializedView
+
+
+class WarehouseBase:
+    """Shared state and helpers for every maintenance algorithm."""
+
+    #: Registry name; subclasses override.
+    algorithm_name = "abstract"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        view: ViewDefinition,
+        query_channels: dict[int, Channel],
+        initial_view: Relation | None = None,
+        recorder: RunRecorder | None = None,
+        metrics: MetricsCollector | None = None,
+        trace: TraceLog | None = None,
+        strict_view: bool = True,
+        inbox: Mailbox | None = None,
+    ):
+        self.sim = sim
+        self.view = view
+        self.query_channels = query_channels
+        # The inbox may be pre-created by the harness so source channels can
+        # be wired before the warehouse object exists.
+        self.inbox = inbox if inbox is not None else Mailbox(sim, "warehouse-inbox")
+        self.store = MaterializedView(view, initial_view, strict=strict_view)
+        self.recorder = recorder
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.trace = trace
+        #: updates whose effects the view currently reflects, per source.
+        self.applied_counts: dict[int, int] = defaultdict(int)
+        self.updates_delivered = 0
+        if recorder is not None:
+            recorder.set_initial_view(self.store.relation)
+
+    # ------------------------------------------------------------------
+    # Outgoing queries
+    # ------------------------------------------------------------------
+    def send_query(self, index: int, payload: object) -> None:
+        """Ship a query payload to source ``index`` over its channel."""
+        self.metrics.increment("queries_sent")
+        self.query_channels[index].send(
+            Message(kind="query", sender="warehouse", payload=payload)
+        )
+
+    def make_sweep_query(self, index: int, partial: PartialView) -> QueryRequest:
+        """Build the Figure 3 ComputeJoin request for one sweep step."""
+        return QueryRequest(
+            request_id=next_request_id(), partial=partial, target_index=index
+        )
+
+    # ------------------------------------------------------------------
+    # Delivery accounting
+    # ------------------------------------------------------------------
+    def note_delivery(self, notice: UpdateNotice) -> None:
+        """Stamp and record an update's arrival in the warehouse queue."""
+        self.updates_delivered += 1
+        notice.delivered_at = self.sim.now
+        if self.recorder is not None:
+            self.recorder.on_delivery(notice)
+        else:
+            notice.delivery_seq = self.updates_delivered
+        self.metrics.increment("updates_delivered")
+        if self.trace:
+            self.trace.record(self.sim.now, "warehouse", "delivered", notice)
+
+    # ------------------------------------------------------------------
+    # Installing view changes
+    # ------------------------------------------------------------------
+    def mark_applied(self, notices: list[UpdateNotice]) -> None:
+        """Record that these updates' effects are now (being) installed."""
+        for notice in notices:
+            self.applied_counts[notice.source_index] += 1
+            self.metrics.increment("updates_installed")
+            self.metrics.observe(
+                "install_delay", self.sim.now - notice.delivered_at
+            )
+
+    def install_wide(self, wide_delta: Delta, note: str = "") -> None:
+        """Finalize and install a full-width view change, then snapshot."""
+        self.store.install_wide(wide_delta)
+        self._after_install(note)
+
+    def install_view_delta(self, delta: Delta, note: str = "") -> None:
+        """Install a view-schema delta directly (Strobe-family local ops)."""
+        self.store.apply(delta)
+        self._after_install(note)
+
+    def _after_install(self, note: str) -> None:
+        self.metrics.increment("installs")
+        if self.recorder is not None:
+            self.recorder.on_install(
+                self.sim.now,
+                self.store.relation,
+                claimed_vector=dict(self.applied_counts),
+                note=note,
+            )
+        if self.trace:
+            self.trace.record(
+                self.sim.now,
+                "warehouse",
+                "install",
+                f"{note} -> {self.store.relation.distinct_count} rows",
+            )
+
+    # ------------------------------------------------------------------
+    def current_view(self) -> Relation:
+        """Copy of the current materialized view contents."""
+        return self.store.snapshot()
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(view={self.view.name},"
+            f" installs={self.store.installs})"
+        )
+
+
+class QueueDrivenWarehouse(WarehouseBase):
+    """Figure 4 runtime: LogUpdates + UpdateMessageQueue + UpdateView.
+
+    Subclasses implement :meth:`view_change`, a generator receiving one
+    update notice and returning the full-width :class:`PartialView` to
+    install (SWEEP) -- or install internally and return None (C-Strobe's
+    local delete path).
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.update_queue = Mailbox(self.sim, "UpdateMessageQueue")
+        self._answer_box = Mailbox(self.sim, "warehouse-answers")
+        #: queued updates latched when the most recent answer was routed.
+        self._pending_at_answer: tuple[UpdateNotice, ...] = ()
+        self.sim.spawn("wh-LogUpdates", self._dispatch())
+        self.sim.spawn("wh-UpdateView", self._update_view())
+
+    # ------------------------------------------------------------------
+    # LogUpdates (and answer routing)
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> Generator:
+        while True:
+            msg = yield self.inbox.get()
+            if msg.kind == "update":
+                self.note_delivery(msg.payload)
+                self.update_queue.put(msg)
+            elif msg.kind == "answer":
+                # Snapshot the queue contents *now*: an update delivered at
+                # the same virtual instant but after this answer must not be
+                # compensated against it (it was applied after the query was
+                # evaluated), yet its delivery event may fire before the
+                # sweep process wakes up.  The snapshot closes that window.
+                pending = tuple(m.payload for m in self.update_queue.peek_all())
+                self._answer_box.put((msg, pending))
+            else:  # pragma: no cover - defensive
+                raise ProtocolError(f"unexpected message kind {msg.kind!r}")
+
+    # ------------------------------------------------------------------
+    # UpdateView
+    # ------------------------------------------------------------------
+    def _update_view(self) -> Generator:
+        while True:
+            msg = yield self.update_queue.get()
+            notice: UpdateNotice = msg.payload
+            if self.trace:
+                self.trace.record(self.sim.now, "warehouse", "process", notice)
+            yield from self.process_update(notice)
+
+    def process_update(self, notice: UpdateNotice) -> Generator:
+        """Handle one dequeued update; default = view_change + install."""
+        result = yield from self.view_change(notice)
+        if result is not None:
+            self.mark_applied([notice])
+            self.install_wide(
+                result.delta,
+                note=f"update src={notice.source_index} seq={notice.seq}",
+            )
+
+    def view_change(self, notice: UpdateNotice) -> Generator:
+        """Algorithm-specific: compute the wide view change for ``notice``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Sweep-step helpers shared by SWEEP / Nested SWEEP / C-Strobe
+    # ------------------------------------------------------------------
+    def query_and_await(self, index: int, partial: PartialView) -> Generator:
+        """Send one ComputeJoin to source ``index`` and await its answer.
+
+        Also latches the set of updates that were queued when the answer
+        was routed (see ``_dispatch``), which
+        :meth:`pending_updates_from` consults.
+        """
+        request = self.make_sweep_query(index, partial)
+        self.send_query(index, request)
+        msg, pending = yield self._answer_box.get()
+        self._pending_at_answer = pending
+        answer = msg.payload
+        if answer.request_id != request.request_id:
+            raise ProtocolError(
+                f"answer {answer.request_id} does not match request"
+                f" {request.request_id}"
+            )
+        return answer.partial
+
+    def pending_updates_from(self, index: int) -> list[UpdateNotice]:
+        """Updates from source ``index`` queued when the last answer arrived.
+
+        By the FIFO argument of Section 4, exactly these interfere with
+        that answer.
+        """
+        return [
+            notice
+            for notice in self._pending_at_answer
+            if notice.source_index == index
+        ]
+
+    def merged_pending_delta(self, notices: list[UpdateNotice]) -> Delta:
+        """Coalesce several queued updates from one source into one delta."""
+        schema = self.view.schema_of(notices[0].source_index)
+        return merge_deltas(schema, [n.delta for n in notices])
+
+
+__all__ = ["QueueDrivenWarehouse", "WarehouseBase"]

@@ -1,0 +1,51 @@
+"""Naive incremental maintenance without compensation (anomaly baseline).
+
+This is the straw-man of Section 3: on each update, sweep the other sources
+exactly like SWEEP but *never compensate* -- whatever error terms concurrent
+updates injected into the answers are installed into the view.  Commercial
+convergence-only products (the paper cites Red Brick) accept comparable
+anomalies.
+
+The view store runs in tolerant mode: a delete of a non-derived tuple is
+clamped at count zero and counted as an **anomaly** instead of crashing.
+With no concurrency the algorithm is exact; under concurrency the anomaly
+counter and the consistency oracle document precisely how it fails --
+including final states that never converge.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from repro.relational.incremental import PartialView
+from repro.sources.messages import UpdateNotice
+from repro.warehouse.base import QueueDrivenWarehouse
+
+
+class ConvergentWarehouse(QueueDrivenWarehouse):
+    """SWEEP's sweep without SWEEP's local error correction."""
+
+    algorithm_name = "convergent"
+
+    def __init__(self, *args, **kwargs):
+        kwargs.setdefault("strict_view", False)
+        super().__init__(*args, **kwargs)
+
+    def view_change(self, notice: UpdateNotice) -> Generator:
+        i = notice.source_index
+        partial = PartialView.initial(self.view, i, notice.delta)
+        sweep_order = list(range(i - 1, 0, -1)) + list(
+            range(i + 1, self.view.n_relations + 1)
+        )
+        for j in sweep_order:
+            partial = yield from self.query_and_await(j, partial)
+            # No compensation: interfering updates corrupt the answer.
+        return partial
+
+    @property
+    def anomalies(self) -> int:
+        """Impossible deletes absorbed by the tolerant view store."""
+        return self.store.anomalies
+
+
+__all__ = ["ConvergentWarehouse"]

@@ -1,0 +1,169 @@
+"""C-Strobe (ZGMW96): complete consistency via compensating queries.
+
+C-Strobe processes one update at a time (like SWEEP) but compensates
+*remotely*: it cannot isolate which updates actually interfered, so it
+conservatively treats every update delivered between query start and
+completion as concurrent (Section 4) and relies on the key assumption to
+make over-compensation harmless.
+
+Per dequeued update:
+
+* a **delete** is incorporated locally -- every view row carrying the
+  deleted tuple's key is removed -- with zero messages;
+* an **insert** launches a distributed walk evaluating
+  ``R1 |><| ... |><| Delta-Ri |><| ... |><| Rn`` source by source.  On
+  completion, updates found in the queue are compensated:
+
+  - concurrent *inserts* at ``Rj`` are cancelled locally by dropping answer
+    rows that carry the inserted tuple's key;
+  - concurrent *deletes* at ``Rj`` may have removed rows the answer should
+    contain, so a **compensating walk** re-evaluates the term with the
+    deleted tuples substituted back in (grouped per source, the paper's
+    ``(n-1)!``-instead-of-``K^(n-2)`` optimization) -- and those walks
+    recursively compensate in turn.
+
+All term results are summed, duplicates suppressed via keys, rows already
+present in the view dropped, and the result installed as the state for
+exactly this update -- complete consistency, at a message cost that
+explodes with the number of concurrent updates (the S2 experiment).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from repro.relational.delta import Delta
+from repro.relational.incremental import PartialView
+from repro.sources.messages import UpdateNotice
+from repro.warehouse.base import QueueDrivenWarehouse
+from repro.warehouse.keys import (
+    deduplicate,
+    deletion_delta_for_key,
+    drop_rows_matching_key,
+    key_of_row,
+    require_key_preserving,
+)
+
+
+class CStrobeWarehouse(QueueDrivenWarehouse):
+    """The C-Strobe algorithm (complete consistency, remote compensation)."""
+
+    algorithm_name = "c-strobe"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        require_key_preserving(self.view, "C-Strobe")
+
+    # ------------------------------------------------------------------
+    def process_update(self, notice: UpdateNotice) -> Generator:
+        deletes = notice.delta.negative_part()
+        inserts = notice.delta.positive_part()
+
+        view_delta = Delta(self.view.view_schema)
+
+        # Deletes are incorporated locally (unique-key assumption).
+        schema = self.view.schema_of(notice.source_index)
+        positions = self.view.key_indices_in_view(notice.source_index)
+        for row in deletes.rows():
+            removal = deletion_delta_for_key(
+                self.store.relation, positions, key_of_row(schema, row)
+            )
+            view_delta = view_delta.merged(removal)
+            self.metrics.increment("cstrobe_local_deletes")
+
+        if inserts:
+            walked = yield from self._walk_and_compensate(
+                {notice.source_index: Delta.from_relation(inserts)}
+            )
+            # Suppress duplicates from over-compensation, and rows that the
+            # view (as updated by this notice's local deletes) already has.
+            walked = deduplicate(walked)
+            for row in walked.rows():
+                if self.store.relation.count(row) + view_delta.count(row) == 0:
+                    view_delta.add(row, 1)
+
+        self.mark_applied([notice])
+        self.install_view_delta(
+            view_delta,
+            note=f"c-strobe src={notice.source_index} seq={notice.seq}",
+        )
+
+    def view_change(self, notice: UpdateNotice) -> Generator:
+        raise NotImplementedError("C-Strobe overrides process_update directly")
+
+    # ------------------------------------------------------------------
+    def _walk_and_compensate(self, subs: dict[int, Delta]) -> Generator:
+        """Evaluate one join term remotely, then compensate its races.
+
+        ``subs`` maps relation indices to the deltas standing in for them
+        (evaluated locally, no message).  Returns a finalized view-schema
+        delta including all recursive compensation terms.
+        """
+        seed_index = min(subs)
+        partial = PartialView.initial(self.view, seed_index, subs[seed_index])
+        for j in range(seed_index - 1, 0, -1):
+            partial = yield from self._walk_step(partial, j, subs)
+        for j in range(seed_index + 1, self.view.n_relations + 1):
+            partial = yield from self._walk_step(partial, j, subs)
+
+        result = self.view.finalize(partial.delta)
+        if not isinstance(result, Delta):
+            result = Delta.from_relation(result)
+
+        # Conservative concurrency window: everything still queued was
+        # delivered after the current update began processing.
+        concurrent = [
+            msg.payload
+            for msg in self.update_queue.peek_all()
+            if msg.payload.source_index not in subs
+        ]
+        # Keys inserted within the window, per source: their rows must be
+        # dropped from every answer, and a later in-window delete of such a
+        # row needs NO restoration (the row did not exist in the state this
+        # update's view change represents).
+        inserted_keys: dict[int, set[tuple]] = {}
+        for other in concurrent:
+            j = other.source_index
+            j_schema = self.view.schema_of(j)
+            for row, count in other.delta.items():
+                if count > 0:
+                    inserted_keys.setdefault(j, set()).add(
+                        key_of_row(j_schema, row)
+                    )
+        compensations: dict[int, Delta] = {}
+        for other in concurrent:
+            j = other.source_index
+            j_schema = self.view.schema_of(j)
+            j_positions = self.view.key_indices_in_view(j)
+            for row, count in other.delta.items():
+                key = key_of_row(j_schema, row)
+                if count > 0:
+                    # concurrent insert: cancel its error term locally
+                    result = drop_rows_matching_key(result, j_positions, key)
+                    self.metrics.increment("cstrobe_local_insert_fixes")
+                elif key not in inserted_keys.get(j, ()):
+                    # concurrent delete of a pre-window row: it may be
+                    # missing from the answer; queue a compensating walk
+                    # with the tuple substituted back
+                    comp = compensations.setdefault(j, Delta(j_schema))
+                    comp.add(row, -count)  # substitute the tuple positively
+
+        for j, restored in compensations.items():
+            self.metrics.increment("cstrobe_compensating_queries")
+            deeper_subs = dict(subs)
+            deeper_subs[j] = restored
+            deeper = yield from self._walk_and_compensate(deeper_subs)
+            result = result.merged(deeper)
+        return result
+
+    def _walk_step(
+        self, partial: PartialView, index: int, subs: dict[int, Delta]
+    ) -> Generator:
+        """Extend the walk by one relation: locally if substituted, else query."""
+        if index in subs:
+            return partial.extend(index, subs[index])
+        answer = yield from self.query_and_await(index, partial)
+        return answer
+
+
+__all__ = ["CStrobeWarehouse"]

@@ -1,0 +1,132 @@
+"""ECA -- the Eager Compensating Algorithm (ZGMHW95), centralized baseline.
+
+ECA addresses the single-source warehouse: one site stores every base
+relation (our :class:`~repro.sources.central.CentralSource`).  When update
+``U_i`` arrives while queries for earlier updates are still unanswered, the
+incremental query for ``U_i`` is *eagerly compensated*: it subtracts, for
+every pending query ``Q_j``, the interaction terms ``Q_j<U_i>`` that
+``Q_j``'s answer will (by the single-site FIFO argument, provably) contain.
+
+Concretely each query is a sum of signed join terms
+(:class:`~repro.sources.messages.EcaQueryTerm`); for a new update ``U_i``
+at relation ``r``::
+
+    Q_i = V<U_i>  -  sum over pending Q_j, over terms t of Q_j with r not
+                     yet substituted, of  t + {r := Delta_i}  (sign flipped)
+
+Answers accumulate in COLLECT; when the unanswered-query set empties
+(quiescence), COLLECT is installed as one view change.  This reproduces
+ECA's documented costs: O(1) messages per update but compensating-query
+payloads growing quadratically with the number of interfering updates, and
+no installs without quiescence.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass, field
+
+from repro.relational.delta import Delta
+from repro.simulation.channel import Channel, Message
+from repro.sources.messages import (
+    EcaAnswer,
+    EcaQuery,
+    EcaQueryTerm,
+    UpdateNotice,
+    next_request_id,
+)
+from repro.warehouse.base import WarehouseBase
+from repro.warehouse.errors import ProtocolError, UnsupportedViewError
+
+
+@dataclass
+class _PendingQuery:
+    """A query in the unanswered-query set (UQS)."""
+
+    query: EcaQuery
+    notice: UpdateNotice
+    sent_at: float = 0.0
+    collected: list[UpdateNotice] = field(default_factory=list)
+
+
+class EcaWarehouse(WarehouseBase):
+    """Event-driven ECA over a single central source."""
+
+    algorithm_name = "eca"
+
+    #: Conventional channel key for the central source.
+    CENTRAL = 0
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        if set(self.query_channels) != {self.CENTRAL}:
+            raise UnsupportedViewError(
+                "ECA requires exactly one (central) source site; got channels"
+                f" {sorted(self.query_channels)}"
+            )
+        self.uqs: dict[int, _PendingQuery] = {}
+        self.collect = Delta(self.view.wide_schema)
+        self._collected_notices: list[UpdateNotice] = []
+        self.sim.spawn("wh-ECA", self._run())
+
+    # ------------------------------------------------------------------
+    def _run(self) -> Generator:
+        while True:
+            msg = yield self.inbox.get()
+            if msg.kind == "update":
+                self.note_delivery(msg.payload)
+                self._handle_update(msg.payload)
+            elif msg.kind == "answer":
+                self._handle_answer(msg.payload)
+            else:  # pragma: no cover - defensive
+                raise ProtocolError(f"unexpected message kind {msg.kind!r}")
+
+    # ------------------------------------------------------------------
+    def _handle_update(self, notice: UpdateNotice) -> None:
+        """Formulate the eagerly compensated query for this update."""
+        r = notice.source_index
+        terms = [EcaQueryTerm(substitutions={r: notice.delta.copy()}, sign=+1)]
+        for pending in self.uqs.values():
+            for term in pending.query.terms:
+                if r in term.substitutions:
+                    # The term never reads relation r; U_i cannot leak into it.
+                    continue
+                subs = dict(term.substitutions)
+                subs[r] = notice.delta.copy()
+                terms.append(EcaQueryTerm(substitutions=subs, sign=-term.sign))
+        query = EcaQuery(request_id=next_request_id(), terms=terms)
+        self.metrics.observe("eca_query_terms", len(terms))
+        self.metrics.observe("eca_query_rows", query.payload_size())
+        self.uqs[query.request_id] = _PendingQuery(
+            query=query, notice=notice, sent_at=self.sim.now
+        )
+        self.send_query(self.CENTRAL, query)
+        if self.trace:
+            self.trace.record(
+                self.sim.now, "warehouse", "eca-query",
+                f"req={query.request_id} {len(terms)} terms",
+            )
+
+    # ------------------------------------------------------------------
+    def _handle_answer(self, answer: EcaAnswer) -> None:
+        pending = self.uqs.pop(answer.request_id, None)
+        if pending is None:
+            raise ProtocolError(f"answer for unknown query {answer.request_id}")
+        self.collect = self.collect.merged(answer.delta)
+        self._collected_notices.append(pending.notice)
+        if not self.uqs:
+            # Quiescence: install COLLECT as one view change.
+            self.mark_applied(self._collected_notices)
+            self.metrics.observe(
+                "updates_per_install", len(self._collected_notices)
+            )
+            self.install_wide(
+                self.collect,
+                note=f"ECA quiescent install of {len(self._collected_notices)}"
+                " update(s)",
+            )
+            self.collect = Delta(self.view.wide_schema)
+            self._collected_notices = []
+
+
+__all__ = ["EcaWarehouse"]

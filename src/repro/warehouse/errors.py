@@ -1,0 +1,20 @@
+"""Warehouse-level exceptions."""
+
+from __future__ import annotations
+
+
+class WarehouseError(Exception):
+    """Base class for warehouse runtime errors."""
+
+
+class UnsupportedViewError(WarehouseError):
+    """The algorithm's assumptions do not hold for this view.
+
+    Raised e.g. when Strobe or C-Strobe is given a view whose projection
+    does not retain a key of every base relation (their defining assumption,
+    Table 1), or when ECA is wired to more than one source site.
+    """
+
+
+class ProtocolError(WarehouseError):
+    """An unexpected message arrived (mismatched request id or kind)."""

@@ -1,0 +1,97 @@
+"""Key-attribute utilities for the Strobe family (ZGMW96).
+
+Strobe and C-Strobe assume the view projection retains a key of every base
+relation, which lets the warehouse (a) locate every view row derived from a
+given base tuple and (b) suppress duplicate rows produced by error terms.
+These helpers implement those two primitives over the bag engine.
+"""
+
+from __future__ import annotations
+
+from repro.relational.delta import Delta
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.view import ViewDefinition
+from repro.warehouse.errors import UnsupportedViewError
+
+
+def require_key_preserving(view: ViewDefinition, algorithm: str) -> None:
+    """Raise unless the view keeps a key of every base relation."""
+    if not view.projection_keeps_all_keys():
+        raise UnsupportedViewError(
+            f"{algorithm} requires the view projection to retain a key of"
+            f" every base relation (ZGMW96 assumption); view {view.name!r}"
+            " does not"
+        )
+
+
+def key_of_row(schema: Schema, row: tuple) -> tuple:
+    """The key attribute values of a base-relation row."""
+    indices = schema.project_indices(schema.key)
+    return tuple(row[i] for i in indices)
+
+
+def view_rows_matching_key(
+    relation: Relation,
+    key_positions: tuple[int, ...],
+    key: tuple,
+) -> list[tuple]:
+    """All view rows whose relation-``i`` key columns equal ``key``."""
+    return [
+        row
+        for row in relation.rows()
+        if tuple(row[p] for p in key_positions) == key
+    ]
+
+
+def deletion_delta_for_key(
+    relation: Relation,
+    key_positions: tuple[int, ...],
+    key: tuple,
+) -> Delta:
+    """A delta removing every view row derived from the keyed base tuple."""
+    delta = Delta(relation.schema)
+    for row in view_rows_matching_key(relation, key_positions, key):
+        delta.add(row, -relation.count(row))
+    return delta
+
+
+def drop_rows_matching_key(
+    delta: Delta,
+    key_positions: tuple[int, ...],
+    key: tuple,
+) -> Delta:
+    """Remove (zero out) rows of ``delta`` whose key columns equal ``key``.
+
+    Used to filter in-flight query answers for concurrent deletes (Strobe)
+    and concurrent inserts (C-Strobe).
+    """
+    out = Delta(delta.schema)
+    for row, count in delta.items():
+        if tuple(row[p] for p in key_positions) != key:
+            out.add(row, count)
+    return out
+
+
+def deduplicate(delta: Delta) -> Delta:
+    """Clamp positive counts to 1 and drop non-positive rows.
+
+    Strobe-family duplicate suppression: with keys of every relation in the
+    view, each legitimate row has exactly one derivation, so any higher
+    count is an error-term duplicate.
+    """
+    out = Delta(delta.schema)
+    for row, count in delta.items():
+        if count > 0:
+            out.add(row, 1)
+    return out
+
+
+__all__ = [
+    "deduplicate",
+    "deletion_delta_for_key",
+    "drop_rows_matching_key",
+    "key_of_row",
+    "require_key_preserving",
+    "view_rows_matching_key",
+]

@@ -1,0 +1,167 @@
+"""Multi-view maintenance: many SPJ views, one update stream, shared sweeps.
+
+A production warehouse rarely materializes a single view.  This module
+maintains **any number of views over the same source chain** with SWEEP
+semantics, and batches the per-view partial view changes of each sweep
+step into one :class:`~repro.sources.messages.MultiQueryRequest` -- so the
+message *count* per update stays ``2(n-1)``, independent of how many views
+are maintained (payload rows grow with the views, nothing else does).
+
+All views must agree on the relation chain (names and schemas, in order);
+they are free to differ in join conditions, selections and projections.
+Each view gets its own :class:`~repro.warehouse.view_store.MaterializedView`
+and (optionally) its own consistency recorder; every view is maintained
+with complete consistency, exactly as if it ran its own SWEEP -- the
+batching changes the envelope, not the algebra, because every per-view
+join inside one batched step is evaluated against the same atomic source
+state and compensated against the same queued updates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator, Sequence
+
+from repro.consistency.oracle import RunRecorder
+from repro.relational.errors import SchemaError
+from repro.relational.incremental import PartialView
+from repro.relational.relation import Relation
+from repro.relational.view import ViewDefinition
+from repro.sources.messages import MultiQueryRequest, UpdateNotice, next_request_id
+from repro.warehouse.base import QueueDrivenWarehouse
+from repro.warehouse.errors import ProtocolError
+from repro.warehouse.view_store import MaterializedView
+
+
+def validate_same_chain(views: Sequence[ViewDefinition]) -> None:
+    """All views must share relation names and schemas, in order."""
+    if not views:
+        raise SchemaError("need at least one view")
+    first = views[0]
+    for view in views[1:]:
+        if view.relation_names != first.relation_names:
+            raise SchemaError(
+                f"view {view.name!r} has relations"
+                f" {list(view.relation_names)!r}, expected"
+                f" {list(first.relation_names)!r}"
+            )
+        for i in range(1, first.n_relations + 1):
+            if view.schema_of(i).attributes != first.schema_of(i).attributes:
+                raise SchemaError(
+                    f"view {view.name!r} disagrees on schema of relation"
+                    f" {first.name_of(i)!r}"
+                )
+
+
+class MultiViewSweepWarehouse(QueueDrivenWarehouse):
+    """SWEEP maintaining several views with batched sweep steps.
+
+    Parameters (beyond :class:`QueueDrivenWarehouse`'s):
+
+    extra_views:
+        Additional view definitions; the primary ``view`` is maintained
+        too, as views[0].
+    initial_states:
+        Base relation contents used to initialize every extra view's
+        store (the primary store is initialized via ``initial_view``).
+    extra_recorders:
+        Optional ``{view_name: RunRecorder}`` for per-view consistency
+        verification of the extra views.
+    """
+
+    algorithm_name = "multi-view-sweep"
+
+    def __init__(
+        self,
+        *args,
+        extra_views: Sequence[ViewDefinition] = (),
+        initial_states: dict[str, Relation] | None = None,
+        extra_recorders: dict[str, RunRecorder] | None = None,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        self.views: list[ViewDefinition] = [self.view, *extra_views]
+        validate_same_chain(self.views)
+        names = [v.name for v in self.views]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate view names: {names!r}")
+        self.stores: dict[str, MaterializedView] = {self.view.name: self.store}
+        self.extra_recorders = dict(extra_recorders or {})
+        for view in self.views[1:]:
+            if initial_states is None:
+                raise SchemaError(
+                    "initial_states is required to initialize extra views"
+                )
+            self.stores[view.name] = MaterializedView.from_states(
+                view, initial_states
+            )
+            recorder = self.extra_recorders.get(view.name)
+            if recorder is not None:
+                recorder.set_initial_view(self.stores[view.name].relation)
+
+    # ------------------------------------------------------------------
+    def view_change(self, notice: UpdateNotice) -> Generator:
+        raise NotImplementedError("multi-view overrides process_update")
+
+    def process_update(self, notice: UpdateNotice) -> Generator:
+        i = notice.source_index
+        n = self.view.n_relations
+        partials = [
+            PartialView.initial(view, i, notice.delta) for view in self.views
+        ]
+        sweep_order = list(range(i - 1, 0, -1)) + list(range(i + 1, n + 1))
+        for j in sweep_order:
+            temps = partials
+            request = MultiQueryRequest(
+                request_id=next_request_id(), partials=partials, target_index=j
+            )
+            self.send_query(j, request)
+            msg, pending = yield self._answer_box.get()
+            self._pending_at_answer = pending
+            answer = msg.payload
+            if answer.request_id != request.request_id:
+                raise ProtocolError(
+                    f"answer {answer.request_id} does not match request"
+                    f" {request.request_id}"
+                )
+            partials = [
+                self._compensate_one(j, got, temp)
+                for got, temp in zip(answer.partials, temps)
+            ]
+
+        self.mark_applied([notice])
+        for view, partial in zip(self.views, partials):
+            store = self.stores[view.name]
+            store.install_wide(partial.delta)
+            if view.name == self.view.name:
+                self._after_install(
+                    f"update src={notice.source_index} seq={notice.seq}"
+                )
+            else:
+                recorder = self.extra_recorders.get(view.name)
+                if recorder is not None:
+                    recorder.on_install(
+                        self.sim.now,
+                        store.relation,
+                        claimed_vector=dict(self.applied_counts),
+                        note=f"update src={notice.source_index} seq={notice.seq}",
+                    )
+        self.metrics.increment("multiview_installs")
+
+    # ------------------------------------------------------------------
+    def _compensate_one(
+        self, index: int, answer: PartialView, temp: PartialView
+    ) -> PartialView:
+        pending = self.pending_updates_from(index)
+        if not pending:
+            return answer
+        self.metrics.increment("compensations")
+        merged = self.merged_pending_delta(pending)
+        error = temp.extend(index, merged)
+        return answer.compensate(error)
+
+    def view_contents(self, name: str) -> Relation:
+        """Current contents of the named view."""
+        return self.stores[name].snapshot()
+
+
+__all__ = ["MultiViewSweepWarehouse", "validate_same_chain"]

@@ -1,0 +1,158 @@
+"""Algorithm registry and the static properties column of Table 1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.consistency.levels import ConsistencyLevel
+from repro.warehouse.base import WarehouseBase
+from repro.warehouse.bootstrap import BootstrapSweepWarehouse
+from repro.warehouse.convergent import ConvergentWarehouse
+from repro.warehouse.cstrobe import CStrobeWarehouse
+from repro.warehouse.eca import EcaWarehouse
+from repro.warehouse.global_txn import GlobalSweepWarehouse
+from repro.warehouse.nested_sweep import NestedSweepWarehouse
+from repro.warehouse.pipelined import PipelinedSweepWarehouse
+from repro.warehouse.recompute import RecomputeWarehouse
+from repro.warehouse.strobe import StrobeWarehouse
+from repro.warehouse.sweep import SweepWarehouse
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """Table 1 row metadata for one maintenance algorithm."""
+
+    name: str
+    cls: type[WarehouseBase]
+    architecture: str  # "centralized" | "distributed"
+    claimed_consistency: ConsistencyLevel
+    message_cost: str  # the paper's asymptotic claim, for reports
+    requires_keys: bool
+    requires_quiescence: bool
+    comments: str
+    in_paper_table: bool = True
+
+
+ALGORITHMS: dict[str, AlgorithmInfo] = {
+    info.name: info
+    for info in (
+        AlgorithmInfo(
+            name="eca",
+            cls=EcaWarehouse,
+            architecture="centralized",
+            claimed_consistency=ConsistencyLevel.STRONG,
+            message_cost="O(1)",
+            requires_keys=False,
+            requires_quiescence=True,
+            comments="remote compensation; quadratic message size",
+        ),
+        AlgorithmInfo(
+            name="strobe",
+            cls=StrobeWarehouse,
+            architecture="distributed",
+            claimed_consistency=ConsistencyLevel.STRONG,
+            message_cost="O(n)",
+            requires_keys=True,
+            requires_quiescence=True,
+            comments="unique key assumption; requires quiescence",
+        ),
+        AlgorithmInfo(
+            name="c-strobe",
+            cls=CStrobeWarehouse,
+            architecture="distributed",
+            claimed_consistency=ConsistencyLevel.COMPLETE,
+            message_cost="O(n!)",
+            requires_keys=True,
+            requires_quiescence=False,
+            comments="unique key assumption; not scalable",
+        ),
+        AlgorithmInfo(
+            name="sweep",
+            cls=SweepWarehouse,
+            architecture="distributed",
+            claimed_consistency=ConsistencyLevel.COMPLETE,
+            message_cost="O(n)",
+            requires_keys=False,
+            requires_quiescence=False,
+            comments="local compensation",
+        ),
+        AlgorithmInfo(
+            name="nested-sweep",
+            cls=NestedSweepWarehouse,
+            architecture="distributed",
+            claimed_consistency=ConsistencyLevel.STRONG,
+            message_cost="O(n)",
+            requires_keys=False,
+            requires_quiescence=False,
+            comments="local compensation; requires non-interference",
+        ),
+        AlgorithmInfo(
+            name="bootstrap-sweep",
+            cls=BootstrapSweepWarehouse,
+            architecture="distributed",
+            claimed_consistency=ConsistencyLevel.STRONG,
+            message_cost="O(n)",
+            requires_keys=False,
+            requires_quiescence=False,
+            comments="SWEEP with online initial load (view starts empty)",
+            in_paper_table=False,
+        ),
+        AlgorithmInfo(
+            name="global-sweep",
+            cls=GlobalSweepWarehouse,
+            architecture="distributed",
+            claimed_consistency=ConsistencyLevel.STRONG,
+            message_cost="O(n)",
+            requires_keys=False,
+            requires_quiescence=False,
+            comments="SWEEP + atomic global transactions (type 3 updates)",
+            in_paper_table=False,
+        ),
+        AlgorithmInfo(
+            name="pipelined-sweep",
+            cls=PipelinedSweepWarehouse,
+            architecture="distributed",
+            claimed_consistency=ConsistencyLevel.COMPLETE,
+            message_cost="O(n)",
+            requires_keys=False,
+            requires_quiescence=False,
+            comments="Section 5.3 pipelining optimization of SWEEP",
+            in_paper_table=False,
+        ),
+        AlgorithmInfo(
+            name="convergent",
+            cls=ConvergentWarehouse,
+            architecture="distributed",
+            claimed_consistency=ConsistencyLevel.NONE,
+            message_cost="O(n)",
+            requires_keys=False,
+            requires_quiescence=False,
+            comments="no compensation; anomaly baseline (not in Table 1)",
+            in_paper_table=False,
+        ),
+        AlgorithmInfo(
+            name="recompute",
+            cls=RecomputeWarehouse,
+            architecture="distributed",
+            claimed_consistency=ConsistencyLevel.STRONG,
+            message_cost="O(n)",
+            requires_keys=False,
+            requires_quiescence=False,
+            comments="full snapshots per update; huge payloads (baseline)",
+            in_paper_table=False,
+        ),
+    )
+}
+
+
+def algorithm_info(name: str) -> AlgorithmInfo:
+    """Look up an algorithm by registry name (raises with suggestions)."""
+    try:
+        return ALGORITHMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
+        ) from None
+
+
+__all__ = ["ALGORITHMS", "AlgorithmInfo", "algorithm_info"]

@@ -1,0 +1,216 @@
+"""Strobe (ZGMW96): multi-source maintenance under the key assumption.
+
+Strobe is event-driven.  Deletes are handled *locally*: a delete action
+(keyed by the deleted tuple's key) is appended to the action list ``AL``
+and registered against every in-flight query so their eventual answers are
+filtered.  Inserts trigger a query evaluated source by source; the answer's
+rows become insert actions.  Only when the unanswered-query set ``UQS``
+drains -- quiescence -- is ``AL`` applied to the materialized view as one
+atomic install.
+
+Consequences reproduced here (Section 3 / Table 1):
+
+* strong consistency, because installs only happen at quiescence;
+* O(n) messages per insert, zero per delete;
+* under a sustained update stream the view is **never** refreshed -- the
+  staleness experiment measures exactly that;
+* duplicate view rows created by concurrent-insert error terms are
+  suppressed using the keys (``deduplicate``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Generator
+from dataclasses import dataclass, field
+
+from repro.relational.delta import Delta
+from repro.relational.incremental import PartialView
+from repro.relational.relation import Relation
+from repro.sources.messages import UpdateNotice, next_request_id
+from repro.warehouse.base import WarehouseBase
+from repro.warehouse.errors import ProtocolError
+from repro.warehouse.keys import (
+    deduplicate,
+    drop_rows_matching_key,
+    key_of_row,
+    require_key_preserving,
+    view_rows_matching_key,
+)
+
+
+@dataclass
+class _InsertAction:
+    """AL entry: insert a (deduplicated) view row."""
+
+    row: tuple
+
+
+@dataclass
+class _DeleteAction:
+    """AL entry: delete every view row matching a base tuple's key."""
+
+    source_index: int
+    key: tuple
+
+
+@dataclass
+class _QueryJob:
+    """An in-flight (or queued) insert query."""
+
+    notice: UpdateNotice
+    partial: PartialView
+    remaining: deque[int]
+    request_id: int | None = None
+    #: (source_index, key) filters from deletes processed while in flight.
+    pending_deletes: list[tuple[int, tuple]] = field(default_factory=list)
+
+
+class StrobeWarehouse(WarehouseBase):
+    """The Strobe algorithm: collect actions, install at quiescence."""
+
+    algorithm_name = "strobe"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        require_key_preserving(self.view, "Strobe")
+        self.al: list[_InsertAction | _DeleteAction] = []
+        self.work_queue: deque[_QueryJob] = deque()
+        self.active: _QueryJob | None = None
+        self._processed: list[UpdateNotice] = []
+        self.sim.spawn("wh-Strobe", self._run())
+
+    # ------------------------------------------------------------------
+    @property
+    def uqs_size(self) -> int:
+        """Unanswered/unstarted queries (quiescence = 0)."""
+        return len(self.work_queue) + (1 if self.active else 0)
+
+    # ------------------------------------------------------------------
+    def _run(self) -> Generator:
+        while True:
+            msg = yield self.inbox.get()
+            if msg.kind == "update":
+                self.note_delivery(msg.payload)
+                self._handle_update(msg.payload)
+            elif msg.kind == "answer":
+                self._handle_answer(msg.payload)
+            else:  # pragma: no cover - defensive
+                raise ProtocolError(f"unexpected message kind {msg.kind!r}")
+            self._maybe_install()
+
+    # ------------------------------------------------------------------
+    def _handle_update(self, notice: UpdateNotice) -> None:
+        """Deletes act locally; inserts enqueue a query (ZGMW96)."""
+        i = notice.source_index
+        schema = self.view.schema_of(i)
+        deletes = notice.delta.negative_part()
+        inserts = notice.delta.positive_part()
+
+        for row in deletes.rows():
+            key = key_of_row(schema, row)
+            self.al.append(_DeleteAction(i, key))
+            for job in self._all_jobs():
+                job.pending_deletes.append((i, key))
+            self.metrics.increment("strobe_local_deletes")
+
+        if inserts:
+            order = deque(
+                j for j in range(1, self.view.n_relations + 1) if j != i
+            )
+            job = _QueryJob(
+                notice=notice,
+                partial=PartialView.initial(self.view, i, inserts),
+                remaining=order,
+            )
+            self.work_queue.append(job)
+            self._maybe_start_job()
+        self._processed.append(notice)
+
+    def _all_jobs(self):
+        if self.active is not None:
+            yield self.active
+        yield from self.work_queue
+
+    # ------------------------------------------------------------------
+    def _maybe_start_job(self) -> None:
+        while self.active is None and self.work_queue:
+            self.active = self.work_queue.popleft()
+            if self.active.remaining:
+                self._send_next_step()
+            else:
+                # single-relation view: nothing to query, complete locally
+                self._complete_job()
+
+    def _send_next_step(self) -> None:
+        job = self.active
+        assert job is not None
+        # pick the next remaining source adjacent to the covered range
+        for _ in range(len(job.remaining)):
+            j = job.remaining[0]
+            if job.partial.is_adjacent(j):
+                break
+            job.remaining.rotate(-1)
+        j = job.remaining.popleft()
+        request = self.make_sweep_query(j, job.partial)
+        job.request_id = request.request_id
+        self.send_query(j, request)
+
+    def _handle_answer(self, answer) -> None:
+        job = self.active
+        if job is None or answer.request_id != job.request_id:
+            raise ProtocolError(
+                f"unexpected answer {answer.request_id} (active job:"
+                f" {job.request_id if job else None})"
+            )
+        job.partial = answer.partial
+        if job.remaining:
+            self._send_next_step()
+            return
+        self._complete_job()
+        self._maybe_start_job()
+
+    def _complete_job(self) -> None:
+        """Filter the finished answer by raced deletes, dedup, extend AL."""
+        job = self.active
+        assert job is not None
+        view_delta = self.view.finalize(job.partial.delta)
+        if not isinstance(view_delta, Delta):
+            view_delta = Delta.from_relation(view_delta)
+        for source_index, key in job.pending_deletes:
+            positions = self.view.key_indices_in_view(source_index)
+            view_delta = drop_rows_matching_key(view_delta, positions, key)
+        view_delta = deduplicate(view_delta)
+        for row in view_delta.rows():
+            self.al.append(_InsertAction(row))
+        self.active = None
+
+    # ------------------------------------------------------------------
+    def _maybe_install(self) -> None:
+        """Apply AL atomically once UQS is empty (quiescence)."""
+        if self.uqs_size != 0 or not self._processed:
+            return
+        working: Relation = self.store.relation.copy()
+        for action in self.al:
+            if isinstance(action, _InsertAction):
+                if working.count(action.row) == 0:  # duplicate suppression
+                    working.insert(action.row)
+            else:
+                positions = self.view.key_indices_in_view(action.source_index)
+                for row in view_rows_matching_key(working, positions, action.key):
+                    working.delete(row, working.count(row))
+        delta = Delta(working.schema)
+        for row, count in working.items():
+            delta.add(row, count)
+        for row, count in self.store.relation.items():
+            delta.add(row, -count)
+        self.al = []
+        self.mark_applied(self._processed)
+        self.metrics.observe("updates_per_install", len(self._processed))
+        self._processed = []
+        self.install_view_delta(
+            delta, note=f"Strobe quiescent install ({len(delta)} row changes)"
+        )
+
+
+__all__ = ["StrobeWarehouse"]

@@ -1,0 +1,41 @@
+"""Seeded workload generation: schemas, data, update streams, scenarios.
+
+Generated workloads drive both the test suite's randomized checks and the
+benchmark harness.  All generation is deterministic given the experiment
+seed (via :class:`~repro.simulation.rng.RngRegistry` streams).
+
+The canonical chain-join workload mirrors the paper's model: relation ``i``
+has a unique key ``K{i}``, a foreign attribute ``F{i}`` joining to
+``K{i+1}``, and a payload ``V{i}``.  Key uniqueness is maintained by
+construction so the same workload is valid for the Strobe family (which
+requires keys) and for SWEEP (which does not care).
+"""
+
+from repro.workloads.data_gen import generate_initial_states
+from repro.workloads.paper_example import (
+    PAPER_EXPECTED_TRAJECTORY,
+    paper_example_states,
+    paper_example_updates,
+    paper_example_view,
+)
+from repro.workloads.schema_gen import chain_view
+from repro.workloads.stream import UpdateStreamConfig, generate_update_schedules
+from repro.workloads.scenarios import (
+    Workload,
+    alternating_interference_workload,
+    make_workload,
+)
+
+__all__ = [
+    "PAPER_EXPECTED_TRAJECTORY",
+    "UpdateStreamConfig",
+    "Workload",
+    "alternating_interference_workload",
+    "chain_view",
+    "generate_initial_states",
+    "generate_update_schedules",
+    "make_workload",
+    "paper_example_states",
+    "paper_example_updates",
+    "paper_example_view",
+]

@@ -1,0 +1,78 @@
+"""The paper's Section 5.2 / Figure 5 worked example, verbatim.
+
+Three relations, the SPJ view ``V = pi_[D,F] (R1 |><|_{B=C} R2 |><|_{D=E}
+R3)``, initial contents producing ``{(7,8)[2]}``, and the three updates
+
+* ``Delta-R2 = +(3,5)``
+* ``Delta-R3 = -(7,8)``
+* ``Delta-R1 = -(2,3)``
+
+with the expected view trajectory of Figure 5.  Used by tests (SWEEP must
+reproduce every intermediate state even when the updates race) and by the
+``bench_fig5_example`` benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.relational.delta import Delta
+from repro.relational.predicate import AttrEq
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.view import ViewDefinition
+from repro.sources.updater import ScheduledUpdate
+
+R1_SCHEMA = Schema(("A", "B"))
+R2_SCHEMA = Schema(("C", "D"))
+R3_SCHEMA = Schema(("E", "F"))
+
+#: Figure 5's view states after each update, as (rows -> count) dicts.
+PAPER_EXPECTED_TRAJECTORY: tuple[dict[tuple, int], ...] = (
+    {(7, 8): 2},                # initial state
+    {(5, 6): 2, (7, 8): 2},    # after Delta-R2 = +(3,5)
+    {(5, 6): 2},                # after Delta-R3 = -(7,8)
+    {(5, 6): 1},                # after Delta-R1 = -(2,3)
+)
+
+
+def paper_example_view() -> ViewDefinition:
+    """The Section 5.2 view definition."""
+    return ViewDefinition(
+        name="V",
+        relation_names=("R1", "R2", "R3"),
+        schemas=(R1_SCHEMA, R2_SCHEMA, R3_SCHEMA),
+        join_conditions=(AttrEq("B", "C"), AttrEq("D", "E")),
+        projection=("D", "F"),
+    )
+
+
+def paper_example_states() -> dict[str, Relation]:
+    """Figure 5's initial relation contents."""
+    return {
+        "R1": Relation(R1_SCHEMA, [(1, 3), (2, 3)]),
+        "R2": Relation(R2_SCHEMA, [(3, 7)]),
+        "R3": Relation(R3_SCHEMA, [(5, 6), (7, 8)]),
+    }
+
+
+def paper_example_updates(
+    spacing: float = 1.0, start: float = 1.0
+) -> dict[int, list[ScheduledUpdate]]:
+    """The three updates, committed ``spacing`` time units apart.
+
+    A small ``spacing`` relative to channel latency makes all three updates
+    concurrent with each other's sweeps -- exactly the scenario Section 5.2
+    walks through; a large one reproduces the sequential Figure 5 run.
+    """
+    return {
+        2: [ScheduledUpdate(start, Delta.insert(R2_SCHEMA, (3, 5)))],
+        3: [ScheduledUpdate(start + spacing, Delta.delete(R3_SCHEMA, (7, 8)))],
+        1: [ScheduledUpdate(start + 2 * spacing, Delta.delete(R1_SCHEMA, (2, 3)))],
+    }
+
+
+__all__ = [
+    "PAPER_EXPECTED_TRAJECTORY",
+    "paper_example_states",
+    "paper_example_updates",
+    "paper_example_view",
+]

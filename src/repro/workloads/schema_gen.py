@@ -1,0 +1,58 @@
+"""Chain-join view generation.
+
+``chain_view(n)`` builds the paper's canonical shape::
+
+    V = pi (R1 |><| R2 |><| ... |><| Rn)    with  Ri.F{i} = R{i+1}.K{i+1}
+
+Each relation ``Ri[K{i}, F{i}, V{i}]`` declares ``K{i}`` as its key.  The
+default projection keeps every key plus the last relation's payload, which
+satisfies the Strobe family's assumption; ``project_keys=False`` projects
+payloads only, producing a view the Strobe family must *reject* and SWEEP
+handles fine (a property the paper emphasizes).
+"""
+
+from __future__ import annotations
+
+from repro.relational.predicate import AttrEq, Predicate
+from repro.relational.schema import Schema
+from repro.relational.view import ViewDefinition
+
+
+def relation_schema(index: int) -> Schema:
+    """Schema of generated relation ``index``: key, foreign ref, payload."""
+    return Schema(
+        (f"K{index}", f"F{index}", f"V{index}"),
+        key=(f"K{index}",),
+    )
+
+
+def chain_view(
+    n: int,
+    project_keys: bool = True,
+    selection: Predicate | None = None,
+    name: str = "V",
+) -> ViewDefinition:
+    """A chain-join view over ``n`` generated relations."""
+    if n < 1:
+        raise ValueError(f"need at least one relation, got {n}")
+    schemas = tuple(relation_schema(i) for i in range(1, n + 1))
+    conditions = tuple(
+        AttrEq(f"F{i}", f"K{i + 1}") for i in range(1, n)
+    )
+    if project_keys:
+        projection = [f"K{i}" for i in range(1, n + 1)] + [f"V{n}"]
+    else:
+        projection = [f"V{i}" for i in range(1, n + 1)]
+    view = ViewDefinition(
+        name=name,
+        relation_names=tuple(f"R{i}" for i in range(1, n + 1)),
+        schemas=schemas,
+        join_conditions=conditions,
+        selection=selection,
+        projection=projection,
+    )
+    view.validate_chain_connectivity()
+    return view
+
+
+__all__ = ["chain_view", "relation_schema"]

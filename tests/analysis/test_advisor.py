@@ -1,0 +1,104 @@
+"""Advisor tests: the Table 1 decision surface, executable."""
+
+import pytest
+
+from repro.analysis.advisor import WorkloadFacts, explain, recommend
+from repro.consistency.levels import ConsistencyLevel
+
+
+def facts(**overrides):
+    base = dict(
+        n_sources=4, update_rate=0.01, latency=5.0,
+        required_consistency=ConsistencyLevel.STRONG,
+        view_has_all_keys=False, centralized_ok=False,
+    )
+    base.update(overrides)
+    return WorkloadFacts(**base)
+
+
+def names(recs):
+    return [r.name for r in recs]
+
+
+class TestQualification:
+    def test_complete_requirement_filters(self):
+        recs = recommend(facts(required_consistency=ConsistencyLevel.COMPLETE))
+        assert set(names(recs)) <= {"sweep", "pipelined-sweep", "c-strobe",
+                                    "bootstrap-sweep"}
+        assert "nested-sweep" not in names(recs)
+
+    def test_complete_without_keys_excludes_cstrobe(self):
+        recs = recommend(facts(
+            required_consistency=ConsistencyLevel.COMPLETE,
+            view_has_all_keys=False,
+        ))
+        assert "c-strobe" not in names(recs)
+        assert "sweep" in names(recs)
+
+    def test_keys_enable_strobe_family(self):
+        recs = recommend(facts(view_has_all_keys=True))
+        assert "c-strobe" in names(recs)
+
+    def test_centralized_enables_eca(self):
+        assert "eca" not in names(recommend(facts()))
+        assert "eca" in names(recommend(facts(centralized_ok=True)))
+
+    def test_fresh_view_excludes_quiescent_under_load(self):
+        busy = facts(update_rate=0.1, needs_fresh_view=True,
+                     view_has_all_keys=True, centralized_ok=True)
+        recs = recommend(busy)
+        assert "strobe" not in names(recs)
+        assert "eca" not in names(recs)
+
+    def test_quiescent_ok_when_calm(self):
+        calm = facts(update_rate=0.0005, needs_fresh_view=True,
+                     view_has_all_keys=True)
+        assert "strobe" in names(recommend(calm))
+
+    def test_global_txns_require_global_sweep(self):
+        recs = recommend(facts(has_global_transactions=True))
+        assert names(recs) == ["global-sweep"]
+        assert "global-sweep" not in names(recommend(facts()))
+
+    def test_baselines_never_recommended(self):
+        for rec in recommend(facts(view_has_all_keys=True, centralized_ok=True)):
+            assert rec.name not in ("convergent", "recompute")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadFacts(n_sources=0, update_rate=1, latency=1)
+        with pytest.raises(ValueError):
+            WorkloadFacts(n_sources=2, update_rate=-1, latency=1)
+
+
+class TestRanking:
+    def test_nested_ranks_first_under_bursts(self):
+        busy = facts(update_rate=0.05)  # rho = 1.5: heavy amortization
+        recs = recommend(busy)
+        assert recs[0].name == "nested-sweep"
+
+    def test_complete_under_load_prefers_pipelined_on_lag(self):
+        busy = facts(update_rate=0.05,
+                     required_consistency=ConsistencyLevel.COMPLETE)
+        recs = {r.name: r for r in recommend(busy)}
+        assert recs["pipelined-sweep"].predicted_install_lag is not None
+        assert recs["sweep"].predicted_install_lag is None  # unstable
+
+    def test_messages_prediction_matches_model(self):
+        recs = {r.name: r for r in recommend(facts())}
+        assert recs["sweep"].predicted_msgs_per_update == 6.0
+
+
+class TestExplain:
+    def test_report_renders(self):
+        text = explain(facts(view_has_all_keys=True))
+        assert "rho" in text
+        assert "1." in text and "msgs/update" in text
+
+    def test_impossible_constraints_reported(self):
+        # complete + no keys + global txns -> nothing qualifies
+        text = explain(facts(
+            required_consistency=ConsistencyLevel.COMPLETE,
+            has_global_transactions=True,
+        ))
+        assert "no registered algorithm" in text

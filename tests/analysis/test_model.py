@@ -1,0 +1,132 @@
+"""Analytical model tests: internal sanity plus validation vs simulation."""
+
+import math
+
+import pytest
+
+from repro.analysis.model import (
+    eca_expected_pending,
+    eca_expected_terms,
+    expected_compensation_events,
+    nested_updates_per_install,
+    sweep_duration,
+    sweep_install_lag,
+    sweep_messages_per_update,
+    sweep_utilization,
+)
+from repro.harness.config import ExperimentConfig
+from repro.harness.runner import run_experiment
+
+
+class TestModelSanity:
+    def test_sweep_messages(self):
+        assert sweep_messages_per_update(1) == 0
+        assert sweep_messages_per_update(4) == 6
+        with pytest.raises(ValueError):
+            sweep_messages_per_update(0)
+
+    def test_sweep_duration(self):
+        assert sweep_duration(4, 5.0) == 30.0
+        assert sweep_duration(4, 5.0, service_time=2.0) == 36.0
+        with pytest.raises(ValueError):
+            sweep_duration(0, 1.0)
+
+    def test_compensation_monotone_in_rate(self):
+        lo = expected_compensation_events(4, 0.1, 5.0)
+        hi = expected_compensation_events(4, 1.0, 5.0)
+        assert 0 < lo < hi < 3  # bounded by n-1
+
+    def test_single_source_never_compensates(self):
+        assert expected_compensation_events(1, 10.0, 5.0) == 0.0
+
+    def test_install_lag_regimes(self):
+        assert sweep_install_lag(3, 0.001, 5.0) == pytest.approx(
+            sweep_duration(3, 5.0), rel=0.05
+        )
+        assert sweep_install_lag(3, 1.0, 5.0) == math.inf
+
+    def test_utilization(self):
+        assert sweep_utilization(3, 0.01, 5.0) == pytest.approx(0.2)
+
+    def test_nested_absorption_regimes(self):
+        assert nested_updates_per_install(3, 0.001, 5.0) == pytest.approx(1.0, abs=0.05)
+        assert nested_updates_per_install(3, 1.0, 5.0) == math.inf
+
+    def test_eca_models(self):
+        assert eca_expected_pending(0.05, 5.0) == pytest.approx(0.5)
+        assert eca_expected_terms(0.05, 5.0) == pytest.approx(2.0)
+        assert eca_expected_terms(0.2, 5.0) == math.inf
+
+
+def simulate(algorithm, lam, n=4, latency=5.0, n_updates=40, seed=11, **kw):
+    return run_experiment(
+        ExperimentConfig(
+            algorithm=algorithm,
+            seed=seed,
+            n_sources=n,
+            n_updates=n_updates,
+            mean_interarrival=1.0 / lam,
+            latency=latency,
+            latency_model="exponential",
+            interarrival_distribution="exponential",
+            match_fraction=1.0,
+            insert_fraction=0.5,
+            rows_per_relation=8,
+            check_consistency=False,
+            **kw,
+        )
+    )
+
+
+class TestModelVsSimulation:
+    """Validation bands: first-order models vs measured runs."""
+
+    def test_sweep_messages_exact(self):
+        result = simulate("sweep", lam=0.2)
+        assert result.messages_per_update == sweep_messages_per_update(4)
+
+    def test_compensation_events_band(self):
+        """Low utilization: the in-flight-window model is a tight-ish
+        lower bound (within ~2.5x)."""
+        n, lam, latency = 4, 0.02, 5.0  # rho = lam * 2L(n-1) = 0.6
+        result = simulate("sweep", lam=lam, n=n, latency=latency, n_updates=60)
+        measured = result.metrics.counters.get("compensations", 0) / 60
+        predicted = expected_compensation_events(n, lam, latency)
+        assert predicted <= measured * 1.5 + 0.1  # lower-bound character
+        assert measured <= predicted * 4 + 0.2  # same order of magnitude
+
+    def test_install_lag_band_stable_regime(self):
+        n, lam, latency = 3, 0.02, 5.0  # rho = 0.4
+        result = simulate("sweep", lam=lam, n=n, latency=latency, n_updates=60)
+        predicted = sweep_install_lag(n, lam, latency)
+        measured = result.mean_install_delay
+        assert predicted / 3 <= measured <= predicted * 3
+
+    def test_unstable_regime_lag_grows_with_stream_length(self):
+        n, lam, latency = 4, 0.2, 5.0  # rho = 6 >> 1 -> model says inf
+        assert sweep_install_lag(n, lam, latency) == math.inf
+        short = simulate("sweep", lam=lam, n=n, latency=latency, n_updates=20)
+        long = simulate("sweep", lam=lam, n=n, latency=latency, n_updates=60)
+        assert long.mean_install_delay > 2 * short.mean_install_delay
+
+    def test_nested_absorption_band(self):
+        n, latency = 4, 5.0
+        lo = simulate("nested-sweep", lam=0.01, n=n, latency=latency, n_updates=40)
+        measured_lo = lo.updates_delivered / max(1, lo.installs)
+        predicted_lo = nested_updates_per_install(n, 0.01, latency)  # ~1.4
+        assert measured_lo <= predicted_lo * 3
+        # supercritical: model says the whole stream folds into one install
+        hi = simulate("nested-sweep", lam=0.5, n=n, latency=latency, n_updates=40)
+        assert nested_updates_per_install(n, 0.5, latency) == math.inf
+        assert hi.installs <= 3
+
+    def test_eca_terms_band(self):
+        latency = 5.0
+        calm = simulate("eca", lam=0.02, latency=latency, n_updates=40)
+        measured = calm.metrics.mean_observation("eca_query_terms")
+        predicted = eca_expected_terms(0.02, latency)  # K=0.2 -> 1.25
+        assert predicted / 2.5 <= measured <= predicted * 2.5
+        # supercritical: model diverges, measured terms far exceed calm
+        busy = simulate("eca", lam=0.5, latency=latency, n_updates=40)
+        assert eca_expected_terms(0.5, latency) == math.inf
+        assert busy.metrics.mean_observation("eca_query_terms") > 4 * measured

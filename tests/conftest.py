@@ -1,0 +1,34 @@
+"""Shared fixtures: the paper's Section 5.2 view and initial data."""
+
+import pytest
+
+from repro.relational.predicate import AttrEq
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.view import ViewDefinition
+
+R1_SCHEMA = Schema(("A", "B"))
+R2_SCHEMA = Schema(("C", "D"))
+R3_SCHEMA = Schema(("E", "F"))
+
+
+@pytest.fixture
+def paper_view() -> ViewDefinition:
+    """V = pi_[D,F] (R1[A,B] |><|_{B=C} R2[C,D] |><|_{D=E} R3[E,F])."""
+    return ViewDefinition(
+        name="V",
+        relation_names=("R1", "R2", "R3"),
+        schemas=(R1_SCHEMA, R2_SCHEMA, R3_SCHEMA),
+        join_conditions=(AttrEq("B", "C"), AttrEq("D", "E")),
+        projection=("D", "F"),
+    )
+
+
+@pytest.fixture
+def paper_states() -> dict[str, Relation]:
+    """Figure 5's initial relation contents."""
+    return {
+        "R1": Relation(R1_SCHEMA, [(1, 3), (2, 3)]),
+        "R2": Relation(R2_SCHEMA, [(3, 7)]),
+        "R3": Relation(R3_SCHEMA, [(5, 6), (7, 8)]),
+    }

@@ -1,0 +1,274 @@
+"""Unit tests for the consistency oracle on hand-built histories."""
+
+import pytest
+
+from repro.consistency.checker import (
+    check_complete,
+    check_convergence,
+    check_strong,
+    check_weak,
+    classify,
+    evaluate_at,
+    vector_for_delivery_prefix,
+)
+from repro.consistency.history import SourceHistory
+from repro.consistency.levels import ConsistencyLevel
+from repro.consistency.oracle import RunRecorder
+from repro.consistency.snapshots import SnapshotLog
+from repro.relational.delta import Delta
+from repro.relational.relation import Relation
+from repro.sources.messages import UpdateNotice
+
+from tests.conftest import R1_SCHEMA, R2_SCHEMA, R3_SCHEMA
+
+
+def build_history(paper_states):
+    """The paper's three updates, recorded in a SourceHistory."""
+    h = SourceHistory()
+    h.register_source(1, "R1", paper_states["R1"])
+    h.register_source(2, "R2", paper_states["R2"])
+    h.register_source(3, "R3", paper_states["R3"])
+    notices = [
+        UpdateNotice(2, 1, Delta.insert(R2_SCHEMA, (3, 5))),
+        UpdateNotice(3, 1, Delta.delete(R3_SCHEMA, (7, 8))),
+        UpdateNotice(1, 1, Delta.delete(R1_SCHEMA, (2, 3))),
+    ]
+    for n in notices:
+        h.on_source_update(n)
+    return h, notices
+
+
+class TestSourceHistory:
+    def test_state_reconstruction(self, paper_states):
+        h, _ = build_history(paper_states)
+        assert h.state_at(2, 0) == paper_states["R2"]
+        assert h.state_at(2, 1).count((3, 5)) == 1
+        assert h.n_updates(2) == 1
+
+    def test_state_bounds(self, paper_states):
+        h, _ = build_history(paper_states)
+        with pytest.raises(ValueError):
+            h.state_at(2, 2)
+        with pytest.raises(ValueError):
+            h.state_at(2, -1)
+
+    def test_duplicate_registration(self, paper_states):
+        h, _ = build_history(paper_states)
+        with pytest.raises(ValueError):
+            h.register_source(1, "R1", paper_states["R1"])
+
+    def test_out_of_order_seq_rejected(self, paper_states):
+        h, _ = build_history(paper_states)
+        with pytest.raises(ValueError):
+            h.on_source_update(UpdateNotice(2, 5, Delta.insert(R2_SCHEMA, (9, 9))))
+
+    def test_unregistered_source_rejected(self):
+        h = SourceHistory()
+        with pytest.raises(ValueError):
+            h.on_source_update(UpdateNotice(9, 1, Delta.insert(R1_SCHEMA, (1, 1))))
+
+    def test_final_vector_and_space(self, paper_states):
+        h, _ = build_history(paper_states)
+        assert h.final_vector() == {1: 1, 2: 1, 3: 1}
+        assert h.vector_space_size() == 8
+
+    def test_states_at_vector(self, paper_states):
+        h, _ = build_history(paper_states)
+        states = h.states_at_vector({1: 0, 2: 1, 3: 0})
+        assert states["R2"].count((3, 5)) == 1
+        assert states["R3"].count((7, 8)) == 1
+
+
+class TestVectorHelpers:
+    def test_delivery_prefix(self, paper_states):
+        _, notices = build_history(paper_states)
+        assert vector_for_delivery_prefix(notices, 0) == {}
+        assert vector_for_delivery_prefix(notices, 2) == {2: 1, 3: 1}
+        assert vector_for_delivery_prefix(notices, 3) == {1: 1, 2: 1, 3: 1}
+
+    def test_prefix_bounds(self, paper_states):
+        _, notices = build_history(paper_states)
+        with pytest.raises(ValueError):
+            vector_for_delivery_prefix(notices, 4)
+
+    def test_evaluate_at(self, paper_view, paper_states):
+        h, _ = build_history(paper_states)
+        view_now = evaluate_at(paper_view, h, {})
+        assert view_now.count((7, 8)) == 2
+        final = evaluate_at(paper_view, h, h.final_vector())
+        assert final.count((5, 6)) == 1
+
+
+def _figure5_snapshot_log(paper_view, history, notices):
+    """Snapshots exactly matching the delivery prefixes (Figure 5)."""
+    log = SnapshotLog()
+    log.set_initial(evaluate_at(paper_view, history, {}))
+    for t in range(1, len(notices) + 1):
+        vec = vector_for_delivery_prefix(notices, t)
+        log.record(float(t), evaluate_at(paper_view, history, vec), vec)
+    return log
+
+
+class TestChecks:
+    def test_complete_trajectory_passes_everything(self, paper_view, paper_states):
+        h, notices = build_history(paper_states)
+        log = _figure5_snapshot_log(paper_view, h, notices)
+        assert check_convergence(paper_view, h, log)
+        assert check_weak(paper_view, h, log)
+        assert check_strong(paper_view, h, log)
+        assert check_complete(paper_view, h, notices, log)
+        assert classify(paper_view, h, notices, log) == ConsistencyLevel.COMPLETE
+
+    def test_single_final_install_is_strong_not_complete(
+        self, paper_view, paper_states
+    ):
+        h, notices = build_history(paper_states)
+        log = SnapshotLog()
+        log.set_initial(evaluate_at(paper_view, h, {}))
+        log.record(9.0, evaluate_at(paper_view, h, h.final_vector()))
+        assert check_convergence(paper_view, h, log)
+        assert not check_complete(paper_view, h, notices, log)
+        assert check_strong(paper_view, h, log)
+        assert classify(paper_view, h, notices, log) == ConsistencyLevel.STRONG
+
+    def test_garbage_state_fails_weak(self, paper_view, paper_states):
+        h, notices = build_history(paper_states)
+        log = SnapshotLog()
+        log.set_initial(evaluate_at(paper_view, h, {}))
+        garbage = Relation(paper_view.view_schema, {(99, 99): 1})
+        log.record(1.0, garbage)
+        log.record(2.0, evaluate_at(paper_view, h, h.final_vector()))
+        log.record(3.0, evaluate_at(paper_view, h, h.final_vector()))
+        res = check_weak(paper_view, h, log)
+        assert not res
+        assert "install #1" in res.detail
+        assert classify(paper_view, h, notices, log) == ConsistencyLevel.CONVERGENCE
+
+    def test_time_travel_fails_strong_but_not_weak(self, paper_view, paper_states):
+        """States that individually match vectors but regress in time."""
+        h, notices = build_history(paper_states)
+        after_all = evaluate_at(paper_view, h, h.final_vector())
+        only_r2 = evaluate_at(paper_view, h, {2: 1})
+        log = SnapshotLog()
+        log.set_initial(evaluate_at(paper_view, h, {}))
+        log.record(1.0, after_all)
+        log.record(2.0, only_r2)  # regression: R1/R3 updates vanished
+        log.record(3.0, after_all)
+        assert check_weak(paper_view, h, log)
+        res = check_strong(paper_view, h, log)
+        assert not res
+        assert classify(paper_view, h, notices, log) == ConsistencyLevel.WEAK
+
+    def test_wrong_final_state_fails_convergence(self, paper_view, paper_states):
+        h, notices = build_history(paper_states)
+        log = SnapshotLog()
+        log.set_initial(evaluate_at(paper_view, h, {}))
+        log.record(1.0, evaluate_at(paper_view, h, {2: 1}))
+        assert not check_convergence(paper_view, h, log)
+        assert classify(paper_view, h, notices, log) == ConsistencyLevel.NONE
+
+    def test_no_snapshots_at_all(self, paper_view, paper_states):
+        h, notices = build_history(paper_states)
+        log = SnapshotLog()
+        res = check_convergence(paper_view, h, log)
+        assert not res and "no view state" in res.detail
+
+    def test_complete_requires_one_install_per_delivery(
+        self, paper_view, paper_states
+    ):
+        h, notices = build_history(paper_states)
+        log = _figure5_snapshot_log(paper_view, h, notices)
+        log.record(99.0, log.snapshots[-1].view)  # extra install
+        res = check_complete(paper_view, h, notices, log)
+        assert not res and "4 installs" in res.detail
+
+    def test_complete_order_matters(self, paper_view, paper_states):
+        h, notices = build_history(paper_states)
+        log = _figure5_snapshot_log(paper_view, h, notices)
+        log.snapshots[0], log.snapshots[1] = log.snapshots[1], log.snapshots[0]
+        assert not check_complete(paper_view, h, notices, log)
+
+
+class TestInstrumentedFallback:
+    def test_claimed_vectors_validated_when_space_large(
+        self, paper_view, paper_states
+    ):
+        h, notices = build_history(paper_states)
+        log = SnapshotLog()
+        log.set_initial(evaluate_at(paper_view, h, {}))
+        vec = {1: 0, 2: 1, 3: 0}
+        log.record(1.0, evaluate_at(paper_view, h, vec), claimed_vector=vec)
+        res = check_weak(paper_view, h, log, max_vectors=1)
+        assert res.ok and res.method == "instrumented"
+
+    def test_missing_claim_fails_instrumented(self, paper_view, paper_states):
+        h, _ = build_history(paper_states)
+        log = SnapshotLog()
+        log.record(1.0, evaluate_at(paper_view, h, {}))
+        res = check_weak(paper_view, h, log, max_vectors=1)
+        assert not res.ok and "claims no vector" in res.detail
+
+    def test_false_claim_fails_instrumented(self, paper_view, paper_states):
+        h, _ = build_history(paper_states)
+        log = SnapshotLog()
+        log.record(
+            1.0, evaluate_at(paper_view, h, {}), claimed_vector={1: 1, 2: 1, 3: 1}
+        )
+        res = check_weak(paper_view, h, log, max_vectors=1)
+        assert not res.ok
+
+    def test_regressing_claims_fail_strong_instrumented(
+        self, paper_view, paper_states
+    ):
+        h, _ = build_history(paper_states)
+        log = SnapshotLog()
+        v1 = {1: 0, 2: 1, 3: 0}
+        log.record(1.0, evaluate_at(paper_view, h, v1), claimed_vector=v1)
+        v0 = {1: 0, 2: 0, 3: 0}
+        log.record(2.0, evaluate_at(paper_view, h, v0), claimed_vector=v0)
+        res = check_strong(paper_view, h, log, max_vectors=1)
+        assert not res.ok and "regresses" in res.detail
+
+
+class TestRunRecorder:
+    def test_delivery_stamping(self, paper_view, paper_states):
+        rec = RunRecorder(paper_view)
+        rec.register_source(1, "R1", paper_states["R1"])
+        n = UpdateNotice(1, 1, Delta.delete(R1_SCHEMA, (2, 3)))
+        rec.on_source_update(n)
+        rec.on_delivery(n)
+        assert n.delivery_seq == 1
+        assert rec.updates_delivered == 1
+
+    def test_check_dispatch(self, paper_view, paper_states):
+        rec = RunRecorder(paper_view)
+        for idx, name in ((1, "R1"), (2, "R2"), (3, "R3")):
+            rec.register_source(idx, name, paper_states[name])
+        rec.set_initial_view(paper_view.evaluate(paper_states))
+        assert rec.check(ConsistencyLevel.CONVERGENCE).ok  # no updates: trivially converged
+        assert rec.classify() == ConsistencyLevel.COMPLETE  # zero deliveries, zero installs
+        with pytest.raises(ValueError):
+            rec.check(ConsistencyLevel.NONE)
+
+    def test_view_as_of(self, paper_view, paper_states):
+        log = SnapshotLog()
+        initial = paper_view.evaluate(paper_states)
+        log.set_initial(initial)
+        later = Relation(paper_view.view_schema, {(5, 6): 1})
+        log.record(10.0, later)
+        assert log.view_as_of(5.0) == initial
+        assert log.view_as_of(10.0) == later
+        assert log.view_as_of(99.0) == later
+        assert SnapshotLog().view_as_of(1.0) is None
+
+    def test_snapshot_log_helpers(self, paper_view, paper_states):
+        log = SnapshotLog()
+        initial = paper_view.evaluate(paper_states)
+        log.set_initial(initial)
+        assert log.final_view == initial
+        log.record(1.0, initial)  # unchanged state
+        changed = Relation(paper_view.view_schema, {(5, 6): 1})
+        log.record(2.0, changed)
+        assert log.distinct_states() == 1
+        assert len(log) == 2
+        assert list(log)[1].view == changed

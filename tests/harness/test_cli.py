@@ -1,0 +1,91 @@
+"""CLI tests (python -m repro)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.algorithm == "sweep"
+        assert args.sources == 3
+
+    def test_run_flags(self):
+        args = build_parser().parse_args(
+            ["run", "-a", "c-strobe", "-n", "5", "--backend", "sqlite",
+             "--no-keys", "--trace"]
+        )
+        assert args.algorithm == "c-strobe"
+        assert args.sources == 5
+        assert args.backend == "sqlite"
+        assert args.no_keys and args.trace
+
+
+class TestCommands:
+    def test_algorithms(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep" in out and "c-strobe" in out and "O(n!)" in out
+
+    def test_run_sweep(self, capsys):
+        code = main(["run", "-u", "6", "--interarrival", "2", "-s", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "consistency      : complete" in out
+
+    def test_run_show_view_and_trace(self, capsys):
+        code = main(["run", "-u", "3", "--trace", "--show-view"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[t=" in out  # trace lines
+        assert "K1" in out  # view header
+
+    def test_run_no_check(self, capsys):
+        assert main(["run", "-u", "3", "--no-check"]) == 0
+        assert "unchecked" in capsys.readouterr().out
+
+    def test_fig5_matches(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "NO" not in out.replace("NO)", "")
+        assert "(7, 8)[2]" in out
+
+    def test_table1_small(self, capsys):
+        code = main(["table1", "--updates", "6", "--sources", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep" in out and "eca" in out
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "-a", "nonsense", "-u", "0"])
+
+    def test_advise(self, capsys):
+        assert main(["advise", "-n", "4", "--rate", "0.05",
+                     "--require", "complete"]) == 0
+        out = capsys.readouterr().out
+        assert "pipelined-sweep" in out
+        assert "rho" in out
+
+    def test_advise_global_txns(self, capsys):
+        assert main(["advise", "--global-txns"]) == 0
+        assert "global-sweep" in capsys.readouterr().out
+
+    def test_experiments_save(self, tmp_path, capsys, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setattr(
+            cli, "_experiment_sections",
+            lambda: [("T1", "stub section", "stub table")],
+        )
+        path = tmp_path / "sub" / "report.md"
+        assert main(["experiments", "--save", str(path)]) == 0
+        text = path.read_text()
+        assert "## T1 — stub section" in text
+        assert "stub table" in text
+        assert "report written" in capsys.readouterr().out

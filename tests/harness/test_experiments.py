@@ -1,0 +1,98 @@
+"""Smoke tests for every experiment module (small, fast parameterizations).
+
+The benchmark suite runs the full-size experiments with shape assertions;
+these tests ensure the modules stay importable and structurally sound on
+every plain `pytest tests/` run.
+"""
+
+from repro.harness.experiments import (
+    ablation,
+    amortization,
+    concurrency,
+    fig5,
+    messagesize,
+    scaling,
+    staleness,
+    table1,
+)
+
+
+class TestTable1:
+    def test_rows_and_rendering(self):
+        rows = table1.run_table1(seed=1, n_sources=3, n_updates=6)
+        assert [r["algorithm"] for r in rows] == list(table1.TABLE1_ALGORITHMS)
+        text = table1.format_table1(rows)
+        assert "Table 1" in text and "sweep" in text
+        for row in rows:
+            assert set(table1.COLUMNS) <= set(row)
+
+    def test_baselines_flag(self):
+        rows = table1.run_table1(seed=1, n_sources=2, n_updates=4,
+                                 include_baselines=True)
+        names = [r["algorithm"] for r in rows]
+        assert "convergent" in names and "recompute" in names
+
+    def test_shared_workload_reused(self):
+        wl = table1.shared_workload(seed=3, n_sources=3, n_updates=5)
+        a = table1.run_one("sweep", wl, seed=3)
+        b = table1.run_one("nested-sweep", wl, seed=3)
+        assert a.updates_delivered == b.updates_delivered
+        assert a.final_view == b.final_view  # same history, same end state
+
+
+class TestFig5:
+    def test_sweep_matches(self):
+        rows = fig5.run_fig5(spacing=0.5)
+        assert all(r["match"] == "yes" for r in rows)
+        assert "Figure 5" in fig5.format_fig5(rows)
+
+    def test_other_algorithm_allowed(self):
+        rows = fig5.run_fig5(algorithm="pipelined-sweep", spacing=0.5)
+        assert all(r["match"] == "yes" for r in rows)
+
+
+class TestSweeps:
+    def test_scaling_structure(self):
+        rows = scaling.run_scaling(sources=(2, 3), algorithms=("sweep",),
+                                   n_updates=4)
+        assert len(rows) == 2
+        assert rows[0]["msgs_per_update"] == 2.0
+        assert "S1" in scaling.format_scaling(rows)
+
+    def test_concurrency_structure(self):
+        rows = concurrency.run_concurrency(
+            interarrivals=(4.0,), algorithms=("sweep",), n_updates=4,
+        )
+        assert rows[0]["algorithm"] == "sweep"
+        assert "S2" in concurrency.format_concurrency(rows)
+
+    def test_staleness_structure(self):
+        rows = staleness.run_staleness(
+            interarrivals=(5.0,), algorithms=("sweep",), n_updates=4,
+        )
+        assert rows[0]["installs"] == 4
+        assert "S3" in staleness.format_staleness(rows)
+
+    def test_amortization_structure(self):
+        rows = amortization.run_amortization(interarrivals=(5.0,), n_updates=4)
+        assert {r["algorithm"] for r in rows} == {"sweep", "nested-sweep"}
+        assert "S4" in amortization.format_amortization(rows)
+
+    def test_messagesize_structure(self):
+        rows = messagesize.run_messagesize(interarrivals=(5.0,), n_updates=4)
+        assert {r["algorithm"] for r in rows} == {"eca", "sweep"}
+        assert "S5" in messagesize.format_messagesize(rows)
+
+
+class TestAblation:
+    def test_sweep_variants(self):
+        rows = ablation.run_sweep_variants(n_sources=3, n_updates=4)
+        assert {r["variant"] for r in rows} >= {"sequential", "parallel"}
+        assert all(r["consistency"] == "complete" for r in rows)
+        assert "A1" in ablation.format_sweep_variants(rows)
+
+    def test_nested_depth(self):
+        rows = ablation.run_nested_depth(depths=(None, 0), n_rounds=3)
+        by = {r["max_depth"]: r for r in rows}
+        assert by["unbounded"]["installs"] <= by[0]["installs"]
+        assert "A2" in ablation.format_nested_depth(rows)

@@ -1,0 +1,54 @@
+"""Timeline renderer tests."""
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.runner import run_experiment
+from repro.harness.timeline import render_timeline, summarize_lanes
+from repro.simulation.trace import TraceLog
+
+
+def traced_run():
+    return run_experiment(
+        ExperimentConfig(
+            algorithm="sweep", seed=1, n_sources=3, n_updates=5,
+            mean_interarrival=2.0, trace=True,
+        )
+    )
+
+
+class TestRenderTimeline:
+    def test_renders_all_actors(self):
+        result = traced_run()
+        text = render_timeline(result.trace)
+        assert "warehouse" in text
+        assert "R1" in text and "R3" in text
+        assert "install" in text
+        assert "t=" in text
+
+    def test_warehouse_lane_is_last(self):
+        result = traced_run()
+        header = render_timeline(result.trace).splitlines()[0]
+        assert header.rstrip().endswith("warehouse")
+
+    def test_kind_filter(self):
+        result = traced_run()
+        text = render_timeline(result.trace, kinds=("install",))
+        assert "install" in text
+        assert "local-update" not in text
+
+    def test_limit_and_truncation_note(self):
+        result = traced_run()
+        text = render_timeline(result.trace, limit=3)
+        assert "more events" in text
+        assert len([l for l in text.splitlines() if l.startswith("t=")]) == 3
+
+    def test_empty_trace(self):
+        assert render_timeline(TraceLog()) == "(no trace records)"
+
+    def test_summarize_lanes(self):
+        result = traced_run()
+        summary = summarize_lanes(result.trace)
+        assert summary["warehouse"]["install"] == result.installs
+        assert summary["warehouse"]["delivered"] == result.updates_delivered
+        assert sum(
+            lanes.get("local-update", 0) for lanes in summary.values()
+        ) == result.updates_delivered

@@ -1,0 +1,78 @@
+"""Property-based tests for incremental aggregate maintenance."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.aggregate import (
+    AggregateSpec,
+    AggregateView,
+    recompute_aggregate,
+)
+from repro.relational.delta import Delta
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+SCHEMA = Schema(("g", "v"))
+SPECS = (
+    AggregateSpec("count"),
+    AggregateSpec("sum", "v"),
+    AggregateSpec("min", "v"),
+    AggregateSpec("max", "v"),
+    AggregateSpec("avg", "v"),
+)
+
+# An operation stream: each step inserts or deletes one (group, value) row.
+# Deletes are made valid by only deleting rows the stream inserted earlier.
+ops = st.lists(
+    st.tuples(st.sampled_from("abc"), st.integers(0, 9), st.booleans()),
+    max_size=60,
+)
+
+
+def _replay(stream):
+    """Apply a generated stream, returning (aggregate, shadow relation)."""
+    agg = AggregateView(SCHEMA, ("g",), SPECS)
+    shadow = Relation(SCHEMA)
+    live: list[tuple] = []
+    for group, value, want_delete in stream:
+        if want_delete and live:
+            row = live.pop()
+            delta = Delta(SCHEMA, {row: -1})
+        else:
+            row = (group, value)
+            live.append(row)
+            delta = Delta(SCHEMA, {row: 1})
+        agg.apply(delta)
+        shadow.apply_delta(delta)
+    return agg, shadow
+
+
+class TestAggregateProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(ops)
+    def test_incremental_equals_recompute(self, stream):
+        agg, shadow = _replay(stream)
+        assert agg.as_relation() == recompute_aggregate(shadow, ("g",), SPECS)
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops)
+    def test_groups_match_distinct_keys(self, stream):
+        agg, shadow = _replay(stream)
+        expected_groups = {row[0] for row in shadow.rows()}
+        assert set(k[0] for k in agg.group_keys()) == expected_groups
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops)
+    def test_count_and_sum_linear(self, stream):
+        """Applying the whole history as ONE delta gives the same result."""
+        agg, shadow = _replay(stream)
+        oneshot = AggregateView(SCHEMA, ("g",), SPECS)
+        oneshot.apply(Delta.from_relation(shadow))
+        assert oneshot.as_relation() == agg.as_relation()
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops)
+    def test_insert_then_full_delete_is_identity(self, stream):
+        agg, shadow = _replay(stream)
+        agg.apply(Delta.from_relation(shadow).negated())
+        assert len(agg) == 0

@@ -1,0 +1,126 @@
+"""Property-based tests for the bag algebra (hypothesis).
+
+These pin down the algebraic identities every maintenance algorithm relies
+on; a violation in any of them would silently corrupt compensation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.algebra import difference, join, project, select, union
+from repro.relational.delta import Delta
+from repro.relational.predicate import AttrCompare, AttrEq
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+AB = Schema(("A", "B"))
+CD = Schema(("C", "D"))
+
+values = st.integers(min_value=0, max_value=4)
+rows_ab = st.tuples(values, values)
+rows_cd = st.tuples(values, values)
+
+
+def relations(schema, rows):
+    return st.dictionaries(rows, st.integers(1, 3), max_size=6).map(
+        lambda d: Relation(schema, d)
+    )
+
+
+def deltas(schema, rows):
+    return (
+        st.dictionaries(rows, st.integers(-3, 3).filter(bool), max_size=6)
+        .map(lambda d: Delta(schema, d))
+    )
+
+
+class TestBagIdentities:
+    @given(deltas(AB, rows_ab))
+    def test_difference_with_self_is_empty(self, d):
+        assert len(difference(d, d)) == 0
+
+    @given(deltas(AB, rows_ab), deltas(AB, rows_ab))
+    def test_union_commutative(self, a, b):
+        assert union(a, b) == union(b, a)
+
+    @given(deltas(AB, rows_ab), deltas(AB, rows_ab), deltas(AB, rows_ab))
+    def test_union_associative(self, a, b, c):
+        assert union(union(a, b), c) == union(a, union(b, c))
+
+    @given(deltas(AB, rows_ab), deltas(AB, rows_ab))
+    def test_difference_is_union_of_negation(self, a, b):
+        assert difference(a, b) == union(a, b.negated())
+
+    @given(deltas(AB, rows_ab))
+    def test_double_negation(self, d):
+        assert d.negated().negated() == d
+
+    @given(deltas(AB, rows_ab))
+    def test_positive_negative_decomposition(self, d):
+        pos, neg = d.positive_part(), d.negative_part()
+        rebuilt = difference(
+            Delta.from_relation(pos), Delta.from_relation(neg)
+        )
+        assert rebuilt == d
+
+
+class TestJoinProperties:
+    @given(relations(AB, rows_ab), relations(CD, rows_cd))
+    def test_join_total_count_product_on_cross(self, r, s):
+        assert join(r, s).total_count == r.total_count * s.total_count
+
+    @given(deltas(AB, rows_ab), relations(CD, rows_cd))
+    def test_join_distributes_over_union(self, d, s):
+        """(d1 + d2) |><| s == d1 |><| s + d2 |><| s -- linearity, the
+        property on which all delta compensation rests."""
+        pos = Delta.from_relation(d.positive_part())
+        neg = Delta.from_relation(d.negative_part()).negated()
+        cond = AttrEq("B", "C")
+        combined = union(join(pos, s, cond), join(neg, s, cond))
+        assert combined == join(d, s, cond)
+
+    @given(relations(AB, rows_ab), relations(CD, rows_cd))
+    def test_incremental_maintenance_identity(self, r, s):
+        """(R + dR) |><| S == R |><| S + dR |><| S for an arbitrary delta."""
+        delta = Delta(AB, {(9, 1): 2, (0, 0): 1})
+        cond = AttrEq("B", "C")
+        updated = Relation(AB, r.as_dict())
+        updated.apply_delta(delta)
+        full = join(updated, s, cond)
+        incremental = union(
+            Delta.from_relation(join(r, s, cond)), join(delta, s, cond)
+        )
+        assert incremental.positive_part() == full
+
+    @given(deltas(AB, rows_ab), relations(CD, rows_cd))
+    def test_join_sign_symmetry(self, d, s):
+        cond = AttrEq("B", "C")
+        assert join(d.negated(), s, cond) == join(d, s, cond).negated()
+
+
+class TestSelectProjectProperties:
+    @given(deltas(AB, rows_ab))
+    def test_select_partitions(self, d):
+        pred = AttrCompare("A", ">=", 2)
+        inside = select(d, pred)
+        outside = select(d, ~pred)
+        assert union(inside, outside) == d
+
+    @given(deltas(AB, rows_ab))
+    def test_select_idempotent(self, d):
+        pred = AttrCompare("A", ">=", 2)
+        assert select(select(d, pred), pred) == select(d, pred)
+
+    @given(deltas(AB, rows_ab))
+    def test_project_preserves_total_count(self, d):
+        assert project(d, ["B"]).total_count == d.total_count
+
+    @given(deltas(AB, rows_ab), deltas(AB, rows_ab))
+    def test_project_linear(self, a, b):
+        assert project(union(a, b), ["B"]) == union(
+            project(a, ["B"]), project(b, ["B"])
+        )
+
+    @given(relations(AB, rows_ab))
+    def test_full_projection_is_identity_on_rows(self, r):
+        assert project(r, ["A", "B"]) == r

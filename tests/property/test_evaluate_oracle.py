@@ -1,0 +1,121 @@
+"""The oracle of the oracle: ViewDefinition.evaluate vs naive enumeration.
+
+The consistency checkers trust ``ViewDefinition.evaluate``.  This module
+verifies that trust: a from-first-principles evaluator (enumerate every
+combination of base rows, test every condition on the combined row, apply
+sigma/pi by hand) must agree with the engine's hash-join pipeline on
+randomized schemas, data and conditions.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.predicate import AttrCompare, AttrEq
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.view import ViewDefinition
+
+
+def naive_evaluate(view: ViewDefinition, states: dict) -> Relation:
+    """Nested-loop SPJ evaluation: the most obviously correct thing."""
+    relations = [states[name] for name in view.relation_names]
+    wide_rows: dict[tuple, int] = {}
+    compiled_joins = [c.compile(view.wide_schema) for c in view.join_conditions]
+    compiled_sel = view.selection.compile(view.wide_schema)
+    for combo in itertools.product(*(list(r.items()) for r in relations)):
+        row = tuple(v for (r, _) in combo for v in r)
+        count = 1
+        for _, c in combo:
+            count *= c
+        if not all(fn(row) for fn in compiled_joins):
+            continue
+        if not compiled_sel(row):
+            continue
+        wide_rows[row] = wide_rows.get(row, 0) + count
+    if view.projection is None:
+        return Relation(view.wide_schema, wide_rows)
+    indices = view.wide_schema.project_indices(view.projection)
+    projected: dict[tuple, int] = {}
+    for row, count in wide_rows.items():
+        key = tuple(row[i] for i in indices)
+        projected[key] = projected.get(key, 0) + count
+    return Relation(view.view_schema, projected)
+
+
+small_value = st.integers(0, 3)
+
+
+@st.composite
+def random_view_and_states(draw):
+    n = draw(st.integers(1, 3))
+    schemas = []
+    for i in range(1, n + 1):
+        width = draw(st.integers(1, 3))
+        schemas.append(
+            Schema(tuple(f"a{i}_{k}" for k in range(width)))
+        )
+    # join conditions: chain equalities on random attributes
+    conditions = []
+    for i in range(n - 1):
+        left_attr = draw(st.sampled_from(schemas[i].attributes))
+        right_attr = draw(st.sampled_from(schemas[i + 1].attributes))
+        conditions.append(AttrEq(left_attr, right_attr))
+    # optional extra non-adjacent condition
+    if n == 3 and draw(st.booleans()):
+        conditions.append(
+            AttrEq(
+                draw(st.sampled_from(schemas[0].attributes)),
+                draw(st.sampled_from(schemas[2].attributes)),
+            )
+        )
+    all_attrs = [a for s in schemas for a in s.attributes]
+    selection = None
+    if draw(st.booleans()):
+        selection = AttrCompare(
+            draw(st.sampled_from(all_attrs)),
+            draw(st.sampled_from(["<", "<=", ">", ">=", "==", "!="])),
+            draw(small_value),
+        )
+    projection = None
+    if draw(st.booleans()):
+        k = draw(st.integers(1, len(all_attrs)))
+        projection = draw(
+            st.lists(
+                st.sampled_from(all_attrs), min_size=k, max_size=k,
+                unique=True,
+            )
+        )
+    view = ViewDefinition(
+        name="rand",
+        relation_names=tuple(f"T{i}" for i in range(1, n + 1)),
+        schemas=tuple(schemas),
+        join_conditions=tuple(conditions),
+        selection=selection,
+        projection=projection,
+    )
+    states = {}
+    for i, schema in enumerate(schemas, start=1):
+        rows = draw(
+            st.dictionaries(
+                st.tuples(*([small_value] * len(schema))),
+                st.integers(1, 2),
+                max_size=4,
+            )
+        )
+        states[f"T{i}"] = Relation(schema, rows)
+    return view, states
+
+
+class TestEvaluateAgainstNaive:
+    @settings(max_examples=80, deadline=None)
+    @given(random_view_and_states())
+    def test_engine_matches_nested_loops(self, view_and_states):
+        view, states = view_and_states
+        assert view.evaluate(states) == naive_evaluate(view, states)
+
+    def test_naive_on_paper_example(self, paper_view, paper_states):
+        assert naive_evaluate(paper_view, paper_states) == paper_view.evaluate(
+            paper_states
+        )

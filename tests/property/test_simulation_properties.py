@@ -1,0 +1,160 @@
+"""Property-based tests for the simulation kernel's guarantees.
+
+The FIFO property is the foundation of every correctness claim in the
+paper; these tests hammer it with randomized latency models, send
+patterns and interleavings.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.channel import Channel, Message
+from repro.simulation.kernel import Simulator
+from repro.simulation.latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    UniformLatency,
+)
+from repro.simulation.mailbox import Mailbox
+
+
+def _latency(kind: str, rng: random.Random):
+    if kind == "constant":
+        return ConstantLatency(rng.uniform(0, 5))
+    if kind == "uniform":
+        lo = rng.uniform(0, 3)
+        return UniformLatency(lo, lo + rng.uniform(0, 5), rng)
+    return ExponentialLatency(rng.uniform(0.1, 5), rng)
+
+
+class TestFifoProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(0, 10_000),
+        st.sampled_from(["constant", "uniform", "exponential"]),
+        st.lists(st.floats(0.0, 2.0), min_size=1, max_size=40),
+    )
+    def test_single_channel_fifo(self, seed, kind, gaps):
+        """Messages always arrive in send order, whatever the latencies."""
+        rng = random.Random(seed)
+        sim = Simulator()
+        box = Mailbox(sim, "dst")
+        channel = Channel(sim, "ch", box, _latency(kind, rng))
+        received = []
+
+        def consumer():
+            while True:
+                msg = yield box.get()
+                received.append(msg.payload)
+
+        sim.spawn("c", consumer())
+
+        t = 0.0
+        for i, gap in enumerate(gaps):
+            t += gap
+            sim.schedule_at(
+                t,
+                lambda i=i: channel.send(Message(kind="m", sender="s", payload=i)),
+            )
+        sim.run()
+        assert received == list(range(len(gaps)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(0, 10_000),
+        st.integers(2, 5),
+        st.integers(5, 30),
+    )
+    def test_many_channels_interleave_but_stay_fifo(self, seed, n_channels, n_msgs):
+        """Cross-channel order is arbitrary; per-channel order never is."""
+        rng = random.Random(seed)
+        sim = Simulator()
+        box = Mailbox(sim, "dst")
+        channels = [
+            Channel(sim, f"ch{c}", box, _latency("exponential", rng))
+            for c in range(n_channels)
+        ]
+        received: list[tuple[int, int]] = []
+
+        def consumer():
+            while True:
+                msg = yield box.get()
+                received.append(msg.payload)
+
+        sim.spawn("c", consumer())
+        counters = [0] * n_channels
+
+        def do_send(c: int) -> None:
+            # stamp the per-channel send sequence at send time
+            i = counters[c]
+            counters[c] += 1
+            channels[c].send(Message(kind="m", sender=f"s{c}", payload=(c, i)))
+
+        for _ in range(n_msgs):
+            c = rng.randrange(n_channels)
+            t = rng.uniform(0, 20)
+            sim.schedule_at(t, lambda c=c: do_send(c))
+        sim.run()
+        assert len(received) == n_msgs
+        per_channel: dict[int, list[int]] = {}
+        for c, i in received:
+            per_channel.setdefault(c, []).append(i)
+        for c, seqs in per_channel.items():
+            assert seqs == list(range(len(seqs))), f"channel {c} reordered"
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 30))
+    def test_delivery_times_monotone_per_channel(self, seed, n_msgs):
+        rng = random.Random(seed)
+        sim = Simulator()
+        box = Mailbox(sim, "dst")
+        channel = Channel(sim, "ch", box, _latency("exponential", rng))
+        arrivals = []
+
+        def consumer():
+            while True:
+                msg = yield box.get()
+                arrivals.append(msg.delivered_at)
+
+        sim.spawn("c", consumer())
+        t = 0.0
+        for _ in range(n_msgs):
+            t += rng.uniform(0, 1)
+            sim.schedule_at(
+                t, lambda: channel.send(Message(kind="m", sender="s", payload=0))
+            )
+        sim.run()
+        assert arrivals == sorted(arrivals)
+        assert len(arrivals) == n_msgs
+
+
+class TestDeterminismProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_identical_seeds_identical_traces(self, seed):
+        def run_once():
+            rng = random.Random(seed)
+            sim = Simulator()
+            box = Mailbox(sim, "dst")
+            channel = Channel(sim, "ch", box, ExponentialLatency(1.0, rng))
+            log = []
+
+            def consumer():
+                while True:
+                    msg = yield box.get()
+                    log.append((sim.now, msg.payload))
+
+            sim.spawn("c", consumer())
+            for i in range(20):
+                sim.schedule_at(
+                    i * 0.3,
+                    lambda i=i: channel.send(
+                        Message(kind="m", sender="s", payload=i)
+                    ),
+                )
+            sim.run()
+            return log
+
+        assert run_once() == run_once()

@@ -1,0 +1,239 @@
+"""Property-based end-to-end checks: consistency under random workloads.
+
+Hypothesis drives the *workload shape* (source count, update mix, timing,
+seed); the consistency oracle independently verifies each run.  These are
+the strongest correctness statements in the suite: SWEEP is completely
+consistent for every generated race, Nested SWEEP at least strongly, and
+C-Strobe completely.
+"""
+
+from hypothesis import given, settings, HealthCheck
+from hypothesis import strategies as st
+
+from repro.consistency.levels import ConsistencyLevel
+from repro.harness.config import ExperimentConfig
+from repro.harness.runner import run_experiment
+from repro.relational.delta import Delta
+from repro.relational.incremental import PartialView
+from repro.relational.relation import Relation
+from repro.workloads.schema_gen import chain_view
+
+# Small, hostile configurations: latency comparable to inter-arrival time.
+workload_params = st.fixed_dictionaries(
+    {
+        "seed": st.integers(0, 10_000),
+        "n_sources": st.integers(1, 4),
+        "n_updates": st.integers(0, 12),
+        "mean_interarrival": st.sampled_from([0.5, 1.0, 3.0]),
+        "latency": st.sampled_from([2.0, 6.0]),
+        "insert_fraction": st.sampled_from([0.0, 0.5, 1.0]),
+    }
+)
+
+END_TO_END = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _run(algorithm, params, **extra):
+    return run_experiment(
+        ExperimentConfig(
+            algorithm=algorithm,
+            rows_per_relation=6,
+            match_fraction=1.0,
+            latency_model="uniform",
+            **params,
+            **extra,
+        )
+    )
+
+
+class TestEndToEndConsistency:
+    @END_TO_END
+    @given(workload_params)
+    def test_sweep_always_complete(self, params):
+        result = _run("sweep", params)
+        assert result.classified_level == ConsistencyLevel.COMPLETE
+
+    @END_TO_END
+    @given(workload_params)
+    def test_nested_sweep_at_least_strong(self, params):
+        result = _run("nested-sweep", params)
+        assert result.classified_level >= ConsistencyLevel.STRONG
+
+    @END_TO_END
+    @given(workload_params)
+    def test_cstrobe_always_complete(self, params):
+        result = _run("c-strobe", params)
+        assert result.classified_level == ConsistencyLevel.COMPLETE
+
+    @END_TO_END
+    @given(workload_params)
+    def test_strobe_at_least_strong(self, params):
+        result = _run("strobe", params)
+        assert result.classified_level >= ConsistencyLevel.STRONG
+
+    @END_TO_END
+    @given(workload_params)
+    def test_eca_at_least_strong(self, params):
+        result = _run("eca", params)
+        assert result.classified_level >= ConsistencyLevel.STRONG
+
+    @END_TO_END
+    @given(workload_params)
+    def test_pipelined_trajectory_equals_sequential(self, params):
+        """Pipelining must not change *what* is installed, only when.
+
+        Caveat discovered by this very property: the two runs' protocol
+        traffic perturbs the channels' seeded latency draws, so the
+        *delivery order itself* can differ between algorithms -- and each
+        is complete with respect to its own order.  The comparable claim:
+        identical delivery order implies identical installed trajectory,
+        and final states always agree.
+        """
+        sequential = _run("sweep", params)
+        pipelined = _run("pipelined-sweep", params)
+        assert pipelined.final_view == sequential.final_view
+        seq_order = [
+            (n.source_index, n.seq) for n in sequential.recorder.deliveries
+        ]
+        pipe_order = [
+            (n.source_index, n.seq) for n in pipelined.recorder.deliveries
+        ]
+        if seq_order == pipe_order:
+            assert [
+                s.view.as_dict() for s in sequential.recorder.snapshots
+            ] == [s.view.as_dict() for s in pipelined.recorder.snapshots]
+
+    @END_TO_END
+    @given(workload_params)
+    def test_sweep_with_source_local_transactions(self, params):
+        """Multi-row atomic updates (type 2) keep complete consistency."""
+        result = _run("sweep", params, txn_fraction=0.5, txn_max_rows=3)
+        assert result.classified_level == ConsistencyLevel.COMPLETE
+
+    @END_TO_END
+    @given(workload_params)
+    def test_sweep_message_complexity_invariant(self, params):
+        """Exactly 2(n-1) protocol messages per update, regardless of races."""
+        result = _run("sweep", params)
+        expected = 2 * (params["n_sources"] - 1) * result.updates_delivered
+        assert result.protocol_messages == expected
+
+    @END_TO_END
+    @given(workload_params)
+    def test_pipelined_sweep_always_complete(self, params):
+        result = _run("pipelined-sweep", params)
+        assert result.classified_level == ConsistencyLevel.COMPLETE
+        assert result.installs == result.updates_delivered
+
+    @END_TO_END
+    @given(workload_params)
+    def test_global_sweep_atomic_and_strong(self, params):
+        from repro.consistency.atomicity import check_transaction_atomicity
+
+        result = _run(
+            "global-sweep", params, global_txn_fraction=0.3,
+            max_check_vectors=100_000,
+        )
+        atom = check_transaction_atomicity(
+            result.recorder.history, result.recorder.snapshots
+        )
+        assert atom.ok, atom.violations
+        assert result.classified_level >= ConsistencyLevel.STRONG
+
+    @END_TO_END
+    @given(workload_params)
+    def test_bootstrap_sweep_strong(self, params):
+        result = _run("bootstrap-sweep", params)
+        assert result.classified_level >= ConsistencyLevel.STRONG
+
+    @END_TO_END
+    @given(workload_params)
+    def test_parallel_sweep_equivalent(self, params):
+        sequential = _run("sweep", params)
+        parallel = _run("sweep", params, sweep_parallel=True)
+        assert parallel.final_view == sequential.final_view
+        assert parallel.classified_level == ConsistencyLevel.COMPLETE
+
+
+class TestSweepOrderInvariance:
+    """Extending a PartialView in any valid order yields the same delta."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(2, 5), st.data())
+    def test_extension_order_irrelevant(self, seed, n, data):
+        import random
+
+        from repro.workloads.data_gen import generate_initial_states
+
+        rng = random.Random(seed)
+        view = chain_view(n)
+        states, gen = generate_initial_states(view, rng, 5, match_fraction=1.0)
+        index = rng.randint(1, n)
+        row = (gen.fresh_key(index), rng.randrange(6), rng.randrange(6))
+        delta = Delta.insert(view.schema_of(index), row)
+
+        remaining = [j for j in range(1, n + 1) if j != index]
+
+        def sweep(order):
+            partial = PartialView.initial(view, index, delta)
+            pending = list(order)
+            while pending:
+                # pick the next requested index that is adjacent
+                for j in pending:
+                    if partial.is_adjacent(j):
+                        partial = partial.extend(j, states[view.name_of(j)])
+                        pending.remove(j)
+                        break
+            return partial
+
+        baseline = sweep(remaining)  # left-to-right preference
+        shuffled = list(remaining)
+        data.draw(st.randoms(use_true_random=False)).shuffle(shuffled)
+        assert sweep(shuffled).delta == baseline.delta
+        assert baseline.complete
+
+
+class TestSweepStepProperty:
+    """A full sweep (no concurrency) equals the recompute delta."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(0, 10_000),
+        st.integers(1, 4),
+        st.booleans(),
+    )
+    def test_sweep_equals_recompute(self, seed, n, is_insert):
+        import random
+
+        rng = random.Random(seed)
+        view = chain_view(n)
+        from repro.workloads.data_gen import generate_initial_states
+
+        states, gen = generate_initial_states(view, rng, 6, match_fraction=1.0)
+        index = rng.randint(1, n)
+        schema = view.schema_of(index)
+        if is_insert or not gen.live_rows[index]:
+            row = (gen.fresh_key(index), rng.randrange(7), rng.randrange(7))
+            delta = Delta.insert(schema, row)
+        else:
+            victim = rng.choice(gen.live_rows[index])
+            delta = Delta.delete(schema, victim)
+
+        partial = PartialView.initial(view, index, delta)
+        for j in range(index - 1, 0, -1):
+            partial = partial.extend(j, states[view.name_of(j)])
+        for j in range(index + 1, n + 1):
+            partial = partial.extend(j, states[view.name_of(j)])
+
+        before = view.evaluate(states)
+        after_states = {k: Relation(v.schema, v.as_dict()) for k, v in states.items()}
+        after_states[view.name_of(index)].apply_delta(delta)
+        after = view.evaluate(after_states)
+
+        installed = before.copy()
+        installed.apply_delta(view.finalize(partial.delta))
+        assert installed == after

@@ -1,0 +1,219 @@
+"""Aggregate view tests: specs, incremental maintenance, retraction."""
+
+import pytest
+
+from repro.relational.aggregate import (
+    AggregateSpec,
+    AggregateView,
+    recompute_aggregate,
+)
+from repro.relational.delta import Delta, delta_from_rows
+from repro.relational.errors import NegativeCountError, SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+SCHEMA = Schema(("region", "price"))
+
+
+def make_agg(specs=None, group_by=("region",)):
+    specs = specs or (
+        AggregateSpec("count"),
+        AggregateSpec("sum", "price"),
+        AggregateSpec("min", "price"),
+        AggregateSpec("max", "price"),
+        AggregateSpec("avg", "price"),
+    )
+    return AggregateView(SCHEMA, group_by, specs)
+
+
+class TestSpec:
+    def test_bad_func(self):
+        with pytest.raises(ValueError):
+            AggregateSpec("median", "price")
+
+    def test_count_takes_no_attr(self):
+        with pytest.raises(ValueError):
+            AggregateSpec("count", "price")
+
+    def test_others_need_attr(self):
+        with pytest.raises(ValueError):
+            AggregateSpec("sum")
+
+    def test_column_names(self):
+        assert AggregateSpec("count").column_name == "count"
+        assert AggregateSpec("sum", "price").column_name == "sum_price"
+        assert AggregateSpec("sum", "price", name="revenue").column_name == "revenue"
+
+
+class TestConstruction:
+    def test_output_schema(self):
+        agg = make_agg()
+        assert agg.schema.attributes == (
+            "region", "count", "sum_price", "min_price", "max_price",
+            "avg_price",
+        )
+        assert agg.schema.key == ("region",)
+
+    def test_needs_aggregates(self):
+        with pytest.raises(ValueError):
+            AggregateView(SCHEMA, ("region",), ())
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            AggregateView(
+                SCHEMA, ("region",),
+                (AggregateSpec("sum", "price"), AggregateSpec("sum", "price")),
+            )
+
+    def test_unknown_attrs_rejected(self):
+        with pytest.raises(Exception):
+            AggregateView(SCHEMA, ("zone",), (AggregateSpec("count"),))
+
+
+class TestMaintenance:
+    def test_inserts(self):
+        agg = make_agg()
+        agg.apply(delta_from_rows(SCHEMA, inserts=[("w", 10), ("w", 30), ("e", 5)]))
+        rel = agg.as_relation()
+        assert rel.count(("w", 2, 40, 10, 30, 20.0)) == 1
+        assert rel.count(("e", 1, 5, 5, 5, 5.0)) == 1
+
+    def test_multiplicity_counts(self):
+        agg = make_agg()
+        agg.apply(Delta(SCHEMA, {("w", 10): 3}))
+        assert agg.value_of(("w",), 0) == 3
+        assert agg.value_of(("w",), 1) == 30
+
+    def test_delete_retracts_extremum(self):
+        """The MIN/MAX retraction case naive implementations get wrong."""
+        agg = make_agg()
+        agg.apply(delta_from_rows(SCHEMA, inserts=[("w", 10), ("w", 30)]))
+        agg.apply(delta_from_rows(SCHEMA, deletes=[("w", 30)]))
+        assert agg.value_of(("w",), 3) == 10  # max fell back
+        assert agg.value_of(("w",), 2) == 10
+
+    def test_group_disappears_at_zero(self):
+        agg = make_agg()
+        agg.apply(delta_from_rows(SCHEMA, inserts=[("w", 10)]))
+        agg.apply(delta_from_rows(SCHEMA, deletes=[("w", 10)]))
+        assert len(agg) == 0
+        assert agg.group_keys() == []
+
+    def test_overdelete_raises(self):
+        agg = make_agg()
+        with pytest.raises(NegativeCountError):
+            agg.apply(delta_from_rows(SCHEMA, deletes=[("w", 10)]))
+
+    def test_schema_mismatch(self):
+        agg = make_agg()
+        with pytest.raises(SchemaError):
+            agg.apply(Delta(Schema(("x", "y"))))
+
+    def test_global_group(self):
+        agg = AggregateView(SCHEMA, (), (AggregateSpec("sum", "price"),))
+        agg.apply(delta_from_rows(SCHEMA, inserts=[("w", 10), ("e", 5)]))
+        assert agg.value_of((), 0) == 15
+
+    def test_count_distinct(self):
+        agg = AggregateView(
+            SCHEMA, ("region",), (AggregateSpec("count_distinct", "price"),)
+        )
+        agg.apply(delta_from_rows(
+            SCHEMA, inserts=[("w", 10), ("w", 10), ("w", 30)]
+        ))
+        assert agg.value_of(("w",), 0) == 2
+        agg.apply(delta_from_rows(SCHEMA, deletes=[("w", 30)]))
+        assert agg.value_of(("w",), 0) == 1
+        # the duplicate 10 is still present twice: deleting one keeps it
+        agg.apply(delta_from_rows(SCHEMA, deletes=[("w", 10)]))
+        assert agg.value_of(("w",), 0) == 1
+
+    def test_count_distinct_matches_recompute(self):
+        specs = (AggregateSpec("count_distinct", "price"),)
+        rel = Relation(SCHEMA, {("w", 10): 2, ("w", 30): 1, ("e", 10): 1})
+        agg = AggregateView.over_relation(rel, ("region",), specs)
+        assert agg.as_relation() == recompute_aggregate(rel, ("region",), specs)
+
+    def test_over_relation_initialization(self):
+        rel = Relation(SCHEMA, [("w", 10), ("w", 20)])
+        agg = AggregateView.over_relation(
+            rel, ("region",), (AggregateSpec("count"),)
+        )
+        assert agg.value_of(("w",), 0) == 2
+
+
+class TestAgainstRecompute:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_incremental_equals_recompute(self, seed):
+        """Random insert/delete streams: incremental == from-scratch."""
+        import random
+
+        rng = random.Random(seed)
+        specs = (
+            AggregateSpec("count"),
+            AggregateSpec("sum", "price"),
+            AggregateSpec("min", "price"),
+            AggregateSpec("max", "price"),
+        )
+        agg = make_agg(specs)
+        shadow = Relation(SCHEMA)
+        live: list[tuple] = []
+        for _ in range(120):
+            if live and rng.random() < 0.4:
+                row = live.pop(rng.randrange(len(live)))
+                delta = delta_from_rows(SCHEMA, deletes=[row])
+            else:
+                row = (rng.choice("wens"), rng.randrange(50))
+                live.append(row)
+                delta = delta_from_rows(SCHEMA, inserts=[row])
+            agg.apply(delta)
+            shadow.apply_delta(delta)
+            if rng.random() < 0.2:
+                expected = recompute_aggregate(shadow, ("region",), specs)
+                assert agg.as_relation() == expected
+        assert agg.as_relation() == recompute_aggregate(shadow, ("region",), specs)
+
+
+class TestWarehouseIntegration:
+    def test_attached_aggregate_tracks_sweep_installs(self):
+        """End to end: an aggregate attached to the warehouse view equals a
+        recompute over the final view after a full SWEEP run."""
+        from repro.harness.config import ExperimentConfig
+        from repro.harness.runner import run_experiment
+        from repro.workloads.schema_gen import chain_view
+
+        # run an experiment, attaching the aggregate before updates flow
+        from repro.harness import runner as runner_mod
+
+        config = ExperimentConfig(
+            algorithm="sweep", seed=4, n_sources=3, n_updates=15,
+            mean_interarrival=1.5, match_fraction=1.0, insert_fraction=0.5,
+        )
+        result = run_experiment(config)
+        store = result.warehouse.store
+        specs = (AggregateSpec("count"), AggregateSpec("sum", "V3"))
+        agg = store.attach_aggregate(("K1",), specs)
+        # feed a further delta through the store and compare to recompute
+        from repro.relational.delta import Delta
+
+        first_row = next(iter(store.relation.rows()), None)
+        if first_row is not None:
+            store.apply(Delta(store.relation.schema, {first_row: -1}))
+        assert agg.as_relation() == recompute_aggregate(
+            store.relation, ("K1",), specs
+        )
+
+    def test_aggregate_requires_strict_store(self, paper_view, paper_states):
+        from repro.warehouse.view_store import MaterializedView
+
+        store = MaterializedView.from_states(paper_view, paper_states, strict=False)
+        with pytest.raises(ValueError):
+            store.attach_aggregate((), (AggregateSpec("count"),))
+
+    def test_aggregate_initialized_from_contents(self, paper_view, paper_states):
+        from repro.warehouse.view_store import MaterializedView
+
+        store = MaterializedView.from_states(paper_view, paper_states)
+        agg = store.attach_aggregate((), (AggregateSpec("count"),))
+        assert agg.value_of((), 0) == 2  # (7,8)[2]
+        assert store.aggregates == (agg,)

@@ -1,0 +1,193 @@
+"""Unit tests for PartialView: the sweep-step algebra of Section 4/5."""
+
+import pytest
+
+from repro.relational.delta import Delta
+from repro.relational.errors import SchemaError
+from repro.relational.incremental import PartialView, compute_join
+from repro.relational.predicate import AttrEq
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.view import ViewDefinition
+
+R1 = Schema(("A", "B"))
+R2 = Schema(("C", "D"))
+R3 = Schema(("E", "F"))
+
+
+def view():
+    return ViewDefinition(
+        name="V",
+        relation_names=("R1", "R2", "R3"),
+        schemas=(R1, R2, R3),
+        join_conditions=(AttrEq("B", "C"), AttrEq("D", "E")),
+        projection=("D", "F"),
+    )
+
+
+def states():
+    return {
+        "R1": Relation(R1, [(1, 3), (2, 3)]),
+        "R2": Relation(R2, [(3, 7)]),
+        "R3": Relation(R3, [(5, 6), (7, 8)]),
+    }
+
+
+class TestInitial:
+    def test_seed(self):
+        v = view()
+        p = PartialView.initial(v, 2, Delta.insert(R2, (3, 5)))
+        assert (p.lo, p.hi) == (2, 2)
+        assert p.covered == frozenset({2})
+        assert not p.complete
+
+    def test_schema_checked(self):
+        v = view()
+        with pytest.raises(SchemaError):
+            PartialView.initial(v, 1, Delta.insert(R2, (3, 5)))
+
+
+class TestExtend:
+    def test_left_extend(self):
+        """The paper's first sweep step: Delta-R2 = +(3,5) joined at R1."""
+        v = view()
+        p = PartialView.initial(v, 2, Delta.insert(R2, (3, 5)))
+        p = p.extend(1, states()["R1"])
+        assert (p.lo, p.hi) == (1, 2)
+        assert p.delta.schema.attributes == ("A", "B", "C", "D")
+        assert p.delta.count((1, 3, 3, 5)) == 1
+        assert p.delta.count((2, 3, 3, 5)) == 1
+
+    def test_right_extend(self):
+        v = view()
+        p = PartialView.initial(v, 2, Delta.insert(R2, (3, 5)))
+        p = p.extend(1, states()["R1"]).extend(3, states()["R3"])
+        assert p.complete
+        assert p.delta.schema.attributes == ("A", "B", "C", "D", "E", "F")
+        assert p.delta.count((1, 3, 3, 5, 5, 6)) == 1
+        assert p.delta.count((2, 3, 3, 5, 5, 6)) == 1
+
+    def test_canonical_order_after_left_extension(self):
+        """Extending leftward must still yield columns in chain order."""
+        v = view()
+        p = PartialView.initial(v, 3, Delta.delete(R3, (7, 8)))
+        p = p.extend(2, states()["R2"])
+        assert p.delta.schema.attributes == ("C", "D", "E", "F")
+        assert p.delta.count((3, 7, 7, 8)) == -1
+
+    def test_non_adjacent_rejected(self):
+        v = view()
+        p = PartialView.initial(v, 1, Delta.insert(R1, (1, 3)))
+        with pytest.raises(SchemaError):
+            p.extend(3, states()["R3"])
+
+    def test_already_covered_rejected(self):
+        v = view()
+        p = PartialView.initial(v, 2, Delta.insert(R2, (3, 5)))
+        with pytest.raises(SchemaError):
+            p.extend(2, states()["R2"])
+
+    def test_wrong_contents_schema_rejected(self):
+        v = view()
+        p = PartialView.initial(v, 2, Delta.insert(R2, (3, 5)))
+        with pytest.raises(SchemaError):
+            p.extend(1, states()["R3"])
+
+    def test_is_adjacent(self):
+        v = view()
+        p = PartialView.initial(v, 2, Delta.insert(R2, (3, 5)))
+        assert p.is_adjacent(1) and p.is_adjacent(3)
+        assert not p.is_adjacent(2)
+
+    def test_sign_propagates_through_extension(self):
+        v = view()
+        p = PartialView.initial(v, 3, Delta.delete(R3, (7, 8)))
+        p = p.extend(2, states()["R2"]).extend(1, states()["R1"])
+        assert p.delta.count((1, 3, 3, 7, 7, 8)) == -1
+        assert p.delta.count((2, 3, 3, 7, 7, 8)) == -1
+
+
+class TestCompensate:
+    def test_paper_compensation_step(self):
+        """Section 5.2: answer from R1 compensated for concurrent -(2,3)."""
+        v = view()
+        temp = PartialView.initial(v, 2, Delta.insert(R2, (3, 5)))
+        # Source already applied the delete, so it joins with R1 - (2,3):
+        r1_new = Relation(R1, [(1, 3)])
+        answer = temp.extend(1, r1_new)
+        # Warehouse computes the error term locally from the queued update
+        error = temp.extend(1, Delta.delete(R1, (2, 3)))
+        compensated = answer.compensate(error)
+        # -(error) adds the deleted derivation back: both rows present
+        assert compensated.delta.count((1, 3, 3, 5)) == 1
+        assert compensated.delta.count((2, 3, 3, 5)) == 1
+
+    def test_range_mismatch_rejected(self):
+        v = view()
+        a = PartialView.initial(v, 2, Delta.insert(R2, (3, 5)))
+        b = a.extend(1, states()["R1"])
+        with pytest.raises(SchemaError):
+            b.compensate(a)
+
+    def test_add(self):
+        v = view()
+        a = PartialView.initial(v, 2, Delta.insert(R2, (3, 5)))
+        b = PartialView.initial(v, 2, Delta.delete(R2, (3, 5)))
+        assert len(a.add(b).delta) == 0
+
+    def test_add_range_mismatch(self):
+        v = view()
+        a = PartialView.initial(v, 2, Delta.insert(R2, (3, 5)))
+        b = PartialView.initial(v, 1, Delta.insert(R1, (1, 3)))
+        with pytest.raises(SchemaError):
+            a.add(b)
+
+
+class TestComputeJoin:
+    def test_source_service(self):
+        v = view()
+        p = PartialView.initial(v, 2, Delta.insert(R2, (3, 5)))
+        out = compute_join(v, p, 1, states()["R1"])
+        assert out.delta.total_count == 2
+
+    def test_view_identity_checked(self):
+        v1, v2 = view(), view()
+        v2.name = "other"
+        p = PartialView.initial(v1, 2, Delta.insert(R2, (3, 5)))
+        with pytest.raises(SchemaError):
+            compute_join(v2, p, 1, states()["R1"])
+
+
+class TestEquivalenceWithRecompute:
+    """A full sweep must equal the recomputed delta (no concurrency)."""
+
+    @pytest.mark.parametrize("update_index,update_delta", [
+        (1, ("insert", (9, 3))),
+        (1, ("delete", (2, 3))),
+        (2, ("insert", (3, 5))),
+        (3, ("delete", (7, 8))),
+    ])
+    def test_sweep_matches_recompute(self, update_index, update_delta):
+        v = view()
+        st = states()
+        kind, row = update_delta
+        schema = v.schema_of(update_index)
+        delta = (
+            Delta.insert(schema, row) if kind == "insert" else Delta.delete(schema, row)
+        )
+
+        # Sweep left then right, as ViewChange does.
+        p = PartialView.initial(v, update_index, delta)
+        for j in range(update_index - 1, 0, -1):
+            p = p.extend(j, st[v.name_of(j)])
+        for j in range(update_index + 1, v.n_relations + 1):
+            p = p.extend(j, st[v.name_of(j)])
+
+        before = v.evaluate(st)
+        new_states = {k: r.copy() for k, r in st.items()}
+        new_states[v.name_of(update_index)].apply_delta(delta)
+        after = v.evaluate(new_states)
+
+        installed = before.copy()
+        installed.apply_delta(v.finalize(p.delta))
+        assert installed == after

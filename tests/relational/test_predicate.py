@@ -1,0 +1,128 @@
+"""Unit tests for the predicate expression trees."""
+
+import pytest
+
+from repro.relational.errors import UnknownAttributeError
+from repro.relational.predicate import (
+    And,
+    AttrCompare,
+    AttrEq,
+    Const,
+    Not,
+    Or,
+    TruePredicate,
+    conjunction,
+)
+from repro.relational.schema import Schema
+
+S = Schema(("A", "B", "C"))
+
+
+def holds(pred, row, schema=S):
+    return pred.compile(schema)(row)
+
+
+class TestLeaves:
+    def test_true_predicate(self):
+        assert holds(TruePredicate(), (1, 2, 3))
+        assert TruePredicate().attributes() == frozenset()
+
+    def test_const(self):
+        assert holds(Const(True), (0, 0, 0))
+        assert not holds(Const(False), (0, 0, 0))
+
+    def test_attr_eq(self):
+        p = AttrEq("A", "B")
+        assert holds(p, (5, 5, 0))
+        assert not holds(p, (5, 6, 0))
+        assert p.attributes() == frozenset({"A", "B"})
+
+    def test_attr_eq_symmetric_equality(self):
+        assert AttrEq("A", "B") == AttrEq("B", "A")
+        assert hash(AttrEq("A", "B")) == hash(AttrEq("B", "A"))
+
+    def test_attr_compare_all_ops(self):
+        assert holds(AttrCompare("A", "==", 1), (1, 0, 0))
+        assert holds(AttrCompare("A", "!=", 1), (2, 0, 0))
+        assert holds(AttrCompare("A", "<", 1), (0, 0, 0))
+        assert holds(AttrCompare("A", "<=", 1), (1, 0, 0))
+        assert holds(AttrCompare("A", ">", 1), (2, 0, 0))
+        assert holds(AttrCompare("A", ">=", 1), (1, 0, 0))
+
+    def test_attr_compare_bad_op(self):
+        with pytest.raises(ValueError):
+            AttrCompare("A", "~", 1)
+
+    def test_unknown_attribute_raises_at_compile(self):
+        p = AttrEq("A", "Z")
+        with pytest.raises(UnknownAttributeError):
+            p.compile(S)
+
+
+class TestCombinators:
+    def test_and(self):
+        p = And(AttrCompare("A", ">", 0), AttrCompare("B", ">", 0))
+        assert holds(p, (1, 1, 0))
+        assert not holds(p, (1, 0, 0))
+
+    def test_or(self):
+        p = Or(AttrCompare("A", ">", 0), AttrCompare("B", ">", 0))
+        assert holds(p, (0, 1, 0))
+        assert not holds(p, (0, 0, 0))
+
+    def test_not(self):
+        p = Not(AttrCompare("A", "==", 1))
+        assert holds(p, (2, 0, 0))
+        assert not holds(p, (1, 0, 0))
+
+    def test_operator_sugar(self):
+        p = AttrCompare("A", ">", 0) & AttrCompare("B", ">", 0)
+        assert isinstance(p, And)
+        q = AttrCompare("A", ">", 0) | AttrCompare("B", ">", 0)
+        assert isinstance(q, Or)
+        assert isinstance(~q, Not)
+
+    def test_and_or_require_two_parts(self):
+        with pytest.raises(ValueError):
+            And(Const(True))
+        with pytest.raises(ValueError):
+            Or(Const(True))
+
+    def test_conjuncts_flatten_nested_and(self):
+        p = And(And(AttrEq("A", "B"), Const(True)), AttrCompare("C", ">", 0))
+        parts = list(p.conjuncts())
+        assert len(parts) == 3
+
+    def test_attributes_union(self):
+        p = And(AttrEq("A", "B"), AttrCompare("C", ">", 0))
+        assert p.attributes() == frozenset({"A", "B", "C"})
+
+
+class TestConjunctionBuilder:
+    def test_empty_is_true(self):
+        assert isinstance(conjunction([]), TruePredicate)
+
+    def test_singleton_unwrapped(self):
+        p = AttrEq("A", "B")
+        assert conjunction([p]) is p
+
+    def test_true_parts_dropped(self):
+        p = AttrEq("A", "B")
+        assert conjunction([TruePredicate(), p]) is p
+
+    def test_multiple(self):
+        c = conjunction([AttrEq("A", "B"), AttrCompare("C", ">", 0)])
+        assert isinstance(c, And)
+
+
+class TestReprAndEquality:
+    def test_reprs_stable(self):
+        assert repr(AttrEq("A", "B")) == "(A == B)"
+        assert "AND" in repr(And(Const(True), Const(False)))
+        assert "OR" in repr(Or(Const(True), Const(False)))
+        assert "NOT" in repr(Not(Const(True)))
+
+    def test_equality_by_structure(self):
+        assert And(AttrEq("A", "B"), Const(True)) == And(AttrEq("A", "B"), Const(True))
+        assert Not(Const(True)) == Not(Const(True))
+        assert Or(Const(True), Const(False)) != Or(Const(False), Const(True))

@@ -1,0 +1,187 @@
+"""Unit tests for Relation (non-negative bags) and Delta (signed bags)."""
+
+import pytest
+
+from repro.relational.delta import Delta, delta_from_rows, merge_deltas
+from repro.relational.errors import (
+    ArityError,
+    HeterogeneousSchemaError,
+    NegativeCountError,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+AB = Schema(("A", "B"))
+
+
+class TestRelationBasics:
+    def test_empty(self):
+        r = Relation(AB)
+        assert len(r) == 0
+        assert not r
+        assert r.total_count == 0
+
+    def test_from_rows(self):
+        r = Relation(AB, [(1, 2), (1, 2), (3, 4)])
+        assert r.count((1, 2)) == 2
+        assert r.count((3, 4)) == 1
+        assert r.distinct_count == 2
+        assert r.total_count == 3
+
+    def test_from_mapping(self):
+        r = Relation(AB, {(1, 2): 5})
+        assert r.count((1, 2)) == 5
+
+    def test_insert_delete_roundtrip(self):
+        r = Relation(AB)
+        r.insert((1, 2), 3)
+        r.delete((1, 2), 2)
+        assert r.count((1, 2)) == 1
+        r.delete((1, 2))
+        assert (1, 2) not in r
+
+    def test_delete_missing_raises(self):
+        r = Relation(AB)
+        with pytest.raises(NegativeCountError):
+            r.delete((9, 9))
+
+    def test_over_delete_raises(self):
+        r = Relation(AB, [(1, 2)])
+        with pytest.raises(NegativeCountError):
+            r.delete((1, 2), 2)
+
+    def test_insert_nonpositive_count_rejected(self):
+        r = Relation(AB)
+        with pytest.raises(ValueError):
+            r.insert((1, 2), 0)
+        with pytest.raises(ValueError):
+            r.delete((1, 2), -1)
+
+    def test_arity_enforced(self):
+        r = Relation(AB)
+        with pytest.raises(ArityError):
+            r.insert((1, 2, 3))
+
+    def test_rows_are_normalized_to_tuples(self):
+        r = Relation(AB)
+        r.insert([1, 2])
+        assert r.count((1, 2)) == 1
+        assert (1, 2) in r
+
+    def test_equality(self):
+        assert Relation(AB, [(1, 2)]) == Relation(AB, {(1, 2): 1})
+        assert Relation(AB, [(1, 2)]) != Relation(AB, [(1, 3)])
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Relation(AB))
+
+    def test_copy_is_independent(self):
+        r = Relation(AB, [(1, 2)])
+        c = r.copy()
+        c.insert((1, 2))
+        assert r.count((1, 2)) == 1
+        assert c.count((1, 2)) == 2
+
+    def test_pretty_contains_counts(self):
+        r = Relation(AB, {(7, 8): 2})
+        text = r.pretty()
+        assert "A | B" in text
+        assert "[2]" in text
+
+    def test_pretty_empty(self):
+        assert "(empty)" in Relation(AB).pretty()
+
+
+class TestApplyDelta:
+    def test_apply_insert_and_delete(self):
+        view = Relation(AB, {(7, 8): 2})
+        d = delta_from_rows(AB, inserts=[(5, 6), (5, 6)], deletes=[(7, 8)])
+        view.apply_delta(d)
+        assert view.count((5, 6)) == 2
+        assert view.count((7, 8)) == 1
+
+    def test_apply_is_atomic_on_failure(self):
+        view = Relation(AB, {(7, 8): 1})
+        bad = delta_from_rows(AB, inserts=[(5, 6)], deletes=[(9, 9)])
+        with pytest.raises(NegativeCountError):
+            view.apply_delta(bad)
+        # nothing applied
+        assert view == Relation(AB, {(7, 8): 1})
+
+    def test_apply_schema_mismatch(self):
+        view = Relation(AB)
+        with pytest.raises(HeterogeneousSchemaError):
+            view.apply_delta(Delta(Schema(("X", "Y"))))
+
+
+class TestDelta:
+    def test_signed_counts(self):
+        d = Delta(AB)
+        d.add((1, 2), -3)
+        assert d.count((1, 2)) == -3
+        assert d.total_count == -3
+
+    def test_zero_rows_dropped(self):
+        d = Delta(AB)
+        d.add((1, 2), 2)
+        d.add((1, 2), -2)
+        assert len(d) == 0
+
+    def test_insert_delete_constructors(self):
+        ins = Delta.insert(AB, (3, 5))
+        dele = Delta.delete(AB, (7, 8))
+        assert ins.count((3, 5)) == 1
+        assert dele.count((7, 8)) == -1
+        with pytest.raises(ValueError):
+            Delta.insert(AB, (1, 1), 0)
+        with pytest.raises(ValueError):
+            Delta.delete(AB, (1, 1), -2)
+
+    def test_negated(self):
+        d = delta_from_rows(AB, inserts=[(1, 2)], deletes=[(3, 4)])
+        n = d.negated()
+        assert n.count((1, 2)) == -1
+        assert n.count((3, 4)) == 1
+
+    def test_merged(self):
+        a = Delta.insert(AB, (1, 2))
+        b = Delta.delete(AB, (1, 2))
+        assert len(a.merged(b)) == 0
+
+    def test_merged_schema_mismatch(self):
+        with pytest.raises(HeterogeneousSchemaError):
+            Delta(AB).merged(Delta(Schema(("X", "Y"))))
+
+    def test_merge_deltas(self):
+        parts = [Delta.insert(AB, (1, 2)), Delta.insert(AB, (1, 2)), Delta.delete(AB, (1, 2))]
+        total = merge_deltas(AB, parts)
+        assert total.count((1, 2)) == 1
+
+    def test_positive_negative_parts(self):
+        d = delta_from_rows(AB, inserts=[(1, 2)], deletes=[(3, 4)])
+        assert d.positive_part() == Relation(AB, [(1, 2)])
+        assert d.negative_part() == Relation(AB, [(3, 4)])
+
+    def test_insert_delete_only_flags(self):
+        assert Delta.insert(AB, (1, 2)).is_insert_only
+        assert Delta.delete(AB, (1, 2)).is_delete_only
+        mixed = delta_from_rows(AB, inserts=[(1, 2)], deletes=[(3, 4)])
+        assert not mixed.is_insert_only
+        assert not mixed.is_delete_only
+
+    def test_from_relation(self):
+        r = Relation(AB, {(1, 2): 3})
+        d = Delta.from_relation(r)
+        assert d.count((1, 2)) == 3
+        d.add((1, 2), -1)
+        assert r.count((1, 2)) == 3  # copy, not a view
+
+    def test_empty_constructor(self):
+        assert len(Delta.empty(AB)) == 0
+
+    def test_copy(self):
+        d = Delta.insert(AB, (1, 2))
+        c = d.copy()
+        c.add((1, 2), 1)
+        assert d.count((1, 2)) == 1

@@ -1,0 +1,108 @@
+"""Unit tests for repro.relational.schema."""
+
+import pytest
+
+from repro.relational.errors import SchemaError, UnknownAttributeError
+from repro.relational.schema import Schema
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = Schema(("A", "B"))
+        assert s.attributes == ("A", "B")
+        assert len(s) == 2
+        assert list(s) == ["A", "B"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(())
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(("A", "A"))
+
+    def test_key_subset(self):
+        s = Schema(("A", "B"), key=("A",))
+        assert s.key == ("A",)
+
+    def test_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            Schema(("A", "B"), key=("Z",))
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(("A", "B"), key=("A", "A"))
+
+    def test_accepts_list_input(self):
+        s = Schema(["A", "B"], key=["B"])
+        assert s.attributes == ("A", "B")
+        assert s.key == ("B",)
+
+
+class TestLookup:
+    def test_index_of(self):
+        s = Schema(("A", "B", "C"))
+        assert s.index_of("A") == 0
+        assert s.index_of("C") == 2
+
+    def test_index_of_unknown(self):
+        s = Schema(("A",))
+        with pytest.raises(UnknownAttributeError) as exc:
+            s.index_of("Z")
+        assert exc.value.attribute == "Z"
+
+    def test_contains(self):
+        s = Schema(("A", "B"))
+        assert "A" in s
+        assert "Z" not in s
+
+    def test_project_indices(self):
+        s = Schema(("A", "B", "C"))
+        assert s.project_indices(["C", "A"]) == (2, 0)
+
+    def test_project_indices_unknown(self):
+        s = Schema(("A",))
+        with pytest.raises(UnknownAttributeError):
+            s.project_indices(["B"])
+
+
+class TestDerivation:
+    def test_concat(self):
+        left = Schema(("A", "B"), key=("A",))
+        right = Schema(("C", "D"), key=("C",))
+        both = left.concat(right)
+        assert both.attributes == ("A", "B", "C", "D")
+        assert both.key == ("A", "C")
+
+    def test_concat_overlap_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(("A", "B")).concat(Schema(("B", "C")))
+
+    def test_project(self):
+        s = Schema(("A", "B", "C"), key=("A", "B"))
+        p = s.project(("B", "C"))
+        assert p.attributes == ("B", "C")
+        assert p.key == ("B",)
+
+    def test_project_validates_names(self):
+        with pytest.raises(UnknownAttributeError):
+            Schema(("A",)).project(("Z",))
+
+    def test_without_key(self):
+        s = Schema(("A", "B"), key=("A",))
+        assert s.without_key().key == ()
+
+
+class TestValueProtocol:
+    def test_equality_ignores_key(self):
+        assert Schema(("A", "B"), key=("A",)) == Schema(("A", "B"))
+
+    def test_inequality(self):
+        assert Schema(("A", "B")) != Schema(("B", "A"))
+
+    def test_hash_consistent(self):
+        assert hash(Schema(("A",))) == hash(Schema(("A",)))
+
+    def test_repr_includes_key(self):
+        assert "key" in repr(Schema(("A",), key=("A",)))
+        assert "key" not in repr(Schema(("A",)))

@@ -1,0 +1,153 @@
+"""Unit tests for SQL generation (sqlite source backend plumbing)."""
+
+import sqlite3
+
+import pytest
+
+from repro.relational import sqlgen
+from repro.relational.predicate import (
+    And,
+    AttrCompare,
+    AttrEq,
+    Const,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.relational.schema import Schema
+
+AB = Schema(("A", "B"))
+
+
+class TestIdentifiers:
+    def test_quote_plain(self):
+        assert sqlgen.quote_ident("R1") == '"R1"'
+
+    def test_quote_dotted(self):
+        assert sqlgen.quote_ident("orders.id") == '"orders.id"'
+
+    def test_quote_embedded_quotes(self):
+        assert sqlgen.quote_ident('we"ird') == '"we""ird"'
+
+
+class TestDdl:
+    def test_create_table(self):
+        sql = sqlgen.create_table_sql("R1", AB)
+        conn = sqlite3.connect(":memory:")
+        conn.execute(sql)  # must be valid DDL
+        cols = [r[1] for r in conn.execute("PRAGMA table_info(R1)")]
+        assert cols == ["A", "B", "_count"]
+        conn.close()
+
+    def test_temp_table(self):
+        conn = sqlite3.connect(":memory:")
+        conn.execute(sqlgen.create_temp_table_sql("_dv", AB))
+        conn.execute(sqlgen.insert_rows_sql("_dv", AB), (1, 2, 3))
+        rows = conn.execute(sqlgen.select_all_sql("_dv", AB)).fetchall()
+        assert rows == [(1, 2, 3)]
+        conn.close()
+
+    def test_upsert_accumulates(self):
+        conn = sqlite3.connect(":memory:")
+        conn.execute(sqlgen.create_table_sql("R1", AB))
+        for count in (2, 3):
+            conn.execute(sqlgen.upsert_count_sql("R1", AB), (1, 2, count))
+        rows = conn.execute(sqlgen.select_all_sql("R1", AB)).fetchall()
+        assert rows == [(1, 2, 5)]
+        conn.close()
+
+    def test_prune_zero(self):
+        conn = sqlite3.connect(":memory:")
+        conn.execute(sqlgen.create_table_sql("R1", AB))
+        conn.execute(sqlgen.insert_rows_sql("R1", AB), (1, 2, 0))
+        conn.execute(sqlgen.prune_zero_sql("R1"))
+        assert conn.execute("SELECT COUNT(*) FROM R1").fetchone()[0] == 0
+        conn.close()
+
+    def test_drop_if_exists(self):
+        conn = sqlite3.connect(":memory:")
+        conn.execute(sqlgen.drop_table_sql("nothere"))  # no error
+        conn.close()
+
+
+class TestPredicateCompilation:
+    def compile(self, pred):
+        params = []
+        sql = sqlgen.predicate_to_sql(
+            pred, lambda a: f"t.{sqlgen.quote_ident(a)}", params
+        )
+        return sql, params
+
+    def test_true(self):
+        assert self.compile(TruePredicate()) == ("1", [])
+
+    def test_const(self):
+        assert self.compile(Const(True))[0] == "1"
+        assert self.compile(Const(False))[0] == "0"
+
+    def test_attr_eq(self):
+        sql, params = self.compile(AttrEq("A", "B"))
+        assert sql == 't."A" = t."B"'
+        assert params == []
+
+    def test_attr_compare_binds_value(self):
+        sql, params = self.compile(AttrCompare("A", ">=", 10))
+        assert sql == 't."A" >= ?'
+        assert params == [10]
+
+    def test_equality_and_inequality_operators(self):
+        assert self.compile(AttrCompare("A", "==", 1))[0] == 't."A" = ?'
+        assert self.compile(AttrCompare("A", "!=", 1))[0] == 't."A" <> ?'
+
+    def test_boolean_combinators(self):
+        sql, params = self.compile(
+            And(AttrEq("A", "B"), Or(AttrCompare("A", "<", 5), Not(Const(False))))
+        )
+        assert "AND" in sql and "OR" in sql and "NOT" in sql
+        assert params == [5]
+
+    def test_unsupported_node(self):
+        class Weird(Predicate):
+            def compile(self, schema):
+                return lambda row: True
+
+            def attributes(self):
+                return frozenset()
+
+        with pytest.raises(sqlgen.UnsupportedPredicateError):
+            self.compile(Weird())
+
+
+class TestJoinSql:
+    def test_join_partial_sql_round_trip(self):
+        """Execute the generated ComputeJoin SQL against real tables."""
+        cd = Schema(("C", "D"))
+        conn = sqlite3.connect(":memory:")
+        conn.execute(sqlgen.create_table_sql("R2", cd))
+        conn.execute(sqlgen.insert_rows_sql("R2", cd), (3, 7, 2))
+        conn.execute(sqlgen.create_temp_table_sql("_dv", AB))
+        conn.execute(sqlgen.insert_rows_sql("_dv", AB), (1, 3, -1))
+
+        sql, params = sqlgen.join_partial_sql(
+            base_table="R2",
+            base_schema=cd,
+            partial_table="_dv",
+            partial_attrs=("A", "B"),
+            condition=AttrEq("B", "C"),
+            output_attrs=("A", "B", "C", "D"),
+        )
+        rows = conn.execute(sql, params).fetchall()
+        assert rows == [(1, 3, 3, 7, -2)]  # counts multiplied: -1 * 2
+        conn.close()
+
+    def test_unknown_attr_rejected(self):
+        with pytest.raises(sqlgen.UnsupportedPredicateError):
+            sqlgen.join_partial_sql(
+                base_table="R2",
+                base_schema=Schema(("C", "D")),
+                partial_table="_dv",
+                partial_attrs=("A", "B"),
+                condition=AttrEq("B", "C"),
+                output_attrs=("Z",),
+            )

@@ -1,0 +1,144 @@
+"""SQL view parser tests, anchored on the paper's Section 5.2 query."""
+
+import pytest
+
+from repro.relational.predicate import AttrCompare, AttrEq
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.sqlview import SqlParseError, parse_view
+
+CATALOG = {
+    "R1": Schema(("A", "B")),
+    "R2": Schema(("C", "D")),
+    "R3": Schema(("E", "F")),
+}
+
+PAPER_SQL = "SELECT R2.D, R3.F WHERE R1.B = R2.C AND R2.D = R3.E"
+
+
+class TestPaperQuery:
+    def test_parses_to_paper_view(self, paper_view):
+        view = parse_view(PAPER_SQL, CATALOG, name="V")
+        assert view.relation_names == ("R1", "R2", "R3")
+        assert view.projection == ("D", "F")
+        assert set(view.join_conditions) == {AttrEq("B", "C"), AttrEq("D", "E")}
+
+    def test_evaluates_like_paper_view(self, paper_view, paper_states):
+        view = parse_view(PAPER_SQL, CATALOG)
+        assert view.evaluate(paper_states) == paper_view.evaluate(paper_states)
+
+    def test_usable_in_a_sweep_run(self, paper_states):
+        from repro.harness.config import ExperimentConfig
+        from repro.harness.runner import run_experiment
+        from repro.workloads.paper_example import paper_example_updates
+        from repro.workloads.scenarios import Workload
+        from repro.consistency.levels import ConsistencyLevel
+
+        view = parse_view(PAPER_SQL, CATALOG)
+        workload = Workload(
+            view=view,
+            initial_states=paper_states,
+            schedules=paper_example_updates(spacing=0.5),
+        )
+        result = run_experiment(
+            ExperimentConfig(algorithm="sweep", workload=workload,
+                             n_sources=3, latency=5.0)
+        )
+        assert result.classified_level == ConsistencyLevel.COMPLETE
+
+
+class TestClauses:
+    def test_select_star(self):
+        view = parse_view("SELECT * WHERE R1.B = R2.C", CATALOG)
+        assert view.projection is None
+        assert view.relation_names == ("R1", "R2")
+
+    def test_from_clause_sets_order(self):
+        view = parse_view(
+            "SELECT R2.D FROM R2, R1 WHERE R1.B = R2.C", CATALOG
+        )
+        assert view.relation_names == ("R2", "R1")
+
+    def test_relation_order_override(self):
+        view = parse_view(
+            PAPER_SQL, CATALOG, relation_order=("R1", "R2", "R3")
+        )
+        assert view.relation_names == ("R1", "R2", "R3")
+
+    def test_no_where(self):
+        view = parse_view("SELECT A FROM R1", CATALOG)
+        assert view.join_conditions == ()
+
+    def test_unqualified_attributes_resolve(self):
+        view = parse_view("SELECT D, F WHERE B = C AND D = E", CATALOG)
+        assert view.projection == ("D", "F")
+        assert set(view.join_conditions) == {AttrEq("B", "C"), AttrEq("D", "E")}
+
+    def test_literal_selections(self):
+        view = parse_view(
+            "SELECT * WHERE R1.B = R2.C AND R1.A >= 5 AND R2.D <> 7",
+            CATALOG,
+        )
+        conjs = set(view.selection.conjuncts())
+        assert AttrCompare("A", ">=", 5) in conjs
+        assert AttrCompare("D", "!=", 7) in conjs
+
+    def test_flipped_literal_comparison(self):
+        view = parse_view("SELECT * FROM R1 WHERE 5 < R1.A", CATALOG)
+        assert AttrCompare("A", ">", 5) in set(view.selection.conjuncts())
+
+    def test_string_and_float_literals(self):
+        catalog = {"S": Schema(("name", "score"))}
+        view = parse_view(
+            "SELECT * FROM S WHERE name = 'o''brien' AND score >= 1.5",
+            catalog,
+        )
+        conjs = set(view.selection.conjuncts())
+        assert AttrCompare("name", "==", "o'brien") in conjs
+        assert AttrCompare("score", ">=", 1.5) in conjs
+
+    def test_same_relation_equality_is_selection(self):
+        catalog = {"S": Schema(("x", "y"))}
+        view = parse_view("SELECT * FROM S WHERE S.x = S.y", catalog)
+        assert view.join_conditions == ()
+        assert AttrEq("x", "y") in set(view.selection.conjuncts())
+
+    def test_parse_then_evaluate_selection(self):
+        catalog = {"S": Schema(("x", "y"))}
+        view = parse_view("SELECT * FROM S WHERE x = y AND x > 1", catalog)
+        data = {"S": Relation(catalog["S"], [(1, 1), (2, 2), (2, 3)])}
+        assert view.evaluate(data).as_dict() == {(2, 2): 1}
+
+
+class TestErrors:
+    @pytest.mark.parametrize("sql,fragment", [
+        ("SELECT R9.A WHERE R1.B = R2.C", "unknown relation"),
+        ("SELECT R1.Z", "no attribute"),
+        ("SELECT Q", "unknown attribute"),
+        ("SELECT R2.D WHERE R1.B < R2.C", "only equality"),
+        ("SELECT R2.D WHERE 1 = 2", "two literals"),
+        ("SELECT R2.D WHERE R1.B = R2.C OR R2.D = R3.E", "unsupported construct"),
+        ("SELECT R2.D WHERE NOT R1.B = R2.C", "not supported"),
+        ("SELECT R2.D WHERE R1.B =", "unexpected end"),
+        ("SELECT R2.D FROM R9", "unknown relation"),
+        ("SELWHAT R2.D", "expected SELECT"),
+        ("SELECT R2.D WHERE R1.B ? R2.C", "unexpected character"),
+    ])
+    def test_clear_messages(self, sql, fragment):
+        with pytest.raises(SqlParseError) as exc:
+            parse_view(sql, CATALOG)
+        assert fragment.lower() in str(exc.value).lower()
+
+    def test_ambiguous_unqualified(self):
+        catalog = {"S": Schema(("x",)), "T": Schema(("x",))}
+        with pytest.raises(SqlParseError) as exc:
+            parse_view("SELECT x FROM S, T", catalog)
+        assert "ambiguous" in str(exc.value)
+
+    def test_relation_order_must_cover_referenced(self):
+        with pytest.raises(SqlParseError):
+            parse_view(PAPER_SQL, CATALOG, relation_order=("R1", "R2"))
+
+    def test_relation_order_unknown_name(self):
+        with pytest.raises(SqlParseError):
+            parse_view(PAPER_SQL, CATALOG, relation_order=("R1", "R2", "R9"))

@@ -1,0 +1,224 @@
+"""Unit tests for ViewDefinition, built around the paper's Section 5.2 view."""
+
+import pytest
+
+from repro.relational.errors import SchemaError
+from repro.relational.predicate import AttrCompare, AttrEq, TruePredicate
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.view import ViewDefinition
+
+
+def paper_view(projection=("D", "F")):
+    """V = pi_[D,F] (R1[A,B] |><|_{B=C} R2[C,D] |><|_{D=E} R3[E,F])."""
+    return ViewDefinition(
+        name="V",
+        relation_names=("R1", "R2", "R3"),
+        schemas=(Schema(("A", "B")), Schema(("C", "D")), Schema(("E", "F"))),
+        join_conditions=(AttrEq("B", "C"), AttrEq("D", "E")),
+        projection=projection,
+    )
+
+
+def paper_states():
+    return {
+        "R1": Relation(Schema(("A", "B")), [(1, 3), (2, 3)]),
+        "R2": Relation(Schema(("C", "D")), [(3, 7)]),
+        "R3": Relation(Schema(("E", "F")), [(5, 6), (7, 8)]),
+    }
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        v = paper_view()
+        assert v.n_relations == 3
+        assert v.name_of(2) == "R2"
+        assert v.index_of_name("R3") == 3
+        assert v.wide_schema.attributes == ("A", "B", "C", "D", "E", "F")
+        assert v.view_schema.attributes == ("D", "F")
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(SchemaError):
+            ViewDefinition("V", ("R1",), (Schema(("A",)), Schema(("B",))))
+
+    def test_duplicate_relation_names(self):
+        with pytest.raises(SchemaError):
+            ViewDefinition("V", ("R", "R"), (Schema(("A",)), Schema(("B",))))
+
+    def test_no_relations(self):
+        with pytest.raises(SchemaError):
+            ViewDefinition("V", (), ())
+
+    def test_single_relation_condition_rejected(self):
+        with pytest.raises(SchemaError):
+            ViewDefinition(
+                "V",
+                ("R1", "R2"),
+                (Schema(("A", "B")), Schema(("C",))),
+                join_conditions=(AttrEq("A", "B"),),
+            )
+
+    def test_projection_attr_must_exist(self):
+        with pytest.raises(SchemaError):
+            paper_view(projection=("Z",))
+
+    def test_empty_projection_rejected(self):
+        with pytest.raises(SchemaError):
+            paper_view(projection=())
+
+    def test_selection_attr_must_exist(self):
+        with pytest.raises(SchemaError):
+            ViewDefinition(
+                "V",
+                ("R1",),
+                (Schema(("A",)),),
+                selection=AttrCompare("Z", ">", 0),
+            )
+
+    def test_index_bounds(self):
+        v = paper_view()
+        with pytest.raises(IndexError):
+            v.schema_of(0)
+        with pytest.raises(IndexError):
+            v.schema_of(4)
+
+    def test_unknown_relation_name(self):
+        with pytest.raises(SchemaError):
+            paper_view().index_of_name("R9")
+
+    def test_attr_owner(self):
+        v = paper_view()
+        assert v.relation_index_of_attr("A") == 1
+        assert v.relation_index_of_attr("F") == 3
+        with pytest.raises(SchemaError):
+            v.relation_index_of_attr("Z")
+
+
+class TestConditionPlanning:
+    def test_condition_fires_when_adjacent(self):
+        v = paper_view()
+        cond = v.conditions_joining(1, frozenset({2}))
+        assert cond == AttrEq("B", "C")
+
+    def test_condition_waits_for_all_relations(self):
+        v = paper_view()
+        # extending {3} by 1: the B=C condition needs relation 2, absent
+        cond = v.conditions_joining(1, frozenset({3}))
+        assert isinstance(cond, TruePredicate)
+
+    def test_multiple_conditions_combine(self):
+        v = ViewDefinition(
+            "V",
+            ("R1", "R2"),
+            (Schema(("A", "B")), Schema(("C", "D"))),
+            join_conditions=(AttrEq("A", "C"), AttrEq("B", "D")),
+        )
+        cond = v.conditions_joining(2, frozenset({1}))
+        assert set(cond.conjuncts()) == {AttrEq("A", "C"), AttrEq("B", "D")}
+
+    def test_chain_connectivity_ok(self):
+        paper_view().validate_chain_connectivity()
+
+    def test_chain_connectivity_detects_gap(self):
+        v = ViewDefinition(
+            "V",
+            ("R1", "R2", "R3"),
+            (Schema(("A", "B")), Schema(("C", "D")), Schema(("E", "F"))),
+            join_conditions=(AttrEq("B", "C"),),  # R3 dangling
+        )
+        with pytest.raises(SchemaError):
+            v.validate_chain_connectivity()
+
+
+class TestPartialSchemas:
+    def test_wide_schema_range(self):
+        v = paper_view()
+        assert v.wide_schema_range(2, 3).attributes == ("C", "D", "E", "F")
+        assert v.wide_schema_range(1, 1).attributes == ("A", "B")
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(IndexError):
+            paper_view().wide_schema_range(3, 2)
+
+
+class TestKeyAssumption:
+    def test_paper_view_lacks_keys(self):
+        assert not paper_view().projection_keeps_all_keys()
+
+    def test_key_preserving_view(self):
+        v = ViewDefinition(
+            "V",
+            ("R1", "R2"),
+            (Schema(("A", "B"), key=("A",)), Schema(("C", "D"), key=("C",))),
+            join_conditions=(AttrEq("B", "C"),),
+            projection=("A", "C", "D"),
+        )
+        assert v.projection_keeps_all_keys()
+        assert v.key_indices_in_view(1) == (0,)
+        assert v.key_indices_in_view(2) == (1,)
+
+    def test_projection_dropping_key_detected(self):
+        v = ViewDefinition(
+            "V",
+            ("R1", "R2"),
+            (Schema(("A", "B"), key=("A",)), Schema(("C", "D"), key=("C",))),
+            join_conditions=(AttrEq("B", "C"),),
+            projection=("A", "D"),
+        )
+        assert not v.projection_keeps_all_keys()
+
+
+class TestEvaluation:
+    def test_paper_initial_state(self):
+        """Figure 5: the initial warehouse state is {(7,8)[2]}."""
+        v = paper_view()
+        result = v.evaluate(paper_states())
+        assert result == Relation(Schema(("D", "F")), {(7, 8): 2})
+
+    def test_paper_final_state(self):
+        """Figure 5: after all three updates, V = {(5,6)[1]}."""
+        v = paper_view()
+        states = paper_states()
+        states["R2"].insert((3, 5))
+        states["R3"].delete((7, 8))
+        states["R1"].delete((2, 3))
+        result = v.evaluate(states)
+        assert result == Relation(Schema(("D", "F")), {(5, 6): 1})
+
+    def test_intermediate_states_match_figure5(self):
+        v = paper_view()
+        states = paper_states()
+        dv = Schema(("D", "F"))
+
+        states["R2"].insert((3, 5))
+        assert v.evaluate(states) == Relation(dv, {(5, 6): 2, (7, 8): 2})
+
+        states["R3"].delete((7, 8))
+        assert v.evaluate(states) == Relation(dv, {(5, 6): 2})
+
+    def test_no_projection_returns_wide(self):
+        v = paper_view(projection=None)
+        result = v.evaluate(paper_states())
+        assert result.schema.attributes == ("A", "B", "C", "D", "E", "F")
+        assert result.total_count == 2
+
+    def test_selection_applied(self):
+        v = ViewDefinition(
+            "V",
+            ("R1", "R2", "R3"),
+            (Schema(("A", "B")), Schema(("C", "D")), Schema(("E", "F"))),
+            join_conditions=(AttrEq("B", "C"), AttrEq("D", "E")),
+            selection=AttrCompare("A", "==", 1),
+            projection=("D", "F"),
+        )
+        result = v.evaluate(paper_states())
+        assert result == Relation(Schema(("D", "F")), {(7, 8): 1})
+
+    def test_evaluate_wide_canonical_order(self):
+        v = paper_view()
+        wide = v.evaluate_wide(paper_states())
+        assert wide.schema.attributes == v.wide_schema.attributes
+
+    def test_repr_mentions_parts(self):
+        text = repr(paper_view())
+        assert "R1" in text and "project" in text

@@ -1,0 +1,231 @@
+"""Unit tests for channels, latency models, mailboxes, metrics and rng."""
+
+import random
+
+import pytest
+
+from repro.simulation.channel import Channel, Message
+from repro.simulation.errors import MailboxOwnershipError
+from repro.simulation.kernel import Simulator
+from repro.simulation.latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    UniformLatency,
+)
+from repro.simulation.mailbox import Mailbox
+from repro.simulation.metrics import MetricsCollector, estimate_size
+from repro.simulation.rng import RngRegistry, derive_seed
+from repro.simulation.trace import TraceLog
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        m = ConstantLatency(2.5)
+        assert m.sample() == 2.5
+        assert m.mean() == 2.5
+
+    def test_constant_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1)
+
+    def test_uniform_bounds(self):
+        m = UniformLatency(1.0, 3.0, random.Random(1))
+        samples = [m.sample() for _ in range(200)]
+        assert all(1.0 <= s <= 3.0 for s in samples)
+        assert m.mean() == 2.0
+
+    def test_uniform_invalid(self):
+        with pytest.raises(ValueError):
+            UniformLatency(3.0, 1.0, random.Random(1))
+        with pytest.raises(ValueError):
+            UniformLatency(-1.0, 1.0, random.Random(1))
+
+    def test_exponential_positive(self):
+        m = ExponentialLatency(2.0, random.Random(1))
+        samples = [m.sample() for _ in range(200)]
+        assert all(s >= 0 for s in samples)
+        assert m.mean() == 2.0
+
+    def test_exponential_invalid(self):
+        with pytest.raises(ValueError):
+            ExponentialLatency(0.0, random.Random(1))
+
+
+class TestChannel:
+    def _wire(self, latency):
+        sim = Simulator()
+        box = Mailbox(sim, "dst")
+        metrics = MetricsCollector()
+        ch = Channel(sim, "src->dst", box, latency, metrics)
+        return sim, box, ch, metrics
+
+    def test_delivery_and_timestamps(self):
+        sim, box, ch, _ = self._wire(ConstantLatency(5.0))
+        got = []
+
+        def consumer():
+            msg = yield box.get()
+            got.append((sim.now, msg.payload, msg.sent_at, msg.delivered_at))
+
+        sim.spawn("c", consumer())
+        ch.send(Message(kind="update", sender="s1", payload="x"))
+        sim.run()
+        assert got == [(5.0, "x", 0.0, 5.0)]
+
+    def test_fifo_under_random_latency(self):
+        """A later message must never overtake an earlier one."""
+        sim, box, ch, _ = self._wire(UniformLatency(0.0, 10.0, random.Random(7)))
+        got = []
+
+        def consumer():
+            while True:
+                msg = yield box.get()
+                got.append(msg.payload)
+
+        sim.spawn("c", consumer())
+
+        def sender(i=0):
+            ch.send(Message(kind="update", sender="s", payload=i))
+            if i < 49:
+                sim.schedule(0.1, lambda: sender(i + 1))
+
+        sender()
+        sim.run()
+        assert got == list(range(50))
+
+    def test_metrics_recorded(self):
+        sim, box, ch, metrics = self._wire(ConstantLatency(1.0))
+        ch.send(Message(kind="query", sender="wh", payload=["a", "b"]))
+        ch.send(Message(kind="update", sender="s1", payload=None))
+        sim.run()
+        assert metrics.messages_total == 2
+        assert metrics.messages_of_kind("query") == 1
+        assert metrics.rows_of_kind("query") == 2
+        assert metrics.by_channel["src->dst"].count == 2
+
+    def test_channel_without_metrics(self):
+        sim = Simulator()
+        box = Mailbox(sim, "dst")
+        ch = Channel(sim, "c", box, ConstantLatency(1.0), metrics=None)
+        ch.send(Message(kind="x", sender="s", payload=1))
+        sim.run()
+        assert ch.sent_count == 1
+
+
+class TestMailboxExtras:
+    def test_peek_all_nondestructive(self):
+        sim = Simulator()
+        box = Mailbox(sim, "b")
+        box.put(1)
+        box.put(2)
+        assert box.peek_all() == (1, 2)
+        assert len(box) == 2
+
+    def test_remove(self):
+        sim = Simulator()
+        box = Mailbox(sim, "b")
+        box.put("a")
+        box.put("b")
+        assert box.remove("a") is True
+        assert box.remove("zzz") is False
+        assert box.peek_all() == ("b",)
+
+    def test_second_waiter_rejected(self):
+        sim = Simulator()
+        box = Mailbox(sim, "b")
+
+        def waiter():
+            yield box.get()
+
+        sim.spawn("w1", waiter())
+        sim.spawn("w2", waiter())
+        with pytest.raises(MailboxOwnershipError):
+            sim.run()
+
+    def test_repr(self):
+        sim = Simulator()
+        box = Mailbox(sim, "b")
+        box.put(1)
+        assert "1 queued" in repr(box)
+
+
+class TestMetricsCollector:
+    def test_counters_and_observations(self):
+        m = MetricsCollector()
+        m.increment("updates_installed")
+        m.increment("updates_installed", 2)
+        m.observe("staleness", 1.0)
+        m.observe("staleness", 3.0)
+        assert m.counters["updates_installed"] == 3
+        assert m.mean_observation("staleness") == 2.0
+        assert m.max_observation("staleness") == 3.0
+        assert m.mean_observation("missing") is None
+
+    def test_summary_shape(self):
+        m = MetricsCollector()
+        m.record_message("ch", "query", 4)
+        s = m.summary()
+        assert s["by_kind"]["query"] == {"count": 1, "rows": 4}
+        assert s["counters"]["messages_total"] == 1
+
+    def test_estimate_size(self):
+        from repro.relational.delta import Delta
+        from repro.relational.schema import Schema
+
+        d = Delta(Schema(("A",)))
+        d.add((1,), 1)
+        d.add((2,), -1)
+        assert estimate_size(d) == 2
+        assert estimate_size(None) == 1
+        assert estimate_size([d, d]) == 4
+        assert estimate_size({"a": d}) == 2
+        assert estimate_size(object()) == 1
+
+
+class TestRng:
+    def test_streams_deterministic(self):
+        a = RngRegistry(1).stream("x").random()
+        b = RngRegistry(1).stream("x").random()
+        assert a == b
+
+    def test_streams_independent(self):
+        reg = RngRegistry(1)
+        assert reg.stream("x").random() != reg.stream("y").random()
+
+    def test_seed_changes_streams(self):
+        assert RngRegistry(1).stream("x").random() != RngRegistry(2).stream("x").random()
+
+    def test_stream_cached(self):
+        reg = RngRegistry(1)
+        assert reg.stream("x") is reg.stream("x")
+        assert reg.names() == ["x"]
+
+    def test_fork(self):
+        reg = RngRegistry(1)
+        forked = reg.fork("child")
+        assert forked.seed == derive_seed(1, "fork:child")
+        assert forked.stream("x").random() != reg.stream("x").random()
+
+
+class TestTraceLog:
+    def test_record_and_filter(self):
+        log = TraceLog()
+        log.record(1.0, "wh", "install", "dv=3")
+        log.record(2.0, "s1", "update", "+(1,2)")
+        assert len(log) == 2
+        assert len(log.filter(kind="install")) == 1
+        assert len(log.filter(actor="s1")) == 1
+        assert len(log.filter(kind="install", actor="s1")) == 0
+
+    def test_disabled_log_is_free(self):
+        log = TraceLog(enabled=False)
+        log.record(1.0, "a", "b", "c")
+        assert len(log) == 0
+
+    def test_format_limit(self):
+        log = TraceLog()
+        for i in range(5):
+            log.record(float(i), "a", "k", i)
+        text = log.format(limit=2)
+        assert "3 more records" in text
+        assert "[t=" in text

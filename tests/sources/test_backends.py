@@ -1,0 +1,127 @@
+"""Backend parity tests: MemoryBackend and SqliteBackend must agree."""
+
+import pytest
+
+from repro.relational.delta import Delta, delta_from_rows
+from repro.relational.errors import NegativeCountError, SchemaError
+from repro.relational.incremental import PartialView
+from repro.relational.relation import Relation
+from repro.sources.memory import MemoryBackend
+from repro.sources.sqlite import SqliteBackend
+
+from tests.conftest import R1_SCHEMA, R2_SCHEMA
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def make_backend(request):
+    made = []
+
+    def factory(view, index, initial=None):
+        if request.param == "memory":
+            backend = MemoryBackend(view, index, initial)
+        else:
+            backend = SqliteBackend(view, index, initial)
+        made.append(backend)
+        return backend
+
+    yield factory
+    for backend in made:
+        backend.close()
+
+
+class TestBackendBasics:
+    def test_empty_snapshot(self, make_backend, paper_view):
+        backend = make_backend(paper_view, 1)
+        assert backend.snapshot() == Relation(R1_SCHEMA)
+
+    def test_initial_contents(self, make_backend, paper_view, paper_states):
+        backend = make_backend(paper_view, 1, paper_states["R1"])
+        assert backend.snapshot() == paper_states["R1"]
+
+    def test_initial_schema_checked(self, make_backend, paper_view, paper_states):
+        with pytest.raises(SchemaError):
+            make_backend(paper_view, 1, paper_states["R2"])
+
+    def test_apply_insert_delete(self, make_backend, paper_view, paper_states):
+        backend = make_backend(paper_view, 1, paper_states["R1"])
+        backend.apply(delta_from_rows(R1_SCHEMA, inserts=[(9, 9)], deletes=[(1, 3)]))
+        snap = backend.snapshot()
+        assert snap.count((9, 9)) == 1
+        assert (1, 3) not in snap
+
+    def test_apply_multiplicity(self, make_backend, paper_view):
+        backend = make_backend(paper_view, 1)
+        backend.apply(Delta.insert(R1_SCHEMA, (1, 1), 3))
+        assert backend.snapshot().count((1, 1)) == 3
+        backend.apply(Delta.delete(R1_SCHEMA, (1, 1), 2))
+        assert backend.snapshot().count((1, 1)) == 1
+
+    def test_delete_missing_raises_and_rolls_back(self, make_backend, paper_view):
+        backend = make_backend(paper_view, 1, Relation(R1_SCHEMA, [(1, 3)]))
+        bad = delta_from_rows(R1_SCHEMA, inserts=[(5, 5)], deletes=[(9, 9)])
+        with pytest.raises(NegativeCountError):
+            backend.apply(bad)
+        # atomic: the insert must not have leaked through
+        assert backend.snapshot() == Relation(R1_SCHEMA, [(1, 3)])
+
+    def test_snapshot_is_a_copy(self, make_backend, paper_view, paper_states):
+        backend = make_backend(paper_view, 1, paper_states["R1"])
+        snap = backend.snapshot()
+        snap.insert((9, 9))
+        assert (9, 9) not in backend.snapshot()
+
+
+class TestComputeJoin:
+    def test_paper_sweep_step(self, make_backend, paper_view, paper_states):
+        backend = make_backend(paper_view, 1, paper_states["R1"])
+        partial = PartialView.initial(paper_view, 2, Delta.insert(R2_SCHEMA, (3, 5)))
+        result = backend.compute_join(partial)
+        assert (result.lo, result.hi) == (1, 2)
+        assert result.delta.count((1, 3, 3, 5)) == 1
+        assert result.delta.count((2, 3, 3, 5)) == 1
+
+    def test_signed_partial(self, make_backend, paper_view, paper_states):
+        backend = make_backend(paper_view, 1, paper_states["R1"])
+        partial = PartialView.initial(paper_view, 2, Delta.delete(R2_SCHEMA, (3, 7)))
+        result = backend.compute_join(partial)
+        assert result.delta.count((1, 3, 3, 7)) == -1
+
+    def test_counts_multiply(self, make_backend, paper_view):
+        backend = make_backend(paper_view, 1, Relation(R1_SCHEMA, {(1, 3): 2}))
+        partial = PartialView.initial(
+            paper_view, 2, Delta(R2_SCHEMA, {(3, 5): 3})
+        )
+        result = backend.compute_join(partial)
+        assert result.delta.count((1, 3, 3, 5)) == 6
+
+    def test_non_adjacent_rejected(self, make_backend, paper_view, paper_states):
+        backend = make_backend(paper_view, 3, paper_states["R3"])
+        partial = PartialView.initial(paper_view, 1, Delta.insert(R1_SCHEMA, (1, 3)))
+        with pytest.raises(SchemaError):
+            backend.compute_join(partial)
+
+    def test_empty_partial(self, make_backend, paper_view, paper_states):
+        backend = make_backend(paper_view, 1, paper_states["R1"])
+        partial = PartialView.initial(paper_view, 2, Delta(R2_SCHEMA))
+        result = backend.compute_join(partial)
+        assert len(result.delta) == 0
+
+    def test_memory_and_sqlite_agree(self, paper_view, paper_states):
+        mem = MemoryBackend(paper_view, 1, paper_states["R1"])
+        sql = SqliteBackend(paper_view, 1, paper_states["R1"])
+        partial = PartialView.initial(paper_view, 2, Delta.insert(R2_SCHEMA, (3, 5)))
+        assert mem.compute_join(partial).delta == sql.compute_join(partial).delta
+        sql.close()
+
+
+class TestSqliteSpecifics:
+    def test_repr(self, paper_view):
+        backend = SqliteBackend(paper_view, 1)
+        assert "R1" in repr(backend)
+        backend.close()
+
+    def test_file_backed(self, tmp_path, paper_view, paper_states):
+        path = str(tmp_path / "source.db")
+        backend = SqliteBackend(paper_view, 1, paper_states["R1"], database=path)
+        assert backend.snapshot() == paper_states["R1"]
+        backend.close()

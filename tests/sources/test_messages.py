@@ -1,0 +1,97 @@
+"""Unit tests for protocol payloads and their wire-size accounting."""
+
+from repro.relational.delta import Delta
+from repro.relational.incremental import PartialView
+from repro.relational.relation import Relation
+from repro.sources.messages import (
+    EcaAnswer,
+    EcaQuery,
+    EcaQueryTerm,
+    MultiQueryAnswer,
+    MultiQueryRequest,
+    QueryAnswer,
+    QueryRequest,
+    SnapshotAnswer,
+    SnapshotRequest,
+    UpdateNotice,
+    next_request_id,
+)
+
+from tests.conftest import R1_SCHEMA, R2_SCHEMA
+
+
+def partial(paper_view, rows=1):
+    delta = Delta(R2_SCHEMA)
+    for i in range(rows):
+        delta.add((3, 100 + i), 1)
+    return PartialView.initial(paper_view, 2, delta)
+
+
+class TestRequestIds:
+    def test_monotone_unique(self):
+        a, b = next_request_id(), next_request_id()
+        assert b > a
+
+
+class TestPayloadSizes:
+    def test_update_notice(self):
+        delta = Delta(R1_SCHEMA, {(1, 2): 1, (3, 4): -1})
+        notice = UpdateNotice(1, 1, delta)
+        assert notice.payload_size() == 2
+        assert "src=1" in repr(notice)
+
+    def test_empty_delta_counts_one(self):
+        notice = UpdateNotice(1, 1, Delta(R1_SCHEMA))
+        assert notice.payload_size() == 1
+
+    def test_query_and_answer(self, paper_view):
+        p = partial(paper_view, rows=3)
+        req = QueryRequest(next_request_id(), p, 1)
+        ans = QueryAnswer(req.request_id, p)
+        assert req.payload_size() == 3
+        assert ans.payload_size() == 3
+
+    def test_multi_query(self, paper_view):
+        p1, p2 = partial(paper_view, 2), partial(paper_view, 3)
+        req = MultiQueryRequest(next_request_id(), [p1, p2], 1)
+        ans = MultiQueryAnswer(req.request_id, [p1, p2])
+        assert req.payload_size() == 5
+        assert ans.payload_size() == 5
+
+    def test_snapshot(self):
+        req = SnapshotRequest(next_request_id())
+        assert req.payload_size() == 1
+        rel = Relation(R1_SCHEMA, [(1, 2), (3, 4)])
+        ans = SnapshotAnswer(req.request_id, 1, rel)
+        assert ans.payload_size() == 2
+
+    def test_eca_query_terms(self):
+        t1 = EcaQueryTerm({1: Delta(R1_SCHEMA, {(1, 2): 1})})
+        t2 = EcaQueryTerm(
+            {1: Delta(R1_SCHEMA, {(1, 2): 1}),
+             2: Delta(R2_SCHEMA, {(3, 5): 1})},
+            sign=-1,
+        )
+        query = EcaQuery(next_request_id(), [t1, t2])
+        assert t1.payload_size() == 1
+        assert t2.payload_size() == 2
+        assert query.payload_size() == 3
+
+    def test_eca_answer(self, paper_view):
+        wide = Delta(paper_view.wide_schema)
+        ans = EcaAnswer(next_request_id(), wide)
+        assert ans.payload_size() == 1
+
+
+class TestTransactionTagging:
+    def test_default_untagged(self):
+        notice = UpdateNotice(1, 1, Delta(R1_SCHEMA))
+        assert notice.txn_id is None
+        assert notice.txn_total == 0
+
+    def test_tagged(self):
+        notice = UpdateNotice(
+            1, 1, Delta(R1_SCHEMA), txn_id="t9", txn_total=3
+        )
+        assert notice.txn_id == "t9"
+        assert notice.txn_total == 3

@@ -1,0 +1,90 @@
+"""Chaos mode: demonstrating that FIFO channels are load-bearing.
+
+The paper assumes reliable FIFO channels (Section 2) and SWEEP's local
+compensation is *proved* through that assumption (Section 4).  These tests
+flip the assumption off (`fifo_channels=False`: messages can overtake each
+other) and show the consequences empirically: with FIFO, SWEEP is
+completely consistent on every seed; without it, some seed produces an
+inconsistent run (or the strict view store refuses a corrupted delta).
+"""
+
+import pytest
+
+from repro.consistency.levels import ConsistencyLevel
+from repro.harness.config import ExperimentConfig
+from repro.harness.runner import run_experiment
+from repro.relational.errors import NegativeCountError
+
+HOSTILE = dict(
+    n_sources=4, n_updates=25, mean_interarrival=0.8, latency=6.0,
+    latency_model="exponential",  # heavy-tailed: overtaking is common
+    match_fraction=1.0, insert_fraction=0.5, rows_per_relation=10,
+)
+
+SEEDS = range(12)
+
+
+def run_one(seed, fifo):
+    return run_experiment(
+        ExperimentConfig(
+            algorithm="sweep", seed=seed, fifo_channels=fifo, **HOSTILE
+        )
+    )
+
+
+class TestFifoIsLoadBearing:
+    def test_with_fifo_every_seed_is_complete(self):
+        for seed in SEEDS:
+            result = run_one(seed, fifo=True)
+            assert result.classified_level == ConsistencyLevel.COMPLETE, seed
+
+    def test_without_fifo_sweep_breaks(self):
+        """At least one seed must produce an incorrect run: either the
+        strict store catches an impossible delete, or the oracle refuses
+        complete consistency."""
+        broke = 0
+        for seed in SEEDS:
+            try:
+                result = run_one(seed, fifo=False)
+            except NegativeCountError:
+                broke += 1
+                continue
+            if result.classified_level != ConsistencyLevel.COMPLETE:
+                broke += 1
+        assert broke > 0, (
+            "non-FIFO channels never broke SWEEP across"
+            f" {len(list(SEEDS))} seeds -- chaos mode is not chaotic enough"
+        )
+
+    def test_reorderings_are_counted(self):
+        """The chaos channels actually reorder under this latency model."""
+        from repro.simulation.channel import Channel, Message
+        from repro.simulation.kernel import Simulator
+        from repro.simulation.latency import ExponentialLatency
+        from repro.simulation.mailbox import Mailbox
+        import random
+
+        sim = Simulator()
+        box = Mailbox(sim, "dst")
+        channel = Channel(
+            sim, "ch", box, ExponentialLatency(5.0, random.Random(1)),
+            enforce_fifo=False,
+        )
+
+        def consumer():
+            while True:
+                yield box.get()
+
+        sim.spawn("c", consumer())
+        for i in range(100):
+            sim.schedule_at(
+                i * 0.2,
+                lambda i=i: channel.send(Message(kind="m", sender="s", payload=i)),
+            )
+        sim.run()
+        assert channel.reorderings > 0
+
+    def test_fifo_channel_never_reorders(self):
+        result = run_one(0, fifo=True)
+        # the counter exists on every channel and stays zero under FIFO
+        assert result.classified_level == ConsistencyLevel.COMPLETE

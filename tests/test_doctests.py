@@ -1,0 +1,33 @@
+"""Run the doctests embedded in module/class docstrings.
+
+Docstring examples are part of the public documentation; they must stay
+executable.  Modules whose examples need heavy setup are exercised by the
+regular suite instead.
+"""
+
+import doctest
+
+import pytest
+
+import repro.relational.delta
+import repro.relational.relation
+import repro.relational.schema
+import repro.relational.sqlview
+import repro.simulation.rng
+
+MODULES = (
+    repro.relational.schema,
+    repro.relational.relation,
+    repro.relational.delta,
+    repro.relational.sqlview,
+    repro.simulation.rng,
+)
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(
+        module, optionflags=doctest.ELLIPSIS, verbose=False
+    )
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, "expected at least one doctest"

@@ -1,0 +1,54 @@
+"""Smoke tests: the shipped examples must run cleanly end to end.
+
+Each example is executed as a real subprocess (the way a user would run
+it) from a neutral working directory.  Heavy examples (full experiment
+sweeps) are exercised through their underlying modules elsewhere and
+skipped here to keep the suite fast.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = (
+    "quickstart.py",
+    "paper_example.py",
+    "retail_dashboard.py",
+    "aggregate_dashboard.py",
+    "multi_view_warehouse.py",
+    "sql_defined_view.py",
+    "anomaly_demo.py",
+)
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        cwd=tmp_path,  # neutral cwd: examples must not rely on repo root
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_examples_directory_complete():
+    """Every example is either smoke-tested here or known-heavy."""
+    heavy = {"algorithm_comparison.py", "model_vs_simulation.py"}
+    helpers = {"examples_path_shim.py"}
+    present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert present == set(FAST_EXAMPLES) | heavy | helpers
+
+
+def test_quickstart_mentions_consistency(tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        cwd=tmp_path, capture_output=True, text=True, timeout=180,
+    )
+    assert "complete" in result.stdout

@@ -1,0 +1,75 @@
+"""Scale/integration smoke tests: larger runs stay linear and healthy."""
+
+import time
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.runner import run_experiment
+
+
+class TestScale:
+    def test_sweep_8_sources_200_updates(self):
+        """A deliberately larger run: message linearity and bounded cost."""
+        started = time.perf_counter()
+        result = run_experiment(
+            ExperimentConfig(
+                algorithm="sweep",
+                seed=1,
+                n_sources=8,
+                n_updates=200,
+                rows_per_relation=30,
+                mean_interarrival=2.0,
+                latency=4.0,
+                match_fraction=0.9,
+                check_consistency=False,
+            )
+        )
+        elapsed = time.perf_counter() - started
+        assert result.updates_delivered == 200
+        assert result.installs == 200
+        assert result.protocol_messages == 200 * 2 * 7  # exactly linear
+        assert elapsed < 30  # generous; typically well under 5s
+
+    def test_pipelined_heavy_overlap(self):
+        result = run_experiment(
+            ExperimentConfig(
+                algorithm="pipelined-sweep",
+                seed=2,
+                n_sources=6,
+                n_updates=120,
+                rows_per_relation=20,
+                mean_interarrival=0.5,
+                latency=6.0,
+                check_consistency=False,
+            )
+        )
+        assert result.installs == 120
+        assert result.metrics.max_observation("pipeline_depth") >= 4
+
+    def test_sqlite_medium_run(self):
+        result = run_experiment(
+            ExperimentConfig(
+                algorithm="sweep",
+                seed=3,
+                n_sources=4,
+                n_updates=60,
+                rows_per_relation=50,
+                mean_interarrival=2.0,
+                backend="sqlite",
+                check_consistency=False,
+            )
+        )
+        assert result.installs == 60
+
+    def test_event_counts_scale_linearly_with_updates(self):
+        def events(n_updates):
+            result = run_experiment(
+                ExperimentConfig(
+                    algorithm="sweep", seed=4, n_sources=4,
+                    n_updates=n_updates, mean_interarrival=2.0,
+                    check_consistency=False,
+                )
+            )
+            return result.metrics.messages_total
+
+        small, large = events(25), events(100)
+        assert 3.5 <= large / small <= 4.5

@@ -1,0 +1,45 @@
+"""Shared helpers for warehouse algorithm tests."""
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.runner import run_experiment
+from repro.workloads.paper_example import (
+    paper_example_states,
+    paper_example_updates,
+    paper_example_view,
+)
+from repro.workloads.scenarios import Workload
+
+
+def paper_workload(spacing: float = 1.0) -> Workload:
+    """The Figure 5 example as a harness workload.
+
+    With ``spacing=1.0`` and the default latency of 5, all three updates
+    race each other's sweeps (the concurrent scenario of Section 5.2);
+    with a large spacing they run sequentially.
+    """
+    return Workload(
+        view=paper_example_view(),
+        initial_states=paper_example_states(),
+        schedules=paper_example_updates(spacing=spacing),
+        description=f"paper example (spacing={spacing})",
+    )
+
+
+def run(algorithm: str, workload=None, **overrides) -> "RunResult":
+    """Run one experiment with test-friendly defaults."""
+    defaults = dict(
+        algorithm=algorithm,
+        seed=overrides.pop("seed", 0),
+        latency=5.0,
+        latency_model="constant",
+    )
+    defaults.update(overrides)
+    if workload is not None:
+        defaults["workload"] = workload
+        defaults.setdefault("n_sources", workload.view.n_relations)
+    return run_experiment(ExperimentConfig(**defaults))
+
+
+def trajectory(result) -> list[dict]:
+    """Installed view states as row->count dicts (initial state excluded)."""
+    return [snap.view.as_dict() for snap in result.recorder.snapshots]

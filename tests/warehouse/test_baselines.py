@@ -1,0 +1,146 @@
+"""Convergent (anomaly) and recompute baselines, view store, registry."""
+
+import pytest
+
+from repro.consistency.levels import ConsistencyLevel
+from repro.relational.delta import delta_from_rows
+from repro.relational.errors import NegativeCountError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.warehouse.registry import ALGORITHMS, algorithm_info
+from repro.warehouse.view_store import MaterializedView
+
+from tests.warehouse.helpers import paper_workload, run, trajectory
+from repro.workloads.paper_example import PAPER_EXPECTED_TRAJECTORY
+
+
+class TestConvergentBaseline:
+    def test_correct_without_concurrency(self):
+        result = run("convergent", workload=paper_workload(spacing=1000.0))
+        assert trajectory(result) == [dict(d) for d in PAPER_EXPECTED_TRAJECTORY[1:]]
+        assert result.classified_level == ConsistencyLevel.COMPLETE
+
+    def test_anomalies_under_concurrency(self):
+        """Without compensation the error terms corrupt the view; the run
+        must NOT be completely consistent and typically fails convergence."""
+        result = run(
+            "convergent", seed=3, n_sources=4, n_updates=30,
+            mean_interarrival=1.0, latency=8.0, match_fraction=1.0,
+            insert_fraction=0.5, rows_per_relation=10,
+        )
+        assert result.classified_level != ConsistencyLevel.COMPLETE
+
+    def test_same_workload_sweep_is_correct(self):
+        """The anomaly is the algorithm's fault, not the workload's."""
+        common = dict(seed=3, n_sources=4, n_updates=30,
+                      mean_interarrival=1.0, latency=8.0, match_fraction=1.0,
+                      insert_fraction=0.5, rows_per_relation=10)
+        assert run("sweep", **common).classified_level == ConsistencyLevel.COMPLETE
+
+    def test_anomaly_counter_exposed(self):
+        result = run(
+            "convergent", seed=6, n_sources=3, n_updates=40,
+            mean_interarrival=0.5, latency=10.0, match_fraction=1.0,
+            insert_fraction=0.5, rows_per_relation=6,
+        )
+        assert result.warehouse.anomalies >= 0  # tolerant store in use
+        assert result.warehouse.store.strict is False
+
+
+class TestRecomputeBaseline:
+    def test_correct_and_expensive(self):
+        result = run("recompute", seed=1, n_sources=3, n_updates=10,
+                     mean_interarrival=2.0, rows_per_relation=15)
+        assert result.consistency[ConsistencyLevel.CONVERGENCE].ok
+        assert result.classified_level >= ConsistencyLevel.STRONG
+        # n snapshot queries per update (SWEEP needs only n-1)
+        assert result.queries_sent == 10 * 3
+
+    def test_payload_dwarfs_sweep(self):
+        common = dict(seed=1, n_sources=3, n_updates=10,
+                      mean_interarrival=2.0, rows_per_relation=30)
+        recompute = run("recompute", **common)
+        sweep = run("sweep", **common)
+        answer_rows = recompute.metrics.rows_of_kind("answer")
+        sweep_rows = sweep.metrics.rows_of_kind("answer")
+        assert answer_rows > 5 * sweep_rows
+
+
+class TestMaterializedView:
+    VIEW_SCHEMA = Schema(("D", "F"))
+
+    def _store(self, paper_view, paper_states, strict=True):
+        return MaterializedView.from_states(paper_view, paper_states, strict=strict)
+
+    def test_from_states(self, paper_view, paper_states):
+        store = self._store(paper_view, paper_states)
+        assert store.count((7, 8)) == 2
+        assert len(store) == 1
+
+    def test_strict_raises_on_bad_delta(self, paper_view, paper_states):
+        store = self._store(paper_view, paper_states)
+        with pytest.raises(NegativeCountError):
+            store.apply(delta_from_rows(self.VIEW_SCHEMA, deletes=[(9, 9)]))
+
+    def test_tolerant_counts_anomalies(self, paper_view, paper_states):
+        store = self._store(paper_view, paper_states, strict=False)
+        store.apply(delta_from_rows(self.VIEW_SCHEMA, deletes=[(9, 9)]))
+        assert store.anomalies == 1
+        assert store.count((9, 9)) == 0
+
+    def test_tolerant_clamps_not_deletes_valid(self, paper_view, paper_states):
+        store = self._store(paper_view, paper_states, strict=False)
+        store.apply(delta_from_rows(self.VIEW_SCHEMA, deletes=[(7, 8)]))
+        assert store.count((7, 8)) == 1
+        assert store.anomalies == 0
+
+    def test_initial_schema_checked(self, paper_view):
+        from repro.relational.errors import HeterogeneousSchemaError
+
+        with pytest.raises(HeterogeneousSchemaError):
+            MaterializedView(paper_view, Relation(Schema(("X",))))
+
+    def test_install_wide(self, paper_view, paper_states):
+        store = self._store(paper_view, paper_states)
+        wide = delta_from_rows(
+            paper_view.wide_schema, inserts=[(1, 3, 3, 5, 5, 6)]
+        )
+        store.install_wide(wide)
+        assert store.count((5, 6)) == 1
+        assert store.installs == 1
+
+    def test_snapshot_is_copy(self, paper_view, paper_states):
+        store = self._store(paper_view, paper_states)
+        snap = store.snapshot()
+        snap.insert((0, 0))
+        assert store.count((0, 0)) == 0
+
+    def test_repr(self, paper_view, paper_states):
+        assert "strict" in repr(self._store(paper_view, paper_states))
+        assert "tolerant" in repr(self._store(paper_view, paper_states, strict=False))
+
+
+class TestRegistry:
+    def test_all_expected_algorithms_present(self):
+        assert set(ALGORITHMS) == {
+            "eca", "strobe", "c-strobe", "sweep", "nested-sweep",
+            "pipelined-sweep", "global-sweep", "bootstrap-sweep",
+            "convergent", "recompute",
+        }
+
+    def test_paper_table_flags(self):
+        in_table = {n for n, i in ALGORITHMS.items() if i.in_paper_table}
+        assert in_table == {"eca", "strobe", "c-strobe", "sweep", "nested-sweep"}
+
+    def test_lookup_error_lists_names(self):
+        with pytest.raises(KeyError) as exc:
+            algorithm_info("nope")
+        assert "sweep" in str(exc.value)
+
+    def test_table1_static_claims(self):
+        assert ALGORITHMS["sweep"].message_cost == "O(n)"
+        assert ALGORITHMS["c-strobe"].message_cost == "O(n!)"
+        assert ALGORITHMS["sweep"].claimed_consistency.name == "COMPLETE"
+        assert ALGORITHMS["eca"].architecture == "centralized"
+        assert ALGORITHMS["strobe"].requires_keys
+        assert not ALGORITHMS["sweep"].requires_keys

@@ -1,0 +1,71 @@
+"""Bootstrap-SWEEP tests: online initial load under racing updates."""
+
+import pytest
+
+from repro.consistency.checker import evaluate_at
+from repro.consistency.levels import ConsistencyLevel
+
+from tests.warehouse.helpers import paper_workload, run
+
+
+class TestBootstrap:
+    def test_starts_empty_and_loads(self):
+        result = run("bootstrap-sweep", workload=paper_workload(spacing=1000.0))
+        assert result.recorder.snapshots.initial.distinct_count == 0
+        first = result.recorder.snapshots.snapshots[0]
+        assert "bootstrap" in first.note
+        assert first.view.distinct_count > 0
+        assert result.warehouse.bootstrapped
+
+    def test_first_install_matches_claimed_vector(self):
+        result = run(
+            "bootstrap-sweep", seed=1, n_sources=4, n_updates=15,
+            mean_interarrival=1.0, latency=6.0, match_fraction=1.0,
+            insert_fraction=0.5, rows_per_relation=8,
+        )
+        first = result.recorder.snapshots.snapshots[0]
+        expected = evaluate_at(
+            result.recorder.view, result.recorder.history, first.claimed_vector
+        )
+        assert first.view == expected
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_strong_consistency_end_to_end(self, seed):
+        result = run(
+            "bootstrap-sweep", seed=seed, n_sources=4, n_updates=15,
+            mean_interarrival=1.0, latency=6.0, latency_model="uniform",
+            match_fraction=1.0, insert_fraction=0.5, rows_per_relation=8,
+        )
+        assert result.consistency[ConsistencyLevel.CONVERGENCE].ok
+        assert result.consistency[ConsistencyLevel.STRONG].ok
+        assert result.classified_level >= ConsistencyLevel.STRONG
+
+    def test_absorbed_updates_not_replayed(self):
+        """Source-1 updates racing the snapshot are inside it; replaying
+        them would double-apply (strict view store would raise)."""
+        result = run(
+            "bootstrap-sweep", seed=2, n_sources=3, n_updates=20,
+            mean_interarrival=0.5, latency=8.0, match_fraction=1.0,
+            insert_fraction=0.5, rows_per_relation=8,
+        )
+        absorbed = result.metrics.counters.get("bootstrap_absorbed", 0)
+        assert result.installs == result.updates_delivered - absorbed + 1
+        assert result.consistency[ConsistencyLevel.CONVERGENCE].ok
+
+    def test_quiet_bootstrap_equals_offline_initialization(self):
+        """With no update traffic, online load = the paper's assumption."""
+        boot = run("bootstrap-sweep", seed=5, n_sources=3, n_updates=0)
+        offline = run("sweep", seed=5, n_sources=3, n_updates=0)
+        assert boot.final_view == offline.final_view
+
+    def test_bootstrap_message_cost(self):
+        """One snapshot + (n-1) ComputeJoins: n queries for the load."""
+        result = run("bootstrap-sweep", seed=5, n_sources=4, n_updates=0)
+        assert result.queries_sent == 4
+
+    def test_sqlite_backend(self):
+        result = run(
+            "bootstrap-sweep", seed=3, n_sources=3, n_updates=10,
+            mean_interarrival=1.0, backend="sqlite",
+        )
+        assert result.consistency[ConsistencyLevel.CONVERGENCE].ok

@@ -1,0 +1,149 @@
+"""Cross-algorithm invariants: all correct algorithms agree on outcomes."""
+
+import pytest
+
+from repro.consistency.levels import ConsistencyLevel
+from repro.harness.config import ExperimentConfig
+from repro.harness.runner import run_experiment
+from repro.harness.experiments.table1 import shared_workload
+
+CORRECT = (
+    "sweep", "nested-sweep", "pipelined-sweep", "global-sweep",
+    "bootstrap-sweep", "c-strobe", "strobe", "recompute",
+)
+
+
+@pytest.fixture(scope="module")
+def shared_runs():
+    """Every correct distributed algorithm on one shared hostile history."""
+    workload = shared_workload(seed=13, n_sources=4, n_updates=18)
+    runs = {}
+    for algorithm in CORRECT:
+        runs[algorithm] = run_experiment(
+            ExperimentConfig(
+                algorithm=algorithm,
+                seed=13,
+                workload=workload,
+                n_sources=4,
+                latency=7.0,
+                latency_model="uniform",
+            )
+        )
+    return runs
+
+
+class TestSharedHistoryInvariants:
+    def test_all_converge_to_identical_final_view(self, shared_runs):
+        views = {name: r.final_view for name, r in shared_runs.items()}
+        reference = views["sweep"]
+        for name, view in views.items():
+            assert view == reference, f"{name} disagrees with sweep"
+
+    def test_all_at_least_strong(self, shared_runs):
+        for name, result in shared_runs.items():
+            assert result.classified_level >= ConsistencyLevel.STRONG, name
+
+    def test_complete_club_membership(self, shared_runs):
+        complete = {
+            name
+            for name, r in shared_runs.items()
+            if r.classified_level == ConsistencyLevel.COMPLETE
+        }
+        # the algorithms the paper says are completely consistent
+        assert {"sweep", "c-strobe", "pipelined-sweep"} <= complete
+
+    def test_every_delivered_update_accounted(self, shared_runs):
+        for name, result in shared_runs.items():
+            installed = result.metrics.counters.get("updates_installed", 0)
+            absorbed = result.metrics.counters.get("bootstrap_absorbed", 0)
+            # bootstrap absorbs some updates into the load; everything
+            # else must be installed exactly once
+            assert installed == result.updates_delivered, (
+                name, installed, absorbed,
+            )
+
+    def test_sweep_family_message_counts_relate(self, shared_runs):
+        """nested <= sweep == pipelined == global (per protocol design)."""
+        q = {name: r.queries_sent for name, r in shared_runs.items()}
+        assert q["pipelined-sweep"] == q["sweep"]
+        assert q["global-sweep"] == q["sweep"]  # no txns in this workload
+        assert q["nested-sweep"] <= q["sweep"]
+        assert q["recompute"] > q["sweep"]  # n vs n-1 queries per update
+
+    def test_eca_on_equivalent_central_workload(self):
+        """ECA (centralized) also reaches the same final view."""
+        workload = shared_workload(seed=13, n_sources=4, n_updates=18)
+        eca = run_experiment(
+            ExperimentConfig(
+                algorithm="eca", seed=13, workload=workload, n_sources=4,
+                latency=7.0, latency_model="uniform",
+            )
+        )
+        sweep = run_experiment(
+            ExperimentConfig(
+                algorithm="sweep", seed=13, workload=workload, n_sources=4,
+                latency=7.0, latency_model="uniform",
+            )
+        )
+        assert eca.final_view == sweep.final_view
+        assert eca.classified_level >= ConsistencyLevel.STRONG
+
+
+class TestNonChainJoinConditions:
+    """Views whose conditions skip over the chain (e.g. R1-R3)."""
+
+    def _workload(self, seed=4):
+        import random
+
+        from repro.relational.predicate import AttrEq
+        from repro.relational.schema import Schema
+        from repro.relational.view import ViewDefinition
+        from repro.relational.relation import Relation
+        from repro.relational.delta import Delta
+        from repro.sources.updater import ScheduledUpdate
+        from repro.workloads.scenarios import Workload
+
+        rng = random.Random(seed)
+        # R1(A,X) |><| R2(B) |><| R3(C,Y) with conditions A=B and X=Y:
+        # the X=Y condition links R1 directly to R3, firing only when the
+        # sweep's coverage finally spans both.
+        r1 = Schema(("A", "X"), key=("A",))
+        r2 = Schema(("B",), key=("B",))
+        r3 = Schema(("C", "Y"), key=("C",))
+        view = ViewDefinition(
+            name="skip",
+            relation_names=("R1", "R2", "R3"),
+            schemas=(r1, r2, r3),
+            join_conditions=(AttrEq("A", "B"), AttrEq("X", "Y")),
+            projection=("A", "B", "C", "Y"),
+        )
+        initial = {
+            "R1": Relation(r1, [(i, i % 3) for i in range(6)]),
+            "R2": Relation(r2, [(i,) for i in range(6)]),
+            "R3": Relation(r3, [(100 + i, i % 3) for i in range(6)]),
+        }
+        schedules = {
+            1: [ScheduledUpdate(1.0, Delta.insert(r1, (10, 1))),
+                ScheduledUpdate(3.0, Delta.delete(r1, (0, 0)))],
+            2: [ScheduledUpdate(1.5, Delta.insert(r2, (10,)))],
+            3: [ScheduledUpdate(2.0, Delta.insert(r3, (200, 1))),
+                ScheduledUpdate(4.0, Delta.delete(r3, (100, 0)))],
+        }
+        return Workload(view=view, initial_states=initial, schedules=schedules)
+
+    @pytest.mark.parametrize("algo", ["sweep", "nested-sweep", "c-strobe",
+                                      "pipelined-sweep"])
+    def test_skip_conditions_maintained(self, algo):
+        from tests.warehouse.helpers import run
+
+        result = run(algo, workload=self._workload(), latency=2.0)
+        assert result.consistency[ConsistencyLevel.CONVERGENCE].ok
+        assert result.classified_level >= ConsistencyLevel.STRONG
+
+    def test_sqlite_handles_skip_conditions(self):
+        from tests.warehouse.helpers import run
+
+        mem = run("sweep", workload=self._workload(), latency=2.0)
+        sql = run("sweep", workload=self._workload(), latency=2.0,
+                  backend="sqlite")
+        assert mem.final_view == sql.final_view

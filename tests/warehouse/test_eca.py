@@ -1,0 +1,70 @@
+"""ECA tests: centralized compensation, quiescent installs, message sizes."""
+
+import pytest
+
+from repro.consistency.levels import ConsistencyLevel
+from repro.warehouse.errors import UnsupportedViewError
+
+from tests.warehouse.helpers import run
+
+
+class TestEca:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_strong_consistency(self, seed):
+        result = run(
+            "eca", seed=seed, n_sources=3, n_updates=12,
+            mean_interarrival=2.0, latency=5.0, latency_model="uniform",
+            match_fraction=1.0, insert_fraction=0.5, rows_per_relation=8,
+        )
+        assert result.classified_level >= ConsistencyLevel.STRONG
+
+    def test_one_query_per_update(self):
+        """ECA's O(1) message cost: exactly one query+answer per update."""
+        result = run("eca", seed=1, n_sources=4, n_updates=10,
+                     mean_interarrival=2.0)
+        assert result.queries_sent == 10
+        assert result.protocol_messages == 20
+
+    def test_quiescent_installs(self):
+        """Overlapping queries collapse into fewer installs."""
+        busy = run("eca", seed=1, n_sources=3, n_updates=20,
+                   mean_interarrival=0.5, latency=8.0)
+        assert busy.installs < busy.updates_delivered
+        sparse = run("eca", seed=1, n_sources=3, n_updates=6,
+                     mean_interarrival=500.0, latency=2.0)
+        assert sparse.installs == sparse.updates_delivered
+
+    def test_query_payload_grows_with_concurrency(self):
+        """The quadratic-message-size critique: concurrent updates inflate
+        compensating query payloads."""
+        calm = run("eca", seed=2, n_sources=3, n_updates=15,
+                   mean_interarrival=500.0, latency=2.0)
+        busy = run("eca", seed=2, n_sources=3, n_updates=15,
+                   mean_interarrival=0.5, latency=8.0)
+        calm_rows = calm.query_rows_sent / calm.queries_sent
+        busy_rows = busy.query_rows_sent / busy.queries_sent
+        assert busy_rows > calm_rows
+
+    def test_compensation_exactness_under_heavy_races(self):
+        result = run(
+            "eca", seed=5, n_sources=3, n_updates=30,
+            mean_interarrival=0.4, latency=10.0, match_fraction=1.0,
+            insert_fraction=0.5, rows_per_relation=6,
+        )
+        assert result.consistency[ConsistencyLevel.CONVERGENCE].ok
+        assert result.classified_level >= ConsistencyLevel.STRONG
+
+    def test_same_relation_updates(self):
+        """Concurrent updates to the same relation skip substitution terms."""
+        result = run(
+            "eca", seed=7, n_sources=1, n_updates=10,
+            mean_interarrival=0.5, latency=8.0,
+        )
+        assert result.consistency[ConsistencyLevel.CONVERGENCE].ok
+
+    def test_requires_single_site(self, paper_view):
+        from repro.simulation.kernel import Simulator
+        from repro.warehouse.eca import EcaWarehouse
+
+        with pytest.raises(UnsupportedViewError):
+            EcaWarehouse(Simulator(), paper_view, query_channels={1: None, 2: None})

@@ -1,0 +1,154 @@
+"""Global (multi-source) transaction tests: Transaction-SWEEP + atomicity."""
+
+import pytest
+
+from repro.consistency.atomicity import (
+    check_transaction_atomicity,
+    collect_transactions,
+)
+from repro.consistency.levels import ConsistencyLevel
+from repro.relational.delta import Delta
+from repro.sources.updater import ScheduledUpdate
+from repro.workloads.paper_example import (
+    R1_SCHEMA,
+    R3_SCHEMA,
+    paper_example_states,
+    paper_example_view,
+)
+from repro.workloads.scenarios import Workload
+
+from tests.warehouse.helpers import run
+
+
+def txn_workload(gap: float = 0.5):
+    """A 2-part global transaction plus an interleaved local update.
+
+    The transaction atomically deletes (2,3) from R1 and (7,8) from R3 --
+    each deletion alone changes the view, so partial visibility is
+    detectable.  A local R2 insert lands between the two parts.
+    """
+    view = paper_example_view()
+    schedules = {
+        1: [ScheduledUpdate(1.0, Delta.delete(R1_SCHEMA, (2, 3)),
+                            txn_id="t1", txn_total=2)],
+        3: [ScheduledUpdate(1.0 + gap, Delta.delete(R3_SCHEMA, (7, 8)),
+                            txn_id="t1", txn_total=2)],
+        2: [ScheduledUpdate(1.0 + gap / 2,
+                            Delta.insert(view.schema_of(2), (3, 5)))],
+    }
+    return Workload(
+        view=view,
+        initial_states=paper_example_states(),
+        schedules=schedules,
+        description="global txn demo",
+    )
+
+
+class TestGlobalSweep:
+    def test_atomic_install(self):
+        result = run("global-sweep", workload=txn_workload(), latency=5.0)
+        atom = check_transaction_atomicity(
+            result.recorder.history, result.recorder.snapshots
+        )
+        assert atom.transactions_checked == 1
+        assert atom.ok, atom.violations
+        # no installed state contains the half-applied transaction:
+        # (2,3) deleted but (7,8)[*] still present at reduced count, etc.
+        assert result.consistency[ConsistencyLevel.CONVERGENCE].ok
+
+    def test_transaction_counts_metrics(self):
+        result = run("global-sweep", workload=txn_workload(), latency=5.0)
+        assert result.metrics.counters["txns_installed"] == 1
+        assert result.metrics.counters["txn_parts_held"] == 2
+
+    def test_plain_updates_pass_through(self):
+        """Without transactions global-sweep behaves exactly like SWEEP."""
+        common = dict(seed=2, n_sources=3, n_updates=12, mean_interarrival=1.0)
+        a = run("global-sweep", **common)
+        b = run("sweep", **common)
+        assert a.final_view == b.final_view
+        assert a.classified_level == ConsistencyLevel.COMPLETE
+        assert a.queries_sent == b.queries_sent
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_randomized_atomic_and_strong(self, seed):
+        result = run(
+            "global-sweep", seed=seed, n_sources=4, n_updates=20,
+            mean_interarrival=1.0, latency=6.0, latency_model="uniform",
+            global_txn_fraction=0.4, match_fraction=1.0,
+            insert_fraction=0.5, rows_per_relation=8,
+            max_check_vectors=100_000,
+        )
+        atom = check_transaction_atomicity(
+            result.recorder.history, result.recorder.snapshots
+        )
+        assert atom.ok, atom.violations
+        assert result.classified_level >= ConsistencyLevel.STRONG
+
+    def test_plain_sweep_violates_atomicity(self):
+        """The control: SWEEP installs each part separately, so the
+        intermediate state exposes half the transaction."""
+        result = run("sweep", workload=txn_workload(gap=5.0), latency=2.0)
+        atom = check_transaction_atomicity(
+            result.recorder.history, result.recorder.snapshots
+        )
+        assert not atom.ok
+        assert any("exposes 1/2" in v for v in atom.violations)
+
+    def test_deferred_updates_preserve_source_order(self):
+        """An update from a source with a held part must wait for the txn."""
+        view = paper_example_view()
+        schedules = {
+            1: [
+                ScheduledUpdate(1.0, Delta.delete(R1_SCHEMA, (2, 3)),
+                                txn_id="t1", txn_total=2),
+                # same-source follow-up while the txn part is held
+                ScheduledUpdate(2.0, Delta.insert(R1_SCHEMA, (9, 3))),
+            ],
+            3: [ScheduledUpdate(30.0, Delta.delete(R3_SCHEMA, (7, 8)),
+                                txn_id="t1", txn_total=2)],
+        }
+        workload = Workload(view=view, initial_states=paper_example_states(),
+                            schedules=schedules)
+        result = run("global-sweep", workload=workload, latency=2.0)
+        assert result.metrics.counters["txn_updates_deferred"] == 1
+        assert result.consistency[ConsistencyLevel.CONVERGENCE].ok
+        assert result.classified_level >= ConsistencyLevel.STRONG
+        # txn installs first (atomically), the deferred insert after
+        notes = [s.note for s in result.recorder.snapshots]
+        assert "global txn" in notes[0]
+        assert len(notes) == 2
+
+
+class TestAtomicityChecker:
+    def test_collect_transactions(self):
+        result = run("global-sweep", workload=txn_workload(), latency=5.0)
+        txns = collect_transactions(result.recorder.history)
+        assert set(txns) == {"t1"}
+        assert len(txns["t1"]) == 2
+
+    def test_no_transactions_trivially_atomic(self):
+        result = run("sweep", seed=1, n_sources=3, n_updates=5)
+        atom = check_transaction_atomicity(
+            result.recorder.history, result.recorder.snapshots
+        )
+        assert atom.ok and atom.transactions_checked == 0
+
+    def test_missing_claim_flagged(self, paper_view):
+        from repro.consistency.history import SourceHistory
+        from repro.consistency.snapshots import SnapshotLog
+        from repro.relational.relation import Relation
+        from repro.relational.schema import Schema
+        from repro.sources.messages import UpdateNotice
+
+        history = SourceHistory()
+        history.register_source(1, "R1", Relation(Schema(("A", "B"))))
+        history.on_source_update(
+            UpdateNotice(1, 1, Delta.insert(Schema(("A", "B")), (1, 1)),
+                         txn_id="t", txn_total=1)
+        )
+        log = SnapshotLog()
+        log.record(1.0, Relation(paper_view.view_schema))  # no claimed vector
+        atom = check_transaction_atomicity(history, log)
+        assert not atom.ok
+        assert "claims no state vector" in atom.violations[0]

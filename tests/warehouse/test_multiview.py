@@ -1,0 +1,95 @@
+"""Multi-view maintenance tests: shared sweeps, per-view consistency."""
+
+import random
+
+import pytest
+
+from repro.consistency.levels import ConsistencyLevel
+from repro.harness.multiview_runner import run_multi_view
+from repro.relational.errors import SchemaError
+from repro.relational.predicate import AttrCompare
+from repro.warehouse.multiview import validate_same_chain
+from repro.workloads.schema_gen import chain_view
+from repro.workloads.scenarios import make_workload
+from repro.workloads.stream import UpdateStreamConfig
+
+
+def three_views(n=3):
+    """Three different views over the same chain."""
+    full = chain_view(n, name="full")
+    keyless = chain_view(n, project_keys=False, name="payloads")
+    cheap = chain_view(
+        n, name="cheap", selection=AttrCompare(f"V{n}", "<", 500)
+    )
+    return [full, keyless, cheap]
+
+
+def workload(seed=5, n=3, n_updates=15, ia=1.0):
+    return make_workload(
+        n,
+        random.Random(seed),
+        rows_per_relation=10,
+        match_fraction=1.0,
+        stream=UpdateStreamConfig(
+            n_updates=n_updates, mean_interarrival=ia, insert_fraction=0.5,
+        ),
+    )
+
+
+class TestValidation:
+    def test_same_chain_accepted(self):
+        validate_same_chain(three_views())
+
+    def test_different_names_rejected(self):
+        with pytest.raises(SchemaError):
+            validate_same_chain([chain_view(3), chain_view(4)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            validate_same_chain([])
+
+
+class TestMultiViewRuns:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_every_view_completely_consistent(self, seed):
+        result = run_multi_view(three_views(), workload(seed=seed), seed=seed)
+        for name, level in result.levels.items():
+            assert level == ConsistencyLevel.COMPLETE, name
+
+    def test_message_count_independent_of_view_count(self):
+        wl = workload()
+        one = run_multi_view(three_views()[:1], wl, seed=1)
+        three = run_multi_view(three_views(), wl, seed=1)
+        assert one.queries_sent == three.queries_sent
+        # queries (not answers) are counted: (n-1) per update, n=3
+        assert three.queries_sent == three.updates_delivered * (3 - 1)
+
+    def test_views_match_single_view_runs(self):
+        """Each view's final contents equal a dedicated single-view run."""
+        wl = workload(seed=2)
+        multi = run_multi_view(three_views(), wl, seed=2)
+        for view in three_views():
+            solo = run_multi_view([view], wl, seed=2)
+            assert multi.final_views[view.name] == solo.final_views[view.name]
+
+    def test_selection_view_filters(self):
+        result = run_multi_view(three_views(), workload(seed=3), seed=3)
+        cheap = result.final_views["cheap"]
+        idx = cheap.schema.index_of("V3")
+        assert all(row[idx] < 500 for row in cheap.rows())
+
+    def test_sqlite_backend(self):
+        result = run_multi_view(
+            three_views(), workload(seed=4), seed=4, backend="sqlite"
+        )
+        for level in result.levels.values():
+            assert level == ConsistencyLevel.COMPLETE
+
+    def test_under_heavy_concurrency(self):
+        result = run_multi_view(
+            three_views(), workload(seed=6, n_updates=20, ia=0.5),
+            seed=6, latency=8.0,
+        )
+        assert result.metrics.counters.get("compensations", 0) > 0
+        for name, level in result.levels.items():
+            assert level == ConsistencyLevel.COMPLETE, name

@@ -1,0 +1,92 @@
+"""Pipelined SWEEP tests (the Section 5.3 pipelining optimization)."""
+
+import pytest
+
+from repro.consistency.levels import ConsistencyLevel
+from repro.workloads.paper_example import PAPER_EXPECTED_TRAJECTORY
+
+from tests.warehouse.helpers import paper_workload, run, trajectory
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("spacing", [0.1, 1.0, 100.0])
+    def test_figure5_trajectory(self, spacing):
+        result = run("pipelined-sweep", workload=paper_workload(spacing=spacing))
+        assert trajectory(result) == [dict(d) for d in PAPER_EXPECTED_TRAJECTORY[1:]]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_complete_consistency_under_concurrency(self, seed):
+        result = run(
+            "pipelined-sweep", seed=seed, n_sources=4, n_updates=15,
+            mean_interarrival=1.0, latency=6.0, latency_model="uniform",
+            match_fraction=1.0, rows_per_relation=8, insert_fraction=0.5,
+        )
+        assert result.classified_level == ConsistencyLevel.COMPLETE
+        assert result.installs == result.updates_delivered
+
+    def test_installs_in_delivery_order(self):
+        result = run(
+            "pipelined-sweep", seed=2, n_sources=4, n_updates=12,
+            mean_interarrival=0.5, latency=8.0,
+        )
+        notes = [s.note for s in result.recorder.snapshots]
+        delivery_numbers = [int(n.rsplit("#", 1)[1].rstrip(")")) for n in notes]
+        assert delivery_numbers == sorted(delivery_numbers)
+
+    def test_same_message_count_as_sweep(self):
+        common = dict(seed=2, n_sources=4, n_updates=12,
+                      mean_interarrival=1.0, latency=6.0)
+        assert (
+            run("pipelined-sweep", **common).queries_sent
+            == run("sweep", **common).queries_sent
+        )
+
+    def test_sqlite_backend(self):
+        result = run(
+            "pipelined-sweep", seed=4, n_sources=3, n_updates=10,
+            mean_interarrival=1.0, backend="sqlite",
+        )
+        assert result.classified_level == ConsistencyLevel.COMPLETE
+
+
+class TestPipelining:
+    def test_rapid_installation(self):
+        """The paper's promised benefit: installs land much sooner than
+        sequential SWEEP's when updates arrive faster than a sweep."""
+        common = dict(seed=3, n_sources=4, n_updates=20,
+                      mean_interarrival=1.0, latency=8.0,
+                      latency_model="constant")
+        sequential = run("sweep", **common)
+        pipelined = run("pipelined-sweep", **common)
+        assert pipelined.mean_install_delay < sequential.mean_install_delay / 2
+        assert pipelined.sim_time < sequential.sim_time
+
+    def test_pipeline_depth_observed(self):
+        result = run(
+            "pipelined-sweep", seed=3, n_sources=4, n_updates=20,
+            mean_interarrival=1.0, latency=8.0,
+        )
+        assert result.metrics.max_observation("pipeline_depth") > 1
+
+    def test_max_parallel_one_serializes(self):
+        """Depth 1 degenerates to sequential SWEEP's behaviour."""
+        common = dict(seed=3, n_sources=4, n_updates=12,
+                      mean_interarrival=1.0, latency=8.0,
+                      latency_model="constant")
+        serialized = run("pipelined-sweep", pipeline_max_parallel=1, **common)
+        sweep = run("sweep", **common)
+        assert serialized.classified_level == ConsistencyLevel.COMPLETE
+        assert serialized.metrics.max_observation("pipeline_depth") == 1
+        assert serialized.sim_time == pytest.approx(sweep.sim_time)
+
+    def test_invalid_max_parallel(self):
+        with pytest.raises(ValueError):
+            run("pipelined-sweep", n_updates=0, pipeline_max_parallel=0)
+
+    @pytest.mark.parametrize("depth", [1, 2, 8])
+    def test_any_depth_is_complete(self, depth):
+        result = run(
+            "pipelined-sweep", seed=5, n_sources=3, n_updates=15,
+            mean_interarrival=0.5, latency=6.0, pipeline_max_parallel=depth,
+        )
+        assert result.classified_level == ConsistencyLevel.COMPLETE

@@ -1,0 +1,150 @@
+"""Strobe and C-Strobe tests: key assumption, quiescence, compensation."""
+
+import pytest
+
+from repro.consistency.levels import ConsistencyLevel
+from repro.warehouse.errors import UnsupportedViewError
+from repro.warehouse.keys import (
+    deduplicate,
+    deletion_delta_for_key,
+    drop_rows_matching_key,
+    key_of_row,
+    require_key_preserving,
+)
+from repro.relational.delta import Delta
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+from tests.warehouse.helpers import run
+
+
+class TestKeyHelpers:
+    def test_key_of_row(self):
+        schema = Schema(("K", "F", "V"), key=("K",))
+        assert key_of_row(schema, (7, 8, 9)) == (7,)
+
+    def test_deletion_delta_for_key(self):
+        rel = Relation(Schema(("K1", "K2")), [(1, 10), (1, 20), (2, 10)])
+        delta = deletion_delta_for_key(rel, (0,), (1,))
+        assert delta.count((1, 10)) == -1
+        assert delta.count((1, 20)) == -1
+        assert (2, 10) not in delta
+
+    def test_drop_rows_matching_key(self):
+        d = Delta(Schema(("K1", "K2")), {(1, 10): 1, (2, 10): 1})
+        out = drop_rows_matching_key(d, (0,), (1,))
+        assert (1, 10) not in out and out.count((2, 10)) == 1
+
+    def test_deduplicate(self):
+        d = Delta(Schema(("K",)), {(1,): 3, (2,): 1, (3,): -2})
+        out = deduplicate(d)
+        assert out.as_dict() == {(1,): 1, (2,): 1}
+
+    def test_require_key_preserving(self, paper_view):
+        with pytest.raises(UnsupportedViewError):
+            require_key_preserving(paper_view, "Strobe")
+
+
+class TestKeyAssumptionEnforced:
+    @pytest.mark.parametrize("algo", ["strobe", "c-strobe"])
+    def test_keyless_view_rejected(self, algo):
+        with pytest.raises(UnsupportedViewError):
+            run(algo, n_sources=3, n_updates=0, project_keys=False)
+
+    @pytest.mark.parametrize("algo", ["sweep", "nested-sweep"])
+    def test_sweep_family_accepts_keyless_view(self, algo):
+        result = run(algo, n_sources=3, n_updates=5, project_keys=False)
+        assert result.consistency[ConsistencyLevel.CONVERGENCE].ok
+
+
+class TestStrobe:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_strong_consistency(self, seed):
+        result = run(
+            "strobe", seed=seed, n_sources=3, n_updates=12,
+            mean_interarrival=2.0, latency=5.0, latency_model="uniform",
+            match_fraction=1.0, insert_fraction=0.5, rows_per_relation=8,
+        )
+        assert result.classified_level >= ConsistencyLevel.STRONG
+
+    def test_installs_only_at_quiescence(self):
+        """Sustained updates keep UQS non-empty: install count collapses."""
+        busy = run("strobe", seed=1, n_sources=3, n_updates=20,
+                   mean_interarrival=0.5, latency=8.0)
+        assert busy.installs < busy.updates_delivered
+
+    def test_sparse_updates_install_individually(self):
+        sparse = run("strobe", seed=1, n_sources=3, n_updates=6,
+                     mean_interarrival=500.0, latency=2.0)
+        assert sparse.installs == sparse.updates_delivered
+
+    def test_deletes_cost_no_messages(self):
+        result = run(
+            "strobe", seed=3, n_sources=3, n_updates=10,
+            insert_fraction=0.0, mean_interarrival=5.0,
+        )
+        assert result.queries_sent == 0
+        assert result.consistency[ConsistencyLevel.CONVERGENCE].ok
+        assert result.metrics.counters["strobe_local_deletes"] > 0
+
+    def test_inserts_cost_n_minus_1_queries(self):
+        result = run(
+            "strobe", seed=3, n_sources=4, n_updates=8,
+            insert_fraction=1.0, mean_interarrival=500.0,
+        )
+        assert result.queries_sent == 8 * 3
+
+    def test_view_trails_under_load(self):
+        """The paper's Strobe critique: the view trails the sources while
+        updates keep coming (staleness grows with the stream)."""
+        result = run("strobe", seed=2, n_sources=3, n_updates=20,
+                     mean_interarrival=0.5, latency=8.0)
+        first_install = result.recorder.snapshots.snapshots[0].time
+        last_delivery = max(n.delivered_at for n in result.recorder.deliveries)
+        assert first_install > last_delivery
+
+
+class TestCStrobe:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_complete_consistency(self, seed):
+        result = run(
+            "c-strobe", seed=seed, n_sources=3, n_updates=12,
+            mean_interarrival=1.5, latency=5.0, latency_model="uniform",
+            match_fraction=1.0, insert_fraction=0.5, rows_per_relation=8,
+        )
+        assert result.classified_level == ConsistencyLevel.COMPLETE
+        assert result.installs == result.updates_delivered
+
+    def test_deletes_handled_locally(self):
+        result = run(
+            "c-strobe", seed=3, n_sources=3, n_updates=10,
+            insert_fraction=0.0, mean_interarrival=5.0,
+        )
+        assert result.queries_sent == 0
+        assert result.classified_level == ConsistencyLevel.COMPLETE
+
+    def test_compensating_queries_fire_under_concurrency(self):
+        result = run(
+            "c-strobe", seed=3, n_sources=4, n_updates=25,
+            mean_interarrival=1.0, latency=8.0, match_fraction=1.0,
+            insert_fraction=0.5, rows_per_relation=10,
+        )
+        assert result.metrics.counters.get("cstrobe_compensating_queries", 0) > 0
+        assert result.classified_level == ConsistencyLevel.COMPLETE
+
+    def test_message_cost_exceeds_sweep_under_concurrency(self):
+        """The Table 1 gap: same consistency, very different message bill."""
+        common = dict(seed=3, n_sources=4, n_updates=25,
+                      mean_interarrival=1.0, latency=8.0, match_fraction=1.0,
+                      insert_fraction=0.5, rows_per_relation=10)
+        cstrobe = run("c-strobe", **common)
+        sweep = run("sweep", **common)
+        assert cstrobe.queries_sent > sweep.queries_sent
+        assert sweep.classified_level == ConsistencyLevel.COMPLETE
+
+    def test_sqlite_backend(self):
+        result = run(
+            "c-strobe", seed=5, n_sources=3, n_updates=8,
+            mean_interarrival=2.0, backend="sqlite",
+        )
+        assert result.classified_level == ConsistencyLevel.COMPLETE

@@ -1,0 +1,210 @@
+"""SWEEP tests: the paper's Section 5.2 walkthrough plus randomized runs."""
+
+import pytest
+
+from repro.consistency.levels import ConsistencyLevel
+from repro.relational.delta import Delta
+from repro.relational.incremental import PartialView
+from repro.warehouse.errors import ProtocolError
+from repro.warehouse.sweep import SweepOptions, merge_halves
+from repro.workloads.paper_example import PAPER_EXPECTED_TRAJECTORY
+
+from tests.warehouse.helpers import paper_workload, run, trajectory
+
+
+class TestPaperExample:
+    """SWEEP must reproduce Figure 5's trajectory exactly."""
+
+    @pytest.mark.parametrize("spacing", [0.1, 1.0, 100.0])
+    def test_figure5_trajectory(self, spacing):
+        """Every intermediate state of Figure 5 appears, in order, whether
+        the updates are concurrent (small spacing) or sequential (large)."""
+        result = run("sweep", workload=paper_workload(spacing=spacing))
+        states = trajectory(result)
+        assert states == [dict(d) for d in PAPER_EXPECTED_TRAJECTORY[1:]]
+
+    def test_figure5_concurrent_compensation_fires(self):
+        """With spacing below the RTT the Section 5.2 compensations happen."""
+        result = run("sweep", workload=paper_workload(spacing=0.5))
+        assert result.metrics.counters.get("compensations", 0) >= 1
+        assert result.classified_level == ConsistencyLevel.COMPLETE
+
+    def test_figure5_message_count(self):
+        """(n-1) queries + (n-1) answers per update: 3 updates x 4 = 12."""
+        result = run("sweep", workload=paper_workload())
+        assert result.queries_sent == 6
+        assert result.protocol_messages == 12
+
+    def test_complete_consistency_verified_independently(self):
+        result = run("sweep", workload=paper_workload(spacing=0.5))
+        res = result.consistency[ConsistencyLevel.COMPLETE]
+        assert res.ok and res.method == "independent"
+
+
+class TestRandomizedRuns:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_complete_consistency_under_concurrency(self, seed):
+        result = run(
+            "sweep", seed=seed, n_sources=4, n_updates=15,
+            mean_interarrival=1.5, latency=6.0, latency_model="uniform",
+            match_fraction=1.0, rows_per_relation=8, insert_fraction=0.5,
+        )
+        assert result.classified_level == ConsistencyLevel.COMPLETE
+        assert result.installs == result.updates_delivered
+
+    @pytest.mark.parametrize("n", [1, 2, 5])
+    def test_message_cost_is_linear(self, n):
+        """Exactly 2(n-1) protocol messages per update, independent of load."""
+        result = run(
+            "sweep", n_sources=n, n_updates=10, mean_interarrival=1.0,
+            latency=4.0,
+        )
+        assert result.protocol_messages == 10 * 2 * (n - 1)
+
+    def test_no_quiescence_needed(self):
+        """Installs happen while updates keep arriving (unlike Strobe)."""
+        result = run(
+            "sweep", n_sources=3, n_updates=20, mean_interarrival=3.0,
+            interarrival_distribution="fixed", latency=5.0,
+        )
+        # updates span ~60 time units; one sweep takes ~20; installs must
+        # interleave with deliveries rather than waiting for the end.
+        first_install = result.recorder.snapshots.snapshots[0].time
+        last_delivery = max(n.delivered_at for n in result.recorder.deliveries)
+        assert first_install < last_delivery
+
+    def test_sqlite_backend_equivalent(self):
+        mem = run("sweep", seed=11, n_sources=3, n_updates=12,
+                  mean_interarrival=2.0, backend="memory")
+        sql = run("sweep", seed=11, n_sources=3, n_updates=12,
+                  mean_interarrival=2.0, backend="sqlite")
+        assert mem.final_view == sql.final_view
+        assert trajectory(mem) == trajectory(sql)
+        assert sql.classified_level == ConsistencyLevel.COMPLETE
+
+    def test_view_without_keys_supported(self):
+        """SWEEP has no key assumption (unlike the Strobe family)."""
+        result = run(
+            "sweep", n_sources=3, n_updates=10, project_keys=False,
+            mean_interarrival=1.5, insert_fraction=0.5,
+        )
+        assert result.classified_level == ConsistencyLevel.COMPLETE
+
+    def test_transactions_installed_atomically(self):
+        result = run(
+            "sweep", n_sources=3, n_updates=12, txn_fraction=0.5,
+            txn_max_rows=4, mean_interarrival=2.0,
+        )
+        assert result.classified_level == ConsistencyLevel.COMPLETE
+
+
+class TestSweepOptions:
+    def test_parallel_sweep_same_results(self):
+        base = run("sweep", seed=4, n_sources=5, n_updates=12,
+                   mean_interarrival=1.5)
+        par = run("sweep", seed=4, n_sources=5, n_updates=12,
+                  mean_interarrival=1.5, sweep_parallel=True)
+        assert par.final_view == base.final_view
+        assert par.classified_level == ConsistencyLevel.COMPLETE
+        assert par.queries_sent == base.queries_sent  # same message count
+
+    def test_parallel_sweep_faster_install(self):
+        """Halving the critical path: installs finish earlier in sim time."""
+        base = run("sweep", seed=4, n_sources=5, n_updates=6,
+                   mean_interarrival=200.0, latency=10.0)
+        par = run("sweep", seed=4, n_sources=5, n_updates=6,
+                  mean_interarrival=200.0, latency=10.0, sweep_parallel=True)
+        assert par.mean_install_delay < base.mean_install_delay
+
+    def test_parallel_on_paper_example(self):
+        result = run("sweep", workload=paper_workload(spacing=0.5),
+                     sweep_parallel=True)
+        states = trajectory(result)
+        assert states == [dict(d) for d in PAPER_EXPECTED_TRAJECTORY[1:]]
+
+    def test_unmerged_compensation_equivalent(self):
+        merged = run("sweep", seed=9, n_sources=3, n_updates=15,
+                     mean_interarrival=0.8)
+        unmerged = run("sweep", seed=9, n_sources=3, n_updates=15,
+                       mean_interarrival=0.8, sweep_merge_queue_updates=False)
+        assert merged.final_view == unmerged.final_view
+        assert unmerged.classified_level == ConsistencyLevel.COMPLETE
+
+    def test_options_dataclass(self):
+        opts = SweepOptions(parallel=True)
+        assert opts.parallel and opts.merge_queue_updates
+
+
+class TestSelectionViews:
+    """Views with a selection predicate (the sigma of the SPJ expression)."""
+
+    def _selective_workload(self, seed=3):
+        import random
+
+        from repro.relational.predicate import AttrCompare
+        from repro.workloads.data_gen import generate_initial_states
+        from repro.workloads.schema_gen import chain_view
+        from repro.workloads.scenarios import Workload
+        from repro.workloads.stream import (
+            UpdateStreamConfig,
+            generate_update_schedules,
+        )
+
+        view = chain_view(3, selection=AttrCompare("V3", "<", 500))
+        rng = random.Random(seed)
+        states, gen = generate_initial_states(view, rng, 10, match_fraction=1.0)
+        schedules = generate_update_schedules(
+            view, gen, rng,
+            UpdateStreamConfig(n_updates=15, mean_interarrival=1.0,
+                               insert_fraction=0.5),
+        )
+        return Workload(view=view, initial_states=states, schedules=schedules)
+
+    @pytest.mark.parametrize("algo", ["sweep", "nested-sweep", "c-strobe",
+                                      "pipelined-sweep"])
+    def test_selection_maintained_consistently(self, algo):
+        result = run(algo, workload=self._selective_workload(),
+                     latency=6.0, latency_model="uniform")
+        assert result.consistency[ConsistencyLevel.CONVERGENCE].ok
+        assert result.classified_level >= ConsistencyLevel.STRONG
+
+    def test_selection_filters_rows(self):
+        result = run("sweep", workload=self._selective_workload())
+        idx = result.final_view.schema.index_of("V3")
+        assert all(row[idx] < 500 for row in result.final_view.rows())
+
+
+class TestMergeHalves:
+    def _pieces(self, paper_view, paper_states):
+        seed = Delta.insert(paper_view.schema_of(2).without_key(), (3, 5))
+        seed = Delta(paper_view.schema_of(2), {(3, 5): 1})
+        left = PartialView.initial(paper_view, 2, seed).extend(
+            1, paper_states["R1"]
+        )
+        right = PartialView.initial(paper_view, 2, seed).extend(
+            3, paper_states["R3"]
+        )
+        return seed, left, right
+
+    def test_merge_equals_sequential(self, paper_view, paper_states):
+        seed, left, right = self._pieces(paper_view, paper_states)
+        sequential = (
+            PartialView.initial(paper_view, 2, seed)
+            .extend(1, paper_states["R1"])
+            .extend(3, paper_states["R3"])
+        )
+        merged = merge_halves(left, right, seed)
+        assert merged.delta == sequential.delta
+
+    def test_merge_with_negative_seed(self, paper_view, paper_states):
+        seed = Delta(paper_view.schema_of(2), {(3, 7): -1})
+        left = PartialView.initial(paper_view, 2, seed).extend(1, paper_states["R1"])
+        right = PartialView.initial(paper_view, 2, seed).extend(3, paper_states["R3"])
+        sequential = left.extend(3, paper_states["R3"])
+        merged = merge_halves(left, right, seed)
+        assert merged.delta == sequential.delta
+
+    def test_merge_range_validation(self, paper_view, paper_states):
+        seed, left, right = self._pieces(paper_view, paper_states)
+        with pytest.raises(ProtocolError):
+            merge_halves(right, left, seed)

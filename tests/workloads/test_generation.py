@@ -1,0 +1,258 @@
+"""Workload generation tests: schemas, data, streams, scenarios."""
+
+import random
+
+import pytest
+
+from repro.relational.errors import SchemaError
+from repro.relational.relation import Relation
+from repro.workloads.data_gen import generate_initial_states
+from repro.workloads.paper_example import (
+    PAPER_EXPECTED_TRAJECTORY,
+    paper_example_states,
+    paper_example_updates,
+    paper_example_view,
+)
+from repro.workloads.scenarios import (
+    alternating_interference_workload,
+    make_workload,
+)
+from repro.workloads.schema_gen import chain_view, relation_schema
+from repro.workloads.stream import UpdateStreamConfig, generate_update_schedules
+
+
+class TestChainView:
+    def test_shape(self):
+        view = chain_view(4)
+        assert view.n_relations == 4
+        assert view.relation_names == ("R1", "R2", "R3", "R4")
+        assert view.projection == ("K1", "K2", "K3", "K4", "V4")
+        assert view.projection_keeps_all_keys()
+        view.validate_chain_connectivity()
+
+    def test_keyless_projection(self):
+        view = chain_view(3, project_keys=False)
+        assert view.projection == ("V1", "V2", "V3")
+        assert not view.projection_keeps_all_keys()
+
+    def test_single_relation(self):
+        view = chain_view(1)
+        assert view.n_relations == 1
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            chain_view(0)
+
+    def test_relation_schema_key(self):
+        schema = relation_schema(2)
+        assert schema.attributes == ("K2", "F2", "V2")
+        assert schema.key == ("K2",)
+
+
+class TestInitialData:
+    def test_row_counts_and_keys_unique(self):
+        view = chain_view(3)
+        states, gen = generate_initial_states(view, random.Random(1), 25)
+        for i in range(1, 4):
+            rel = states[view.name_of(i)]
+            assert rel.total_count == 25
+            keys = [row[0] for row in rel.rows()]
+            assert len(set(keys)) == 25
+            assert gen.next_key[i] == 26
+
+    def test_match_fraction_extremes(self):
+        view = chain_view(2)
+        full, _ = generate_initial_states(
+            view, random.Random(1), 30, match_fraction=1.0
+        )
+        r2_keys = {row[0] for row in full["R2"].rows()}
+        hits = sum(1 for row in full["R1"].rows() if row[1] in r2_keys)
+        assert hits == 30
+        none, _ = generate_initial_states(
+            view, random.Random(1), 30, match_fraction=0.0
+        )
+        r2_keys = {row[0] for row in none["R2"].rows()}
+        misses = sum(1 for row in none["R1"].rows() if row[1] not in r2_keys)
+        assert misses == 30
+
+    def test_validation(self):
+        view = chain_view(2)
+        with pytest.raises(ValueError):
+            generate_initial_states(view, random.Random(1), -1)
+        with pytest.raises(ValueError):
+            generate_initial_states(view, random.Random(1), 5, match_fraction=2.0)
+
+    def test_deterministic(self):
+        view = chain_view(3)
+        a, _ = generate_initial_states(view, random.Random(42), 10)
+        b, _ = generate_initial_states(view, random.Random(42), 10)
+        assert a == b
+
+
+class TestUpdateStream:
+    def _workload_pieces(self, config, seed=1, n=3):
+        view = chain_view(n)
+        rng = random.Random(seed)
+        states, gen = generate_initial_states(view, rng, 15)
+        schedules = generate_update_schedules(view, gen, rng, config)
+        return view, states, schedules
+
+    def test_replayable_deletes(self):
+        """Every generated schedule must apply cleanly in time order."""
+        config = UpdateStreamConfig(n_updates=60, insert_fraction=0.3,
+                                    mean_interarrival=1.0)
+        view, states, schedules = self._workload_pieces(config)
+        for index, schedule in schedules.items():
+            rel = states[view.name_of(index)]
+            for update in schedule:
+                rel.apply_delta(update.delta)  # raises on invalid delete
+
+    def test_times_monotone_per_source(self):
+        config = UpdateStreamConfig(n_updates=50)
+        _, _, schedules = self._workload_pieces(config)
+        for schedule in schedules.values():
+            times = [u.time for u in schedule]
+            assert times == sorted(times)
+
+    def test_fresh_keys_never_reused(self):
+        config = UpdateStreamConfig(n_updates=80, insert_fraction=0.5)
+        view, states, schedules = self._workload_pieces(config)
+        for index, schedule in schedules.items():
+            seen = {row[0] for row in states[view.name_of(index)].rows()}
+            for update in schedule:
+                for row, count in update.delta.items():
+                    if count > 0:
+                        assert row[0] not in seen
+                        seen.add(row[0])
+
+    def test_sources_restriction(self):
+        config = UpdateStreamConfig(n_updates=30, sources=(2,))
+        _, _, schedules = self._workload_pieces(config)
+        assert set(schedules) == {2}
+        assert len(schedules[2]) <= 30
+
+    def test_source_bounds_validated(self):
+        config = UpdateStreamConfig(n_updates=5, sources=(9,))
+        with pytest.raises(ValueError):
+            self._workload_pieces(config)
+
+    def test_transactions_generated(self):
+        config = UpdateStreamConfig(
+            n_updates=40, txn_fraction=1.0, txn_max_rows=4,
+            insert_fraction=0.7,
+        )
+        _, _, schedules = self._workload_pieces(config)
+        sizes = [
+            len(u.delta)
+            for schedule in schedules.values()
+            for u in schedule
+        ]
+        assert any(s > 1 for s in sizes)
+
+    def test_global_transactions_generated(self):
+        config = UpdateStreamConfig(
+            n_updates=40, global_txn_fraction=1.0, insert_fraction=0.7,
+        )
+        view, states, schedules = self._workload_pieces(config)
+        parts = [
+            u
+            for schedule in schedules.values()
+            for u in schedule
+            if u.txn_id is not None
+        ]
+        assert parts, "no global transaction parts generated"
+        by_txn = {}
+        for part in parts:
+            by_txn.setdefault(part.txn_id, []).append(part)
+        for txn_id, txn_parts in by_txn.items():
+            assert len(txn_parts) == txn_parts[0].txn_total
+            assert 2 <= len(txn_parts) <= 3
+            # parts of one txn commit at the same instant
+            assert len({p.time for p in txn_parts}) == 1
+
+    def test_global_txn_parts_replayable(self):
+        config = UpdateStreamConfig(
+            n_updates=50, global_txn_fraction=0.5, insert_fraction=0.3,
+        )
+        view, states, schedules = self._workload_pieces(config)
+        for index, schedule in schedules.items():
+            rel = states[view.name_of(index)]
+            for update in schedule:
+                rel.apply_delta(update.delta)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            UpdateStreamConfig(n_updates=-1)
+        with pytest.raises(ValueError):
+            UpdateStreamConfig(mean_interarrival=0)
+        with pytest.raises(ValueError):
+            UpdateStreamConfig(distribution="weird")
+        with pytest.raises(ValueError):
+            UpdateStreamConfig(insert_fraction=2.0)
+        with pytest.raises(ValueError):
+            UpdateStreamConfig(txn_max_rows=0)
+
+    @pytest.mark.parametrize("dist", ["exponential", "uniform", "fixed"])
+    def test_distributions(self, dist):
+        config = UpdateStreamConfig(n_updates=20, distribution=dist)
+        _, _, schedules = self._workload_pieces(config)
+        assert sum(len(s) for s in schedules.values()) <= 20
+
+
+class TestScenarios:
+    def test_make_workload(self):
+        wl = make_workload(3, random.Random(1))
+        assert wl.view.n_relations == 3
+        assert wl.total_updates <= 20
+        assert wl.last_commit_time() > 0
+        assert "chain(3)" in wl.description
+
+    def test_alternating_interference_shape(self):
+        wl = alternating_interference_workload(3, random.Random(1), n_rounds=4)
+        assert set(wl.schedules) == {1, 2}
+        assert len(wl.schedules[1]) == 4
+        assert len(wl.schedules[2]) == 4
+        times = sorted(
+            u.time for s in wl.schedules.values() for u in s
+        )
+        assert times == pytest.approx([1.0 + 0.5 * i for i in range(8)])
+
+    def test_alternating_needs_two_sources(self):
+        with pytest.raises(ValueError):
+            alternating_interference_workload(1, random.Random(1))
+
+    def test_empty_workload_times(self):
+        wl = make_workload(
+            2, random.Random(1), stream=UpdateStreamConfig(n_updates=0)
+        )
+        assert wl.total_updates == 0
+        assert wl.last_commit_time() == 0.0
+
+
+class TestPaperExample:
+    def test_initial_view_state(self):
+        view = paper_example_view()
+        assert view.evaluate(paper_example_states()).as_dict() == dict(
+            PAPER_EXPECTED_TRAJECTORY[0]
+        )
+
+    def test_updates_structure(self):
+        updates = paper_example_updates(spacing=2.0, start=5.0)
+        assert sorted(updates) == [1, 2, 3]
+        assert updates[2][0].time == 5.0
+        assert updates[3][0].time == 7.0
+        assert updates[1][0].time == 9.0
+
+    def test_trajectory_reachable_by_replay(self):
+        view = paper_example_view()
+        states = {k: Relation(v.schema, v.as_dict())
+                  for k, v in paper_example_states().items()}
+        updates = paper_example_updates()
+        ordered = sorted(
+            ((s[0].time, idx, s[0].delta) for idx, s in updates.items())
+        )
+        for step, (_, idx, delta) in enumerate(ordered, start=1):
+            states[view.name_of(idx)].apply_delta(delta)
+            assert view.evaluate(states).as_dict() == dict(
+                PAPER_EXPECTED_TRAJECTORY[step]
+            )
