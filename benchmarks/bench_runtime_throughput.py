@@ -1,0 +1,107 @@
+"""Benchmark RT: distributed runtime throughput and refresh latency.
+
+Runs the same seeded SWEEP workload on both runtime transports (in-process
+queues and loopback TCP) and reports sustained update throughput plus
+end-to-end refresh latency -- the wall time from an update's delivery at
+the warehouse to the installation of its view change.  Shape assertions
+pin what must hold on a real transport: every update installed, complete
+consistency, SWEEP's exact 2(n-1) message cost, and the TCP tax being a
+constant factor rather than a change in protocol behaviour.
+"""
+
+from benchmarks.conftest import run_once
+from repro.consistency.levels import ConsistencyLevel
+from repro.harness.config import ExperimentConfig
+from repro.harness.report import format_table
+from repro.runtime import run_distributed
+
+N_SOURCES = 3
+N_UPDATES = 40
+TIME_SCALE = 0.001
+
+
+def _config() -> ExperimentConfig:
+    return ExperimentConfig(
+        algorithm="sweep",
+        n_sources=N_SOURCES,
+        n_updates=N_UPDATES,
+        seed=7,
+        mean_interarrival=2.0,  # keep the sweeps busy
+    )
+
+
+def run_throughput() -> list[dict]:
+    """One row per transport, same dict shape as the experiment benches."""
+    rows = []
+    for transport in ("local", "tcp"):
+        result = run_distributed(
+            _config(), transport=transport, time_scale=TIME_SCALE, timeout=120.0
+        )
+        installed = result.metrics.counters["updates_installed"]
+        lag = result.metrics.mean_observation("install_delay") or 0.0
+        rows.append(
+            {
+                "transport": transport,
+                "updates": result.recorder.updates_delivered,
+                "installs": installed,
+                "wall_seconds": round(result.wall_seconds, 3),
+                "updates_per_sec": round(
+                    result.recorder.updates_delivered / result.wall_seconds, 1
+                ),
+                "refresh_latency_units": round(lag, 3),
+                "refresh_latency_ms": round(lag * TIME_SCALE * 1000, 3),
+                "msgs_per_update": (
+                    result.metrics.messages_of_kind("query")
+                    + result.metrics.messages_of_kind("answer")
+                )
+                / result.recorder.updates_delivered,
+                "consistency": result.classified_level.name.lower(),
+            }
+        )
+    return rows
+
+
+def format_throughput(rows: list[dict]) -> str:
+    return format_table(
+        ["transport", "updates", "installs", "wall s", "upd/s",
+         "refresh lag (units)", "refresh lag (ms)", "msgs/upd", "consistency"],
+        [
+            [
+                row["transport"],
+                row["updates"],
+                row["installs"],
+                row["wall_seconds"],
+                row["updates_per_sec"],
+                row["refresh_latency_units"],
+                row["refresh_latency_ms"],
+                row["msgs_per_update"],
+                row["consistency"],
+            ]
+            for row in rows
+        ],
+        title=(
+            f"SWEEP on the asyncio runtime ({N_SOURCES} sources,"
+            f" {N_UPDATES} updates, time scale {TIME_SCALE}s/unit)"
+        ),
+    )
+
+
+def bench_runtime_throughput(benchmark, save_result):
+    rows = run_once(benchmark, run_throughput)
+    save_result("runtime_throughput", format_throughput(rows))
+    by_transport = {row["transport"]: row for row in rows}
+
+    for row in rows:
+        # The protocol is host-independent: every update delivered and
+        # installed, complete consistency, exact 2(n-1) message cost.
+        assert row["updates"] == N_UPDATES
+        assert row["installs"] == N_UPDATES
+        assert row["consistency"] == ConsistencyLevel.COMPLETE.name.lower()
+        assert row["msgs_per_update"] == 2 * (N_SOURCES - 1)
+        assert row["updates_per_sec"] > 0
+
+    # TCP costs more than in-process queues, but within an order of
+    # magnitude on loopback: a tax, not a different algorithm.
+    local, tcp = by_transport["local"], by_transport["tcp"]
+    assert tcp["refresh_latency_units"] >= local["refresh_latency_units"] * 0.5
+    assert tcp["wall_seconds"] < local["wall_seconds"] * 10

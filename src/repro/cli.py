@@ -2,11 +2,14 @@
 
 Commands
 --------
-``run``          one maintenance experiment (all ExperimentConfig knobs)
-``algorithms``   list registered algorithms with their Table 1 properties
-``table1``       regenerate the measured Table 1
-``fig5``         replay the paper's Figure 5 example
-``experiments``  run every experiment module and print its table
+``run``              one maintenance experiment (all ExperimentConfig knobs)
+``run-distributed``  the same experiment on the asyncio runtime (TCP/local)
+``serve-warehouse``  host the warehouse site of a multi-process deployment
+``serve-source``     host one data-source site of a multi-process deployment
+``algorithms``       list registered algorithms with their Table 1 properties
+``table1``           regenerate the measured Table 1
+``fig5``             replay the paper's Figure 5 example
+``experiments``      run every experiment module and print its table
 """
 
 from __future__ import annotations
@@ -68,6 +71,171 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.show_view:
         print()
         print(result.final_view.pretty())
+    return 0
+
+
+def _add_workload_args(p: argparse.ArgumentParser) -> None:
+    """Config knobs every site of one deployment must agree on."""
+    p.add_argument("--algorithm", "-a", default="sweep")
+    p.add_argument("--sources", "-n", type=int, default=3)
+    p.add_argument("--updates", "-u", type=int, default=20)
+    p.add_argument("--seed", "-s", type=int, default=0)
+    p.add_argument("--backend", choices=("memory", "sqlite"), default="memory")
+    p.add_argument("--interarrival", type=float, default=10.0)
+    p.add_argument("--insert-fraction", type=float, default=0.6)
+    p.add_argument("--rows", type=int, default=20)
+    p.add_argument("--time-scale", type=float, default=0.01,
+                   help="wall seconds per virtual time unit")
+
+
+def _workload_config(args: argparse.Namespace, **extra):
+    from repro.harness.config import ExperimentConfig
+
+    return ExperimentConfig(
+        algorithm=args.algorithm,
+        n_sources=args.sources,
+        n_updates=args.updates,
+        seed=args.seed,
+        backend=args.backend,
+        mean_interarrival=args.interarrival,
+        insert_fraction=args.insert_fraction,
+        rows_per_relation=args.rows,
+        **extra,
+    )
+
+
+def _parse_address(text: str) -> tuple[str, int]:
+    host, _, port = text.rpartition(":")
+    return (host or "127.0.0.1", int(port))
+
+
+def _add_run_distributed_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "run-distributed",
+        help="run one experiment on the asyncio runtime (all sites in-process)",
+    )
+    _add_workload_args(p)
+    p.add_argument("--transport", choices=("tcp", "local"), default="tcp")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="interface the TCP listeners bind")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="wall-clock quiescence timeout in seconds")
+    p.add_argument("--no-check", action="store_true",
+                   help="skip consistency verification")
+    p.add_argument("--show-view", action="store_true",
+                   help="print the final materialized view")
+
+
+def _cmd_run_distributed(args: argparse.Namespace) -> int:
+    from repro.runtime import run_distributed
+
+    config = _workload_config(args, check_consistency=not args.no_check)
+    result = run_distributed(
+        config,
+        transport=args.transport,
+        time_scale=args.time_scale,
+        host=args.host,
+        timeout=args.timeout,
+    )
+    print(result.report())
+    if args.show_view:
+        print()
+        print(result.final_view.pretty())
+    return 0
+
+
+def _add_serve_warehouse_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "serve-warehouse",
+        help="host the warehouse site; sources run in other processes",
+    )
+    _add_workload_args(p)
+    p.add_argument("--listen", default="127.0.0.1:7700", metavar="HOST:PORT")
+    p.add_argument(
+        "--source", action="append", default=[], metavar="INDEX=HOST:PORT",
+        help="address of each source's listener (repeat; 0=central for ECA)",
+    )
+    p.add_argument(
+        "--expect-updates", type=int, default=None,
+        help="exit with a report after this many updates (default: all"
+             " scheduled updates; 0 serves forever)",
+    )
+    p.add_argument("--timeout", type=float, default=3600.0)
+
+
+def _cmd_serve_warehouse(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.runtime import serve_warehouse_async
+
+    config = _workload_config(args)
+    addresses = {}
+    for spec in args.source:
+        index, _, addr = spec.partition("=")
+        addresses[int(index)] = _parse_address(addr)
+    if not addresses:
+        raise SystemExit("serve-warehouse needs at least one --source")
+    listen_host, listen_port = _parse_address(args.listen)
+    expect = args.expect_updates
+    if expect is None:
+        expect = config.n_updates
+    result = asyncio.run(
+        serve_warehouse_async(
+            config,
+            addresses,
+            listen_host=listen_host,
+            listen_port=listen_port,
+            time_scale=args.time_scale,
+            expect_updates=expect or None,
+            timeout=args.timeout,
+        )
+    )
+    if result is not None:
+        print(result.report())
+    return 0
+
+
+def _add_serve_source_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "serve-source",
+        help="host one data-source site and replay its update schedule",
+    )
+    _add_workload_args(p)
+    p.add_argument("--index", "-i", type=int, required=True,
+                   help="1-based index of the base relation this site owns")
+    p.add_argument("--warehouse", required=True, metavar="HOST:PORT",
+                   help="address of the warehouse listener")
+    p.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT")
+    p.add_argument("--no-drive", action="store_true",
+                   help="do not replay the seeded update schedule")
+    p.add_argument("--serve-forever", action="store_true",
+                   help="keep serving queries after the schedule drains")
+    p.add_argument("--linger", type=float, default=3.0,
+                   help="wall seconds of query silence before exiting")
+    p.add_argument("--timeout", type=float, default=3600.0)
+
+
+def _cmd_serve_source(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.runtime import serve_source_async
+
+    config = _workload_config(args)
+    listen_host, listen_port = _parse_address(args.listen)
+    asyncio.run(
+        serve_source_async(
+            config,
+            args.index,
+            warehouse_address=_parse_address(args.warehouse),
+            listen_host=listen_host,
+            listen_port=listen_port,
+            time_scale=args.time_scale,
+            drive=not args.no_drive,
+            exit_when_done=not args.serve_forever,
+            linger=args.linger,
+            timeout=args.timeout,
+        )
+    )
     return 0
 
 
@@ -192,6 +360,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     _add_run_parser(sub)
+    _add_run_distributed_parser(sub)
+    _add_serve_warehouse_parser(sub)
+    _add_serve_source_parser(sub)
     sub.add_parser("algorithms", help="list registered algorithms")
 
     t1 = sub.add_parser("table1", help="regenerate the measured Table 1")
@@ -247,6 +418,9 @@ def _cmd_advise(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "run": _cmd_run,
+    "run-distributed": _cmd_run_distributed,
+    "serve-warehouse": _cmd_serve_warehouse,
+    "serve-source": _cmd_serve_source,
     "algorithms": _cmd_algorithms,
     "table1": _cmd_table1,
     "fig5": _cmd_fig5,

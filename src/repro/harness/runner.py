@@ -55,7 +55,13 @@ def _latency(config: ExperimentConfig, rngs: RngRegistry, name: str) -> LatencyM
     return ExponentialLatency(config.latency, rng)
 
 
-def _build_workload(config: ExperimentConfig, rngs: RngRegistry) -> Workload:
+def build_workload(config: ExperimentConfig, rngs: RngRegistry) -> Workload:
+    """The workload a config describes, drawn from the registry's streams.
+
+    Shared by the simulator harness and the distributed runtime so that an
+    identical config replays an identical update history on both hosts
+    (the basis of the simulator-vs-runtime equivalence tests).
+    """
     if config.workload is not None:
         return config.workload
     stream = UpdateStreamConfig(
@@ -78,7 +84,8 @@ def _build_workload(config: ExperimentConfig, rngs: RngRegistry) -> Workload:
     )
 
 
-def _algorithm_kwargs(config: ExperimentConfig) -> dict:
+def algorithm_kwargs(config: ExperimentConfig) -> dict:
+    """Per-algorithm constructor options encoded in a config."""
     if config.algorithm == "sweep":
         return {
             "options": SweepOptions(
@@ -101,7 +108,7 @@ def run_experiment(config: ExperimentConfig, warehouse_hook=None) -> RunResult:
     attach aggregate views that must observe every install.
     """
     rngs = RngRegistry(config.seed)
-    workload = _build_workload(config, rngs)
+    workload = build_workload(config, rngs)
     view = workload.view
     info = algorithm_info(config.algorithm)
 
@@ -200,7 +207,7 @@ def run_experiment(config: ExperimentConfig, warehouse_hook=None) -> RunResult:
         metrics=metrics,
         trace=trace if config.trace else None,
         inbox=inbox,
-        **_algorithm_kwargs(config),
+        **algorithm_kwargs(config),
     )
 
     if warehouse_hook is not None:
@@ -239,4 +246,4 @@ def run_experiment(config: ExperimentConfig, warehouse_hook=None) -> RunResult:
     return result
 
 
-__all__ = ["build_latency_model", "run_experiment"]
+__all__ = ["algorithm_kwargs", "build_latency_model", "build_workload", "run_experiment"]

@@ -1,0 +1,64 @@
+"""Asyncio distributed runtime: the simulator's protocol stack over real I/O.
+
+The simulation kernel and this runtime expose the same contract --
+``now``, ``schedule``, ``spawn`` -- so every protocol object in
+:mod:`repro.warehouse` and :mod:`repro.sources` runs unchanged on either
+host.  The runtime adds what a real deployment needs and a simulator does
+not: transports (in-process bounded queues or loopback/remote TCP with
+FIFO sessions, retries and backpressure), wall-clock scheduling with a
+configurable virtual-time scale, and quiescence detection by polling
+instead of an empty event heap.
+
+Entry points:
+
+- :func:`run_distributed` / :func:`quick_distributed` -- one-call runs,
+  mirroring :func:`repro.harness.runner.run_experiment`.
+- :class:`SourceNode` / :class:`WarehouseNode` -- deployable sites for
+  multi-process setups (``repro serve-source`` / ``repro serve-warehouse``).
+"""
+
+from repro.runtime.codec import WireCodec
+from repro.runtime.distributed import (
+    DistributedRunResult,
+    quick_distributed,
+    run_distributed,
+    run_distributed_async,
+    serve_source_async,
+    serve_warehouse_async,
+)
+from repro.runtime.errors import (
+    QuiescenceTimeout,
+    RuntimeHostError,
+    TransportError,
+    TransportOverflowError,
+    TransportRetriesExceeded,
+    WireProtocolError,
+)
+from repro.runtime.kernel import AsyncRuntime
+from repro.runtime.nodes import CentralSourceNode, SourceNode, WarehouseNode
+from repro.runtime.tcp import ChannelListener, TcpChannel, TcpChannelConfig
+from repro.runtime.transport import LocalChannel, RuntimeChannel
+
+__all__ = [
+    "AsyncRuntime",
+    "CentralSourceNode",
+    "ChannelListener",
+    "DistributedRunResult",
+    "LocalChannel",
+    "QuiescenceTimeout",
+    "RuntimeChannel",
+    "RuntimeHostError",
+    "SourceNode",
+    "TcpChannel",
+    "TcpChannelConfig",
+    "TransportError",
+    "TransportOverflowError",
+    "TransportRetriesExceeded",
+    "WarehouseNode",
+    "WireCodec",
+    "quick_distributed",
+    "run_distributed",
+    "run_distributed_async",
+    "serve_source_async",
+    "serve_warehouse_async",
+]

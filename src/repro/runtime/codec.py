@@ -1,0 +1,237 @@
+"""JSON wire codec for the protocol payloads.
+
+Both endpoints of a channel share the same :class:`~repro.relational.view.
+ViewDefinition` (in deployment it is derived from the same seeded workload
+configuration), so rows travel bare: the receiver reattaches the schema
+from the view and the ``(lo, hi)`` range or source index carried alongside.
+Rows are tuples of JSON scalars; counts are signed integers.
+
+The codec is deliberately symmetric with :func:`repro.simulation.metrics.
+estimate_size`: a decoded message reports the same payload row count the
+simulator would have accounted, which keeps distributed metrics comparable
+with simulator metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.relational.delta import Delta
+from repro.relational.incremental import PartialView
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.view import ViewDefinition
+from repro.runtime.errors import WireProtocolError
+from repro.simulation.channel import Message
+from repro.sources.messages import (
+    EcaAnswer,
+    EcaQuery,
+    EcaQueryTerm,
+    MultiQueryAnswer,
+    MultiQueryRequest,
+    QueryAnswer,
+    QueryRequest,
+    SnapshotAnswer,
+    SnapshotRequest,
+    UpdateNotice,
+)
+
+
+def _encode_rows(bag) -> list:
+    return [[list(row), count] for row, count in bag.items()]
+
+
+def _decode_counts(rows: list) -> dict[tuple, int]:
+    return {tuple(row): int(count) for row, count in rows}
+
+
+class WireCodec:
+    """Encode/decode :class:`Message` envelopes for one view's channels."""
+
+    def __init__(self, view: ViewDefinition):
+        self.view = view
+
+    # ------------------------------------------------------------------
+    # Envelope
+    # ------------------------------------------------------------------
+    def encode_message(self, message: Message) -> dict:
+        """A JSON-safe dict for one channel envelope."""
+        return {
+            "kind": message.kind,
+            "sender": message.sender,
+            "sent_at": message.sent_at,
+            "payload": self.encode_payload(message.payload),
+        }
+
+    def decode_message(self, obj: dict) -> Message:
+        try:
+            return Message(
+                kind=obj["kind"],
+                sender=obj["sender"],
+                payload=self.decode_payload(obj["payload"]),
+                sent_at=float(obj.get("sent_at", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WireProtocolError(f"malformed envelope: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # Payloads
+    # ------------------------------------------------------------------
+    def encode_payload(self, payload: Any) -> dict:
+        if isinstance(payload, UpdateNotice):
+            return {
+                "type": "update_notice",
+                "source_index": payload.source_index,
+                "seq": payload.seq,
+                "applied_at": payload.applied_at,
+                "txn_id": payload.txn_id,
+                "txn_total": payload.txn_total,
+                "rows": _encode_rows(payload.delta),
+            }
+        if isinstance(payload, QueryRequest):
+            return {
+                "type": "query_request",
+                "request_id": payload.request_id,
+                "target_index": payload.target_index,
+                "partial": self._encode_partial(payload.partial),
+            }
+        if isinstance(payload, QueryAnswer):
+            return {
+                "type": "query_answer",
+                "request_id": payload.request_id,
+                "partial": self._encode_partial(payload.partial),
+            }
+        if isinstance(payload, MultiQueryRequest):
+            return {
+                "type": "multi_query_request",
+                "request_id": payload.request_id,
+                "target_index": payload.target_index,
+                "partials": [self._encode_partial(p) for p in payload.partials],
+            }
+        if isinstance(payload, MultiQueryAnswer):
+            return {
+                "type": "multi_query_answer",
+                "request_id": payload.request_id,
+                "partials": [self._encode_partial(p) for p in payload.partials],
+            }
+        if isinstance(payload, EcaQuery):
+            return {
+                "type": "eca_query",
+                "request_id": payload.request_id,
+                "terms": [
+                    {
+                        "sign": term.sign,
+                        "subs": {
+                            str(index): _encode_rows(delta)
+                            for index, delta in term.substitutions.items()
+                        },
+                    }
+                    for term in payload.terms
+                ],
+            }
+        if isinstance(payload, EcaAnswer):
+            return {
+                "type": "eca_answer",
+                "request_id": payload.request_id,
+                "rows": _encode_rows(payload.delta),
+            }
+        if isinstance(payload, SnapshotRequest):
+            return {"type": "snapshot_request", "request_id": payload.request_id}
+        if isinstance(payload, SnapshotAnswer):
+            return {
+                "type": "snapshot_answer",
+                "request_id": payload.request_id,
+                "source_index": payload.source_index,
+                "rows": _encode_rows(payload.relation),
+            }
+        raise WireProtocolError(
+            f"no wire encoding for payload type {type(payload).__name__}"
+        )
+
+    def decode_payload(self, obj: dict) -> Any:
+        kind = obj.get("type")
+        if kind == "update_notice":
+            index = int(obj["source_index"])
+            return UpdateNotice(
+                source_index=index,
+                seq=int(obj["seq"]),
+                delta=self._decode_delta(self.view.schema_of(index), obj["rows"]),
+                applied_at=float(obj["applied_at"]),
+                txn_id=obj.get("txn_id"),
+                txn_total=int(obj.get("txn_total", 0)),
+            )
+        if kind == "query_request":
+            return QueryRequest(
+                request_id=int(obj["request_id"]),
+                partial=self._decode_partial(obj["partial"]),
+                target_index=int(obj["target_index"]),
+            )
+        if kind == "query_answer":
+            return QueryAnswer(
+                request_id=int(obj["request_id"]),
+                partial=self._decode_partial(obj["partial"]),
+            )
+        if kind == "multi_query_request":
+            return MultiQueryRequest(
+                request_id=int(obj["request_id"]),
+                partials=[self._decode_partial(p) for p in obj["partials"]],
+                target_index=int(obj["target_index"]),
+            )
+        if kind == "multi_query_answer":
+            return MultiQueryAnswer(
+                request_id=int(obj["request_id"]),
+                partials=[self._decode_partial(p) for p in obj["partials"]],
+            )
+        if kind == "eca_query":
+            return EcaQuery(
+                request_id=int(obj["request_id"]),
+                terms=[
+                    EcaQueryTerm(
+                        substitutions={
+                            int(index): self._decode_delta(
+                                self.view.schema_of(int(index)), rows
+                            )
+                            for index, rows in term["subs"].items()
+                        },
+                        sign=int(term["sign"]),
+                    )
+                    for term in obj["terms"]
+                ],
+            )
+        if kind == "eca_answer":
+            return EcaAnswer(
+                request_id=int(obj["request_id"]),
+                delta=self._decode_delta(self.view.wide_schema, obj["rows"]),
+            )
+        if kind == "snapshot_request":
+            return SnapshotRequest(request_id=int(obj["request_id"]))
+        if kind == "snapshot_answer":
+            index = int(obj["source_index"])
+            return SnapshotAnswer(
+                request_id=int(obj["request_id"]),
+                source_index=index,
+                relation=Relation(
+                    self.view.schema_of(index), _decode_counts(obj["rows"])
+                ),
+            )
+        raise WireProtocolError(f"unknown payload type {kind!r}")
+
+    # ------------------------------------------------------------------
+    def _encode_partial(self, partial: PartialView) -> dict:
+        return {
+            "lo": partial.lo,
+            "hi": partial.hi,
+            "rows": _encode_rows(partial.delta),
+        }
+
+    def _decode_partial(self, obj: dict) -> PartialView:
+        lo, hi = int(obj["lo"]), int(obj["hi"])
+        schema = self.view.wide_schema_range(lo, hi)
+        return PartialView(self.view, lo, hi, self._decode_delta(schema, obj["rows"]))
+
+    @staticmethod
+    def _decode_delta(schema: Schema, rows: list) -> Delta:
+        return Delta(schema, _decode_counts(rows))
+
+
+__all__ = ["WireCodec"]

@@ -1,0 +1,42 @@
+"""Errors raised by the asyncio runtime and its transports."""
+
+from __future__ import annotations
+
+
+class RuntimeHostError(Exception):
+    """Base class for every distributed-runtime failure."""
+
+
+class TransportError(RuntimeHostError):
+    """A transport could not carry a message."""
+
+
+class TransportOverflowError(TransportError):
+    """A bounded send queue is full (backpressure signal).
+
+    Producers that can pace themselves should ``await channel.flush()``
+    (or :meth:`drain`) instead of racing into this error; protocol code
+    never hits it because sweep traffic is bounded by the protocol itself.
+    """
+
+
+class TransportRetriesExceeded(TransportError):
+    """A TCP channel exhausted its bounded connect/reconnect budget."""
+
+
+class WireProtocolError(TransportError):
+    """A malformed or out-of-contract frame arrived on a TCP session."""
+
+
+class QuiescenceTimeout(RuntimeHostError):
+    """A distributed run did not reach quiescence within its deadline."""
+
+
+__all__ = [
+    "QuiescenceTimeout",
+    "RuntimeHostError",
+    "TransportError",
+    "TransportOverflowError",
+    "TransportRetriesExceeded",
+    "WireProtocolError",
+]

@@ -1,0 +1,185 @@
+"""AsyncRuntime: the simulation kernel interface over a real event loop.
+
+The protocol stack never talks to the :class:`~repro.simulation.kernel.
+Simulator` class itself -- only to a four-method contract: ``now``,
+``schedule``, ``schedule_at`` and ``spawn``.  :class:`AsyncRuntime`
+implements that same contract on top of asyncio's wall clock, so the
+*unchanged* generator processes (:class:`~repro.simulation.process.Process`),
+mailboxes (:class:`~repro.simulation.mailbox.Mailbox`) and every warehouse
+algorithm run over real time and real transports with zero forks.
+
+Time is kept in the simulator's *virtual units*: ``time_scale`` is the
+number of wall seconds one virtual unit takes, so a workload generated for
+the simulator (commit times, service times) replays at a configurable real
+speed and the metrics (install delay, staleness) remain in the same units
+as simulator runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Callable, Coroutine, Generator
+
+from repro.runtime.errors import QuiescenceTimeout
+from repro.simulation.process import Process
+
+
+class AsyncRuntime:
+    """Drop-in kernel for the protocol stack, backed by an asyncio loop.
+
+    Must be constructed inside a running event loop (transports and
+    processes are loop-bound).  ``time_scale`` converts virtual time units
+    to wall seconds (``0.01`` replays a simulator workload at 100 units/s).
+    """
+
+    def __init__(self, time_scale: float = 1.0):
+        if time_scale <= 0:
+            raise ValueError(f"time_scale must be positive, got {time_scale}")
+        self.time_scale = float(time_scale)
+        self._loop = asyncio.get_running_loop()
+        self._t0 = self._loop.time()
+        self._processes: list[Process] = []
+        self._tasks: list[asyncio.Task] = []
+        self._failures: list[BaseException] = []
+        self._failed = asyncio.Event()
+        self._events_executed = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # The kernel contract (duck-type of Simulator)
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Wall time elapsed since construction, in virtual units."""
+        return (self._loop.time() - self._t0) / self.time_scale
+
+    @property
+    def events_executed(self) -> int:
+        """Scheduled callbacks fired so far (parity with the simulator)."""
+        return self._events_executed
+
+    def schedule(self, delay: float, callback: Callable[[], None]):
+        """Run ``callback`` after ``delay`` virtual units of wall time."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self._loop.call_later(
+            delay * self.time_scale, self._guarded, callback
+        )
+
+    def schedule_at(self, time: float, callback: Callable[[], None]):
+        """Run ``callback`` at absolute virtual ``time`` (clamped to now)."""
+        return self.schedule(max(0.0, time - self.now), callback)
+
+    def spawn(self, name: str, generator: Generator) -> Process:
+        """Host an unchanged simulation process on the event loop."""
+        process = Process(self, name, generator)
+        self._processes.append(process)
+        self.schedule(0.0, process.start)
+        return process
+
+    @property
+    def processes(self) -> tuple[Process, ...]:
+        """Every process ever spawned on this runtime."""
+        return tuple(self._processes)
+
+    # ------------------------------------------------------------------
+    # Async-native extensions
+    # ------------------------------------------------------------------
+    def create_task(self, coro: Coroutine, name: str = "") -> asyncio.Task:
+        """Spawn an async task whose failure fails the whole runtime."""
+        task = self._loop.create_task(coro, name=name)
+        task.add_done_callback(self._on_task_done)
+        self._tasks.append(task)
+        return task
+
+    async def sleep(self, duration: float) -> None:
+        """Sleep ``duration`` virtual units of wall time."""
+        await asyncio.sleep(duration * self.time_scale)
+
+    def record_failure(self, exc: BaseException) -> None:
+        """Register a fatal error; ``wait_until``/``check`` re-raise it."""
+        self._failures.append(exc)
+        self._failed.set()
+
+    def check(self) -> None:
+        """Raise the first recorded failure, if any."""
+        if self._failures:
+            raise self._failures[0]
+
+    async def wait_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float = 30.0,
+        poll: float = 0.005,
+        stable_polls: int = 2,
+    ) -> None:
+        """Poll ``predicate`` until it holds ``stable_polls`` times in a row.
+
+        ``timeout`` and ``poll`` are **wall seconds** (deadlines guard real
+        hangs, not virtual schedules).  The first failure recorded by any
+        process or transport is re-raised immediately.
+        """
+        deadline = self._loop.time() + timeout
+        consecutive = 0
+        while True:
+            self.check()
+            if predicate():
+                consecutive += 1
+                if consecutive >= stable_polls:
+                    return
+            else:
+                consecutive = 0
+            if self._loop.time() >= deadline:
+                raise QuiescenceTimeout(
+                    f"predicate not stable after {timeout}s"
+                    f" ({len(self.blocked_processes())} blocked processes)"
+                )
+            await asyncio.sleep(poll)
+
+    def blocked_processes(self) -> list[Process]:
+        """Processes currently waiting on a mailbox (diagnostics)."""
+        return [p for p in self._processes if p.is_blocked]
+
+    def settled(self) -> bool:
+        """True when every process has either finished or awaits a mailbox.
+
+        A process mid-``Delay`` (e.g. a pending scheduled update or a
+        source still inside its service time) keeps the runtime unsettled.
+        """
+        return all(p.finished or p.is_blocked for p in self._processes)
+
+    async def aclose(self) -> None:
+        """Cancel every runtime-owned task (idempotent)."""
+        self._closed = True
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks.clear()
+
+    # ------------------------------------------------------------------
+    def _guarded(self, callback: Callable[[], None]) -> None:
+        self._events_executed += 1
+        try:
+            callback()
+        except BaseException as exc:  # noqa: BLE001 - re-raised via check()
+            self.record_failure(exc)
+
+    def _on_task_done(self, task: asyncio.Task) -> None:
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is not None:
+            self.record_failure(exc)
+
+    def __repr__(self) -> str:
+        return (
+            f"AsyncRuntime(now={self.now:.3f}, scale={self.time_scale},"
+            f" processes={len(self._processes)}, tasks={len(self._tasks)})"
+        )
+
+
+__all__ = ["AsyncRuntime"]

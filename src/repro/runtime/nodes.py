@@ -1,0 +1,254 @@
+"""Deployable sites: one warehouse node, one node per data source.
+
+A node owns exactly what one OS process would own in a real deployment:
+its protocol objects (the unchanged :class:`DataSourceServer` /
+warehouse algorithm), an inbound :class:`ChannelListener` and its outbound
+:class:`TcpChannel` sessions.  ``repro serve-source`` and
+``repro serve-warehouse`` host one node per process;
+``repro run-distributed`` (and the quickstart example) host all nodes on
+one event loop but still talk TCP through the loopback interface -- same
+code path, same frames.
+
+Channel naming mirrors the simulator: ``"R2->wh"`` carries source 2's
+update notices *and* query answers (sharing one FIFO session is the
+linchpin of SWEEP's local compensation), ``"wh->R2"`` carries the
+warehouse's queries.  The centralized (ECA) architecture uses
+``"central->wh"`` / ``"wh->central"``.
+"""
+
+from __future__ import annotations
+
+from repro.consistency.oracle import RunRecorder
+from repro.relational.relation import Relation
+from repro.relational.view import ViewDefinition
+from repro.runtime.codec import WireCodec
+from repro.runtime.kernel import AsyncRuntime
+from repro.runtime.tcp import ChannelListener, TcpChannel, TcpChannelConfig
+from repro.simulation.mailbox import Mailbox
+from repro.simulation.metrics import MetricsCollector
+from repro.simulation.trace import TraceLog
+from repro.sources.base import SourceBackend
+from repro.sources.central import CentralSource
+from repro.sources.server import DataSourceServer
+from repro.warehouse.registry import algorithm_info
+
+
+class SourceNode:
+    """One data-source site: backend + Figure 3 server over TCP."""
+
+    def __init__(
+        self,
+        runtime: AsyncRuntime,
+        view: ViewDefinition,
+        index: int,
+        backend: SourceBackend,
+        warehouse_address: tuple[str, int],
+        query_service_time: float = 0.0,
+        metrics: MetricsCollector | None = None,
+        trace: TraceLog | None = None,
+        listen_host: str = "127.0.0.1",
+        listen_port: int = 0,
+        tcp_config: TcpChannelConfig | None = None,
+    ):
+        self.runtime = runtime
+        self.view = view
+        self.index = index
+        self.name = view.name_of(index)
+        self.codec = WireCodec(view)
+        self.to_warehouse = TcpChannel(
+            runtime,
+            f"{self.name}->wh",
+            warehouse_address[0],
+            warehouse_address[1],
+            self.codec,
+            metrics,
+            tcp_config,
+        )
+        self.server = DataSourceServer(
+            runtime,
+            self.name,
+            index,
+            backend,
+            self.to_warehouse,
+            query_service_time=query_service_time,
+            trace=trace,
+        )
+        self.listener = ChannelListener(runtime, listen_host, listen_port)
+        self.listener.register(f"wh->{self.name}", self.server.query_inbox, self.codec)
+
+    async def start(self) -> None:
+        await self.listener.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Where the warehouse should dial this source's query channel."""
+        return self.listener.address
+
+    def quiescent(self) -> bool:
+        """No outbound frames in flight, no queries waiting locally."""
+        return self.to_warehouse.idle and len(self.server.query_inbox) == 0
+
+    async def aclose(self) -> None:
+        await self.to_warehouse.aclose()
+        await self.listener.aclose()
+
+    def __repr__(self) -> str:
+        return f"SourceNode({self.name!r}, listen={self.listener.port})"
+
+
+class CentralSourceNode:
+    """The single-site source of the centralized (ECA) architecture."""
+
+    def __init__(
+        self,
+        runtime: AsyncRuntime,
+        view: ViewDefinition,
+        initial: dict[str, Relation],
+        warehouse_address: tuple[str, int],
+        query_service_time: float = 0.0,
+        metrics: MetricsCollector | None = None,
+        trace: TraceLog | None = None,
+        listen_host: str = "127.0.0.1",
+        listen_port: int = 0,
+        tcp_config: TcpChannelConfig | None = None,
+    ):
+        self.runtime = runtime
+        self.view = view
+        self.name = "central"
+        self.codec = WireCodec(view)
+        self.to_warehouse = TcpChannel(
+            runtime,
+            "central->wh",
+            warehouse_address[0],
+            warehouse_address[1],
+            self.codec,
+            metrics,
+            tcp_config,
+        )
+        self.source = CentralSource(
+            runtime,
+            view,
+            self.to_warehouse,
+            initial=initial,
+            query_service_time=query_service_time,
+            trace=trace,
+        )
+        self.listener = ChannelListener(runtime, listen_host, listen_port)
+        self.listener.register("wh->central", self.source.query_inbox, self.codec)
+
+    async def start(self) -> None:
+        await self.listener.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.listener.address
+
+    def quiescent(self) -> bool:
+        return self.to_warehouse.idle and len(self.source.query_inbox) == 0
+
+    async def aclose(self) -> None:
+        await self.to_warehouse.aclose()
+        await self.listener.aclose()
+
+
+class WarehouseNode:
+    """The warehouse site: hosts any registered maintenance algorithm.
+
+    ``source_addresses`` maps 1-based source indices to ``(host, port)``
+    of each :class:`SourceNode` listener -- or ``{0: address}`` for the
+    centralized architecture, matching the simulator harness's convention
+    of keying the central query channel as index 0.
+    """
+
+    def __init__(
+        self,
+        runtime: AsyncRuntime,
+        view: ViewDefinition,
+        algorithm: str,
+        source_addresses: dict[int, tuple[str, int]],
+        initial_view: Relation | None = None,
+        recorder: RunRecorder | None = None,
+        metrics: MetricsCollector | None = None,
+        trace: TraceLog | None = None,
+        listen_host: str = "127.0.0.1",
+        listen_port: int = 0,
+        tcp_config: TcpChannelConfig | None = None,
+        algorithm_kwargs: dict | None = None,
+    ):
+        self.runtime = runtime
+        self.view = view
+        self.info = algorithm_info(algorithm)
+        self.codec = WireCodec(view)
+        self.inbox = Mailbox(runtime, "warehouse-inbox")
+        self.listener = ChannelListener(runtime, listen_host, listen_port)
+        if self.info.architecture == "centralized":
+            inbound = ["central->wh"]
+        else:
+            inbound = [
+                f"{view.name_of(index)}->wh"
+                for index in range(1, view.n_relations + 1)
+            ]
+        for channel_name in inbound:
+            self.listener.register(channel_name, self.inbox, self.codec)
+        self.query_channels = {
+            index: TcpChannel(
+                runtime,
+                self._query_channel_name(index),
+                host,
+                port,
+                self.codec,
+                metrics,
+                tcp_config,
+            )
+            for index, (host, port) in sorted(source_addresses.items())
+        }
+        self.warehouse = self.info.cls(
+            runtime,
+            view,
+            self.query_channels,
+            initial_view=initial_view,
+            recorder=recorder,
+            metrics=metrics,
+            trace=trace,
+            inbox=self.inbox,
+            **(algorithm_kwargs or {}),
+        )
+
+    def _query_channel_name(self, index: int) -> str:
+        if index == 0:
+            return "wh->central"
+        return f"wh->{self.view.name_of(index)}"
+
+    async def start(self) -> None:
+        await self.listener.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Where sources should dial their update/answer channel."""
+        return self.listener.address
+
+    def quiescent(self) -> bool:
+        """Inbox drained, no queued updates mid-algorithm, channels idle."""
+        if len(self.inbox) != 0:
+            return False
+        update_queue = getattr(self.warehouse, "update_queue", None)
+        if update_queue is not None and len(update_queue) != 0:
+            return False
+        answer_box = getattr(self.warehouse, "_answer_box", None)
+        if answer_box is not None and len(answer_box) != 0:
+            return False
+        return all(channel.idle for channel in self.query_channels.values())
+
+    async def aclose(self) -> None:
+        for channel in self.query_channels.values():
+            await channel.aclose()
+        await self.listener.aclose()
+
+    def __repr__(self) -> str:
+        return (
+            f"WarehouseNode({self.info.name!r}, listen={self.listener.port},"
+            f" sources={sorted(self.query_channels)})"
+        )
+
+
+__all__ = ["CentralSourceNode", "SourceNode", "WarehouseNode"]

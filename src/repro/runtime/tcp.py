@@ -1,0 +1,378 @@
+"""TCP transport: length-prefixed JSON frames with FIFO sessions.
+
+Wire format
+-----------
+Every frame is a 4-byte big-endian length followed by a UTF-8 JSON object.
+Four frame types flow on a connection::
+
+    {"t": "hello",   "channel": name, "next": seq}   sender -> receiver
+    {"t": "welcome", "expect": seq}                  receiver -> sender
+    {"t": "msg",     "seq": n, "m": envelope}        sender -> receiver
+    {"t": "ack",     "seq": n}                       receiver -> sender
+
+Session guarantees
+------------------
+A *channel* is one direction of the paper's source<->warehouse link; its
+name (e.g. ``"R2->wh"``) identifies it across reconnects.  The sender
+numbers messages 1, 2, 3, ... and keeps everything unacknowledged in a
+bounded window; the receiver tracks the next expected sequence number *per
+channel name* (surviving reconnects), acknowledges each frame cumulatively
+and drops duplicates.  After a connection failure the sender reconnects
+(bounded retries, exponential backoff, connect/read timeouts), says hello,
+learns the receiver's ``expect`` and resends exactly the suffix the
+receiver has not seen.  The result is exactly-once, in-order delivery per
+channel -- the reliable FIFO assumption of Section 2 -- on top of an
+unreliable connection lifecycle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.runtime.codec import WireCodec
+from repro.runtime.errors import (
+    TransportOverflowError,
+    TransportRetriesExceeded,
+    WireProtocolError,
+)
+from repro.runtime.kernel import AsyncRuntime
+from repro.runtime.transport import RuntimeChannel
+from repro.simulation.channel import Message
+from repro.simulation.mailbox import Mailbox
+from repro.simulation.metrics import MetricsCollector
+
+_HEADER = struct.Struct(">I")
+_MAX_FRAME = 64 * 1024 * 1024
+
+
+async def read_frame(reader: asyncio.StreamReader, timeout: float | None = None) -> dict:
+    """Read one length-prefixed JSON frame (raises on EOF/oversize/timeout)."""
+
+    async def _read() -> dict:
+        header = await reader.readexactly(_HEADER.size)
+        (length,) = _HEADER.unpack(header)
+        if length > _MAX_FRAME:
+            raise WireProtocolError(f"frame of {length} bytes exceeds limit")
+        body = await reader.readexactly(length)
+        try:
+            return json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise WireProtocolError(f"undecodable frame: {exc}") from exc
+
+    if timeout is None:
+        return await _read()
+    return await asyncio.wait_for(_read(), timeout)
+
+
+def write_frame(writer: asyncio.StreamWriter, obj: dict) -> None:
+    """Serialize one frame onto ``writer`` (caller drains)."""
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    writer.write(_HEADER.pack(len(body)) + body)
+
+
+@dataclass(frozen=True)
+class TcpChannelConfig:
+    """Knobs for one outbound TCP channel (times in wall seconds)."""
+
+    connect_timeout: float = 5.0
+    read_timeout: float = 30.0
+    max_retries: int = 8
+    backoff_initial: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    max_queue: int = 1024
+
+
+class TcpChannel(RuntimeChannel):
+    """Outbound half of a FIFO session; duck-types the simulator Channel.
+
+    ``send`` is synchronous (called from protocol code); a writer task owns
+    the connection: it dials with bounded retry and exponential backoff,
+    performs the hello/welcome handshake, streams pending frames and
+    processes acknowledgements.  The retry budget refills after every
+    successful handshake, so a long-lived channel survives any number of
+    *separate* outages while still failing fast on a dead peer.
+    """
+
+    def __init__(
+        self,
+        runtime: AsyncRuntime,
+        name: str,
+        host: str,
+        port: int,
+        codec: WireCodec,
+        metrics: MetricsCollector | None = None,
+        config: TcpChannelConfig | None = None,
+    ):
+        cfg = config if config is not None else TcpChannelConfig()
+        super().__init__(runtime, name, metrics, cfg.max_queue)
+        self.host = host
+        self.port = port
+        self.codec = codec
+        self.config = cfg
+        self._next_seq = 1
+        #: frames accepted but not yet written on the current connection
+        self._pending: deque[tuple[int, dict]] = deque()
+        #: frames written but not yet acknowledged
+        self._inflight: deque[tuple[int, dict]] = deque()
+        self._wake = asyncio.Event()
+        self._closed = False
+        self._session_established = False
+        self.reconnects = 0
+        self._task = runtime.create_task(self._run(), f"tcp-writer:{name}")
+
+    # ------------------------------------------------------------------
+    # The Channel contract
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        if self.queued >= self.max_queue:
+            raise TransportOverflowError(
+                f"channel {self.name!r}: bounded send window full"
+                f" ({self.max_queue} frames); pace the producer with drain()"
+            )
+        self._account(message)
+        frame = {
+            "t": "msg",
+            "seq": self._next_seq,
+            "m": self.codec.encode_message(message),
+        }
+        self._next_seq += 1
+        self._pending.append((frame["seq"], frame))
+        self._wake.set()
+
+    @property
+    def idle(self) -> bool:
+        return not self._pending and not self._inflight
+
+    @property
+    def queued(self) -> int:
+        return len(self._pending) + len(self._inflight)
+
+    async def aclose(self) -> None:
+        self._closed = True
+        self._wake.set()
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        cfg = self.config
+        retries = 0
+        backoff = cfg.backoff_initial
+        while not self._closed:
+            if self.idle:
+                # Dial lazily: a channel with nothing to send holds no
+                # connection, so peers may come up (and go away) in any
+                # order without burning this channel's retry budget.
+                self._wake.clear()
+                if self.idle and not self._closed:
+                    await self._wake.wait()
+                continue
+            try:
+                await self._session()
+            except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError):
+                if self._session_established:
+                    # The budget bounds attempts per outage, not per
+                    # lifetime: refill it after every completed handshake.
+                    retries = 0
+                    backoff = cfg.backoff_initial
+                retries += 1
+                if retries > cfg.max_retries:
+                    raise TransportRetriesExceeded(
+                        f"channel {self.name!r}: {self.host}:{self.port}"
+                        f" unreachable after {cfg.max_retries} retries"
+                    ) from None
+                self.reconnects += 1
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * cfg.backoff_factor, cfg.backoff_max)
+
+    async def _session(self) -> None:
+        """One connection: handshake, then stream frames until it breaks."""
+        cfg = self.config
+        self._session_established = False
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), cfg.connect_timeout
+        )
+        try:
+            oldest = self._inflight[0][0] if self._inflight else (
+                self._pending[0][0] if self._pending else self._next_seq
+            )
+            write_frame(writer, {"t": "hello", "channel": self.name, "next": oldest})
+            await writer.drain()
+            welcome = await read_frame(reader, cfg.read_timeout)
+            if welcome.get("t") != "welcome":
+                raise WireProtocolError(
+                    f"channel {self.name!r}: expected welcome, got {welcome!r}"
+                )
+            self._rewind(int(welcome["expect"]))
+            self._session_established = True
+
+            # A plain task (not runtime-guarded): a dropped connection here
+            # is a *recoverable* event consumed by the writer's retry loop,
+            # not a fatal runtime failure.
+            ack_task = asyncio.ensure_future(self._read_acks(reader))
+            try:
+                while not self._closed:
+                    while self._pending:
+                        seq, frame = self._pending.popleft()
+                        self._inflight.append((seq, frame))
+                        write_frame(writer, frame)
+                    await writer.drain()
+                    if ack_task.done():
+                        # Surface connection loss noticed by the ack reader.
+                        ack_task.result()
+                        raise ConnectionResetError("ack stream ended")
+                    self._wake.clear()
+                    if not self._pending:
+                        await self._wait_for_work(ack_task)
+            finally:
+                ack_task.cancel()
+                try:
+                    await ack_task
+                except (asyncio.CancelledError, Exception):
+                    pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+
+    async def _wait_for_work(self, ack_task: asyncio.Task) -> None:
+        """Sleep until there is something to send or the connection died."""
+        wake = asyncio.ensure_future(self._wake.wait())
+        done, _ = await asyncio.wait(
+            {wake, ack_task}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if not wake.done():
+            wake.cancel()
+        if ack_task in done:
+            ack_task.result()
+            raise ConnectionResetError("connection closed by peer")
+
+    async def _read_acks(self, reader: asyncio.StreamReader) -> None:
+        while True:
+            frame = await read_frame(reader, self.config.read_timeout)
+            if frame.get("t") != "ack":
+                raise WireProtocolError(
+                    f"channel {self.name!r}: unexpected frame {frame!r}"
+                )
+            acked = int(frame["seq"])
+            while self._inflight and self._inflight[0][0] <= acked:
+                self._inflight.popleft()
+
+    def _rewind(self, expect: int) -> None:
+        """Align the send window with the receiver's expected sequence."""
+        retransmit = [entry for entry in self._inflight if entry[0] >= expect]
+        self._inflight.clear()
+        for entry in reversed(retransmit):
+            self._pending.appendleft(entry)
+
+
+class ChannelListener:
+    """Inbound endpoint: accepts FIFO sessions for registered channels.
+
+    Per-channel receive state (next expected sequence number) lives here,
+    keyed by channel name, so it survives any number of reconnects by the
+    sending side.
+    """
+
+    def __init__(self, runtime: AsyncRuntime, host: str = "127.0.0.1", port: int = 0):
+        self.runtime = runtime
+        self.host = host
+        self.port = port
+        self._registrations: dict[str, tuple[Mailbox, WireCodec]] = {}
+        self._expect: dict[str, int] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self.connections_accepted = 0
+        #: wall clock (time.monotonic) of the last frame handled; lets a
+        #: serving process linger until its peers have gone quiet.
+        self.last_frame_wall = 0.0
+
+    # ------------------------------------------------------------------
+    def register(self, channel: str, destination: Mailbox, codec: WireCodec) -> None:
+        """Accept frames for ``channel`` and deliver them to ``destination``."""
+        self._registrations[channel] = (destination, codec)
+        self._expect.setdefault(channel, 1)
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        name = "?"
+        try:
+            hello = await read_frame(reader, timeout=30.0)
+            if hello.get("t") != "hello":
+                raise WireProtocolError(f"expected hello, got {hello!r}")
+            name = hello.get("channel", "?")
+            if name not in self._registrations:
+                raise WireProtocolError(f"unknown channel {name!r}")
+            self.connections_accepted += 1
+            destination, codec = self._registrations[name]
+            write_frame(writer, {"t": "welcome", "expect": self._expect[name]})
+            await writer.drain()
+            while True:
+                frame = await read_frame(reader)
+                self.last_frame_wall = time.monotonic()
+                if frame.get("t") != "msg":
+                    raise WireProtocolError(f"unexpected frame {frame!r}")
+                seq = int(frame["seq"])
+                expect = self._expect[name]
+                if seq > expect:
+                    raise WireProtocolError(
+                        f"channel {name!r}: sequence gap (got {seq},"
+                        f" expected {expect})"
+                    )
+                if seq == expect:  # not a duplicate from a resend
+                    message = codec.decode_message(frame["m"])
+                    message.delivered_at = self.runtime.now
+                    destination.put(message)
+                    self._expect[name] = expect + 1
+                write_frame(writer, {"t": "ack", "seq": self._expect[name] - 1})
+                await writer.drain()
+        except (asyncio.IncompleteReadError, ConnectionError, asyncio.TimeoutError):
+            pass  # sender reconnects and resumes the session
+        except asyncio.CancelledError:
+            pass  # event loop shutdown cancels handler tasks
+        except WireProtocolError as exc:
+            self.runtime.record_failure(exc)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+
+    def __repr__(self) -> str:
+        return (
+            f"ChannelListener({self.host}:{self.port},"
+            f" channels={sorted(self._registrations)})"
+        )
+
+
+__all__ = [
+    "ChannelListener",
+    "TcpChannel",
+    "TcpChannelConfig",
+    "read_frame",
+    "write_frame",
+]

@@ -25,6 +25,28 @@ class TestParser:
         assert args.backend == "sqlite"
         assert args.no_keys and args.trace
 
+    def test_run_distributed_defaults(self):
+        args = build_parser().parse_args(["run-distributed"])
+        assert args.transport == "tcp"
+        assert args.time_scale == 0.01
+        assert args.host == "127.0.0.1"
+
+    def test_serve_warehouse_flags(self):
+        args = build_parser().parse_args(
+            ["serve-warehouse", "--listen", "0.0.0.0:9000",
+             "--source", "1=127.0.0.1:9001", "--source", "2=127.0.0.1:9002"]
+        )
+        assert args.listen == "0.0.0.0:9000"
+        assert args.source == ["1=127.0.0.1:9001", "2=127.0.0.1:9002"]
+
+    def test_serve_source_requires_index_and_warehouse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-source"])
+        args = build_parser().parse_args(
+            ["serve-source", "-i", "2", "--warehouse", "127.0.0.1:9000"]
+        )
+        assert args.index == 2 and args.warehouse == "127.0.0.1:9000"
+
 
 class TestCommands:
     def test_algorithms(self, capsys):
@@ -75,6 +97,30 @@ class TestCommands:
     def test_advise_global_txns(self, capsys):
         assert main(["advise", "--global-txns"]) == 0
         assert "global-sweep" in capsys.readouterr().out
+
+    def test_run_distributed_local(self, capsys):
+        code = main(
+            ["run-distributed", "--transport", "local", "-u", "4",
+             "--time-scale", "0.001"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "transport        : local" in out
+        assert "consistency      : complete" in out
+
+    def test_run_distributed_tcp(self, capsys):
+        code = main(
+            ["run-distributed", "-u", "4", "--time-scale", "0.001",
+             "--show-view"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "transport        : tcp" in out
+        assert "K1" in out
+
+    def test_serve_warehouse_without_sources_exits(self):
+        with pytest.raises(SystemExit):
+            main(["serve-warehouse"])
 
     def test_experiments_save(self, tmp_path, capsys, monkeypatch):
         import repro.cli as cli

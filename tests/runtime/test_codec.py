@@ -1,0 +1,167 @@
+"""WireCodec roundtrips every protocol payload through JSON."""
+
+import json
+
+import pytest
+
+from repro.relational.delta import Delta
+from repro.relational.incremental import PartialView
+from repro.relational.relation import Relation
+from repro.runtime import WireCodec, WireProtocolError
+from repro.simulation.channel import Message
+from repro.sources.messages import (
+    EcaAnswer,
+    EcaQuery,
+    EcaQueryTerm,
+    MultiQueryAnswer,
+    MultiQueryRequest,
+    QueryAnswer,
+    QueryRequest,
+    SnapshotAnswer,
+    SnapshotRequest,
+    UpdateNotice,
+)
+
+
+@pytest.fixture
+def codec(paper_view):
+    return WireCodec(paper_view)
+
+
+def roundtrip(codec, message):
+    """Encode through actual JSON text, decode, return the copy."""
+    wire = json.loads(json.dumps(codec.encode_message(message)))
+    return codec.decode_message(wire)
+
+
+def _delta(paper_view, index, rows):
+    return Delta(paper_view.schema_of(index), rows)
+
+
+def test_update_notice_roundtrip(codec, paper_view):
+    notice = UpdateNotice(
+        source_index=2,
+        seq=3,
+        delta=_delta(paper_view, 2, {(3, 7): 1, (4, 9): -1}),
+        applied_at=12.5,
+        txn_id="t-1",
+        txn_total=2,
+    )
+    message = Message(kind="update", sender="R2", payload=notice, sent_at=13.0)
+    copy = roundtrip(codec, message)
+    assert copy.kind == "update" and copy.sender == "R2"
+    assert copy.sent_at == 13.0
+    assert copy.payload.source_index == 2
+    assert copy.payload.seq == 3
+    assert copy.payload.txn_id == "t-1"
+    assert copy.payload.txn_total == 2
+    assert copy.payload.delta == notice.delta
+    assert copy.payload.delta.schema == notice.delta.schema
+
+
+def test_query_request_and_answer_roundtrip(codec, paper_view):
+    partial = PartialView(
+        paper_view, 2, 3,
+        Delta(paper_view.wide_schema_range(2, 3), {(3, 7, 7, 8): 1}),
+    )
+    request = Message(
+        kind="query", sender="wh",
+        payload=QueryRequest(request_id=9, partial=partial, target_index=1),
+    )
+    copy = roundtrip(codec, request).payload
+    assert copy.request_id == 9 and copy.target_index == 1
+    assert (copy.partial.lo, copy.partial.hi) == (2, 3)
+    assert copy.partial.delta == partial.delta
+
+    answer = Message(
+        kind="answer", sender="R1",
+        payload=QueryAnswer(request_id=9, partial=partial),
+    )
+    assert roundtrip(codec, answer).payload.partial.delta == partial.delta
+
+
+def test_multi_query_roundtrip(codec, paper_view):
+    partials = [
+        PartialView(
+            paper_view, 1, 1,
+            Delta(paper_view.schema_of(1), {(1, 3): 1}),
+        ),
+        PartialView(
+            paper_view, 1, 2,
+            Delta(paper_view.wide_schema_range(1, 2), {(1, 3, 3, 7): -1}),
+        ),
+    ]
+    message = Message(
+        kind="query", sender="wh",
+        payload=MultiQueryRequest(request_id=4, partials=partials, target_index=3),
+    )
+    copy = roundtrip(codec, message).payload
+    assert [p.delta for p in copy.partials] == [p.delta for p in partials]
+    assert copy.target_index == 3
+
+    answer = Message(
+        kind="answer", sender="R3",
+        payload=MultiQueryAnswer(request_id=4, partials=partials),
+    )
+    assert len(roundtrip(codec, answer).payload.partials) == 2
+
+
+def test_eca_roundtrip(codec, paper_view):
+    query = EcaQuery(
+        request_id=6,
+        terms=[
+            EcaQueryTerm(
+                substitutions={1: _delta(paper_view, 1, {(1, 3): 1})}, sign=1
+            ),
+            EcaQueryTerm(
+                substitutions={
+                    1: _delta(paper_view, 1, {(1, 3): 1}),
+                    2: _delta(paper_view, 2, {(3, 7): -1}),
+                },
+                sign=-1,
+            ),
+        ],
+    )
+    copy = roundtrip(
+        codec, Message(kind="query", sender="wh", payload=query)
+    ).payload
+    assert [t.sign for t in copy.terms] == [1, -1]
+    assert copy.terms[1].substitutions[2] == query.terms[1].substitutions[2]
+
+    answer = EcaAnswer(
+        request_id=6,
+        delta=Delta(paper_view.wide_schema, {(1, 3, 3, 7, 7, 8): 1}),
+    )
+    copy = roundtrip(
+        codec, Message(kind="answer", sender="central", payload=answer)
+    ).payload
+    assert copy.delta == answer.delta
+
+
+def test_snapshot_roundtrip(codec, paper_view, paper_states):
+    request = Message(
+        kind="query", sender="wh", payload=SnapshotRequest(request_id=2)
+    )
+    assert roundtrip(codec, request).payload.request_id == 2
+
+    answer = Message(
+        kind="answer", sender="R3",
+        payload=SnapshotAnswer(
+            request_id=2, source_index=3, relation=paper_states["R3"]
+        ),
+    )
+    copy = roundtrip(codec, answer).payload
+    assert isinstance(copy.relation, Relation)
+    assert copy.relation == paper_states["R3"]
+
+
+def test_unknown_payload_type_rejected(codec):
+    with pytest.raises(WireProtocolError):
+        codec.encode_payload(object())
+    with pytest.raises(WireProtocolError):
+        codec.decode_payload({"type": "no-such-payload"})
+
+
+def test_malformed_envelope_rejected(codec):
+    with pytest.raises(WireProtocolError):
+        codec.decode_message({"kind": "update"})  # no sender/payload

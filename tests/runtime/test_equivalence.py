@@ -1,0 +1,98 @@
+"""Simulator-vs-runtime equivalence: same workload, same final view.
+
+The acceptance test of the runtime: an identical seeded
+:class:`ExperimentConfig` must drive the simulator and the asyncio runtime
+to the *same* final materialized view (both converge to the view over the
+final source states, which depend only on the workload), with SWEEP
+achieving complete consistency and its exact 2(n-1) per-update message
+cost on real transports too.
+"""
+
+import pytest
+
+from repro.consistency.levels import ConsistencyLevel
+from repro.harness.config import ExperimentConfig
+from repro.harness.runner import run_experiment
+from repro.runtime import run_distributed
+
+
+def config_for(algorithm, **overrides):
+    base = dict(
+        algorithm=algorithm,
+        n_sources=3,
+        n_updates=10,
+        seed=42,
+        mean_interarrival=5.0,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+@pytest.mark.parametrize("transport", ["local", "tcp"])
+def test_sweep_runtime_matches_simulator(transport):
+    config = config_for("sweep")
+    simulated = run_experiment(config)
+    distributed = run_distributed(
+        config, transport=transport, time_scale=0.001, timeout=60.0
+    )
+
+    assert distributed.final_view == simulated.final_view
+    assert distributed.recorder.updates_delivered == config.n_updates
+
+    # Complete consistency over a real transport, same as in simulation.
+    assert distributed.consistency[ConsistencyLevel.COMPLETE].ok
+    assert distributed.classified_level == ConsistencyLevel.COMPLETE
+
+    # SWEEP's exact message cost: 2(n-1) query/answer messages per update
+    # plus the update notice itself -- identical on both hosts.
+    per_update = 2 * (config.n_sources - 1)
+    for result in (simulated, distributed):
+        queries = result.metrics.messages_of_kind("query")
+        answers = result.metrics.messages_of_kind("answer")
+        assert queries + answers == per_update * config.n_updates
+        assert result.metrics.messages_of_kind("update") == config.n_updates
+
+
+@pytest.mark.parametrize("transport", ["local", "tcp"])
+def test_nested_sweep_runtime_matches_simulator(transport):
+    config = config_for("nested-sweep", n_updates=8)
+    simulated = run_experiment(config)
+    distributed = run_distributed(
+        config, transport=transport, time_scale=0.001, timeout=60.0
+    )
+    assert distributed.final_view == simulated.final_view
+    assert distributed.consistency[ConsistencyLevel.STRONG].ok
+
+
+@pytest.mark.parametrize(
+    "algorithm", ["pipelined-sweep", "eca", "strobe", "c-strobe"]
+)
+def test_other_algorithms_converge_to_simulator_view(algorithm):
+    """Every registered algorithm reaches the simulator's final view on TCP."""
+    config = config_for(algorithm, n_updates=8)
+    simulated = run_experiment(config)
+    distributed = run_distributed(
+        config, transport="tcp", time_scale=0.001, timeout=60.0
+    )
+    assert distributed.final_view == simulated.final_view
+    assert distributed.consistency[ConsistencyLevel.CONVERGENCE].ok
+
+
+def test_sweep_tcp_with_sqlite_backend_matches():
+    """Backend choice is orthogonal to the host: sqlite over TCP matches."""
+    config = config_for("sweep", backend="sqlite", n_updates=6)
+    simulated = run_experiment(config)
+    distributed = run_distributed(
+        config, transport="tcp", time_scale=0.001, timeout=60.0
+    )
+    assert distributed.final_view == simulated.final_view
+    assert distributed.classified_level == ConsistencyLevel.COMPLETE
+
+
+def test_distributed_result_report_mentions_transport():
+    config = config_for("sweep", n_updates=4)
+    result = run_distributed(
+        config, transport="local", time_scale=0.001, timeout=60.0
+    )
+    text = result.report()
+    assert "transport" in text and "local" in text

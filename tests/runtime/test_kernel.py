@@ -1,0 +1,132 @@
+"""AsyncRuntime drives unchanged simulation processes over a real loop."""
+
+import asyncio
+
+import pytest
+
+from repro.runtime import AsyncRuntime, QuiescenceTimeout
+from repro.simulation.mailbox import Mailbox
+from repro.simulation.process import Delay
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_requires_running_loop():
+    with pytest.raises(RuntimeError):
+        AsyncRuntime()
+
+
+def test_rejects_nonpositive_time_scale():
+    async def main():
+        AsyncRuntime(time_scale=0.0)
+
+    with pytest.raises(ValueError):
+        run(main())
+
+
+def test_drives_generator_process_with_delay_and_mailbox():
+    """The simulator's process vocabulary (Delay/Get) works verbatim."""
+
+    async def main():
+        runtime = AsyncRuntime(time_scale=0.001)
+        box = Mailbox(runtime, "box")
+        log = []
+
+        def consumer():
+            yield Delay(5.0)
+            log.append(("woke", round(runtime.now)))
+            msg = yield box.get()
+            log.append(("got", msg))
+            msg = yield box.get()
+            log.append(("got", msg))
+
+        process = runtime.spawn("consumer", consumer())
+        box.put("a")
+        await runtime.sleep(6.0)
+        box.put("b")
+        await runtime.wait_until(lambda: process.finished, timeout=5.0)
+        await runtime.aclose()
+        return log
+
+    log = run(main())
+    assert log[0][0] == "woke" and log[0][1] >= 5
+    assert log[1:] == [("got", "a"), ("got", "b")]
+
+
+def test_now_advances_in_virtual_units():
+    async def main():
+        runtime = AsyncRuntime(time_scale=0.001)
+        await runtime.sleep(10.0)
+        return runtime.now
+
+    now = run(main())
+    assert 10.0 <= now < 100.0  # ~10 virtual units, generous upper bound
+
+
+def test_scheduled_callback_failure_surfaces_in_wait_until():
+    async def main():
+        runtime = AsyncRuntime(time_scale=0.001)
+
+        def boom():
+            raise RuntimeError("scheduled failure")
+
+        runtime.schedule(0.0, boom)
+        await runtime.wait_until(lambda: False, timeout=5.0)
+
+    with pytest.raises(RuntimeError, match="scheduled failure"):
+        run(main())
+
+
+def test_process_failure_surfaces_in_wait_until():
+    async def main():
+        runtime = AsyncRuntime(time_scale=0.001)
+
+        def bad():
+            yield Delay(0.1)
+            raise ValueError("process failure")
+
+        runtime.spawn("bad", bad())
+        await runtime.wait_until(lambda: False, timeout=5.0)
+
+    with pytest.raises(ValueError, match="process failure"):
+        run(main())
+
+
+def test_wait_until_timeout_raises_quiescence_timeout():
+    async def main():
+        runtime = AsyncRuntime(time_scale=0.001)
+        await runtime.wait_until(lambda: False, timeout=0.05)
+
+    with pytest.raises(QuiescenceTimeout):
+        run(main())
+
+
+def test_settled_tracks_blocked_and_finished_processes():
+    async def main():
+        runtime = AsyncRuntime(time_scale=0.001)
+        box = Mailbox(runtime, "box")
+
+        def waiter():
+            yield box.get()
+
+        process = runtime.spawn("waiter", waiter())
+        await runtime.wait_until(runtime.settled, timeout=5.0)
+        blocked = [p.name for p in runtime.blocked_processes()]
+        box.put("done")
+        await runtime.wait_until(lambda: process.finished, timeout=5.0)
+        return blocked, runtime.settled()
+
+    blocked, settled = run(main())
+    assert blocked == ["waiter"]
+    assert settled
+
+
+def test_schedule_rejects_negative_delay():
+    async def main():
+        runtime = AsyncRuntime(time_scale=0.001)
+        with pytest.raises(ValueError):
+            runtime.schedule(-1.0, lambda: None)
+
+    run(main())

@@ -6,6 +6,7 @@ sweeps) are exercised through their underlying modules elsewhere and
 skipped here to keep the suite fast.
 """
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -13,6 +14,23 @@ import sys
 import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = EXAMPLES_DIR.parent / "src"
+
+
+def _example_env() -> dict:
+    """The caller's environment plus the repo's ``src`` on PYTHONPATH.
+
+    The path is absolute so the subprocess can run from a neutral working
+    directory; existing PYTHONPATH entries (e.g. the examples_path_shim
+    mechanism when a user sets one up) are preserved after it.
+    """
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        f"{SRC_DIR}{os.pathsep}{existing}" if existing else str(SRC_DIR)
+    )
+    return env
+
 
 FAST_EXAMPLES = (
     "quickstart.py",
@@ -22,6 +40,7 @@ FAST_EXAMPLES = (
     "multi_view_warehouse.py",
     "sql_defined_view.py",
     "anomaly_demo.py",
+    "distributed_quickstart.py",
 )
 
 
@@ -30,6 +49,7 @@ def test_example_runs(script, tmp_path):
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / script)],
         cwd=tmp_path,  # neutral cwd: examples must not rely on repo root
+        env=_example_env(),
         capture_output=True,
         text=True,
         timeout=180,
@@ -49,6 +69,7 @@ def test_examples_directory_complete():
 def test_quickstart_mentions_consistency(tmp_path):
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
-        cwd=tmp_path, capture_output=True, text=True, timeout=180,
+        cwd=tmp_path, env=_example_env(),
+        capture_output=True, text=True, timeout=180,
     )
     assert "complete" in result.stdout
