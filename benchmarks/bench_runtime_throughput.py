@@ -7,22 +7,33 @@ the warehouse to the installation of its view change.  Shape assertions
 pin what must hold on a real transport: every update installed, complete
 consistency, SWEEP's exact 2(n-1) message cost, and the TCP tax being a
 constant factor rather than a change in protocol behaviour.
+
+Two extra rows replay the *identical* workload in **burst** mode (the
+same generator compressed to a near-instant arrival schedule, so the
+update queue is never empty) for per-update SWEEP and for the batched
+sweep scheduler.  The batched row is the acceptance gate of the batching
+work: at least ``SPEEDUP_TARGET`` times the recorded pre-batching
+baseline of ``BASELINE_UPDATES_PER_SEC`` (the paced local row this file
+originally produced).
 """
 
 from benchmarks.conftest import run_once
 from repro.consistency.levels import ConsistencyLevel
 from repro.harness.config import ExperimentConfig
 from repro.harness.report import format_table
+from repro.harness.throughput import BASELINE_UPDATES_PER_SEC, SPEEDUP_TARGET
 from repro.runtime import run_distributed
 
 N_SOURCES = 3
 N_UPDATES = 40
 TIME_SCALE = 0.001
+#: Same workload, arrivals compressed ~100x: queue-bound, not arrival-bound.
+BURST_TIME_SCALE = 0.00001
 
 
-def _config() -> ExperimentConfig:
+def _config(algorithm: str = "sweep") -> ExperimentConfig:
     return ExperimentConfig(
-        algorithm="sweep",
+        algorithm=algorithm,
         n_sources=N_SOURCES,
         n_updates=N_UPDATES,
         seed=7,
@@ -30,44 +41,55 @@ def _config() -> ExperimentConfig:
     )
 
 
+def _row(mode: str, transport: str, algorithm: str, time_scale: float) -> dict:
+    result = run_distributed(
+        _config(algorithm), transport=transport, time_scale=time_scale,
+        timeout=120.0,
+    )
+    installed = result.metrics.counters["updates_installed"]
+    lag = result.metrics.mean_observation("install_delay") or 0.0
+    return {
+        "mode": mode,
+        "transport": transport,
+        "algorithm": algorithm,
+        "updates": result.recorder.updates_delivered,
+        "installs": installed,
+        "wall_seconds": round(result.wall_seconds, 3),
+        "updates_per_sec": round(
+            result.recorder.updates_delivered / result.wall_seconds, 1
+        ),
+        "refresh_latency_units": round(lag, 3),
+        "refresh_latency_ms": round(lag * time_scale * 1000, 3),
+        "msgs_per_update": (
+            result.metrics.messages_of_kind("query")
+            + result.metrics.messages_of_kind("answer")
+        )
+        / result.recorder.updates_delivered,
+        "consistency": result.classified_level.name.lower(),
+    }
+
+
 def run_throughput() -> list[dict]:
-    """One row per transport, same dict shape as the experiment benches."""
-    rows = []
-    for transport in ("local", "tcp"):
-        result = run_distributed(
-            _config(), transport=transport, time_scale=TIME_SCALE, timeout=120.0
-        )
-        installed = result.metrics.counters["updates_installed"]
-        lag = result.metrics.mean_observation("install_delay") or 0.0
-        rows.append(
-            {
-                "transport": transport,
-                "updates": result.recorder.updates_delivered,
-                "installs": installed,
-                "wall_seconds": round(result.wall_seconds, 3),
-                "updates_per_sec": round(
-                    result.recorder.updates_delivered / result.wall_seconds, 1
-                ),
-                "refresh_latency_units": round(lag, 3),
-                "refresh_latency_ms": round(lag * TIME_SCALE * 1000, 3),
-                "msgs_per_update": (
-                    result.metrics.messages_of_kind("query")
-                    + result.metrics.messages_of_kind("answer")
-                )
-                / result.recorder.updates_delivered,
-                "consistency": result.classified_level.name.lower(),
-            }
-        )
+    """One row per (mode, transport, algorithm) cell."""
+    rows = [
+        _row("paced", transport, "sweep", TIME_SCALE)
+        for transport in ("local", "tcp")
+    ]
+    rows.append(_row("burst", "local", "sweep", BURST_TIME_SCALE))
+    rows.append(_row("burst", "local", "batched-sweep", BURST_TIME_SCALE))
     return rows
 
 
 def format_throughput(rows: list[dict]) -> str:
     return format_table(
-        ["transport", "updates", "installs", "wall s", "upd/s",
-         "refresh lag (units)", "refresh lag (ms)", "msgs/upd", "consistency"],
+        ["mode", "transport", "algorithm", "updates", "installs", "wall s",
+         "upd/s", "refresh lag (units)", "refresh lag (ms)", "msgs/upd",
+         "consistency"],
         [
             [
+                row["mode"],
                 row["transport"],
+                row["algorithm"],
                 row["updates"],
                 row["installs"],
                 row["wall_seconds"],
@@ -81,7 +103,8 @@ def format_throughput(rows: list[dict]) -> str:
         ],
         title=(
             f"SWEEP on the asyncio runtime ({N_SOURCES} sources,"
-            f" {N_UPDATES} updates, time scale {TIME_SCALE}s/unit)"
+            f" {N_UPDATES} updates, time scale {TIME_SCALE}s/unit paced,"
+            f" {BURST_TIME_SCALE}s/unit burst)"
         ),
     )
 
@@ -89,19 +112,42 @@ def format_throughput(rows: list[dict]) -> str:
 def bench_runtime_throughput(benchmark, save_result):
     rows = run_once(benchmark, run_throughput)
     save_result("runtime_throughput", format_throughput(rows))
-    by_transport = {row["transport"]: row for row in rows}
+    paced = {
+        row["transport"]: row for row in rows if row["mode"] == "paced"
+    }
+    burst = {
+        row["algorithm"]: row for row in rows if row["mode"] == "burst"
+    }
 
     for row in rows:
+        assert row["updates"] == N_UPDATES
+        assert row["updates_per_sec"] > 0
+
+    for row in paced.values():
         # The protocol is host-independent: every update delivered and
         # installed, complete consistency, exact 2(n-1) message cost.
-        assert row["updates"] == N_UPDATES
         assert row["installs"] == N_UPDATES
         assert row["consistency"] == ConsistencyLevel.COMPLETE.name.lower()
         assert row["msgs_per_update"] == 2 * (N_SOURCES - 1)
-        assert row["updates_per_sec"] > 0
 
     # TCP costs more than in-process queues, but within an order of
     # magnitude on loopback: a tax, not a different algorithm.
-    local, tcp = by_transport["local"], by_transport["tcp"]
+    local, tcp = paced["local"], paced["tcp"]
     assert tcp["refresh_latency_units"] >= local["refresh_latency_units"] * 0.5
     assert tcp["wall_seconds"] < local["wall_seconds"] * 10
+
+    # Burst mode: per-update SWEEP keeps its contract at full speed.
+    assert burst["sweep"]["installs"] == N_UPDATES
+    assert burst["sweep"]["consistency"] == "complete"
+
+    # The batching acceptance gate: the same workload, batching enabled,
+    # at >= 3x the recorded pre-batching baseline -- with consistency no
+    # weaker than strong and far fewer messages.
+    fast = burst["batched-sweep"]
+    assert fast["consistency"] in ("strong", "complete")
+    assert fast["msgs_per_update"] < 2 * (N_SOURCES - 1)
+    floor = SPEEDUP_TARGET * BASELINE_UPDATES_PER_SEC
+    assert fast["updates_per_sec"] >= floor, (
+        f"batched burst at {fast['updates_per_sec']} upd/s misses the"
+        f" {floor:.0f} upd/s floor"
+    )

@@ -1,0 +1,70 @@
+"""Benchmark TS: the batched-scheduler throughput regression suite.
+
+Runs :func:`repro.harness.throughput.run_suite` -- per-update SWEEP vs
+the batched sweep scheduler, local and TCP transports, paced and
+saturated arrival regimes -- and pins the acceptance claims of the
+batching work:
+
+* protocol integrity in every cell: all updates delivered and installed,
+  consistency never below strong;
+* per-update SWEEP unchanged: complete consistency, one install per
+  update, exact ``2(n-1)`` messages per update;
+* the headline: saturated batched-sweep on the local transport clears
+  ``SPEEDUP_TARGET`` times the recorded pre-batching baseline
+  (``results/runtime_throughput.txt``), and batching beats per-update
+  processing on every saturated transport.
+
+The rendered table lands in ``results/throughput_suite.txt``; the JSON
+artifact consumed by the CI regression gate is produced by
+``python -m repro bench-throughput`` (see docs/performance.md).
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.throughput import (
+    BASELINE_UPDATES_PER_SEC,
+    SPEEDUP_TARGET,
+    format_suite,
+    run_suite,
+    speedups,
+)
+
+
+def bench_throughput_suite(benchmark, save_result):
+    rows = run_once(benchmark, run_suite)
+    save_result("throughput_suite", format_suite(rows))
+    by_key = {
+        (row["mode"], row["transport"], row["algorithm"]): row for row in rows
+    }
+
+    for row in rows:
+        # No cell may lose updates or weaken consistency below strong.
+        assert row["updates_installed"] == row["updates"], row
+        assert row["consistency"] in ("strong", "complete"), row
+        if row["algorithm"] == "sweep":
+            # Per-update SWEEP is the untouched reference: complete
+            # consistency, one install per update.
+            assert row["consistency"] == "complete", row
+            assert row["installs"] == row["updates"], row
+        else:
+            # Batching must actually batch once the queue backs up.
+            if row["mode"] == "saturated":
+                assert row["installs"] < row["updates"], row
+
+    # The headline floor: 3x the recorded pre-batching local throughput.
+    headline = by_key[("saturated", "local", "batched-sweep")]
+    floor = SPEEDUP_TARGET * BASELINE_UPDATES_PER_SEC
+    assert headline["updates_per_sec"] >= floor, (
+        f"saturated/local batched-sweep at {headline['updates_per_sec']}"
+        f" upd/s misses the {floor:.0f} upd/s floor"
+    )
+
+    # Relative speedup on every saturated transport: batching wins.
+    ratios = speedups(rows)
+    assert ratios["saturated/local"] >= 2.0, ratios
+    assert ratios["saturated/tcp"] >= 2.0, ratios
+
+    # Batching also slashes message volume (O(n)+k vs O(n) per update).
+    for transport in ("local", "tcp"):
+        fast = by_key[("saturated", transport, "batched-sweep")]
+        base = by_key[("saturated", transport, "sweep")]
+        assert fast["messages_total"] < base["messages_total"] / 2

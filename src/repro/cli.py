@@ -10,6 +10,7 @@ Commands
 ``table1``           regenerate the measured Table 1
 ``fig5``             replay the paper's Figure 5 example
 ``experiments``      run every experiment module and print its table
+``bench-throughput`` run the throughput regression suite (BENCH_throughput.json)
 """
 
 from __future__ import annotations
@@ -378,6 +379,22 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--save", metavar="PATH",
                      help="also write a markdown report to PATH")
 
+    bench = sub.add_parser(
+        "bench-throughput",
+        help="run the throughput regression suite and emit JSON",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="CI smoke subset (saturated regime only)")
+    bench.add_argument("--json", default="BENCH_throughput.json",
+                       metavar="PATH", help="where to write the JSON report")
+    bench.add_argument(
+        "--check-against", metavar="PATH", default=None,
+        help="fail when any shared cell regresses past --tolerance"
+             " versus this baseline report",
+    )
+    bench.add_argument("--tolerance", type=float, default=0.30,
+                       help="allowed fractional throughput drop (default 0.30)")
+
     adv = sub.add_parser(
         "advise", help="recommend an algorithm for a workload"
     )
@@ -416,6 +433,34 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_throughput(args: argparse.Namespace) -> int:
+    from repro.harness.throughput import (
+        build_report,
+        compare_reports,
+        format_suite,
+        load_report,
+        run_suite,
+        write_report,
+    )
+
+    rows = run_suite(quick=args.quick)
+    print(format_suite(rows))
+    report = build_report(rows, quick=args.quick)
+    path = write_report(report, args.json)
+    print(f"\nwrote {path}")
+    if args.check_against:
+        problems = compare_reports(
+            report, load_report(args.check_against), tolerance=args.tolerance
+        )
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {args.check_against}"
+              f" (tolerance {args.tolerance:.0%})")
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "run-distributed": _cmd_run_distributed,
@@ -426,6 +471,7 @@ _COMMANDS = {
     "fig5": _cmd_fig5,
     "experiments": _cmd_experiments,
     "advise": _cmd_advise,
+    "bench-throughput": _cmd_bench_throughput,
 }
 
 

@@ -52,6 +52,8 @@ class ExperimentConfig:
     sweep_merge_queue_updates: bool = True
     nested_max_depth: int | None = None
     pipeline_max_parallel: int = 8
+    #: Batched-sweep batch-size cap; 0 drains the whole queue per sweep.
+    batch_max: int = 0
 
     # -- instrumentation --------------------------------------------
     trace: bool = False

@@ -93,6 +93,8 @@ def algorithm_kwargs(config: ExperimentConfig) -> dict:
                 merge_queue_updates=config.sweep_merge_queue_updates,
             )
         }
+    if config.algorithm == "batched-sweep":
+        return {"max_batch": config.batch_max}
     if config.algorithm == "nested-sweep":
         return {"max_depth": config.nested_max_depth}
     if config.algorithm == "pipelined-sweep":

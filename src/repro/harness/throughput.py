@@ -1,0 +1,245 @@
+"""The end-to-end throughput regression suite (``BENCH_throughput.json``).
+
+One suite run measures sustained update throughput for per-update SWEEP
+versus the batched sweep scheduler on both runtime transports, in two
+arrival regimes:
+
+* **paced** -- the workload of ``results/runtime_throughput.txt``
+  (3 sources, 40 updates, mean interarrival 2.0, time scale 0.001):
+  arrivals dominate, so this regime pins protocol behaviour (installs,
+  message cost, consistency) rather than raw speed.
+* **saturated** -- the same generator time-compressed until the pending
+  queue is never empty: this is where batching pays, because every drain
+  amortizes one composite sweep over the whole backlog.
+
+The recorded pre-batching baseline is ``BASELINE_UPDATES_PER_SEC`` (the
+``local`` row of ``results/runtime_throughput.txt``); the acceptance
+floor is ``SPEEDUP_TARGET`` times that, demanded of the batched scheduler
+in the saturated regime on the local transport.
+
+:func:`compare_reports` implements the CI gate: any cell of a fresh run
+more than ``tolerance`` slower than the same cell of a checked-in
+baseline report is a regression.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+from typing import Any
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.report import format_table
+
+#: The `local` row of results/runtime_throughput.txt before batching.
+BASELINE_UPDATES_PER_SEC = 415.1
+#: Required speedup of saturated batched-sweep over that baseline.
+SPEEDUP_TARGET = 3.0
+
+#: Arrival regimes: same seeded generator, different replay speeds.
+MODES: dict[str, dict[str, Any]] = {
+    "paced": {
+        "n_updates": 40,
+        "mean_interarrival": 2.0,
+        "time_scale": 0.001,
+    },
+    "saturated": {
+        "n_updates": 200,
+        "mean_interarrival": 0.01,
+        "time_scale": 0.0001,
+    },
+}
+
+ALGORITHMS = ("sweep", "batched-sweep")
+TRANSPORTS = ("local", "tcp")
+
+
+def run_cell(
+    mode: str,
+    transport: str,
+    algorithm: str,
+    n_updates: int,
+    mean_interarrival: float,
+    time_scale: float,
+    timeout: float = 120.0,
+) -> dict:
+    """One (mode, transport, algorithm) measurement as a flat row dict."""
+    from repro.runtime import run_distributed
+
+    config = ExperimentConfig(
+        algorithm=algorithm,
+        n_sources=3,
+        n_updates=n_updates,
+        seed=7,
+        mean_interarrival=mean_interarrival,
+    )
+    result = run_distributed(
+        config, transport=transport, time_scale=time_scale, timeout=timeout
+    )
+    counters = result.metrics.counters
+    delivered = result.recorder.updates_delivered
+    level = result.classified_level
+    return {
+        "mode": mode,
+        "transport": transport,
+        "algorithm": algorithm,
+        "updates": delivered,
+        "installs": counters.get("installs", 0),
+        "updates_installed": counters.get("updates_installed", 0),
+        "messages_total": counters.get("messages_total", 0),
+        "wall_seconds": round(result.wall_seconds, 4),
+        "updates_per_sec": round(delivered / result.wall_seconds, 1),
+        "consistency": level.name.lower() if level is not None else "none",
+    }
+
+
+def run_suite(quick: bool = False) -> list[dict]:
+    """All suite rows; ``quick`` drops the paced regime (CI smoke).
+
+    Quick mode keeps the saturated workload identical to the full suite
+    so its rows stay comparable, cell for cell, with a checked-in full
+    report.
+    """
+    rows = []
+    for mode, params in MODES.items():
+        if quick and mode != "saturated":
+            continue
+        for transport in TRANSPORTS:
+            for algorithm in ALGORITHMS:
+                rows.append(run_cell(mode, transport, algorithm, **params))
+    return rows
+
+
+def _row_key(row: dict) -> str:
+    return f"{row['mode']}/{row['transport']}/{row['algorithm']}"
+
+
+def speedups(rows: list[dict]) -> dict[str, float]:
+    """Batched-over-per-update throughput ratio per (mode, transport)."""
+    by_key = {_row_key(r): r for r in rows}
+    out = {}
+    for mode in MODES:
+        for transport in TRANSPORTS:
+            base = by_key.get(f"{mode}/{transport}/sweep")
+            fast = by_key.get(f"{mode}/{transport}/batched-sweep")
+            if base and fast and base["updates_per_sec"]:
+                out[f"{mode}/{transport}"] = round(
+                    fast["updates_per_sec"] / base["updates_per_sec"], 2
+                )
+    return out
+
+
+def build_report(rows: list[dict], quick: bool = False) -> dict:
+    """The JSON document shape written to ``BENCH_throughput.json``."""
+    return {
+        "suite": "throughput",
+        "quick": quick,
+        "python": platform.python_version(),
+        "baseline_updates_per_sec": BASELINE_UPDATES_PER_SEC,
+        "speedup_target": SPEEDUP_TARGET,
+        "rows": rows,
+        "speedups": speedups(rows),
+    }
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_report(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def compare_reports(
+    current: dict, baseline: dict, tolerance: float = 0.30
+) -> list[str]:
+    """Regression messages versus a checked-in baseline report.
+
+    The gated quantity is each (mode, transport) *speedup ratio* of
+    batched over per-update sweep, not the raw update rates: ratios are
+    taken within one run on one machine, so they transfer between the
+    machine that produced the baseline and the CI runner, while absolute
+    rates do not.  Protocol integrity (every update installed,
+    consistency level preserved) is compared cell by cell as well --
+    that part is machine-independent by construction.
+    """
+    problems = []
+    base_speedups = baseline.get("speedups", {})
+    for key, ratio in current.get("speedups", {}).items():
+        base = base_speedups.get(key)
+        if base is None:
+            continue
+        floor = base * (1.0 - tolerance)
+        if ratio < floor:
+            problems.append(
+                f"speedup[{key}]: {ratio}x is more than {tolerance:.0%}"
+                f" below baseline {base}x"
+            )
+    base_rows = {_row_key(r): r for r in baseline.get("rows", [])}
+    for row in current.get("rows", []):
+        base = base_rows.get(_row_key(row))
+        if base is None:
+            continue
+        if row["updates_installed"] != base["updates_installed"]:
+            problems.append(
+                f"{_row_key(row)}: installed {row['updates_installed']}"
+                f" updates, baseline installed {base['updates_installed']}"
+            )
+        if row["consistency"] != base["consistency"]:
+            problems.append(
+                f"{_row_key(row)}: consistency {row['consistency']!r},"
+                f" baseline {base['consistency']!r}"
+            )
+    return problems
+
+
+def format_suite(rows: list[dict]) -> str:
+    ratio = speedups(rows)
+    table = format_table(
+        ["mode", "transport", "algorithm", "updates", "installs",
+         "wall s", "upd/s", "msgs", "consistency"],
+        [
+            [
+                row["mode"],
+                row["transport"],
+                row["algorithm"],
+                row["updates"],
+                row["installs"],
+                row["wall_seconds"],
+                row["updates_per_sec"],
+                row["messages_total"],
+                row["consistency"],
+            ]
+            for row in rows
+        ],
+        title="Update throughput: per-update SWEEP vs batched sweep",
+    )
+    lines = [table, ""]
+    for key, value in sorted(ratio.items()):
+        lines.append(f"speedup[{key}] = {value}x")
+    lines.append(
+        f"floor: saturated/local batched >= {SPEEDUP_TARGET}x"
+        f" {BASELINE_UPDATES_PER_SEC} upd/s"
+        f" = {SPEEDUP_TARGET * BASELINE_UPDATES_PER_SEC:.0f} upd/s"
+    )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "ALGORITHMS",
+    "BASELINE_UPDATES_PER_SEC",
+    "MODES",
+    "SPEEDUP_TARGET",
+    "TRANSPORTS",
+    "build_report",
+    "compare_reports",
+    "format_suite",
+    "load_report",
+    "run_cell",
+    "run_suite",
+    "speedups",
+    "write_report",
+]

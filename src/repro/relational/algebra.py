@@ -29,6 +29,7 @@ from repro.relational.predicate import (
     AttrEq,
     Predicate,
     TruePredicate,
+    compile_cached,
     conjunction,
 )
 from repro.relational.relation import BagBase, Relation
@@ -53,13 +54,11 @@ def concat_schemas(left: Schema, right: Schema) -> Schema:
 
 def select(bag: BagBase, predicate: Predicate) -> BagBase:
     """Rows of ``bag`` satisfying ``predicate``, counts unchanged."""
-    test = predicate.compile(bag.schema)
+    test = compile_cached(predicate, bag.schema)
     cls = _result_type(bag)
-    out = cls(bag.schema)
-    for row, count in bag.items():
-        if test(row):
-            out.add(row, count)
-    return out
+    return cls._from_validated(
+        bag.schema, {row: count for row, count in bag.items() if test(row)}
+    )
 
 
 def project(bag: BagBase, attributes: Sequence[str]) -> BagBase:
@@ -72,10 +71,14 @@ def project(bag: BagBase, attributes: Sequence[str]) -> BagBase:
     indices = bag.schema.project_indices(attributes)
     out_schema = bag.schema.project(attributes)
     cls = _result_type(bag)
-    out = cls(out_schema)
+    counts: dict[tuple, int] = {}
     for row, count in bag.items():
-        out.add(tuple(row[i] for i in indices), count)
-    return out
+        key = tuple(row[i] for i in indices)
+        counts[key] = counts.get(key, 0) + count
+    # Signed rows collapsing onto one projected row may cancel exactly.
+    if cls is Delta:
+        counts = {row: c for row, c in counts.items() if c}
+    return cls._from_validated(out_schema, counts)
 
 
 def scale(bag: BagBase, factor: int) -> Delta:
@@ -101,10 +104,25 @@ def union(left: BagBase, right: BagBase) -> BagBase:
     """Pointwise count sum.  Relation + Relation stays a Relation."""
     _check_same_schema(left, right)
     cls = _result_type(left, right)
-    out = cls(left.schema, left.as_dict())
+    counts = left.as_dict()
     for row, count in right.items():
-        out.add(row, count)
-    return out
+        new = counts.get(row, 0) + count
+        if new:
+            counts[row] = new
+        else:
+            counts.pop(row, None)
+    return cls._from_validated(left.schema, counts)
+
+
+def union_in_place(target: Delta, other: BagBase) -> Delta:
+    """Pointwise add ``other`` into ``target``; returns ``target``.
+
+    The accumulation form of :func:`union` for loops that fold many bags
+    into one signed accumulator (batched sweeps summing telescoping terms).
+    ``target`` must be exclusively owned by the caller.
+    """
+    _check_same_schema(target, other)
+    return target.merge_in_place(other)
 
 
 def difference(left: BagBase, right: BagBase) -> Delta:
@@ -114,10 +132,35 @@ def difference(left: BagBase, right: BagBase) -> Delta:
     ``Delta-V = Delta-V - (Delta-Rj |><| TempView)``.
     """
     _check_same_schema(left, right)
-    out = Delta(left.schema, left.as_dict())
+    counts = left.as_dict()
     for row, count in right.items():
-        out.add(row, -count)
-    return out
+        new = counts.get(row, 0) - count
+        if new:
+            counts[row] = new
+        else:
+            counts.pop(row, None)
+    return Delta._from_validated(left.schema, counts)
+
+
+def difference_in_place(target: Delta, other: BagBase) -> Delta:
+    """Pointwise subtract ``other`` from ``target``; returns ``target``.
+
+    The accumulation form of :func:`difference` for compensation loops
+    subtracting several error terms from one owned accumulator.
+    """
+    _check_same_schema(target, other)
+    counts = target._counts
+    if target._indexes:
+        for row, count in other.items():
+            target.add(row, -count)
+        return target
+    for row, count in other.items():
+        new = counts.get(row, 0) - count
+        if new:
+            counts[row] = new
+        else:
+            counts.pop(row, None)
+    return target
 
 
 # ---------------------------------------------------------------------------
@@ -163,16 +206,20 @@ def join(
     """
     out_schema = left.schema.concat(right.schema)
     cls = _result_type(left, right)
-    out = cls(out_schema)
     if not left or not right:
-        return out
+        return cls._from_validated(out_schema, {})
     if condition is None:
         condition = TruePredicate()
 
     pairs, residual = _split_join_condition(condition, left.schema, right.schema)
     residual_test = None
     if not isinstance(residual, TruePredicate):
-        residual_test = residual.compile(out_schema)
+        residual_test = compile_cached(residual, out_schema)
+
+    # Accumulate into a plain dict: concatenated rows need no arity check,
+    # and signed counts may cancel, so zero-filtering happens once at the
+    # end rather than on every add.
+    counts: dict[tuple, int] = {}
 
     if pairs:
         l_idx = tuple(left.schema.index_of(a) for a, _ in pairs)
@@ -185,62 +232,73 @@ def join(
                 for rrow in r_index.get(tuple(lrow[i] for i in l_idx), ()):
                     combined = lrow + rrow
                     if residual_test is None or residual_test(combined):
-                        out.add(combined, lcount * right.count(rrow))
-            return out
-        l_index = left.get_index(l_idx)
-        if l_index is not None and right.distinct_count <= left.distinct_count:
-            for rrow, rcount in right.items():
-                for lrow in l_index.get(tuple(rrow[i] for i in r_idx), ()):
-                    combined = lrow + rrow
-                    if residual_test is None or residual_test(combined):
-                        out.add(combined, left.count(lrow) * rcount)
-            return out
-        # Hash the smaller side to bound memory.
-        if left.distinct_count <= right.distinct_count:
-            table: dict[tuple, list[tuple[tuple, int]]] = {}
-            for lrow, lcount in left.items():
-                table.setdefault(tuple(lrow[i] for i in l_idx), []).append(
-                    (lrow, lcount)
-                )
-            for rrow, rcount in right.items():
-                bucket = table.get(tuple(rrow[i] for i in r_idx))
-                if not bucket:
-                    continue
-                for lrow, lcount in bucket:
-                    combined = lrow + rrow
-                    if residual_test is None or residual_test(combined):
-                        out.add(combined, lcount * rcount)
+                        counts[combined] = counts.get(combined, 0) + (
+                            lcount * right.count(rrow)
+                        )
         else:
-            table = {}
+            l_index = left.get_index(l_idx)
+            if l_index is not None and right.distinct_count <= left.distinct_count:
+                for rrow, rcount in right.items():
+                    for lrow in l_index.get(tuple(rrow[i] for i in r_idx), ()):
+                        combined = lrow + rrow
+                        if residual_test is None or residual_test(combined):
+                            counts[combined] = counts.get(combined, 0) + (
+                                left.count(lrow) * rcount
+                            )
+            # Hash the smaller side to bound memory.
+            elif left.distinct_count <= right.distinct_count:
+                table: dict[tuple, list[tuple[tuple, int]]] = {}
+                for lrow, lcount in left.items():
+                    table.setdefault(tuple(lrow[i] for i in l_idx), []).append(
+                        (lrow, lcount)
+                    )
+                for rrow, rcount in right.items():
+                    bucket = table.get(tuple(rrow[i] for i in r_idx))
+                    if not bucket:
+                        continue
+                    for lrow, lcount in bucket:
+                        combined = lrow + rrow
+                        if residual_test is None or residual_test(combined):
+                            counts[combined] = counts.get(combined, 0) + (
+                                lcount * rcount
+                            )
+            else:
+                table = {}
+                for rrow, rcount in right.items():
+                    table.setdefault(tuple(rrow[i] for i in r_idx), []).append(
+                        (rrow, rcount)
+                    )
+                for lrow, lcount in left.items():
+                    bucket = table.get(tuple(lrow[i] for i in l_idx))
+                    if not bucket:
+                        continue
+                    for rrow, rcount in bucket:
+                        combined = lrow + rrow
+                        if residual_test is None or residual_test(combined):
+                            counts[combined] = counts.get(combined, 0) + (
+                                lcount * rcount
+                            )
+    else:
+        # No usable equality: nested-loop theta join.
+        for lrow, lcount in left.items():
             for rrow, rcount in right.items():
-                table.setdefault(tuple(rrow[i] for i in r_idx), []).append(
-                    (rrow, rcount)
-                )
-            for lrow, lcount in left.items():
-                bucket = table.get(tuple(lrow[i] for i in l_idx))
-                if not bucket:
-                    continue
-                for rrow, rcount in bucket:
-                    combined = lrow + rrow
-                    if residual_test is None or residual_test(combined):
-                        out.add(combined, lcount * rcount)
-        return out
+                combined = lrow + rrow
+                if residual_test is None or residual_test(combined):
+                    counts[combined] = counts.get(combined, 0) + lcount * rcount
 
-    # No usable equality: nested-loop theta join.
-    for lrow, lcount in left.items():
-        for rrow, rcount in right.items():
-            combined = lrow + rrow
-            if residual_test is None or residual_test(combined):
-                out.add(combined, lcount * rcount)
-    return out
+    if cls is Delta:
+        counts = {row: c for row, c in counts.items() if c}
+    return cls._from_validated(out_schema, counts)
 
 
 __all__ = [
     "concat_schemas",
     "difference",
+    "difference_in_place",
     "join",
     "project",
     "scale",
     "select",
     "union",
+    "union_in_place",
 ]

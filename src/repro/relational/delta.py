@@ -54,7 +54,7 @@ class Delta(BagBase):
     @classmethod
     def from_relation(cls, relation: BagBase) -> "Delta":
         """View any bag as a signed bag (copies counts)."""
-        return cls(relation.schema, relation.as_dict())
+        return cls._from_validated(relation.schema, relation.as_dict())
 
     @classmethod
     def empty(cls, schema: Schema) -> "Delta":
@@ -66,7 +66,9 @@ class Delta(BagBase):
     # ------------------------------------------------------------------
     def negated(self) -> "Delta":
         """A copy with every count negated."""
-        return Delta(self.schema, {row: -c for row, c in self.items()})
+        return Delta._from_validated(
+            self.schema, {row: -c for row, c in self.items()}
+        )
 
     def merged(self, other: "Delta") -> "Delta":
         """Pointwise sum ``self + other`` (schemas must match).
@@ -74,31 +76,52 @@ class Delta(BagBase):
         SWEEP merges multiple interfering updates from the same source into a
         single compensation delta this way (Section 5.1).
         """
-        result = Delta(self.schema, self._counts)
+        return self.copy().merge_in_place(other)
+
+    def merge_in_place(self, other: "Delta") -> "Delta":
+        """Pointwise add ``other`` into this delta; returns ``self``.
+
+        The accumulation primitive behind batched sweeps: coalescing k
+        same-source updates or summing k telescoping terms reuses one
+        counts dict instead of allocating k intermediates.
+        """
         if other.schema.attributes != self.schema.attributes:
             from repro.relational.errors import HeterogeneousSchemaError
 
             raise HeterogeneousSchemaError(
                 self.schema.attributes, other.schema.attributes
             )
-        for row, count in other.items():
-            result.add(row, count)
-        return result
+        counts = self._counts
+        if self._indexes:
+            for row, count in other.items():
+                self.add(row, count)
+        else:
+            for row, count in other.items():
+                new = counts.get(row, 0) + count
+                if new:
+                    counts[row] = new
+                else:
+                    counts.pop(row, None)
+        return self
 
     def copy(self) -> "Delta":
         """An independent copy."""
-        return Delta(self.schema, self._counts)
+        return Delta._from_validated(self.schema, dict(self._counts))
 
     # ------------------------------------------------------------------
     # Decomposition
     # ------------------------------------------------------------------
     def positive_part(self) -> Relation:
         """The inserted rows as a non-negative bag."""
-        return Relation(self.schema, {r: c for r, c in self.items() if c > 0})
+        return Relation._from_validated(
+            self.schema, {r: c for r, c in self.items() if c > 0}
+        )
 
     def negative_part(self) -> Relation:
         """The deleted rows, with counts made positive."""
-        return Relation(self.schema, {r: -c for r, c in self.items() if c < 0})
+        return Relation._from_validated(
+            self.schema, {r: -c for r, c in self.items() if c < 0}
+        )
 
     @property
     def is_insert_only(self) -> bool:

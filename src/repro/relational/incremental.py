@@ -20,7 +20,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.relational.algebra import difference, join, project
+from repro.relational.algebra import (
+    difference,
+    difference_in_place,
+    join,
+    project,
+    union_in_place,
+)
 from repro.relational.delta import Delta
 from repro.relational.errors import SchemaError
 from repro.relational.relation import BagBase
@@ -136,6 +142,33 @@ class PartialView:
                 f" {self.lo}..{self.hi}"
             )
         return PartialView(self.view, self.lo, self.hi, self.delta.merged(other.delta))
+
+    def add_in_place(self, other: "PartialView") -> "PartialView":
+        """Accumulating :meth:`add`: folds ``other`` into this partial's delta.
+
+        The :class:`PartialView` wrapper stays frozen but the underlying
+        signed bag is mutated, so this is only for partials the caller
+        exclusively owns (e.g. the composite accumulator of a batched
+        sweep).  Returns ``self`` for chaining.
+        """
+        if (other.lo, other.hi) != (self.lo, self.hi):
+            raise SchemaError(
+                f"cannot add partial views covering {other.lo}..{other.hi} and"
+                f" {self.lo}..{self.hi}"
+            )
+        union_in_place(self.delta, other.delta)
+        return self
+
+    def compensate_in_place(self, error: "PartialView") -> "PartialView":
+        """Accumulating :meth:`compensate`; same ownership caveat as
+        :meth:`add_in_place`.  Returns ``self`` for chaining."""
+        if (error.lo, error.hi) != (self.lo, self.hi):
+            raise SchemaError(
+                f"error term covers {error.lo}..{error.hi}, expected"
+                f" {self.lo}..{self.hi}"
+            )
+        difference_in_place(self.delta, error.delta)
+        return self
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:

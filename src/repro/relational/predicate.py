@@ -259,6 +259,27 @@ class Not(Predicate):
         return hash(("Not", self.part))
 
 
+#: Compiled row tests keyed by (predicate, schema).  Both are immutable
+#: value types, and a maintenance run evaluates the same handful of join /
+#: selection conditions millions of times, so compilation (attribute-name
+#: resolution, closure building) is paid once per condition rather than once
+#: per operator call.  Bounded defensively; real runs stay tiny.
+_COMPILE_CACHE: dict[tuple[Predicate, Schema], Callable[[tuple], bool]] = {}
+_COMPILE_CACHE_MAX = 4096
+
+
+def compile_cached(predicate: Predicate, schema: Schema) -> Callable[[tuple], bool]:
+    """``predicate.compile(schema)`` memoized on the (predicate, schema) pair."""
+    key = (predicate, schema)
+    test = _COMPILE_CACHE.get(key)
+    if test is None:
+        test = predicate.compile(schema)
+        if len(_COMPILE_CACHE) >= _COMPILE_CACHE_MAX:
+            _COMPILE_CACHE.clear()
+        _COMPILE_CACHE[key] = test
+    return test
+
+
 def conjunction(parts: list[Predicate]) -> Predicate:
     """Build the AND of ``parts``; TRUE when empty, the part itself when one."""
     parts = [p for p in parts if not isinstance(p, TruePredicate)]
@@ -278,5 +299,6 @@ __all__ = [
     "And",
     "Or",
     "Not",
+    "compile_cached",
     "conjunction",
 ]

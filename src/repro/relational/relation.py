@@ -53,6 +53,21 @@ class BagBase:
         for row, count in items:
             self.add(row, count)
 
+    @classmethod
+    def _from_validated(cls, schema: Schema, counts: dict[Row, int]):
+        """Adopt ``counts`` without per-row checks (internal fast path).
+
+        The caller guarantees what ``add`` would have enforced: tuple rows
+        of the right arity, no zero counts, and the sign discipline of
+        ``cls``.  The dict is adopted, not copied -- the caller must hand
+        over ownership.
+        """
+        out = cls.__new__(cls)
+        out.schema = schema
+        out._counts = counts
+        out._indexes = {}
+        return out
+
     # ------------------------------------------------------------------
     # Mutation primitives
     # ------------------------------------------------------------------
@@ -235,4 +250,30 @@ class Relation(BagBase):
 
     def copy(self) -> "Relation":
         """An independent copy (same schema object, copied counts)."""
-        return Relation(self.schema, self._counts)
+        return Relation._from_validated(self.schema, dict(self._counts))
+
+
+class FrozenRelation(Relation):
+    """A read-only relation, typically *sharing* another bag's counts.
+
+    The copy-on-write ``snapshot()`` of a source backend hands these out:
+    the snapshot holder sees an immutable point-in-time state without the
+    O(relation) copy, and any attempt to mutate it raises instead of
+    silently aliasing into backend state.  Build with :meth:`freeze` (or
+    ``_from_validated`` for an owned dict); the shared dict must never be
+    mutated afterwards by the sharer -- that is the writer's CoW duty.
+    """
+
+    __slots__ = ()
+
+    @classmethod
+    def freeze(cls, source: BagBase) -> "FrozenRelation":
+        """A frozen view over ``source``'s current counts (no copy)."""
+        return cls._from_validated(source.schema, source._counts)
+
+    def add(self, row: Row, count: int = 1) -> None:
+        raise TypeError("FrozenRelation is read-only; copy() it to mutate")
+
+    def copy(self) -> "Relation":
+        """A mutable, independent copy (escape hatch for holders)."""
+        return Relation._from_validated(self.schema, dict(self._counts))

@@ -10,6 +10,25 @@ The codec is deliberately symmetric with :func:`repro.simulation.metrics.
 estimate_size`: a decoded message reports the same payload row count the
 simulator would have accounted, which keeps distributed metrics comparable
 with simulator metrics.
+
+Codec versions
+--------------
+Two row encodings exist, negotiated per channel during the TCP handshake
+(see :mod:`repro.runtime.tcp`) and selectable via ``WireCodec(view,
+version=...)``:
+
+* **v1** (default): ``[[row values], count]`` per row -- verbose but
+  self-describing.
+* **v2**: one flat array ``{"f": [v1, v2, ..., count, v1, v2, ...]}`` of
+  ``arity + 1`` entries per row.  The receiver re-slices it using the
+  schema both endpoints already share; for the small tuples this protocol
+  ships, dropping the per-row array nesting roughly halves the JSON byte
+  volume and the encode/parse work.
+
+Decoding is version-agnostic -- the two shapes are distinguishable (list
+vs. object), so a decoder accepts either regardless of its configured
+version.  Only *encoding* follows the negotiated version, which is what
+makes the handshake downgrade-safe.
 """
 
 from __future__ import annotations
@@ -37,30 +56,63 @@ from repro.sources.messages import (
 )
 
 
-def _encode_rows(bag) -> list:
+#: Highest row-encoding version this codec implements.
+CODEC_VERSION_MAX = 2
+
+
+def _encode_rows(bag, version: int = 1):
+    if version >= 2:
+        flat: list = []
+        for row, count in bag.items():
+            flat.extend(row)
+            flat.append(count)
+        return {"f": flat}
     return [[list(row), count] for row, count in bag.items()]
 
 
-def _decode_counts(rows: list) -> dict[tuple, int]:
+def _decode_counts(rows, arity: int) -> dict[tuple, int]:
+    """Row counts from either encoding (v1 list / v2 flat object)."""
+    if isinstance(rows, dict):
+        flat = rows["f"]
+        stride = arity + 1
+        if len(flat) % stride:
+            raise WireProtocolError(
+                f"flat row array of {len(flat)} entries is not a multiple of"
+                f" arity+1 ({stride})"
+            )
+        return {
+            tuple(flat[i : i + arity]): int(flat[i + arity])
+            for i in range(0, len(flat), stride)
+        }
     return {tuple(row): int(count) for row, count in rows}
 
 
 class WireCodec:
-    """Encode/decode :class:`Message` envelopes for one view's channels."""
+    """Encode/decode :class:`Message` envelopes for one view's channels.
 
-    def __init__(self, view: ViewDefinition):
+    ``version`` selects the row encoding used by ``encode_*`` (decoding
+    always accepts every version); transports override it per call with
+    the version negotiated for their channel.
+    """
+
+    def __init__(self, view: ViewDefinition, version: int = 1):
+        if not 1 <= version <= CODEC_VERSION_MAX:
+            raise ValueError(
+                f"codec version must be 1..{CODEC_VERSION_MAX}, got {version}"
+            )
         self.view = view
+        self.version = version
 
     # ------------------------------------------------------------------
     # Envelope
     # ------------------------------------------------------------------
-    def encode_message(self, message: Message) -> dict:
+    def encode_message(self, message: Message, version: int | None = None) -> dict:
         """A JSON-safe dict for one channel envelope."""
         return {
             "kind": message.kind,
             "sender": message.sender,
             "sent_at": message.sent_at,
-            "payload": self.encode_payload(message.payload),
+            "payload": self.encode_payload(message.payload, version),
         }
 
     def decode_message(self, obj: dict) -> Message:
@@ -77,7 +129,8 @@ class WireCodec:
     # ------------------------------------------------------------------
     # Payloads
     # ------------------------------------------------------------------
-    def encode_payload(self, payload: Any) -> dict:
+    def encode_payload(self, payload: Any, version: int | None = None) -> dict:
+        v = self.version if version is None else version
         if isinstance(payload, UpdateNotice):
             return {
                 "type": "update_notice",
@@ -86,33 +139,33 @@ class WireCodec:
                 "applied_at": payload.applied_at,
                 "txn_id": payload.txn_id,
                 "txn_total": payload.txn_total,
-                "rows": _encode_rows(payload.delta),
+                "rows": _encode_rows(payload.delta, v),
             }
         if isinstance(payload, QueryRequest):
             return {
                 "type": "query_request",
                 "request_id": payload.request_id,
                 "target_index": payload.target_index,
-                "partial": self._encode_partial(payload.partial),
+                "partial": self._encode_partial(payload.partial, v),
             }
         if isinstance(payload, QueryAnswer):
             return {
                 "type": "query_answer",
                 "request_id": payload.request_id,
-                "partial": self._encode_partial(payload.partial),
+                "partial": self._encode_partial(payload.partial, v),
             }
         if isinstance(payload, MultiQueryRequest):
             return {
                 "type": "multi_query_request",
                 "request_id": payload.request_id,
                 "target_index": payload.target_index,
-                "partials": [self._encode_partial(p) for p in payload.partials],
+                "partials": [self._encode_partial(p, v) for p in payload.partials],
             }
         if isinstance(payload, MultiQueryAnswer):
             return {
                 "type": "multi_query_answer",
                 "request_id": payload.request_id,
-                "partials": [self._encode_partial(p) for p in payload.partials],
+                "partials": [self._encode_partial(p, v) for p in payload.partials],
             }
         if isinstance(payload, EcaQuery):
             return {
@@ -122,7 +175,7 @@ class WireCodec:
                     {
                         "sign": term.sign,
                         "subs": {
-                            str(index): _encode_rows(delta)
+                            str(index): _encode_rows(delta, v)
                             for index, delta in term.substitutions.items()
                         },
                     }
@@ -133,7 +186,7 @@ class WireCodec:
             return {
                 "type": "eca_answer",
                 "request_id": payload.request_id,
-                "rows": _encode_rows(payload.delta),
+                "rows": _encode_rows(payload.delta, v),
             }
         if isinstance(payload, SnapshotRequest):
             return {"type": "snapshot_request", "request_id": payload.request_id}
@@ -142,7 +195,7 @@ class WireCodec:
                 "type": "snapshot_answer",
                 "request_id": payload.request_id,
                 "source_index": payload.source_index,
-                "rows": _encode_rows(payload.relation),
+                "rows": _encode_rows(payload.relation, v),
             }
         raise WireProtocolError(
             f"no wire encoding for payload type {type(payload).__name__}"
@@ -207,21 +260,22 @@ class WireCodec:
             return SnapshotRequest(request_id=int(obj["request_id"]))
         if kind == "snapshot_answer":
             index = int(obj["source_index"])
+            schema = self.view.schema_of(index)
             return SnapshotAnswer(
                 request_id=int(obj["request_id"]),
                 source_index=index,
                 relation=Relation(
-                    self.view.schema_of(index), _decode_counts(obj["rows"])
+                    schema, _decode_counts(obj["rows"], len(schema))
                 ),
             )
         raise WireProtocolError(f"unknown payload type {kind!r}")
 
     # ------------------------------------------------------------------
-    def _encode_partial(self, partial: PartialView) -> dict:
+    def _encode_partial(self, partial: PartialView, version: int) -> dict:
         return {
             "lo": partial.lo,
             "hi": partial.hi,
-            "rows": _encode_rows(partial.delta),
+            "rows": _encode_rows(partial.delta, version),
         }
 
     def _decode_partial(self, obj: dict) -> PartialView:
@@ -230,8 +284,8 @@ class WireCodec:
         return PartialView(self.view, lo, hi, self._decode_delta(schema, obj["rows"]))
 
     @staticmethod
-    def _decode_delta(schema: Schema, rows: list) -> Delta:
-        return Delta(schema, _decode_counts(rows))
+    def _decode_delta(schema: Schema, rows) -> Delta:
+        return Delta(schema, _decode_counts(rows, len(schema)))
 
 
-__all__ = ["WireCodec"]
+__all__ = ["CODEC_VERSION_MAX", "WireCodec"]

@@ -78,6 +78,8 @@ class _System:
     def quiescent(self) -> bool:
         if not all(updater.done for updater in self.updaters):
             return False
+        if self.warehouse is not None and self.warehouse.pending_work():
+            return False
         if self.warehouse_node is not None:
             if not self.warehouse_node.quiescent():
                 return False

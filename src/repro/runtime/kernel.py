@@ -62,6 +62,10 @@ class AsyncRuntime:
         """Run ``callback`` after ``delay`` virtual units of wall time."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
+        if delay == 0:
+            # call_soon skips the timer heap -- zero-delay wakeups dominate
+            # the hot path (process starts, mailbox handoffs).
+            return self._loop.call_soon(self._guarded, callback)
         return self._loop.call_later(
             delay * self.time_scale, self._guarded, callback
         )

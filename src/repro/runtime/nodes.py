@@ -231,11 +231,7 @@ class WarehouseNode:
         """Inbox drained, no queued updates mid-algorithm, channels idle."""
         if len(self.inbox) != 0:
             return False
-        update_queue = getattr(self.warehouse, "update_queue", None)
-        if update_queue is not None and len(update_queue) != 0:
-            return False
-        answer_box = getattr(self.warehouse, "_answer_box", None)
-        if answer_box is not None and len(answer_box) != 0:
+        if self.warehouse.pending_work():
             return False
         return all(channel.idle for channel in self.query_channels.values())
 

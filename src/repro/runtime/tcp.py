@@ -3,12 +3,30 @@
 Wire format
 -----------
 Every frame is a 4-byte big-endian length followed by a UTF-8 JSON object.
-Four frame types flow on a connection::
+The length's most significant bit flags a zlib-compressed body (large
+snapshot payloads shrink by an order of magnitude); the remaining 31 bits
+are the on-wire body length.  Five frame types flow on a connection::
 
-    {"t": "hello",   "channel": name, "next": seq}   sender -> receiver
-    {"t": "welcome", "expect": seq}                  receiver -> sender
+    {"t": "hello",   "channel": name, "next": seq,
+     "codec": max_version}                           sender -> receiver
+    {"t": "welcome", "expect": seq, "codec": v}      receiver -> sender
     {"t": "msg",     "seq": n, "m": envelope}        sender -> receiver
+    {"t": "mb",      "frames": [{"seq", "m"}, ...]}  sender -> receiver
     {"t": "ack",     "seq": n}                       receiver -> sender
+
+``codec`` negotiates the row encoding (see :mod:`repro.runtime.codec`):
+each side advertises the highest version it speaks and both use the
+minimum, so either endpoint may be upgraded first.  A pre-negotiation
+peer omits the key and is treated as version 1, which also disables the
+``mb`` (message batch) framing and compression -- the fast path is taken
+only when both ends opted in.
+
+The **fast path**: protocol messages accepted by ``send`` while the
+writer task was busy are flushed as one ``mb`` frame -- one JSON
+serialization, one ``write``, one ``drain()``, one ack for the whole
+batch -- so a k-update burst costs O(1) syscalls instead of O(k).
+Encoding happens at write time (not in ``send``), after the codec
+version is known.
 
 Session guarantees
 ------------------
@@ -31,10 +49,11 @@ import asyncio
 import json
 import struct
 import time
+import zlib
 from collections import deque
 from dataclasses import dataclass
 
-from repro.runtime.codec import WireCodec
+from repro.runtime.codec import CODEC_VERSION_MAX, WireCodec
 from repro.runtime.errors import (
     TransportOverflowError,
     TransportRetriesExceeded,
@@ -48,20 +67,29 @@ from repro.simulation.metrics import MetricsCollector
 
 _HEADER = struct.Struct(">I")
 _MAX_FRAME = 64 * 1024 * 1024
+_COMPRESSED_FLAG = 0x80000000
 
 
 async def read_frame(reader: asyncio.StreamReader, timeout: float | None = None) -> dict:
-    """Read one length-prefixed JSON frame (raises on EOF/oversize/timeout)."""
+    """Read one length-prefixed JSON frame (raises on EOF/oversize/timeout).
+
+    A set MSB in the length prefix marks a zlib-compressed body; readers
+    always accept both, so compression needs no negotiation of its own.
+    """
 
     async def _read() -> dict:
         header = await reader.readexactly(_HEADER.size)
         (length,) = _HEADER.unpack(header)
+        compressed = bool(length & _COMPRESSED_FLAG)
+        length &= ~_COMPRESSED_FLAG
         if length > _MAX_FRAME:
             raise WireProtocolError(f"frame of {length} bytes exceeds limit")
         body = await reader.readexactly(length)
         try:
+            if compressed:
+                body = zlib.decompress(body)
             return json.loads(body)
-        except json.JSONDecodeError as exc:
+        except (json.JSONDecodeError, zlib.error) as exc:
             raise WireProtocolError(f"undecodable frame: {exc}") from exc
 
     if timeout is None:
@@ -69,9 +97,22 @@ async def read_frame(reader: asyncio.StreamReader, timeout: float | None = None)
     return await asyncio.wait_for(_read(), timeout)
 
 
-def write_frame(writer: asyncio.StreamWriter, obj: dict) -> None:
-    """Serialize one frame onto ``writer`` (caller drains)."""
+def write_frame(
+    writer: asyncio.StreamWriter,
+    obj: dict,
+    compress_min: int | None = None,
+) -> None:
+    """Serialize one frame onto ``writer`` (caller drains).
+
+    Bodies of at least ``compress_min`` bytes are zlib-compressed and
+    flagged via the length prefix's MSB; ``None`` disables compression.
+    """
     body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if compress_min is not None and len(body) >= compress_min:
+        packed = zlib.compress(body, 1)
+        if len(packed) < len(body):
+            writer.write(_HEADER.pack(len(packed) | _COMPRESSED_FLAG) + packed)
+            return
     writer.write(_HEADER.pack(len(body)) + body)
 
 
@@ -86,6 +127,11 @@ class TcpChannelConfig:
     backoff_factor: float = 2.0
     backoff_max: float = 2.0
     max_queue: int = 1024
+    #: Advertised codec version (handshake settles on the pairwise min).
+    codec_version: int = CODEC_VERSION_MAX
+    #: Compress frame bodies at least this large (None disables).  Only
+    #: effective once the peer negotiated codec >= 2.
+    compress_min_bytes: int | None = 16 * 1024
 
 
 class TcpChannel(RuntimeChannel):
@@ -116,14 +162,18 @@ class TcpChannel(RuntimeChannel):
         self.codec = codec
         self.config = cfg
         self._next_seq = 1
-        #: frames accepted but not yet written on the current connection
-        self._pending: deque[tuple[int, dict]] = deque()
-        #: frames written but not yet acknowledged
-        self._inflight: deque[tuple[int, dict]] = deque()
+        #: messages accepted but not yet written on the current connection;
+        #: encoding is deferred to write time, after codec negotiation.
+        self._pending: deque[tuple[int, Message]] = deque()
+        #: messages written but not yet acknowledged
+        self._inflight: deque[tuple[int, Message]] = deque()
         self._wake = asyncio.Event()
         self._closed = False
         self._session_established = False
+        #: row-encoding version agreed with the peer (1 until welcomed).
+        self.negotiated_codec = 1
         self.reconnects = 0
+        self.batches_sent = 0
         self._task = runtime.create_task(self._run(), f"tcp-writer:{name}")
 
     # ------------------------------------------------------------------
@@ -136,13 +186,8 @@ class TcpChannel(RuntimeChannel):
                 f" ({self.max_queue} frames); pace the producer with drain()"
             )
         self._account(message)
-        frame = {
-            "t": "msg",
-            "seq": self._next_seq,
-            "m": self.codec.encode_message(message),
-        }
+        self._pending.append((self._next_seq, message))
         self._next_seq += 1
-        self._pending.append((frame["seq"], frame))
         self._wake.set()
 
     @property
@@ -202,7 +247,15 @@ class TcpChannel(RuntimeChannel):
             oldest = self._inflight[0][0] if self._inflight else (
                 self._pending[0][0] if self._pending else self._next_seq
             )
-            write_frame(writer, {"t": "hello", "channel": self.name, "next": oldest})
+            write_frame(
+                writer,
+                {
+                    "t": "hello",
+                    "channel": self.name,
+                    "next": oldest,
+                    "codec": cfg.codec_version,
+                },
+            )
             await writer.drain()
             welcome = await read_frame(reader, cfg.read_timeout)
             if welcome.get("t") != "welcome":
@@ -210,6 +263,11 @@ class TcpChannel(RuntimeChannel):
                     f"channel {self.name!r}: expected welcome, got {welcome!r}"
                 )
             self._rewind(int(welcome["expect"]))
+            # Settle on the pairwise-minimum row encoding; a peer that
+            # predates negotiation omits the key and gets version 1.
+            self.negotiated_codec = max(
+                1, min(cfg.codec_version, int(welcome.get("codec", 1)))
+            )
             self._session_established = True
 
             # A plain task (not runtime-guarded): a dropped connection here
@@ -218,10 +276,7 @@ class TcpChannel(RuntimeChannel):
             ack_task = asyncio.ensure_future(self._read_acks(reader))
             try:
                 while not self._closed:
-                    while self._pending:
-                        seq, frame = self._pending.popleft()
-                        self._inflight.append((seq, frame))
-                        write_frame(writer, frame)
+                    self._write_pending(writer)
                     await writer.drain()
                     if ack_task.done():
                         # Surface connection loss noticed by the ack reader.
@@ -242,6 +297,39 @@ class TcpChannel(RuntimeChannel):
                 await writer.wait_closed()
             except (OSError, asyncio.CancelledError):
                 pass
+
+    def _write_pending(self, writer: asyncio.StreamWriter) -> None:
+        """Flush every accepted message; the caller drains once.
+
+        On a codec>=2 session a multi-message burst leaves as a single
+        ``mb`` frame -- one serialization, one write, one ack.
+        """
+        if not self._pending:
+            return
+        version = self.negotiated_codec
+        compress_min = (
+            self.config.compress_min_bytes if version >= 2 else None
+        )
+        burst: list[tuple[int, Message]] = []
+        while self._pending:
+            entry = self._pending.popleft()
+            self._inflight.append(entry)
+            burst.append(entry)
+        if version >= 2 and len(burst) > 1:
+            frames = [
+                {"seq": seq, "m": self.codec.encode_message(message, version)}
+                for seq, message in burst
+            ]
+            write_frame(writer, {"t": "mb", "frames": frames}, compress_min)
+            self.batches_sent += 1
+            return
+        for seq, message in burst:
+            frame = {
+                "t": "msg",
+                "seq": seq,
+                "m": self.codec.encode_message(message, version),
+            }
+            write_frame(writer, frame, compress_min)
 
     async def _wait_for_work(self, ack_task: asyncio.Task) -> None:
         """Sleep until there is something to send or the connection died."""
@@ -328,25 +416,41 @@ class ChannelListener:
                 raise WireProtocolError(f"unknown channel {name!r}")
             self.connections_accepted += 1
             destination, codec = self._registrations[name]
-            write_frame(writer, {"t": "welcome", "expect": self._expect[name]})
+            write_frame(
+                writer,
+                {
+                    "t": "welcome",
+                    "expect": self._expect[name],
+                    "codec": max(
+                        1, min(CODEC_VERSION_MAX, int(hello.get("codec", 1)))
+                    ),
+                },
+            )
             await writer.drain()
             while True:
                 frame = await read_frame(reader)
                 self.last_frame_wall = time.monotonic()
-                if frame.get("t") != "msg":
+                kind = frame.get("t")
+                if kind == "msg":
+                    entries = (frame,)
+                elif kind == "mb":
+                    entries = frame["frames"]
+                else:
                     raise WireProtocolError(f"unexpected frame {frame!r}")
-                seq = int(frame["seq"])
-                expect = self._expect[name]
-                if seq > expect:
-                    raise WireProtocolError(
-                        f"channel {name!r}: sequence gap (got {seq},"
-                        f" expected {expect})"
-                    )
-                if seq == expect:  # not a duplicate from a resend
-                    message = codec.decode_message(frame["m"])
-                    message.delivered_at = self.runtime.now
-                    destination.put(message)
-                    self._expect[name] = expect + 1
+                for entry in entries:
+                    seq = int(entry["seq"])
+                    expect = self._expect[name]
+                    if seq > expect:
+                        raise WireProtocolError(
+                            f"channel {name!r}: sequence gap (got {seq},"
+                            f" expected {expect})"
+                        )
+                    if seq == expect:  # not a duplicate from a resend
+                        message = codec.decode_message(entry["m"])
+                        message.delivered_at = self.runtime.now
+                        destination.put(message)
+                        self._expect[name] = expect + 1
+                # One cumulative ack per wire frame, batched or not.
                 write_frame(writer, {"t": "ack", "seq": self._expect[name] - 1})
                 await writer.drain()
         except (asyncio.IncompleteReadError, ConnectionError, asyncio.TimeoutError):

@@ -149,6 +149,18 @@ class LocalChannel(RuntimeChannel):
             message.delivered_at = self.runtime.now
             self.destination.put(message)
             self._undelivered -= 1
+            # Fast path: drain whatever else arrived this tick in one go
+            # instead of paying a task wakeup per message.  FIFO order is
+            # preserved -- same queue, same task.
+            if self.delivery_delay <= 0:
+                while True:
+                    try:
+                        message = self._queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    message.delivered_at = self.runtime.now
+                    self.destination.put(message)
+                    self._undelivered -= 1
 
 
 __all__ = ["LocalChannel", "RuntimeChannel"]

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.relational.delta import Delta
 from repro.relational.incremental import PartialView
-from repro.relational.relation import Relation
+from repro.relational.relation import FrozenRelation, Relation
 from repro.relational.view import ViewDefinition
 from repro.sources.base import SourceBackend
 
@@ -41,16 +41,38 @@ class MemoryBackend(SourceBackend):
             self._relation = Relation(schema)
         # Index the local join columns: ComputeJoin probes become
         # O(|delta|) lookups instead of O(|relation|) scans.
+        self._indexed_attrs: list[tuple[str, ...]] = []
         for cond in view.join_conditions:
             for attr in cond.attributes():
-                if attr in schema:
+                if attr in schema and (attr,) not in self._indexed_attrs:
+                    self._indexed_attrs.append((attr,))
                     self._relation.create_index((attr,))
+        #: True while an outstanding snapshot shares our counts dict.
+        self._snapshot_shared = False
 
     def apply(self, delta: Delta) -> None:
+        if self._snapshot_shared:
+            # Copy-on-write: the previous snapshot keeps the old counts
+            # dict untouched; we move on with a fresh one (indexes rebuilt).
+            fresh = Relation._from_validated(
+                self._relation.schema, self._relation.as_dict()
+            )
+            for attrs in self._indexed_attrs:
+                fresh.create_index(attrs)
+            self._relation = fresh
+            self._snapshot_shared = False
         self._relation.apply_delta(delta)
 
     def snapshot(self) -> Relation:
-        return self._relation.copy()
+        """A read-only point-in-time view of the relation, O(1).
+
+        The frozen snapshot shares the backend's counts dict until the next
+        :meth:`apply`, which copies before writing.  Holders that need a
+        mutable bag call ``.copy()`` on the result; mutating the snapshot
+        itself raises, so callers cannot alias-mutate backend state.
+        """
+        self._snapshot_shared = True
+        return FrozenRelation.freeze(self._relation)
 
     def compute_join(self, partial: PartialView) -> PartialView:
         return partial.extend(self.index, self._relation)

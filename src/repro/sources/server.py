@@ -100,13 +100,17 @@ class DataSourceServer:
         update type 2 of Section 2); it is applied atomically and travels
         as one message.  ``txn_id``/``txn_total`` tag this update as one
         part of a *global* transaction (type 3) spanning several sources.
+
+        Ownership of ``delta`` transfers to the server: it is referenced
+        by the forwarded notice rather than copied, so the committing
+        transaction must not mutate it afterwards.
         """
         self.backend.apply(delta)
         self.update_seq += 1
         notice = UpdateNotice(
             source_index=self.index,
             seq=self.update_seq,
-            delta=delta.copy(),
+            delta=delta,
             applied_at=self.sim.now,
             txn_id=txn_id,
             txn_total=txn_total,

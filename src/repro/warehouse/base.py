@@ -148,6 +148,16 @@ class WarehouseBase:
             )
 
     # ------------------------------------------------------------------
+    def pending_work(self) -> bool:
+        """True while this site buffers undone work in *internal* state.
+
+        Quiescence detection sees the inbox and the transport channels;
+        anything an algorithm parks in its own mailboxes or staging
+        structures is invisible from outside and must be reported here,
+        or a fast run can be declared finished mid-flight.
+        """
+        return False
+
     def current_view(self) -> Relation:
         """Copy of the current materialized view contents."""
         return self.store.snapshot()
@@ -176,6 +186,10 @@ class QueueDrivenWarehouse(WarehouseBase):
         self._pending_at_answer: tuple[UpdateNotice, ...] = ()
         self.sim.spawn("wh-LogUpdates", self._dispatch())
         self.sim.spawn("wh-UpdateView", self._update_view())
+
+    # ------------------------------------------------------------------
+    def pending_work(self) -> bool:
+        return len(self.update_queue) != 0 or len(self._answer_box) != 0
 
     # ------------------------------------------------------------------
     # LogUpdates (and answer routing)

@@ -1,0 +1,210 @@
+"""Batched SWEEP: one composite sweep per drained batch of queued updates.
+
+Per-update SWEEP pays ``2(n-1)`` messages and a full left-then-right
+round-trip chain for *every* update.  The paper's own Nested SWEEP
+(Section 6) shows the win from amortizing concurrent updates into one
+composite view change; this module turns that observation into a
+*scheduler*: instead of absorbing interference reactively as a sweep
+discovers it, the warehouse drains its whole ``UpdateMessageQueue`` up
+front and maintains the batch with a single composite sweep.
+
+Correctness rests on the telescoping expansion of the view difference.
+For a batch whose per-source merged deltas are ``Delta-R_i`` (i in S):
+
+    V(new) - V(old) = sum over i of
+        R_1^new |><| ... |><| R_{i-1}^new |><| Delta-R_i
+                |><| R_{i+1}^old |><| ... |><| R_n^old
+
+Each summand is one *term*, seeded with ``Delta-R_i``.  The terms are
+evaluated by two source-order wavefronts so that every source is queried
+at most twice per batch, with the partials of all terms that need it
+packed into one :class:`~repro.sources.messages.MultiQueryRequest`:
+
+* **leftward wave** (j = n-1 .. 1): extends every term ``i > j`` by
+  source ``j``.  These terms want ``R_j^new`` -- and by the FIFO channel
+  property the source has applied exactly the batch's updates (delivered
+  before the drain) plus any updates still sitting in the queue *now*,
+  whose error terms are compensated locally exactly as in SWEEP.
+* **rightward wave** (j = 2 .. n): extends every term ``i < j`` by
+  source ``j``.  These terms want ``R_j^old``, so in addition to the
+  queued-update compensation the batch's *own* merged delta at ``j`` is
+  subtracted: ``answer - Temp |><| Delta-R_j``.
+
+Message cost per batch of ``k`` updates is at most ``4(n-1)`` (one
+query+answer per wave per source), versus ``2(n-1) * k`` for per-update
+SWEEP -- O(n)+k rather than O(n)*k, counting the k update notices.
+
+The batch is installed as **one** composite view change, so complete
+consistency (a snapshot per update) is traded for strong consistency (a
+snapshot per batch, batches being prefixes of the delivery order) --
+the same trade Nested SWEEP makes, at strictly lower message cost.
+Per-update SWEEP remains the default algorithm and is unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from repro.relational.delta import Delta
+from repro.relational.incremental import PartialView
+from repro.sources.messages import MultiQueryRequest, UpdateNotice, next_request_id
+from repro.warehouse.base import QueueDrivenWarehouse
+from repro.warehouse.errors import ProtocolError
+
+
+class BatchedSweepWarehouse(QueueDrivenWarehouse):
+    """SWEEP with a batch-draining scheduler and wavefront composite sweeps.
+
+    Parameters (beyond :class:`QueueDrivenWarehouse`'s):
+
+    max_batch:
+        Largest number of queued updates coalesced into one composite
+        sweep; ``0`` (the default) drains the whole queue.  With
+        ``max_batch=1`` every batch is a singleton and the algorithm
+        degenerates to per-update SWEEP message behaviour (and complete
+        consistency).
+    """
+
+    algorithm_name = "batched-sweep"
+
+    def __init__(self, *args, max_batch: int = 0, **kwargs):
+        super().__init__(*args, **kwargs)
+        if max_batch < 0:
+            raise ValueError(f"max_batch must be >= 0, got {max_batch}")
+        self.max_batch = max_batch
+        self.batches_processed = 0
+
+    # ------------------------------------------------------------------
+    # The batch-draining UpdateView process (replaces one-at-a-time pop)
+    # ------------------------------------------------------------------
+    def _update_view(self) -> Generator:
+        while True:
+            msg = yield self.update_queue.get()
+            batch: list[UpdateNotice] = [msg.payload]
+            # Drain everything already queued into this batch.  Updates
+            # delivered *after* this point stay queued; the wavefront
+            # compensates their interference and the next batch applies
+            # them -- exactly SWEEP's treatment of concurrent updates.
+            for queued in list(self.update_queue.peek_all()):
+                if self.max_batch and len(batch) >= self.max_batch:
+                    break
+                self.update_queue.remove(queued)
+                batch.append(queued.payload)
+            if self.trace:
+                self.trace.record(
+                    self.sim.now, "warehouse", "batch", f"{len(batch)} update(s)"
+                )
+            yield from self.process_batch(batch)
+
+    def view_change(self, notice: UpdateNotice) -> Generator:
+        raise NotImplementedError("batched SWEEP overrides _update_view")
+
+    # ------------------------------------------------------------------
+    # One composite sweep per batch
+    # ------------------------------------------------------------------
+    def process_batch(self, batch: list[UpdateNotice]) -> Generator:
+        n = self.view.n_relations
+        self.batches_processed += 1
+        self.metrics.increment("batched_sweeps")
+        self.metrics.observe("batch_size", len(batch))
+
+        # Merge same-source deltas (delivery order preserved by summing --
+        # bag addition commutes) and seed one term per touched source.
+        merged: dict[int, Delta] = {}
+        for notice in batch:
+            seen = merged.get(notice.source_index)
+            if seen is None:
+                merged[notice.source_index] = notice.delta.copy()
+            else:
+                seen.merge_in_place(notice.delta)
+        terms: dict[int, PartialView] = {
+            index: PartialView.initial(self.view, index, delta)
+            for index, delta in merged.items()
+        }
+
+        # Leftward wave: term i wants R_j^new for every j < i.
+        for j in range(n - 1, 0, -1):
+            active = sorted(i for i in terms if i > j)
+            if not active:
+                continue
+            answers = yield from self._multi_query(j, [terms[i] for i in active])
+            for i, answer in zip(active, answers):
+                terms[i] = self._compensate_queued(j, answer, terms[i])
+
+        # Rightward wave: term i wants R_j^old for every j > i, so the
+        # batch's own delta at j is part of the error to subtract.
+        for j in range(2, n + 1):
+            active = sorted(i for i in terms if i < j)
+            if not active:
+                continue
+            temps = {i: terms[i] for i in active}
+            answers = yield from self._multi_query(j, [temps[i] for i in active])
+            batch_delta = merged.get(j)
+            for i, answer in zip(active, answers):
+                answer = self._compensate_queued(j, answer, temps[i])
+                if batch_delta is not None:
+                    answer = answer.compensate(temps[i].extend(j, batch_delta))
+                terms[i] = answer
+
+        # Sum the terms into one composite wide delta; single install.
+        composite: PartialView | None = None
+        for index in sorted(terms):
+            term = terms[index]
+            composite = term if composite is None else composite.add_in_place(term)
+        self.mark_applied(batch)
+        self.metrics.observe("updates_per_install", len(batch))
+        self.install_wide(
+            composite.delta,
+            note=(
+                f"batch of {len(batch)} update(s), sources"
+                f" {sorted(merged)}"
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Wave plumbing
+    # ------------------------------------------------------------------
+    def _multi_query(
+        self, index: int, partials: list[PartialView]
+    ) -> Generator:
+        """One batched sweep step: all active terms visit ``index`` at once."""
+        request = MultiQueryRequest(
+            request_id=next_request_id(),
+            partials=list(partials),
+            target_index=index,
+        )
+        self.send_query(index, request)
+        msg, pending = yield self._answer_box.get()
+        self._pending_at_answer = pending
+        answer = msg.payload
+        if answer.request_id != request.request_id:
+            raise ProtocolError(
+                f"answer {answer.request_id} does not match request"
+                f" {request.request_id}"
+            )
+        if len(answer.partials) != len(partials):
+            raise ProtocolError(
+                f"multi-query answer carries {len(answer.partials)} partials,"
+                f" expected {len(partials)}"
+            )
+        return answer.partials
+
+    def _compensate_queued(
+        self, index: int, answer: PartialView, temp: PartialView
+    ) -> PartialView:
+        """Subtract error terms of updates queued after the batch drained.
+
+        Identical to SWEEP's local compensation: any update from
+        ``index`` still in the queue when the answer was routed was --
+        by FIFO -- applied before the query was evaluated, so its effect
+        is rolled back locally to land on the batch-boundary state.
+        """
+        pending = self.pending_updates_from(index)
+        if not pending:
+            return answer
+        self.metrics.increment("compensations")
+        error = temp.extend(index, self.merged_pending_delta(pending))
+        return answer.compensate(error)
+
+
+__all__ = ["BatchedSweepWarehouse"]

@@ -70,6 +70,10 @@ class EcaWarehouse(WarehouseBase):
         self.sim.spawn("wh-ECA", self._run())
 
     # ------------------------------------------------------------------
+    def pending_work(self) -> bool:
+        return bool(self.uqs)
+
+    # ------------------------------------------------------------------
     def _run(self) -> Generator:
         while True:
             msg = yield self.inbox.get()

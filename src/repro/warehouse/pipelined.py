@@ -61,6 +61,15 @@ class PipelinedSweepWarehouse(WarehouseBase):
         self.sim.spawn("wh-pipelined-dispatch", self._dispatch())
 
     # ------------------------------------------------------------------
+    def pending_work(self) -> bool:
+        return bool(
+            self._waiting
+            or self._active_sweeps
+            or self._completed
+            or any(len(box) for box in self._answer_routes.values())
+        )
+
+    # ------------------------------------------------------------------
     def _dispatch(self) -> Generator:
         while True:
             msg = yield self.inbox.get()

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 from repro.consistency.levels import ConsistencyLevel
 from repro.warehouse.base import WarehouseBase
+from repro.warehouse.batched import BatchedSweepWarehouse
 from repro.warehouse.bootstrap import BootstrapSweepWarehouse
 from repro.warehouse.convergent import ConvergentWarehouse
 from repro.warehouse.cstrobe import CStrobeWarehouse
@@ -85,6 +86,17 @@ ALGORITHMS: dict[str, AlgorithmInfo] = {
             requires_keys=False,
             requires_quiescence=False,
             comments="local compensation; requires non-interference",
+        ),
+        AlgorithmInfo(
+            name="batched-sweep",
+            cls=BatchedSweepWarehouse,
+            architecture="distributed",
+            claimed_consistency=ConsistencyLevel.STRONG,
+            message_cost="O(n)+k",
+            requires_keys=False,
+            requires_quiescence=False,
+            comments="SWEEP batching: one composite sweep per drained queue",
+            in_paper_table=False,
         ),
         AlgorithmInfo(
             name="bootstrap-sweep",

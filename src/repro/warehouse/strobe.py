@@ -86,6 +86,9 @@ class StrobeWarehouse(WarehouseBase):
         """Unanswered/unstarted queries (quiescence = 0)."""
         return len(self.work_queue) + (1 if self.active else 0)
 
+    def pending_work(self) -> bool:
+        return self.uqs_size > 0
+
     # ------------------------------------------------------------------
     def _run(self) -> Generator:
         while True:

@@ -1,4 +1,10 @@
-"""WireCodec roundtrips every protocol payload through JSON."""
+"""WireCodec roundtrips every protocol payload through JSON.
+
+The ``codec`` fixture is parametrized over both row encodings -- v1
+(list-of-pairs) and v2 (flat array) -- so every roundtrip below is
+exercised under each wire format.  Decoding is version-agnostic, which
+the cross-version tests at the bottom pin explicitly.
+"""
 
 import json
 
@@ -8,6 +14,7 @@ from repro.relational.delta import Delta
 from repro.relational.incremental import PartialView
 from repro.relational.relation import Relation
 from repro.runtime import WireCodec, WireProtocolError
+from repro.runtime.codec import CODEC_VERSION_MAX
 from repro.simulation.channel import Message
 from repro.sources.messages import (
     EcaAnswer,
@@ -23,9 +30,9 @@ from repro.sources.messages import (
 )
 
 
-@pytest.fixture
-def codec(paper_view):
-    return WireCodec(paper_view)
+@pytest.fixture(params=[1, 2], ids=["v1", "v2"])
+def codec(request, paper_view):
+    return WireCodec(paper_view, version=request.param)
 
 
 def roundtrip(codec, message):
@@ -165,3 +172,96 @@ def test_unknown_payload_type_rejected(codec):
 def test_malformed_envelope_rejected(codec):
     with pytest.raises(WireProtocolError):
         codec.decode_message({"kind": "update"})  # no sender/payload
+
+
+# ---------------------------------------------------------------------------
+# Row-encoding versions
+# ---------------------------------------------------------------------------
+
+def _notice(paper_view, rows):
+    return Message(
+        kind="update", sender="R1",
+        payload=UpdateNotice(
+            source_index=1, seq=1,
+            delta=_delta(paper_view, 1, rows), applied_at=1.0,
+        ),
+    )
+
+
+def test_negative_counts_and_empty_delta_roundtrip(codec, paper_view):
+    """Deletions (count < 0) and empty deltas survive both encodings."""
+    mixed = roundtrip(codec, _notice(paper_view, {(1, 3): -2, (4, 9): 1}))
+    assert dict(mixed.payload.delta.items()) == {(1, 3): -2, (4, 9): 1}
+
+    empty = roundtrip(codec, _notice(paper_view, {}))
+    assert dict(empty.payload.delta.items()) == {}
+
+
+def test_v2_rows_are_flat_arrays(paper_view):
+    """v1 emits list-of-pairs rows, v2 one flat ``{"f": [...]}`` array."""
+    from repro.runtime.codec import _encode_rows
+
+    delta = Delta(paper_view.schema_of(1), {(1, 3): 2, (4, 9): -1})
+    v1 = _encode_rows(delta, 1)
+    v2 = _encode_rows(delta, 2)
+    assert isinstance(v1, list) and all(len(e) == 2 for e in v1)
+    assert set(v2) == {"f"}
+    # Stride is arity + 1: the row values followed by the signed count.
+    arity = len(paper_view.schema_of(1).attributes)
+    assert len(v2["f"]) == 2 * (arity + 1)
+
+
+def test_cross_version_decode(paper_view):
+    """A v1 decoder accepts v2 frames and vice versa (downgrade safety)."""
+    message = Message(
+        kind="update", sender="R1",
+        payload=UpdateNotice(
+            source_index=1, seq=1,
+            delta=Delta(paper_view.schema_of(1), {(1, 3): 1, (4, 9): -1}),
+            applied_at=1.0,
+        ),
+    )
+    v1_codec = WireCodec(paper_view, version=1)
+    v2_codec = WireCodec(paper_view, version=2)
+    for encoder, decoder in ((v1_codec, v2_codec), (v2_codec, v1_codec)):
+        wire = json.loads(json.dumps(encoder.encode_message(message)))
+        assert decoder.decode_message(wire).payload.delta == message.payload.delta
+
+
+def test_encode_message_version_override(paper_view):
+    """Transports pass the negotiated version per call; it wins."""
+    codec = WireCodec(paper_view, version=1)
+    message = Message(
+        kind="update", sender="R1",
+        payload=UpdateNotice(
+            source_index=1, seq=1,
+            delta=Delta(paper_view.schema_of(1), {(1, 3): 1}), applied_at=1.0,
+        ),
+    )
+    wire = codec.encode_message(message, version=2)
+    assert isinstance(wire["payload"]["rows"], dict)  # flat v2 shape
+    assert isinstance(
+        codec.encode_message(message)["payload"]["rows"], list
+    )  # the codec's own default is untouched
+
+
+def test_codec_version_validation(paper_view):
+    for bad in (0, CODEC_VERSION_MAX + 1):
+        with pytest.raises(ValueError):
+            WireCodec(paper_view, version=bad)
+
+
+def test_flat_rows_with_bad_stride_rejected(paper_view):
+    """A flat array whose length is not a multiple of arity+1 is corrupt."""
+    codec = WireCodec(paper_view, version=2)
+    message = Message(
+        kind="update", sender="R1",
+        payload=UpdateNotice(
+            source_index=1, seq=1,
+            delta=Delta(paper_view.schema_of(1), {(1, 3): 1}), applied_at=1.0,
+        ),
+    )
+    wire = codec.encode_message(message)
+    wire["payload"]["rows"]["f"].append(99)  # truncated/extra element
+    with pytest.raises(WireProtocolError):
+        codec.decode_message(wire)

@@ -64,11 +64,35 @@ class TestBackendBasics:
         # atomic: the insert must not have leaked through
         assert backend.snapshot() == Relation(R1_SCHEMA, [(1, 3)])
 
-    def test_snapshot_is_a_copy(self, make_backend, paper_view, paper_states):
+    def test_snapshot_cannot_alias_mutate_backend(
+        self, make_backend, paper_view, paper_states
+    ):
+        # Snapshots are either independent copies (sqlite) or frozen
+        # copy-on-write views (memory); in both cases no mutation of the
+        # returned object may reach backend state.
         backend = make_backend(paper_view, 1, paper_states["R1"])
         snap = backend.snapshot()
-        snap.insert((9, 9))
+        try:
+            snap.insert((9, 9))
+        except TypeError:
+            pass  # frozen snapshots refuse mutation outright
         assert (9, 9) not in backend.snapshot()
+        # The escape hatch for holders that need a mutable bag.
+        mutable = snap.copy()
+        mutable.insert((9, 9))
+        assert (9, 9) not in backend.snapshot()
+
+    def test_snapshot_is_point_in_time(
+        self, make_backend, paper_view, paper_states
+    ):
+        # Copy-on-write: applying an update after taking a snapshot must
+        # not change what the snapshot holder sees.
+        backend = make_backend(paper_view, 1, paper_states["R1"])
+        before = backend.snapshot()
+        seen = before.as_dict()
+        backend.apply(Delta.insert(R1_SCHEMA, (4, 3)))
+        assert before.as_dict() == seen
+        assert (4, 3) in backend.snapshot()
 
 
 class TestComputeJoin:

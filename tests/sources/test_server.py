@@ -75,12 +75,27 @@ class TestDataSourceServer:
         server.local_update(Delta.insert(R1_SCHEMA, (9, 9)))
         assert len(seen) == 1
 
-    def test_notice_delta_is_a_copy(self, paper_view, paper_states):
+    def test_notice_takes_ownership_of_delta(self, paper_view, paper_states):
+        # local_update is zero-copy on the hot path: the committed delta is
+        # referenced by the notice, not duplicated.  Ownership transfers to
+        # the server; committing code must not touch the delta afterwards.
         sim, _, server, _ = wire_source(paper_view, paper_states)
         delta = Delta.insert(R1_SCHEMA, (9, 9))
         notice = server.local_update(delta)
-        delta.add((9, 9), 5)
-        assert notice.delta.count((9, 9)) == 1
+        assert notice.delta is delta
+
+    def test_backend_state_is_not_aliased_by_commit(
+        self, paper_view, paper_states
+    ):
+        # The backend folds the delta's counts into its own storage; even a
+        # caller violating ownership transfer cannot reach backend rows.
+        sim, _, server, _ = wire_source(paper_view, paper_states)
+        delta = Delta.insert(R1_SCHEMA, (9, 9))
+        server.local_update(delta)
+        delta.add((8, 8), 3)
+        snap = server.snapshot()
+        assert snap.count((9, 9)) == 1
+        assert (8, 8) not in snap
 
     def test_query_answered(self, paper_view, paper_states):
         sim, inbox, server, _ = wire_source(paper_view, paper_states)

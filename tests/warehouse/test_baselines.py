@@ -124,8 +124,8 @@ class TestRegistry:
     def test_all_expected_algorithms_present(self):
         assert set(ALGORITHMS) == {
             "eca", "strobe", "c-strobe", "sweep", "nested-sweep",
-            "pipelined-sweep", "global-sweep", "bootstrap-sweep",
-            "convergent", "recompute",
+            "batched-sweep", "pipelined-sweep", "global-sweep",
+            "bootstrap-sweep", "convergent", "recompute",
         }
 
     def test_paper_table_flags(self):
