@@ -11,6 +11,7 @@ Commands
 ``fig5``             replay the paper's Figure 5 example
 ``experiments``      run every experiment module and print its table
 ``bench-throughput`` run the throughput regression suite (BENCH_throughput.json)
+``conformance``      sweep algorithms x chaos fault profiles against the oracle
 """
 
 from __future__ import annotations
@@ -110,17 +111,49 @@ def _parse_address(text: str) -> tuple[str, int]:
     return (host or "127.0.0.1", int(port))
 
 
+def _add_tcp_args(p: argparse.ArgumentParser) -> None:
+    """Transport fast-path knobs shared by every TCP-speaking command."""
+    p.add_argument(
+        "--codec-version", type=int, default=None, metavar="N",
+        help="pin the advertised wire codec (1 disables mb frames and"
+             " flat-row encoding; default: newest supported)",
+    )
+    p.add_argument(
+        "--compress-min", type=int, default=None, metavar="BYTES",
+        help="zlib-compress frames whose body is at least BYTES long"
+             " (0 disables compression; default: 16384)",
+    )
+
+
+def _tcp_config(args: argparse.Namespace):
+    """A TcpChannelConfig from CLI knobs, or None for pure defaults."""
+    if args.codec_version is None and args.compress_min is None:
+        return None
+    from repro.runtime import TcpChannelConfig
+
+    kwargs = {}
+    if args.codec_version is not None:
+        kwargs["codec_version"] = args.codec_version
+    if args.compress_min is not None:
+        kwargs["compress_min_bytes"] = args.compress_min or None
+    return TcpChannelConfig(**kwargs)
+
+
 def _add_run_distributed_parser(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser(
         "run-distributed",
         help="run one experiment on the asyncio runtime (all sites in-process)",
     )
     _add_workload_args(p)
+    _add_tcp_args(p)
     p.add_argument("--transport", choices=("tcp", "local"), default="tcp")
     p.add_argument("--host", default="127.0.0.1",
                    help="interface the TCP listeners bind")
     p.add_argument("--timeout", type=float, default=120.0,
                    help="wall-clock quiescence timeout in seconds")
+    p.add_argument("--chaos", default=None, metavar="PROFILE",
+                   help="inject transport faults from a named chaos profile"
+                        " (healthy/delay/dup/drop/crash/hostile)")
     p.add_argument("--no-check", action="store_true",
                    help="skip consistency verification")
     p.add_argument("--show-view", action="store_true",
@@ -137,6 +170,8 @@ def _cmd_run_distributed(args: argparse.Namespace) -> int:
         time_scale=args.time_scale,
         host=args.host,
         timeout=args.timeout,
+        tcp_config=_tcp_config(args),
+        chaos=args.chaos,
     )
     print(result.report())
     if args.show_view:
@@ -156,6 +191,7 @@ def _add_serve_warehouse_parser(sub: argparse._SubParsersAction) -> None:
         "--source", action="append", default=[], metavar="INDEX=HOST:PORT",
         help="address of each source's listener (repeat; 0=central for ECA)",
     )
+    _add_tcp_args(p)
     p.add_argument(
         "--expect-updates", type=int, default=None,
         help="exit with a report after this many updates (default: all"
@@ -189,6 +225,7 @@ def _cmd_serve_warehouse(args: argparse.Namespace) -> int:
             time_scale=args.time_scale,
             expect_updates=expect or None,
             timeout=args.timeout,
+            tcp_config=_tcp_config(args),
         )
     )
     if result is not None:
@@ -207,6 +244,7 @@ def _add_serve_source_parser(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--warehouse", required=True, metavar="HOST:PORT",
                    help="address of the warehouse listener")
     p.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT")
+    _add_tcp_args(p)
     p.add_argument("--no-drive", action="store_true",
                    help="do not replay the seeded update schedule")
     p.add_argument("--serve-forever", action="store_true",
@@ -235,6 +273,7 @@ def _cmd_serve_source(args: argparse.Namespace) -> int:
             exit_when_done=not args.serve_forever,
             linger=args.linger,
             timeout=args.timeout,
+            tcp_config=_tcp_config(args),
         )
     )
     return 0
@@ -395,6 +434,33 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--tolerance", type=float, default=0.30,
                        help="allowed fractional throughput drop (default 0.30)")
 
+    conf = sub.add_parser(
+        "conformance",
+        help="run every algorithm through chaos fault profiles and check"
+             " the consistency oracle's verdict against the claimed level",
+    )
+    conf.add_argument(
+        "--algorithms", default=None, metavar="A,B,...",
+        help="comma-separated algorithms (default: every registered one)",
+    )
+    conf.add_argument(
+        "--profiles", default=None, metavar="P,Q,...",
+        help="comma-separated chaos profiles (default: healthy,delay,dup,crash)",
+    )
+    conf.add_argument("--seed", "-s", type=int, default=0,
+                      help="first workload seed")
+    conf.add_argument("--runs", type=int, default=1,
+                      help="seeds per case: seed, seed+1, ...")
+    conf.add_argument("--transport", choices=("local", "tcp"), default="local")
+    conf.add_argument("--updates", "-u", type=int, default=None)
+    conf.add_argument("--sources", "-n", type=int, default=None)
+    conf.add_argument("--time-scale", type=float, default=None,
+                      help="wall seconds per virtual time unit")
+    conf.add_argument("--timeout", type=float, default=None,
+                      help="wall-clock quiescence timeout per case")
+    conf.add_argument("--json", default="conformance_report.json",
+                      metavar="PATH", help="where to write the JSON report")
+
     adv = sub.add_parser(
         "advise", help="recommend an algorithm for a workload"
     )
@@ -461,6 +527,69 @@ def _cmd_bench_throughput(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from repro.harness import conformance
+
+    algorithms = (
+        args.algorithms.split(",")
+        if args.algorithms
+        else conformance.DEFAULT_ALGORITHMS
+    )
+    profiles = (
+        args.profiles.split(",") if args.profiles else conformance.DEFAULT_PROFILES
+    )
+    from repro.runtime.chaos import PROFILES
+    from repro.warehouse.registry import ALGORITHMS
+
+    for name in algorithms:
+        if name not in ALGORITHMS:
+            print(
+                f"unknown algorithm {name!r}; available:"
+                f" {','.join(ALGORITHMS)}",
+                file=sys.stderr,
+            )
+            return 2
+    for name in profiles:
+        if name not in PROFILES:
+            print(
+                f"unknown chaos profile {name!r}; available:"
+                f" {','.join(PROFILES)}",
+                file=sys.stderr,
+            )
+            return 2
+    case_kwargs = {}
+    if args.updates is not None:
+        case_kwargs["n_updates"] = args.updates
+    if args.sources is not None:
+        case_kwargs["n_sources"] = args.sources
+    if args.time_scale is not None:
+        case_kwargs["time_scale"] = args.time_scale
+    if args.timeout is not None:
+        case_kwargs["timeout"] = args.timeout
+
+    def progress(row: dict) -> None:
+        verdict = "pass" if row["ok"] else f"FAIL ({row['error']})"
+        print(
+            f"  {row['algorithm']:>13s} x {row['profile']:<8s}"
+            f" seed={row['seed']} ... {verdict}",
+            flush=True,
+        )
+
+    report = conformance.run_matrix(
+        algorithms,
+        profiles,
+        seeds=range(args.seed, args.seed + args.runs),
+        transport=args.transport,
+        progress=progress,
+        **case_kwargs,
+    )
+    print()
+    print(conformance.format_report(report))
+    path = conformance.write_report(report, args.json)
+    print(f"\nwrote {path}")
+    return 0 if report["ok"] else 1
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "run-distributed": _cmd_run_distributed,
@@ -472,6 +601,7 @@ _COMMANDS = {
     "experiments": _cmd_experiments,
     "advise": _cmd_advise,
     "bench-throughput": _cmd_bench_throughput,
+    "conformance": _cmd_conformance,
 }
 
 

@@ -26,6 +26,9 @@ from repro.consistency.atomicity import (
 )
 from repro.consistency.checker import (
     CheckResult,
+    InstallAttribution,
+    attribute_installs,
+    check_batched_complete,
     check_complete,
     check_convergence,
     check_strong,
@@ -45,10 +48,13 @@ __all__ = [
     "check_transaction_atomicity",
     "collect_transactions",
     "ConsistencyLevel",
+    "InstallAttribution",
     "RunRecorder",
     "SnapshotLog",
     "SourceHistory",
     "ViewSnapshot",
+    "attribute_installs",
+    "check_batched_complete",
     "check_complete",
     "check_convergence",
     "check_strong",

@@ -25,7 +25,7 @@ from itertools import product
 
 from repro.consistency.history import SourceHistory
 from repro.consistency.levels import ConsistencyLevel
-from repro.consistency.snapshots import SnapshotLog
+from repro.consistency.snapshots import SnapshotLog, ViewSnapshot
 from repro.relational.relation import Relation
 from repro.relational.view import ViewDefinition
 from repro.sources.messages import UpdateNotice
@@ -89,6 +89,142 @@ def _vector_index(
         key = _view_key(evaluate_at(view, history, vector))
         table.setdefault(key, []).append(combo)
     return table
+
+
+# ---------------------------------------------------------------------------
+# Batch attribution
+# ---------------------------------------------------------------------------
+
+@dataclass(slots=True)
+class InstallAttribution:
+    """One install mapped back to the delivered updates it reflects.
+
+    Batching schedulers install *composite* view changes -- one install
+    covering ``k`` member updates -- which breaks any accounting that
+    assumes installs and updates are 1:1.  Attribution recovers the
+    mapping from the claimed state vectors: the vector delta between
+    consecutive installs says how many updates per source this install
+    consumed, and FIFO delivery says *which* ones those are.
+    """
+
+    install_index: int  # 1-based position in the snapshot log
+    snapshot: ViewSnapshot
+    members: list[UpdateNotice]
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.members)
+
+    def staleness_of(self, notice: UpdateNotice) -> float:
+        """Virtual time ``notice`` waited between delivery and install."""
+        return self.snapshot.time - notice.delivered_at
+
+    def __repr__(self) -> str:
+        return (
+            f"InstallAttribution(#{self.install_index},"
+            f" {self.batch_size} members, t={self.snapshot.time:.3f})"
+        )
+
+
+def attribute_installs(
+    deliveries: list[UpdateNotice], snapshots: "SnapshotLog | list[ViewSnapshot]"
+) -> list[InstallAttribution]:
+    """Map every install to the delivered updates its vector delta covers.
+
+    Raises :class:`ValueError` when the claimed vectors are malformed --
+    an install claims no vector, regresses a source, or claims more
+    updates from a source than were delivered.  Those are instrumentation
+    bugs (or deliberately broken algorithms) and make attribution, hence
+    per-update staleness, meaningless.
+    """
+    per_source: dict[int, list[UpdateNotice]] = {}
+    for notice in deliveries:
+        per_source.setdefault(notice.source_index, []).append(notice)
+    consumed: dict[int, int] = {}
+    attributions: list[InstallAttribution] = []
+    for t, snap in enumerate(snapshots, start=1):
+        if snap.claimed_vector is None:
+            raise ValueError(f"install #{t} claims no state vector")
+        members: list[UpdateNotice] = []
+        for index, count in sorted(snap.claimed_vector.items()):
+            have = consumed.get(index, 0)
+            if count < have:
+                raise ValueError(
+                    f"install #{t} regresses source {index}"
+                    f" ({count} < {have} already installed)"
+                )
+            delivered = per_source.get(index, [])
+            if count > len(delivered):
+                raise ValueError(
+                    f"install #{t} claims {count} updates from source"
+                    f" {index}; only {len(delivered)} were delivered"
+                )
+            members.extend(delivered[have:count])
+            consumed[index] = count
+        members.sort(key=lambda n: n.delivery_seq or 0)
+        attributions.append(InstallAttribution(t, snap, members))
+    return attributions
+
+
+def check_batched_complete(
+    view: ViewDefinition,
+    history: SourceHistory,
+    deliveries: list[UpdateNotice],
+    snapshots: "SnapshotLog | list[ViewSnapshot]",
+) -> CheckResult:
+    """Batch-aware completeness: installs partition the delivery order.
+
+    The classic *complete* check demands one install per delivered update.
+    A batching scheduler legitimately installs fewer, composite states;
+    the faithful generalization checks that
+
+    1. every install's batch is a **contiguous prefix extension** of the
+       delivery order (no update overtakes another on install),
+    2. each installed state equals the view recomputed at its batch's
+       delivery-prefix vector, and
+    3. every delivered update is attributed to exactly one install
+       (nothing dropped, nothing double-counted).
+
+    With ``batch_max=1`` this degenerates to the classic check.
+    """
+    level = ConsistencyLevel.COMPLETE
+    try:
+        attributions = attribute_installs(deliveries, snapshots)
+    except ValueError as exc:
+        return CheckResult(level, False, method="batched", detail=str(exc))
+    covered = 0
+    for attr in attributions:
+        covered += attr.batch_size
+        prefix = vector_for_delivery_prefix(deliveries, covered)
+        claimed = {
+            i: c for i, c in (attr.snapshot.claimed_vector or {}).items() if c
+        }
+        if claimed != prefix:
+            return CheckResult(
+                level, False, method="batched",
+                detail=(
+                    f"install #{attr.install_index}'s batch is not a"
+                    " delivery-order prefix"
+                ),
+            )
+        expected = evaluate_at(view, history, prefix)
+        if attr.snapshot.view != expected:
+            return CheckResult(
+                level, False, method="batched",
+                detail=(
+                    f"install #{attr.install_index} does not match delivery"
+                    f" prefix {covered}"
+                ),
+            )
+    if covered != len(deliveries):
+        return CheckResult(
+            level, False, method="batched",
+            detail=(
+                f"{len(deliveries) - covered} delivered updates never"
+                " attributed to an install"
+            ),
+        )
+    return CheckResult(level, True, method="batched")
 
 
 # ---------------------------------------------------------------------------
@@ -253,6 +389,9 @@ def classify(
 
 __all__ = [
     "CheckResult",
+    "InstallAttribution",
+    "attribute_installs",
+    "check_batched_complete",
     "check_complete",
     "check_convergence",
     "check_strong",

@@ -15,6 +15,9 @@ from __future__ import annotations
 
 from repro.consistency.checker import (
     CheckResult,
+    InstallAttribution,
+    attribute_installs,
+    check_batched_complete,
     check_complete,
     check_convergence,
     check_strong,
@@ -98,6 +101,41 @@ class RunRecorder:
             self.snapshots,
             max_vectors=max_vectors,
         )
+
+    # ------------------------------------------------------------------
+    # Batch-aware accounting
+    # ------------------------------------------------------------------
+    def attribute_installs(self) -> list[InstallAttribution]:
+        """Map each install to its member updates (vector-delta attribution).
+
+        Raises :class:`ValueError` when the claimed vectors are malformed
+        (no vector, source regression, over-claim) -- see
+        :func:`repro.consistency.checker.attribute_installs`.
+        """
+        return attribute_installs(self.deliveries, self.snapshots)
+
+    def check_batched(self) -> CheckResult:
+        """Batch-aware completeness: installs partition the delivery order."""
+        return check_batched_complete(
+            self.view, self.history, self.deliveries, self.snapshots
+        )
+
+    def per_update_staleness(self) -> list[float]:
+        """Per delivered update: virtual time from delivery to its install.
+
+        A composite install covering ``k`` updates contributes ``k``
+        entries -- one per member -- so the metric stays per-update under
+        batching instead of collapsing to per-install.  Entries appear in
+        delivery order.  Updates never attributed to an install are
+        omitted; malformed claimed vectors raise :class:`ValueError`.
+        """
+        staleness: list[tuple[int, float]] = []
+        for attribution in self.attribute_installs():
+            for notice in attribution.members:
+                staleness.append(
+                    (notice.delivery_seq or 0, attribution.staleness_of(notice))
+                )
+        return [value for _, value in sorted(staleness)]
 
     # ------------------------------------------------------------------
     @property

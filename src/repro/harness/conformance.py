@@ -1,0 +1,236 @@
+"""Protocol conformance under fault injection (``repro conformance``).
+
+The paper's claims are per-algorithm consistency guarantees *given
+reliable FIFO channels* (Section 2).  The chaos layer
+(:mod:`repro.runtime.chaos`) supplies FIFO channels whose implementation
+is under attack -- delayed, duplicated, dropped-and-retransmitted,
+blacked out -- so a conformance run asks the only question that matters:
+does every registered algorithm still achieve **at least its claimed
+consistency level** when the transport misbehaves in every way the
+contract permits?
+
+One *case* is (algorithm, fault profile, seed): a seeded randomized
+update stream driven through a distributed run with that profile's
+faults, then judged by the independent consistency oracle.  A case
+passes when
+
+* the achieved (oracle-classified) level is >= the registry's claimed
+  level for the algorithm, and
+* for batching schedulers, the batch-aware completeness check holds --
+  every composite install is a contiguous delivery-order prefix and
+  every delivered update is attributed to exactly one install.
+
+:func:`run_matrix` sweeps the full cross product and builds a JSON-able
+report (uploaded as a CI artifact by the ``conformance-smoke`` job);
+``python -m repro conformance`` is the command-line front end.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+from typing import Sequence
+
+from repro.consistency.levels import ConsistencyLevel
+from repro.harness.config import ExperimentConfig
+from repro.harness.report import format_table
+from repro.runtime.chaos import PROFILES
+from repro.warehouse.registry import ALGORITHMS, algorithm_info
+
+#: Every registered algorithm, in registry order.
+DEFAULT_ALGORITHMS: tuple[str, ...] = tuple(ALGORITHMS)
+
+#: The stock sweep: healthy control plus one profile per fault family.
+DEFAULT_PROFILES: tuple[str, ...] = ("healthy", "delay", "dup", "crash")
+
+#: Algorithms whose installs are composite by design: the batch-aware
+#: completeness check is a hard gate for them, informational otherwise.
+BATCHING_ALGORITHMS: tuple[str, ...] = ("batched-sweep",)
+
+#: Workload shape for one case.  Small enough that the independent
+#: (vector-space) checker runs in exact mode, long enough that the crash
+#: profile's blackout windows land inside the run.
+CASE_DEFAULTS: dict = {
+    "n_sources": 3,
+    "n_updates": 12,
+    "mean_interarrival": 6.0,
+    "time_scale": 0.002,
+    "timeout": 120.0,
+}
+
+
+def run_case(
+    algorithm: str,
+    profile: str,
+    seed: int = 0,
+    transport: str = "local",
+    n_sources: int = CASE_DEFAULTS["n_sources"],
+    n_updates: int = CASE_DEFAULTS["n_updates"],
+    mean_interarrival: float = CASE_DEFAULTS["mean_interarrival"],
+    time_scale: float = CASE_DEFAULTS["time_scale"],
+    timeout: float = CASE_DEFAULTS["timeout"],
+) -> dict:
+    """One (algorithm, profile, seed) conformance case as a flat row dict."""
+    from repro.runtime import run_distributed
+
+    info = algorithm_info(algorithm)
+    if profile not in PROFILES:
+        raise KeyError(
+            f"unknown chaos profile {profile!r}; available: {sorted(PROFILES)}"
+        )
+    claimed = info.claimed_consistency
+    row = {
+        "algorithm": algorithm,
+        "profile": profile,
+        "seed": seed,
+        "transport": transport,
+        "claimed": claimed.name.lower(),
+        "achieved": None,
+        "ok": False,
+        "installs": 0,
+        "updates": 0,
+        "faults": 0,
+        "batched_ok": None,
+        "mean_staleness": None,
+        "wall_seconds": 0.0,
+        "error": "",
+    }
+    config = ExperimentConfig(
+        algorithm=algorithm,
+        n_sources=n_sources,
+        n_updates=n_updates,
+        seed=seed,
+        mean_interarrival=mean_interarrival,
+        check_consistency=True,
+    )
+    try:
+        result = run_distributed(
+            config,
+            transport=transport,
+            time_scale=time_scale,
+            timeout=timeout,
+            chaos=profile,
+        )
+    except Exception as exc:  # noqa: BLE001 -- a crash is a conformance verdict
+        row["error"] = f"{type(exc).__name__}: {exc}"
+        return row
+    achieved = result.classified_level or ConsistencyLevel.NONE
+    batched = result.recorder.check_batched()
+    row.update(
+        achieved=achieved.name.lower(),
+        installs=result.installs,
+        updates=result.updates_delivered,
+        faults=(
+            result.chaos_stats.faults_injected
+            if result.chaos_stats is not None
+            else 0
+        ),
+        batched_ok=batched.ok,
+        mean_staleness=(
+            round(result.mean_per_update_staleness, 3)
+            if result.mean_per_update_staleness is not None
+            else None
+        ),
+        wall_seconds=round(result.wall_seconds, 3),
+    )
+    ok = achieved >= claimed
+    if algorithm in BATCHING_ALGORITHMS and not batched.ok:
+        ok = False
+        row["error"] = f"batched check: {batched.detail}"
+    elif not ok:
+        row["error"] = f"achieved {achieved.name.lower()} < claimed"
+    row["ok"] = ok
+    return row
+
+
+def run_matrix(
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    profiles: Sequence[str] = DEFAULT_PROFILES,
+    seeds: Sequence[int] = (0,),
+    transport: str = "local",
+    progress=None,
+    **case_kwargs,
+) -> dict:
+    """The full cross product; ``progress`` (if given) is called per row."""
+    rows = []
+    for algorithm in algorithms:
+        for profile in profiles:
+            for seed in seeds:
+                row = run_case(
+                    algorithm, profile, seed, transport=transport, **case_kwargs
+                )
+                rows.append(row)
+                if progress is not None:
+                    progress(row)
+    return build_report(rows, transport=transport)
+
+
+def build_report(rows: list[dict], transport: str = "local") -> dict:
+    """The JSON document shape written to ``conformance_report.json``."""
+    failed = [r for r in rows if not r["ok"]]
+    return {
+        "suite": "conformance",
+        "python": platform.python_version(),
+        "transport": transport,
+        "cases": len(rows),
+        "failed": len(failed),
+        "ok": not failed,
+        "rows": rows,
+    }
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_report(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def format_report(report: dict) -> str:
+    """Human-readable verdict table for one conformance report."""
+    rows = report["rows"]
+    table = format_table(
+        ["algorithm", "profile", "seed", "claimed", "achieved", "faults",
+         "installs", "stale", "batched", "verdict"],
+        [
+            [
+                row["algorithm"],
+                row["profile"],
+                row["seed"],
+                row["claimed"],
+                row["achieved"] or "-",
+                row["faults"],
+                row["installs"],
+                row["mean_staleness"] if row["mean_staleness"] is not None else "-",
+                {True: "ok", False: "FAIL", None: "-"}[row["batched_ok"]],
+                "PASS" if row["ok"] else f"FAIL ({row['error']})",
+            ]
+            for row in rows
+        ],
+        title=f"Protocol conformance under fault injection"
+        f" ({report['transport']} transport)",
+    )
+    verdict = (
+        "all cases conform"
+        if report["ok"]
+        else f"{report['failed']}/{report['cases']} cases FAILED"
+    )
+    return f"{table}\n\n{verdict}"
+
+
+__all__ = [
+    "BATCHING_ALGORITHMS",
+    "CASE_DEFAULTS",
+    "DEFAULT_ALGORITHMS",
+    "DEFAULT_PROFILES",
+    "build_report",
+    "format_report",
+    "load_report",
+    "run_case",
+    "run_matrix",
+    "write_report",
+]

@@ -79,6 +79,24 @@ class RunResult:
         return self.metrics.mean_observation("install_delay")
 
     @property
+    def mean_per_update_staleness(self) -> float | None:
+        """Mean delivery-to-install time attributed per *update*.
+
+        Unlike :attr:`mean_install_delay` (one observation per install),
+        this stays per-update under batching: a composite install covering
+        ``k`` updates contributes ``k`` observations via the oracle's
+        batch attribution.  ``None`` when no update was attributed or the
+        claimed vectors do not support attribution.
+        """
+        try:
+            staleness = self.recorder.per_update_staleness()
+        except ValueError:
+            return None
+        if not staleness:
+            return None
+        return sum(staleness) / len(staleness)
+
+    @property
     def uninstalled_updates(self) -> int:
         """Updates delivered but never reflected by an install."""
         return self.updates_delivered - self.metrics.counters.get(
@@ -151,6 +169,9 @@ class RunResult:
         delay = self.mean_install_delay
         if delay is not None:
             lines.append(f"mean install lag : {delay:.2f}")
+        staleness = self.mean_per_update_staleness
+        if staleness is not None:
+            lines.append(f"per-update stale : {staleness:.2f}")
         for level, result in sorted(self.consistency.items()):
             status = "PASS" if result.ok else "FAIL"
             suffix = f" ({result.detail})" if result.detail else ""

@@ -17,6 +17,14 @@ Entry points:
   multi-process setups (``repro serve-source`` / ``repro serve-warehouse``).
 """
 
+from repro.runtime.chaos import (
+    PROFILES,
+    ChaosConfig,
+    ChaosLocalChannel,
+    ChaosStats,
+    ChaosTcpProxy,
+    FaultPlan,
+)
 from repro.runtime.codec import WireCodec
 from repro.runtime.distributed import (
     DistributedRunResult,
@@ -43,8 +51,14 @@ __all__ = [
     "AsyncRuntime",
     "CentralSourceNode",
     "ChannelListener",
+    "ChaosConfig",
+    "ChaosLocalChannel",
+    "ChaosStats",
+    "ChaosTcpProxy",
     "DistributedRunResult",
+    "FaultPlan",
     "LocalChannel",
+    "PROFILES",
     "QuiescenceTimeout",
     "RuntimeChannel",
     "RuntimeHostError",

@@ -27,6 +27,13 @@ from repro.consistency.oracle import RunRecorder
 from repro.harness.config import ExperimentConfig
 from repro.harness.results import RunResult
 from repro.harness.runner import algorithm_kwargs, build_workload
+from repro.runtime.chaos import (
+    ChaosConfig,
+    ChaosLocalChannel,
+    ChaosStats,
+    ChaosTcpProxy,
+    profile,
+)
 from repro.runtime.kernel import AsyncRuntime
 from repro.runtime.nodes import CentralSourceNode, SourceNode, WarehouseNode
 from repro.runtime.tcp import TcpChannelConfig
@@ -49,12 +56,20 @@ class DistributedRunResult(RunResult):
 
     transport: str = "tcp"
     time_scale: float = 0.01
+    chaos_profile: str | None = None
+    chaos_stats: ChaosStats | None = None
 
     def report(self) -> str:
-        return (
+        lines = (
             f"transport        : {self.transport}"
-            f" (time scale {self.time_scale} s/unit)\n" + super().report()
+            f" (time scale {self.time_scale} s/unit)\n"
         )
+        if self.chaos_profile is not None and self.chaos_stats is not None:
+            lines += (
+                f"chaos profile    : {self.chaos_profile}"
+                f" ({self.chaos_stats.faults_injected} faults injected)\n"
+            )
+        return lines + super().report()
 
 
 def _make_backend(config: ExperimentConfig, view, index: int, initial):
@@ -74,6 +89,8 @@ class _System:
         self.channels: list[LocalChannel] = []
         self.backends: list = []
         self.mailboxes: list[Mailbox] = []
+        self.proxies: list[ChaosTcpProxy] = []
+        self.chaos_stats: ChaosStats | None = None
 
     def quiescent(self) -> bool:
         if not all(updater.done for updater in self.updaters):
@@ -94,6 +111,8 @@ class _System:
             await self.warehouse_node.aclose()
         for node in self.source_nodes:
             await node.aclose()
+        for proxy in self.proxies:
+            await proxy.aclose()
         for backend in self.backends:
             backend.close()
 
@@ -107,10 +126,30 @@ async def _wire_tcp(
     trace: TraceLog | None,
     host: str,
     tcp_config: TcpChannelConfig | None,
+    chaos: ChaosConfig | None = None,
 ) -> _System:
     view = workload.view
     info = algorithm_info(config.algorithm)
     system = _System()
+    if chaos is not None and chaos.active:
+        system.chaos_stats = ChaosStats()
+
+    async def _front(link: str, address: tuple[str, int]) -> tuple[str, int]:
+        """Interpose a chaos proxy on one link (or pass through)."""
+        if system.chaos_stats is None:
+            return address
+        proxy = ChaosTcpProxy(
+            runtime,
+            link,
+            address,
+            chaos,
+            seed=config.seed,
+            stats=system.chaos_stats,
+            listen_host=host,
+        )
+        await proxy.start()
+        system.proxies.append(proxy)
+        return proxy.address
 
     # The warehouse listener must exist before sources dial it; sources'
     # listeners must exist before the warehouse dials them.  TcpChannel
@@ -139,7 +178,7 @@ async def _wire_tcp(
             runtime,
             view,
             config.algorithm,
-            {0: central_node.address},
+            {0: await _front("wh->central", central_node.address)},
             initial_view=view.evaluate(workload.initial_states),
             recorder=recorder,
             metrics=metrics,
@@ -153,7 +192,7 @@ async def _wire_tcp(
         # warehouse address is known (it has not dialed yet: no frames
         # were sent before the updaters start).
         central_node.to_warehouse.host, central_node.to_warehouse.port = (
-            warehouse_node.address
+            await _front("central->wh", warehouse_node.address)
         )
         central = central_node.source
         central.add_update_listener(recorder.on_source_update)
@@ -209,7 +248,10 @@ async def _wire_tcp(
         runtime,
         view,
         config.algorithm,
-        {index: node.address for index, node in zip(servers, system.source_nodes)},
+        {
+            index: await _front(f"wh->{node.name}", node.address)
+            for index, node in zip(servers, system.source_nodes)
+        },
         initial_view=view.evaluate(workload.initial_states),
         recorder=recorder,
         metrics=metrics,
@@ -220,7 +262,9 @@ async def _wire_tcp(
     )
     await warehouse_node.start()
     for node in system.source_nodes:
-        node.to_warehouse.host, node.to_warehouse.port = warehouse_node.address
+        node.to_warehouse.host, node.to_warehouse.port = await _front(
+            f"{node.name}->wh", warehouse_node.address
+        )
     system.mailboxes.append(warehouse_node.inbox)
     system.warehouse_node = warehouse_node
     system.warehouse = warehouse_node.warehouse
@@ -240,15 +284,32 @@ def _wire_local(
     recorder: RunRecorder,
     metrics: MetricsCollector,
     trace: TraceLog | None,
+    chaos: ChaosConfig | None = None,
 ) -> _System:
     view = workload.view
     info = algorithm_info(config.algorithm)
     system = _System()
+    if chaos is not None and chaos.active:
+        system.chaos_stats = ChaosStats()
+
+    def _channel(link: str, destination) -> LocalChannel:
+        if system.chaos_stats is None:
+            return LocalChannel(runtime, link, destination, metrics)
+        return ChaosLocalChannel(
+            runtime,
+            link,
+            destination,
+            metrics,
+            config=chaos,
+            seed=config.seed,
+            stats=system.chaos_stats,
+        )
+
     inbox = Mailbox(runtime, "warehouse-inbox")
     system.mailboxes.append(inbox)
 
     if info.architecture == "centralized":
-        to_wh = LocalChannel(runtime, "central->wh", inbox, metrics)
+        to_wh = _channel("central->wh", inbox)
         system.channels.append(to_wh)
         central = CentralSource(
             runtime,
@@ -265,7 +326,7 @@ def _wire_local(
                 view.name_of(index),
                 workload.initial_states[view.name_of(index)],
             )
-        down = LocalChannel(runtime, "wh->central", central.query_inbox, metrics)
+        down = _channel("wh->central", central.query_inbox)
         system.channels.append(down)
         query_channels = {0: down}
         system.mailboxes.append(central.query_inbox)
@@ -286,7 +347,7 @@ def _wire_local(
             initial = workload.initial_states[name]
             backend = _make_backend(config, view, index, initial)
             system.backends.append(backend)
-            to_wh = LocalChannel(runtime, f"{name}->wh", inbox, metrics)
+            to_wh = _channel(f"{name}->wh", inbox)
             system.channels.append(to_wh)
             server = DataSourceServer(
                 runtime,
@@ -299,7 +360,7 @@ def _wire_local(
             )
             server.add_update_listener(recorder.on_source_update)
             recorder.register_source(index, name, initial)
-            down = LocalChannel(runtime, f"wh->{name}", server.query_inbox, metrics)
+            down = _channel(f"wh->{name}", server.query_inbox)
             system.channels.append(down)
             query_channels[index] = down
             servers[index] = server
@@ -332,10 +393,21 @@ async def run_distributed_async(
     host: str = "127.0.0.1",
     timeout: float = 60.0,
     tcp_config: TcpChannelConfig | None = None,
+    chaos: "ChaosConfig | str | None" = None,
 ) -> DistributedRunResult:
-    """Run one distributed experiment to quiescence on the current loop."""
+    """Run one distributed experiment to quiescence on the current loop.
+
+    ``chaos`` injects deterministic transport faults: a profile name from
+    :data:`repro.runtime.chaos.PROFILES` or an explicit
+    :class:`~repro.runtime.chaos.ChaosConfig`.  Faults live *below* the
+    FIFO contract (delays, duplicates, drops with retransmission,
+    crash-restart blackouts), so protocol code still sees exactly-once
+    in-order delivery -- the run should end in the same state as a
+    healthy one, just later.
+    """
     if transport not in ("tcp", "local"):
         raise ValueError(f"unknown transport {transport!r}")
+    chaos = profile(chaos)
     rngs = RngRegistry(config.seed)
     workload = build_workload(config, rngs)
     view = workload.view
@@ -349,11 +421,19 @@ async def run_distributed_async(
 
     if transport == "tcp":
         system = await _wire_tcp(
-            runtime, config, workload, recorder, metrics, trace_arg, host, tcp_config
+            runtime,
+            config,
+            workload,
+            recorder,
+            metrics,
+            trace_arg,
+            host,
+            tcp_config,
+            chaos,
         )
     else:
         system = _wire_local(
-            runtime, config, workload, recorder, metrics, trace_arg
+            runtime, config, workload, recorder, metrics, trace_arg, chaos
         )
 
     started = _time.perf_counter()
@@ -382,6 +462,8 @@ async def run_distributed_async(
             trace=trace if config.trace else None,
             transport=transport,
             time_scale=time_scale,
+            chaos_profile=chaos.name if chaos is not None else None,
+            chaos_stats=system.chaos_stats,
         )
         if config.check_consistency:
             for level in (
@@ -409,6 +491,7 @@ def run_distributed(
     host: str = "127.0.0.1",
     timeout: float = 60.0,
     tcp_config: TcpChannelConfig | None = None,
+    chaos: "ChaosConfig | str | None" = None,
 ) -> DistributedRunResult:
     """Blocking wrapper: run one distributed experiment in a fresh loop."""
     return asyncio.run(
@@ -419,6 +502,7 @@ def run_distributed(
             host=host,
             timeout=timeout,
             tcp_config=tcp_config,
+            chaos=chaos,
         )
     )
 
@@ -458,6 +542,7 @@ async def serve_warehouse_async(
     time_scale: float = 0.01,
     expect_updates: int | None = None,
     timeout: float = 3600.0,
+    tcp_config: TcpChannelConfig | None = None,
 ) -> DistributedRunResult:
     """Host the warehouse site of a multi-process deployment.
 
@@ -490,7 +575,7 @@ async def serve_warehouse_async(
         trace=trace if config.trace else None,
         listen_host=listen_host,
         listen_port=listen_port,
-        tcp_config=None,
+        tcp_config=tcp_config,
         algorithm_kwargs=algorithm_kwargs(config),
     )
     await node.start()
@@ -539,6 +624,7 @@ async def serve_source_async(
     exit_when_done: bool = True,
     linger: float = 3.0,
     timeout: float = 3600.0,
+    tcp_config: TcpChannelConfig | None = None,
 ) -> None:
     """Host one data-source site of a multi-process deployment.
 
@@ -566,6 +652,7 @@ async def serve_source_async(
         query_service_time=config.query_service_time,
         listen_host=listen_host,
         listen_port=listen_port,
+        tcp_config=tcp_config,
     )
     await node.start()
     print(f"source[{node.name}] listening on {node.address[0]}:{node.address[1]}")

@@ -1,0 +1,140 @@
+"""Conformance harness: case rows, matrix reports, and the CLI surface.
+
+Each case drives a real distributed run, so the suite here keeps the
+matrices tiny (one or two algorithms, short streams) and asserts the
+*harness* semantics: verdict composition, crash-as-verdict rows, report
+shape and round-tripping.  Algorithm-level conformance across the full
+registry is what ``python -m repro conformance`` itself is for.
+"""
+
+import pytest
+
+from repro.consistency.levels import ConsistencyLevel
+from repro.harness.conformance import (
+    BATCHING_ALGORITHMS,
+    DEFAULT_ALGORITHMS,
+    DEFAULT_PROFILES,
+    build_report,
+    format_report,
+    load_report,
+    run_case,
+    run_matrix,
+    write_report,
+)
+from repro.runtime.chaos import PROFILES
+from repro.warehouse.registry import ALGORITHMS, AlgorithmInfo
+from repro.warehouse.sweep import SweepWarehouse
+
+FAST = dict(n_updates=8, mean_interarrival=4.0, time_scale=0.001)
+
+
+def test_defaults_cover_registry_and_profiles():
+    assert DEFAULT_ALGORITHMS == tuple(ALGORITHMS)
+    assert set(DEFAULT_PROFILES) <= set(PROFILES)
+    assert "healthy" in DEFAULT_PROFILES  # always keep the control column
+    for name in BATCHING_ALGORITHMS:
+        assert name in ALGORITHMS
+
+
+class TestRunCase:
+    def test_healthy_sweep_row(self):
+        row = run_case("sweep", "healthy", seed=0, **FAST)
+        assert row["ok"], row["error"]
+        assert row["algorithm"] == "sweep"
+        assert row["profile"] == "healthy"
+        assert row["claimed"] == "complete"
+        assert row["achieved"] == "complete"
+        assert row["updates"] == FAST["n_updates"]
+        assert row["faults"] == 0  # healthy profile wraps nothing
+        assert row["batched_ok"] is True
+        assert row["error"] == ""
+        assert row["wall_seconds"] > 0
+
+    def test_chaos_profile_actually_injects(self):
+        row = run_case("sweep", "dup", seed=0, **FAST)
+        assert row["ok"], row["error"]
+        assert row["faults"] > 0
+
+    def test_unknown_profile_is_an_error_not_a_row(self):
+        with pytest.raises(KeyError, match="unknown chaos profile"):
+            run_case("sweep", "no-such-profile")
+
+    def test_unknown_algorithm_is_an_error_not_a_row(self):
+        with pytest.raises(KeyError):
+            run_case("no-such-algorithm", "healthy")
+
+    def test_crash_is_a_conformance_verdict(self, monkeypatch):
+        class ExplodingWarehouse(SweepWarehouse):
+            algorithm_name = "exploding"
+
+            def __init__(self, *args, **kwargs):
+                raise RuntimeError("boom at startup")
+
+        monkeypatch.setitem(
+            ALGORITHMS,
+            "exploding",
+            AlgorithmInfo(
+                name="exploding",
+                cls=ExplodingWarehouse,
+                architecture="distributed",
+                claimed_consistency=ConsistencyLevel.COMPLETE,
+                message_cost="O(n)",
+                requires_keys=False,
+                requires_quiescence=False,
+                comments="test only",
+                in_paper_table=False,
+            ),
+        )
+        row = run_case("exploding", "healthy", **FAST)
+        assert not row["ok"]
+        assert "RuntimeError" in row["error"]
+        assert row["achieved"] is None  # never got far enough to classify
+
+
+class TestMatrixAndReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_matrix(
+            algorithms=("sweep",), profiles=("healthy", "dup"), seeds=(0,), **FAST
+        )
+
+    def test_matrix_shape_and_verdict(self, report):
+        assert report["suite"] == "conformance"
+        assert report["transport"] == "local"
+        assert report["cases"] == 2
+        assert report["failed"] == 0
+        assert report["ok"] is True
+        assert [r["profile"] for r in report["rows"]] == ["healthy", "dup"]
+
+    def test_progress_callback_sees_every_row(self):
+        seen = []
+        run_matrix(
+            algorithms=("sweep",), profiles=("healthy",), seeds=(0, 1),
+            progress=seen.append, **FAST
+        )
+        assert [(r["algorithm"], r["seed"]) for r in seen] == [
+            ("sweep", 0), ("sweep", 1)
+        ]
+
+    def test_report_round_trips_through_json(self, report, tmp_path):
+        path = write_report(report, tmp_path / "conformance_report.json")
+        assert load_report(path) == report
+
+    def test_format_report_renders_verdicts(self, report):
+        text = format_report(report)
+        assert "Protocol conformance under fault injection" in text
+        assert "PASS" in text
+        assert "all cases conform" in text
+
+    def test_format_report_surfaces_failures(self):
+        rows = [
+            {
+                "algorithm": "sweep", "profile": "dup", "seed": 0,
+                "claimed": "complete", "achieved": "weak", "ok": False,
+                "faults": 3, "installs": 2, "mean_staleness": None,
+                "batched_ok": None, "error": "achieved weak < claimed",
+            }
+        ]
+        text = format_report(build_report(rows))
+        assert "FAIL (achieved weak < claimed)" in text
+        assert "1/1 cases FAILED" in text

@@ -115,6 +115,35 @@ def test_compression_disabled_with_none():
     assert not prefix & 0x80000000
 
 
+def body_of_length(n):
+    """An object whose canonical JSON body is exactly ``n`` bytes and
+    compressible (a run of one character)."""
+    obj = {"p": "a" * (n - 8)}  # {"p":"..."} wraps the run in 8 bytes
+    import json
+
+    assert len(json.dumps(obj, separators=(",", ":")).encode()) == n
+    return obj
+
+
+@pytest.mark.parametrize(
+    "body_len,expect_compressed",
+    [(63, False), (64, True), (65, True)],
+)
+def test_compression_threshold_is_inclusive(body_len, expect_compressed):
+    """Bodies of exactly ``compress_min`` bytes compress; one byte below
+    stays plain -- the boundary must not drift between codec versions."""
+    obj = body_of_length(body_len)
+    writer = BufferWriter()
+    write_frame(writer, obj, compress_min=64)
+    (prefix,) = struct.unpack(">I", bytes(writer.data[:4]))
+    assert bool(prefix & 0x80000000) == expect_compressed
+    # the prefix's low bits are the on-wire body length, flag stripped
+    assert (prefix & 0x7FFFFFFF) == len(writer.data) - 4
+    if expect_compressed:
+        assert len(writer.data) - 4 < body_len  # it actually shrank
+    assert decode_frame(bytes(writer.data)) == obj
+
+
 # ---------------------------------------------------------------------------
 # Multi-message frames and codec negotiation
 # ---------------------------------------------------------------------------
@@ -186,3 +215,56 @@ def test_negotiated_codec_is_pairwise_min(paper_view):
     assert welcome["t"] == "welcome"
     # Listener speaks v2 but must clamp to the hello's version (absent -> 1).
     assert welcome["codec"] == 1
+
+
+def test_welcome_without_codec_key_downgrades_sender(paper_view):
+    """The mirror case: a *receiver* predating negotiation omits the codec
+    key from its welcome, and the v2 sender must fall back to v1 -- plain
+    per-message frames, no mb batching."""
+
+    async def main():
+        frames = []
+
+        async def legacy_receiver(reader, writer):
+            hello = await read_frame(reader)
+            assert hello["t"] == "hello"
+            # Old receiver: acknowledges the session but says nothing
+            # about codecs.
+            write_frame(writer, {"t": "welcome", "expect": hello["next"]})
+            await writer.drain()
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except Exception:
+                    return
+                frames.append(frame)
+                if frame.get("t") == "msg":
+                    write_frame(writer, {"t": "ack", "seq": frame["seq"]})
+                    await writer.drain()
+
+        server = await asyncio.start_server(legacy_receiver, "127.0.0.1", 0)
+        host, port = server.sockets[0].getsockname()[:2]
+        runtime = AsyncRuntime(time_scale=0.001)
+        codec = WireCodec(paper_view)
+        channel = TcpChannel(
+            runtime, "R1->wh", host, port, codec, None, TcpChannelConfig()
+        )
+        for seq in range(1, 11):
+            channel.send(Message("update", "R1", make_notice(paper_view, seq)))
+        await channel.flush()
+        stats = {
+            "negotiated_codec": channel.negotiated_codec,
+            "batches_sent": channel.batches_sent,
+        }
+        await channel.aclose()
+        server.close()
+        await server.wait_closed()
+        await runtime.aclose()
+        return stats, frames
+
+    stats, frames = run(main())
+    assert stats["negotiated_codec"] == 1
+    assert stats["batches_sent"] == 0
+    kinds = {frame["t"] for frame in frames}
+    assert "mb" not in kinds  # every message crossed as a v1 frame
+    assert [f["seq"] for f in frames if f["t"] == "msg"] == list(range(1, 11))
