@@ -4,8 +4,10 @@ Commands
 --------
 ``run``              one maintenance experiment (all ExperimentConfig knobs)
 ``run-distributed``  the same experiment on the asyncio runtime (TCP/local)
+``run-sharded``      a view family partitioned across warehouse shards
 ``serve-warehouse``  host the warehouse site of a multi-process deployment
 ``serve-source``     host one data-source site of a multi-process deployment
+``serve-shard``      host one warehouse shard of a sharded deployment
 ``algorithms``       list registered algorithms with their Table 1 properties
 ``table1``           regenerate the measured Table 1
 ``fig5``             replay the paper's Figure 5 example
@@ -88,6 +90,13 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--rows", type=int, default=20)
     p.add_argument("--time-scale", type=float, default=0.01,
                    help="wall seconds per virtual time unit")
+    p.add_argument("--views", type=int, default=1,
+                   help="size of the maintained view family (sharded runs)")
+    p.add_argument("--batch-max", type=int, default=0,
+                   help="batched-sweep drain cap (0 drains the whole queue)")
+    p.add_argument("--adaptive-batch", action="store_true",
+                   help="derive the batched-sweep drain cap from observed"
+                        " queue depth and install lag")
 
 
 def _workload_config(args: argparse.Namespace, **extra):
@@ -102,6 +111,9 @@ def _workload_config(args: argparse.Namespace, **extra):
         mean_interarrival=args.interarrival,
         insert_fraction=args.insert_fraction,
         rows_per_relation=args.rows,
+        n_views=args.views,
+        batch_max=args.batch_max,
+        batch_adaptive=args.adaptive_batch,
         **extra,
     )
 
@@ -123,19 +135,31 @@ def _add_tcp_args(p: argparse.ArgumentParser) -> None:
         help="zlib-compress frames whose body is at least BYTES long"
              " (0 disables compression; default: 16384)",
     )
+    p.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="connection attempts before a peer is declared dead (default: 8)",
+    )
+    p.add_argument(
+        "--connect-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt TCP connect timeout (default: 5.0)",
+    )
 
 
 def _tcp_config(args: argparse.Namespace):
     """A TcpChannelConfig from CLI knobs, or None for pure defaults."""
-    if args.codec_version is None and args.compress_min is None:
-        return None
-    from repro.runtime import TcpChannelConfig
-
     kwargs = {}
     if args.codec_version is not None:
         kwargs["codec_version"] = args.codec_version
     if args.compress_min is not None:
         kwargs["compress_min_bytes"] = args.compress_min or None
+    if args.max_retries is not None:
+        kwargs["max_retries"] = args.max_retries
+    if args.connect_timeout is not None:
+        kwargs["connect_timeout"] = args.connect_timeout
+    if not kwargs:
+        return None
+    from repro.runtime import TcpChannelConfig
+
     return TcpChannelConfig(**kwargs)
 
 
@@ -177,6 +201,131 @@ def _cmd_run_distributed(args: argparse.Namespace) -> int:
     if args.show_view:
         print()
         print(result.final_view.pretty())
+    return 0
+
+
+def _add_run_sharded_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "run-sharded",
+        help="partition a view family across warehouse shards and run to"
+             " quiescence",
+    )
+    _add_workload_args(p)
+    _add_tcp_args(p)
+    p.add_argument("--shards", type=int, default=2,
+                   help="number of warehouse shards")
+    p.add_argument("--strategy", choices=("hash", "round-robin"),
+                   default="hash", help="view-to-shard assignment rule")
+    p.add_argument("--transport", choices=("tcp", "local"), default="local")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="interface the TCP listeners bind")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="wall-clock quiescence timeout in seconds")
+    p.add_argument("--chaos", default=None, metavar="PROFILE",
+                   help="inject transport faults from a named chaos profile")
+    p.add_argument("--processes", action="store_true",
+                   help="launch every shard and source as its own OS process"
+                        " under the shard supervisor (implies TCP)")
+    p.add_argument("--no-check", action="store_true",
+                   help="skip consistency verification")
+
+
+def _cmd_run_sharded(args: argparse.Namespace) -> int:
+    from repro.runtime import launch_sharded_processes, run_sharded
+
+    config = _workload_config(args, check_consistency=not args.no_check)
+    if args.processes:
+        outputs = launch_sharded_processes(
+            config,
+            args.shards,
+            time_scale=args.time_scale,
+            strategy=args.strategy,
+            host=args.host,
+            timeout=args.timeout,
+        )
+        for name in sorted(outputs):
+            text = outputs[name].strip()
+            if text:
+                print(f"--- {name} ---")
+                print(text)
+        print(f"\nsharded deployment of {len(outputs)} process(es) exited"
+              " cleanly (every shard verified its views)")
+        return 0
+    result = run_sharded(
+        config,
+        n_shards=args.shards,
+        transport=args.transport,
+        time_scale=args.time_scale,
+        host=args.host,
+        timeout=args.timeout,
+        tcp_config=_tcp_config(args),
+        chaos=args.chaos,
+        strategy=args.strategy,
+    )
+    print(result.report())
+    return 0
+
+
+def _add_serve_shard_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "serve-shard",
+        help="host one warehouse shard; sources run in other processes",
+    )
+    _add_workload_args(p)
+    _add_tcp_args(p)
+    p.add_argument("--shard-id", type=int, required=True,
+                   help="which shard of the plan this process hosts")
+    p.add_argument("--shards", type=int, required=True,
+                   help="total number of shards in the plan")
+    p.add_argument("--strategy", choices=("hash", "round-robin"),
+                   default="hash", help="view-to-shard assignment rule"
+                                        " (must match every other process)")
+    p.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT")
+    p.add_argument(
+        "--source", action="append", default=[], metavar="INDEX=HOST:PORT",
+        help="address of each source's listener (repeat for every source)",
+    )
+    p.add_argument(
+        "--expect-updates", type=int, default=None,
+        help="exit with a report after this many updates (default: every"
+             " scheduled update)",
+    )
+    p.add_argument("--timeout", type=float, default=3600.0)
+    p.add_argument("--no-verify", action="store_true",
+                   help="do not fail the process when a view misses its"
+                        " claimed consistency level")
+
+
+def _cmd_serve_shard(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.runtime import serve_shard_async
+
+    config = _workload_config(args)
+    addresses = {}
+    for spec in args.source:
+        index, _, addr = spec.partition("=")
+        addresses[int(index)] = _parse_address(addr)
+    if not addresses:
+        raise SystemExit("serve-shard needs at least one --source")
+    listen_host, listen_port = _parse_address(args.listen)
+    result = asyncio.run(
+        serve_shard_async(
+            config,
+            args.shard_id,
+            args.shards,
+            addresses,
+            listen_host=listen_host,
+            listen_port=listen_port,
+            time_scale=args.time_scale,
+            expect_updates=args.expect_updates,
+            timeout=args.timeout,
+            tcp_config=_tcp_config(args),
+            strategy=args.strategy,
+            verify=not args.no_verify,
+        )
+    )
+    print(result.report())
     return 0
 
 
@@ -241,8 +390,13 @@ def _add_serve_source_parser(sub: argparse._SubParsersAction) -> None:
     _add_workload_args(p)
     p.add_argument("--index", "-i", type=int, required=True,
                    help="1-based index of the base relation this site owns")
-    p.add_argument("--warehouse", required=True, metavar="HOST:PORT",
+    p.add_argument("--warehouse", default=None, metavar="HOST:PORT",
                    help="address of the warehouse listener")
+    p.add_argument(
+        "--shard", action="append", default=[], metavar="SHARD=HOST:PORT",
+        help="address of one warehouse shard's listener (repeat; serves a"
+             " sharded deployment instead of --warehouse)",
+    )
     p.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT")
     _add_tcp_args(p)
     p.add_argument("--no-drive", action="store_true",
@@ -257,23 +411,41 @@ def _add_serve_source_parser(sub: argparse._SubParsersAction) -> None:
 def _cmd_serve_source(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro.runtime import serve_source_async
-
     config = _workload_config(args)
     listen_host, listen_port = _parse_address(args.listen)
+    if bool(args.warehouse) == bool(args.shard):
+        raise SystemExit(
+            "serve-source needs exactly one of --warehouse or --shard"
+        )
+    common = dict(
+        listen_host=listen_host,
+        listen_port=listen_port,
+        time_scale=args.time_scale,
+        drive=not args.no_drive,
+        exit_when_done=not args.serve_forever,
+        linger=args.linger,
+        timeout=args.timeout,
+        tcp_config=_tcp_config(args),
+    )
+    if args.shard:
+        from repro.runtime import serve_sharded_source_async
+
+        addresses = {}
+        for spec in args.shard:
+            shard, _, addr = spec.partition("=")
+            addresses[int(shard)] = _parse_address(addr)
+        asyncio.run(
+            serve_sharded_source_async(config, args.index, addresses, **common)
+        )
+        return 0
+    from repro.runtime import serve_source_async
+
     asyncio.run(
         serve_source_async(
             config,
             args.index,
             warehouse_address=_parse_address(args.warehouse),
-            listen_host=listen_host,
-            listen_port=listen_port,
-            time_scale=args.time_scale,
-            drive=not args.no_drive,
-            exit_when_done=not args.serve_forever,
-            linger=args.linger,
-            timeout=args.timeout,
-            tcp_config=_tcp_config(args),
+            **common,
         )
     )
     return 0
@@ -401,8 +573,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     _add_run_parser(sub)
     _add_run_distributed_parser(sub)
+    _add_run_sharded_parser(sub)
     _add_serve_warehouse_parser(sub)
     _add_serve_source_parser(sub)
+    _add_serve_shard_parser(sub)
     sub.add_parser("algorithms", help="list registered algorithms")
 
     t1 = sub.add_parser("table1", help="regenerate the measured Table 1")
@@ -541,11 +715,11 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     from repro.runtime.chaos import PROFILES
     from repro.warehouse.registry import ALGORITHMS
 
+    known = tuple(ALGORITHMS) + tuple(conformance.SHARDED_ALGORITHMS)
     for name in algorithms:
-        if name not in ALGORITHMS:
+        if name not in known:
             print(
-                f"unknown algorithm {name!r}; available:"
-                f" {','.join(ALGORITHMS)}",
+                f"unknown algorithm {name!r}; available: {','.join(known)}",
                 file=sys.stderr,
             )
             return 2
@@ -593,8 +767,10 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "run": _cmd_run,
     "run-distributed": _cmd_run_distributed,
+    "run-sharded": _cmd_run_sharded,
     "serve-warehouse": _cmd_serve_warehouse,
     "serve-source": _cmd_serve_source,
+    "serve-shard": _cmd_serve_shard,
     "algorithms": _cmd_algorithms,
     "table1": _cmd_table1,
     "fig5": _cmd_fig5,
@@ -605,9 +781,26 @@ _COMMANDS = {
 }
 
 
+#: Commands hosting long-lived sites: runtime failures (dead peer, shard
+#: crash, failed verification, quiescence timeout) must surface as a clean
+#: message and a non-zero exit, not a traceback -- and never exit 0.
+_HOST_COMMANDS = frozenset({
+    "run-distributed", "run-sharded", "serve-warehouse", "serve-source",
+    "serve-shard",
+})
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command in _HOST_COMMANDS:
+        from repro.runtime import RuntimeHostError
+
+        try:
+            return _COMMANDS[args.command](args)
+        except RuntimeHostError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     return _COMMANDS[args.command](args)
 
 

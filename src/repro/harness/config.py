@@ -54,6 +54,13 @@ class ExperimentConfig:
     pipeline_max_parallel: int = 8
     #: Batched-sweep batch-size cap; 0 drains the whole queue per sweep.
     batch_max: int = 0
+    #: Derive the batched-sweep drain cap from observed queue depth and
+    #: install lag instead of using ``batch_max`` statically (``batch_max``
+    #: then acts as the adaptive controller's ceiling; 0 = unbounded).
+    batch_adaptive: bool = False
+    #: Size of the maintained view family (sharded runtime); views beyond
+    #: the first are selection variants of the generated chain view.
+    n_views: int = 1
 
     # -- instrumentation --------------------------------------------
     trace: bool = False
@@ -73,6 +80,8 @@ class ExperimentConfig:
             raise ValueError(f"unknown latency model {self.latency_model!r}")
         if self.latency < 0:
             raise ValueError("latency must be >= 0")
+        if self.n_views < 1:
+            raise ValueError("n_views must be >= 1")
 
     def describe(self) -> str:
         """One-line human-readable summary used in reports."""

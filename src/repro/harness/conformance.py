@@ -48,6 +48,21 @@ DEFAULT_PROFILES: tuple[str, ...] = ("healthy", "delay", "dup", "crash")
 #: completeness check is a hard gate for them, informational otherwise.
 BATCHING_ALGORITHMS: tuple[str, ...] = ("batched-sweep",)
 
+#: Sharded-runtime conformance cases (opt-in via ``--algorithms``): the
+#: named scheduler runs over a 4-view family partitioned across 2 shards
+#: and every view of every shard must reach the claimed level -- the
+#: oracle's verdict is the *minimum* across the whole family.
+SHARDED_ALGORITHMS: dict[str, dict] = {
+    "sharded-sweep": {
+        "algorithm": "sweep",
+        "claimed": ConsistencyLevel.COMPLETE,
+    },
+    "sharded-batched-sweep": {
+        "algorithm": "batched-sweep",
+        "claimed": ConsistencyLevel.STRONG,
+    },
+}
+
 #: Workload shape for one case.  Small enough that the independent
 #: (vector-space) checker runs in exact mode, long enough that the crash
 #: profile's blackout windows land inside the run.
@@ -74,12 +89,14 @@ def run_case(
     """One (algorithm, profile, seed) conformance case as a flat row dict."""
     from repro.runtime import run_distributed
 
-    info = algorithm_info(algorithm)
     if profile not in PROFILES:
         raise KeyError(
             f"unknown chaos profile {profile!r}; available: {sorted(PROFILES)}"
         )
-    claimed = info.claimed_consistency
+    if algorithm in SHARDED_ALGORITHMS:
+        claimed = SHARDED_ALGORITHMS[algorithm]["claimed"]
+    else:
+        claimed = algorithm_info(algorithm).claimed_consistency
     row = {
         "algorithm": algorithm,
         "profile": profile,
@@ -96,6 +113,20 @@ def run_case(
         "wall_seconds": 0.0,
         "error": "",
     }
+    if algorithm in SHARDED_ALGORITHMS:
+        return _run_sharded_case(
+            row,
+            SHARDED_ALGORITHMS[algorithm],
+            claimed,
+            profile=profile,
+            seed=seed,
+            transport=transport,
+            n_sources=n_sources,
+            n_updates=n_updates,
+            mean_interarrival=mean_interarrival,
+            time_scale=time_scale,
+            timeout=timeout,
+        )
     config = ExperimentConfig(
         algorithm=algorithm,
         n_sources=n_sources,
@@ -138,6 +169,83 @@ def run_case(
     if algorithm in BATCHING_ALGORITHMS and not batched.ok:
         ok = False
         row["error"] = f"batched check: {batched.detail}"
+    elif not ok:
+        row["error"] = f"achieved {achieved.name.lower()} < claimed"
+    row["ok"] = ok
+    return row
+
+
+def _run_sharded_case(
+    row: dict,
+    spec: dict,
+    claimed: ConsistencyLevel,
+    profile: str,
+    seed: int,
+    transport: str,
+    n_sources: int,
+    n_updates: int,
+    mean_interarrival: float,
+    time_scale: float,
+    timeout: float,
+) -> dict:
+    """Fill ``row`` from one sharded-runtime conformance run.
+
+    A 4-view family over 2 shards (round-robin so both shards are
+    exercised regardless of the hash layout); ``achieved`` is the weakest
+    per-view oracle verdict, so one stale view on one shard fails the
+    whole case.
+    """
+    from repro.runtime import run_sharded
+
+    config = ExperimentConfig(
+        algorithm=spec["algorithm"],
+        n_sources=n_sources,
+        n_updates=n_updates,
+        seed=seed,
+        mean_interarrival=mean_interarrival,
+        n_views=4,
+        check_consistency=True,
+    )
+    try:
+        result = run_sharded(
+            config,
+            n_shards=2,
+            transport=transport,
+            time_scale=time_scale,
+            timeout=timeout,
+            chaos=profile,
+            strategy="round-robin",
+        )
+    except Exception as exc:  # noqa: BLE001 -- a crash is a conformance verdict
+        row["error"] = f"{type(exc).__name__}: {exc}"
+        return row
+    achieved = result.min_level()
+    batched_checks = None
+    if spec["algorithm"] in BATCHING_ALGORITHMS:
+        batched_checks = [
+            recorder.check_batched() for recorder in result.recorders.values()
+        ]
+    row.update(
+        achieved=achieved.name.lower(),
+        installs=result.installs,
+        updates=result.updates_total,
+        faults=(
+            result.chaos_stats.faults_injected
+            if result.chaos_stats is not None
+            else 0
+        ),
+        batched_ok=(
+            all(check.ok for check in batched_checks)
+            if batched_checks is not None
+            else None
+        ),
+        wall_seconds=round(result.wall_seconds, 3),
+    )
+    ok = achieved >= claimed
+    if batched_checks is not None and not all(c.ok for c in batched_checks):
+        ok = False
+        bad = next(check for check in batched_checks if not check.ok)
+        row["error"] = f"batched check: {bad.detail}"
     elif not ok:
         row["error"] = f"achieved {achieved.name.lower()} < claimed"
     row["ok"] = ok
@@ -227,6 +335,7 @@ __all__ = [
     "CASE_DEFAULTS",
     "DEFAULT_ALGORITHMS",
     "DEFAULT_PROFILES",
+    "SHARDED_ALGORITHMS",
     "build_report",
     "format_report",
     "load_report",

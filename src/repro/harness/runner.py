@@ -94,7 +94,7 @@ def algorithm_kwargs(config: ExperimentConfig) -> dict:
             )
         }
     if config.algorithm == "batched-sweep":
-        return {"max_batch": config.batch_max}
+        return {"max_batch": config.batch_max, "adaptive": config.batch_adaptive}
     if config.algorithm == "nested-sweep":
         return {"max_depth": config.nested_max_depth}
     if config.algorithm == "pipelined-sweep":

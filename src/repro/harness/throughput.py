@@ -54,6 +54,25 @@ MODES: dict[str, dict[str, Any]] = {
 ALGORITHMS = ("sweep", "batched-sweep")
 TRANSPORTS = ("local", "tcp")
 
+#: Sharded-runtime bench: a saturated multi-view workload whose per-step
+#: cost is the query service time, the quantity sharding divides.  With 8
+#: views on one shard every sweep step pays 8 joins serially; split 2 per
+#: shard across 4 shards the per-shard pipelines overlap.  Virtual units
+#: deliberately dwarf transport latency so the measured ratio isolates
+#: the sharding effect (every shard count runs the identical workload).
+SHARD_MODE: dict[str, Any] = {
+    "n_updates": 60,
+    "mean_interarrival": 0.05,
+    "time_scale": 0.002,
+    "n_views": 8,
+    "query_service_time": 1.0,
+}
+SHARD_COUNTS = (1, 2, 4)
+QUICK_SHARD_COUNTS = (1, 2)
+#: Required throughput ratio of shards=4 over shards=1 (shards=2 in quick
+#: mode is gated via the recorded speedup ratios like every other cell).
+SHARD_SPEEDUP_TARGET = 1.8
+
 
 def run_cell(
     mode: str,
@@ -94,8 +113,60 @@ def run_cell(
     }
 
 
+def run_shard_cell(
+    n_shards: int,
+    n_updates: int,
+    mean_interarrival: float,
+    time_scale: float,
+    n_views: int,
+    query_service_time: float,
+    timeout: float = 120.0,
+) -> dict:
+    """One sharded-runtime measurement (always the same workload).
+
+    The row only counts if every view passes the oracle: ``consistency``
+    records the *weakest* per-view verdict across all shards, and
+    :func:`compare_reports` fails the run when it differs from the
+    baseline's (``complete``), so a sharded run that trades correctness
+    for speed shows up as a regression, not a win.
+    """
+    from repro.runtime import run_sharded
+
+    config = ExperimentConfig(
+        algorithm="sweep",
+        n_sources=3,
+        n_updates=n_updates,
+        seed=7,
+        mean_interarrival=mean_interarrival,
+        n_views=n_views,
+        query_service_time=query_service_time,
+    )
+    result = run_sharded(
+        config,
+        n_shards=n_shards,
+        transport="local",
+        time_scale=time_scale,
+        timeout=timeout,
+        strategy="round-robin",
+    )
+    counters = result.metrics.counters
+    level = result.min_level()
+    return {
+        "mode": "sharded",
+        "transport": "local",
+        "algorithm": f"sweep@shards={n_shards}",
+        "updates": result.updates_total,
+        "installs": counters.get("installs", 0),
+        "updates_installed": counters.get("updates_installed", 0),
+        "messages_total": counters.get("messages_total", 0),
+        "wall_seconds": round(result.wall_seconds, 4),
+        "updates_per_sec": round(result.updates_per_sec, 1),
+        "consistency": level.name.lower() if result.levels else "unchecked",
+    }
+
+
 def run_suite(quick: bool = False) -> list[dict]:
-    """All suite rows; ``quick`` drops the paced regime (CI smoke).
+    """All suite rows; ``quick`` drops the paced regime and shards=4.
 
     Quick mode keeps the saturated workload identical to the full suite
     so its rows stay comparable, cell for cell, with a checked-in full
@@ -108,6 +179,8 @@ def run_suite(quick: bool = False) -> list[dict]:
         for transport in TRANSPORTS:
             for algorithm in ALGORITHMS:
                 rows.append(run_cell(mode, transport, algorithm, **params))
+    for n_shards in QUICK_SHARD_COUNTS if quick else SHARD_COUNTS:
+        rows.append(run_shard_cell(n_shards, **SHARD_MODE))
     return rows
 
 
@@ -127,6 +200,15 @@ def speedups(rows: list[dict]) -> dict[str, float]:
                 out[f"{mode}/{transport}"] = round(
                     fast["updates_per_sec"] / base["updates_per_sec"], 2
                 )
+    shard_base = by_key.get("sharded/local/sweep@shards=1")
+    if shard_base and shard_base["updates_per_sec"]:
+        for row in rows:
+            if row["mode"] != "sharded" or row is shard_base:
+                continue
+            count = row["algorithm"].partition("@")[2]  # "shards=N"
+            out[f"sharded/local/{count}"] = round(
+                row["updates_per_sec"] / shard_base["updates_per_sec"], 2
+            )
     return out
 
 
@@ -225,6 +307,10 @@ def format_suite(rows: list[dict]) -> str:
         f" {BASELINE_UPDATES_PER_SEC} upd/s"
         f" = {SPEEDUP_TARGET * BASELINE_UPDATES_PER_SEC:.0f} upd/s"
     )
+    lines.append(
+        f"floor: sharded shards=4 >= {SHARD_SPEEDUP_TARGET}x shards=1 on"
+        " the saturated multi-view workload (full suite)"
+    )
     return "\n".join(lines)
 
 
@@ -232,6 +318,10 @@ __all__ = [
     "ALGORITHMS",
     "BASELINE_UPDATES_PER_SEC",
     "MODES",
+    "QUICK_SHARD_COUNTS",
+    "SHARD_COUNTS",
+    "SHARD_MODE",
+    "SHARD_SPEEDUP_TARGET",
     "SPEEDUP_TARGET",
     "TRANSPORTS",
     "build_report",
@@ -239,6 +329,7 @@ __all__ = [
     "format_suite",
     "load_report",
     "run_cell",
+    "run_shard_cell",
     "run_suite",
     "speedups",
     "write_report",

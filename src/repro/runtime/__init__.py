@@ -44,7 +44,22 @@ from repro.runtime.errors import (
 )
 from repro.runtime.kernel import AsyncRuntime
 from repro.runtime.nodes import CentralSourceNode, SourceNode, WarehouseNode
-from repro.runtime.tcp import ChannelListener, TcpChannel, TcpChannelConfig
+from repro.runtime.shard import (
+    ShardCrashed,
+    ShardNode,
+    ShardSupervisor,
+    ShardVerificationError,
+    ShardedRunResult,
+    ShardedSourceFront,
+    ShardedSourceNode,
+    free_port,
+    launch_sharded_processes,
+    run_sharded,
+    run_sharded_async,
+    serve_shard_async,
+    serve_sharded_source_async,
+)
+from repro.runtime.tcp import ChannelListener, TcpChannel, TcpChannelConfig, probe_peer
 from repro.runtime.transport import LocalChannel, RuntimeChannel
 
 __all__ = [
@@ -62,6 +77,13 @@ __all__ = [
     "QuiescenceTimeout",
     "RuntimeChannel",
     "RuntimeHostError",
+    "ShardCrashed",
+    "ShardNode",
+    "ShardSupervisor",
+    "ShardVerificationError",
+    "ShardedRunResult",
+    "ShardedSourceFront",
+    "ShardedSourceNode",
     "SourceNode",
     "TcpChannel",
     "TcpChannelConfig",
@@ -70,9 +92,16 @@ __all__ = [
     "TransportRetriesExceeded",
     "WarehouseNode",
     "WireCodec",
+    "free_port",
+    "launch_sharded_processes",
+    "probe_peer",
     "quick_distributed",
     "run_distributed",
     "run_distributed_async",
+    "run_sharded",
+    "run_sharded_async",
+    "serve_shard_async",
+    "serve_sharded_source_async",
     "serve_source_async",
     "serve_warehouse_async",
 ]

@@ -95,13 +95,25 @@ class WireCodec:
     the version negotiated for their channel.
     """
 
-    def __init__(self, view: ViewDefinition, version: int = 1):
+    def __init__(
+        self,
+        view: ViewDefinition,
+        version: int = 1,
+        extra_views: tuple[ViewDefinition, ...] = (),
+    ):
         if not 1 <= version <= CODEC_VERSION_MAX:
             raise ValueError(
                 f"codec version must be 1..{CODEC_VERSION_MAX}, got {version}"
             )
         self.view = view
         self.version = version
+        # Multi-view channels (sharded warehouse) carry partials of several
+        # same-chain views; each partial is tagged with its view name so
+        # the receiver rebinds it to the right definition (the selection
+        # predicate lives on the view, and ComputeJoin evaluates it).
+        self.views: dict[str, ViewDefinition] = {view.name: view}
+        for extra in extra_views:
+            self.views[extra.name] = extra
 
     # ------------------------------------------------------------------
     # Envelope
@@ -272,16 +284,31 @@ class WireCodec:
 
     # ------------------------------------------------------------------
     def _encode_partial(self, partial: PartialView, version: int) -> dict:
-        return {
+        obj = {
             "lo": partial.lo,
             "hi": partial.hi,
             "rows": _encode_rows(partial.delta, version),
         }
+        # Tag partials of non-primary views; untagged frames keep the
+        # pre-family wire shape, so single-view channels are unchanged.
+        if partial.view.name != self.view.name:
+            obj["view"] = partial.view.name
+        return obj
 
     def _decode_partial(self, obj: dict) -> PartialView:
         lo, hi = int(obj["lo"]), int(obj["hi"])
-        schema = self.view.wide_schema_range(lo, hi)
-        return PartialView(self.view, lo, hi, self._decode_delta(schema, obj["rows"]))
+        name = obj.get("view")
+        if name is None:
+            view = self.view
+        else:
+            view = self.views.get(name)
+            if view is None:
+                raise WireProtocolError(
+                    f"partial references unknown view {name!r}"
+                    f" (known: {sorted(self.views)})"
+                )
+        schema = view.wide_schema_range(lo, hi)
+        return PartialView(view, lo, hi, self._decode_delta(schema, obj["rows"]))
 
     @staticmethod
     def _decode_delta(schema: Schema, rows) -> Delta:

@@ -36,7 +36,7 @@ from repro.runtime.chaos import (
 )
 from repro.runtime.kernel import AsyncRuntime
 from repro.runtime.nodes import CentralSourceNode, SourceNode, WarehouseNode
-from repro.runtime.tcp import TcpChannelConfig
+from repro.runtime.tcp import TcpChannelConfig, probe_peer
 from repro.runtime.transport import LocalChannel
 from repro.simulation.mailbox import Mailbox
 from repro.simulation.metrics import MetricsCollector
@@ -543,6 +543,7 @@ async def serve_warehouse_async(
     expect_updates: int | None = None,
     timeout: float = 3600.0,
     tcp_config: TcpChannelConfig | None = None,
+    probe: bool = True,
 ) -> DistributedRunResult:
     """Host the warehouse site of a multi-process deployment.
 
@@ -551,6 +552,11 @@ async def serve_warehouse_async(
     ``expect_updates`` is given the call returns a result after that many
     updates were delivered and the site went quiescent; otherwise it
     serves until cancelled.
+
+    With ``probe=True`` every source address is connectivity-checked up
+    front (with the channel retry budget), so a mistyped or dead peer
+    surfaces as :class:`~repro.runtime.errors.TransportRetriesExceeded`
+    instead of the site waiting forever for updates that cannot arrive.
     """
     rngs = RngRegistry(config.seed)
     workload = build_workload(config, rngs)
@@ -582,6 +588,10 @@ async def serve_warehouse_async(
     print(f"warehouse[{config.algorithm}] listening on {node.address[0]}:{node.address[1]}")
     started = _time.perf_counter()
     try:
+        if probe:
+            for index, (phost, pport) in sorted(source_addresses.items()):
+                what = "central source" if index == 0 else f"source R{index}"
+                await probe_peer(phost, pport, tcp_config, what=what)
         if expect_updates is None:
             while True:  # serve until cancelled (Ctrl-C)
                 runtime.check()
@@ -625,6 +635,7 @@ async def serve_source_async(
     linger: float = 3.0,
     timeout: float = 3600.0,
     tcp_config: TcpChannelConfig | None = None,
+    probe: bool = True,
 ) -> None:
     """Host one data-source site of a multi-process deployment.
 
@@ -635,6 +646,11 @@ async def serve_source_async(
     ``linger`` wall seconds.  The linger window matters because *other*
     sources' updates sweep through this site too: the local schedule
     draining does not mean the warehouse is done asking questions.
+
+    With ``probe=True`` the warehouse address is connectivity-checked
+    before any update is replayed, so an unreachable warehouse fails the
+    process (:class:`~repro.runtime.errors.TransportRetriesExceeded`,
+    non-zero exit from the CLI) instead of silently dropping the run.
     """
     rngs = RngRegistry(config.seed)
     workload = build_workload(config, rngs)
@@ -657,6 +673,13 @@ async def serve_source_async(
     await node.start()
     print(f"source[{node.name}] listening on {node.address[0]}:{node.address[1]}")
     try:
+        if probe:
+            await probe_peer(
+                warehouse_address[0],
+                warehouse_address[1],
+                tcp_config,
+                what="warehouse",
+            )
         updater = None
         if drive and index in workload.schedules:
             updater = ScheduledUpdater(

@@ -1,0 +1,1327 @@
+"""Sharded warehouse runtime: per-view maintenance fanned across shards.
+
+A sharded run partitions the maintained view family across ``n_shards``
+warehouse shards (see :mod:`repro.warehouse.sharding`).  Each shard is an
+ordinary multi-view warehouse -- the unchanged SWEEP or batched-sweep
+scheduler over its subset of the views -- so it inherits the single
+warehouse's per-view consistency guarantee wholesale.  The only new
+moving part is the **router** at each source:
+
+* one :class:`ShardedSourceFront` per source applies each local update
+  to the backend exactly once, then fans the update notice out over
+  *per-shard FIFO channels* to exactly the shards whose views reference
+  that source;
+* each (source, shard) pair has its own query channel and its own
+  ProcessQuery loop at the source, and the per-shard update/answer
+  channel is shared FIFO -- so *within one shard* the paper's Section 4
+  argument (updates applied before a query's evaluation are delivered
+  before its answer) holds verbatim, and SWEEP's local compensation
+  stays exact.
+
+There is deliberately **no cross-shard coordination**: views are
+independent maintenance problems, and the consistency oracle verifies
+each one shard-by-shard.
+
+Why it is faster
+----------------
+The source-side cost of a sweep step grows with the number of partial
+view changes in the request (one per view that needs the step): a single
+warehouse maintaining ``m`` views pays ``m`` joins per step, serially.
+Sharding splits the family ``m/N`` views per shard, and the per-shard
+ProcessQuery loops service different shards' steps concurrently -- so the
+latency-bound pipeline of each shard overlaps the others', dividing the
+wall-clock per update by up to ``N`` without touching the protocol.
+
+Entry points
+------------
+:func:`run_sharded` hosts every shard and source on one event loop over
+either transport (``local`` bounded queues or loopback TCP), optionally
+under a chaos profile.  :func:`serve_shard_async` hosts one shard as its
+own OS process (``repro serve-shard``), and :class:`ShardSupervisor`
+launches and babysits a full multi-process deployment, killing the fleet
+and surfacing the culprit when any member crashes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import socket
+import subprocess
+import sys
+import time as _time
+from dataclasses import dataclass
+
+from repro.consistency.levels import ConsistencyLevel
+from repro.consistency.oracle import RunRecorder
+from repro.harness.config import ExperimentConfig
+from repro.harness.runner import build_workload
+from repro.relational.relation import Relation
+from repro.relational.view import ViewDefinition
+from repro.runtime.chaos import (
+    ChaosConfig,
+    ChaosLocalChannel,
+    ChaosStats,
+    ChaosTcpProxy,
+    profile,
+)
+from repro.runtime.codec import WireCodec
+from repro.runtime.errors import RuntimeHostError
+from repro.runtime.kernel import AsyncRuntime
+from repro.runtime.tcp import (
+    ChannelListener,
+    TcpChannel,
+    TcpChannelConfig,
+    probe_peer,
+)
+from repro.runtime.transport import LocalChannel
+from repro.simulation.channel import Message
+from repro.simulation.mailbox import Mailbox
+from repro.simulation.metrics import MetricsCollector
+from repro.simulation.process import Delay
+from repro.simulation.rng import RngRegistry
+from repro.simulation.trace import TraceLog
+from repro.sources.memory import MemoryBackend
+from repro.sources.messages import (
+    MultiQueryAnswer,
+    MultiQueryRequest,
+    QueryAnswer,
+    SnapshotAnswer,
+    SnapshotRequest,
+    UpdateNotice,
+)
+from repro.sources.sqlite import SqliteBackend
+from repro.sources.updater import ScheduledUpdater
+from repro.warehouse.multiview import (
+    MultiViewBatchedSweepWarehouse,
+    MultiViewSweepWarehouse,
+)
+from repro.warehouse.sharding import ShardPlan, partition_views, view_family
+from repro.workloads.scenarios import Workload
+
+#: Claimed per-view consistency of each sharded scheduler.
+CLAIMED_LEVELS = {
+    "sweep": ConsistencyLevel.COMPLETE,
+    "batched-sweep": ConsistencyLevel.STRONG,
+}
+
+
+class ShardCrashed(RuntimeHostError):
+    """A member of a multi-process sharded deployment exited non-zero."""
+
+
+class ShardVerificationError(RuntimeHostError):
+    """A shard's views failed their claimed consistency level."""
+
+
+def _make_backend(config: ExperimentConfig, view, index: int, initial):
+    if config.backend == "sqlite":
+        return SqliteBackend(view, index, initial)
+    return MemoryBackend(view, index, initial)
+
+
+# ---------------------------------------------------------------------------
+# The source-side router
+# ---------------------------------------------------------------------------
+
+class ShardedSourceFront:
+    """One data source serving several warehouse shards.
+
+    Owns the single authoritative backend.  ``local_update`` applies the
+    delta exactly once and fans a fresh copy of the notice to every
+    shard's update channel (per-shard delivery stamping must not be
+    shared).  Each shard gets its own query inbox and its own ProcessQuery
+    loop, so sweep steps of different shards are serviced concurrently;
+    within one shard, updates and answers share that shard's FIFO channel
+    -- the linchpin of SWEEP's local compensation, preserved per shard.
+
+    ``query_service_time`` models the per-join evaluation cost: a
+    MultiQueryRequest carrying ``k`` partial view changes takes
+    ``k * query_service_time`` virtual units, which is the quantity
+    sharding actually divides (fewer views per shard means fewer joins
+    per step means shorter steps).
+    """
+
+    def __init__(
+        self,
+        runtime,
+        view: ViewDefinition,
+        index: int,
+        backend,
+        update_channels: dict[int, object],
+        query_service_time: float = 0.0,
+        trace: TraceLog | None = None,
+    ):
+        self.sim = runtime
+        self.view = view
+        self.index = index
+        self.name = view.name_of(index)
+        self.backend = backend
+        self.update_channels = dict(update_channels)
+        self.query_service_time = query_service_time
+        self.trace = trace
+        self.update_seq = 0
+        self._listeners: list = []
+        self.query_inboxes: dict[int, Mailbox] = {}
+        for shard in sorted(self.update_channels):
+            self.query_inboxes[shard] = Mailbox(
+                runtime, f"{self.name}-sh{shard}-queries"
+            )
+        for shard in sorted(self.update_channels):
+            runtime.spawn(
+                f"{self.name}-sh{shard}-ProcessQuery",
+                self._process_queries(shard),
+            )
+
+    # ------------------------------------------------------------------
+    def local_update(self, delta, txn_id: str | None = None, txn_total: int = 0):
+        """Commit one update and route it to every subscribed shard."""
+        self.backend.apply(delta)
+        self.update_seq += 1
+        notice = UpdateNotice(
+            source_index=self.index,
+            seq=self.update_seq,
+            delta=delta,
+            applied_at=self.sim.now,
+            txn_id=txn_id,
+            txn_total=txn_total,
+        )
+        for listener in self._listeners:
+            listener(notice)
+        if self.trace:
+            self.trace.record(self.sim.now, self.name, "local-update", notice)
+        for shard in sorted(self.update_channels):
+            # Fresh notice per shard: each shard's warehouse stamps its own
+            # delivery order; the (immutable) delta is shared by reference.
+            self.update_channels[shard].send(
+                Message(
+                    kind="update",
+                    sender=self.name,
+                    payload=dataclasses.replace(
+                        notice, delivery_seq=None, delivered_at=0.0
+                    ),
+                )
+            )
+        return notice
+
+    def add_update_listener(self, listener) -> None:
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    def _process_queries(self, shard: int):
+        """ProcessQuery loop for one shard (mirrors DataSourceServer)."""
+        inbox = self.query_inboxes[shard]
+        channel = self.update_channels[shard]
+        while True:
+            msg = yield inbox.get()
+            request = msg.payload
+            if isinstance(request, SnapshotRequest):
+                if self.query_service_time > 0:
+                    yield Delay(self.query_service_time)
+                answer = SnapshotAnswer(
+                    request_id=request.request_id,
+                    source_index=self.index,
+                    relation=self.backend.snapshot(),
+                )
+            elif isinstance(request, MultiQueryRequest):
+                if self.query_service_time > 0:
+                    yield Delay(
+                        self.query_service_time * max(1, len(request.partials))
+                    )
+                answer = MultiQueryAnswer(
+                    request_id=request.request_id,
+                    partials=[
+                        self.backend.compute_join(p) for p in request.partials
+                    ],
+                )
+            else:
+                if self.query_service_time > 0:
+                    yield Delay(self.query_service_time)
+                answer = QueryAnswer(
+                    request_id=request.request_id,
+                    partial=self.backend.compute_join(request.partial),
+                )
+            channel.send(
+                Message(kind="answer", sender=self.name, payload=answer)
+            )
+
+    def quiescent(self) -> bool:
+        return all(len(box) == 0 for box in self.query_inboxes.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedSourceFront({self.name!r},"
+            f" shards={sorted(self.update_channels)})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Deployable sites (TCP)
+# ---------------------------------------------------------------------------
+
+def _family_codec(views: list[ViewDefinition]) -> WireCodec:
+    return WireCodec(views[0], extra_views=tuple(views[1:]))
+
+
+def build_shard_warehouse(
+    runtime,
+    views: list[ViewDefinition],
+    query_channels: dict,
+    initial_states: dict[str, Relation],
+    recorders: dict[str, RunRecorder] | None,
+    config: ExperimentConfig,
+    inbox: Mailbox,
+    metrics: MetricsCollector,
+    trace: TraceLog | None,
+):
+    """One shard's warehouse over its assigned views (SWEEP or batched)."""
+    primary = views[0]
+    recorders = recorders or {}
+    common = dict(
+        initial_view=primary.evaluate(initial_states),
+        recorder=recorders.get(primary.name),
+        metrics=metrics,
+        trace=trace,
+        inbox=inbox,
+        extra_views=views[1:],
+        initial_states=initial_states,
+        extra_recorders={
+            v.name: recorders[v.name] for v in views[1:] if v.name in recorders
+        },
+    )
+    if config.algorithm == "batched-sweep":
+        return MultiViewBatchedSweepWarehouse(
+            runtime,
+            primary,
+            query_channels,
+            max_batch=config.batch_max,
+            adaptive=config.batch_adaptive,
+            **common,
+        )
+    if config.algorithm == "sweep":
+        return MultiViewSweepWarehouse(runtime, primary, query_channels, **common)
+    raise ValueError(
+        f"sharded runtime supports sweep/batched-sweep, not {config.algorithm!r}"
+    )
+
+
+class ShardNode:
+    """One warehouse shard as a deployable site (listener + query channels)."""
+
+    def __init__(
+        self,
+        runtime: AsyncRuntime,
+        shard_id: int,
+        views: list[ViewDefinition],
+        source_addresses: dict[int, tuple[str, int]],
+        initial_states: dict[str, Relation],
+        config: ExperimentConfig,
+        recorders: dict[str, RunRecorder] | None = None,
+        metrics: MetricsCollector | None = None,
+        trace: TraceLog | None = None,
+        listen_host: str = "127.0.0.1",
+        listen_port: int = 0,
+        tcp_config: TcpChannelConfig | None = None,
+    ):
+        if not views:
+            raise ValueError(f"shard {shard_id} has no views to host")
+        self.runtime = runtime
+        self.shard_id = shard_id
+        self.views = list(views)
+        self.codec = _family_codec(self.views)
+        primary = self.views[0]
+        self.inbox = Mailbox(runtime, f"sh{shard_id}-inbox")
+        self.listener = ChannelListener(runtime, listen_host, listen_port)
+        for index in range(1, primary.n_relations + 1):
+            self.listener.register(
+                f"{primary.name_of(index)}->sh{shard_id}", self.inbox, self.codec
+            )
+        metrics = metrics if metrics is not None else MetricsCollector()
+        self.query_channels = {
+            index: TcpChannel(
+                runtime,
+                f"sh{shard_id}->{primary.name_of(index)}",
+                host,
+                port,
+                self.codec,
+                metrics,
+                tcp_config,
+            )
+            for index, (host, port) in sorted(source_addresses.items())
+        }
+        self.warehouse = build_shard_warehouse(
+            runtime,
+            self.views,
+            self.query_channels,
+            initial_states,
+            recorders,
+            config,
+            self.inbox,
+            metrics,
+            trace,
+        )
+
+    async def start(self) -> None:
+        await self.listener.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Where sources should dial this shard's update/answer channel."""
+        return self.listener.address
+
+    def quiescent(self) -> bool:
+        if len(self.inbox) != 0:
+            return False
+        if self.warehouse.pending_work():
+            return False
+        return all(channel.idle for channel in self.query_channels.values())
+
+    async def aclose(self) -> None:
+        for channel in self.query_channels.values():
+            await channel.aclose()
+        await self.listener.aclose()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardNode({self.shard_id}, views={[v.name for v in self.views]},"
+            f" listen={self.listener.port})"
+        )
+
+
+class ShardedSourceNode:
+    """One data-source site serving several shards over TCP."""
+
+    def __init__(
+        self,
+        runtime: AsyncRuntime,
+        views: list[ViewDefinition],
+        index: int,
+        backend,
+        shard_addresses: dict[int, tuple[str, int]],
+        query_service_time: float = 0.0,
+        metrics: MetricsCollector | None = None,
+        trace: TraceLog | None = None,
+        listen_host: str = "127.0.0.1",
+        listen_port: int = 0,
+        tcp_config: TcpChannelConfig | None = None,
+    ):
+        self.runtime = runtime
+        self.index = index
+        primary = views[0]
+        self.name = primary.name_of(index)
+        self.codec = _family_codec(list(views))
+        self.update_channels = {
+            shard: TcpChannel(
+                runtime,
+                f"{self.name}->sh{shard}",
+                host,
+                port,
+                self.codec,
+                metrics,
+                tcp_config,
+            )
+            for shard, (host, port) in sorted(shard_addresses.items())
+        }
+        self.front = ShardedSourceFront(
+            runtime,
+            primary,
+            index,
+            backend,
+            self.update_channels,
+            query_service_time=query_service_time,
+            trace=trace,
+        )
+        self.listener = ChannelListener(runtime, listen_host, listen_port)
+        for shard in sorted(shard_addresses):
+            self.listener.register(
+                f"sh{shard}->{self.name}",
+                self.front.query_inboxes[shard],
+                self.codec,
+            )
+
+    async def start(self) -> None:
+        await self.listener.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.listener.address
+
+    def quiescent(self) -> bool:
+        return (
+            all(ch.idle for ch in self.update_channels.values())
+            and self.front.quiescent()
+        )
+
+    async def aclose(self) -> None:
+        for channel in self.update_channels.values():
+            await channel.aclose()
+        await self.listener.aclose()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedSourceNode({self.name!r},"
+            f" shards={sorted(self.update_channels)})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ShardedRunResult:
+    """Per-view outcomes of one sharded run (or one shard's serve mode)."""
+
+    config: ExperimentConfig
+    n_shards: int
+    transport: str
+    time_scale: float
+    plan: ShardPlan
+    final_views: dict[str, Relation]
+    levels: dict[str, ConsistencyLevel]
+    recorders: dict[str, RunRecorder]
+    metrics: MetricsCollector
+    updates_total: int
+    deliveries_total: int
+    wall_seconds: float
+    chaos_profile: str | None = None
+    chaos_stats: ChaosStats | None = None
+
+    @property
+    def installs(self) -> int:
+        return self.metrics.counters.get("installs", 0)
+
+    @property
+    def updates_per_sec(self) -> float:
+        """Unique source updates per wall second (not per-shard deliveries)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.updates_total / self.wall_seconds
+
+    def min_level(self) -> ConsistencyLevel:
+        """Weakest per-view verdict (NONE when verification was skipped)."""
+        if not self.levels:
+            return ConsistencyLevel.NONE
+        return min(self.levels.values())
+
+    def verified_at(self, level: ConsistencyLevel) -> bool:
+        """Every view reached at least ``level``."""
+        return bool(self.levels) and all(
+            achieved >= level for achieved in self.levels.values()
+        )
+
+    def report(self) -> str:
+        lines = [
+            f"sharded run      : {self.n_shards} shard(s),"
+            f" {len(self.plan.views)} view(s), {self.transport} transport"
+            f" (time scale {self.time_scale} s/unit)",
+            f"plan             : {self.plan.describe()}",
+        ]
+        if self.chaos_profile is not None and self.chaos_stats is not None:
+            lines.append(
+                f"chaos profile    : {self.chaos_profile}"
+                f" ({self.chaos_stats.faults_injected} faults injected)"
+            )
+        lines.append(
+            f"updates          : {self.updates_total} unique,"
+            f" {self.deliveries_total} shard deliveries,"
+            f" {self.installs} installs"
+        )
+        lines.append(
+            f"throughput       : {self.updates_per_sec:.1f} updates/s"
+            f" over {self.wall_seconds:.3f}s"
+        )
+        for name in sorted(self.final_views):
+            level = self.levels.get(name)
+            shown = level.name.lower() if level is not None else "unchecked"
+            lines.append(
+                f"view {name:<12}: {self.final_views[name].distinct_count}"
+                f" rows, shard {self.plan.shard_of(name)}, {shown}"
+            )
+        return "\n".join(lines)
+
+
+def seed_history_from_workload(
+    recorders: dict[str, RunRecorder], workload: Workload
+) -> None:
+    """Reconstruct every source's update history from the shared schedule.
+
+    A serve-mode shard never observes remote sources' commits directly,
+    but the schedule is a pure function of the shared config -- so the
+    history the oracle needs (dense per-source sequence of deltas) can be
+    derived locally, exactly as the source process will replay it.
+    """
+    for index, schedule in sorted(workload.schedules.items()):
+        ordered = sorted(schedule, key=lambda u: u.time)
+        for seq, update in enumerate(ordered, start=1):
+            notice = UpdateNotice(
+                source_index=index,
+                seq=seq,
+                delta=update.delta,
+                applied_at=update.time,
+                txn_id=update.txn_id,
+                txn_total=update.txn_total,
+            )
+            for recorder in recorders.values():
+                recorder.history.on_source_update(notice)
+
+
+# ---------------------------------------------------------------------------
+# Single-call sharded runs (local or loopback TCP, one event loop)
+# ---------------------------------------------------------------------------
+
+def _sharded_views(config: ExperimentConfig, workload: Workload) -> list[ViewDefinition]:
+    return view_family(workload.view, max(1, config.n_views))
+
+
+async def run_sharded_async(
+    config: ExperimentConfig,
+    n_shards: int = 2,
+    transport: str = "local",
+    time_scale: float = 0.01,
+    host: str = "127.0.0.1",
+    timeout: float = 120.0,
+    tcp_config: TcpChannelConfig | None = None,
+    chaos: "ChaosConfig | str | None" = None,
+    views: list[ViewDefinition] | None = None,
+    strategy: str = "hash",
+) -> ShardedRunResult:
+    """Run one sharded experiment to quiescence on the current loop.
+
+    The view family defaults to ``view_family(workload.view,
+    config.n_views)``; pass ``views`` to override.  ``strategy`` picks the
+    partitioning rule (``hash`` / ``round-robin``), and ``chaos`` injects
+    deterministic transport faults below the FIFO contract, exactly as in
+    :func:`repro.runtime.distributed.run_distributed_async`.
+    """
+    if transport not in ("tcp", "local"):
+        raise ValueError(f"unknown transport {transport!r}")
+    chaos = profile(chaos)
+    rngs = RngRegistry(config.seed)
+    workload = build_workload(config, rngs)
+    family = views if views is not None else _sharded_views(config, workload)
+    plan = partition_views(family, n_shards, strategy=strategy)
+    fanout_by_name = plan.source_fanout()
+    primary_chain = family[0]
+    n = primary_chain.n_relations
+    fanout = {
+        index: fanout_by_name.get(primary_chain.name_of(index), ())
+        for index in range(1, n + 1)
+    }
+
+    runtime = AsyncRuntime(time_scale=time_scale)
+    metrics = MetricsCollector()
+    trace = TraceLog(enabled=config.trace)
+    trace_arg = trace if config.trace else None
+    recorders = {view.name: RunRecorder(view) for view in family}
+    for recorder in recorders.values():
+        for index in range(1, n + 1):
+            recorder.register_source(
+                index,
+                primary_chain.name_of(index),
+                workload.initial_states[primary_chain.name_of(index)],
+            )
+
+    chaos_stats = ChaosStats() if (chaos is not None and chaos.active) else None
+    backends: list = []
+    channels: list = []
+    mailboxes: list[Mailbox] = []
+    proxies: list[ChaosTcpProxy] = []
+    warehouses: dict[int, object] = {}
+    shard_nodes: dict[int, ShardNode] = {}
+    source_nodes: list[ShardedSourceNode] = []
+    fronts: dict[int, ShardedSourceFront] = {}
+    shard_primaries = {
+        shard: plan.views_for(shard)[0].name for shard in plan.active_shards
+    }
+
+    async def _front_address(link: str, address: tuple[str, int]):
+        if chaos_stats is None:
+            return address
+        proxy = ChaosTcpProxy(
+            runtime,
+            link,
+            address,
+            chaos,
+            seed=config.seed,
+            stats=chaos_stats,
+            listen_host=host,
+        )
+        await proxy.start()
+        proxies.append(proxy)
+        return proxy.address
+
+    def _local_channel(link: str, destination):
+        if chaos_stats is None:
+            channel = LocalChannel(runtime, link, destination, metrics)
+        else:
+            channel = ChaosLocalChannel(
+                runtime,
+                link,
+                destination,
+                metrics,
+                config=chaos,
+                seed=config.seed,
+                stats=chaos_stats,
+            )
+        channels.append(channel)
+        return channel
+
+    if transport == "local":
+        shard_inboxes = {
+            shard: Mailbox(runtime, f"sh{shard}-inbox")
+            for shard in plan.active_shards
+        }
+        mailboxes.extend(shard_inboxes.values())
+        for index in range(1, n + 1):
+            name = primary_chain.name_of(index)
+            backend = _make_backend(
+                config, primary_chain, index, workload.initial_states[name]
+            )
+            backends.append(backend)
+            update_channels = {
+                shard: _local_channel(f"{name}->sh{shard}", shard_inboxes[shard])
+                for shard in fanout[index]
+            }
+            front = ShardedSourceFront(
+                runtime,
+                primary_chain,
+                index,
+                backend,
+                update_channels,
+                query_service_time=config.query_service_time,
+                trace=trace_arg,
+            )
+            front.add_update_listener(
+                lambda notice: [
+                    r.history.on_source_update(notice)
+                    for r in recorders.values()
+                ]
+            )
+            fronts[index] = front
+            mailboxes.extend(front.query_inboxes.values())
+        for shard in plan.active_shards:
+            shard_views = plan.views_for(shard)
+            query_channels = {
+                index: _local_channel(
+                    f"sh{shard}->{primary_chain.name_of(index)}",
+                    fronts[index].query_inboxes[shard],
+                )
+                for index in range(1, n + 1)
+            }
+            warehouses[shard] = build_shard_warehouse(
+                runtime,
+                shard_views,
+                query_channels,
+                workload.initial_states,
+                recorders,
+                config,
+                shard_inboxes[shard],
+                metrics,
+                trace_arg,
+            )
+    else:
+        placeholder = ("127.0.0.1", 1)
+        for index in range(1, n + 1):
+            name = primary_chain.name_of(index)
+            backend = _make_backend(
+                config, primary_chain, index, workload.initial_states[name]
+            )
+            backends.append(backend)
+            node = ShardedSourceNode(
+                runtime,
+                family,
+                index,
+                backend,
+                {shard: placeholder for shard in fanout[index]},
+                query_service_time=config.query_service_time,
+                metrics=metrics,
+                trace=trace_arg,
+                listen_host=host,
+                tcp_config=tcp_config,
+            )
+            await node.start()
+            node.front.add_update_listener(
+                lambda notice: [
+                    r.history.on_source_update(notice)
+                    for r in recorders.values()
+                ]
+            )
+            source_nodes.append(node)
+            fronts[index] = node.front
+            mailboxes.extend(node.front.query_inboxes.values())
+        for shard in plan.active_shards:
+            shard_views = plan.views_for(shard)
+            node = ShardNode(
+                runtime,
+                shard,
+                shard_views,
+                {
+                    index: await _front_address(
+                        f"sh{shard}->{source.name}", source.address
+                    )
+                    for index, source in zip(range(1, n + 1), source_nodes)
+                },
+                workload.initial_states,
+                config,
+                recorders=recorders,
+                metrics=metrics,
+                trace=trace_arg,
+                listen_host=host,
+                tcp_config=tcp_config,
+            )
+            await node.start()
+            shard_nodes[shard] = node
+            warehouses[shard] = node.warehouse
+            mailboxes.append(node.inbox)
+        for source in source_nodes:
+            for shard, channel in source.update_channels.items():
+                channel.host, channel.port = await _front_address(
+                    f"{source.name}->sh{shard}", shard_nodes[shard].address
+                )
+
+    updaters = [
+        ScheduledUpdater(
+            runtime,
+            primary_chain.name_of(index),
+            fronts[index].local_update,
+            schedule,
+        )
+        for index, schedule in sorted(workload.schedules.items())
+    ]
+    shard_expected = {
+        shard: sum(
+            len(workload.schedules.get(index, ()))
+            for index in range(1, n + 1)
+            if shard in fanout[index]
+        )
+        for shard in plan.active_shards
+    }
+    expected_deliveries = sum(shard_expected.values())
+
+    started = _time.perf_counter()
+    try:
+        def finished() -> bool:
+            if not all(updater.done for updater in updaters):
+                return False
+            delivered = sum(
+                recorders[shard_primaries[shard]].updates_delivered
+                for shard in plan.active_shards
+            )
+            if delivered < expected_deliveries:
+                return False
+            if not runtime.settled():
+                return False
+            if any(wh.pending_work() for wh in warehouses.values()):
+                return False
+            if transport == "local":
+                if not all(channel.idle for channel in channels):
+                    return False
+            else:
+                if not all(node.quiescent() for node in shard_nodes.values()):
+                    return False
+                if not all(node.quiescent() for node in source_nodes):
+                    return False
+            return all(len(box) == 0 for box in mailboxes)
+
+        await runtime.wait_until(finished, timeout=timeout)
+        wall = _time.perf_counter() - started
+
+        # Extra views share their shard primary's delivery order.
+        for shard in plan.active_shards:
+            primary_deliveries = recorders[shard_primaries[shard]].deliveries
+            for view in plan.views_for(shard)[1:]:
+                recorders[view.name].deliveries = list(primary_deliveries)
+
+        final_views = {
+            view.name: warehouses[shard].view_contents(view.name)
+            for shard in plan.active_shards
+            for view in plan.views_for(shard)
+        }
+        levels: dict[str, ConsistencyLevel] = {}
+        if config.check_consistency:
+            levels = {
+                name: recorders[name].classify(
+                    max_vectors=config.max_check_vectors
+                )
+                for name in final_views
+            }
+        return ShardedRunResult(
+            config=config,
+            n_shards=n_shards,
+            transport=transport,
+            time_scale=time_scale,
+            plan=plan,
+            final_views=final_views,
+            levels=levels,
+            recorders=recorders,
+            metrics=metrics,
+            updates_total=workload.total_updates,
+            deliveries_total=sum(
+                recorders[shard_primaries[shard]].updates_delivered
+                for shard in plan.active_shards
+            ),
+            wall_seconds=wall,
+            chaos_profile=chaos.name if chaos is not None else None,
+            chaos_stats=chaos_stats,
+        )
+    finally:
+        for node in shard_nodes.values():
+            await node.aclose()
+        for node in source_nodes:
+            await node.aclose()
+        for proxy in proxies:
+            await proxy.aclose()
+        for backend in backends:
+            backend.close()
+        await runtime.aclose()
+
+
+def run_sharded(
+    config: ExperimentConfig,
+    n_shards: int = 2,
+    transport: str = "local",
+    time_scale: float = 0.01,
+    host: str = "127.0.0.1",
+    timeout: float = 120.0,
+    tcp_config: TcpChannelConfig | None = None,
+    chaos: "ChaosConfig | str | None" = None,
+    views: list[ViewDefinition] | None = None,
+    strategy: str = "hash",
+) -> ShardedRunResult:
+    """Blocking wrapper: one sharded experiment in a fresh event loop."""
+    return asyncio.run(
+        run_sharded_async(
+            config,
+            n_shards=n_shards,
+            transport=transport,
+            time_scale=time_scale,
+            host=host,
+            timeout=timeout,
+            tcp_config=tcp_config,
+            chaos=chaos,
+            views=views,
+            strategy=strategy,
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Multi-process entry points (repro serve-shard + ShardSupervisor)
+# ---------------------------------------------------------------------------
+
+async def serve_shard_async(
+    config: ExperimentConfig,
+    shard_id: int,
+    n_shards: int,
+    source_addresses: dict[int, tuple[str, int]],
+    listen_host: str = "127.0.0.1",
+    listen_port: int = 0,
+    time_scale: float = 0.01,
+    expect_updates: int | None = None,
+    timeout: float = 3600.0,
+    tcp_config: TcpChannelConfig | None = None,
+    strategy: str = "hash",
+    probe: bool = True,
+    verify: bool = True,
+) -> ShardedRunResult:
+    """Host one warehouse shard of a multi-process sharded deployment.
+
+    Every process derives the identical view family and plan from the
+    shared config (``view_family`` + ``partition_views`` are pure), so no
+    schema or assignment is exchanged.  Source histories are reconstructed
+    locally from the seeded schedule, which lets this shard verify its
+    views' consistency in-process; with ``verify=True`` a view falling
+    short of its scheduler's claimed level raises
+    :class:`ShardVerificationError` (and the CLI exits non-zero) -- the
+    supervisor's oracle gate for free.
+    """
+    rngs = RngRegistry(config.seed)
+    workload = build_workload(config, rngs)
+    family = _sharded_views(config, workload)
+    plan = partition_views(family, n_shards, strategy=strategy)
+    shard_views = plan.views_for(shard_id)
+    if not shard_views:
+        raise ValueError(
+            f"shard {shard_id} hosts no views under plan [{plan.describe()}]"
+        )
+    runtime = AsyncRuntime(time_scale=time_scale)
+    metrics = MetricsCollector()
+    trace = TraceLog(enabled=config.trace)
+    recorders = {view.name: RunRecorder(view) for view in shard_views}
+    primary_chain = family[0]
+    for recorder in recorders.values():
+        for index in range(1, primary_chain.n_relations + 1):
+            recorder.register_source(
+                index,
+                primary_chain.name_of(index),
+                workload.initial_states[primary_chain.name_of(index)],
+            )
+    seed_history_from_workload(recorders, workload)
+    node = ShardNode(
+        runtime,
+        shard_id,
+        shard_views,
+        source_addresses,
+        workload.initial_states,
+        config,
+        recorders=recorders,
+        metrics=metrics,
+        trace=trace if config.trace else None,
+        listen_host=listen_host,
+        listen_port=listen_port,
+        tcp_config=tcp_config,
+    )
+    await node.start()
+    print(
+        f"shard[{shard_id}/{n_shards}] hosting"
+        f" {[v.name for v in shard_views]} listening on"
+        f" {node.address[0]}:{node.address[1]}",
+        flush=True,
+    )
+    started = _time.perf_counter()
+    try:
+        if probe:
+            for index, (phost, pport) in sorted(source_addresses.items()):
+                await probe_peer(
+                    phost, pport, tcp_config, what=f"source R{index}"
+                )
+        expected = (
+            expect_updates
+            if expect_updates is not None
+            else workload.total_updates
+        )
+        primary_recorder = recorders[shard_views[0].name]
+
+        def finished() -> bool:
+            return (
+                primary_recorder.updates_delivered >= expected
+                and runtime.settled()
+                and node.quiescent()
+            )
+
+        await runtime.wait_until(finished, timeout=timeout)
+        wall = _time.perf_counter() - started
+        primary_deliveries = primary_recorder.deliveries
+        for view in shard_views[1:]:
+            recorders[view.name].deliveries = list(primary_deliveries)
+        final_views = {
+            view.name: node.warehouse.view_contents(view.name)
+            for view in shard_views
+        }
+        levels: dict[str, ConsistencyLevel] = {}
+        if config.check_consistency:
+            levels = {
+                name: recorders[name].classify(
+                    max_vectors=config.max_check_vectors
+                )
+                for name in final_views
+            }
+        result = ShardedRunResult(
+            config=config,
+            n_shards=n_shards,
+            transport="tcp",
+            time_scale=time_scale,
+            plan=plan,
+            final_views=final_views,
+            levels=levels,
+            recorders=recorders,
+            metrics=metrics,
+            updates_total=expected,
+            deliveries_total=primary_recorder.updates_delivered,
+            wall_seconds=wall,
+        )
+        if verify and config.check_consistency:
+            claimed = CLAIMED_LEVELS.get(
+                config.algorithm, ConsistencyLevel.CONVERGENCE
+            )
+            failing = {
+                name: level.name.lower()
+                for name, level in levels.items()
+                if level < claimed
+            }
+            if failing:
+                raise ShardVerificationError(
+                    f"shard {shard_id}: views below claimed"
+                    f" {claimed.name.lower()}: {failing}"
+                )
+        return result
+    finally:
+        await node.aclose()
+        await runtime.aclose()
+
+
+async def serve_sharded_source_async(
+    config: ExperimentConfig,
+    index: int,
+    shard_addresses: dict[int, tuple[str, int]],
+    listen_host: str = "127.0.0.1",
+    listen_port: int = 0,
+    time_scale: float = 0.01,
+    drive: bool = True,
+    exit_when_done: bool = True,
+    linger: float = 3.0,
+    timeout: float = 3600.0,
+    tcp_config: TcpChannelConfig | None = None,
+    probe: bool = True,
+) -> None:
+    """Host one data-source site of a multi-process *sharded* deployment.
+
+    Like :func:`repro.runtime.distributed.serve_source_async`, but the
+    site routes updates to several shard listeners (``shard_addresses``)
+    through a :class:`ShardedSourceFront` and serves one query channel
+    per shard.  With ``probe=True`` every shard address is
+    connectivity-checked before any update is replayed.
+    """
+    rngs = RngRegistry(config.seed)
+    workload = build_workload(config, rngs)
+    family = _sharded_views(config, workload)
+    primary = family[0]
+    runtime = AsyncRuntime(time_scale=time_scale)
+    backend = _make_backend(
+        config, primary, index, workload.initial_states[primary.name_of(index)]
+    )
+    node = ShardedSourceNode(
+        runtime,
+        family,
+        index,
+        backend,
+        shard_addresses,
+        query_service_time=config.query_service_time,
+        listen_host=listen_host,
+        listen_port=listen_port,
+        tcp_config=tcp_config,
+    )
+    await node.start()
+    print(
+        f"source[{node.name}] serving shards {sorted(shard_addresses)}"
+        f" listening on {node.address[0]}:{node.address[1]}",
+        flush=True,
+    )
+    try:
+        if probe:
+            for shard, (phost, pport) in sorted(shard_addresses.items()):
+                await probe_peer(phost, pport, tcp_config, what=f"shard {shard}")
+        updater = None
+        if drive and index in workload.schedules:
+            updater = ScheduledUpdater(
+                runtime,
+                node.name,
+                node.front.local_update,
+                workload.schedules[index],
+            )
+        if updater is not None and exit_when_done:
+            drained_at: list[float] = []
+
+            def _finished() -> bool:
+                if not (updater.done and node.quiescent()):
+                    drained_at.clear()
+                    return False
+                now = _time.monotonic()
+                if not drained_at:
+                    drained_at.append(now)
+                last = max(node.listener.last_frame_wall, drained_at[0])
+                return now - last >= linger
+
+            await runtime.wait_until(_finished, timeout=timeout)
+        else:
+            while True:  # serve until cancelled (Ctrl-C)
+                runtime.check()
+                await asyncio.sleep(0.2)
+    finally:
+        await node.aclose()
+        backend.close()
+        await runtime.aclose()
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """An OS-assigned TCP port that was free a moment ago.
+
+    Multi-process launches need addresses before the children exist;
+    the tiny bind/close race is acceptable for CLI and test use.
+    """
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+class ShardSupervisor:
+    """Launch and babysit the processes of a sharded deployment.
+
+    The supervisor's one job is **crash detection**: a member exiting
+    non-zero while the fleet is still working kills every remaining
+    process and raises :class:`ShardCrashed` naming the culprit (with its
+    captured stderr tail).  A fleet where every member exits 0 is a
+    successful deployment -- shards verify their own views before
+    exiting, so supervisor success implies oracle success.
+    """
+
+    def __init__(self, poll_interval: float = 0.2):
+        self.poll_interval = poll_interval
+        self.procs: dict[str, subprocess.Popen] = {}
+
+    def launch(self, name: str, argv: list[str], **popen_kwargs) -> None:
+        if name in self.procs:
+            raise ValueError(f"duplicate process name {name!r}")
+        self.procs[name] = subprocess.Popen(
+            argv,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            **popen_kwargs,
+        )
+
+    def running(self) -> list[str]:
+        return [
+            name for name, proc in self.procs.items() if proc.poll() is None
+        ]
+
+    def terminate_all(self, grace: float = 5.0) -> None:
+        for proc in self.procs.values():
+            if proc.poll() is None:
+                proc.terminate()
+        deadline = _time.monotonic() + grace
+        for proc in self.procs.values():
+            if proc.poll() is None:
+                try:
+                    proc.wait(timeout=max(0.1, deadline - _time.monotonic()))
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+
+    def wait(self, timeout: float = 300.0) -> dict[str, str]:
+        """Block until every member exits 0; return each member's stdout.
+
+        Raises :class:`ShardCrashed` on the first non-zero exit (after
+        terminating the remaining members) and :class:`TimeoutError` when
+        the fleet outlives ``timeout`` seconds.
+        """
+        deadline = _time.monotonic() + timeout
+        try:
+            while True:
+                all_done = True
+                for name, proc in self.procs.items():
+                    code = proc.poll()
+                    if code is None:
+                        all_done = False
+                    elif code != 0:
+                        _, stderr = proc.communicate()
+                        self.terminate_all()
+                        tail = "\n".join(
+                            (stderr or "").strip().splitlines()[-8:]
+                        )
+                        raise ShardCrashed(
+                            f"process {name!r} exited {code}"
+                            + (f"; stderr tail:\n{tail}" if tail else "")
+                        )
+                if all_done:
+                    return {
+                        name: proc.communicate()[0] or ""
+                        for name, proc in self.procs.items()
+                    }
+                if _time.monotonic() >= deadline:
+                    self.terminate_all()
+                    raise TimeoutError(
+                        f"sharded deployment still running after {timeout}s:"
+                        f" {self.running()}"
+                    )
+                _time.sleep(self.poll_interval)
+        except BaseException:
+            self.terminate_all()
+            raise
+
+
+def _config_argv(config: ExperimentConfig, time_scale: float) -> list[str]:
+    """CLI flags reproducing the deployment-agreement knobs of a config."""
+    argv = [
+        "--algorithm", config.algorithm,
+        "--sources", str(config.n_sources),
+        "--updates", str(config.n_updates),
+        "--seed", str(config.seed),
+        "--backend", config.backend,
+        "--interarrival", str(config.mean_interarrival),
+        "--insert-fraction", str(config.insert_fraction),
+        "--rows", str(config.rows_per_relation),
+        "--time-scale", str(time_scale),
+        "--views", str(config.n_views),
+        "--batch-max", str(config.batch_max),
+    ]
+    if config.batch_adaptive:
+        argv.append("--adaptive-batch")
+    return argv
+
+
+def launch_sharded_processes(
+    config: ExperimentConfig,
+    n_shards: int,
+    time_scale: float = 0.01,
+    strategy: str = "hash",
+    host: str = "127.0.0.1",
+    timeout: float = 300.0,
+    linger: float = 1.0,
+) -> dict[str, str]:
+    """Run one sharded deployment as real OS processes, supervised.
+
+    Launches one ``repro serve-shard`` per active shard and one
+    ``repro serve-source`` per source, waits for the whole fleet to exit
+    cleanly, and returns each member's captured stdout.  Shards verify
+    their views before exiting, so a clean fleet exit means every view
+    passed its claimed consistency level; any member exiting non-zero
+    kills the rest and raises :class:`ShardCrashed`.
+    """
+    rngs = RngRegistry(config.seed)
+    workload = build_workload(config, rngs)
+    family = _sharded_views(config, workload)
+    plan = partition_views(family, n_shards, strategy=strategy)
+    primary = family[0]
+    n = primary.n_relations
+    fanout_by_name = plan.source_fanout()
+    shard_ports = {shard: free_port(host) for shard in plan.active_shards}
+    source_ports = {index: free_port(host) for index in range(1, n + 1)}
+    base = [sys.executable, "-m", "repro"]
+    cfg_argv = _config_argv(config, time_scale)
+    supervisor = ShardSupervisor()
+    for shard in plan.active_shards:
+        argv = base + [
+            "serve-shard", *cfg_argv,
+            "--shard-id", str(shard),
+            "--shards", str(n_shards),
+            "--strategy", strategy,
+            "--listen", f"{host}:{shard_ports[shard]}",
+            "--timeout", str(timeout),
+        ]
+        for index in range(1, n + 1):
+            argv += ["--source", f"{index}={host}:{source_ports[index]}"]
+        supervisor.launch(f"shard{shard}", argv)
+    for index in range(1, n + 1):
+        argv = base + [
+            "serve-source", *cfg_argv,
+            "--index", str(index),
+            "--listen", f"{host}:{source_ports[index]}",
+            "--linger", str(linger),
+            "--timeout", str(timeout),
+        ]
+        for shard in fanout_by_name.get(primary.name_of(index), ()):
+            argv += ["--shard", f"{shard}={host}:{shard_ports[shard]}"]
+        supervisor.launch(f"source{index}", argv)
+    return supervisor.wait(timeout=timeout)
+
+
+__all__ = [
+    "CLAIMED_LEVELS",
+    "ShardCrashed",
+    "ShardNode",
+    "ShardSupervisor",
+    "ShardVerificationError",
+    "ShardedRunResult",
+    "ShardedSourceFront",
+    "ShardedSourceNode",
+    "build_shard_warehouse",
+    "free_port",
+    "launch_sharded_processes",
+    "run_sharded",
+    "run_sharded_async",
+    "seed_history_from_workload",
+    "serve_shard_async",
+    "serve_sharded_source_async",
+]

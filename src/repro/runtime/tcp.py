@@ -134,6 +134,46 @@ class TcpChannelConfig:
     compress_min_bytes: int | None = 16 * 1024
 
 
+async def probe_peer(
+    host: str,
+    port: int,
+    config: TcpChannelConfig | None = None,
+    what: str = "peer",
+) -> None:
+    """Verify a peer listener is reachable before serving against it.
+
+    Outbound :class:`TcpChannel` sessions dial lazily -- a serve-mode
+    process whose peer is down otherwise waits forever (warehouse with a
+    dead source) or drains an empty schedule and exits 0 (source with a
+    dead warehouse).  This probe applies the channel's own retry budget
+    and backoff up front: connect, immediately close (the listener treats
+    a frameless connection as an ordinary disconnect), and raise
+    :class:`TransportRetriesExceeded` when every attempt fails.
+    """
+    cfg = config if config is not None else TcpChannelConfig()
+    delay = cfg.backoff_initial
+    last_error: Exception | None = None
+    for _ in range(max(1, cfg.max_retries)):
+        try:
+            _, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), cfg.connect_timeout
+            )
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:
+                pass
+            return
+        except (OSError, asyncio.TimeoutError) as exc:
+            last_error = exc
+            await asyncio.sleep(delay)
+            delay = min(delay * cfg.backoff_factor, cfg.backoff_max)
+    raise TransportRetriesExceeded(
+        f"{what}: {host}:{port} unreachable after {max(1, cfg.max_retries)}"
+        f" attempts ({last_error})"
+    )
+
+
 class TcpChannel(RuntimeChannel):
     """Outbound half of a FIFO session; duck-types the simulator Channel.
 
@@ -477,6 +517,7 @@ __all__ = [
     "ChannelListener",
     "TcpChannel",
     "TcpChannelConfig",
+    "probe_peer",
     "read_frame",
     "write_frame",
 ]

@@ -52,6 +52,90 @@ from repro.warehouse.base import QueueDrivenWarehouse
 from repro.warehouse.errors import ProtocolError
 
 
+class AdaptiveBatchCap:
+    """Drain-cap controller: grow under pressure, shrink when drained.
+
+    The static ``max_batch`` knob trades staleness (big batches) against
+    message cost (small batches) once, at configuration time.  This
+    controller re-makes that trade continuously from two observed
+    signals, sampled once per batch at drain time:
+
+    * **queue depth** -- how many updates are waiting right now, and
+    * **install lag** -- how long the batch's oldest update sat queued
+      (virtual time units), the per-update staleness actually being paid.
+
+    Both are smoothed with an EWMA so one bursty arrival does not whip
+    the cap around.  The cap doubles after ``patience`` consecutive
+    *pressured* observations (smoothed depth exceeding the current cap,
+    or smoothed lag exceeding ``lag_threshold``), halves after
+    ``patience`` consecutive *drained* observations (smoothed depth under
+    half the cap and lag under threshold), and is always clamped to
+    ``[floor, ceiling]`` (``ceiling=0`` means unbounded).  Multiplicative
+    moves keep the controller's reaction time logarithmic in the cap, so
+    a shard hit by skewed load reaches a deep drain cap within a few
+    batches and returns to small, low-staleness batches when the backlog
+    clears.
+
+    The controller is pure bookkeeping -- no clocks, no randomness --
+    so identical observation sequences produce identical cap sequences.
+    """
+
+    def __init__(
+        self,
+        floor: int = 1,
+        ceiling: int = 0,
+        alpha: float = 0.5,
+        patience: int = 2,
+        lag_threshold: float = 50.0,
+        initial: int | None = None,
+    ):
+        if floor < 1:
+            raise ValueError(f"floor must be >= 1, got {floor}")
+        if ceiling and ceiling < floor:
+            raise ValueError(f"ceiling {ceiling} is below floor {floor}")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        self.floor = floor
+        self.ceiling = ceiling
+        self.alpha = alpha
+        self.patience = patience
+        self.lag_threshold = lag_threshold
+        self.cap = min(initial, ceiling) if initial and ceiling else (
+            initial if initial else floor
+        )
+        self.cap = max(self.floor, self.cap)
+        self.depth_ewma = 0.0
+        self.lag_ewma = 0.0
+        self._pressured = 0
+        self._drained = 0
+
+    def observe(self, queue_depth: int, install_lag: float = 0.0) -> int:
+        """Fold in one observation and return the cap for the next drain."""
+        a = self.alpha
+        self.depth_ewma = a * queue_depth + (1.0 - a) * self.depth_ewma
+        self.lag_ewma = a * install_lag + (1.0 - a) * self.lag_ewma
+        lagging = self.lag_threshold > 0 and self.lag_ewma > self.lag_threshold
+        if self.depth_ewma > self.cap or lagging:
+            self._pressured += 1
+            self._drained = 0
+            if self._pressured >= self.patience:
+                self._pressured = 0
+                grown = self.cap * 2
+                self.cap = min(grown, self.ceiling) if self.ceiling else grown
+        elif self.depth_ewma < self.cap / 2 and not lagging:
+            self._drained += 1
+            self._pressured = 0
+            if self._drained >= self.patience:
+                self._drained = 0
+                self.cap = max(self.floor, self.cap // 2)
+        else:
+            self._pressured = 0
+            self._drained = 0
+        return self.cap
+
+
 class BatchedSweepWarehouse(QueueDrivenWarehouse):
     """SWEEP with a batch-draining scheduler and wavefront composite sweeps.
 
@@ -63,30 +147,47 @@ class BatchedSweepWarehouse(QueueDrivenWarehouse):
         ``max_batch=1`` every batch is a singleton and the algorithm
         degenerates to per-update SWEEP message behaviour (and complete
         consistency).
+    adaptive:
+        Derive the drain cap per batch from observed queue depth and
+        install lag (see :class:`AdaptiveBatchCap`) instead of using
+        ``max_batch`` statically; ``max_batch`` then acts as the
+        controller's hard ceiling (``0`` = no ceiling).
     """
 
     algorithm_name = "batched-sweep"
 
-    def __init__(self, *args, max_batch: int = 0, **kwargs):
+    def __init__(self, *args, max_batch: int = 0, adaptive: bool = False, **kwargs):
         super().__init__(*args, **kwargs)
         if max_batch < 0:
             raise ValueError(f"max_batch must be >= 0, got {max_batch}")
         self.max_batch = max_batch
+        self.batch_cap = AdaptiveBatchCap(ceiling=max_batch) if adaptive else None
         self.batches_processed = 0
 
     # ------------------------------------------------------------------
     # The batch-draining UpdateView process (replaces one-at-a-time pop)
     # ------------------------------------------------------------------
+    def _drain_cap(self, head: UpdateNotice) -> int:
+        """Batch-size cap for the drain about to happen (0 = unbounded)."""
+        if self.batch_cap is None:
+            return self.max_batch
+        depth = len(self.update_queue) + 1
+        lag = max(0.0, self.sim.now - head.delivered_at)
+        cap = self.batch_cap.observe(depth, lag)
+        self.metrics.observe("adaptive_cap", cap)
+        return cap
+
     def _update_view(self) -> Generator:
         while True:
             msg = yield self.update_queue.get()
             batch: list[UpdateNotice] = [msg.payload]
+            cap = self._drain_cap(msg.payload)
             # Drain everything already queued into this batch.  Updates
             # delivered *after* this point stay queued; the wavefront
             # compensates their interference and the next batch applies
             # them -- exactly SWEEP's treatment of concurrent updates.
             for queued in list(self.update_queue.peek_all()):
-                if self.max_batch and len(batch) >= self.max_batch:
+                if cap and len(batch) >= cap:
                     break
                 self.update_queue.remove(queued)
                 batch.append(queued.payload)
@@ -207,4 +308,4 @@ class BatchedSweepWarehouse(QueueDrivenWarehouse):
         return answer.compensate(error)
 
 
-__all__ = ["BatchedSweepWarehouse"]
+__all__ = ["AdaptiveBatchCap", "BatchedSweepWarehouse"]

@@ -22,12 +22,14 @@ from __future__ import annotations
 from collections.abc import Generator, Sequence
 
 from repro.consistency.oracle import RunRecorder
+from repro.relational.delta import Delta
 from repro.relational.errors import SchemaError
 from repro.relational.incremental import PartialView
 from repro.relational.relation import Relation
 from repro.relational.view import ViewDefinition
 from repro.sources.messages import MultiQueryRequest, UpdateNotice, next_request_id
 from repro.warehouse.base import QueueDrivenWarehouse
+from repro.warehouse.batched import BatchedSweepWarehouse
 from repro.warehouse.errors import ProtocolError
 from repro.warehouse.view_store import MaterializedView
 
@@ -52,7 +54,58 @@ def validate_same_chain(views: Sequence[ViewDefinition]) -> None:
                 )
 
 
-class MultiViewSweepWarehouse(QueueDrivenWarehouse):
+class MultiViewStateMixin:
+    """Per-view stores and install plumbing shared by multi-view warehouses.
+
+    Mixed into a :class:`~repro.warehouse.base.QueueDrivenWarehouse`
+    subclass *after* its ``__init__`` ran (so ``self.view``/``self.store``
+    exist); the host calls :meth:`_init_extra_views` once.
+    """
+
+    def _init_extra_views(
+        self,
+        extra_views: Sequence[ViewDefinition],
+        initial_states: dict[str, Relation] | None,
+        extra_recorders: dict[str, RunRecorder] | None,
+    ) -> None:
+        self.views: list[ViewDefinition] = [self.view, *extra_views]
+        validate_same_chain(self.views)
+        names = [v.name for v in self.views]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate view names: {names!r}")
+        self.stores: dict[str, MaterializedView] = {self.view.name: self.store}
+        self.extra_recorders = dict(extra_recorders or {})
+        for view in self.views[1:]:
+            if initial_states is None:
+                raise SchemaError(
+                    "initial_states is required to initialize extra views"
+                )
+            self.stores[view.name] = MaterializedView.from_states(
+                view, initial_states
+            )
+            recorder = self.extra_recorders.get(view.name)
+            if recorder is not None:
+                recorder.set_initial_view(self.stores[view.name].relation)
+
+    def _install_extra(self, view: ViewDefinition, wide_delta, note: str) -> None:
+        """Install one extra view's change and snapshot it for its oracle."""
+        store = self.stores[view.name]
+        store.install_wide(wide_delta)
+        recorder = self.extra_recorders.get(view.name)
+        if recorder is not None:
+            recorder.on_install(
+                self.sim.now,
+                store.relation,
+                claimed_vector=dict(self.applied_counts),
+                note=note,
+            )
+
+    def view_contents(self, name: str) -> Relation:
+        """Current contents of the named view."""
+        return self.stores[name].snapshot()
+
+
+class MultiViewSweepWarehouse(MultiViewStateMixin, QueueDrivenWarehouse):
     """SWEEP maintaining several views with batched sweep steps.
 
     Parameters (beyond :class:`QueueDrivenWarehouse`'s):
@@ -79,24 +132,7 @@ class MultiViewSweepWarehouse(QueueDrivenWarehouse):
         **kwargs,
     ):
         super().__init__(*args, **kwargs)
-        self.views: list[ViewDefinition] = [self.view, *extra_views]
-        validate_same_chain(self.views)
-        names = [v.name for v in self.views]
-        if len(set(names)) != len(names):
-            raise SchemaError(f"duplicate view names: {names!r}")
-        self.stores: dict[str, MaterializedView] = {self.view.name: self.store}
-        self.extra_recorders = dict(extra_recorders or {})
-        for view in self.views[1:]:
-            if initial_states is None:
-                raise SchemaError(
-                    "initial_states is required to initialize extra views"
-                )
-            self.stores[view.name] = MaterializedView.from_states(
-                view, initial_states
-            )
-            recorder = self.extra_recorders.get(view.name)
-            if recorder is not None:
-                recorder.set_initial_view(self.stores[view.name].relation)
+        self._init_extra_views(extra_views, initial_states, extra_recorders)
 
     # ------------------------------------------------------------------
     def view_change(self, notice: UpdateNotice) -> Generator:
@@ -129,22 +165,13 @@ class MultiViewSweepWarehouse(QueueDrivenWarehouse):
             ]
 
         self.mark_applied([notice])
+        note = f"update src={notice.source_index} seq={notice.seq}"
         for view, partial in zip(self.views, partials):
-            store = self.stores[view.name]
-            store.install_wide(partial.delta)
             if view.name == self.view.name:
-                self._after_install(
-                    f"update src={notice.source_index} seq={notice.seq}"
-                )
+                self.store.install_wide(partial.delta)
+                self._after_install(note)
             else:
-                recorder = self.extra_recorders.get(view.name)
-                if recorder is not None:
-                    recorder.on_install(
-                        self.sim.now,
-                        store.relation,
-                        claimed_vector=dict(self.applied_counts),
-                        note=f"update src={notice.source_index} seq={notice.seq}",
-                    )
+                self._install_extra(view, partial.delta, note)
         self.metrics.increment("multiview_installs")
 
     # ------------------------------------------------------------------
@@ -159,9 +186,139 @@ class MultiViewSweepWarehouse(QueueDrivenWarehouse):
         error = temp.extend(index, merged)
         return answer.compensate(error)
 
-    def view_contents(self, name: str) -> Relation:
-        """Current contents of the named view."""
-        return self.stores[name].snapshot()
+
+class MultiViewBatchedSweepWarehouse(MultiViewStateMixin, BatchedSweepWarehouse):
+    """Batched sweep scheduler generalized to a family of same-chain views.
+
+    One drained batch is maintained for *all* views with one pair of
+    wavefronts: at each wave step the active terms of every view are
+    packed into a single :class:`MultiQueryRequest`, so the message count
+    per batch stays ``<= 4(n-1)`` regardless of how many views the shard
+    hosts -- the same envelope-sharing trick as
+    :class:`MultiViewSweepWarehouse`, applied to
+    :class:`~repro.warehouse.batched.BatchedSweepWarehouse`'s composite
+    sweep.  Every view receives one install per batch with the identical
+    claimed vector, so each view independently satisfies the batched
+    (strong) consistency the single-view scheduler guarantees.
+
+    Accepts both sets of knobs: ``max_batch``/``adaptive`` from the
+    batched scheduler and ``extra_views``/``initial_states``/
+    ``extra_recorders`` from the multi-view warehouse.
+    """
+
+    algorithm_name = "multi-view-batched-sweep"
+
+    def __init__(
+        self,
+        *args,
+        extra_views: Sequence[ViewDefinition] = (),
+        initial_states: dict[str, Relation] | None = None,
+        extra_recorders: dict[str, RunRecorder] | None = None,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        self._init_extra_views(extra_views, initial_states, extra_recorders)
+
+    # ------------------------------------------------------------------
+    def process_batch(self, batch: list[UpdateNotice]) -> Generator:
+        n = self.view.n_relations
+        self.batches_processed += 1
+        self.metrics.increment("batched_sweeps")
+        self.metrics.observe("batch_size", len(batch))
+
+        merged: dict[int, Delta] = {}
+        for notice in batch:
+            seen = merged.get(notice.source_index)
+            if seen is None:
+                merged[notice.source_index] = notice.delta.copy()
+            else:
+                seen.merge_in_place(notice.delta)
+        # terms[view.name][i]: the term seeded with Delta-R_i, per view.
+        terms: dict[str, dict[int, PartialView]] = {
+            view.name: {
+                index: PartialView.initial(view, index, delta)
+                for index, delta in merged.items()
+            }
+            for view in self.views
+        }
+
+        # Leftward wave: every view's term i wants R_j^new for j < i.
+        for j in range(n - 1, 0, -1):
+            active = sorted(i for i in merged if i > j)
+            if not active:
+                continue
+            answers = yield from self._multi_query_views(j, terms, active)
+            for view in self.views:
+                for i in active:
+                    terms[view.name][i] = self._compensate_queued(
+                        j, answers[view.name][i], terms[view.name][i]
+                    )
+
+        # Rightward wave: term i wants R_j^old for j > i; subtract the
+        # batch's own delta at j on top of the queued-update compensation.
+        for j in range(2, n + 1):
+            active = sorted(i for i in merged if i < j)
+            if not active:
+                continue
+            temps = {
+                view.name: {i: terms[view.name][i] for i in active}
+                for view in self.views
+            }
+            answers = yield from self._multi_query_views(j, temps, active)
+            batch_delta = merged.get(j)
+            for view in self.views:
+                for i in active:
+                    temp = temps[view.name][i]
+                    answer = self._compensate_queued(
+                        j, answers[view.name][i], temp
+                    )
+                    if batch_delta is not None:
+                        answer = answer.compensate(temp.extend(j, batch_delta))
+                    terms[view.name][i] = answer
+
+        self.mark_applied(batch)
+        self.metrics.observe("updates_per_install", len(batch))
+        note = f"batch of {len(batch)} update(s), sources {sorted(merged)}"
+        for view in self.views:
+            composite: PartialView | None = None
+            for index in sorted(terms[view.name]):
+                term = terms[view.name][index]
+                composite = (
+                    term if composite is None else composite.add_in_place(term)
+                )
+            if view.name == self.view.name:
+                self.install_wide(composite.delta, note=note)
+            else:
+                self._install_extra(view, composite.delta, note)
+        self.metrics.increment("multiview_installs")
+
+    # ------------------------------------------------------------------
+    def _multi_query_views(
+        self,
+        index: int,
+        terms: dict[str, dict[int, PartialView]],
+        active: list[int],
+    ) -> Generator:
+        """One wave step for every view at once: a single MultiQueryRequest
+        carries each (view, active term) partial, and the answer is split
+        back per view.  All joins are evaluated against the same atomic
+        source state, which is what keeps every view's batch boundary
+        aligned with the same delivery-order prefix."""
+        flat = [terms[view.name][i] for view in self.views for i in active]
+        answers = yield from self._multi_query(index, flat)
+        out: dict[str, dict[int, PartialView]] = {}
+        pos = 0
+        for view in self.views:
+            out[view.name] = {}
+            for i in active:
+                out[view.name][i] = answers[pos]
+                pos += 1
+        return out
 
 
-__all__ = ["MultiViewSweepWarehouse", "validate_same_chain"]
+__all__ = [
+    "MultiViewBatchedSweepWarehouse",
+    "MultiViewStateMixin",
+    "MultiViewSweepWarehouse",
+    "validate_same_chain",
+]

@@ -1,0 +1,201 @@
+"""View partitioning for the sharded warehouse runtime.
+
+A sharded deployment splits the maintained view set across ``n_shards``
+warehouse processes.  The unit of placement is a whole view: the paper's
+complete-consistency argument (Section 5) is *per view*, so any partition
+of the view set preserves each view's guarantee as long as every shard
+receives its sources' updates in the original per-source FIFO order.
+Nothing about a view's maintenance ever references another view, hence
+there is no cross-shard coordination to get wrong -- the entire
+correctness story of a sharded run is "each shard is an ordinary
+(multi-view) warehouse over a subset of the views".
+
+:func:`partition_views` produces the :class:`ShardPlan`; the default
+``hash`` strategy is stable across processes and runs (CRC-32 of the view
+name), ``round-robin`` balances small families deterministically, and
+``explicit`` assignments support operator-chosen placement.
+
+:func:`ShardPlan.source_fanout` is the router's table: each source update
+is fanned out to exactly the shards whose views reference that source
+relation, so a shard never sees (or queues, or sweeps) traffic it does
+not need.
+
+:func:`view_family` derives a deterministic family of SPJ variants over
+one base chain view -- every process of a multi-process sharded run calls
+it with the same config-derived base view and obtains the identical
+family, which is what lets shard and source processes agree on the plan
+without exchanging schemas.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.relational.predicate import AttrCompare
+from repro.relational.relation import Relation
+from repro.relational.view import ViewDefinition
+
+STRATEGIES = ("hash", "round-robin")
+
+
+def stable_shard_of(name: str, n_shards: int) -> int:
+    """Process-independent shard for a view name (CRC-32, not ``hash()``).
+
+    Python's builtin ``hash`` of a string is salted per process, which
+    would scatter one view to different shards in different processes of
+    the same deployment; CRC-32 is fixed by the name alone.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    return zlib.crc32(name.encode("utf-8")) % n_shards
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """An assignment of every view to exactly one shard."""
+
+    n_shards: int
+    views: tuple[ViewDefinition, ...]
+    assignment: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        names = [v.name for v in self.views]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate view names: {names!r}")
+        missing = [n for n in names if n not in self.assignment]
+        if missing:
+            raise ValueError(f"views without a shard: {missing!r}")
+        bad = {
+            name: shard
+            for name, shard in self.assignment.items()
+            if not 0 <= shard < self.n_shards
+        }
+        if bad:
+            raise ValueError(
+                f"assignments outside 0..{self.n_shards - 1}: {bad!r}"
+            )
+
+    # ------------------------------------------------------------------
+    def views_for(self, shard: int) -> list[ViewDefinition]:
+        """This shard's views, in family order (views[0] is its primary)."""
+        return [v for v in self.views if self.assignment[v.name] == shard]
+
+    @property
+    def active_shards(self) -> list[int]:
+        """Shards that host at least one view (others are never launched)."""
+        return sorted({self.assignment[v.name] for v in self.views})
+
+    def shard_of(self, view_name: str) -> int:
+        return self.assignment[view_name]
+
+    def source_fanout(self) -> dict[str, tuple[int, ...]]:
+        """Router table: relation name -> shards whose views reference it.
+
+        An update committed at source ``R`` travels only to
+        ``source_fanout()[R]``; every other shard maintains views that do
+        not mention ``R`` and must not receive (or count) the update.
+        """
+        fanout: dict[str, set[int]] = {}
+        for view in self.views:
+            shard = self.assignment[view.name]
+            for name in view.relation_names:
+                fanout.setdefault(name, set()).add(shard)
+        return {name: tuple(sorted(shards)) for name, shards in fanout.items()}
+
+    def describe(self) -> str:
+        parts = []
+        for shard in self.active_shards:
+            names = [v.name for v in self.views_for(shard)]
+            parts.append(f"shard {shard}: {', '.join(names)}")
+        return "; ".join(parts)
+
+
+def partition_views(
+    views: Sequence[ViewDefinition],
+    n_shards: int,
+    strategy: str = "hash",
+    explicit: Mapping[str, int] | None = None,
+) -> ShardPlan:
+    """Assign each view to one of ``n_shards`` shards.
+
+    ``explicit`` (view name -> shard) overrides the strategy entirely and
+    must cover every view; ``hash`` is stable placement by view name
+    (what a multi-process deployment should use); ``round-robin`` places
+    views in family order and is the balanced default for benchmarks.
+    """
+    views = tuple(views)
+    if not views:
+        raise ValueError("need at least one view to partition")
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if explicit is not None:
+        assignment = {v.name: int(explicit[v.name]) for v in views}
+    elif strategy == "hash":
+        assignment = {v.name: stable_shard_of(v.name, n_shards) for v in views}
+    elif strategy == "round-robin":
+        assignment = {v.name: i % n_shards for i, v in enumerate(views)}
+    else:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; one of {STRATEGIES} or explicit="
+        )
+    return ShardPlan(n_shards=n_shards, views=views, assignment=assignment)
+
+
+def view_family(base: ViewDefinition, n_views: int) -> list[ViewDefinition]:
+    """A deterministic family of ``n_views`` SPJ variants of ``base``.
+
+    ``views[0]`` is ``base`` itself; each variant ``k`` adds a selection
+    ``attr < threshold`` over the last attribute of relation
+    ``1 + (k-1) mod n`` with a threshold derived from ``k`` alone -- a
+    pure function of ``(base, n_views)``, so every process of a sharded
+    deployment derives the identical family from the shared config.
+    """
+    if n_views < 1:
+        raise ValueError(f"n_views must be >= 1, got {n_views}")
+    views = [base]
+    n = base.n_relations
+    for k in range(1, n_views):
+        index = 1 + (k - 1) % n
+        attr = base.schema_of(index).attributes[-1]
+        threshold = 100 + (k * 211) % 800
+        views.append(
+            ViewDefinition(
+                name=f"{base.name}#s{k}",
+                relation_names=base.relation_names,
+                schemas=base.schemas,
+                join_conditions=base.join_conditions,
+                selection=AttrCompare(attr, "<", threshold),
+                projection=base.projection,
+            )
+        )
+    return views
+
+
+def canonical_view_bytes(relation: Relation) -> bytes:
+    """A byte-stable encoding of a relation's contents.
+
+    Used by the sharded-vs-single equivalence tests: two runs agree iff
+    the canonical bytes of every view are identical.  Rows are sorted by
+    ``repr`` so heterogeneous value types cannot break the ordering.
+    """
+    rows = sorted(
+        ([list(row), count] for row, count in relation.items()),
+        key=repr,
+    )
+    payload = {"attributes": list(relation.schema.attributes), "rows": rows}
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str
+    ).encode("utf-8")
+
+
+__all__ = [
+    "STRATEGIES",
+    "ShardPlan",
+    "canonical_view_bytes",
+    "partition_views",
+    "stable_shard_of",
+    "view_family",
+]

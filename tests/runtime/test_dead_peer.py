@@ -1,0 +1,162 @@
+"""Dead-peer behaviour of the serve modes (no silent hangs, no exit 0).
+
+A long-lived site pointed at an unreachable peer must fail fast and
+loud: :func:`probe_peer` burns the channel's retry budget and raises
+:class:`TransportRetriesExceeded`, every ``serve-*`` entry point probes
+its peers up front, and the CLI converts the error into a clean
+``error:`` line with a non-zero exit code.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.cli import main
+from repro.harness.config import ExperimentConfig
+from repro.runtime import (
+    TransportRetriesExceeded,
+    free_port,
+    probe_peer,
+    serve_shard_async,
+    serve_source_async,
+    serve_warehouse_async,
+)
+from repro.runtime.tcp import TcpChannelConfig
+
+#: A retry budget small enough that every test fails in well under a second.
+TIGHT = TcpChannelConfig(
+    connect_timeout=0.2,
+    max_retries=2,
+    backoff_initial=0.01,
+    backoff_max=0.02,
+)
+
+
+def _config(**overrides):
+    base = dict(
+        algorithm="sweep",
+        n_sources=3,
+        n_updates=4,
+        seed=0,
+        mean_interarrival=2.0,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def _dead_address():
+    return ("127.0.0.1", free_port())
+
+
+def test_probe_peer_raises_after_retry_budget():
+    host, port = _dead_address()
+    with pytest.raises(TransportRetriesExceeded, match="source R1"):
+        asyncio.run(probe_peer(host, port, TIGHT, what="source R1"))
+
+
+def test_probe_peer_passes_with_a_listener():
+    async def scenario():
+        server = await asyncio.start_server(
+            lambda r, w: w.close(), "127.0.0.1", 0
+        )
+        host, port = server.sockets[0].getsockname()[:2]
+        try:
+            await probe_peer(host, port, TIGHT, what="source R1")
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    asyncio.run(scenario())
+
+
+def test_serve_warehouse_fails_fast_on_dead_source():
+    config = _config()
+    sources = {i: _dead_address() for i in range(1, config.n_sources + 1)}
+    with pytest.raises(TransportRetriesExceeded, match="unreachable"):
+        asyncio.run(
+            serve_warehouse_async(
+                config,
+                source_addresses=sources,
+                expect_updates=config.n_updates,
+                timeout=30.0,
+                tcp_config=TIGHT,
+            )
+        )
+
+
+def test_serve_source_fails_fast_on_dead_warehouse():
+    with pytest.raises(TransportRetriesExceeded, match="unreachable"):
+        asyncio.run(
+            serve_source_async(
+                _config(),
+                index=1,
+                warehouse_address=_dead_address(),
+                timeout=30.0,
+                tcp_config=TIGHT,
+            )
+        )
+
+
+def test_serve_shard_fails_fast_on_dead_source():
+    config = _config(n_views=2)
+    sources = {i: _dead_address() for i in range(1, config.n_sources + 1)}
+    with pytest.raises(TransportRetriesExceeded, match="unreachable"):
+        asyncio.run(
+            serve_shard_async(
+                config,
+                shard_id=0,
+                n_shards=2,
+                source_addresses=sources,
+                expect_updates=config.n_updates,
+                timeout=30.0,
+                tcp_config=TIGHT,
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# CLI: clean message, exit 1, never exit 0
+# ---------------------------------------------------------------------------
+
+def _base_cli_args():
+    return [
+        "--algorithm", "sweep", "--sources", "3", "--updates", "4",
+        "--seed", "0", "--interarrival", "2.0",
+        "--max-retries", "2", "--connect-timeout", "0.2",
+    ]
+
+
+def test_cli_serve_warehouse_exits_nonzero(capsys):
+    host, port = _dead_address()
+    rc = main(
+        ["serve-warehouse", *_base_cli_args(),
+         "--source", f"1={host}:{port}", "--expect-updates", "4"]
+    )
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert "error:" in captured.err
+    assert "unreachable" in captured.err
+
+
+def test_cli_serve_source_exits_nonzero(capsys):
+    host, port = _dead_address()
+    rc = main(
+        ["serve-source", *_base_cli_args(),
+         "--index", "1", "--warehouse", f"{host}:{port}"]
+    )
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert "error:" in captured.err
+    assert "unreachable" in captured.err
+
+
+def test_cli_serve_shard_exits_nonzero(capsys):
+    host, port = _dead_address()
+    rc = main(
+        ["serve-shard", *_base_cli_args(), "--views", "2",
+         "--shard-id", "0", "--shards", "2",
+         "--source", f"1={host}:{port}"]
+    )
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert "error:" in captured.err

@@ -1,0 +1,97 @@
+"""Randomized sharded-vs-single equivalence (byte-identical final views).
+
+Partitioning the view set must be invisible in the final states: for any
+seed, the sharded run's every view must match the single-warehouse run's
+same view byte for byte (:func:`canonical_view_bytes`), because both
+converge to the views over the final source states, which depend only on
+the workload.  The 30-seed sweep varies shard count (2, 4), transport
+(LocalChannel, TCP) and chaos profile (healthy, delay, dup) together, so
+every combination appears several times across the matrix.
+"""
+
+import pytest
+
+from repro.consistency.levels import ConsistencyLevel
+from repro.harness.config import ExperimentConfig
+from repro.runtime import run_sharded
+from repro.warehouse.sharding import canonical_view_bytes
+
+SEEDS = range(30)
+
+
+def _case(seed):
+    """Deterministic (n_shards, transport, chaos) mix over the seed space."""
+    n_shards = (2, 4)[seed % 2]
+    transport = ("local", "tcp")[(seed // 2) % 2]
+    chaos = (None, "delay", "dup")[(seed // 4) % 3]
+    return n_shards, transport, chaos
+
+
+def _canonical(result):
+    return {
+        name: canonical_view_bytes(view)
+        for name, view in result.final_views.items()
+    }
+
+
+def _config(seed, algorithm="sweep", **overrides):
+    base = dict(
+        algorithm=algorithm,
+        n_sources=3,
+        n_updates=6,
+        seed=seed,
+        mean_interarrival=2.0,
+        n_views=4,
+        check_consistency=True,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sharded_final_views_match_single_warehouse(seed):
+    n_shards, transport, chaos = _case(seed)
+    config = _config(seed)
+    baseline = run_sharded(
+        config, n_shards=1, transport="local", time_scale=0.001,
+        timeout=60.0, strategy="round-robin",
+    )
+    sharded = run_sharded(
+        config, n_shards=n_shards, transport=transport, time_scale=0.001,
+        timeout=60.0, chaos=chaos, strategy="round-robin",
+    )
+    assert _canonical(sharded) == _canonical(baseline)
+    assert sharded.verified_at(ConsistencyLevel.COMPLETE)
+    if chaos is not None:
+        assert sharded.chaos_profile == chaos
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_batched_sharded_final_views_match_single_warehouse(seed):
+    """The batched scheduler shards to the same states (strong per view)."""
+    n_shards, transport, chaos = _case(seed)
+    config = _config(seed, algorithm="batched-sweep", batch_max=3)
+    baseline = run_sharded(
+        config, n_shards=1, transport="local", time_scale=0.001,
+        timeout=60.0, strategy="round-robin",
+    )
+    sharded = run_sharded(
+        config, n_shards=n_shards, transport=transport, time_scale=0.001,
+        timeout=60.0, chaos=chaos, strategy="round-robin",
+    )
+    assert _canonical(sharded) == _canonical(baseline)
+    assert sharded.verified_at(ConsistencyLevel.STRONG)
+
+
+def test_hash_and_round_robin_strategies_agree():
+    """Placement strategy cannot change any view's final contents."""
+    config = _config(9)
+    by_hash = run_sharded(
+        config, n_shards=2, transport="local", time_scale=0.001,
+        timeout=60.0, strategy="hash",
+    )
+    by_rr = run_sharded(
+        config, n_shards=2, transport="local", time_scale=0.001,
+        timeout=60.0, strategy="round-robin",
+    )
+    assert _canonical(by_hash) == _canonical(by_rr)

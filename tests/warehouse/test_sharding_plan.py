@@ -1,0 +1,176 @@
+"""Unit tests for view partitioning (:mod:`repro.warehouse.sharding`).
+
+The plan is the entire coordination surface of a sharded deployment:
+every process derives it independently from the shared config, so these
+tests pin the properties that make that safe -- process-independent
+hashing, total assignment, fanout that covers exactly the referencing
+shards, and a view family that is a pure function of its inputs.
+"""
+
+import pytest
+
+from repro.warehouse.sharding import (
+    ShardPlan,
+    canonical_view_bytes,
+    partition_views,
+    stable_shard_of,
+    view_family,
+)
+from repro.workloads.paper_example import (
+    paper_example_states,
+    paper_example_view,
+)
+
+
+@pytest.fixture
+def base_view():
+    return paper_example_view()
+
+
+# ---------------------------------------------------------------------------
+# stable_shard_of
+# ---------------------------------------------------------------------------
+
+def test_stable_shard_of_is_deterministic_and_in_range():
+    for name in ("V", "V#s1", "V#s2", "orders", ""):
+        for n in (1, 2, 4, 7):
+            shard = stable_shard_of(name, n)
+            assert 0 <= shard < n
+            assert shard == stable_shard_of(name, n)
+
+
+def test_stable_shard_of_rejects_zero_shards():
+    with pytest.raises(ValueError):
+        stable_shard_of("V", 0)
+
+
+# ---------------------------------------------------------------------------
+# view_family
+# ---------------------------------------------------------------------------
+
+def test_view_family_is_deterministic(base_view):
+    a = view_family(base_view, 5)
+    b = view_family(paper_example_view(), 5)
+    assert [v.name for v in a] == [v.name for v in b]
+    assert a[0] is base_view
+    for va, vb in zip(a, b):
+        assert va.relation_names == vb.relation_names
+        assert repr(va.selection) == repr(vb.selection)
+
+
+def test_view_family_shares_the_base_chain(base_view):
+    family = view_family(base_view, 4)
+    assert len(family) == 4
+    assert {v.name for v in family} == {"V", "V#s1", "V#s2", "V#s3"}
+    for variant in family[1:]:
+        assert variant.relation_names == base_view.relation_names
+        assert variant.join_conditions == base_view.join_conditions
+        assert variant.selection is not None
+
+
+def test_view_family_variant_is_a_restriction(base_view):
+    """Each variant's rows are a subset of the base view's rows."""
+    states = paper_example_states()
+    base_rows = dict(base_view.evaluate(states).items())
+    for variant in view_family(base_view, 4)[1:]:
+        for row, count in variant.evaluate(states).items():
+            assert base_rows.get(row) == count
+
+
+def test_view_family_rejects_zero_views(base_view):
+    with pytest.raises(ValueError):
+        view_family(base_view, 0)
+
+
+# ---------------------------------------------------------------------------
+# partition_views / ShardPlan
+# ---------------------------------------------------------------------------
+
+def test_hash_strategy_matches_stable_shard_of(base_view):
+    family = view_family(base_view, 4)
+    plan = partition_views(family, 3, strategy="hash")
+    for view in family:
+        assert plan.shard_of(view.name) == stable_shard_of(view.name, 3)
+
+
+def test_round_robin_balances_in_family_order(base_view):
+    family = view_family(base_view, 4)
+    plan = partition_views(family, 2, strategy="round-robin")
+    assert [plan.shard_of(v.name) for v in family] == [0, 1, 0, 1]
+    assert [v.name for v in plan.views_for(0)] == ["V", "V#s2"]
+    assert [v.name for v in plan.views_for(1)] == ["V#s1", "V#s3"]
+
+
+def test_explicit_assignment_overrides_strategy(base_view):
+    family = view_family(base_view, 3)
+    explicit = {"V": 1, "V#s1": 1, "V#s2": 1}
+    plan = partition_views(family, 2, strategy="hash", explicit=explicit)
+    assert plan.active_shards == [1]
+    assert plan.views_for(0) == []
+    # Fanout only covers shards that actually host a referencing view.
+    assert set(plan.source_fanout().values()) == {(1,)}
+
+
+def test_source_fanout_covers_every_relation(base_view):
+    family = view_family(base_view, 4)
+    plan = partition_views(family, 2, strategy="round-robin")
+    fanout = plan.source_fanout()
+    assert set(fanout) == set(base_view.relation_names)
+    # Every view references the whole chain, so both shards get each update.
+    assert all(shards == (0, 1) for shards in fanout.values())
+
+
+def test_plan_rejects_partial_assignment(base_view):
+    family = view_family(base_view, 2)
+    with pytest.raises(ValueError, match="without a shard"):
+        ShardPlan(n_shards=2, views=tuple(family), assignment={"V": 0})
+
+
+def test_plan_rejects_out_of_range_shard(base_view):
+    with pytest.raises(ValueError, match="outside"):
+        ShardPlan(n_shards=2, views=(base_view,), assignment={"V": 2})
+
+
+def test_plan_rejects_duplicate_view_names(base_view):
+    with pytest.raises(ValueError, match="duplicate"):
+        ShardPlan(
+            n_shards=1,
+            views=(base_view, paper_example_view()),
+            assignment={"V": 0},
+        )
+
+
+def test_partition_rejects_unknown_strategy(base_view):
+    with pytest.raises(ValueError, match="unknown strategy"):
+        partition_views([base_view], 2, strategy="range")
+    with pytest.raises(ValueError):
+        partition_views([], 2)
+
+
+def test_describe_names_every_active_shard(base_view):
+    family = view_family(base_view, 3)
+    plan = partition_views(family, 2, strategy="round-robin")
+    text = plan.describe()
+    assert "shard 0" in text and "shard 1" in text
+    for view in family:
+        assert view.name in text
+
+
+# ---------------------------------------------------------------------------
+# canonical_view_bytes
+# ---------------------------------------------------------------------------
+
+def test_canonical_bytes_equal_for_equal_contents(base_view):
+    states = paper_example_states()
+    a = base_view.evaluate(states)
+    b = base_view.evaluate(paper_example_states())
+    assert canonical_view_bytes(a) == canonical_view_bytes(b)
+
+
+def test_canonical_bytes_differ_when_contents_differ(base_view):
+    states = paper_example_states()
+    a = base_view.evaluate(states)
+    variant = view_family(base_view, 2)[1]
+    b = variant.evaluate(states)
+    if dict(a.items()) != dict(b.items()):
+        assert canonical_view_bytes(a) != canonical_view_bytes(b)
