@@ -177,7 +177,8 @@ def _add_run_distributed_parser(sub: argparse._SubParsersAction) -> None:
                    help="wall-clock quiescence timeout in seconds")
     p.add_argument("--chaos", default=None, metavar="PROFILE",
                    help="inject transport faults from a named chaos profile"
-                        " (healthy/delay/dup/drop/crash/hostile)")
+                        " (healthy/delay/dup/drop/crash/hostile/source-stall/"
+                        "source-burst/source-reorder/crash-restart)")
     p.add_argument("--no-check", action="store_true",
                    help="skip consistency verification")
     p.add_argument("--show-view", action="store_true",
@@ -226,8 +227,34 @@ def _add_run_sharded_parser(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--processes", action="store_true",
                    help="launch every shard and source as its own OS process"
                         " under the shard supervisor (implies TCP)")
+    p.add_argument("--durable-dir", default=None, metavar="DIR",
+                   help="checkpoint + WAL root; each shard persists to"
+                        " DIR/shard<id> and a re-run recovers from it")
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   metavar="N", help="checkpoint every N installed updates")
+    p.add_argument("--restart", choices=("never", "on-crash"),
+                   default="never",
+                   help="supervisor restart policy for crashed shard"
+                        " processes (--processes with --durable-dir only)")
+    p.add_argument("--max-restarts", type=int, default=2,
+                   help="restart budget per shard process")
     p.add_argument("--no-check", action="store_true",
                    help="skip consistency verification")
+
+
+def _checkpoint_policy(args: argparse.Namespace):
+    if getattr(args, "checkpoint_every", None) is None and (
+        getattr(args, "checkpoint_interval", None) is None
+    ):
+        return None
+    from repro.durability import CheckpointPolicy
+
+    kwargs = {}
+    if getattr(args, "checkpoint_every", None) is not None:
+        kwargs["every_installs"] = args.checkpoint_every
+    if getattr(args, "checkpoint_interval", None) is not None:
+        kwargs["every_time"] = args.checkpoint_interval
+    return CheckpointPolicy(**kwargs)
 
 
 def _cmd_run_sharded(args: argparse.Namespace) -> int:
@@ -242,6 +269,9 @@ def _cmd_run_sharded(args: argparse.Namespace) -> int:
             strategy=args.strategy,
             host=args.host,
             timeout=args.timeout,
+            durable_root=args.durable_dir,
+            restart=args.restart,
+            max_restarts=args.max_restarts,
         )
         for name in sorted(outputs):
             text = outputs[name].strip()
@@ -261,6 +291,8 @@ def _cmd_run_sharded(args: argparse.Namespace) -> int:
         tcp_config=_tcp_config(args),
         chaos=args.chaos,
         strategy=args.strategy,
+        durable_dir=args.durable_dir,
+        checkpoint_policy=_checkpoint_policy(args),
     )
     print(result.report())
     return 0
@@ -294,6 +326,16 @@ def _add_serve_shard_parser(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--no-verify", action="store_true",
                    help="do not fail the process when a view misses its"
                         " claimed consistency level")
+    p.add_argument("--durable-dir", default=None, metavar="DIR",
+                   help="persist checkpoints + update log here; on restart"
+                        " the shard recovers and resumes from DIR")
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   metavar="N", help="checkpoint every N installed updates"
+                                     " (default 25)")
+    p.add_argument("--checkpoint-interval", type=float, default=None,
+                   metavar="SECONDS",
+                   help="also checkpoint when this much wall time has"
+                        " passed since the last one")
 
 
 def _cmd_serve_shard(args: argparse.Namespace) -> int:
@@ -323,6 +365,8 @@ def _cmd_serve_shard(args: argparse.Namespace) -> int:
             tcp_config=_tcp_config(args),
             strategy=args.strategy,
             verify=not args.no_verify,
+            durable_dir=args.durable_dir,
+            checkpoint_policy=_checkpoint_policy(args),
         )
     )
     print(result.report())
@@ -347,6 +391,16 @@ def _add_serve_warehouse_parser(sub: argparse._SubParsersAction) -> None:
              " scheduled updates; 0 serves forever)",
     )
     p.add_argument("--timeout", type=float, default=3600.0)
+    p.add_argument("--durable-dir", default=None, metavar="DIR",
+                   help="persist checkpoints + update log here; on restart"
+                        " the warehouse recovers and resumes from DIR")
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   metavar="N", help="checkpoint every N installed updates"
+                                     " (default 25)")
+    p.add_argument("--checkpoint-interval", type=float, default=None,
+                   metavar="SECONDS",
+                   help="also checkpoint when this much wall time has"
+                        " passed since the last one")
 
 
 def _cmd_serve_warehouse(args: argparse.Namespace) -> int:
@@ -375,6 +429,8 @@ def _cmd_serve_warehouse(args: argparse.Namespace) -> int:
             expect_updates=expect or None,
             timeout=args.timeout,
             tcp_config=_tcp_config(args),
+            durable_dir=args.durable_dir,
+            checkpoint_policy=_checkpoint_policy(args),
         )
     )
     if result is not None:
@@ -635,6 +691,29 @@ def build_parser() -> argparse.ArgumentParser:
     conf.add_argument("--json", default="conformance_report.json",
                       metavar="PATH", help="where to write the JSON report")
 
+    rec = sub.add_parser(
+        "recovery-sweep",
+        help="crash one shard per seeded case, recover from checkpoint +"
+             " WAL, and compare against the uncrashed baseline",
+    )
+    rec.add_argument("--seed", "-s", type=int, default=0,
+                     help="first workload seed")
+    rec.add_argument("--runs", type=int, default=30,
+                     help="seeds per sweep: seed, seed+1, ...")
+    rec.add_argument("--tcp-every", type=int, default=5,
+                     help="every Nth seed runs over loopback TCP"
+                          " (0 = local only)")
+    rec.add_argument("--time-scale", type=float, default=0.002,
+                     help="wall seconds per virtual time unit")
+    rec.add_argument("--timeout", type=float, default=120.0,
+                     help="wall-clock quiescence timeout per run")
+    rec.add_argument("--smoke", action="store_true",
+                     help="also run the multiprocess kill-and-recover"
+                          " smoke (SIGKILL a serve-shard process under"
+                          " the supervisor's on-crash restart policy)")
+    rec.add_argument("--json", default="recovery_report.json",
+                     metavar="PATH", help="where to write the JSON report")
+
     adv = sub.add_parser(
         "advise", help="recommend an algorithm for a workload"
     )
@@ -699,6 +778,36 @@ def _cmd_bench_throughput(args: argparse.Namespace) -> int:
         print(f"no regression vs {args.check_against}"
               f" (tolerance {args.tolerance:.0%})")
     return 0
+
+
+def _cmd_recovery_sweep(args: argparse.Namespace) -> int:
+    from repro.harness import recovery
+
+    def progress(row: dict) -> None:
+        verdict = "pass" if row["ok"] else f"FAIL ({row['error']})"
+        print(
+            f"  {row['algorithm']:>13s} x {row['transport']:<5s}"
+            f" seed={row['seed']} ... {verdict}",
+            flush=True,
+        )
+
+    rows = recovery.run_recovery_sweep(
+        seeds=range(args.seed, args.seed + args.runs),
+        tcp_every=args.tcp_every,
+        time_scale=args.time_scale,
+        timeout=args.timeout,
+        progress=progress,
+    )
+    smoke = None
+    if args.smoke:
+        print("  kill-and-recover smoke (multiprocess) ...", flush=True)
+        smoke = recovery.kill_and_recover_smoke()
+    report = recovery.build_report(rows, smoke=smoke)
+    print()
+    print(recovery.format_report(report))
+    path = recovery.write_report(report, args.json)
+    print(f"\nwrote {path}")
+    return 0 if report["ok"] else 1
 
 
 def _cmd_conformance(args: argparse.Namespace) -> int:
@@ -778,6 +887,7 @@ _COMMANDS = {
     "advise": _cmd_advise,
     "bench-throughput": _cmd_bench_throughput,
     "conformance": _cmd_conformance,
+    "recovery-sweep": _cmd_recovery_sweep,
 }
 
 
@@ -794,13 +904,16 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     if args.command in _HOST_COMMANDS:
-        from repro.runtime import RuntimeHostError
+        from repro.runtime import CLEAN_FAILURE_EXIT, RuntimeHostError
 
         try:
             return _COMMANDS[args.command](args)
         except RuntimeHostError as exc:
+            # A deliberate, reported failure (verification below the
+            # claimed level, peer probe exhausted, quiescence timeout):
+            # exit 3 so a supervising process can tell it from a crash.
             print(f"error: {exc}", file=sys.stderr)
-            return 1
+            return CLEAN_FAILURE_EXIT
     return _COMMANDS[args.command](args)
 
 

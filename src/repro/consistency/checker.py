@@ -60,6 +60,24 @@ def vector_for_delivery_prefix(
     return vector
 
 
+def _with_base(
+    vector: dict[int, int], base: dict[int, int] | None
+) -> dict[int, int]:
+    """Shift a this-incarnation prefix vector by the recovery base vector.
+
+    A recovered run's deliveries are numbered from the checkpoint's
+    claimed vector ``V0``, not from zero; its prefix vectors therefore
+    describe states ``V0 + prefix``.  With ``base=None`` this is the
+    identity, so un-recovered runs pay nothing.
+    """
+    if not base:
+        return vector
+    merged = dict(base)
+    for index, count in vector.items():
+        merged[index] = merged.get(index, 0) + count
+    return merged
+
+
 def evaluate_at(
     view: ViewDefinition, history: SourceHistory, vector: dict[int, int]
 ) -> Relation:
@@ -127,7 +145,9 @@ class InstallAttribution:
 
 
 def attribute_installs(
-    deliveries: list[UpdateNotice], snapshots: "SnapshotLog | list[ViewSnapshot]"
+    deliveries: list[UpdateNotice],
+    snapshots: "SnapshotLog | list[ViewSnapshot]",
+    base_vector: dict[int, int] | None = None,
 ) -> list[InstallAttribution]:
     """Map every install to the delivered updates its vector delta covers.
 
@@ -136,11 +156,17 @@ def attribute_installs(
     updates from a source than were delivered.  Those are instrumentation
     bugs (or deliberately broken algorithms) and make attribution, hence
     per-update staleness, meaningless.
+
+    ``base_vector`` is a recovered run's checkpoint vector: claimed
+    vectors are absolute across incarnations, while ``deliveries`` holds
+    only this incarnation's deliveries, so consumption starts at the base
+    and the list is indexed relative to it.
     """
     per_source: dict[int, list[UpdateNotice]] = {}
     for notice in deliveries:
         per_source.setdefault(notice.source_index, []).append(notice)
-    consumed: dict[int, int] = {}
+    base = dict(base_vector or {})
+    consumed: dict[int, int] = dict(base)
     attributions: list[InstallAttribution] = []
     for t, snap in enumerate(snapshots, start=1):
         if snap.claimed_vector is None:
@@ -148,18 +174,20 @@ def attribute_installs(
         members: list[UpdateNotice] = []
         for index, count in sorted(snap.claimed_vector.items()):
             have = consumed.get(index, 0)
+            start = base.get(index, 0)
             if count < have:
                 raise ValueError(
                     f"install #{t} regresses source {index}"
                     f" ({count} < {have} already installed)"
                 )
             delivered = per_source.get(index, [])
-            if count > len(delivered):
+            if count - start > len(delivered):
                 raise ValueError(
                     f"install #{t} claims {count} updates from source"
-                    f" {index}; only {len(delivered)} were delivered"
+                    f" {index}; only {start} recovered +"
+                    f" {len(delivered)} delivered"
                 )
-            members.extend(delivered[have:count])
+            members.extend(delivered[have - start : count - start])
             consumed[index] = count
         members.sort(key=lambda n: n.delivery_seq or 0)
         attributions.append(InstallAttribution(t, snap, members))
@@ -171,6 +199,7 @@ def check_batched_complete(
     history: SourceHistory,
     deliveries: list[UpdateNotice],
     snapshots: "SnapshotLog | list[ViewSnapshot]",
+    base_vector: dict[int, int] | None = None,
 ) -> CheckResult:
     """Batch-aware completeness: installs partition the delivery order.
 
@@ -189,13 +218,18 @@ def check_batched_complete(
     """
     level = ConsistencyLevel.COMPLETE
     try:
-        attributions = attribute_installs(deliveries, snapshots)
+        attributions = attribute_installs(
+            deliveries, snapshots, base_vector=base_vector
+        )
     except ValueError as exc:
         return CheckResult(level, False, method="batched", detail=str(exc))
     covered = 0
     for attr in attributions:
         covered += attr.batch_size
-        prefix = vector_for_delivery_prefix(deliveries, covered)
+        prefix = _with_base(
+            vector_for_delivery_prefix(deliveries, covered), base_vector
+        )
+        prefix = {i: c for i, c in prefix.items() if c}
         claimed = {
             i: c for i, c in (attr.snapshot.claimed_vector or {}).items() if c
         }
@@ -254,6 +288,7 @@ def check_complete(
     history: SourceHistory,
     deliveries: list[UpdateNotice],
     snapshots: SnapshotLog,
+    base_vector: dict[int, int] | None = None,
 ) -> CheckResult:
     """One snapshot per delivered update, each matching its prefix vector."""
     if len(snapshots) != len(deliveries):
@@ -267,7 +302,9 @@ def check_complete(
         )
     for t, snap in enumerate(snapshots, start=1):
         expected = evaluate_at(
-            view, history, vector_for_delivery_prefix(deliveries, t)
+            view,
+            history,
+            _with_base(vector_for_delivery_prefix(deliveries, t), base_vector),
         )
         if snap.view != expected:
             return CheckResult(
@@ -338,6 +375,7 @@ def check_strong(
     history: SourceHistory,
     snapshots: SnapshotLog,
     max_vectors: int = 50_000,
+    base_vector: dict[int, int] | None = None,
 ) -> CheckResult:
     """Snapshots match a monotone chain of state vectors (independent DP)."""
     if history.vector_space_size() > max_vectors:
@@ -345,8 +383,10 @@ def check_strong(
     table = _vector_index(view, history)
     # frontier: minimal vectors reachable after matching the prefix of
     # snapshots processed so far (an antichain; domination-pruned).
+    # A recovered run's chain starts at the checkpoint vector, not zero.
     indices = history.source_indices
-    frontier: list[tuple[int, ...]] = [tuple(0 for _ in indices)]
+    base = base_vector or {}
+    frontier: list[tuple[int, ...]] = [tuple(base.get(i, 0) for i in indices)]
     for t, snap in enumerate(snapshots, start=1):
         candidates = table.get(_view_key(snap.view), [])
         reachable = [
@@ -373,14 +413,23 @@ def classify(
     deliveries: list[UpdateNotice],
     snapshots: SnapshotLog,
     max_vectors: int = 50_000,
+    base_vector: dict[int, int] | None = None,
 ) -> ConsistencyLevel:
     """The strongest consistency level the recorded run satisfies."""
     converged = check_convergence(view, history, snapshots)
     if not converged:
         return ConsistencyLevel.NONE
-    if check_complete(view, history, deliveries, snapshots):
+    if check_complete(
+        view, history, deliveries, snapshots, base_vector=base_vector
+    ):
         return ConsistencyLevel.COMPLETE
-    if check_strong(view, history, snapshots, max_vectors=max_vectors):
+    if check_strong(
+        view,
+        history,
+        snapshots,
+        max_vectors=max_vectors,
+        base_vector=base_vector,
+    ):
         return ConsistencyLevel.STRONG
     if check_weak(view, history, snapshots, max_vectors=max_vectors):
         return ConsistencyLevel.WEAK

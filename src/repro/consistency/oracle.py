@@ -40,6 +40,10 @@ class RunRecorder:
         self.history = SourceHistory()
         self.deliveries: list[UpdateNotice] = []
         self.snapshots = SnapshotLog()
+        #: recovery base: the checkpoint's claimed vector.  Deliveries and
+        #: installs recorded here describe the run *after* that point;
+        #: every verdict shifts its prefix arithmetic by this vector.
+        self.base_vector: dict[int, int] | None = None
 
     # ------------------------------------------------------------------
     # Hooks
@@ -61,6 +65,19 @@ class RunRecorder:
         """Record the warehouse's starting materialized view."""
         self.snapshots.set_initial(view_state)
 
+    def resume_from(
+        self, base_vector: dict[int, int], view_state: Relation
+    ) -> None:
+        """Rebase onto recovered durable state (crash-restart runs).
+
+        ``base_vector`` is the checkpoint's claimed vector; ``view_state``
+        the recovered view contents (which become the "initial" view of
+        this incarnation).  The source history is unaffected -- sources
+        replay their full schedules, so history vectors stay absolute.
+        """
+        self.base_vector = dict(base_vector)
+        self.snapshots.set_initial(view_state)
+
     def on_install(
         self,
         time: float,
@@ -80,7 +97,11 @@ class RunRecorder:
             return check_convergence(self.view, self.history, self.snapshots)
         if level == ConsistencyLevel.COMPLETE:
             return check_complete(
-                self.view, self.history, self.deliveries, self.snapshots
+                self.view,
+                self.history,
+                self.deliveries,
+                self.snapshots,
+                base_vector=self.base_vector,
             )
         if level == ConsistencyLevel.WEAK:
             return check_weak(
@@ -88,7 +109,11 @@ class RunRecorder:
             )
         if level == ConsistencyLevel.STRONG:
             return check_strong(
-                self.view, self.history, self.snapshots, max_vectors=max_vectors
+                self.view,
+                self.history,
+                self.snapshots,
+                max_vectors=max_vectors,
+                base_vector=self.base_vector,
             )
         raise ValueError(f"no check for level {level!r}")
 
@@ -100,6 +125,7 @@ class RunRecorder:
             self.deliveries,
             self.snapshots,
             max_vectors=max_vectors,
+            base_vector=self.base_vector,
         )
 
     # ------------------------------------------------------------------
@@ -112,12 +138,18 @@ class RunRecorder:
         (no vector, source regression, over-claim) -- see
         :func:`repro.consistency.checker.attribute_installs`.
         """
-        return attribute_installs(self.deliveries, self.snapshots)
+        return attribute_installs(
+            self.deliveries, self.snapshots, base_vector=self.base_vector
+        )
 
     def check_batched(self) -> CheckResult:
         """Batch-aware completeness: installs partition the delivery order."""
         return check_batched_complete(
-            self.view, self.history, self.deliveries, self.snapshots
+            self.view,
+            self.history,
+            self.deliveries,
+            self.snapshots,
+            base_vector=self.base_vector,
         )
 
     def per_update_staleness(self) -> list[float]:

@@ -1,0 +1,117 @@
+"""Codec-v2 flat-row encoding for durable state and delta snapshots.
+
+Everything durable (checkpoint view contents, WAL update frames) and the
+delta-encoded bootstrap snapshot reuses the wire codec's v2 row shape --
+one flat array of ``arity + 1`` entries per row -- so a checkpoint is
+byte-compatible with what travels the wire and the decoder is the one
+already exercised by every TCP conformance run.  The durable form adds a
+``"w"`` (width/arity) key so a frame is self-sizing without the schema.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.relational.delta import Delta
+from repro.relational.relation import BagBase, Relation
+from repro.relational.schema import Schema
+from repro.relational.view import ViewDefinition
+from repro.sources.messages import SnapshotAnswer, UpdateNotice
+
+# NOTE: repro.runtime.codec is imported lazily inside the two helpers
+# below.  The warehouse package reaches this module at import time (the
+# bootstrap path), and an eager import would close the cycle
+# warehouse -> durability -> runtime -> distributed -> harness ->
+# warehouse.
+
+
+def encode_bag(bag: BagBase) -> dict:
+    """Flat v2 rows plus explicit arity (``{"f": [...], "w": arity}``)."""
+    from repro.runtime.codec import _encode_rows
+
+    obj = _encode_rows(bag, 2)
+    obj["w"] = len(bag.schema)
+    return obj
+
+
+def encoded_row_count(rows: dict) -> int:
+    """Distinct rows in an encoded bag, without decoding it."""
+    stride = int(rows.get("w", 0)) + 1
+    return len(rows["f"]) // stride if stride > 1 else len(rows["f"])
+
+
+def decode_relation(rows: Any, schema: Schema) -> Relation:
+    from repro.runtime.codec import _decode_counts
+
+    return Relation(schema, _decode_counts(rows, len(schema)))
+
+
+def decode_delta(rows: Any, schema: Schema) -> Delta:
+    from repro.runtime.codec import _decode_counts
+
+    return Delta(schema, _decode_counts(rows, len(schema)))
+
+
+# ----------------------------------------------------------------------
+# Update notices (WAL frames / checkpoint pending queue)
+# ----------------------------------------------------------------------
+def encode_notice(notice: UpdateNotice) -> dict:
+    """A JSON-safe dict for one delivered update.
+
+    Delivery stamps (``delivery_seq``/``delivered_at``) are deliberately
+    dropped: on replay the dispatcher re-stamps them, which is what lets
+    a fresh recorder number the recovered run's deliveries from one.
+    """
+    return {
+        "source_index": notice.source_index,
+        "seq": notice.seq,
+        "applied_at": notice.applied_at,
+        "txn_id": notice.txn_id,
+        "txn_total": notice.txn_total,
+        "rows": encode_bag(notice.delta),
+    }
+
+
+def decode_notice(obj: dict, view: ViewDefinition) -> UpdateNotice:
+    index = int(obj["source_index"])
+    return UpdateNotice(
+        source_index=index,
+        seq=int(obj["seq"]),
+        delta=decode_delta(obj["rows"], view.schema_of(index)),
+        applied_at=float(obj.get("applied_at", 0.0)),
+        txn_id=obj.get("txn_id"),
+        txn_total=int(obj.get("txn_total", 0)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Delta-encoded snapshots (bootstrap / recompute)
+# ----------------------------------------------------------------------
+def snapshot_relation(answer: SnapshotAnswer, schema: Schema) -> Relation:
+    """Materialize a snapshot answer, whichever form it travelled in."""
+    if answer.relation is not None:
+        return answer.relation
+    if answer.rows is None:
+        raise ValueError("snapshot answer carries neither relation nor rows")
+    return decode_relation(answer.rows, schema)
+
+
+def snapshot_delta(answer: SnapshotAnswer, schema: Schema) -> Delta:
+    """A snapshot answer as an insertion delta (bootstrap seeding)."""
+    if answer.relation is not None:
+        return Delta.from_relation(answer.relation)
+    if answer.rows is None:
+        raise ValueError("snapshot answer carries neither relation nor rows")
+    return decode_delta(answer.rows, schema)
+
+
+__all__ = [
+    "decode_delta",
+    "decode_notice",
+    "decode_relation",
+    "encode_bag",
+    "encode_notice",
+    "encoded_row_count",
+    "snapshot_delta",
+    "snapshot_relation",
+]

@@ -41,8 +41,12 @@ from repro.warehouse.registry import ALGORITHMS, algorithm_info
 #: Every registered algorithm, in registry order.
 DEFAULT_ALGORITHMS: tuple[str, ...] = tuple(ALGORITHMS)
 
-#: The stock sweep: healthy control plus one profile per fault family.
-DEFAULT_PROFILES: tuple[str, ...] = ("healthy", "delay", "dup", "crash")
+#: The stock sweep: healthy control plus one profile per fault family --
+#: transport faults first, then the source-side profiles (stalled and
+#: bursty schedules, reorder attempts absorbed by the FIFO session).
+DEFAULT_PROFILES: tuple[str, ...] = (
+    "healthy", "delay", "dup", "crash", "source-stall", "source-reorder",
+)
 
 #: Algorithms whose installs are composite by design: the batch-aware
 #: completeness check is a hard gate for them, informational otherwise.

@@ -1,0 +1,393 @@
+"""Crash-restart conformance: kill a shard mid-protocol, recover, compare.
+
+Every case runs the same seeded workload three times over the sharded
+runtime (4-view family, 2 shards, round-robin so both shards host work):
+
+1. **baseline** -- durability off, no crash: the reference final views
+   and the consistency level an uncrashed run classifies at.
+2. **crash** -- durability on (checkpoints + WAL in a fresh directory)
+   with a deterministic :class:`~repro.durability.manager.CrashPlan`
+   that kills one shard after its N-th delivery or N-th install.  The
+   run must die with :class:`~repro.durability.errors.SimulatedCrash`.
+3. **recovery** -- the identical run re-entered over the same durable
+   directory: both shards recover (checkpoint + WAL replay), re-issue
+   in-flight sweeps, and run to quiescence.
+
+A case passes only if the recovered run (a) reaches at least the
+scheduler's claimed consistency level on *every* view -- the oracle's
+convergence check doubles as the no-lost/no-double-installed-update
+check, since a missing or twice-installed delta leaves the bag-semantics
+view observably wrong -- and (b) every final view is **byte-equal**
+(:func:`~repro.warehouse.sharding.canonical_view_bytes`) to the
+uncrashed baseline's.
+
+Crash points are varied across seeds: delivery-count crashes interleave
+freely with sweep steps (so they land mid-compensation), and
+install-count crashes on the batched scheduler land between the member
+installs of one composite batch.  :func:`run_recovery_sweep` drives the
+default 30-seed matrix (local transport, with every fifth seed run over
+loopback TCP so listener epochs and session adoption are exercised);
+:func:`kill_and_recover_smoke` is the multiprocess variant -- a real
+``SIGKILL`` against a ``repro serve-shard`` process under a supervisor
+with ``restart="on-crash"``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import tempfile
+import time as _time
+from pathlib import Path
+from typing import Sequence
+
+from repro.durability.errors import SimulatedCrash
+from repro.durability.manager import CheckpointPolicy, CrashPlan
+from repro.harness.config import ExperimentConfig
+from repro.harness.report import format_table
+from repro.runtime.shard import CLAIMED_LEVELS
+from repro.warehouse.sharding import canonical_view_bytes
+
+#: Workload shared by every case (kept small: each case runs it 3x).
+CASE_DEFAULTS = dict(
+    n_sources=3,
+    n_updates=12,
+    mean_interarrival=6.0,
+)
+N_VIEWS = 4
+N_SHARDS = 2
+#: Aggressive roll rate so every case exercises checkpoint + WAL replay.
+CHECKPOINT_POLICY = CheckpointPolicy(every_installs=3)
+
+#: Schedulers under test (the sharded runtime's two claimants).
+ALGORITHMS = ("sweep", "batched-sweep")
+
+
+def crash_spec(seed: int) -> dict:
+    """The deterministic crash point for a seed.
+
+    Even seeds crash on a delivery count (deliveries tick inside the
+    dispatcher, which interleaves with sweep steps -- mid-compensation),
+    odd seeds on an install count (mid-batch for the batched scheduler).
+    """
+    if seed % 2 == 0:
+        return {"after_deliveries": 4 + (seed // 2) % 7}
+    return {"after_installs": 2 + (seed // 2) % 6}
+
+
+def run_crash_restart_case(
+    algorithm: str,
+    seed: int,
+    transport: str = "local",
+    time_scale: float = 0.002,
+    timeout: float = 120.0,
+) -> dict:
+    """One baseline/crash/recovery triple; returns a flat report row."""
+    from repro.runtime import run_sharded
+
+    config = ExperimentConfig(
+        algorithm=algorithm,
+        seed=seed,
+        n_views=N_VIEWS,
+        **CASE_DEFAULTS,
+    )
+    claimed = CLAIMED_LEVELS[algorithm]
+    spec = crash_spec(seed)
+    crash_shard = seed % N_SHARDS
+    row = {
+        "algorithm": algorithm,
+        "transport": transport,
+        "seed": seed,
+        "crash_shard": crash_shard,
+        "crash_spec": spec,
+        "claimed": claimed.name.lower(),
+        "ok": False,
+        "crash_fired": False,
+        "recovered_pending": 0,
+        "achieved": "none",
+        "views_equal": False,
+        "wall_seconds": 0.0,
+        "error": "",
+    }
+    common = dict(
+        n_shards=N_SHARDS,
+        time_scale=time_scale,
+        timeout=timeout,
+        strategy="round-robin",
+    )
+    started = _time.perf_counter()
+    durable_root = tempfile.mkdtemp(prefix="repro-recovery-")
+    try:
+        baseline = run_sharded(config, transport="local", **common)
+        expected = {
+            name: canonical_view_bytes(view)
+            for name, view in baseline.final_views.items()
+        }
+        try:
+            run_sharded(
+                config,
+                transport=transport,
+                durable_dir=durable_root,
+                checkpoint_policy=CHECKPOINT_POLICY,
+                crash_plans={crash_shard: CrashPlan(**spec)},
+                **common,
+            )
+        except SimulatedCrash:
+            row["crash_fired"] = True
+        if not row["crash_fired"]:
+            row["error"] = f"crash plan {spec} never fired"
+            return row
+        recovered = run_sharded(
+            config,
+            transport=transport,
+            durable_dir=durable_root,
+            checkpoint_policy=CHECKPOINT_POLICY,
+            **common,
+        )
+        row["recovered_pending"] = sum(
+            (recovered.recovered_pending or {}).values()
+        )
+        achieved = recovered.min_level()
+        row["achieved"] = achieved.name.lower()
+        mismatched = sorted(
+            name
+            for name, view in recovered.final_views.items()
+            if canonical_view_bytes(view) != expected.get(name)
+        )
+        row["views_equal"] = not mismatched
+        if recovered.recovered_pending is None:
+            row["error"] = "second run did not recover durable state"
+        elif achieved < claimed:
+            row["error"] = f"achieved {achieved.name.lower()} < claimed"
+        elif mismatched:
+            row["error"] = (
+                f"view(s) {', '.join(mismatched)} differ from the"
+                " uncrashed baseline"
+            )
+        else:
+            row["ok"] = True
+        return row
+    except Exception as exc:  # noqa: BLE001 - report rows, don't abort sweeps
+        row["error"] = f"{type(exc).__name__}: {exc}"
+        return row
+    finally:
+        row["wall_seconds"] = round(_time.perf_counter() - started, 3)
+        shutil.rmtree(durable_root, ignore_errors=True)
+
+
+def run_recovery_sweep(
+    seeds: Sequence[int] = range(30),
+    tcp_every: int = 5,
+    time_scale: float = 0.002,
+    timeout: float = 120.0,
+    progress=None,
+) -> list[dict]:
+    """The seed sweep: algorithms alternate, every ``tcp_every``-th seed
+    runs over loopback TCP (0 disables TCP cases)."""
+    rows = []
+    for seed in seeds:
+        algorithm = ALGORITHMS[seed % len(ALGORITHMS)]
+        transport = (
+            "tcp" if tcp_every and seed % tcp_every == tcp_every - 1
+            else "local"
+        )
+        row = run_crash_restart_case(
+            algorithm,
+            seed,
+            transport=transport,
+            time_scale=time_scale,
+            timeout=timeout,
+        )
+        rows.append(row)
+        if progress is not None:
+            progress(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Multiprocess kill-and-recover smoke
+# ---------------------------------------------------------------------------
+
+def kill_and_recover_smoke(
+    timeout: float = 240.0,
+    time_scale: float = 0.05,
+    host: str = "127.0.0.1",
+) -> dict:
+    """SIGKILL a durable ``serve-shard`` process; the supervisor restarts
+    it and the fleet still finishes with every view verified.
+
+    The schedule is paced slowly enough (relative to ``time_scale``) that
+    the kill lands while the shard is mid-protocol: the harness waits for
+    the shard's durable directory to hold a checkpoint before pulling the
+    trigger, so the restarted incarnation always has state to recover.
+    """
+    from repro.runtime.shard import build_sharded_supervisor
+
+    config = ExperimentConfig(
+        algorithm="sweep",
+        seed=11,
+        n_sources=3,
+        n_updates=16,
+        mean_interarrival=4.0,
+        n_views=N_VIEWS,
+    )
+    report = {
+        "ok": False,
+        "restarts": 0,
+        "restart_log": [],
+        "killed": "shard0",
+        "error": "",
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-kill-recover-") as root:
+        supervisor = build_sharded_supervisor(
+            config,
+            N_SHARDS,
+            time_scale=time_scale,
+            strategy="round-robin",
+            host=host,
+            timeout=timeout,
+            durable_root=root,
+            restart="on-crash",
+            max_restarts=2,
+        )
+        try:
+            target = supervisor.procs["shard0"]
+            # Arm the kill only once the victim has durable state: the
+            # attach-time checkpoint plus at least one WAL-logged update.
+            wal_dir = os.path.join(root, "shard0")
+            deadline = _time.monotonic() + timeout / 2
+            while _time.monotonic() < deadline:
+                if target.poll() is not None:
+                    break  # finished early; report below
+                wals = [
+                    os.path.join(wal_dir, name)
+                    for name in (
+                        os.listdir(wal_dir) if os.path.isdir(wal_dir) else ()
+                    )
+                    if name.endswith(".wal")
+                ]
+                if any(os.path.getsize(path) > 64 for path in wals):
+                    break
+                _time.sleep(0.05)
+            if target.poll() is None:
+                target.send_signal(signal.SIGKILL)
+            else:
+                report["error"] = "shard0 exited before the kill was armed"
+                supervisor.wait(timeout=timeout)
+                return report
+            supervisor.wait(timeout=timeout)
+            report["restarts"] = supervisor.restarts.get("shard0", 0)
+            report["restart_log"] = list(supervisor.restart_log)
+            # Only the injected SIGKILL (exit -9) may have triggered a
+            # relaunch.  A recovered incarnation crashing on its own and
+            # being saved by the restart budget is a recovery bug this
+            # smoke exists to catch, not a pass.
+            unexpected = [
+                line
+                for line in report["restart_log"]
+                if "exit -9," not in line
+            ]
+            if report["restarts"] < 1:
+                report["error"] = "supervisor never restarted shard0"
+            elif unexpected:
+                report["error"] = (
+                    "recovered incarnation crashed: " + "; ".join(unexpected)
+                )
+            else:
+                # wait() returning means every member exited 0 -- each
+                # shard verified its views against the claimed level.
+                report["ok"] = True
+            return report
+        except Exception as exc:  # noqa: BLE001 - smoke reports, not raises
+            report["restart_log"] = list(supervisor.restart_log)
+            report["error"] = f"{type(exc).__name__}: {exc}"
+            return report
+
+
+# ---------------------------------------------------------------------------
+# Report plumbing (mirrors repro.harness.conformance)
+# ---------------------------------------------------------------------------
+
+def build_report(rows: list[dict], smoke: dict | None = None) -> dict:
+    report = {
+        "suite": "crash-restart",
+        "cases": len(rows),
+        "failed": sum(1 for row in rows if not row["ok"]),
+        "ok": all(row["ok"] for row in rows)
+        and (smoke is None or smoke["ok"]),
+        "rows": rows,
+    }
+    if smoke is not None:
+        report["kill_and_recover"] = smoke
+    return report
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_report(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def format_report(report: dict) -> str:
+    rows = report["rows"]
+    table = format_table(
+        ["algorithm", "transport", "seed", "crash", "claimed", "achieved",
+         "replayed", "views", "wall s", "verdict"],
+        [
+            [
+                row["algorithm"],
+                row["transport"],
+                row["seed"],
+                ",".join(
+                    f"{k.split('_')[1]}={v}"
+                    for k, v in row["crash_spec"].items()
+                ) + f"@s{row['crash_shard']}",
+                row["claimed"],
+                row["achieved"],
+                row["recovered_pending"],
+                "equal" if row["views_equal"] else "DIFFER",
+                row["wall_seconds"],
+                "PASS" if row["ok"] else f"FAIL ({row['error']})",
+            ]
+            for row in rows
+        ],
+        title="Crash-restart recovery: recovered runs vs uncrashed baselines",
+    )
+    lines = [table]
+    smoke = report.get("kill_and_recover")
+    if smoke is not None:
+        verdict = "PASS" if smoke["ok"] else f"FAIL ({smoke['error']})"
+        lines.append(
+            f"\nkill-and-recover smoke: {verdict}"
+            f" ({smoke['restarts']} restart(s) of {smoke['killed']})"
+        )
+        for entry in smoke.get("restart_log", []):
+            lines.append(f"  {entry}")
+    lines.append(
+        "\nall cases recovered" if report["ok"]
+        else f"\n{report['failed']} of {report['cases']} case(s) FAILED"
+    )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "ALGORITHMS",
+    "CASE_DEFAULTS",
+    "CHECKPOINT_POLICY",
+    "N_SHARDS",
+    "N_VIEWS",
+    "build_report",
+    "crash_spec",
+    "format_report",
+    "kill_and_recover_smoke",
+    "load_report",
+    "run_crash_restart_case",
+    "run_recovery_sweep",
+    "write_report",
+]

@@ -73,6 +73,11 @@ QUICK_SHARD_COUNTS = (1, 2)
 #: mode is gated via the recorded speedup ratios like every other cell).
 SHARD_SPEEDUP_TARGET = 1.8
 
+#: Maximum fraction of throughput the durability subsystem may cost on
+#: the saturated multi-view workload (checkpoints + WAL fsyncs versus the
+#: identical run with durability off).
+DURABLE_OVERHEAD_TARGET = 0.15
+
 
 def run_cell(
     mode: str,
@@ -121,6 +126,7 @@ def run_shard_cell(
     n_views: int,
     query_service_time: float,
     timeout: float = 120.0,
+    durable: bool = False,
 ) -> dict:
     """One sharded-runtime measurement (always the same workload).
 
@@ -141,20 +147,34 @@ def run_shard_cell(
         n_views=n_views,
         query_service_time=query_service_time,
     )
-    result = run_sharded(
-        config,
-        n_shards=n_shards,
-        transport="local",
-        time_scale=time_scale,
-        timeout=timeout,
-        strategy="round-robin",
-    )
+    kwargs = {}
+    if durable:
+        import tempfile
+
+        stack = tempfile.TemporaryDirectory(prefix="repro-bench-durable-")
+        kwargs["durable_dir"] = stack.name
+    else:
+        stack = None
+    try:
+        result = run_sharded(
+            config,
+            n_shards=n_shards,
+            transport="local",
+            time_scale=time_scale,
+            timeout=timeout,
+            strategy="round-robin",
+            **kwargs,
+        )
+    finally:
+        if stack is not None:
+            stack.cleanup()
     counters = result.metrics.counters
     level = result.min_level()
+    suffix = "+durable" if durable else ""
     return {
         "mode": "sharded",
         "transport": "local",
-        "algorithm": f"sweep@shards={n_shards}",
+        "algorithm": f"sweep@shards={n_shards}{suffix}",
         "updates": result.updates_total,
         "installs": counters.get("installs", 0),
         "updates_installed": counters.get("updates_installed", 0),
@@ -162,6 +182,7 @@ def run_shard_cell(
         "wall_seconds": round(result.wall_seconds, 4),
         "updates_per_sec": round(result.updates_per_sec, 1),
         "consistency": level.name.lower() if result.levels else "unchecked",
+        "checkpoints": counters.get("checkpoints_written", 0),
     }
 
 
@@ -181,6 +202,9 @@ def run_suite(quick: bool = False) -> list[dict]:
                 rows.append(run_cell(mode, transport, algorithm, **params))
     for n_shards in QUICK_SHARD_COUNTS if quick else SHARD_COUNTS:
         rows.append(run_shard_cell(n_shards, **SHARD_MODE))
+    # Durable mode re-runs the shards=1 cell with checkpoints + WAL on;
+    # the gated quantity is its throughput relative to the plain cell.
+    rows.append(run_shard_cell(1, durable=True, **SHARD_MODE))
     return rows
 
 
@@ -205,11 +229,21 @@ def speedups(rows: list[dict]) -> dict[str, float]:
         for row in rows:
             if row["mode"] != "sharded" or row is shard_base:
                 continue
-            count = row["algorithm"].partition("@")[2]  # "shards=N"
+            count = row["algorithm"].partition("@")[2]  # "shards=N[+durable]"
             out[f"sharded/local/{count}"] = round(
                 row["updates_per_sec"] / shard_base["updates_per_sec"], 2
             )
     return out
+
+
+def durable_overhead(rows: list[dict]) -> float | None:
+    """Fractional throughput lost to durability on the shards=1 cell."""
+    by_key = {_row_key(r): r for r in rows}
+    plain = by_key.get("sharded/local/sweep@shards=1")
+    durable = by_key.get("sharded/local/sweep@shards=1+durable")
+    if not plain or not durable or not plain["updates_per_sec"]:
+        return None
+    return round(1.0 - durable["updates_per_sec"] / plain["updates_per_sec"], 3)
 
 
 def build_report(rows: list[dict], quick: bool = False) -> dict:
@@ -220,8 +254,10 @@ def build_report(rows: list[dict], quick: bool = False) -> dict:
         "python": platform.python_version(),
         "baseline_updates_per_sec": BASELINE_UPDATES_PER_SEC,
         "speedup_target": SPEEDUP_TARGET,
+        "durable_overhead_target": DURABLE_OVERHEAD_TARGET,
         "rows": rows,
         "speedups": speedups(rows),
+        "durable_overhead": durable_overhead(rows),
     }
 
 
@@ -249,6 +285,12 @@ def compare_reports(
     that part is machine-independent by construction.
     """
     problems = []
+    overhead = current.get("durable_overhead")
+    if overhead is not None and overhead > DURABLE_OVERHEAD_TARGET:
+        problems.append(
+            f"durable_overhead: {overhead:.1%} throughput cost exceeds the"
+            f" {DURABLE_OVERHEAD_TARGET:.0%} budget"
+        )
     base_speedups = baseline.get("speedups", {})
     for key, ratio in current.get("speedups", {}).items():
         base = base_speedups.get(key)
@@ -311,12 +353,19 @@ def format_suite(rows: list[dict]) -> str:
         f"floor: sharded shards=4 >= {SHARD_SPEEDUP_TARGET}x shards=1 on"
         " the saturated multi-view workload (full suite)"
     )
+    overhead = durable_overhead(rows)
+    if overhead is not None:
+        lines.append(
+            f"durable overhead = {overhead:.1%} (budget"
+            f" {DURABLE_OVERHEAD_TARGET:.0%} of shards=1 throughput)"
+        )
     return "\n".join(lines)
 
 
 __all__ = [
     "ALGORITHMS",
     "BASELINE_UPDATES_PER_SEC",
+    "DURABLE_OVERHEAD_TARGET",
     "MODES",
     "QUICK_SHARD_COUNTS",
     "SHARD_COUNTS",
@@ -326,6 +375,7 @@ __all__ = [
     "TRANSPORTS",
     "build_report",
     "compare_reports",
+    "durable_overhead",
     "format_suite",
     "load_report",
     "run_cell",

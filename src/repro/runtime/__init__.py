@@ -45,6 +45,7 @@ from repro.runtime.errors import (
 from repro.runtime.kernel import AsyncRuntime
 from repro.runtime.nodes import CentralSourceNode, SourceNode, WarehouseNode
 from repro.runtime.shard import (
+    CLEAN_FAILURE_EXIT,
     ShardCrashed,
     ShardNode,
     ShardSupervisor,
@@ -52,6 +53,7 @@ from repro.runtime.shard import (
     ShardedRunResult,
     ShardedSourceFront,
     ShardedSourceNode,
+    build_sharded_supervisor,
     free_port,
     launch_sharded_processes,
     run_sharded,
@@ -64,6 +66,7 @@ from repro.runtime.transport import LocalChannel, RuntimeChannel
 
 __all__ = [
     "AsyncRuntime",
+    "CLEAN_FAILURE_EXIT",
     "CentralSourceNode",
     "ChannelListener",
     "ChaosConfig",
@@ -92,6 +95,7 @@ __all__ = [
     "TransportRetriesExceeded",
     "WarehouseNode",
     "WireCodec",
+    "build_sharded_supervisor",
     "free_port",
     "launch_sharded_processes",
     "probe_peer",

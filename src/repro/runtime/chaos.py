@@ -15,7 +15,17 @@ sees exactly-once in-order delivery while the delivery path suffers:
   connection killed mid-frame, forcing reconnect-and-resume);
 * **crash-restart blackouts** -- periodic windows during which the link
   is dark (for TCP: dials are accepted and immediately closed, as a
-  crashed-and-restarting peer would).
+  crashed-and-restarting peer would);
+* **source stalls / bursts** -- the *sending side* goes quiet for a
+  while and then releases the held block back-to-back: head-of-line
+  latency that preserves FIFO but turns a smooth update stream into
+  burst arrivals (the arrival pattern batched schedulers and the
+  durability WAL see under real source hiccups);
+* **reorders within the retry budget** -- a frame attempts the wire out
+  of order; the receive filter rejects it by sequence number and the
+  in-order retransmit lands within ``retransmit_delay`` (for TCP, where
+  a byte stream cannot reorder, the connection is killed instead and the
+  session resumes in order).
 
 Every fault decision is a pure function of ``(seed, channel name, event
 key)`` -- :class:`FaultPlan` draws each decision from its own
@@ -75,6 +85,18 @@ class ChaosConfig:
     crash_period: float = 0.0
     #: How long each blackout keeps the link dark.
     crash_downtime: float = 0.0
+    #: Probability a block of ``stall_burst`` messages opens a source
+    #: stall: the sender goes quiet, everything queued behind waits too
+    #: (head-of-line, FIFO preserved), then the block lands back-to-back.
+    stall_prob: float = 0.0
+    #: Mean of the exponential stall length.
+    stall_mean: float = 0.0
+    #: Messages sharing one stall decision (the burst released after it).
+    stall_burst: int = 1
+    #: Probability a frame attempts the wire out of order.  The receive
+    #: filter rejects it and the in-order retransmit follows within
+    #: ``retransmit_delay`` -- reorder bounded by the retry budget.
+    reorder_prob: float = 0.0
 
     @property
     def active(self) -> bool:
@@ -84,6 +106,8 @@ class ChaosConfig:
             or self.dup_prob > 0
             or self.drop_prob > 0
             or (self.crash_period > 0 and self.crash_downtime > 0)
+            or (self.stall_prob > 0 and self.stall_mean > 0)
+            or self.reorder_prob > 0
         )
 
 
@@ -116,6 +140,32 @@ PROFILES: dict[str, ChaosConfig] = {
         crash_period=60.0,
         crash_downtime=5.0,
     ),
+    # Source-side profiles: faults originate at the sending site rather
+    # than on the wire.
+    "source-stall": ChaosConfig(
+        name="source-stall", stall_prob=0.2, stall_mean=10.0, stall_burst=2
+    ),
+    "source-burst": ChaosConfig(
+        name="source-burst", stall_prob=0.45, stall_mean=4.0, stall_burst=5
+    ),
+    "source-reorder": ChaosConfig(
+        name="source-reorder", reorder_prob=0.3, retransmit_delay=1.0
+    ),
+    # What a crashing-and-recovering peer looks like from the outside:
+    # long dark windows plus stalls while it replays its durable state.
+    # (Actual kill-and-recover of a *shard* is driven by the durability
+    # harness -- see repro.harness.recovery -- which pairs this profile
+    # with a CrashPlan.)
+    "crash-restart": ChaosConfig(
+        name="crash-restart",
+        drop_prob=0.1,
+        retransmit_delay=1.0,
+        crash_period=30.0,
+        crash_downtime=8.0,
+        stall_prob=0.15,
+        stall_mean=5.0,
+        stall_burst=2,
+    ),
 }
 
 
@@ -142,6 +192,10 @@ class ChaosStats:
     drops_injected: int = 0
     connections_killed: int = 0
     blackouts_hit: int = 0
+    stalls_injected: int = 0
+    reorders_injected: int = 0
+    #: out-of-order wire attempts the receive filter rejected.
+    reorders_suppressed: int = 0
 
     @property
     def faults_injected(self) -> int:
@@ -151,6 +205,8 @@ class ChaosStats:
             + self.drops_injected
             + self.connections_killed
             + self.blackouts_hit
+            + self.stalls_injected
+            + self.reorders_injected
         )
 
     def as_dict(self) -> dict[str, int]:
@@ -206,6 +262,32 @@ class FaultPlan:
         """TCP only: whether forwarding event ``key`` kills the connection."""
         cfg = self.config
         return cfg.drop_prob > 0 and self._rng("kill", key).random() < cfg.drop_prob
+
+    def stall(self, key: int) -> float:
+        """Source-stall length opened by event ``key`` (0.0 for most).
+
+        Decisions are per block of ``stall_burst`` events, and only the
+        block head pays the sleep -- the rest of the block rides its wake
+        and lands as a burst.
+        """
+        cfg = self.config
+        if cfg.stall_prob <= 0 or cfg.stall_mean <= 0:
+            return 0.0
+        burst = max(1, cfg.stall_burst)
+        block = (key - 1) // burst
+        if key != block * burst + 1:
+            return 0.0
+        if self._rng("stall-block", block).random() >= cfg.stall_prob:
+            return 0.0
+        return self._rng("stall", block).expovariate(1.0 / cfg.stall_mean)
+
+    def reordered(self, key: int) -> bool:
+        """Whether event ``key`` provokes an out-of-order wire attempt."""
+        cfg = self.config
+        return (
+            cfg.reorder_prob > 0
+            and self._rng("reorder", key).random() < cfg.reorder_prob
+        )
 
     def blackout_remaining(self, now: float) -> float:
         """Virtual time left in the blackout covering ``now`` (0 if none).
@@ -290,6 +372,13 @@ class ChaosLocalChannel(RuntimeChannel):
             if remaining > 0:
                 self.stats.blackouts_hit += 1
                 await self.runtime.sleep(remaining)
+            # Source stall: the sender goes quiet; everything queued
+            # behind this message waits too (head-of-line, FIFO kept),
+            # then the held block lands back-to-back.
+            stall = self.plan.stall(seq)
+            if stall > 0:
+                self.stats.stalls_injected += 1
+                await self.runtime.sleep(stall)
             # Lost wire attempts: the paper's reliable channel is built
             # from retransmission, so a drop costs time, not messages.
             for _ in range(self.plan.drop_attempts(seq)):
@@ -299,6 +388,15 @@ class ChaosLocalChannel(RuntimeChannel):
             if delay > 0:
                 self.stats.delays_injected += 1
                 await self.runtime.sleep(delay)
+            if self.plan.reordered(seq) and len(self._pending) > 1:
+                # Out-of-order wire attempt: the frame *behind* this one
+                # tries to jump the queue.  The receive filter rejects it
+                # by sequence number, and its in-order (re)transmission
+                # happens on its own turn, within the retry budget.
+                self.stats.reorders_injected += 1
+                next_seq, next_message = self._pending[1]
+                self._wire_deliver(next_seq, next_message)
+                await self.runtime.sleep(self.config.retransmit_delay)
             self._wire_deliver(seq, message)
             if self.plan.duplicated(seq):
                 # The duplicate lands *after* later traffic may have gone
@@ -314,7 +412,10 @@ class ChaosLocalChannel(RuntimeChannel):
     def _wire_deliver(self, seq: int, message: Message) -> None:
         """The receive filter: deliver in-sequence frames exactly once."""
         if seq != self._expect:
-            self.stats.dups_suppressed += 1
+            if seq > self._expect:
+                self.stats.reorders_suppressed += 1
+            else:
+                self.stats.dups_suppressed += 1
             return
         message.delivered_at = self.runtime.now
         self.destination.put(message)
@@ -473,6 +574,19 @@ class ChaosTcpProxy:
                     # unacked window resends it after the reconnect.
                     self.stats.connections_killed += 1
                     return
+                if self.plan.reordered(key):
+                    # A byte stream cannot reorder; the closest
+                    # observable effect is this frame not arriving in
+                    # order -- kill the connection and let the session
+                    # resume, which re-sends everything in order.
+                    self.stats.reorders_injected += 1
+                    return
+                stall = self.plan.stall(key)
+                if stall > 0:
+                    # Head-of-line: the whole stream behind this frame
+                    # waits with it, exactly like a stalled source.
+                    self.stats.stalls_injected += 1
+                    await self.runtime.sleep(stall)
                 delay = self.plan.delay(key)
                 if delay > 0:
                     self.stats.delays_injected += 1

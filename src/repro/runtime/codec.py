@@ -48,6 +48,8 @@ from repro.sources.messages import (
     EcaQueryTerm,
     MultiQueryAnswer,
     MultiQueryRequest,
+    PositionAnswer,
+    PositionRequest,
     QueryAnswer,
     QueryRequest,
     SnapshotAnswer,
@@ -141,6 +143,13 @@ class WireCodec:
     # ------------------------------------------------------------------
     # Payloads
     # ------------------------------------------------------------------
+    @staticmethod
+    def _epoch_field(payload: Any) -> dict:
+        """Incarnation tag for query/answer payloads; omitted when 0 so
+        pre-durability wire frames are byte-identical."""
+        epoch = getattr(payload, "epoch", 0)
+        return {"epoch": epoch} if epoch else {}
+
     def encode_payload(self, payload: Any, version: int | None = None) -> dict:
         v = self.version if version is None else version
         if isinstance(payload, UpdateNotice):
@@ -159,12 +168,14 @@ class WireCodec:
                 "request_id": payload.request_id,
                 "target_index": payload.target_index,
                 "partial": self._encode_partial(payload.partial, v),
+                **self._epoch_field(payload),
             }
         if isinstance(payload, QueryAnswer):
             return {
                 "type": "query_answer",
                 "request_id": payload.request_id,
                 "partial": self._encode_partial(payload.partial, v),
+                **self._epoch_field(payload),
             }
         if isinstance(payload, MultiQueryRequest):
             return {
@@ -172,12 +183,14 @@ class WireCodec:
                 "request_id": payload.request_id,
                 "target_index": payload.target_index,
                 "partials": [self._encode_partial(p, v) for p in payload.partials],
+                **self._epoch_field(payload),
             }
         if isinstance(payload, MultiQueryAnswer):
             return {
                 "type": "multi_query_answer",
                 "request_id": payload.request_id,
                 "partials": [self._encode_partial(p, v) for p in payload.partials],
+                **self._epoch_field(payload),
             }
         if isinstance(payload, EcaQuery):
             return {
@@ -200,14 +213,40 @@ class WireCodec:
                 "request_id": payload.request_id,
                 "rows": _encode_rows(payload.delta, v),
             }
+        if isinstance(payload, PositionRequest):
+            return {
+                "type": "position_request",
+                "request_id": payload.request_id,
+                **self._epoch_field(payload),
+            }
+        if isinstance(payload, PositionAnswer):
+            return {
+                "type": "position_answer",
+                "request_id": payload.request_id,
+                "source_index": payload.source_index,
+                "position": payload.position,
+                **self._epoch_field(payload),
+            }
         if isinstance(payload, SnapshotRequest):
-            return {"type": "snapshot_request", "request_id": payload.request_id}
+            return {
+                "type": "snapshot_request",
+                "request_id": payload.request_id,
+                **self._epoch_field(payload),
+            }
         if isinstance(payload, SnapshotAnswer):
+            # Delta-encoded answers carry pre-encoded v2 flat rows; pass
+            # them through (decoding is version-agnostic, so this is safe
+            # even on a v1-negotiated channel).
             return {
                 "type": "snapshot_answer",
                 "request_id": payload.request_id,
                 "source_index": payload.source_index,
-                "rows": _encode_rows(payload.relation, v),
+                "rows": (
+                    payload.rows
+                    if payload.relation is None
+                    else _encode_rows(payload.relation, v)
+                ),
+                **self._epoch_field(payload),
             }
         raise WireProtocolError(
             f"no wire encoding for payload type {type(payload).__name__}"
@@ -230,22 +269,26 @@ class WireCodec:
                 request_id=int(obj["request_id"]),
                 partial=self._decode_partial(obj["partial"]),
                 target_index=int(obj["target_index"]),
+                epoch=int(obj.get("epoch", 0)),
             )
         if kind == "query_answer":
             return QueryAnswer(
                 request_id=int(obj["request_id"]),
                 partial=self._decode_partial(obj["partial"]),
+                epoch=int(obj.get("epoch", 0)),
             )
         if kind == "multi_query_request":
             return MultiQueryRequest(
                 request_id=int(obj["request_id"]),
                 partials=[self._decode_partial(p) for p in obj["partials"]],
                 target_index=int(obj["target_index"]),
+                epoch=int(obj.get("epoch", 0)),
             )
         if kind == "multi_query_answer":
             return MultiQueryAnswer(
                 request_id=int(obj["request_id"]),
                 partials=[self._decode_partial(p) for p in obj["partials"]],
+                epoch=int(obj.get("epoch", 0)),
             )
         if kind == "eca_query":
             return EcaQuery(
@@ -268,8 +311,23 @@ class WireCodec:
                 request_id=int(obj["request_id"]),
                 delta=self._decode_delta(self.view.wide_schema, obj["rows"]),
             )
+        if kind == "position_request":
+            return PositionRequest(
+                request_id=int(obj["request_id"]),
+                epoch=int(obj.get("epoch", 0)),
+            )
+        if kind == "position_answer":
+            return PositionAnswer(
+                request_id=int(obj["request_id"]),
+                source_index=int(obj["source_index"]),
+                position=int(obj["position"]),
+                epoch=int(obj.get("epoch", 0)),
+            )
         if kind == "snapshot_request":
-            return SnapshotRequest(request_id=int(obj["request_id"]))
+            return SnapshotRequest(
+                request_id=int(obj["request_id"]),
+                epoch=int(obj.get("epoch", 0)),
+            )
         if kind == "snapshot_answer":
             index = int(obj["source_index"])
             schema = self.view.schema_of(index)
@@ -279,6 +337,7 @@ class WireCodec:
                 relation=Relation(
                     schema, _decode_counts(obj["rows"], len(schema))
                 ),
+                epoch=int(obj.get("epoch", 0)),
             )
         raise WireProtocolError(f"unknown payload type {kind!r}")
 

@@ -544,6 +544,8 @@ async def serve_warehouse_async(
     timeout: float = 3600.0,
     tcp_config: TcpChannelConfig | None = None,
     probe: bool = True,
+    durable_dir: str | None = None,
+    checkpoint_policy=None,
 ) -> DistributedRunResult:
     """Host the warehouse site of a multi-process deployment.
 
@@ -557,6 +559,11 @@ async def serve_warehouse_async(
     front (with the channel retry budget), so a mistyped or dead peer
     surfaces as :class:`~repro.runtime.errors.TransportRetriesExceeded`
     instead of the site waiting forever for updates that cannot arrive.
+
+    ``durable_dir`` makes the site crash-restartable: it checkpoints and
+    WAL-logs there, and a process restarted on the same directory
+    recovers and picks the protocol up where the durable state left it
+    (see :mod:`repro.durability`).
     """
     rngs = RngRegistry(config.seed)
     workload = build_workload(config, rngs)
@@ -583,9 +590,22 @@ async def serve_warehouse_async(
         listen_port=listen_port,
         tcp_config=tcp_config,
         algorithm_kwargs=algorithm_kwargs(config),
+        durable_dir=durable_dir,
+        checkpoint_policy=checkpoint_policy,
     )
     await node.start()
     print(f"warehouse[{config.algorithm}] listening on {node.address[0]}:{node.address[1]}")
+    recovered = node.recovered_state
+    if recovered is not None:
+        print(
+            f"warehouse recovered generation {recovered.generation}:"
+            f" {recovered.installs} installs, {len(recovered.pending)}"
+            f" pending update(s) replayed"
+        )
+        if expect_updates is not None:
+            # This incarnation only sees what the durable state has not
+            # yet installed: the replayed pending plus the remainder.
+            expect_updates += len(recovered.pending) - recovered.delivered_total
     started = _time.perf_counter()
     try:
         if probe:

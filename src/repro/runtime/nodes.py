@@ -158,6 +158,13 @@ class WarehouseNode:
     of each :class:`SourceNode` listener -- or ``{0: address}`` for the
     centralized architecture, matching the simulator harness's convention
     of keying the central query channel as index 0.
+
+    With ``durable_dir`` the node checkpoints the view and WAL-logs every
+    delivered update there (log-before-ack: the listener only acks a
+    frame once the :class:`LoggingMailbox` has appended it), and a node
+    restarted on the same directory recovers and resumes mid-protocol --
+    see :mod:`repro.durability`.  Only queue-driven algorithms support
+    this; the recovery layer rejects the rest loudly.
     """
 
     def __init__(
@@ -174,13 +181,30 @@ class WarehouseNode:
         listen_port: int = 0,
         tcp_config: TcpChannelConfig | None = None,
         algorithm_kwargs: dict | None = None,
+        durable_dir: str | None = None,
+        checkpoint_policy: "CheckpointPolicy | None" = None,
+        crash_plan: "CrashPlan | None" = None,
+        fsync_batch: int = 8,
     ):
+        from repro.durability.manager import LoggingMailbox
+        from repro.durability.recovery import load_state
+
         self.runtime = runtime
         self.view = view
         self.info = algorithm_info(algorithm)
         self.codec = WireCodec(view)
-        self.inbox = Mailbox(runtime, "warehouse-inbox")
-        self.listener = ChannelListener(runtime, listen_host, listen_port)
+        state = None
+        if durable_dir is not None:
+            state = load_state(durable_dir, [view])
+            self.inbox = LoggingMailbox(runtime, "warehouse-inbox")
+        else:
+            self.inbox = Mailbox(runtime, "warehouse-inbox")
+        # A recovered node announces a higher session epoch so the
+        # sources' listeners reset their FIFO expectations to its hellos.
+        epoch = state.generation + 1 if state is not None else 0
+        self.listener = ChannelListener(
+            runtime, listen_host, listen_port, adopt_next=state is not None
+        )
         if self.info.architecture == "centralized":
             inbound = ["central->wh"]
         else:
@@ -199,6 +223,7 @@ class WarehouseNode:
                 self.codec,
                 metrics,
                 tcp_config,
+                epoch=epoch,
             )
             for index, (host, port) in sorted(source_addresses.items())
         }
@@ -213,6 +238,28 @@ class WarehouseNode:
             inbox=self.inbox,
             **(algorithm_kwargs or {}),
         )
+        self.durability = None
+        self.recovered_state = state
+        if durable_dir is not None:
+            from repro.durability.errors import RecoveryError
+            from repro.durability.manager import DurabilityManager
+            from repro.durability.recovery import resume_warehouse
+            from repro.warehouse.base import QueueDrivenWarehouse
+
+            if not isinstance(self.warehouse, QueueDrivenWarehouse):
+                raise RecoveryError(
+                    f"algorithm {self.info.name!r} is not queue-driven and"
+                    " cannot run with --durable-dir"
+                )
+            if state is not None:
+                resume_warehouse(self.warehouse, state)
+            self.durability = DurabilityManager(
+                durable_dir,
+                policy=checkpoint_policy,
+                fsync_batch=fsync_batch,
+                crash_plan=crash_plan,
+            )
+            self.durability.attach(self.warehouse, state)
 
     def _query_channel_name(self, index: int) -> str:
         if index == 0:
@@ -236,6 +283,8 @@ class WarehouseNode:
         return all(channel.idle for channel in self.query_channels.values())
 
     async def aclose(self) -> None:
+        if self.durability is not None:
+            self.durability.close()
         for channel in self.query_channels.values():
             await channel.aclose()
         await self.listener.aclose()

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import os
 import socket
 import subprocess
 import sys
@@ -54,6 +55,19 @@ from dataclasses import dataclass
 
 from repro.consistency.levels import ConsistencyLevel
 from repro.consistency.oracle import RunRecorder
+from repro.durability.encoding import encode_bag
+from repro.durability.manager import (
+    CheckpointPolicy,
+    CrashPlan,
+    DurabilityManager,
+    LoggingMailbox,
+)
+from repro.durability.recovery import (
+    RecoveredState,
+    attach_durability,
+    load_state,
+    resume_warehouse,
+)
 from repro.harness.config import ExperimentConfig
 from repro.harness.runner import build_workload
 from repro.relational.relation import Relation
@@ -85,6 +99,8 @@ from repro.sources.memory import MemoryBackend
 from repro.sources.messages import (
     MultiQueryAnswer,
     MultiQueryRequest,
+    PositionAnswer,
+    PositionRequest,
     QueryAnswer,
     SnapshotAnswer,
     SnapshotRequest,
@@ -215,13 +231,24 @@ class ShardedSourceFront:
         while True:
             msg = yield inbox.get()
             request = msg.payload
-            if isinstance(request, SnapshotRequest):
+            if isinstance(request, PositionRequest):
+                # Recovery probe: current seq only, no join, no delay.
+                answer = PositionAnswer(
+                    request_id=request.request_id,
+                    source_index=self.index,
+                    position=self.update_seq,
+                    epoch=request.epoch,
+                )
+            elif isinstance(request, SnapshotRequest):
                 if self.query_service_time > 0:
                     yield Delay(self.query_service_time)
+                # Delta-encoded: codec-v2 flat rows, the checkpoint
+                # encoder's format (see repro.durability.encoding).
                 answer = SnapshotAnswer(
                     request_id=request.request_id,
                     source_index=self.index,
-                    relation=self.backend.snapshot(),
+                    rows=encode_bag(self.backend.snapshot()),
+                    epoch=request.epoch,
                 )
             elif isinstance(request, MultiQueryRequest):
                 if self.query_service_time > 0:
@@ -233,6 +260,7 @@ class ShardedSourceFront:
                     partials=[
                         self.backend.compute_join(p) for p in request.partials
                     ],
+                    epoch=request.epoch,
                 )
             else:
                 if self.query_service_time > 0:
@@ -240,6 +268,7 @@ class ShardedSourceFront:
                 answer = QueryAnswer(
                     request_id=request.request_id,
                     partial=self.backend.compute_join(request.partial),
+                    epoch=request.epoch,
                 )
             channel.send(
                 Message(kind="answer", sender=self.name, payload=answer)
@@ -306,7 +335,15 @@ def build_shard_warehouse(
 
 
 class ShardNode:
-    """One warehouse shard as a deployable site (listener + query channels)."""
+    """One warehouse shard as a deployable site (listener + query channels).
+
+    With ``durable_dir`` the shard checkpoints its views and logs every
+    delivered update (see :mod:`repro.durability`); a restart with the
+    same directory recovers the durable state and resynchronizes both
+    transport directions: the listener adopts the senders' sequence
+    position (``adopt_next``), and the query channels announce a fresh
+    ``epoch`` so source listeners accept their restarted numbering.
+    """
 
     def __init__(
         self,
@@ -322,6 +359,10 @@ class ShardNode:
         listen_host: str = "127.0.0.1",
         listen_port: int = 0,
         tcp_config: TcpChannelConfig | None = None,
+        durable_dir: str | None = None,
+        checkpoint_policy: CheckpointPolicy | None = None,
+        crash_plan: CrashPlan | None = None,
+        fsync_batch: int = 8,
     ):
         if not views:
             raise ValueError(f"shard {shard_id} has no views to host")
@@ -330,8 +371,18 @@ class ShardNode:
         self.views = list(views)
         self.codec = _family_codec(self.views)
         primary = self.views[0]
-        self.inbox = Mailbox(runtime, f"sh{shard_id}-inbox")
-        self.listener = ChannelListener(runtime, listen_host, listen_port)
+        self.durability: DurabilityManager | None = None
+        self.recovered_state: RecoveredState | None = None
+        state: RecoveredState | None = None
+        if durable_dir is not None:
+            state = load_state(durable_dir, self.views)
+            self.inbox: Mailbox = LoggingMailbox(runtime, f"sh{shard_id}-inbox")
+        else:
+            self.inbox = Mailbox(runtime, f"sh{shard_id}-inbox")
+        epoch = state.generation + 1 if state is not None else 0
+        self.listener = ChannelListener(
+            runtime, listen_host, listen_port, adopt_next=state is not None
+        )
         for index in range(1, primary.n_relations + 1):
             self.listener.register(
                 f"{primary.name_of(index)}->sh{shard_id}", self.inbox, self.codec
@@ -346,6 +397,7 @@ class ShardNode:
                 self.codec,
                 metrics,
                 tcp_config,
+                epoch=epoch,
             )
             for index, (host, port) in sorted(source_addresses.items())
         }
@@ -360,6 +412,17 @@ class ShardNode:
             metrics,
             trace,
         )
+        if durable_dir is not None:
+            if state is not None:
+                resume_warehouse(self.warehouse, state)
+            self.durability = DurabilityManager(
+                durable_dir,
+                policy=checkpoint_policy,
+                fsync_batch=fsync_batch,
+                crash_plan=crash_plan,
+            )
+            self.durability.attach(self.warehouse, state)
+            self.recovered_state = state
 
     async def start(self) -> None:
         await self.listener.start()
@@ -377,6 +440,8 @@ class ShardNode:
         return all(channel.idle for channel in self.query_channels.values())
 
     async def aclose(self) -> None:
+        if self.durability is not None:
+            self.durability.close()
         for channel in self.query_channels.values():
             await channel.aclose()
         await self.listener.aclose()
@@ -486,6 +551,8 @@ class ShardedRunResult:
     wall_seconds: float
     chaos_profile: str | None = None
     chaos_stats: ChaosStats | None = None
+    #: shard id -> updates replayed from durable state (recovered runs).
+    recovered_pending: dict[int, int] | None = None
 
     @property
     def installs(self) -> int:
@@ -585,6 +652,9 @@ async def run_sharded_async(
     chaos: "ChaosConfig | str | None" = None,
     views: list[ViewDefinition] | None = None,
     strategy: str = "hash",
+    durable_dir: str | None = None,
+    checkpoint_policy: CheckpointPolicy | None = None,
+    crash_plans: "dict[int, CrashPlan] | None" = None,
 ) -> ShardedRunResult:
     """Run one sharded experiment to quiescence on the current loop.
 
@@ -593,6 +663,14 @@ async def run_sharded_async(
     partitioning rule (``hash`` / ``round-robin``), and ``chaos`` injects
     deterministic transport faults below the FIFO contract, exactly as in
     :func:`repro.runtime.distributed.run_distributed_async`.
+
+    ``durable_dir`` turns on the durability subsystem: each shard
+    checkpoints and WAL-logs under ``<durable_dir>/shard<id>``, and a
+    rerun over the same directory recovers every shard from its durable
+    state (sources replay their seeded schedules; redeliveries are
+    fenced).  ``crash_plans`` (shard id -> :class:`CrashPlan`) injects a
+    deterministic :class:`~repro.durability.errors.SimulatedCrash`, which
+    this call re-raises -- the crash-restart harness's phase one.
     """
     if transport not in ("tcp", "local"):
         raise ValueError(f"unknown transport {transport!r}")
@@ -631,6 +709,14 @@ async def run_sharded_async(
     shard_nodes: dict[int, ShardNode] = {}
     source_nodes: list[ShardedSourceNode] = []
     fronts: dict[int, ShardedSourceFront] = {}
+    managers: list[DurabilityManager] = []
+    recovered_states: dict[int, RecoveredState] = {}
+    crash_plans = crash_plans or {}
+
+    def _shard_dir(shard: int) -> str | None:
+        if durable_dir is None:
+            return None
+        return os.path.join(durable_dir, f"shard{shard}")
     shard_primaries = {
         shard: plan.views_for(shard)[0].name for shard in plan.active_shards
     }
@@ -669,7 +755,11 @@ async def run_sharded_async(
 
     if transport == "local":
         shard_inboxes = {
-            shard: Mailbox(runtime, f"sh{shard}-inbox")
+            shard: (
+                LoggingMailbox(runtime, f"sh{shard}-inbox")
+                if durable_dir is not None
+                else Mailbox(runtime, f"sh{shard}-inbox")
+            )
             for shard in plan.active_shards
         }
         mailboxes.extend(shard_inboxes.values())
@@ -720,6 +810,16 @@ async def run_sharded_async(
                 metrics,
                 trace_arg,
             )
+            if durable_dir is not None:
+                manager, state = attach_durability(
+                    warehouses[shard],
+                    _shard_dir(shard),
+                    policy=checkpoint_policy,
+                    crash_plan=crash_plans.get(shard),
+                )
+                managers.append(manager)
+                if state is not None:
+                    recovered_states[shard] = state
     else:
         placeholder = ("127.0.0.1", 1)
         for index in range(1, n + 1):
@@ -769,11 +869,16 @@ async def run_sharded_async(
                 trace=trace_arg,
                 listen_host=host,
                 tcp_config=tcp_config,
+                durable_dir=_shard_dir(shard),
+                checkpoint_policy=checkpoint_policy,
+                crash_plan=crash_plans.get(shard),
             )
             await node.start()
             shard_nodes[shard] = node
             warehouses[shard] = node.warehouse
             mailboxes.append(node.inbox)
+            if node.recovered_state is not None:
+                recovered_states[shard] = node.recovered_state
         for source in source_nodes:
             for shard, channel in source.update_channels.items():
                 channel.host, channel.port = await _front_address(
@@ -797,6 +902,11 @@ async def run_sharded_async(
         )
         for shard in plan.active_shards
     }
+    # A recovered shard's recorder counts only this incarnation's
+    # deliveries: the replayed checkpoint/WAL pending plus whatever the
+    # durable marks have not fenced off as redeliveries.
+    for shard, state in recovered_states.items():
+        shard_expected[shard] += len(state.pending) - state.delivered_total
     expected_deliveries = sum(shard_expected.values())
 
     started = _time.perf_counter()
@@ -864,8 +974,15 @@ async def run_sharded_async(
             wall_seconds=wall,
             chaos_profile=chaos.name if chaos is not None else None,
             chaos_stats=chaos_stats,
+            recovered_pending=(
+                {s: len(st.pending) for s, st in recovered_states.items()}
+                if recovered_states
+                else None
+            ),
         )
     finally:
+        for manager in managers:
+            manager.close()
         for node in shard_nodes.values():
             await node.aclose()
         for node in source_nodes:
@@ -888,6 +1005,9 @@ def run_sharded(
     chaos: "ChaosConfig | str | None" = None,
     views: list[ViewDefinition] | None = None,
     strategy: str = "hash",
+    durable_dir: str | None = None,
+    checkpoint_policy: CheckpointPolicy | None = None,
+    crash_plans: "dict[int, CrashPlan] | None" = None,
 ) -> ShardedRunResult:
     """Blocking wrapper: one sharded experiment in a fresh event loop."""
     return asyncio.run(
@@ -902,6 +1022,9 @@ def run_sharded(
             chaos=chaos,
             views=views,
             strategy=strategy,
+            durable_dir=durable_dir,
+            checkpoint_policy=checkpoint_policy,
+            crash_plans=crash_plans,
         )
     )
 
@@ -924,6 +1047,8 @@ async def serve_shard_async(
     strategy: str = "hash",
     probe: bool = True,
     verify: bool = True,
+    durable_dir: str | None = None,
+    checkpoint_policy: CheckpointPolicy | None = None,
 ) -> ShardedRunResult:
     """Host one warehouse shard of a multi-process sharded deployment.
 
@@ -935,6 +1060,11 @@ async def serve_shard_async(
     short of its scheduler's claimed level raises
     :class:`ShardVerificationError` (and the CLI exits non-zero) -- the
     supervisor's oracle gate for free.
+
+    ``durable_dir`` makes the shard crash-restartable: it checkpoints and
+    WAL-logs there, and a relaunch over the same directory (what
+    ``ShardSupervisor`` does under ``restart="on-crash"``) recovers the
+    views and re-enters the protocol where the durable state left off.
     """
     rngs = RngRegistry(config.seed)
     workload = build_workload(config, rngs)
@@ -971,12 +1101,21 @@ async def serve_shard_async(
         listen_host=listen_host,
         listen_port=listen_port,
         tcp_config=tcp_config,
+        durable_dir=durable_dir,
+        checkpoint_policy=checkpoint_policy,
     )
     await node.start()
+    recovered = node.recovered_state
     print(
         f"shard[{shard_id}/{n_shards}] hosting"
         f" {[v.name for v in shard_views]} listening on"
-        f" {node.address[0]}:{node.address[1]}",
+        f" {node.address[0]}:{node.address[1]}"
+        + (
+            f" (recovered generation {recovered.generation},"
+            f" {len(recovered.pending)} pending replayed)"
+            if recovered is not None
+            else ""
+        ),
         flush=True,
     )
     started = _time.perf_counter()
@@ -991,6 +1130,10 @@ async def serve_shard_async(
             if expect_updates is not None
             else workload.total_updates
         )
+        if recovered is not None:
+            # Only this incarnation's deliveries count: the replayed
+            # pending, plus everything past the durable marks.
+            expected += len(recovered.pending) - recovered.delivered_total
         primary_recorder = recorders[shard_views[0].name]
 
         def finished() -> bool:
@@ -1030,6 +1173,11 @@ async def serve_shard_async(
             updates_total=expected,
             deliveries_total=primary_recorder.updates_delivered,
             wall_seconds=wall,
+            recovered_pending=(
+                {shard_id: len(recovered.pending)}
+                if recovered is not None
+                else None
+            ),
         )
         if verify and config.check_consistency:
             claimed = CLAIMED_LEVELS.get(
@@ -1145,31 +1293,109 @@ def free_port(host: str = "127.0.0.1") -> int:
         return sock.getsockname()[1]
 
 
+#: exit code host commands use for *deliberate* failures (verification
+#: below the claimed level, peer unreachable after the retry budget).
+#: Distinct from 1 (unhandled exception = crash) and 2 (argparse usage
+#: error) so a restart policy can tell "this member failed cleanly and
+#: would fail identically again" from "this member died".
+CLEAN_FAILURE_EXIT = 3
+
+#: exit codes the supervisor never restarts: deliberate failures and
+#: usage errors reproduce themselves, so relaunching would hot-loop.
+_NO_RESTART_CODES = frozenset({2, CLEAN_FAILURE_EXIT})
+
+
 class ShardSupervisor:
     """Launch and babysit the processes of a sharded deployment.
 
-    The supervisor's one job is **crash detection**: a member exiting
+    The supervisor's base job is **crash detection**: a member exiting
     non-zero while the fleet is still working kills every remaining
     process and raises :class:`ShardCrashed` naming the culprit (with its
     captured stderr tail).  A fleet where every member exits 0 is a
     successful deployment -- shards verify their own views before
     exiting, so supervisor success implies oracle success.
+
+    With ``restart="on-crash"`` a member launched with
+    ``restartable=True`` that *crashes* (killed by a signal, or any exit
+    code outside :data:`_NO_RESTART_CODES`) is relaunched with its
+    original argv -- up to ``max_restarts`` times, after an escalating
+    ``backoff`` -- instead of failing the fleet.  Only durable shards are
+    restartable: they relaunch over their ``--durable-dir`` and recover;
+    sources have no durable state to come back from.  Clean non-zero
+    exits (:data:`CLEAN_FAILURE_EXIT`, e.g. a failed consistency check or
+    ``TransportRetriesExceeded`` from a probe) are never restarted: they
+    are answers, not accidents.
     """
 
-    def __init__(self, poll_interval: float = 0.2):
+    def __init__(
+        self,
+        poll_interval: float = 0.2,
+        restart: str = "never",
+        max_restarts: int = 2,
+        backoff: float = 0.5,
+    ):
+        if restart not in ("never", "on-crash"):
+            raise ValueError(f"unknown restart policy {restart!r}")
         self.poll_interval = poll_interval
+        self.restart = restart
+        self.max_restarts = max_restarts
+        self.backoff = backoff
         self.procs: dict[str, subprocess.Popen] = {}
+        self._specs: dict[str, tuple[list[str], dict, bool]] = {}
+        self.restarts: dict[str, int] = {}
+        #: human-readable record of every relaunch decision.
+        self.restart_log: list[str] = []
 
-    def launch(self, name: str, argv: list[str], **popen_kwargs) -> None:
+    def launch(
+        self,
+        name: str,
+        argv: list[str],
+        restartable: bool = False,
+        **popen_kwargs,
+    ) -> None:
         if name in self.procs:
             raise ValueError(f"duplicate process name {name!r}")
-        self.procs[name] = subprocess.Popen(
+        self._specs[name] = (list(argv), dict(popen_kwargs), restartable)
+        self.restarts[name] = 0
+        self.procs[name] = self._spawn(name)
+
+    def _spawn(self, name: str) -> subprocess.Popen:
+        argv, popen_kwargs, _ = self._specs[name]
+        return subprocess.Popen(
             argv,
             stdout=subprocess.PIPE,
             stderr=subprocess.PIPE,
             text=True,
             **popen_kwargs,
         )
+
+    def _try_restart(self, name: str, code: int) -> bool:
+        """Relaunch a crashed member if the policy allows; True on relaunch."""
+        _, _, restartable = self._specs[name]
+        if (
+            self.restart != "on-crash"
+            or not restartable
+            or code in _NO_RESTART_CODES
+        ):
+            return False
+        if self.restarts[name] >= self.max_restarts:
+            self.restart_log.append(
+                f"{name}: exit {code}, restart budget"
+                f" ({self.max_restarts}) exhausted"
+            )
+            return False
+        # Reap the dead incarnation's pipes before replacing it.
+        _, stderr = self.procs[name].communicate()
+        self.restarts[name] += 1
+        attempt = self.restarts[name]
+        tail = "\n".join((stderr or "").strip().splitlines()[-3:])
+        self.restart_log.append(
+            f"{name}: exit {code}, relaunch {attempt}/{self.max_restarts}"
+            + (f" (stderr tail: {tail})" if tail else "")
+        )
+        _time.sleep(self.backoff * attempt)
+        self.procs[name] = self._spawn(name)
+        return True
 
     def running(self) -> list[str]:
         return [
@@ -1200,11 +1426,14 @@ class ShardSupervisor:
         try:
             while True:
                 all_done = True
-                for name, proc in self.procs.items():
+                for name, proc in list(self.procs.items()):
                     code = proc.poll()
                     if code is None:
                         all_done = False
                     elif code != 0:
+                        if self._try_restart(name, code):
+                            all_done = False
+                            continue
                         _, stderr = proc.communicate()
                         self.terminate_all()
                         tail = "\n".join(
@@ -1251,7 +1480,7 @@ def _config_argv(config: ExperimentConfig, time_scale: float) -> list[str]:
     return argv
 
 
-def launch_sharded_processes(
+def build_sharded_supervisor(
     config: ExperimentConfig,
     n_shards: int,
     time_scale: float = 0.01,
@@ -1259,15 +1488,18 @@ def launch_sharded_processes(
     host: str = "127.0.0.1",
     timeout: float = 300.0,
     linger: float = 1.0,
-) -> dict[str, str]:
-    """Run one sharded deployment as real OS processes, supervised.
+    durable_root: str | None = None,
+    restart: str = "never",
+    max_restarts: int = 2,
+) -> ShardSupervisor:
+    """Launch a full sharded fleet and return its (not yet waited) supervisor.
 
-    Launches one ``repro serve-shard`` per active shard and one
-    ``repro serve-source`` per source, waits for the whole fleet to exit
-    cleanly, and returns each member's captured stdout.  Shards verify
-    their views before exiting, so a clean fleet exit means every view
-    passed its claimed consistency level; any member exiting non-zero
-    kills the rest and raises :class:`ShardCrashed`.
+    One ``repro serve-shard`` per active shard, one ``repro serve-source``
+    per source.  With ``durable_root`` each shard gets
+    ``--durable-dir <durable_root>/shard<id>`` and is launched
+    ``restartable``; combined with ``restart="on-crash"`` a SIGKILLed
+    shard is relaunched and recovers from its durable directory while the
+    sources retransmit their unacked frames.
     """
     rngs = RngRegistry(config.seed)
     workload = build_workload(config, rngs)
@@ -1280,7 +1512,7 @@ def launch_sharded_processes(
     source_ports = {index: free_port(host) for index in range(1, n + 1)}
     base = [sys.executable, "-m", "repro"]
     cfg_argv = _config_argv(config, time_scale)
-    supervisor = ShardSupervisor()
+    supervisor = ShardSupervisor(restart=restart, max_restarts=max_restarts)
     for shard in plan.active_shards:
         argv = base + [
             "serve-shard", *cfg_argv,
@@ -1290,9 +1522,13 @@ def launch_sharded_processes(
             "--listen", f"{host}:{shard_ports[shard]}",
             "--timeout", str(timeout),
         ]
+        if durable_root is not None:
+            argv += ["--durable-dir", os.path.join(durable_root, f"shard{shard}")]
         for index in range(1, n + 1):
             argv += ["--source", f"{index}={host}:{source_ports[index]}"]
-        supervisor.launch(f"shard{shard}", argv)
+        supervisor.launch(
+            f"shard{shard}", argv, restartable=durable_root is not None
+        )
     for index in range(1, n + 1):
         argv = base + [
             "serve-source", *cfg_argv,
@@ -1304,11 +1540,48 @@ def launch_sharded_processes(
         for shard in fanout_by_name.get(primary.name_of(index), ()):
             argv += ["--shard", f"{shard}={host}:{shard_ports[shard]}"]
         supervisor.launch(f"source{index}", argv)
+    return supervisor
+
+
+def launch_sharded_processes(
+    config: ExperimentConfig,
+    n_shards: int,
+    time_scale: float = 0.01,
+    strategy: str = "hash",
+    host: str = "127.0.0.1",
+    timeout: float = 300.0,
+    linger: float = 1.0,
+    durable_root: str | None = None,
+    restart: str = "never",
+    max_restarts: int = 2,
+) -> dict[str, str]:
+    """Run one sharded deployment as real OS processes, supervised.
+
+    Launches the fleet via :func:`build_sharded_supervisor`, waits for it
+    to exit cleanly, and returns each member's captured stdout.  Shards
+    verify their views before exiting, so a clean fleet exit means every
+    view passed its claimed consistency level; any member exiting
+    non-zero (and not restarted by the policy) kills the rest and raises
+    :class:`ShardCrashed`.
+    """
+    supervisor = build_sharded_supervisor(
+        config,
+        n_shards,
+        time_scale=time_scale,
+        strategy=strategy,
+        host=host,
+        timeout=timeout,
+        linger=linger,
+        durable_root=durable_root,
+        restart=restart,
+        max_restarts=max_restarts,
+    )
     return supervisor.wait(timeout=timeout)
 
 
 __all__ = [
     "CLAIMED_LEVELS",
+    "CLEAN_FAILURE_EXIT",
     "ShardCrashed",
     "ShardNode",
     "ShardSupervisor",
@@ -1317,6 +1590,7 @@ __all__ = [
     "ShardedSourceFront",
     "ShardedSourceNode",
     "build_shard_warehouse",
+    "build_sharded_supervisor",
     "free_port",
     "launch_sharded_processes",
     "run_sharded",

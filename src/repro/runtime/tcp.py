@@ -8,7 +8,7 @@ snapshot payloads shrink by an order of magnitude); the remaining 31 bits
 are the on-wire body length.  Five frame types flow on a connection::
 
     {"t": "hello",   "channel": name, "next": seq,
-     "codec": max_version}                           sender -> receiver
+     "codec": max_version, "epoch": e?}              sender -> receiver
     {"t": "welcome", "expect": seq, "codec": v}      receiver -> sender
     {"t": "msg",     "seq": n, "m": envelope}        sender -> receiver
     {"t": "mb",      "frames": [{"seq", "m"}, ...]}  sender -> receiver
@@ -41,6 +41,26 @@ learns the receiver's ``expect`` and resends exactly the suffix the
 receiver has not seen.  The result is exactly-once, in-order delivery per
 channel -- the reliable FIFO assumption of Section 2 -- on top of an
 unreliable connection lifecycle.
+
+Crash-restart epochs
+--------------------
+Sequence state on both ends normally outlives connections but not
+processes.  Durability (see :mod:`repro.durability`) restores the
+*protocol* state after a crash; the transport resynchronizes with two
+small extensions, both wire-compatible with peers that predate them:
+
+* a restarted **sender** numbers frames from 1 again and announces a
+  higher ``epoch`` in its hello (the durable generation).  The listener
+  tracks the highest epoch seen per channel and, on an increase, resets
+  its expected sequence to the hello's ``next``.  A hello with an epoch
+  *below* the highest seen is a stale pre-crash sender and is rejected.
+* a restarted **listener** (``adopt_next=True``) lost its expect
+  counters.  A healthy sender's ``next`` (its oldest unacked frame) is
+  normally at or below the receiver's expect; seeing ``next`` *above*
+  expect proves the counter was lost, and the listener adopts ``next``.
+  Frames below it were acked pre-crash -- and updates are only acked
+  after the durability layer logged them, so nothing adopted-over is
+  lost.
 """
 
 from __future__ import annotations
@@ -194,6 +214,7 @@ class TcpChannel(RuntimeChannel):
         codec: WireCodec,
         metrics: MetricsCollector | None = None,
         config: TcpChannelConfig | None = None,
+        epoch: int = 0,
     ):
         cfg = config if config is not None else TcpChannelConfig()
         super().__init__(runtime, name, metrics, cfg.max_queue)
@@ -201,6 +222,9 @@ class TcpChannel(RuntimeChannel):
         self.port = port
         self.codec = codec
         self.config = cfg
+        #: crash-restart incarnation; a nonzero epoch tells the listener
+        #: this sender restarted and renumbered its frames from 1.
+        self.epoch = epoch
         self._next_seq = 1
         #: messages accepted but not yet written on the current connection;
         #: encoding is deferred to write time, after codec negotiation.
@@ -287,15 +311,15 @@ class TcpChannel(RuntimeChannel):
             oldest = self._inflight[0][0] if self._inflight else (
                 self._pending[0][0] if self._pending else self._next_seq
             )
-            write_frame(
-                writer,
-                {
-                    "t": "hello",
-                    "channel": self.name,
-                    "next": oldest,
-                    "codec": cfg.codec_version,
-                },
-            )
+            hello = {
+                "t": "hello",
+                "channel": self.name,
+                "next": oldest,
+                "codec": cfg.codec_version,
+            }
+            if self.epoch:
+                hello["epoch"] = self.epoch
+            write_frame(writer, hello)
             await writer.drain()
             welcome = await read_frame(reader, cfg.read_timeout)
             if welcome.get("t") != "welcome":
@@ -407,15 +431,27 @@ class ChannelListener:
 
     Per-channel receive state (next expected sequence number) lives here,
     keyed by channel name, so it survives any number of reconnects by the
-    sending side.
+    sending side.  ``adopt_next=True`` marks a listener whose process was
+    restarted from durable state: its expect counters restarted at 1, so
+    a healthy sender's hello ``next`` above expect is adopted rather than
+    treated as a gap (see the module docstring's crash-restart notes).
     """
 
-    def __init__(self, runtime: AsyncRuntime, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        runtime: AsyncRuntime,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        adopt_next: bool = False,
+    ):
         self.runtime = runtime
         self.host = host
         self.port = port
+        self.adopt_next = adopt_next
         self._registrations: dict[str, tuple[Mailbox, WireCodec]] = {}
         self._expect: dict[str, int] = {}
+        #: highest crash-restart epoch seen per channel.
+        self._epochs: dict[str, int] = {}
         self._server: asyncio.AbstractServer | None = None
         self.connections_accepted = 0
         #: wall clock (time.monotonic) of the last frame handled; lets a
@@ -456,6 +492,23 @@ class ChannelListener:
                 raise WireProtocolError(f"unknown channel {name!r}")
             self.connections_accepted += 1
             destination, codec = self._registrations[name]
+            epoch = int(hello.get("epoch", 0))
+            known = self._epochs.get(name, 0)
+            announced = int(hello.get("next", 1))
+            if epoch > known:
+                # The sender restarted and renumbered: realign with it.
+                self._epochs[name] = epoch
+                self._expect[name] = announced
+            elif epoch < known:
+                raise WireProtocolError(
+                    f"channel {name!r}: stale epoch {epoch}"
+                    f" (highest seen {known})"
+                )
+            elif self.adopt_next and announced > self._expect[name]:
+                # Our expect counter restarted below the sender's oldest
+                # unacked frame; everything below was acked (and logged)
+                # before the crash.
+                self._expect[name] = announced
             write_frame(
                 writer,
                 {

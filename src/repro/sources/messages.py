@@ -28,6 +28,20 @@ def next_request_id() -> int:
     return next(_request_ids)
 
 
+def ensure_request_ids_above(watermark: int) -> None:
+    """Advance the request-id counter past ``watermark`` (never lowers it).
+
+    A recovered warehouse must not reuse ids of pre-crash requests:
+    transports may still redeliver the old answers.  The id floor fences
+    answers to requests the checkpoint knew about; answers to requests
+    issued *after* the checkpoint are fenced by the incarnation epoch
+    stamped on every query (see :class:`QueryRequest`).
+    """
+    current = next(_request_ids)  # burns one id; the counter now exceeds it
+    target = max(current + 1, watermark + 1)
+    globals()["_request_ids"] = count(target)
+
+
 @dataclass(slots=True)
 class UpdateNotice:
     """An update applied at a source, forwarded to the warehouse.
@@ -60,11 +74,19 @@ class UpdateNotice:
 
 @dataclass(slots=True)
 class QueryRequest:
-    """One sweep step: extend ``partial`` with the receiving source's relation."""
+    """One sweep step: extend ``partial`` with the receiving source's relation.
+
+    ``epoch`` is the warehouse incarnation that issued the request (0 for
+    non-durable runs); sources echo it into the answer, and a recovered
+    warehouse drops answers from earlier incarnations -- the request-id
+    watermark alone cannot fence answers to queries issued *after* the
+    last checkpoint, whose ids the durable state never saw.
+    """
 
     request_id: int
     partial: PartialView
     target_index: int
+    epoch: int = 0
 
     def payload_size(self) -> int:
         return max(1, self.partial.delta.distinct_count)
@@ -76,6 +98,7 @@ class QueryAnswer:
 
     request_id: int
     partial: PartialView
+    epoch: int = 0
 
     def payload_size(self) -> int:
         return max(1, self.partial.delta.distinct_count)
@@ -94,6 +117,7 @@ class MultiQueryRequest:
     request_id: int
     partials: list[PartialView]
     target_index: int
+    epoch: int = 0
 
     def payload_size(self) -> int:
         return max(1, sum(p.delta.distinct_count for p in self.partials))
@@ -105,6 +129,7 @@ class MultiQueryAnswer:
 
     request_id: int
     partials: list[PartialView]
+    epoch: int = 0
 
     def payload_size(self) -> int:
         return max(1, sum(p.delta.distinct_count for p in self.partials))
@@ -115,6 +140,7 @@ class SnapshotRequest:
     """Ask a source for its full current contents (recompute baseline)."""
 
     request_id: int
+    epoch: int = 0
 
     def payload_size(self) -> int:
         return 1
@@ -122,14 +148,63 @@ class SnapshotRequest:
 
 @dataclass(slots=True)
 class SnapshotAnswer:
-    """Full relation contents in reply to a :class:`SnapshotRequest`."""
+    """Full relation contents in reply to a :class:`SnapshotRequest`.
+
+    The contents travel in one of two forms: ``relation`` (materialized,
+    the original full-state transfer) or ``rows`` (codec-v2 flat rows
+    with an explicit arity, shared with the durability checkpoint
+    encoder -- see :mod:`repro.durability.encoding`).  Receivers use
+    ``snapshot_relation`` / ``snapshot_delta`` from that module to accept
+    either form.
+    """
 
     request_id: int
     source_index: int
-    relation: "object"  # Relation; typed loosely to avoid an import cycle
+    relation: "object | None" = None  # Relation; typed loosely (import cycle)
+    rows: dict | None = None  # {"f": [...], "w": arity} flat encoding
+    epoch: int = 0
 
     def payload_size(self) -> int:
-        return max(1, self.relation.distinct_count)
+        if self.relation is not None:
+            return max(1, self.relation.distinct_count)
+        if self.rows is not None:
+            stride = int(self.rows.get("w", 0)) + 1
+            if stride > 1:
+                return max(1, len(self.rows["f"]) // stride)
+        return 1
+
+
+@dataclass(slots=True)
+class PositionRequest:
+    """Ask a source how far its update stream has advanced.
+
+    A recovered warehouse holds replayed (WAL-logged but uninstalled)
+    updates *parked* until the source's state provably covers them --
+    SWEEP's compensation is only exact when every update reflected in a
+    query answer is in the view, the batch, or the queue.  The position
+    answer is how a source that kept its state across the warehouse's
+    crash (and therefore never resends acknowledged updates) confirms
+    that coverage.
+    """
+
+    request_id: int
+    epoch: int = 0
+
+    def payload_size(self) -> int:
+        return 1
+
+
+@dataclass(slots=True)
+class PositionAnswer:
+    """The source's current update ``seq`` in reply to a :class:`PositionRequest`."""
+
+    request_id: int
+    source_index: int
+    position: int
+    epoch: int = 0
+
+    def payload_size(self) -> int:
+        return 1
 
 
 @dataclass(slots=True)
@@ -176,10 +251,13 @@ __all__ = [
     "EcaQueryTerm",
     "MultiQueryAnswer",
     "MultiQueryRequest",
+    "PositionAnswer",
+    "PositionRequest",
     "QueryAnswer",
     "QueryRequest",
     "SnapshotAnswer",
     "SnapshotRequest",
     "UpdateNotice",
+    "ensure_request_ids_above",
     "next_request_id",
 ]

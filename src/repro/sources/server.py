@@ -30,6 +30,8 @@ from repro.sources.base import SourceBackend
 from repro.sources.messages import (
     MultiQueryAnswer,
     MultiQueryRequest,
+    PositionAnswer,
+    PositionRequest,
     QueryAnswer,
     QueryRequest,
     SnapshotAnswer,
@@ -137,13 +139,34 @@ class DataSourceServer:
         while True:
             msg = yield self.query_inbox.get()
             request = msg.payload
+            if isinstance(request, PositionRequest):
+                # Recovery probe: just the current seq, no join and no
+                # service delay -- but through the same FIFO channel, so
+                # the answer orders correctly against update notices.
+                answer = PositionAnswer(
+                    request_id=request.request_id,
+                    source_index=self.index,
+                    position=self.update_seq,
+                    epoch=request.epoch,
+                )
+                self.to_warehouse.send(
+                    Message(kind="answer", sender=self.name, payload=answer)
+                )
+                continue
             if self.query_service_time > 0:
                 yield Delay(self.query_service_time)
             if isinstance(request, SnapshotRequest):
+                # Delta-encoded snapshot: ship codec-v2 flat rows (the
+                # checkpoint encoder's format) instead of a materialized
+                # relation -- same bytes the TCP codec would emit, built
+                # once here rather than per hop.
+                from repro.durability.encoding import encode_bag
+
                 answer = SnapshotAnswer(
                     request_id=request.request_id,
                     source_index=self.index,
-                    relation=self.backend.snapshot(),
+                    rows=encode_bag(self.backend.snapshot()),
+                    epoch=request.epoch,
                 )
                 self.to_warehouse.send(
                     Message(kind="answer", sender=self.name, payload=answer)
@@ -156,7 +179,9 @@ class DataSourceServer:
                     self.backend.compute_join(p) for p in request.partials
                 ]
                 answer = MultiQueryAnswer(
-                    request_id=request.request_id, partials=results
+                    request_id=request.request_id,
+                    partials=results,
+                    epoch=request.epoch,
                 )
                 self.to_warehouse.send(
                     Message(kind="answer", sender=self.name, payload=answer)
@@ -170,7 +195,11 @@ class DataSourceServer:
                     "compute-join",
                     f"req={request.request_id} -> {result.delta.distinct_count} rows",
                 )
-            answer = QueryAnswer(request_id=request.request_id, partial=result)
+            answer = QueryAnswer(
+                request_id=request.request_id,
+                partial=result,
+                epoch=request.epoch,
+            )
             self.to_warehouse.send(
                 Message(kind="answer", sender=self.name, payload=answer)
             )

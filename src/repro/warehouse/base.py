@@ -74,6 +74,10 @@ class WarehouseBase:
         #: updates whose effects the view currently reflects, per source.
         self.applied_counts: dict[int, int] = defaultdict(int)
         self.updates_delivered = 0
+        #: attached by repro.durability (checkpoint + WAL); None = volatile.
+        self.durability = None
+        #: answers with request ids at or below this are pre-crash strays.
+        self.stale_answer_floor = 0
         if recorder is not None:
             recorder.set_initial_view(self.store.relation)
 
@@ -82,6 +86,10 @@ class WarehouseBase:
     # ------------------------------------------------------------------
     def send_query(self, index: int, payload: object) -> None:
         """Ship a query payload to source ``index`` over its channel."""
+        if self.durability is not None and hasattr(payload, "epoch"):
+            # Stamp the incarnation so answers can be fenced after a
+            # restart; sources echo it back (see messages.QueryRequest).
+            payload.epoch = self.durability.incarnation
         self.metrics.increment("queries_sent")
         self.query_channels[index].send(
             Message(kind="query", sender="warehouse", payload=payload)
@@ -132,6 +140,8 @@ class WarehouseBase:
 
     def _after_install(self, note: str) -> None:
         self.metrics.increment("installs")
+        if self.durability is not None:
+            self.durability.on_install()
         if self.recorder is not None:
             self.recorder.on_install(
                 self.sim.now,
@@ -189,18 +199,60 @@ class QueueDrivenWarehouse(WarehouseBase):
 
     # ------------------------------------------------------------------
     def pending_work(self) -> bool:
-        return len(self.update_queue) != 0 or len(self._answer_box) != 0
+        return (
+            len(self.update_queue) != 0
+            or len(self._answer_box) != 0
+            or (
+                self.durability is not None
+                and self.durability.parked_count() != 0
+            )
+        )
 
     # ------------------------------------------------------------------
     # LogUpdates (and answer routing)
     # ------------------------------------------------------------------
     def _dispatch(self) -> Generator:
+        from repro.sources.messages import PositionAnswer
+
         while True:
             msg = yield self.inbox.get()
             if msg.kind == "update":
-                self.note_delivery(msg.payload)
-                self.update_queue.put(msg)
+                if self.durability is not None:
+                    # Fences redeliveries, logs new deliveries, and holds
+                    # recovered pending parked until the source's position
+                    # covers them (see DurabilityManager.ingest_update).
+                    self.durability.ingest_update(msg)
+                else:
+                    self.note_delivery(msg.payload)
+                    self.update_queue.put(msg)
             elif msg.kind == "answer":
+                if (
+                    self.durability is not None
+                    and getattr(msg.payload, "epoch", 0)
+                    != self.durability.incarnation
+                ):
+                    # Answer to a query issued by an earlier incarnation.
+                    # The request-id floor below cannot fence these: ids
+                    # issued *after* the last checkpoint never reached
+                    # durable state, so only the epoch tag identifies
+                    # them.  The restarted protocol re-issues its own.
+                    self.metrics.increment("recovery_stale_answers_dropped")
+                    continue
+                if self.durability is not None and isinstance(
+                    msg.payload, PositionAnswer
+                ):
+                    self.durability.on_position(
+                        msg.payload.source_index, msg.payload.position
+                    )
+                    continue
+                if (
+                    self.stale_answer_floor
+                    and msg.payload.request_id <= self.stale_answer_floor
+                ):
+                    # Answer to a query a pre-crash incarnation issued;
+                    # the restarted sweep re-issued its own.
+                    self.metrics.increment("recovery_stale_answers_dropped")
+                    continue
                 # Snapshot the queue contents *now*: an update delivered at
                 # the same virtual instant but after this answer must not be
                 # compensated against it (it was applied after the query was
@@ -216,11 +268,18 @@ class QueueDrivenWarehouse(WarehouseBase):
     # ------------------------------------------------------------------
     def _update_view(self) -> Generator:
         while True:
+            self._stable_point()
             msg = yield self.update_queue.get()
             notice: UpdateNotice = msg.payload
             if self.trace:
                 self.trace.record(self.sim.now, "warehouse", "process", notice)
             yield from self.process_update(notice)
+
+    def _stable_point(self) -> None:
+        """Between units of work: every install complete, no sweep in
+        flight.  The only place a checkpoint may be taken."""
+        if self.durability is not None:
+            self.durability.maybe_checkpoint()
 
     def process_update(self, notice: UpdateNotice) -> Generator:
         """Handle one dequeued update; default = view_change + install."""

@@ -179,6 +179,7 @@ class BatchedSweepWarehouse(QueueDrivenWarehouse):
 
     def _update_view(self) -> Generator:
         while True:
+            self._stable_point()
             msg = yield self.update_queue.get()
             batch: list[UpdateNotice] = [msg.payload]
             cap = self._drain_cap(msg.payload)

@@ -126,7 +126,15 @@ def test_profile_resolution():
 # ChaosLocalChannel: exactly-once FIFO under every fault family
 # ---------------------------------------------------------------------------
 
-@pytest.mark.parametrize("name", ["delay", "dup", "drop", "hostile"])
+@pytest.mark.parametrize(
+    "name",
+    [
+        "delay", "dup", "drop", "hostile",
+        # Source-side profiles: the 40-deep send queue below guarantees
+        # frames are pending together, so stalls and reorders do fire.
+        "source-stall", "source-burst", "source-reorder",
+    ],
+)
 def test_chaos_local_channel_exactly_once_fifo(paper_view, name):
     async def main():
         runtime = AsyncRuntime(time_scale=0.0005)

@@ -4,7 +4,9 @@ A long-lived site pointed at an unreachable peer must fail fast and
 loud: :func:`probe_peer` burns the channel's retry budget and raises
 :class:`TransportRetriesExceeded`, every ``serve-*`` entry point probes
 its peers up front, and the CLI converts the error into a clean
-``error:`` line with a non-zero exit code.
+``error:`` line and :data:`~repro.runtime.CLEAN_FAILURE_EXIT` (3) --
+non-zero so nothing upstream mistakes it for success, but distinct from
+a crash so a supervisor's restart policy leaves it alone.
 """
 
 import asyncio
@@ -14,6 +16,7 @@ import pytest
 from repro.cli import main
 from repro.harness.config import ExperimentConfig
 from repro.runtime import (
+    CLEAN_FAILURE_EXIT,
     TransportRetriesExceeded,
     free_port,
     probe_peer,
@@ -115,7 +118,7 @@ def test_serve_shard_fails_fast_on_dead_source():
 
 
 # ---------------------------------------------------------------------------
-# CLI: clean message, exit 1, never exit 0
+# CLI: clean message, deliberate-failure exit code, never exit 0
 # ---------------------------------------------------------------------------
 
 def _base_cli_args():
@@ -133,7 +136,7 @@ def test_cli_serve_warehouse_exits_nonzero(capsys):
          "--source", f"1={host}:{port}", "--expect-updates", "4"]
     )
     captured = capsys.readouterr()
-    assert rc == 1
+    assert rc == CLEAN_FAILURE_EXIT
     assert "error:" in captured.err
     assert "unreachable" in captured.err
 
@@ -145,7 +148,7 @@ def test_cli_serve_source_exits_nonzero(capsys):
          "--index", "1", "--warehouse", f"{host}:{port}"]
     )
     captured = capsys.readouterr()
-    assert rc == 1
+    assert rc == CLEAN_FAILURE_EXIT
     assert "error:" in captured.err
     assert "unreachable" in captured.err
 
@@ -158,5 +161,5 @@ def test_cli_serve_shard_exits_nonzero(capsys):
          "--source", f"1={host}:{port}"]
     )
     captured = capsys.readouterr()
-    assert rc == 1
+    assert rc == CLEAN_FAILURE_EXIT
     assert "error:" in captured.err
