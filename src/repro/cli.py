@@ -40,6 +40,12 @@ def _add_run_parser(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--global-txn-fraction", type=float, default=0.0)
     p.add_argument("--no-keys", action="store_true",
                    help="project out key attributes (rejected by Strobe family)")
+    p.add_argument("--locality", choices=("off", "aux", "cache", "auto"),
+                   default="off",
+                   help="query-locality layer: auxiliary source copies"
+                        " and/or delta-patched answer caching")
+    p.add_argument("--locality-budget", type=int, default=0,
+                   help="row budget for the locality layer (0 = unlimited)")
     p.add_argument("--trace", action="store_true", help="print the event trace")
     p.add_argument("--no-check", action="store_true",
                    help="skip consistency verification")
@@ -64,6 +70,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         rows_per_relation=args.rows,
         global_txn_fraction=args.global_txn_fraction,
         project_keys=not args.no_keys,
+        locality=args.locality,
+        locality_budget_rows=args.locality_budget,
         trace=args.trace,
         check_consistency=not args.no_check,
     )
@@ -97,6 +105,12 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--adaptive-batch", action="store_true",
                    help="derive the batched-sweep drain cap from observed"
                         " queue depth and install lag")
+    p.add_argument("--locality", choices=("off", "aux", "cache", "auto"),
+                   default="off",
+                   help="query-locality layer: auxiliary source copies"
+                        " and/or delta-patched answer caching")
+    p.add_argument("--locality-budget", type=int, default=0,
+                   help="row budget for the locality layer (0 = unlimited)")
 
 
 def _workload_config(args: argparse.Namespace, **extra):
@@ -114,6 +128,8 @@ def _workload_config(args: argparse.Namespace, **extra):
         n_views=args.views,
         batch_max=args.batch_max,
         batch_adaptive=args.adaptive_batch,
+        locality=args.locality,
+        locality_budget_rows=args.locality_budget,
         **extra,
     )
 
@@ -663,6 +679,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--tolerance", type=float, default=0.30,
                        help="allowed fractional throughput drop (default 0.30)")
+    bench.add_argument(
+        "--require-locality-reduction", action="store_true",
+        help="fail unless the locality rows hit their floors (headline"
+             " cell 2x faster and 3x fewer messages; every +aux pair"
+             " at least 2x fewer messages, consistency preserved)",
+    )
 
     conf = sub.add_parser(
         "conformance",
@@ -682,6 +704,12 @@ def build_parser() -> argparse.ArgumentParser:
     conf.add_argument("--runs", type=int, default=1,
                       help="seeds per case: seed, seed+1, ...")
     conf.add_argument("--transport", choices=("local", "tcp"), default="local")
+    conf.add_argument(
+        "--localities", default="off", metavar="M,N,...",
+        help="comma-separated locality modes to cross with each case"
+             " (off,aux,cache,auto; unsupported algorithm/mode pairs"
+             " are skipped)",
+    )
     conf.add_argument("--updates", "-u", type=int, default=None)
     conf.add_argument("--sources", "-n", type=int, default=None)
     conf.add_argument("--time-scale", type=float, default=None,
@@ -758,6 +786,7 @@ def _cmd_bench_throughput(args: argparse.Namespace) -> int:
         compare_reports,
         format_suite,
         load_report,
+        locality_problems,
         run_suite,
         write_report,
     )
@@ -767,6 +796,13 @@ def _cmd_bench_throughput(args: argparse.Namespace) -> int:
     report = build_report(rows, quick=args.quick)
     path = write_report(report, args.json)
     print(f"\nwrote {path}")
+    if args.require_locality_reduction:
+        problems = locality_problems(rows)
+        if problems:
+            for problem in problems:
+                print(f"LOCALITY GATE: {problem}", file=sys.stderr)
+            return 1
+        print("locality gate passed")
     if args.check_against:
         problems = compare_reports(
             report, load_report(args.check_against), tolerance=args.tolerance
@@ -840,6 +876,15 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    localities = tuple(args.localities.split(","))
+    for name in localities:
+        if name not in ("off", "aux", "cache", "auto"):
+            print(
+                f"unknown locality mode {name!r}; available:"
+                f" off,aux,cache,auto",
+                file=sys.stderr,
+            )
+            return 2
     case_kwargs = {}
     if args.updates is not None:
         case_kwargs["n_updates"] = args.updates
@@ -854,7 +899,8 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
         verdict = "pass" if row["ok"] else f"FAIL ({row['error']})"
         print(
             f"  {row['algorithm']:>13s} x {row['profile']:<8s}"
-            f" seed={row['seed']} ... {verdict}",
+            f" seed={row['seed']} loc={row.get('locality', 'off')}"
+            f" ... {verdict}",
             flush=True,
         )
 
@@ -863,6 +909,7 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
         profiles,
         seeds=range(args.seed, args.seed + args.runs),
         transport=args.transport,
+        localities=localities,
         progress=progress,
         **case_kwargs,
     )

@@ -59,6 +59,9 @@ class ViewCheckpoint:
     delivered_marks: dict[int, int]
     views: dict[str, dict]  # view name -> encoded v2 flat rows
     pending: list[dict] = field(default_factory=list)  # encoded notices
+    #: source name -> encoded auxiliary copy (locality layer); absent in
+    #: pre-locality checkpoints, which decode to an empty dict.
+    aux: dict[str, dict] = field(default_factory=dict)
     installs: int = 0
     request_watermark: int = 0
     written_at: float = 0.0
@@ -73,6 +76,7 @@ class ViewCheckpoint:
             },
             "views": self.views,
             "pending": self.pending,
+            "aux": self.aux,
             "installs": self.installs,
             "request_watermark": self.request_watermark,
             "written_at": self.written_at,
@@ -90,6 +94,7 @@ class ViewCheckpoint:
             },
             views=dict(body["views"]),
             pending=list(body.get("pending", ())),
+            aux=dict(body.get("aux", {})),
             installs=int(body.get("installs", 0)),
             request_watermark=int(body.get("request_watermark", 0)),
             written_at=float(body.get("written_at", 0.0)),
@@ -203,6 +208,12 @@ def capture_checkpoint(
             continue
         seen.add(key)
         pending.append(encode_notice(notice))
+    locality = getattr(warehouse, "locality", None)
+    aux = (
+        {name: encode_bag(rel) for name, rel in locality.aux_relations().items()}
+        if locality is not None
+        else {}
+    )
     return ViewCheckpoint(
         generation=generation,
         applied_counts=dict(warehouse.applied_counts),
@@ -211,6 +222,7 @@ def capture_checkpoint(
             name: encode_bag(store.relation) for name, store in stores.items()
         },
         pending=pending,
+        aux=aux,
         installs=warehouse.store.installs,
         request_watermark=next_request_id(),
         written_at=warehouse.sim.now,

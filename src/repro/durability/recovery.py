@@ -63,6 +63,8 @@ class RecoveredState:
     delivered_marks: dict[int, int]
     view_states: dict[str, Relation]
     pending: list[UpdateNotice] = field(default_factory=list)
+    #: source name -> checkpointed auxiliary copy (locality layer).
+    aux_states: dict[str, Relation] = field(default_factory=dict)
     installs: int = 0
     request_watermark: int = 0
     wal_records: int = 0
@@ -115,6 +117,21 @@ def load_state(
         for name, rows in checkpoint.views.items()
     }
 
+    source_schemas = {
+        primary.name_of(i): primary.schema_of(i)
+        for i in range(1, primary.n_relations + 1)
+    }
+    unknown_aux = sorted(set(checkpoint.aux) - set(source_schemas))
+    if unknown_aux:
+        raise RecoveryError(
+            f"{directory}: checkpoint auxiliary copies for unknown"
+            f" source(s) {unknown_aux}"
+        )
+    aux_states = {
+        name: decode_relation(rows, source_schemas[name])
+        for name, rows in checkpoint.aux.items()
+    }
+
     pending = [decode_notice(obj, primary) for obj in checkpoint.pending]
     wal_records = 0
     torn = 0
@@ -147,6 +164,7 @@ def load_state(
         delivered_marks=delivered,
         view_states=view_states,
         pending=pending,
+        aux_states=aux_states,
         installs=checkpoint.installs,
         request_watermark=checkpoint.request_watermark,
         wal_records=wal_records,
@@ -187,6 +205,14 @@ def resume_warehouse(warehouse, state: RecoveredState) -> None:
         )
     for name, recorder in getattr(warehouse, "extra_recorders", {}).items():
         recorder.resume_from(state.applied_counts, stores[name].relation)
+
+    locality = getattr(warehouse, "locality", None)
+    if locality is not None:
+        # Seed covered copies from the checkpoint; demote any copy the
+        # durable state does not carry (pre-locality checkpoint, or a
+        # mode change across the restart).  The answer cache is always
+        # cold after recovery.
+        locality.resume_from(state.aux_states)
 
     warehouse.metrics.observe("recovered_pending", len(state.pending))
     warehouse.metrics.increment("recoveries")

@@ -61,6 +61,14 @@ class ExperimentConfig:
     #: Size of the maintained view family (sharded runtime); views beyond
     #: the first are selection variants of the generated chain view.
     n_views: int = 1
+    #: Query-locality layer: "off" (remote round trips, the paper's
+    #: protocol), "aux" (warehouse-local source copies under the row
+    #: budget, rest remote), "cache" (delta-patched answer cache), or
+    #: "auto" (cover what fits the budget, cache the rest).
+    locality: str = "off"
+    #: Row budget for the locality layer (0 = unlimited): caps which
+    #: sources get auxiliary copies and bounds the answer cache.
+    locality_budget_rows: int = 0
 
     # -- instrumentation --------------------------------------------
     trace: bool = False
@@ -82,6 +90,10 @@ class ExperimentConfig:
             raise ValueError("latency must be >= 0")
         if self.n_views < 1:
             raise ValueError("n_views must be >= 1")
+        if self.locality not in ("off", "aux", "cache", "auto"):
+            raise ValueError(f"unknown locality mode {self.locality!r}")
+        if self.locality_budget_rows < 0:
+            raise ValueError("locality_budget_rows must be >= 0")
 
     def describe(self) -> str:
         """One-line human-readable summary used in reports."""

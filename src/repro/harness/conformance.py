@@ -36,6 +36,7 @@ from repro.consistency.levels import ConsistencyLevel
 from repro.harness.config import ExperimentConfig
 from repro.harness.report import format_table
 from repro.runtime.chaos import PROFILES
+from repro.warehouse.locality import SUPPORTED_ALGORITHMS as LOCALITY_ALGORITHMS
 from repro.warehouse.registry import ALGORITHMS, algorithm_info
 
 #: Every registered algorithm, in registry order.
@@ -89,6 +90,7 @@ def run_case(
     mean_interarrival: float = CASE_DEFAULTS["mean_interarrival"],
     time_scale: float = CASE_DEFAULTS["time_scale"],
     timeout: float = CASE_DEFAULTS["timeout"],
+    locality: str = "off",
 ) -> dict:
     """One (algorithm, profile, seed) conformance case as a flat row dict."""
     from repro.runtime import run_distributed
@@ -106,6 +108,7 @@ def run_case(
         "profile": profile,
         "seed": seed,
         "transport": transport,
+        "locality": locality,
         "claimed": claimed.name.lower(),
         "achieved": None,
         "ok": False,
@@ -130,6 +133,7 @@ def run_case(
             mean_interarrival=mean_interarrival,
             time_scale=time_scale,
             timeout=timeout,
+            locality=locality,
         )
     config = ExperimentConfig(
         algorithm=algorithm,
@@ -138,6 +142,7 @@ def run_case(
         seed=seed,
         mean_interarrival=mean_interarrival,
         check_consistency=True,
+        locality=locality,
     )
     try:
         result = run_distributed(
@@ -191,6 +196,7 @@ def _run_sharded_case(
     mean_interarrival: float,
     time_scale: float,
     timeout: float,
+    locality: str = "off",
 ) -> dict:
     """Fill ``row`` from one sharded-runtime conformance run.
 
@@ -209,6 +215,7 @@ def _run_sharded_case(
         mean_interarrival=mean_interarrival,
         n_views=4,
         check_consistency=True,
+        locality=locality,
     )
     try:
         result = run_sharded(
@@ -261,20 +268,36 @@ def run_matrix(
     profiles: Sequence[str] = DEFAULT_PROFILES,
     seeds: Sequence[int] = (0,),
     transport: str = "local",
+    localities: Sequence[str] = ("off",),
     progress=None,
     **case_kwargs,
 ) -> dict:
-    """The full cross product; ``progress`` (if given) is called per row."""
+    """The full cross product; ``progress`` (if given) is called per row.
+
+    Locality modes beyond ``off`` only apply to the sweep-family
+    schedulers (see :data:`repro.warehouse.locality.SUPPORTED_ALGORITHMS`);
+    unsupported (algorithm, locality) combinations are skipped, not
+    failed.
+    """
     rows = []
     for algorithm in algorithms:
-        for profile in profiles:
-            for seed in seeds:
-                row = run_case(
-                    algorithm, profile, seed, transport=transport, **case_kwargs
-                )
-                rows.append(row)
-                if progress is not None:
-                    progress(row)
+        base = SHARDED_ALGORITHMS.get(algorithm, {}).get("algorithm", algorithm)
+        for locality in localities:
+            if locality != "off" and base not in LOCALITY_ALGORITHMS:
+                continue
+            for profile in profiles:
+                for seed in seeds:
+                    row = run_case(
+                        algorithm,
+                        profile,
+                        seed,
+                        transport=transport,
+                        locality=locality,
+                        **case_kwargs,
+                    )
+                    rows.append(row)
+                    if progress is not None:
+                        progress(row)
     return build_report(rows, transport=transport)
 
 
@@ -306,13 +329,14 @@ def format_report(report: dict) -> str:
     """Human-readable verdict table for one conformance report."""
     rows = report["rows"]
     table = format_table(
-        ["algorithm", "profile", "seed", "claimed", "achieved", "faults",
-         "installs", "stale", "batched", "verdict"],
+        ["algorithm", "profile", "seed", "locality", "claimed", "achieved",
+         "faults", "installs", "stale", "batched", "verdict"],
         [
             [
                 row["algorithm"],
                 row["profile"],
                 row["seed"],
+                row.get("locality", "off"),
                 row["claimed"],
                 row["achieved"] or "-",
                 row["faults"],

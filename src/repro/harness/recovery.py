@@ -83,14 +83,22 @@ def run_crash_restart_case(
     transport: str = "local",
     time_scale: float = 0.002,
     timeout: float = 120.0,
+    locality: str = "off",
 ) -> dict:
-    """One baseline/crash/recovery triple; returns a flat report row."""
+    """One baseline/crash/recovery triple; returns a flat report row.
+
+    With ``locality="aux"`` all three runs carry warehouse-local source
+    copies; the crash run checkpoints them and the recovery run must
+    re-seed them from the checkpoint (or demote, for copies the durable
+    state predates) and still end byte-equal to the uncrashed baseline.
+    """
     from repro.runtime import run_sharded
 
     config = ExperimentConfig(
         algorithm=algorithm,
         seed=seed,
         n_views=N_VIEWS,
+        locality=locality,
         **CASE_DEFAULTS,
     )
     claimed = CLAIMED_LEVELS[algorithm]
@@ -100,6 +108,7 @@ def run_crash_restart_case(
         "algorithm": algorithm,
         "transport": transport,
         "seed": seed,
+        "locality": locality,
         "crash_shard": crash_shard,
         "crash_spec": spec,
         "claimed": claimed.name.lower(),
@@ -185,7 +194,9 @@ def run_recovery_sweep(
     progress=None,
 ) -> list[dict]:
     """The seed sweep: algorithms alternate, every ``tcp_every``-th seed
-    runs over loopback TCP (0 disables TCP cases)."""
+    runs over loopback TCP (0 disables TCP cases), and every third seed
+    crashes with the locality layer on (``aux``), so checkpointed
+    auxiliary copies and their recovery path stay under test."""
     rows = []
     for seed in seeds:
         algorithm = ALGORITHMS[seed % len(ALGORITHMS)]
@@ -199,6 +210,7 @@ def run_recovery_sweep(
             transport=transport,
             time_scale=time_scale,
             timeout=timeout,
+            locality="aux" if seed % 3 == 2 else "off",
         )
         rows.append(row)
         if progress is not None:
@@ -214,6 +226,7 @@ def kill_and_recover_smoke(
     timeout: float = 240.0,
     time_scale: float = 0.05,
     host: str = "127.0.0.1",
+    locality: str = "aux",
 ) -> dict:
     """SIGKILL a durable ``serve-shard`` process; the supervisor restarts
     it and the fleet still finishes with every view verified.
@@ -225,6 +238,10 @@ def kill_and_recover_smoke(
     """
     from repro.runtime.shard import build_sharded_supervisor
 
+    # Locality on by default: the kill then also exercises checkpointed
+    # auxiliary copies riding through a real process restart (the
+    # ``--locality`` flag reaches the serve-shard processes via
+    # ``_config_argv``).
     config = ExperimentConfig(
         algorithm="sweep",
         seed=11,
@@ -232,6 +249,7 @@ def kill_and_recover_smoke(
         n_updates=16,
         mean_interarrival=4.0,
         n_views=N_VIEWS,
+        locality=locality,
     )
     report = {
         "ok": False,
@@ -337,13 +355,14 @@ def load_report(path: str | Path) -> dict:
 def format_report(report: dict) -> str:
     rows = report["rows"]
     table = format_table(
-        ["algorithm", "transport", "seed", "crash", "claimed", "achieved",
-         "replayed", "views", "wall s", "verdict"],
+        ["algorithm", "transport", "seed", "locality", "crash", "claimed",
+         "achieved", "replayed", "views", "wall s", "verdict"],
         [
             [
                 row["algorithm"],
                 row["transport"],
                 row["seed"],
+                row.get("locality", "off"),
                 ",".join(
                     f"{k.split('_')[1]}={v}"
                     for k, v in row["crash_spec"].items()

@@ -79,6 +79,38 @@ class RunResult:
         return self.metrics.mean_observation("install_delay")
 
     @property
+    def locality_stats(self) -> dict[str, int | str]:
+        """Structured counters of the query-locality layer.
+
+        ``mode`` is the configured planner mode; the counters are zero
+        when the layer is off (they are plain metrics counters, so the
+        same keys work for distributed and sharded runs).
+        """
+        counters = self.metrics.counters
+        return {
+            "mode": getattr(self.config, "locality", "off"),
+            "covered_sources": counters.get("locality_covered_sources", 0),
+            "aux_hits": counters.get("locality_aux_hits", 0),
+            "cache_hits": counters.get("locality_cache_hits", 0),
+            "cache_misses": counters.get("locality_cache_misses", 0),
+            "cache_patches": counters.get("locality_cache_patches", 0),
+            "cache_evictions": counters.get("locality_cache_evictions", 0),
+            "cache_invalidations": counters.get(
+                "locality_cache_invalidations", 0
+            ),
+            "dedup_saved": counters.get("locality_dedup_saved", 0),
+        }
+
+    @property
+    def predicate_cache(self) -> dict[str, int]:
+        """This run's predicate compile-cache traffic (hits/misses)."""
+        counters = self.metrics.counters
+        return {
+            "hits": counters.get("predicate_cache_hits", 0),
+            "misses": counters.get("predicate_cache_misses", 0),
+        }
+
+    @property
     def mean_per_update_staleness(self) -> float | None:
         """Mean delivery-to-install time attributed per *update*.
 
@@ -166,6 +198,22 @@ class RunResult:
             f"final view       : {self.final_view.distinct_count} rows",
             f"consistency      : {self.consistency_verdict()}",
         ]
+        locality = self.locality_stats
+        if locality["mode"] != "off":
+            lines.append(
+                f"locality         : mode={locality['mode']}"
+                f" aux_hits={locality['aux_hits']}"
+                f" cache_hits={locality['cache_hits']}"
+                f" cache_misses={locality['cache_misses']}"
+                f" patches={locality['cache_patches']}"
+                f" dedup_saved={locality['dedup_saved']}"
+            )
+        cache = self.predicate_cache
+        if cache["hits"] or cache["misses"]:
+            lines.append(
+                f"predicate cache  : {cache['hits']} hits /"
+                f" {cache['misses']} misses"
+            )
         delay = self.mean_install_delay
         if delay is not None:
             lines.append(f"mean install lag : {delay:.2f}")

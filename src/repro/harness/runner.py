@@ -20,11 +20,13 @@ from repro.simulation.mailbox import Mailbox
 from repro.simulation.metrics import MetricsCollector
 from repro.simulation.rng import RngRegistry
 from repro.simulation.trace import TraceLog
+from repro.relational.predicate import compile_cache_stats
 from repro.sources.central import CentralSource
 from repro.sources.memory import MemoryBackend
 from repro.sources.server import DataSourceServer
 from repro.sources.sqlite import SqliteBackend
 from repro.sources.updater import ScheduledUpdater
+from repro.warehouse.locality import build_locality
 from repro.warehouse.registry import algorithm_info
 from repro.warehouse.sweep import SweepOptions
 from repro.workloads.scenarios import Workload, make_workload
@@ -102,6 +104,18 @@ def algorithm_kwargs(config: ExperimentConfig) -> dict:
     return {}
 
 
+def record_predicate_cache_delta(
+    metrics: MetricsCollector, before: dict[str, int]
+) -> None:
+    """Fold this run's share of the process-global compile-cache traffic
+    into its metrics (``before`` from :func:`compile_cache_stats`)."""
+    after = compile_cache_stats()
+    metrics.increment("predicate_cache_hits", after["hits"] - before["hits"])
+    metrics.increment(
+        "predicate_cache_misses", after["misses"] - before["misses"]
+    )
+
+
 def run_experiment(config: ExperimentConfig, warehouse_hook=None) -> RunResult:
     """Run one experiment to quiescence and return its results.
 
@@ -109,6 +123,7 @@ def run_experiment(config: ExperimentConfig, warehouse_hook=None) -> RunResult:
     warehouse is constructed and before the simulation starts -- e.g. to
     attach aggregate views that must observe every install.
     """
+    predicate_stats_before = compile_cache_stats()
     rngs = RngRegistry(config.seed)
     workload = build_workload(config, rngs)
     view = workload.view
@@ -209,6 +224,7 @@ def run_experiment(config: ExperimentConfig, warehouse_hook=None) -> RunResult:
         metrics=metrics,
         trace=trace if config.trace else None,
         inbox=inbox,
+        locality=build_locality(config, [view], workload.initial_states),
         **algorithm_kwargs(config),
     )
 
@@ -218,6 +234,7 @@ def run_experiment(config: ExperimentConfig, warehouse_hook=None) -> RunResult:
     started = _time.perf_counter()
     sim.run(max_events=config.max_events)
     wall = _time.perf_counter() - started
+    record_predicate_cache_delta(metrics, predicate_stats_before)
 
     result = RunResult(
         config=config,
@@ -248,4 +265,10 @@ def run_experiment(config: ExperimentConfig, warehouse_hook=None) -> RunResult:
     return result
 
 
-__all__ = ["algorithm_kwargs", "build_latency_model", "build_workload", "run_experiment"]
+__all__ = [
+    "algorithm_kwargs",
+    "build_latency_model",
+    "build_workload",
+    "record_predicate_cache_delta",
+    "run_experiment",
+]

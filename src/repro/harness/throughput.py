@@ -51,7 +51,7 @@ MODES: dict[str, dict[str, Any]] = {
     },
 }
 
-ALGORITHMS = ("sweep", "batched-sweep")
+ALGORITHMS = ("sweep", "batched-sweep", "pipelined-sweep")
 TRANSPORTS = ("local", "tcp")
 
 #: Sharded-runtime bench: a saturated multi-view workload whose per-step
@@ -78,6 +78,16 @@ SHARD_SPEEDUP_TARGET = 1.8
 #: identical run with durability off).
 DURABLE_OVERHEAD_TARGET = 0.15
 
+#: The locality row family re-runs the saturated regime with every source
+#: covered by a warehouse-local auxiliary copy (``--locality=aux``): a
+#: covered sweep step answers its own query, so the gated quantities are
+#: the throughput ratio and the message reduction of each ``+aux`` row
+#: over its same-run remote twin (in-run ratios transfer across machines;
+#: absolute rates do not).  The recorded reference for the headline cell
+#: (saturated/tcp/sweep, locality off) is ``398.9`` upd/s.
+LOCALITY_SPEEDUP_TARGET = 2.0
+LOCALITY_MESSAGE_REDUCTION_TARGET = 3.0
+
 
 def run_cell(
     mode: str,
@@ -87,6 +97,7 @@ def run_cell(
     mean_interarrival: float,
     time_scale: float,
     timeout: float = 120.0,
+    locality: str = "off",
 ) -> dict:
     """One (mode, transport, algorithm) measurement as a flat row dict."""
     from repro.runtime import run_distributed
@@ -97,6 +108,7 @@ def run_cell(
         n_updates=n_updates,
         seed=7,
         mean_interarrival=mean_interarrival,
+        locality=locality,
     )
     result = run_distributed(
         config, transport=transport, time_scale=time_scale, timeout=timeout
@@ -108,10 +120,12 @@ def run_cell(
         "mode": mode,
         "transport": transport,
         "algorithm": algorithm,
+        "locality": locality,
         "updates": delivered,
         "installs": counters.get("installs", 0),
         "updates_installed": counters.get("updates_installed", 0),
         "messages_total": counters.get("messages_total", 0),
+        "aux_hits": counters.get("locality_aux_hits", 0),
         "wall_seconds": round(result.wall_seconds, 4),
         "updates_per_sec": round(delivered / result.wall_seconds, 1),
         "consistency": level.name.lower() if level is not None else "none",
@@ -171,13 +185,30 @@ def run_shard_cell(
     counters = result.metrics.counters
     level = result.min_level()
     suffix = "+durable" if durable else ""
+    # Distinct source updates reflected by *every* view.  The raw
+    # ``updates_installed`` counter is shared across shards, so an update
+    # fanned out to k shards used to count k times (60 updates showed as
+    # 240 at shards=4); the per-view recorders are the truthful count.
+    installed_per_view = []
+    for name, rec in result.recorders.items():
+        if name not in result.final_views:
+            continue
+        snaps = list(rec.snapshots)
+        installed_per_view.append(
+            sum((snaps[-1].claimed_vector or {}).values()) if snaps else 0
+        )
     return {
         "mode": "sharded",
         "transport": "local",
         "algorithm": f"sweep@shards={n_shards}{suffix}",
+        "locality": "off",
         "updates": result.updates_total,
-        "installs": counters.get("installs", 0),
-        "updates_installed": counters.get("updates_installed", 0),
+        "installs": result.installs,
+        "updates_installed": min(installed_per_view, default=0),
+        "installs_by_shard": {
+            str(shard): count
+            for shard, count in result.installs_by_shard.items()
+        },
         "messages_total": counters.get("messages_total", 0),
         "wall_seconds": round(result.wall_seconds, 4),
         "updates_per_sec": round(result.updates_per_sec, 1),
@@ -200,6 +231,18 @@ def run_suite(quick: bool = False) -> list[dict]:
         for transport in TRANSPORTS:
             for algorithm in ALGORITHMS:
                 rows.append(run_cell(mode, transport, algorithm, **params))
+    # Locality family: the saturated regime with every source covered.
+    for transport in TRANSPORTS:
+        for algorithm in ALGORITHMS:
+            rows.append(
+                run_cell(
+                    "saturated",
+                    transport,
+                    algorithm,
+                    locality="aux",
+                    **MODES["saturated"],
+                )
+            )
     for n_shards in QUICK_SHARD_COUNTS if quick else SHARD_COUNTS:
         rows.append(run_shard_cell(n_shards, **SHARD_MODE))
     # Durable mode re-runs the shards=1 cell with checkpoints + WAL on;
@@ -209,7 +252,10 @@ def run_suite(quick: bool = False) -> list[dict]:
 
 
 def _row_key(row: dict) -> str:
-    return f"{row['mode']}/{row['transport']}/{row['algorithm']}"
+    key = f"{row['mode']}/{row['transport']}/{row['algorithm']}"
+    if row.get("locality", "off") != "off":
+        key += f"+{row['locality']}"
+    return key
 
 
 def speedups(rows: list[dict]) -> dict[str, float]:
@@ -224,6 +270,14 @@ def speedups(rows: list[dict]) -> dict[str, float]:
                 out[f"{mode}/{transport}"] = round(
                     fast["updates_per_sec"] / base["updates_per_sec"], 2
                 )
+    for transport in TRANSPORTS:
+        for algorithm in ALGORITHMS:
+            off = by_key.get(f"saturated/{transport}/{algorithm}")
+            aux = by_key.get(f"saturated/{transport}/{algorithm}+aux")
+            if off and aux and off["updates_per_sec"]:
+                out[f"locality/{transport}/{algorithm}"] = round(
+                    aux["updates_per_sec"] / off["updates_per_sec"], 2
+                )
     shard_base = by_key.get("sharded/local/sweep@shards=1")
     if shard_base and shard_base["updates_per_sec"]:
         for row in rows:
@@ -234,6 +288,75 @@ def speedups(rows: list[dict]) -> dict[str, float]:
                 row["updates_per_sec"] / shard_base["updates_per_sec"], 2
             )
     return out
+
+
+def message_reductions(rows: list[dict]) -> dict[str, float]:
+    """messages_total of each remote row over its ``+aux`` twin (>1 is
+    fewer messages with locality on)."""
+    by_key = {_row_key(r): r for r in rows}
+    out = {}
+    for transport in TRANSPORTS:
+        for algorithm in ALGORITHMS:
+            off = by_key.get(f"saturated/{transport}/{algorithm}")
+            aux = by_key.get(f"saturated/{transport}/{algorithm}+aux")
+            if off and aux and aux["messages_total"]:
+                out[f"locality/{transport}/{algorithm}"] = round(
+                    off["messages_total"] / aux["messages_total"], 2
+                )
+    return out
+
+
+def locality_problems(
+    rows: list[dict],
+    min_speedup: float = LOCALITY_SPEEDUP_TARGET,
+    min_message_reduction: float = LOCALITY_MESSAGE_REDUCTION_TARGET,
+) -> list[str]:
+    """The locality acceptance gate, as regression messages.
+
+    The headline cell (saturated/tcp/sweep) must be at least
+    ``min_speedup`` faster and ``min_message_reduction`` lighter on the
+    wire than its same-run remote twin; every per-update ``+aux`` pair
+    must cut messages by at least 2x, while batching schedulers -- whose
+    remote twin already collapsed the round trips, and whose all-covered
+    batches legitimately degenerate to singleton installs -- must simply
+    not get heavier; and no pair may lose its remote twin's consistency
+    verdict.
+    """
+    problems = []
+    ratios = speedups(rows)
+    reductions = message_reductions(rows)
+    head = "locality/tcp/sweep"
+    if head not in ratios:
+        problems.append(f"{head}: locality rows missing from the suite")
+        return problems
+    if ratios[head] < min_speedup:
+        problems.append(
+            f"{head}: {ratios[head]}x throughput is below the"
+            f" {min_speedup}x locality floor"
+        )
+    if reductions.get(head, 0.0) < min_message_reduction:
+        problems.append(
+            f"{head}: {reductions.get(head)}x message reduction is below"
+            f" the {min_message_reduction}x locality floor"
+        )
+    order = ("none", "convergence", "weak", "strong", "complete")
+    by_key = {_row_key(r): r for r in rows}
+    for key, reduction in reductions.items():
+        _, transport, algorithm = key.split("/")
+        floor = 1.0 if "batched" in algorithm else 2.0
+        if reduction < floor:
+            problems.append(
+                f"{key}: only {reduction}x message reduction"
+                f" (< {floor:g}x)"
+            )
+        off = by_key[f"saturated/{transport}/{algorithm}"]
+        aux = by_key[f"saturated/{transport}/{algorithm}+aux"]
+        if order.index(aux["consistency"]) < order.index(off["consistency"]):
+            problems.append(
+                f"{key}: consistency dropped from {off['consistency']!r}"
+                f" to {aux['consistency']!r} with locality on"
+            )
+    return problems
 
 
 def durable_overhead(rows: list[dict]) -> float | None:
@@ -255,8 +378,11 @@ def build_report(rows: list[dict], quick: bool = False) -> dict:
         "baseline_updates_per_sec": BASELINE_UPDATES_PER_SEC,
         "speedup_target": SPEEDUP_TARGET,
         "durable_overhead_target": DURABLE_OVERHEAD_TARGET,
+        "locality_speedup_target": LOCALITY_SPEEDUP_TARGET,
+        "locality_message_reduction_target": LOCALITY_MESSAGE_REDUCTION_TARGET,
         "rows": rows,
         "speedups": speedups(rows),
+        "message_reductions": message_reductions(rows),
         "durable_overhead": durable_overhead(rows),
     }
 
@@ -323,13 +449,14 @@ def compare_reports(
 def format_suite(rows: list[dict]) -> str:
     ratio = speedups(rows)
     table = format_table(
-        ["mode", "transport", "algorithm", "updates", "installs",
+        ["mode", "transport", "algorithm", "locality", "updates", "installs",
          "wall s", "upd/s", "msgs", "consistency"],
         [
             [
                 row["mode"],
                 row["transport"],
                 row["algorithm"],
+                row.get("locality", "off"),
                 row["updates"],
                 row["installs"],
                 row["wall_seconds"],
@@ -344,6 +471,8 @@ def format_suite(rows: list[dict]) -> str:
     lines = [table, ""]
     for key, value in sorted(ratio.items()):
         lines.append(f"speedup[{key}] = {value}x")
+    for key, value in sorted(message_reductions(rows).items()):
+        lines.append(f"message reduction[{key}] = {value}x")
     lines.append(
         f"floor: saturated/local batched >= {SPEEDUP_TARGET}x"
         f" {BASELINE_UPDATES_PER_SEC} upd/s"
@@ -366,6 +495,8 @@ __all__ = [
     "ALGORITHMS",
     "BASELINE_UPDATES_PER_SEC",
     "DURABLE_OVERHEAD_TARGET",
+    "LOCALITY_MESSAGE_REDUCTION_TARGET",
+    "LOCALITY_SPEEDUP_TARGET",
     "MODES",
     "QUICK_SHARD_COUNTS",
     "SHARD_COUNTS",
@@ -378,6 +509,8 @@ __all__ = [
     "durable_overhead",
     "format_suite",
     "load_report",
+    "locality_problems",
+    "message_reductions",
     "run_cell",
     "run_shard_cell",
     "run_suite",

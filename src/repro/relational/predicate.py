@@ -266,18 +266,38 @@ class Not(Predicate):
 #: per operator call.  Bounded defensively; real runs stay tiny.
 _COMPILE_CACHE: dict[tuple[Predicate, Schema], Callable[[tuple], bool]] = {}
 _COMPILE_CACHE_MAX = 4096
+_COMPILE_HITS = 0
+_COMPILE_MISSES = 0
 
 
 def compile_cached(predicate: Predicate, schema: Schema) -> Callable[[tuple], bool]:
     """``predicate.compile(schema)`` memoized on the (predicate, schema) pair."""
+    global _COMPILE_HITS, _COMPILE_MISSES
     key = (predicate, schema)
     test = _COMPILE_CACHE.get(key)
     if test is None:
+        _COMPILE_MISSES += 1
         test = predicate.compile(schema)
         if len(_COMPILE_CACHE) >= _COMPILE_CACHE_MAX:
             _COMPILE_CACHE.clear()
         _COMPILE_CACHE[key] = test
+    else:
+        _COMPILE_HITS += 1
     return test
+
+
+def compile_cache_stats() -> dict[str, int]:
+    """Process-lifetime counters of the compile cache.
+
+    The totals are cumulative; harness drivers snapshot them around a
+    run and report the difference (see ``RunResult.predicate_cache``).
+    """
+    return {
+        "hits": _COMPILE_HITS,
+        "misses": _COMPILE_MISSES,
+        "size": len(_COMPILE_CACHE),
+        "capacity": _COMPILE_CACHE_MAX,
+    }
 
 
 def conjunction(parts: list[Predicate]) -> Predicate:
@@ -299,6 +319,7 @@ __all__ = [
     "And",
     "Or",
     "Not",
+    "compile_cache_stats",
     "compile_cached",
     "conjunction",
 ]

@@ -26,7 +26,13 @@ from repro.consistency.levels import ConsistencyLevel
 from repro.consistency.oracle import RunRecorder
 from repro.harness.config import ExperimentConfig
 from repro.harness.results import RunResult
-from repro.harness.runner import algorithm_kwargs, build_workload
+from repro.harness.runner import (
+    algorithm_kwargs,
+    build_workload,
+    record_predicate_cache_delta,
+)
+from repro.relational.predicate import compile_cache_stats
+from repro.warehouse.locality import build_locality
 from repro.runtime.chaos import (
     ChaosConfig,
     ChaosLocalChannel,
@@ -186,6 +192,7 @@ async def _wire_tcp(
             listen_host=host,
             tcp_config=tcp_config,
             algorithm_kwargs=algorithm_kwargs(config),
+            locality=build_locality(config, [view], workload.initial_states),
         )
         await warehouse_node.start()
         # Patch the central node's outbound channel now that the
@@ -259,6 +266,7 @@ async def _wire_tcp(
         listen_host=host,
         tcp_config=tcp_config,
         algorithm_kwargs=algorithm_kwargs(config),
+        locality=build_locality(config, [view], workload.initial_states),
     )
     await warehouse_node.start()
     for node in system.source_nodes:
@@ -381,6 +389,7 @@ def _wire_local(
         metrics=metrics,
         trace=trace,
         inbox=inbox,
+        locality=build_locality(config, [view], workload.initial_states),
         **algorithm_kwargs(config),
     )
     return system
@@ -408,6 +417,7 @@ async def run_distributed_async(
     if transport not in ("tcp", "local"):
         raise ValueError(f"unknown transport {transport!r}")
     chaos = profile(chaos)
+    predicate_stats_before = compile_cache_stats()
     rngs = RngRegistry(config.seed)
     workload = build_workload(config, rngs)
     view = workload.view
@@ -449,6 +459,7 @@ async def run_distributed_async(
 
         await runtime.wait_until(finished, timeout=timeout)
         wall = _time.perf_counter() - started
+        record_predicate_cache_delta(metrics, predicate_stats_before)
 
         result = DistributedRunResult(
             config=config,
@@ -590,6 +601,7 @@ async def serve_warehouse_async(
         listen_port=listen_port,
         tcp_config=tcp_config,
         algorithm_kwargs=algorithm_kwargs(config),
+        locality=build_locality(config, [view], workload.initial_states),
         durable_dir=durable_dir,
         checkpoint_policy=checkpoint_policy,
     )

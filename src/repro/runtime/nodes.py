@@ -181,6 +181,7 @@ class WarehouseNode:
         listen_port: int = 0,
         tcp_config: TcpChannelConfig | None = None,
         algorithm_kwargs: dict | None = None,
+        locality=None,
         durable_dir: str | None = None,
         checkpoint_policy: "CheckpointPolicy | None" = None,
         crash_plan: "CrashPlan | None" = None,
@@ -236,6 +237,7 @@ class WarehouseNode:
             metrics=metrics,
             trace=trace,
             inbox=self.inbox,
+            locality=locality,
             **(algorithm_kwargs or {}),
         )
         self.durability = None

@@ -69,7 +69,8 @@ from repro.durability.recovery import (
     resume_warehouse,
 )
 from repro.harness.config import ExperimentConfig
-from repro.harness.runner import build_workload
+from repro.harness.runner import build_workload, record_predicate_cache_delta
+from repro.relational.predicate import compile_cache_stats
 from repro.relational.relation import Relation
 from repro.relational.view import ViewDefinition
 from repro.runtime.chaos import (
@@ -108,6 +109,7 @@ from repro.sources.messages import (
 )
 from repro.sources.sqlite import SqliteBackend
 from repro.sources.updater import ScheduledUpdater
+from repro.warehouse.locality import build_locality
 from repro.warehouse.multiview import (
     MultiViewBatchedSweepWarehouse,
     MultiViewSweepWarehouse,
@@ -307,6 +309,7 @@ def build_shard_warehouse(
     primary = views[0]
     recorders = recorders or {}
     common = dict(
+        locality=build_locality(config, views, initial_states),
         initial_view=primary.evaluate(initial_states),
         recorder=recorders.get(primary.name),
         metrics=metrics,
@@ -556,7 +559,26 @@ class ShardedRunResult:
 
     @property
     def installs(self) -> int:
+        """Install *transactions* summed over shards (NOT source updates:
+        an update fanned out to k shards is installed k times here)."""
         return self.metrics.counters.get("installs", 0)
+
+    @property
+    def installs_by_view(self) -> dict[str, int]:
+        """Install count per maintained view, from its own recorder."""
+        return {
+            name: len(self.recorders[name].snapshots)
+            for name in sorted(self.final_views)
+        }
+
+    @property
+    def installs_by_shard(self) -> dict[int, int]:
+        """Install counts folded onto the hosting shard."""
+        out: dict[int, int] = {}
+        for name, count in self.installs_by_view.items():
+            shard = self.plan.shard_of(name)
+            out[shard] = out.get(shard, 0) + count
+        return dict(sorted(out.items()))
 
     @property
     def updates_per_sec(self) -> float:
@@ -592,12 +614,25 @@ class ShardedRunResult:
         lines.append(
             f"updates          : {self.updates_total} unique,"
             f" {self.deliveries_total} shard deliveries,"
-            f" {self.installs} installs"
+            f" {self.installs} install txns"
+        )
+        by_shard = self.installs_by_shard
+        lines.append(
+            "view installs    : "
+            + ", ".join(f"sh{shard}={count}" for shard, count in by_shard.items())
         )
         lines.append(
-            f"throughput       : {self.updates_per_sec:.1f} updates/s"
+            f"throughput       : {self.updates_per_sec:.1f} distinct updates/s"
             f" over {self.wall_seconds:.3f}s"
         )
+        counters = self.metrics.counters
+        if self.config.locality != "off":
+            lines.append(
+                f"locality         : mode={self.config.locality}"
+                f" aux_hits={counters.get('locality_aux_hits', 0)}"
+                f" cache_hits={counters.get('locality_cache_hits', 0)}"
+                f" dedup_saved={counters.get('locality_dedup_saved', 0)}"
+            )
         for name in sorted(self.final_views):
             level = self.levels.get(name)
             shown = level.name.lower() if level is not None else "unchecked"
@@ -675,6 +710,7 @@ async def run_sharded_async(
     if transport not in ("tcp", "local"):
         raise ValueError(f"unknown transport {transport!r}")
     chaos = profile(chaos)
+    predicate_stats_before = compile_cache_stats()
     rngs = RngRegistry(config.seed)
     workload = build_workload(config, rngs)
     family = views if views is not None else _sharded_views(config, workload)
@@ -936,6 +972,7 @@ async def run_sharded_async(
 
         await runtime.wait_until(finished, timeout=timeout)
         wall = _time.perf_counter() - started
+        record_predicate_cache_delta(metrics, predicate_stats_before)
 
         # Extra views share their shard primary's delivery order.
         for shard in plan.active_shards:
@@ -1474,6 +1511,8 @@ def _config_argv(config: ExperimentConfig, time_scale: float) -> list[str]:
         "--time-scale", str(time_scale),
         "--views", str(config.n_views),
         "--batch-max", str(config.batch_max),
+        "--locality", config.locality,
+        "--locality-budget", str(config.locality_budget_rows),
     ]
     if config.batch_adaptive:
         argv.append("--adaptive-batch")

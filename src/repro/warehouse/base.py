@@ -60,6 +60,7 @@ class WarehouseBase:
         trace: TraceLog | None = None,
         strict_view: bool = True,
         inbox: Mailbox | None = None,
+        locality=None,
     ):
         self.sim = sim
         self.view = view
@@ -70,6 +71,10 @@ class WarehouseBase:
         self.store = MaterializedView(view, initial_view, strict=strict_view)
         self.recorder = recorder
         self.metrics = metrics if metrics is not None else MetricsCollector()
+        #: query-locality layer (aux copies + answer cache); None = remote.
+        self.locality = locality
+        if locality is not None:
+            locality.bind(self.metrics)
         self.trace = trace
         #: updates whose effects the view currently reflects, per source.
         self.applied_counts: dict[int, int] = defaultdict(int)
@@ -90,6 +95,10 @@ class WarehouseBase:
             # Stamp the incarnation so answers can be fenced after a
             # restart; sources echo it back (see messages.QueryRequest).
             payload.epoch = self.durability.incarnation
+        if self.locality is not None:
+            # Remember cacheable queries so the dispatcher can insert the
+            # answer at routing time (the delivered position).
+            self.locality.register(payload)
         self.metrics.increment("queries_sent")
         self.query_channels[index].send(
             Message(kind="query", sender="warehouse", payload=payload)
@@ -112,6 +121,8 @@ class WarehouseBase:
             self.recorder.on_delivery(notice)
         else:
             notice.delivery_seq = self.updates_delivered
+        if self.locality is not None:
+            self.locality.on_delivered(notice)
         self.metrics.increment("updates_delivered")
         if self.trace:
             self.trace.record(self.sim.now, "warehouse", "delivered", notice)
@@ -123,6 +134,8 @@ class WarehouseBase:
         """Record that these updates' effects are now (being) installed."""
         for notice in notices:
             self.applied_counts[notice.source_index] += 1
+            if self.locality is not None:
+                self.locality.on_installed(notice)
             self.metrics.increment("updates_installed")
             self.metrics.observe(
                 "install_delay", self.sim.now - notice.delivered_at
@@ -253,6 +266,12 @@ class QueueDrivenWarehouse(WarehouseBase):
                     # the restarted sweep re-issued its own.
                     self.metrics.increment("recovery_stale_answers_dropped")
                     continue
+                if self.locality is not None:
+                    # Cache insertion must happen here, not when the sweep
+                    # consumes the answer: the same-instant delivery window
+                    # the pending snapshot below closes would otherwise
+                    # shift the entry off the delivered position.
+                    self.locality.on_answer_routed(msg.payload)
                 # Snapshot the queue contents *now*: an update delivered at
                 # the same virtual instant but after this answer must not be
                 # compensated against it (it was applied after the query was
@@ -316,6 +335,35 @@ class QueueDrivenWarehouse(WarehouseBase):
                 f" {request.request_id}"
             )
         return answer.partial
+
+    def local_aux_answer(self, index: int, partial: PartialView):
+        """Sweep-step answer from the covered local copy, or None.
+
+        The copy sits at the installed position, which for queue-driven
+        (one unit of work at a time) warehouses is exactly the state the
+        remote answer plus local compensation would reconstruct -- so the
+        caller skips compensation entirely.
+        """
+        if self.locality is None:
+            return None
+        return self.locality.aux_answer(index, partial)
+
+    def local_cached_answer(self, index: int, partial: PartialView):
+        """Cached sweep-step answer, or None.
+
+        A hit behaves exactly like a remote answer routed this instant:
+        the pending-updates snapshot is latched against the current queue
+        and the caller runs its ordinary compensation against it.
+        """
+        if self.locality is None:
+            return None
+        hit = self.locality.cache_lookup(index, partial)
+        if hit is None:
+            return None
+        self._pending_at_answer = tuple(
+            m.payload for m in self.update_queue.peek_all()
+        )
+        return hit
 
     def pending_updates_from(self, index: int) -> list[UpdateNotice]:
         """Updates from source ``index`` queued when the last answer arrived.

@@ -229,6 +229,11 @@ class BatchedSweepWarehouse(QueueDrivenWarehouse):
             active = sorted(i for i in terms if i > j)
             if not active:
                 continue
+            if self.locality is not None and self.locality.covers(j):
+                batch_delta = merged.get(j)
+                for i in active:
+                    terms[i] = self._local_wave_answer(j, terms[i], batch_delta)
+                continue
             answers = yield from self._multi_query(j, [terms[i] for i in active])
             for i, answer in zip(active, answers):
                 terms[i] = self._compensate_queued(j, answer, terms[i])
@@ -238,6 +243,12 @@ class BatchedSweepWarehouse(QueueDrivenWarehouse):
         for j in range(2, n + 1):
             active = sorted(i for i in terms if i < j)
             if not active:
+                continue
+            if self.locality is not None and self.locality.covers(j):
+                # The covered copy *is* R_j^old (pre-batch installed
+                # position): no queued-update or batch-delta error terms.
+                for i in active:
+                    terms[i] = self.locality.aux_answer(j, terms[i])
                 continue
             temps = {i: terms[i] for i in active}
             answers = yield from self._multi_query(j, [temps[i] for i in active])
@@ -266,13 +277,44 @@ class BatchedSweepWarehouse(QueueDrivenWarehouse):
     # ------------------------------------------------------------------
     # Wave plumbing
     # ------------------------------------------------------------------
+    def _local_wave_answer(
+        self, index: int, term: PartialView, batch_delta: Delta | None
+    ) -> PartialView:
+        """Leftward-wave answer from the covered copy: ``R_j^new`` locally.
+
+        The copy holds ``R_j^old`` (the pre-batch installed position);
+        the batch's own merged delta at ``j`` is added by bilinearity of
+        the join.  Updates queued after the drain are simply absent --
+        exactly what remote-path compensation would have subtracted.
+        """
+        answer = self.locality.aux_answer(index, term)
+        if batch_delta is not None:
+            answer = answer.add_in_place(term.extend(index, batch_delta))
+        return answer
+
     def _multi_query(
         self, index: int, partials: list[PartialView]
     ) -> Generator:
-        """One batched sweep step: all active terms visit ``index`` at once."""
+        """One batched sweep step: all active terms visit ``index`` at once.
+
+        With a locality layer, fingerprint-equal partials are sent once
+        (multi-query sharing) and cached answers satisfy the whole step
+        locally when every unique partial hits.
+        """
+        send = list(partials)
+        mapping = None
+        if self.locality is not None:
+            send, mapping = self.locality.dedupe(send)
+            hits = self.locality.cache_lookup_many(index, send)
+            if hits is not None:
+                # A full cache hit is an answer routed this instant.
+                self._pending_at_answer = tuple(
+                    m.payload for m in self.update_queue.peek_all()
+                )
+                return self.locality.expand(hits, mapping)
         request = MultiQueryRequest(
             request_id=next_request_id(),
-            partials=list(partials),
+            partials=send,
             target_index=index,
         )
         self.send_query(index, request)
@@ -284,12 +326,14 @@ class BatchedSweepWarehouse(QueueDrivenWarehouse):
                 f"answer {answer.request_id} does not match request"
                 f" {request.request_id}"
             )
-        if len(answer.partials) != len(partials):
+        if len(answer.partials) != len(send):
             raise ProtocolError(
                 f"multi-query answer carries {len(answer.partials)} partials,"
-                f" expected {len(partials)}"
+                f" expected {len(send)}"
             )
-        return answer.partials
+        if mapping is None:
+            return answer.partials
+        return self.locality.expand(answer.partials, mapping)
 
     def _compensate_queued(
         self, index: int, answer: PartialView, temp: PartialView

@@ -1,0 +1,28 @@
+"""Query-locality layer: auxiliary source copies + answer caching.
+
+Eliminates maintenance-query round trips by answering sweep steps at the
+warehouse: covered sources from a self-maintained local copy (zero
+messages, zero compensation), non-covered sources from a
+delta-invalidated answer cache.  See docs/locality.md.
+"""
+
+from repro.warehouse.locality.aux import AuxiliaryStore
+from repro.warehouse.locality.cache import AnswerCache, fingerprint
+from repro.warehouse.locality.planner import (
+    MODES,
+    SUPPORTED_ALGORITHMS,
+    QueryLocality,
+    build_locality,
+    plan_coverage,
+)
+
+__all__ = [
+    "MODES",
+    "SUPPORTED_ALGORITHMS",
+    "AnswerCache",
+    "AuxiliaryStore",
+    "QueryLocality",
+    "build_locality",
+    "fingerprint",
+    "plan_coverage",
+]

@@ -1,0 +1,242 @@
+"""Delta-invalidated answer cache for non-covered sources.
+
+Memoizes ``(source, query-fingerprint) -> answer`` for sweep-step
+queries.  The fingerprint is the partial view change itself (view name,
+covered range, signed rows), because the answer ``partial |><| R_j``
+depends on nothing else.
+
+Entries are kept at the warehouse's **delivered position**: an entry is
+inserted the instant its answer is routed by the dispatcher (by the FIFO
+argument, the answer then reflects exactly the updates from its source
+delivered so far), and every subsequently delivered update from that
+source patches the entry in place with the local join
+``query |><| Delta-R_j`` -- the same bilinearity that powers SWEEP's
+compensation.  A cache hit is therefore indistinguishable from a remote
+answer arriving at that instant, and the calling algorithm runs its
+ordinary compensation against the current queue/log unchanged.
+
+Entries are *invalidated* (dropped) rather than patched when they grow
+past ``max_entry_rows``, and evicted LRU-first when the total row budget
+is exceeded.  The cache is always rebuilt cold after crash recovery.
+"""
+
+from __future__ import annotations
+
+from repro.relational.delta import Delta
+from repro.relational.incremental import PartialView
+from repro.sources.messages import (
+    MultiQueryAnswer,
+    MultiQueryRequest,
+    QueryAnswer,
+    QueryRequest,
+)
+
+
+def fingerprint(partial: PartialView) -> tuple:
+    """Content key of a sweep-step query: view, range, signed rows."""
+    return (
+        partial.view.name,
+        partial.lo,
+        partial.hi,
+        frozenset(partial.delta.items()),
+    )
+
+
+class _Entry:
+    __slots__ = ("index", "query", "answer")
+
+    def __init__(self, index: int, query: PartialView, answer: PartialView):
+        self.index = index
+        self.query = query
+        self.answer = answer
+
+    @property
+    def rows(self) -> int:
+        return self.answer.delta.distinct_count
+
+
+class AnswerCache:
+    """LRU answer cache patched in place from the observed update stream."""
+
+    def __init__(
+        self,
+        budget_rows: int = 0,
+        max_entry_rows: int = 4096,
+        on_event=None,
+    ):
+        #: total answer rows allowed across entries; 0 = unbounded.
+        self.budget_rows = budget_rows
+        #: entries patched past this many rows are invalidated instead.
+        self.max_entry_rows = max_entry_rows
+        self._on_event = on_event
+        #: insertion order doubles as LRU order (hits reinsert).
+        self._entries: dict[tuple, _Entry] = {}
+        self._by_source: dict[int, set[tuple]] = {}
+        #: request_id -> [(source, key, query partial), ...] awaiting answers.
+        self._registered: dict[int, list[tuple[int, tuple, PartialView]]] = {}
+        self.stats = {
+            "hits": 0,
+            "misses": 0,
+            "patches": 0,
+            "evictions": 0,
+            "invalidations": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.stats[name] += amount
+        if self._on_event is not None:
+            self._on_event(name, amount)
+
+    def _key(self, index: int, partial: PartialView) -> tuple:
+        return (index, fingerprint(partial))
+
+    # ------------------------------------------------------------------
+    # Fill path: register at send time, insert at answer-routing time
+    # ------------------------------------------------------------------
+    def register(self, request: object) -> None:
+        """Remember an outbound query so its answer can be cached.
+
+        Must be called at send time; the matching insertion happens in
+        :meth:`on_answer_routed`, i.e. at the dispatcher, *before* any
+        later-delivered update can interleave -- that is what pins the
+        entry to the delivered position the FIFO argument guarantees.
+        """
+        if isinstance(request, QueryRequest):
+            pairs = [(request.target_index, request.partial)]
+        elif isinstance(request, MultiQueryRequest):
+            pairs = [(request.target_index, p) for p in request.partials]
+        else:
+            return
+        self._registered[request.request_id] = [
+            (index, self._key(index, partial), partial)
+            for index, partial in pairs
+        ]
+
+    def on_answer_routed(self, payload: object) -> None:
+        """Insert answers for a previously registered request."""
+        request_id = getattr(payload, "request_id", None)
+        if request_id is None:
+            return
+        registered = self._registered.pop(request_id, None)
+        if registered is None:
+            return
+        if isinstance(payload, QueryAnswer):
+            answers = [payload.partial]
+        elif isinstance(payload, MultiQueryAnswer):
+            answers = payload.partials
+        else:
+            return
+        if len(answers) != len(registered):
+            return  # malformed; the protocol layer raises on consumption
+        for (index, key, query), answer in zip(registered, answers):
+            self._entries.pop(key, None)
+            entry = _Entry(
+                index,
+                query,
+                PartialView(
+                    answer.view, answer.lo, answer.hi, answer.delta.copy()
+                ),
+            )
+            self._entries[key] = entry
+            self._by_source.setdefault(index, set()).add(key)
+        self._enforce_budget()
+
+    def drop_registered(self, request_id: int) -> None:
+        self._registered.pop(request_id, None)
+
+    # ------------------------------------------------------------------
+    # Hit path
+    # ------------------------------------------------------------------
+    def lookup(self, index: int, partial: PartialView) -> PartialView | None:
+        """A copy of the cached answer at the delivered position, or None."""
+        key = self._key(index, partial)
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            self._count("misses")
+            return None
+        self._entries[key] = entry  # LRU touch
+        self._count("hits")
+        return PartialView(
+            entry.answer.view,
+            entry.answer.lo,
+            entry.answer.hi,
+            entry.answer.delta.copy(),
+        )
+
+    def lookup_many(
+        self, index: int, partials: list[PartialView]
+    ) -> list[PartialView] | None:
+        """All-or-nothing lookup for one batched wave step.
+
+        Returns answers only when *every* partial hits; a partial hit
+        still goes remote (the whole request is one message anyway), so
+        only the missing fingerprints are counted as misses.
+        """
+        keys = [self._key(index, p) for p in partials]
+        missing = sum(1 for key in keys if key not in self._entries)
+        if missing:
+            self._count("misses", missing)
+            return None
+        return [self.lookup(index, p) for p in partials]
+
+    # ------------------------------------------------------------------
+    # Delta patching (the "delta-invalidated" part)
+    # ------------------------------------------------------------------
+    def on_delta(self, index: int, delta: Delta) -> None:
+        """Patch every entry for ``index`` with ``query |><| delta``."""
+        keys = self._by_source.get(index)
+        if not keys:
+            return
+        for key in list(keys):
+            entry = self._entries.get(key)
+            if entry is None:
+                keys.discard(key)
+                continue
+            patch = entry.query.extend(index, delta)
+            if not patch.delta:
+                continue
+            entry.answer.add_in_place(patch)
+            self._count("patches")
+            if entry.rows > self.max_entry_rows:
+                self._remove(key)
+                self._count("invalidations")
+
+    # ------------------------------------------------------------------
+    # Budget / lifecycle
+    # ------------------------------------------------------------------
+    def _remove(self, key: tuple) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            bucket = self._by_source.get(entry.index)
+            if bucket is not None:
+                bucket.discard(key)
+
+    def _enforce_budget(self) -> None:
+        if not self.budget_rows:
+            return
+        while self.rows_total() > self.budget_rows and len(self._entries) > 1:
+            oldest = next(iter(self._entries))
+            self._remove(oldest)
+            self._count("evictions")
+
+    def rows_total(self) -> int:
+        return sum(entry.rows for entry in self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Cold restart: recovery never trusts a pre-crash cache."""
+        self._entries.clear()
+        self._by_source.clear()
+        self._registered.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"AnswerCache(entries={len(self._entries)},"
+            f" rows={self.rows_total()}, stats={self.stats})"
+        )
+
+
+__all__ = ["AnswerCache", "fingerprint"]

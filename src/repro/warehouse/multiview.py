@@ -147,6 +147,25 @@ class MultiViewSweepWarehouse(MultiViewStateMixin, QueueDrivenWarehouse):
         sweep_order = list(range(i - 1, 0, -1)) + list(range(i + 1, n + 1))
         for j in sweep_order:
             temps = partials
+            if self.locality is not None and self.locality.covers(j):
+                # Covered source: every view's step is answered from the
+                # same local copy, compensation-free (sequential install
+                # order makes the copy exactly this update's position).
+                partials = [
+                    self.locality.aux_answer(j, partial) for partial in partials
+                ]
+                continue
+            if self.locality is not None:
+                hits = self.locality.cache_lookup_many(j, partials)
+                if hits is not None:
+                    self._pending_at_answer = tuple(
+                        m.payload for m in self.update_queue.peek_all()
+                    )
+                    partials = [
+                        self._compensate_one(j, hit, temp)
+                        for hit, temp in zip(hits, temps)
+                    ]
+                    continue
             request = MultiQueryRequest(
                 request_id=next_request_id(), partials=partials, target_index=j
             )
@@ -247,6 +266,14 @@ class MultiViewBatchedSweepWarehouse(MultiViewStateMixin, BatchedSweepWarehouse)
             active = sorted(i for i in merged if i > j)
             if not active:
                 continue
+            if self.locality is not None and self.locality.covers(j):
+                batch_delta = merged.get(j)
+                for view in self.views:
+                    for i in active:
+                        terms[view.name][i] = self._local_wave_answer(
+                            j, terms[view.name][i], batch_delta
+                        )
+                continue
             answers = yield from self._multi_query_views(j, terms, active)
             for view in self.views:
                 for i in active:
@@ -259,6 +286,14 @@ class MultiViewBatchedSweepWarehouse(MultiViewStateMixin, BatchedSweepWarehouse)
         for j in range(2, n + 1):
             active = sorted(i for i in merged if i < j)
             if not active:
+                continue
+            if self.locality is not None and self.locality.covers(j):
+                # The covered copy is R_j^old for every view alike.
+                for view in self.views:
+                    for i in active:
+                        terms[view.name][i] = self.locality.aux_answer(
+                            j, terms[view.name][i]
+                        )
                 continue
             temps = {
                 view.name: {i: terms[view.name][i] for i in active}

@@ -85,6 +85,10 @@ class PipelinedSweepWarehouse(WarehouseBase):
                     raise ProtocolError(
                         f"answer for unknown request {msg.payload.request_id}"
                     )
+                if self.locality is not None:
+                    # Insert into the answer cache at the delivered
+                    # position, before any later delivery can interleave.
+                    self.locality.on_answer_routed(msg.payload)
                 # Latch the log length: updates logged later were delivered
                 # after this answer and must not be compensated against it.
                 box.put((msg, len(self.delivery_log)))
@@ -111,6 +115,10 @@ class PipelinedSweepWarehouse(WarehouseBase):
         )
         for j in order:
             temp = partial
+            local = self._local_answer(notice, j, partial)
+            if local is not None:
+                partial = local
+                continue
             request = self.make_sweep_query(j, partial)
             self._answer_routes[request.request_id] = my_box
             self.send_query(j, request)
@@ -118,6 +126,48 @@ class PipelinedSweepWarehouse(WarehouseBase):
             answer: PartialView = msg.payload.partial
             partial = self._compensate(notice, j, answer, temp, log_len)
         self._complete(notice, partial)
+
+    def _local_answer(
+        self, notice: UpdateNotice, index: int, partial: PartialView
+    ) -> PartialView | None:
+        """Answer one sweep step locally (covered copy or cache), or None.
+
+        The covered copy sits at the *installed* position, but update
+        ``u``'s answer must reflect exactly the ``index``-updates with
+        ``delivery_seq < u.delivery_seq``.  Installs run strictly in
+        delivery order and this method never yields, so the gap is
+        precisely the delivered-but-uninstalled log prefix below ``u`` --
+        joined in locally, the same bilinearity as compensation.
+
+        A cache hit is an answer routed this instant: compensate against
+        the full current delivery log, exactly as the remote path does
+        with its latched ``log_len``.
+        """
+        if self.locality is None:
+            return None
+        if self.locality.covers(index):
+            answer = self.locality.aux_answer(index, partial)
+            uninstalled = [
+                n
+                for n in self.delivery_log[
+                    self._next_install_seq - 1 : notice.delivery_seq - 1
+                ]
+                if n.source_index == index
+            ]
+            if uninstalled:
+                merged = merge_deltas(
+                    self.view.schema_of(index),
+                    [n.delta for n in uninstalled],
+                )
+                if merged:
+                    answer = answer.add_in_place(partial.extend(index, merged))
+            return answer
+        hit = self.locality.cache_lookup(index, partial)
+        if hit is None:
+            return None
+        return self._compensate(
+            notice, index, hit, partial, len(self.delivery_log)
+        )
 
     def _compensate(
         self,

@@ -109,6 +109,16 @@ class SweepWarehouse(QueueDrivenWarehouse):
         )
         for j in sweep_order:
             temp = partial  # the paper's TempView
+            local = self.local_aux_answer(j, partial)
+            if local is not None:
+                # Covered source: the copy is exactly at this update's
+                # position, so the local join needs no compensation.
+                partial = local
+                continue
+            cached = self.local_cached_answer(j, partial)
+            if cached is not None:
+                partial = self._compensate(j, cached, temp)
+                continue
             answer = yield from self.query_and_await(
                 j, partial
             )
@@ -130,12 +140,26 @@ class SweepWarehouse(QueueDrivenWarehouse):
 
         def launch(side: str) -> None:
             state = halves[side]
-            j = state["next"]
-            if j == state["stop"]:
+            while True:
+                j = state["next"]
+                if j == state["stop"]:
+                    return
+                temp = state["partial"]
+                local = self.local_aux_answer(j, temp)
+                if local is None:
+                    cached = self.local_cached_answer(j, temp)
+                    if cached is not None:
+                        local = self._compensate(j, cached, temp)
+                if local is not None:
+                    # Answered locally; keep advancing this half without
+                    # yielding -- installs cannot interleave mid-sweep.
+                    state["partial"] = local
+                    state["next"] = j + state["step"]
+                    continue
+                request = self.make_sweep_query(j, temp)
+                self.send_query(j, request)
+                outstanding[request.request_id] = (side, temp, j)
                 return
-            request = self.make_sweep_query(j, state["partial"])
-            self.send_query(j, request)
-            outstanding[request.request_id] = (side, state["partial"], j)
 
         launch("left")
         launch("right")
