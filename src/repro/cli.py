@@ -231,6 +231,8 @@ def _add_run_sharded_parser(sub: argparse._SubParsersAction) -> None:
     _add_tcp_args(p)
     p.add_argument("--shards", type=int, default=2,
                    help="number of warehouse shards")
+    p.add_argument("--replicas", type=int, default=0,
+                   help="hot standbys per shard (0 = no replication)")
     p.add_argument("--strategy", choices=("hash", "round-robin"),
                    default="hash", help="view-to-shard assignment rule")
     p.add_argument("--transport", choices=("tcp", "local"), default="local")
@@ -288,6 +290,7 @@ def _cmd_run_sharded(args: argparse.Namespace) -> int:
             durable_root=args.durable_dir,
             restart=args.restart,
             max_restarts=args.max_restarts,
+            replicas=args.replicas,
         )
         for name in sorted(outputs):
             text = outputs[name].strip()
@@ -309,6 +312,7 @@ def _cmd_run_sharded(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         durable_dir=args.durable_dir,
         checkpoint_policy=_checkpoint_policy(args),
+        replicas=args.replicas,
     )
     print(result.report())
     return 0
@@ -321,8 +325,17 @@ def _add_serve_shard_parser(sub: argparse._SubParsersAction) -> None:
     )
     _add_workload_args(p)
     _add_tcp_args(p)
-    p.add_argument("--shard-id", type=int, required=True,
+    p.add_argument("--shard-id", type=int, default=None,
                    help="which shard of the plan this process hosts")
+    p.add_argument("--standby-of", type=int, default=None, metavar="SHARD",
+                   help="host this process as SHARD's first hot standby"
+                        " (shorthand for --shard-id SHARD --replica 1)")
+    p.add_argument("--replica", type=int, default=0,
+                   help="replica number within the shard's group"
+                        " (0 = primary)")
+    p.add_argument("--seed-from", default=None, metavar="DIR",
+                   help="bootstrap a fresh standby's --durable-dir from the"
+                        " newest checkpoint in the primary's durable dir")
     p.add_argument("--shards", type=int, required=True,
                    help="total number of shards in the plan")
     p.add_argument("--strategy", choices=("hash", "round-robin"),
@@ -360,6 +373,15 @@ def _cmd_serve_shard(args: argparse.Namespace) -> int:
     from repro.runtime import serve_shard_async
 
     config = _workload_config(args)
+    if (args.shard_id is None) == (args.standby_of is None):
+        raise SystemExit(
+            "serve-shard needs exactly one of --shard-id or --standby-of"
+        )
+    shard_id = args.shard_id
+    replica = args.replica
+    if args.standby_of is not None:
+        shard_id = args.standby_of
+        replica = max(1, replica)
     addresses = {}
     for spec in args.source:
         index, _, addr = spec.partition("=")
@@ -370,7 +392,7 @@ def _cmd_serve_shard(args: argparse.Namespace) -> int:
     result = asyncio.run(
         serve_shard_async(
             config,
-            args.shard_id,
+            shard_id,
             args.shards,
             addresses,
             listen_host=listen_host,
@@ -383,6 +405,8 @@ def _cmd_serve_shard(args: argparse.Namespace) -> int:
             verify=not args.no_verify,
             durable_dir=args.durable_dir,
             checkpoint_policy=_checkpoint_policy(args),
+            replica=replica,
+            seed_from=args.seed_from,
         )
     )
     print(result.report())
@@ -501,11 +525,13 @@ def _cmd_serve_source(args: argparse.Namespace) -> int:
     )
     if args.shard:
         from repro.runtime import serve_sharded_source_async
+        from repro.warehouse.sharding import parse_member
 
+        # Keys like "0" address a shard's primary; "0r1" its standby.
         addresses = {}
         for spec in args.shard:
-            shard, _, addr = spec.partition("=")
-            addresses[int(shard)] = _parse_address(addr)
+            member, _, addr = spec.partition("=")
+            addresses[parse_member(member)] = _parse_address(addr)
         asyncio.run(
             serve_sharded_source_async(config, args.index, addresses, **common)
         )
@@ -742,6 +768,30 @@ def build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--json", default="recovery_report.json",
                      metavar="PATH", help="where to write the JSON report")
 
+    fo = sub.add_parser(
+        "failover-sweep",
+        help="kill a shard's primary at deterministic protocol points,"
+             " promote its hot standby, and compare against the uncrashed"
+             " baseline",
+    )
+    fo.add_argument("--seed", "-s", type=int, default=0,
+                    help="first workload seed")
+    fo.add_argument("--seeds", type=int, default=30,
+                    help="seeds per sweep: seed, seed+1, ...")
+    fo.add_argument("--tcp-every", type=int, default=5,
+                    help="every Nth seed runs over loopback TCP"
+                         " (0 = local only)")
+    fo.add_argument("--time-scale", type=float, default=0.002,
+                    help="wall seconds per virtual time unit")
+    fo.add_argument("--timeout", type=float, default=120.0,
+                    help="wall-clock quiescence timeout per run")
+    fo.add_argument("--smoke", action="store_true",
+                    help="also run the multiprocess promotion smoke"
+                         " (SIGKILL the primary serve-shard process; the"
+                         " supervisor must promote the standby)")
+    fo.add_argument("--json", default="failover_report.json",
+                    metavar="PATH", help="where to write the JSON report")
+
     adv = sub.add_parser(
         "advise", help="recommend an algorithm for a workload"
     )
@@ -846,6 +896,36 @@ def _cmd_recovery_sweep(args: argparse.Namespace) -> int:
     return 0 if report["ok"] else 1
 
 
+def _cmd_failover_sweep(args: argparse.Namespace) -> int:
+    from repro.harness import failover
+
+    def progress(row: dict) -> None:
+        verdict = "pass" if row["ok"] else f"FAIL ({row['error']})"
+        print(
+            f"  {row['algorithm']:>13s} x {row['transport']:<5s}"
+            f" seed={row['seed']} {row['kill_point']:<16s} ... {verdict}",
+            flush=True,
+        )
+
+    rows = failover.run_failover_sweep(
+        seeds=range(args.seed, args.seed + args.seeds),
+        tcp_every=args.tcp_every,
+        time_scale=args.time_scale,
+        timeout=args.timeout,
+        progress=progress,
+    )
+    smoke = None
+    if args.smoke:
+        print("  promotion smoke (multiprocess SIGKILL) ...", flush=True)
+        smoke = failover.promotion_smoke()
+    report = failover.build_report(rows, smoke=smoke)
+    print()
+    print(failover.format_report(report))
+    path = failover.write_report(report, args.json)
+    print(f"\nwrote {path}")
+    return 0 if report["ok"] else 1
+
+
 def _cmd_conformance(args: argparse.Namespace) -> int:
     from repro.harness import conformance
 
@@ -935,6 +1015,7 @@ _COMMANDS = {
     "bench-throughput": _cmd_bench_throughput,
     "conformance": _cmd_conformance,
     "recovery-sweep": _cmd_recovery_sweep,
+    "failover-sweep": _cmd_failover_sweep,
 }
 
 

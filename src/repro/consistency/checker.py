@@ -85,6 +85,32 @@ def evaluate_at(
     return view.evaluate(history.states_at_vector(vector))
 
 
+def _delivery_overflow(
+    history: SourceHistory,
+    deliveries: list[UpdateNotice],
+    base_vector: dict[int, int] | None,
+) -> str:
+    """Non-empty detail when the log delivers more than the history holds.
+
+    A correct run cannot deliver a source's update more often than the
+    source produced it; an overflow means a duplicate crossed the FIFO
+    fence (e.g. an unfenced standby takeover), so the log is judged
+    dishonest outright rather than evaluated at an unrepresentable
+    state vector.
+    """
+    counts: dict[int, int] = dict(base_vector or {})
+    for notice in deliveries:
+        counts[notice.source_index] = counts.get(notice.source_index, 0) + 1
+    for index, count in sorted(counts.items()):
+        available = history.n_updates(index)
+        if count > available:
+            return (
+                f"source {index} delivered {count} updates but its history"
+                f" holds only {available}"
+            )
+    return ""
+
+
 def _view_key(relation: Relation) -> tuple:
     """A hashable canonical form of a view state."""
     return tuple(sorted(relation.items()))
@@ -217,6 +243,9 @@ def check_batched_complete(
     With ``batch_max=1`` this degenerates to the classic check.
     """
     level = ConsistencyLevel.COMPLETE
+    overflow = _delivery_overflow(history, deliveries, base_vector)
+    if overflow:
+        return CheckResult(level, False, method="batched", detail=overflow)
     try:
         attributions = attribute_installs(
             deliveries, snapshots, base_vector=base_vector
@@ -416,6 +445,8 @@ def classify(
     base_vector: dict[int, int] | None = None,
 ) -> ConsistencyLevel:
     """The strongest consistency level the recorded run satisfies."""
+    if _delivery_overflow(history, deliveries, base_vector):
+        return ConsistencyLevel.NONE
     converged = check_convergence(view, history, snapshots)
     if not converged:
         return ConsistencyLevel.NONE

@@ -43,6 +43,7 @@ from repro.durability.recovery import (
     attach_durability,
     load_state,
     resume_warehouse,
+    seed_standby_dir,
 )
 from repro.durability.wal import UpdateLog, read_update_log
 
@@ -64,4 +65,5 @@ __all__ = [
     "load_state",
     "read_update_log",
     "resume_warehouse",
+    "seed_standby_dir",
 ]

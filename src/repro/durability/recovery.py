@@ -44,7 +44,13 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
-from repro.durability.checkpoint import ViewCheckpoint
+import shutil
+
+from repro.durability.checkpoint import (
+    ViewCheckpoint,
+    checkpoint_generations,
+    checkpoint_path,
+)
 from repro.durability.encoding import decode_notice, decode_relation
 from repro.durability.errors import GenerationMismatchError, RecoveryError
 from repro.durability.manager import CheckpointPolicy, CrashPlan, DurabilityManager
@@ -245,9 +251,40 @@ def attach_durability(
     return manager, state
 
 
+def seed_standby_dir(source_dir: str, dest_dir: str) -> int | None:
+    """Seed a hot standby's durable directory from a primary's checkpoint.
+
+    Copies only the *newest checkpoint* -- never the WAL.  The WAL
+    records the primary's own post-checkpoint deliveries, which the
+    standby must NOT inherit: it receives those same updates over its
+    own FIFO channels, and replaying the primary's log would double
+    them.  The checkpoint alone is a stable prefix (taken between units
+    of work), so the seeded standby parks its ``pending`` and catches up
+    exactly like a restarted primary whose WAL was empty.
+
+    Returns the seeded generation, or ``None`` when the primary has no
+    checkpoint yet (the standby then starts cold from seq 1).  Refuses
+    to seed over existing durable state.
+    """
+    if checkpoint_generations(dest_dir):
+        raise RecoveryError(
+            f"{dest_dir}: refusing to seed over existing durable state"
+        )
+    generations = checkpoint_generations(source_dir)
+    if not generations:
+        return None
+    newest = generations[-1]
+    os.makedirs(dest_dir, exist_ok=True)
+    shutil.copyfile(
+        checkpoint_path(source_dir, newest), checkpoint_path(dest_dir, newest)
+    )
+    return newest
+
+
 __all__ = [
     "RecoveredState",
     "attach_durability",
     "load_state",
     "resume_warehouse",
+    "seed_standby_dir",
 ]

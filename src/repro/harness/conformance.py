@@ -66,6 +66,14 @@ SHARDED_ALGORITHMS: dict[str, dict] = {
         "algorithm": "batched-sweep",
         "claimed": ConsistencyLevel.STRONG,
     },
+    # Hot-standby deployment: every shard paired with one replica that
+    # installs in lockstep.  Standbys are mute on the answer path, so the
+    # claimed level is unchanged -- that invariance is what this case pins.
+    "sharded-sweep-r1": {
+        "algorithm": "sweep",
+        "claimed": ConsistencyLevel.COMPLETE,
+        "replicas": 1,
+    },
 }
 
 #: Workload shape for one case.  Small enough that the independent
@@ -226,6 +234,7 @@ def _run_sharded_case(
             timeout=timeout,
             chaos=profile,
             strategy="round-robin",
+            replicas=spec.get("replicas", 0),
         )
     except Exception as exc:  # noqa: BLE001 -- a crash is a conformance verdict
         row["error"] = f"{type(exc).__name__}: {exc}"

@@ -1,0 +1,413 @@
+"""Failover equivalence: kill a primary mid-protocol, promote, compare.
+
+Hot-standby correctness is an *equivalence* claim: a run that loses a
+shard's primary at an arbitrary protocol point and hands the shard to
+its standby must be observably identical to a run that never crashed.
+Every case in this harness tests exactly that, over the sharded runtime
+(4-view family, 2 shards, round-robin so both shards host work):
+
+1. **baseline** -- ``replicas=0``, no failure: the reference final views
+   and the consistency level an unperturbed run classifies at.
+2. **failover** -- ``replicas=1`` with a deterministic
+   :class:`~repro.runtime.shard.FailoverSpec` that kills the chosen
+   shard's primary inside its own protocol frame: *mid-batch* (after the
+   N-th install, so a composite batch is split by the death),
+   *mid-compensation* (after the N-th delivery, between a sweep's query
+   and its answer), or *mid-query* (right after the N-th query left for
+   a source, so the answer arrives addressed to a dead member and is
+   dropped -- the harness's observable equivalent of epoch fencing).
+
+A case passes only if the failover run (a) actually promoted (a kill
+switch that never fires is a configuration error, not a pass), (b)
+reaches at least the scheduler's claimed consistency level on *every*
+view under the promoted member's own delivery order -- the oracle's
+bag-semantics check doubles as the no-lost/no-double-installed-update
+check, since a dropped or duplicated delta leaves the view observably
+wrong -- (c) delivers exactly the baseline's update count (no frame of
+the duplicated fan-out was lost or double-counted across the
+promotion), and (d) every final view is **byte-equal**
+(:func:`~repro.warehouse.sharding.canonical_view_bytes`) to the
+uncrashed baseline's.
+
+:func:`run_failover_sweep` drives the default 30-seed matrix: kill
+points rotate per seed, schedulers alternate, and every ``tcp_every``-th
+seed runs over loopback TCP so listener sessions and per-member channel
+naming are exercised.  :func:`promotion_smoke` is the multiprocess
+variant -- a real ``SIGKILL`` against the primary ``serve-shard``
+process, with the supervisor expected to detect the death and promote
+the standby within :data:`DETECTION_BUDGET` seconds instead of failing
+or restarting the fleet.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import time as _time
+from pathlib import Path
+from typing import Sequence
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.report import format_table
+from repro.runtime.shard import CLAIMED_LEVELS, FailoverSpec
+from repro.warehouse.sharding import canonical_view_bytes
+
+#: Workload shared by every case (kept small: each case runs it twice).
+CASE_DEFAULTS = dict(
+    n_sources=3,
+    n_updates=12,
+    mean_interarrival=6.0,
+)
+N_VIEWS = 4
+N_SHARDS = 2
+
+#: Schedulers under test (the sharded runtime's two claimants).
+ALGORITHMS = ("sweep", "batched-sweep")
+
+#: Protocol points a primary can die at; seeds rotate through all three.
+KILL_POINTS = ("mid-batch", "mid-compensation", "mid-query")
+
+#: Wall seconds the supervisor gets to notice a SIGKILLed primary and
+#: promote its standby (the poll interval is 0.2s; the budget leaves
+#: slack for a loaded CI host).
+DETECTION_BUDGET = 5.0
+
+
+def failover_spec(seed: int, shard: int) -> FailoverSpec:
+    """The deterministic kill for a seed: point and threshold both vary.
+
+    Thresholds are kept small enough that every kill point fires before
+    the 12-update workload drains on either scheduler (batched-sweep
+    compresses installs and queries, so those counts stay low).
+    """
+    point = KILL_POINTS[seed % len(KILL_POINTS)]
+    if point == "mid-batch":
+        return FailoverSpec(shard=shard, after_installs=1 + (seed // 3) % 3)
+    if point == "mid-compensation":
+        return FailoverSpec(shard=shard, after_deliveries=2 + (seed // 3) % 5)
+    return FailoverSpec(shard=shard, after_queries=1 + (seed // 3) % 3)
+
+
+def kill_point(seed: int) -> str:
+    return KILL_POINTS[seed % len(KILL_POINTS)]
+
+
+def run_failover_case(
+    algorithm: str,
+    seed: int,
+    transport: str = "local",
+    time_scale: float = 0.002,
+    timeout: float = 120.0,
+) -> dict:
+    """One baseline/failover pair; returns a flat report row."""
+    from repro.runtime import run_sharded
+
+    config = ExperimentConfig(
+        algorithm=algorithm,
+        seed=seed,
+        n_views=N_VIEWS,
+        **CASE_DEFAULTS,
+    )
+    claimed = CLAIMED_LEVELS[algorithm]
+    row = {
+        "algorithm": algorithm,
+        "transport": transport,
+        "seed": seed,
+        "kill_point": kill_point(seed),
+        "kill_shard": None,
+        "kill_spec": {},
+        "claimed": claimed.name.lower(),
+        "ok": False,
+        "promoted": "",
+        "achieved": "none",
+        "views_equal": False,
+        "deliveries_equal": False,
+        "wall_seconds": 0.0,
+        "error": "",
+    }
+    common = dict(
+        n_shards=N_SHARDS,
+        time_scale=time_scale,
+        timeout=timeout,
+        strategy="round-robin",
+    )
+    started = _time.perf_counter()
+    try:
+        baseline = run_sharded(config, transport="local", **common)
+        expected = {
+            name: canonical_view_bytes(view)
+            for name, view in baseline.final_views.items()
+        }
+        active = baseline.plan.active_shards
+        shard = active[seed % len(active)]
+        spec = failover_spec(seed, shard)
+        row["kill_shard"] = shard
+        row["kill_spec"] = {
+            k: v
+            for k, v in (
+                ("after_installs", spec.after_installs),
+                ("after_deliveries", spec.after_deliveries),
+                ("after_queries", spec.after_queries),
+            )
+            if v is not None
+        }
+        result = run_sharded(
+            config,
+            transport=transport,
+            replicas=1,
+            failover=spec,
+            **common,
+        )
+        row["promoted"] = (result.promotions or {}).get(shard, "")
+        achieved = result.min_level()
+        row["achieved"] = achieved.name.lower()
+        row["deliveries_equal"] = (
+            result.deliveries_total == baseline.deliveries_total
+        )
+        mismatched = sorted(
+            name
+            for name, view in result.final_views.items()
+            if canonical_view_bytes(view) != expected.get(name)
+        )
+        row["views_equal"] = not mismatched
+        if not row["promoted"]:
+            row["error"] = "primary died but no standby was promoted"
+        elif achieved < claimed:
+            row["error"] = f"achieved {achieved.name.lower()} < claimed"
+        elif not row["deliveries_equal"]:
+            row["error"] = (
+                f"promoted run delivered {result.deliveries_total}"
+                f" updates, baseline {baseline.deliveries_total}"
+            )
+        elif mismatched:
+            row["error"] = (
+                f"view(s) {', '.join(mismatched)} differ from the"
+                " uncrashed baseline"
+            )
+        else:
+            row["ok"] = True
+        return row
+    except Exception as exc:  # noqa: BLE001 - report rows, don't abort sweeps
+        row["error"] = f"{type(exc).__name__}: {exc}"
+        return row
+    finally:
+        row["wall_seconds"] = round(_time.perf_counter() - started, 3)
+
+
+def run_failover_sweep(
+    seeds: Sequence[int] = range(30),
+    tcp_every: int = 5,
+    time_scale: float = 0.002,
+    timeout: float = 120.0,
+    progress=None,
+) -> list[dict]:
+    """The seed sweep: kill points rotate (seed mod 3), schedulers
+    alternate (seed mod 2 -- over 30 seeds every (algorithm, point) pair
+    recurs), and every ``tcp_every``-th seed runs over loopback TCP (0
+    disables TCP cases)."""
+    rows = []
+    for seed in seeds:
+        algorithm = ALGORITHMS[seed % len(ALGORITHMS)]
+        transport = (
+            "tcp" if tcp_every and seed % tcp_every == tcp_every - 1
+            else "local"
+        )
+        row = run_failover_case(
+            algorithm,
+            seed,
+            transport=transport,
+            time_scale=time_scale,
+            timeout=timeout,
+        )
+        rows.append(row)
+        if progress is not None:
+            progress(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Multiprocess promotion smoke
+# ---------------------------------------------------------------------------
+
+def promotion_smoke(
+    timeout: float = 240.0,
+    time_scale: float = 0.02,
+    host: str = "127.0.0.1",
+) -> dict:
+    """SIGKILL the primary ``serve-shard`` process of a replicated fleet.
+
+    The supervisor must notice within :data:`DETECTION_BUDGET` wall
+    seconds and promote the hot standby -- the fleet then finishes and
+    every surviving member exits 0 with its views verified (shards
+    verify their own consistency before exiting, so a clean fleet exit
+    means the promoted standby's views passed the oracle).  No restart
+    may fire: promotion takes precedence, and the dead primary stays
+    dead.
+    """
+    from repro.runtime.shard import build_sharded_supervisor
+
+    config = ExperimentConfig(
+        algorithm="sweep",
+        seed=11,
+        n_sources=3,
+        n_updates=16,
+        mean_interarrival=5.0,
+        n_views=N_VIEWS,
+    )
+    report = {
+        "ok": False,
+        "killed": "shard0",
+        "promoted": "",
+        "detection_seconds": None,
+        "failover_log": [],
+        "error": "",
+    }
+    supervisor = build_sharded_supervisor(
+        config,
+        N_SHARDS,
+        time_scale=time_scale,
+        strategy="round-robin",
+        host=host,
+        timeout=timeout,
+        replicas=1,
+    )
+    try:
+        target = supervisor.procs["shard0"]
+        # Let the fleet wire up and start delivering before the kill
+        # (probes + first updates); the schedule is paced slowly
+        # enough that the SIGKILL lands mid-protocol.
+        warmup_until = _time.monotonic() + 2.5
+        while _time.monotonic() < warmup_until and target.poll() is None:
+            _time.sleep(0.05)
+        if target.poll() is not None:
+            report["error"] = "shard0 exited before the kill was armed"
+            supervisor.wait(timeout=timeout)
+            return report
+        target.send_signal(signal.SIGKILL)
+        # wait() starts its failover-log clock now, so the logged
+        # ``t+`` stamp of the promotion IS the detection latency.
+        supervisor.wait(timeout=timeout)
+        report["promoted"] = supervisor.promoted.get("shard0", "")
+        report["failover_log"] = list(supervisor.failover_log)
+        for entry in supervisor.failover_log:
+            if "promoted standby" in entry:
+                report["detection_seconds"] = float(
+                    entry.split("]", 1)[0].lstrip("[t+").rstrip("s")
+                )
+                break
+        if report["promoted"] != "shard0r1":
+            report["error"] = (
+                "supervisor did not promote shard0r1:"
+                f" {supervisor.failover_log}"
+            )
+        elif supervisor.restarts.get("shard0", 0) > 0:
+            report["error"] = "dead primary was restarted, not promoted"
+        elif (
+            report["detection_seconds"] is None
+            or report["detection_seconds"] > DETECTION_BUDGET
+        ):
+            report["error"] = (
+                f"promotion took {report['detection_seconds']}s,"
+                f" budget is {DETECTION_BUDGET}s"
+            )
+        else:
+            report["ok"] = True
+        return report
+    except Exception as exc:  # noqa: BLE001 - smoke reports, not raises
+        report["failover_log"] = list(supervisor.failover_log)
+        report["error"] = f"{type(exc).__name__}: {exc}"
+        return report
+
+
+# ---------------------------------------------------------------------------
+# Report plumbing (mirrors repro.harness.recovery)
+# ---------------------------------------------------------------------------
+
+def build_report(rows: list[dict], smoke: dict | None = None) -> dict:
+    report = {
+        "suite": "failover-equivalence",
+        "cases": len(rows),
+        "failed": sum(1 for row in rows if not row["ok"]),
+        "ok": all(row["ok"] for row in rows)
+        and (smoke is None or smoke["ok"]),
+        "rows": rows,
+    }
+    if smoke is not None:
+        report["promotion_smoke"] = smoke
+    return report
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_report(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def format_report(report: dict) -> str:
+    rows = report["rows"]
+    table = format_table(
+        ["algorithm", "transport", "seed", "kill", "claimed", "achieved",
+         "promoted", "views", "wall s", "verdict"],
+        [
+            [
+                row["algorithm"],
+                row["transport"],
+                row["seed"],
+                ",".join(
+                    f"{k.split('_')[1]}={v}"
+                    for k, v in row["kill_spec"].items()
+                ) + f"@s{row['kill_shard']}",
+                row["claimed"],
+                row["achieved"],
+                row["promoted"] or "-",
+                "equal" if row["views_equal"] else "DIFFER",
+                row["wall_seconds"],
+                "PASS" if row["ok"] else f"FAIL ({row['error']})",
+            ]
+            for row in rows
+        ],
+        title="Failover equivalence: promoted runs vs uncrashed baselines",
+    )
+    lines = [table]
+    smoke = report.get("promotion_smoke")
+    if smoke is not None:
+        verdict = "PASS" if smoke["ok"] else f"FAIL ({smoke['error']})"
+        detect = (
+            f", detected in {smoke['detection_seconds']}s"
+            if smoke.get("detection_seconds") is not None
+            else ""
+        )
+        lines.append(
+            f"\npromotion smoke: {verdict}"
+            f" ({smoke['killed']} -> {smoke['promoted'] or '?'}{detect})"
+        )
+        for entry in smoke.get("failover_log", []):
+            lines.append(f"  {entry}")
+    lines.append(
+        "\nall promoted runs equivalent" if report["ok"]
+        else f"\n{report['failed']} of {report['cases']} case(s) FAILED"
+    )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "ALGORITHMS",
+    "CASE_DEFAULTS",
+    "DETECTION_BUDGET",
+    "KILL_POINTS",
+    "N_SHARDS",
+    "N_VIEWS",
+    "build_report",
+    "failover_spec",
+    "format_report",
+    "kill_point",
+    "load_report",
+    "promotion_smoke",
+    "run_failover_case",
+    "run_failover_sweep",
+    "write_report",
+]

@@ -78,6 +78,12 @@ SHARD_SPEEDUP_TARGET = 1.8
 #: identical run with durability off).
 DURABLE_OVERHEAD_TARGET = 0.15
 
+#: Maximum fraction of throughput a hot standby per shard may cost
+#: versus the identical replica-less cell.  Standbys ride duplicate
+#: fanout of the same channels and never touch the answer path, so the
+#: overhead should be the extra install work only.
+REPLICA_OVERHEAD_TARGET = 0.15
+
 #: The locality row family re-runs the saturated regime with every source
 #: covered by a warehouse-local auxiliary copy (``--locality=aux``): a
 #: covered sweep step answers its own query, so the gated quantities are
@@ -141,6 +147,7 @@ def run_shard_cell(
     query_service_time: float,
     timeout: float = 120.0,
     durable: bool = False,
+    replicas: int = 0,
 ) -> dict:
     """One sharded-runtime measurement (always the same workload).
 
@@ -177,6 +184,7 @@ def run_shard_cell(
             time_scale=time_scale,
             timeout=timeout,
             strategy="round-robin",
+            replicas=replicas,
             **kwargs,
         )
     finally:
@@ -184,7 +192,9 @@ def run_shard_cell(
             stack.cleanup()
     counters = result.metrics.counters
     level = result.min_level()
-    suffix = "+durable" if durable else ""
+    suffix = ("+durable" if durable else "") + (
+        f"+r{replicas}" if replicas else ""
+    )
     # Distinct source updates reflected by *every* view.  The raw
     # ``updates_installed`` counter is shared across shards, so an update
     # fanned out to k shards used to count k times (60 updates showed as
@@ -248,6 +258,12 @@ def run_suite(quick: bool = False) -> list[dict]:
     # Durable mode re-runs the shards=1 cell with checkpoints + WAL on;
     # the gated quantity is its throughput relative to the plain cell.
     rows.append(run_shard_cell(1, durable=True, **SHARD_MODE))
+    # Hot-standby mode re-runs shard cells with one replica per shard;
+    # the gated quantity is each ``+r1`` row's throughput relative to
+    # its same-run replica-less twin.
+    rows.append(run_shard_cell(2, replicas=1, **SHARD_MODE))
+    if not quick:
+        rows.append(run_shard_cell(4, replicas=1, **SHARD_MODE))
     return rows
 
 
@@ -369,6 +385,24 @@ def durable_overhead(rows: list[dict]) -> float | None:
     return round(1.0 - durable["updates_per_sec"] / plain["updates_per_sec"], 3)
 
 
+def replica_overhead(rows: list[dict]) -> float | None:
+    """Worst fractional throughput lost to hot standbys, over all
+    ``+r<K>`` rows versus their same-run replica-less twins."""
+    by_key = {_row_key(r): r for r in rows}
+    worst = None
+    for key, row in by_key.items():
+        base_key, sep, _ = key.rpartition("+r")
+        if not sep or not base_key.startswith("sharded/"):
+            continue
+        plain = by_key.get(base_key)
+        if not plain or not plain["updates_per_sec"]:
+            continue
+        cost = round(1.0 - row["updates_per_sec"] / plain["updates_per_sec"], 3)
+        if worst is None or cost > worst:
+            worst = cost
+    return worst
+
+
 def build_report(rows: list[dict], quick: bool = False) -> dict:
     """The JSON document shape written to ``BENCH_throughput.json``."""
     return {
@@ -378,12 +412,14 @@ def build_report(rows: list[dict], quick: bool = False) -> dict:
         "baseline_updates_per_sec": BASELINE_UPDATES_PER_SEC,
         "speedup_target": SPEEDUP_TARGET,
         "durable_overhead_target": DURABLE_OVERHEAD_TARGET,
+        "replica_overhead_target": REPLICA_OVERHEAD_TARGET,
         "locality_speedup_target": LOCALITY_SPEEDUP_TARGET,
         "locality_message_reduction_target": LOCALITY_MESSAGE_REDUCTION_TARGET,
         "rows": rows,
         "speedups": speedups(rows),
         "message_reductions": message_reductions(rows),
         "durable_overhead": durable_overhead(rows),
+        "replica_overhead": replica_overhead(rows),
     }
 
 
@@ -416,6 +452,12 @@ def compare_reports(
         problems.append(
             f"durable_overhead: {overhead:.1%} throughput cost exceeds the"
             f" {DURABLE_OVERHEAD_TARGET:.0%} budget"
+        )
+    r_overhead = current.get("replica_overhead")
+    if r_overhead is not None and r_overhead > REPLICA_OVERHEAD_TARGET:
+        problems.append(
+            f"replica_overhead: {r_overhead:.1%} throughput cost exceeds"
+            f" the {REPLICA_OVERHEAD_TARGET:.0%} hot-standby budget"
         )
     base_speedups = baseline.get("speedups", {})
     for key, ratio in current.get("speedups", {}).items():
@@ -488,6 +530,12 @@ def format_suite(rows: list[dict]) -> str:
             f"durable overhead = {overhead:.1%} (budget"
             f" {DURABLE_OVERHEAD_TARGET:.0%} of shards=1 throughput)"
         )
+    r_overhead = replica_overhead(rows)
+    if r_overhead is not None:
+        lines.append(
+            f"hot-standby overhead = {r_overhead:.1%} (budget"
+            f" {REPLICA_OVERHEAD_TARGET:.0%} of the replica-less twin)"
+        )
     return "\n".join(lines)
 
 
@@ -499,6 +547,7 @@ __all__ = [
     "LOCALITY_SPEEDUP_TARGET",
     "MODES",
     "QUICK_SHARD_COUNTS",
+    "REPLICA_OVERHEAD_TARGET",
     "SHARD_COUNTS",
     "SHARD_MODE",
     "SHARD_SPEEDUP_TARGET",
@@ -511,6 +560,7 @@ __all__ = [
     "load_report",
     "locality_problems",
     "message_reductions",
+    "replica_overhead",
     "run_cell",
     "run_shard_cell",
     "run_suite",

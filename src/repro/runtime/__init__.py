@@ -46,6 +46,7 @@ from repro.runtime.kernel import AsyncRuntime
 from repro.runtime.nodes import CentralSourceNode, SourceNode, WarehouseNode
 from repro.runtime.shard import (
     CLEAN_FAILURE_EXIT,
+    FailoverSpec,
     ShardCrashed,
     ShardNode,
     ShardSupervisor,
@@ -68,6 +69,7 @@ __all__ = [
     "AsyncRuntime",
     "CLEAN_FAILURE_EXIT",
     "CentralSourceNode",
+    "FailoverSpec",
     "ChannelListener",
     "ChaosConfig",
     "ChaosLocalChannel",

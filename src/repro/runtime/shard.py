@@ -81,7 +81,7 @@ from repro.runtime.chaos import (
     profile,
 )
 from repro.runtime.codec import WireCodec
-from repro.runtime.errors import RuntimeHostError
+from repro.runtime.errors import RuntimeHostError, TransportRetriesExceeded
 from repro.runtime.kernel import AsyncRuntime
 from repro.runtime.tcp import (
     ChannelListener,
@@ -91,6 +91,7 @@ from repro.runtime.tcp import (
 )
 from repro.runtime.transport import LocalChannel
 from repro.simulation.channel import Message
+from repro.simulation.errors import ProcessKilled
 from repro.simulation.mailbox import Mailbox
 from repro.simulation.metrics import MetricsCollector
 from repro.simulation.process import Delay
@@ -114,7 +115,14 @@ from repro.warehouse.multiview import (
     MultiViewBatchedSweepWarehouse,
     MultiViewSweepWarehouse,
 )
-from repro.warehouse.sharding import ShardPlan, partition_views, view_family
+from repro.warehouse.sharding import (
+    ReplicaPlan,
+    ShardMember,
+    ShardPlan,
+    assign_replicas,
+    partition_views,
+    view_family,
+)
 from repro.workloads.scenarios import Workload
 
 #: Claimed per-view consistency of each sharded scheduler.
@@ -136,6 +144,138 @@ def _make_backend(config: ExperimentConfig, view, index: int, initial):
     if config.backend == "sqlite":
         return SqliteBackend(view, index, initial)
     return MemoryBackend(view, index, initial)
+
+
+def _member_label(key) -> str:
+    """Channel-name fragment for a routing key (shard int or member)."""
+    if isinstance(key, ShardMember):
+        return key.label
+    return f"sh{key}"
+
+
+def _as_member(key) -> ShardMember:
+    if isinstance(key, ShardMember):
+        return key
+    return ShardMember(shard=int(key))
+
+
+# ---------------------------------------------------------------------------
+# Failover: deterministic primary kills and hot-standby promotion
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FailoverSpec:
+    """Kill shard ``shard``'s primary at a deterministic protocol point.
+
+    Exactly one of the ``after_*`` thresholds should be set; the kill
+    switch fires inside the primary's own process frame the moment that
+    count is reached, so the kill lands *mid-protocol* (mid-batch when
+    counting installs, mid-compensation when counting deliveries,
+    mid-query right after a query left for a source) rather than at a
+    tidy quiescent boundary.
+
+    ``unfenced_replay`` is the mutation hook for the oracle tests: a
+    correct promotion inherits the standby's own FIFO position and lets
+    the incarnation-epoch fence drop whatever was in flight to the dead
+    primary; the mutated promotion instead replays the primary's last
+    delivered frame into the standby -- the duplicate a fence-skipping
+    takeover of the dead primary's channel would deliver -- and the
+    consistency oracle must fail the run.
+    """
+
+    shard: int
+    after_deliveries: int | None = None
+    after_installs: int | None = None
+    after_queries: int | None = None
+    unfenced_replay: bool = False
+
+    def __post_init__(self) -> None:
+        thresholds = [
+            t
+            for t in (
+                self.after_deliveries,
+                self.after_installs,
+                self.after_queries,
+            )
+            if t is not None
+        ]
+        if len(thresholds) != 1:
+            raise ValueError(
+                "set exactly one of after_deliveries/after_installs/"
+                f"after_queries, got {self!r}"
+            )
+        if thresholds[0] < 1:
+            raise ValueError(f"kill threshold must be >= 1, got {self!r}")
+
+
+class _KillSwitch:
+    """Wraps a warehouse's protocol hooks to fire a :class:`FailoverSpec`.
+
+    The wrapped methods run inside the victim's generator frames, so
+    raising :class:`ProcessKilled` there unwinds exactly one process of
+    the victim mid-step -- the kernel treats it as a clean termination
+    and every other site keeps running.
+    """
+
+    def __init__(self, spec: FailoverSpec, warehouse, on_fire):
+        self.spec = spec
+        self.warehouse = warehouse
+        self.on_fire = on_fire
+        self.fired = False
+        self.last_notice = None
+        self._deliveries = 0
+        self._installs = 0
+        self._queries = 0
+        self._arm()
+
+    def _arm(self) -> None:
+        wh, spec = self.warehouse, self.spec
+        orig_note = wh.note_delivery
+
+        def note_delivery(notice):
+            orig_note(notice)
+            self.last_notice = notice
+            self._deliveries += 1
+            if (
+                spec.after_deliveries is not None
+                and self._deliveries >= spec.after_deliveries
+            ):
+                self._fire()
+
+        wh.note_delivery = note_delivery
+        orig_install = wh._after_install
+
+        def _after_install(note):
+            orig_install(note)
+            self._installs += 1
+            if (
+                spec.after_installs is not None
+                and self._installs >= spec.after_installs
+            ):
+                self._fire()
+
+        wh._after_install = _after_install
+        orig_query = wh.send_query
+
+        def send_query(index, payload):
+            orig_query(index, payload)
+            self._queries += 1
+            if (
+                spec.after_queries is not None
+                and self._queries >= spec.after_queries
+            ):
+                self._fire()
+
+        wh.send_query = send_query
+
+    def _fire(self) -> None:
+        if self.fired:
+            return
+        self.fired = True
+        self.on_fire(self)
+        raise ProcessKilled(
+            f"failover kill switch: shard {self.spec.shard} primary"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -180,15 +320,18 @@ class ShardedSourceFront:
         self.trace = trace
         self.update_seq = 0
         self._listeners: list = []
-        self.query_inboxes: dict[int, Mailbox] = {}
-        for shard in sorted(self.update_channels):
-            self.query_inboxes[shard] = Mailbox(
-                runtime, f"{self.name}-sh{shard}-queries"
+        # Keys are shard ints in a replica-less run and ShardMembers in a
+        # replicated one; either way each key gets its own FIFO channel
+        # pair, so the per-(source, key) ordering argument is unchanged.
+        self.query_inboxes: dict = {}
+        for key in sorted(self.update_channels):
+            self.query_inboxes[key] = Mailbox(
+                runtime, f"{self.name}-{_member_label(key)}-queries"
             )
-        for shard in sorted(self.update_channels):
+        for key in sorted(self.update_channels):
             runtime.spawn(
-                f"{self.name}-sh{shard}-ProcessQuery",
-                self._process_queries(shard),
+                f"{self.name}-{_member_label(key)}-ProcessQuery",
+                self._process_queries(key),
             )
 
     # ------------------------------------------------------------------
@@ -208,10 +351,10 @@ class ShardedSourceFront:
             listener(notice)
         if self.trace:
             self.trace.record(self.sim.now, self.name, "local-update", notice)
-        for shard in sorted(self.update_channels):
-            # Fresh notice per shard: each shard's warehouse stamps its own
+        for key in sorted(self.update_channels):
+            # Fresh notice per member: each warehouse stamps its own
             # delivery order; the (immutable) delta is shared by reference.
-            self.update_channels[shard].send(
+            self.update_channels[key].send(
                 Message(
                     kind="update",
                     sender=self.name,
@@ -226,10 +369,10 @@ class ShardedSourceFront:
         self._listeners.append(listener)
 
     # ------------------------------------------------------------------
-    def _process_queries(self, shard: int):
-        """ProcessQuery loop for one shard (mirrors DataSourceServer)."""
-        inbox = self.query_inboxes[shard]
-        channel = self.update_channels[shard]
+    def _process_queries(self, key):
+        """ProcessQuery loop for one member (mirrors DataSourceServer)."""
+        inbox = self.query_inboxes[key]
+        channel = self.update_channels[key]
         while True:
             msg = yield inbox.get()
             request = msg.payload
@@ -276,13 +419,25 @@ class ShardedSourceFront:
                 Message(kind="answer", sender=self.name, payload=answer)
             )
 
+    def drop_member(self, key) -> None:
+        """Stop serving a dead member: no more updates, queries sealed.
+
+        Its ProcessQuery loop stays blocked on the sealed inbox forever,
+        which the kernel counts as settled; queued queries are discarded
+        (answers to a dead member would be dropped at its end anyway).
+        """
+        self.update_channels.pop(key, None)
+        inbox = self.query_inboxes.get(key)
+        if inbox is not None:
+            inbox.seal()
+
     def quiescent(self) -> bool:
         return all(len(box) == 0 for box in self.query_inboxes.values())
 
     def __repr__(self) -> str:
         return (
             f"ShardedSourceFront({self.name!r},"
-            f" shards={sorted(self.update_channels)})"
+            f" members={[_member_label(k) for k in sorted(self.update_channels)]})"
         )
 
 
@@ -366,11 +521,17 @@ class ShardNode:
         checkpoint_policy: CheckpointPolicy | None = None,
         crash_plan: CrashPlan | None = None,
         fsync_batch: int = 8,
+        member: ShardMember | None = None,
     ):
         if not views:
             raise ValueError(f"shard {shard_id} has no views to host")
         self.runtime = runtime
         self.shard_id = shard_id
+        #: Replica identity: channel names derive from the member label,
+        #: so a standby (``sh0r1``) owns its own FIFO sessions alongside
+        #: the primary's (``sh0``) rather than colliding with them.
+        self.member = member if member is not None else ShardMember(shard_id)
+        label = self.member.label
         self.views = list(views)
         self.codec = _family_codec(self.views)
         primary = self.views[0]
@@ -379,22 +540,22 @@ class ShardNode:
         state: RecoveredState | None = None
         if durable_dir is not None:
             state = load_state(durable_dir, self.views)
-            self.inbox: Mailbox = LoggingMailbox(runtime, f"sh{shard_id}-inbox")
+            self.inbox: Mailbox = LoggingMailbox(runtime, f"{label}-inbox")
         else:
-            self.inbox = Mailbox(runtime, f"sh{shard_id}-inbox")
+            self.inbox = Mailbox(runtime, f"{label}-inbox")
         epoch = state.generation + 1 if state is not None else 0
         self.listener = ChannelListener(
             runtime, listen_host, listen_port, adopt_next=state is not None
         )
         for index in range(1, primary.n_relations + 1):
             self.listener.register(
-                f"{primary.name_of(index)}->sh{shard_id}", self.inbox, self.codec
+                f"{primary.name_of(index)}->{label}", self.inbox, self.codec
             )
         metrics = metrics if metrics is not None else MetricsCollector()
         self.query_channels = {
             index: TcpChannel(
                 runtime,
-                f"sh{shard_id}->{primary.name_of(index)}",
+                f"{label}->{primary.name_of(index)}",
                 host,
                 port,
                 self.codec,
@@ -479,16 +640,16 @@ class ShardedSourceNode:
         self.name = primary.name_of(index)
         self.codec = _family_codec(list(views))
         self.update_channels = {
-            shard: TcpChannel(
+            key: TcpChannel(
                 runtime,
-                f"{self.name}->sh{shard}",
+                f"{self.name}->{_member_label(key)}",
                 host,
                 port,
                 self.codec,
                 metrics,
                 tcp_config,
             )
-            for shard, (host, port) in sorted(shard_addresses.items())
+            for key, (host, port) in sorted(shard_addresses.items())
         }
         self.front = ShardedSourceFront(
             runtime,
@@ -500,10 +661,10 @@ class ShardedSourceNode:
             trace=trace,
         )
         self.listener = ChannelListener(runtime, listen_host, listen_port)
-        for shard in sorted(shard_addresses):
+        for key in sorted(shard_addresses):
             self.listener.register(
-                f"sh{shard}->{self.name}",
-                self.front.query_inboxes[shard],
+                f"{_member_label(key)}->{self.name}",
+                self.front.query_inboxes[key],
                 self.codec,
             )
 
@@ -520,6 +681,52 @@ class ShardedSourceNode:
             and self.front.quiescent()
         )
 
+    async def drop_member(self, key) -> None:
+        """Stop routing to a member known dead before any frame was sent."""
+        channel = self.update_channels.pop(key, None)
+        self.front.drop_member(key)
+        if channel is not None:
+            await channel.aclose()
+
+    def tolerate_dead_members(self) -> None:
+        """Arm every update channel with hot-standby dead-peer tolerance.
+
+        A channel that exhausts its retry budget mid-run checks whether
+        the member's replica group still has a live channel: if so the
+        member is marked dead (frames dropped, its query inbox sealed)
+        and the fleet keeps going; a shard whose *last* member died
+        propagates :class:`TransportRetriesExceeded` as before.
+        """
+        for key, channel in self.update_channels.items():
+            if not isinstance(channel, TcpChannel):
+                continue
+            channel.on_give_up = self._give_up_handler(key)
+
+    def _give_up_handler(self, key):
+        member = _as_member(key)
+
+        def _handler(error) -> bool:
+            survivors = [
+                k
+                for k, ch in self.update_channels.items()
+                if k != key
+                and _as_member(k).shard == member.shard
+                and not getattr(ch, "dead", False)
+            ]
+            if not survivors:
+                return False
+            print(
+                f"source[{self.name}] member {member.label} unreachable,"
+                f" surviving member(s)"
+                f" {[_member_label(k) for k in survivors]} carry shard"
+                f" {member.shard}: {error}",
+                flush=True,
+            )
+            self.front.query_inboxes[key].seal()
+            return True
+
+        return _handler
+
     async def aclose(self) -> None:
         for channel in self.update_channels.values():
             await channel.aclose()
@@ -528,7 +735,7 @@ class ShardedSourceNode:
     def __repr__(self) -> str:
         return (
             f"ShardedSourceNode({self.name!r},"
-            f" shards={sorted(self.update_channels)})"
+            f" members={[_member_label(k) for k in sorted(self.update_channels)]})"
         )
 
 
@@ -556,6 +763,10 @@ class ShardedRunResult:
     chaos_stats: ChaosStats | None = None
     #: shard id -> updates replayed from durable state (recovered runs).
     recovered_pending: dict[int, int] | None = None
+    #: hot standbys per shard (0 = no replication).
+    replicas: int = 0
+    #: shard id -> label of the member promoted after its primary died.
+    promotions: dict[int, str] | None = None
 
     @property
     def installs(self) -> int:
@@ -602,10 +813,19 @@ class ShardedRunResult:
     def report(self) -> str:
         lines = [
             f"sharded run      : {self.n_shards} shard(s),"
+            f" {self.replicas} standby(s) each,"
             f" {len(self.plan.views)} view(s), {self.transport} transport"
             f" (time scale {self.time_scale} s/unit)",
             f"plan             : {self.plan.describe()}",
         ]
+        if self.promotions:
+            lines.append(
+                "promotions       : "
+                + ", ".join(
+                    f"shard {shard} -> {label}"
+                    for shard, label in sorted(self.promotions.items())
+                )
+            )
         if self.chaos_profile is not None and self.chaos_stats is not None:
             lines.append(
                 f"chaos profile    : {self.chaos_profile}"
@@ -690,6 +910,8 @@ async def run_sharded_async(
     durable_dir: str | None = None,
     checkpoint_policy: CheckpointPolicy | None = None,
     crash_plans: "dict[int, CrashPlan] | None" = None,
+    replicas: int = 0,
+    failover: FailoverSpec | None = None,
 ) -> ShardedRunResult:
     """Run one sharded experiment to quiescence on the current loop.
 
@@ -706,53 +928,92 @@ async def run_sharded_async(
     fenced).  ``crash_plans`` (shard id -> :class:`CrashPlan`) injects a
     deterministic :class:`~repro.durability.errors.SimulatedCrash`, which
     this call re-raises -- the crash-restart harness's phase one.
+
+    ``replicas`` pairs every active shard with that many hot standbys:
+    full warehouse members subscribing to duplicates of the same
+    per-(source, member) FIFO channels, installing in lockstep, mute on
+    the answer path (only the authoritative member's views and verdicts
+    appear on the result).  ``failover`` additionally kills the chosen
+    shard's primary at a deterministic protocol point and promotes its
+    first standby -- the in-process half of the failover-equivalence
+    harness (:mod:`repro.harness.failover`).
     """
     if transport not in ("tcp", "local"):
         raise ValueError(f"unknown transport {transport!r}")
+    if failover is not None and replicas < 1:
+        raise ValueError(
+            "failover needs at least one hot standby (replicas >= 1)"
+        )
     chaos = profile(chaos)
     predicate_stats_before = compile_cache_stats()
     rngs = RngRegistry(config.seed)
     workload = build_workload(config, rngs)
     family = views if views is not None else _sharded_views(config, workload)
     plan = partition_views(family, n_shards, strategy=strategy)
-    fanout_by_name = plan.source_fanout()
+    rplan = assign_replicas(plan, replicas)
+    members = rplan.members
+    member_fanout_by_name = rplan.member_fanout()
     primary_chain = family[0]
     n = primary_chain.n_relations
     fanout = {
-        index: fanout_by_name.get(primary_chain.name_of(index), ())
+        index: member_fanout_by_name.get(primary_chain.name_of(index), ())
         for index in range(1, n + 1)
     }
+    if failover is not None and failover.shard not in rplan.members_by_shard:
+        raise ValueError(
+            f"failover shard {failover.shard} hosts no views under"
+            f" [{plan.describe()}]"
+        )
 
     runtime = AsyncRuntime(time_scale=time_scale)
     metrics = MetricsCollector()
     trace = TraceLog(enabled=config.trace)
     trace_arg = trace if config.trace else None
-    recorders = {view.name: RunRecorder(view) for view in family}
-    for recorder in recorders.values():
-        for index in range(1, n + 1):
-            recorder.register_source(
-                index,
-                primary_chain.name_of(index),
-                workload.initial_states[primary_chain.name_of(index)],
-            )
+    # One recorder set per member: primary and standby each classify
+    # against their own delivery order, and only the authoritative
+    # member's verdicts end up on the result.
+    member_recorders: dict[ShardMember, dict[str, RunRecorder]] = {}
+    for member in members:
+        recs = {v.name: RunRecorder(v) for v in plan.views_for(member.shard)}
+        for recorder in recs.values():
+            for index in range(1, n + 1):
+                recorder.register_source(
+                    index,
+                    primary_chain.name_of(index),
+                    workload.initial_states[primary_chain.name_of(index)],
+                )
+        member_recorders[member] = recs
+    all_recorders = [
+        recorder
+        for recs in member_recorders.values()
+        for recorder in recs.values()
+    ]
 
     chaos_stats = ChaosStats() if (chaos is not None and chaos.active) else None
     backends: list = []
     channels: list = []
     mailboxes: list[Mailbox] = []
     proxies: list[ChaosTcpProxy] = []
-    warehouses: dict[int, object] = {}
-    shard_nodes: dict[int, ShardNode] = {}
+    warehouses: dict[ShardMember, object] = {}
+    member_nodes: dict[ShardMember, ShardNode] = {}
     source_nodes: list[ShardedSourceNode] = []
     fronts: dict[int, ShardedSourceFront] = {}
     managers: list[DurabilityManager] = []
-    recovered_states: dict[int, RecoveredState] = {}
+    recovered_states: dict[ShardMember, RecoveredState] = {}
+    member_inboxes: dict[ShardMember, Mailbox] = {}
+    dead: set[ShardMember] = set()
+    promotions: dict[int, str] = {}
     crash_plans = crash_plans or {}
 
-    def _shard_dir(shard: int) -> str | None:
+    def _member_dir(member: ShardMember) -> str | None:
         if durable_dir is None:
             return None
-        return os.path.join(durable_dir, f"shard{shard}")
+        suffix = (
+            f"shard{member.shard}"
+            if member.is_primary
+            else f"shard{member.shard}r{member.replica}"
+        )
+        return os.path.join(durable_dir, suffix)
     shard_primaries = {
         shard: plan.views_for(shard)[0].name for shard in plan.active_shards
     }
@@ -790,15 +1051,13 @@ async def run_sharded_async(
         return channel
 
     if transport == "local":
-        shard_inboxes = {
-            shard: (
-                LoggingMailbox(runtime, f"sh{shard}-inbox")
+        for member in members:
+            member_inboxes[member] = (
+                LoggingMailbox(runtime, f"{member.label}-inbox")
                 if durable_dir is not None
-                else Mailbox(runtime, f"sh{shard}-inbox")
+                else Mailbox(runtime, f"{member.label}-inbox")
             )
-            for shard in plan.active_shards
-        }
-        mailboxes.extend(shard_inboxes.values())
+        mailboxes.extend(member_inboxes.values())
         for index in range(1, n + 1):
             name = primary_chain.name_of(index)
             backend = _make_backend(
@@ -806,8 +1065,10 @@ async def run_sharded_async(
             )
             backends.append(backend)
             update_channels = {
-                shard: _local_channel(f"{name}->sh{shard}", shard_inboxes[shard])
-                for shard in fanout[index]
+                member: _local_channel(
+                    f"{name}->{member.label}", member_inboxes[member]
+                )
+                for member in fanout[index]
             }
             front = ShardedSourceFront(
                 runtime,
@@ -820,42 +1081,45 @@ async def run_sharded_async(
             )
             front.add_update_listener(
                 lambda notice: [
-                    r.history.on_source_update(notice)
-                    for r in recorders.values()
+                    r.history.on_source_update(notice) for r in all_recorders
                 ]
             )
             fronts[index] = front
             mailboxes.extend(front.query_inboxes.values())
-        for shard in plan.active_shards:
-            shard_views = plan.views_for(shard)
+        for member in members:
+            shard_views = plan.views_for(member.shard)
             query_channels = {
                 index: _local_channel(
-                    f"sh{shard}->{primary_chain.name_of(index)}",
-                    fronts[index].query_inboxes[shard],
+                    f"{member.label}->{primary_chain.name_of(index)}",
+                    fronts[index].query_inboxes[member],
                 )
                 for index in range(1, n + 1)
             }
-            warehouses[shard] = build_shard_warehouse(
+            warehouses[member] = build_shard_warehouse(
                 runtime,
                 shard_views,
                 query_channels,
                 workload.initial_states,
-                recorders,
+                member_recorders[member],
                 config,
-                shard_inboxes[shard],
+                member_inboxes[member],
                 metrics,
                 trace_arg,
             )
             if durable_dir is not None:
                 manager, state = attach_durability(
-                    warehouses[shard],
-                    _shard_dir(shard),
+                    warehouses[member],
+                    _member_dir(member),
                     policy=checkpoint_policy,
-                    crash_plan=crash_plans.get(shard),
+                    crash_plan=(
+                        crash_plans.get(member.shard)
+                        if member.is_primary
+                        else None
+                    ),
                 )
                 managers.append(manager)
                 if state is not None:
-                    recovered_states[shard] = state
+                    recovered_states[member] = state
     else:
         placeholder = ("127.0.0.1", 1)
         for index in range(1, n + 1):
@@ -869,7 +1133,7 @@ async def run_sharded_async(
                 family,
                 index,
                 backend,
-                {shard: placeholder for shard in fanout[index]},
+                {member: placeholder for member in fanout[index]},
                 query_service_time=config.query_service_time,
                 metrics=metrics,
                 trace=trace_arg,
@@ -879,47 +1143,86 @@ async def run_sharded_async(
             await node.start()
             node.front.add_update_listener(
                 lambda notice: [
-                    r.history.on_source_update(notice)
-                    for r in recorders.values()
+                    r.history.on_source_update(notice) for r in all_recorders
                 ]
             )
             source_nodes.append(node)
             fronts[index] = node.front
             mailboxes.extend(node.front.query_inboxes.values())
-        for shard in plan.active_shards:
-            shard_views = plan.views_for(shard)
+        for member in members:
+            shard_views = plan.views_for(member.shard)
             node = ShardNode(
                 runtime,
-                shard,
+                member.shard,
                 shard_views,
                 {
                     index: await _front_address(
-                        f"sh{shard}->{source.name}", source.address
+                        f"{member.label}->{source.name}", source.address
                     )
                     for index, source in zip(range(1, n + 1), source_nodes)
                 },
                 workload.initial_states,
                 config,
-                recorders=recorders,
+                recorders=member_recorders[member],
                 metrics=metrics,
                 trace=trace_arg,
                 listen_host=host,
                 tcp_config=tcp_config,
-                durable_dir=_shard_dir(shard),
+                durable_dir=_member_dir(member),
                 checkpoint_policy=checkpoint_policy,
-                crash_plan=crash_plans.get(shard),
+                crash_plan=(
+                    crash_plans.get(member.shard)
+                    if member.is_primary
+                    else None
+                ),
+                member=member,
             )
             await node.start()
-            shard_nodes[shard] = node
-            warehouses[shard] = node.warehouse
+            member_nodes[member] = node
+            warehouses[member] = node.warehouse
+            member_inboxes[member] = node.inbox
             mailboxes.append(node.inbox)
             if node.recovered_state is not None:
-                recovered_states[shard] = node.recovered_state
+                recovered_states[member] = node.recovered_state
         for source in source_nodes:
-            for shard, channel in source.update_channels.items():
+            for member, channel in source.update_channels.items():
                 channel.host, channel.port = await _front_address(
-                    f"{source.name}->sh{shard}", shard_nodes[shard].address
+                    f"{source.name}->{member.label}",
+                    member_nodes[member].address,
                 )
+
+    # Arm the deterministic kill switch on the victim shard's primary.
+    kill_switch: _KillSwitch | None = None
+    if failover is not None:
+        victim = rplan.primary_of(failover.shard)
+        standby = rplan.standbys_of(failover.shard)[0]
+
+        def _on_fire(switch, victim=victim, standby=standby):
+            # The primary is gone: seal its inbox (models the process
+            # disappearing while peers keep sending) and hand authority
+            # to the standby, which is already at the same FIFO position
+            # on its own channels.
+            dead.add(victim)
+            member_inboxes[victim].seal()
+            promotions[failover.shard] = standby.label
+            if failover.unfenced_replay and switch.last_notice is not None:
+                # Mutation hook: a fence-skipping takeover of the dead
+                # primary's channel replays its last delivered frame
+                # into the standby -- a duplicate the epoch fence would
+                # have dropped.  The oracle must fail this run.
+                member_inboxes[standby].put(
+                    Message(
+                        kind="update",
+                        sender=f"unfenced-replay-{victim.label}",
+                        payload=dataclasses.replace(
+                            switch.last_notice,
+                            delivery_seq=None,
+                            delivered_at=0.0,
+                        ),
+                    )
+                )
+
+        kill_switch = _KillSwitch(failover, warehouses[victim], _on_fire)
 
     updaters = [
         ScheduledUpdater(
@@ -930,41 +1233,48 @@ async def run_sharded_async(
         )
         for index, schedule in sorted(workload.schedules.items())
     ]
-    shard_expected = {
-        shard: sum(
+    member_expected = {
+        member: sum(
             len(workload.schedules.get(index, ()))
             for index in range(1, n + 1)
-            if shard in fanout[index]
+            if member in fanout[index]
         )
-        for shard in plan.active_shards
+        for member in members
     }
-    # A recovered shard's recorder counts only this incarnation's
+    # A recovered member's recorder counts only this incarnation's
     # deliveries: the replayed checkpoint/WAL pending plus whatever the
     # durable marks have not fenced off as redeliveries.
-    for shard, state in recovered_states.items():
-        shard_expected[shard] += len(state.pending) - state.delivered_total
-    expected_deliveries = sum(shard_expected.values())
+    for member, state in recovered_states.items():
+        member_expected[member] += len(state.pending) - state.delivered_total
 
     started = _time.perf_counter()
     try:
         def finished() -> bool:
             if not all(updater.done for updater in updaters):
                 return False
-            delivered = sum(
-                recorders[shard_primaries[shard]].updates_delivered
-                for shard in plan.active_shards
-            )
-            if delivered < expected_deliveries:
-                return False
+            for member in members:
+                if member in dead:
+                    continue
+                rec = member_recorders[member][shard_primaries[member.shard]]
+                if rec.updates_delivered < member_expected[member]:
+                    return False
             if not runtime.settled():
                 return False
-            if any(wh.pending_work() for wh in warehouses.values()):
+            if any(
+                wh.pending_work()
+                for member, wh in warehouses.items()
+                if member not in dead
+            ):
                 return False
             if transport == "local":
                 if not all(channel.idle for channel in channels):
                     return False
             else:
-                if not all(node.quiescent() for node in shard_nodes.values()):
+                if not all(
+                    node.quiescent()
+                    for member, node in member_nodes.items()
+                    if member not in dead
+                ):
                     return False
                 if not all(node.quiescent() for node in source_nodes):
                     return False
@@ -973,18 +1283,36 @@ async def run_sharded_async(
         await runtime.wait_until(finished, timeout=timeout)
         wall = _time.perf_counter() - started
         record_predicate_cache_delta(metrics, predicate_stats_before)
+        if kill_switch is not None and not kill_switch.fired:
+            raise RuntimeHostError(
+                f"failover kill switch never fired ({failover!r}):"
+                " thresholds exceed the workload's protocol events"
+            )
 
-        # Extra views share their shard primary's delivery order.
+        # Authority per shard: the primary, or -- after a failover --
+        # the first surviving standby.  Only the authoritative member's
+        # views, verdicts, and recorders appear on the result (the
+        # standby is mute on the answer path until promoted).
+        def _authority(shard: int) -> ShardMember:
+            for candidate in rplan.members_by_shard[shard]:
+                if candidate not in dead:
+                    return candidate
+            raise RuntimeHostError(f"shard {shard}: no surviving member")
+
+        recorders: dict[str, RunRecorder] = {}
+        final_views: dict[str, Relation] = {}
         for shard in plan.active_shards:
-            primary_deliveries = recorders[shard_primaries[shard]].deliveries
+            member = _authority(shard)
+            recs = member_recorders[member]
+            # Extra views share their shard primary's delivery order.
+            primary_deliveries = recs[shard_primaries[shard]].deliveries
             for view in plan.views_for(shard)[1:]:
-                recorders[view.name].deliveries = list(primary_deliveries)
-
-        final_views = {
-            view.name: warehouses[shard].view_contents(view.name)
-            for shard in plan.active_shards
-            for view in plan.views_for(shard)
-        }
+                recs[view.name].deliveries = list(primary_deliveries)
+            recorders.update(recs)
+            for view in plan.views_for(shard):
+                final_views[view.name] = warehouses[member].view_contents(
+                    view.name
+                )
         levels: dict[str, ConsistencyLevel] = {}
         if config.check_consistency:
             levels = {
@@ -1012,15 +1340,21 @@ async def run_sharded_async(
             chaos_profile=chaos.name if chaos is not None else None,
             chaos_stats=chaos_stats,
             recovered_pending=(
-                {s: len(st.pending) for s, st in recovered_states.items()}
+                {
+                    member.shard: len(state.pending)
+                    for member, state in recovered_states.items()
+                    if member.is_primary
+                }
                 if recovered_states
                 else None
             ),
+            replicas=replicas,
+            promotions=promotions or None,
         )
     finally:
         for manager in managers:
             manager.close()
-        for node in shard_nodes.values():
+        for node in member_nodes.values():
             await node.aclose()
         for node in source_nodes:
             await node.aclose()
@@ -1045,6 +1379,8 @@ def run_sharded(
     durable_dir: str | None = None,
     checkpoint_policy: CheckpointPolicy | None = None,
     crash_plans: "dict[int, CrashPlan] | None" = None,
+    replicas: int = 0,
+    failover: FailoverSpec | None = None,
 ) -> ShardedRunResult:
     """Blocking wrapper: one sharded experiment in a fresh event loop."""
     return asyncio.run(
@@ -1062,6 +1398,8 @@ def run_sharded(
             durable_dir=durable_dir,
             checkpoint_policy=checkpoint_policy,
             crash_plans=crash_plans,
+            replicas=replicas,
+            failover=failover,
         )
     )
 
@@ -1086,6 +1424,8 @@ async def serve_shard_async(
     verify: bool = True,
     durable_dir: str | None = None,
     checkpoint_policy: CheckpointPolicy | None = None,
+    replica: int = 0,
+    seed_from: str | None = None,
 ) -> ShardedRunResult:
     """Host one warehouse shard of a multi-process sharded deployment.
 
@@ -1102,7 +1442,26 @@ async def serve_shard_async(
     WAL-logs there, and a relaunch over the same directory (what
     ``ShardSupervisor`` does under ``restart="on-crash"``) recovers the
     views and re-enters the protocol where the durable state left off.
+
+    ``replica > 0`` hosts the shard as a **hot standby**
+    (``repro serve-shard --standby-of N``): the identical warehouse
+    under the member label ``sh<N>r<K>``, subscribing to its own copies
+    of the per-source channels and verifying its views independently.
+    ``seed_from`` bootstraps a fresh standby's durable directory from
+    the primary's newest checkpoint (never the WAL -- see
+    :func:`repro.durability.recovery.seed_standby_dir`).
     """
+    member = ShardMember(shard_id, replica)
+    if seed_from is not None and durable_dir is not None:
+        from repro.durability.recovery import seed_standby_dir
+
+        seeded = seed_standby_dir(seed_from, durable_dir)
+        if seeded is not None:
+            print(
+                f"shard[{member.label}] seeded durable dir from"
+                f" {seed_from} at generation {seeded}",
+                flush=True,
+            )
     rngs = RngRegistry(config.seed)
     workload = build_workload(config, rngs)
     family = _sharded_views(config, workload)
@@ -1140,11 +1499,12 @@ async def serve_shard_async(
         tcp_config=tcp_config,
         durable_dir=durable_dir,
         checkpoint_policy=checkpoint_policy,
+        member=member,
     )
     await node.start()
     recovered = node.recovered_state
     print(
-        f"shard[{shard_id}/{n_shards}] hosting"
+        f"shard[{member.label}/{n_shards}] hosting"
         f" {[v.name for v in shard_views]} listening on"
         f" {node.address[0]}:{node.address[1]}"
         + (
@@ -1257,6 +1617,13 @@ async def serve_sharded_source_async(
     through a :class:`ShardedSourceFront` and serves one query channel
     per shard.  With ``probe=True`` every shard address is
     connectivity-checked before any update is replayed.
+
+    ``shard_addresses`` keys may be shard ints or :class:`ShardMember`
+    instances (a replicated deployment lists every member).  Dead-peer
+    tolerance is always armed: a member whose channel exhausts its
+    retry budget mid-run is dropped iff another live member still
+    carries its shard; losing a shard's *last* member fails the process
+    with :class:`TransportRetriesExceeded`, exactly as before.
     """
     rngs = RngRegistry(config.seed)
     workload = build_workload(config, rngs)
@@ -1278,15 +1645,45 @@ async def serve_sharded_source_async(
         tcp_config=tcp_config,
     )
     await node.start()
+    node.tolerate_dead_members()
     print(
-        f"source[{node.name}] serving shards {sorted(shard_addresses)}"
+        f"source[{node.name}] serving members"
+        f" {[_member_label(k) for k in sorted(shard_addresses)]}"
         f" listening on {node.address[0]}:{node.address[1]}",
         flush=True,
     )
     try:
         if probe:
-            for shard, (phost, pport) in sorted(shard_addresses.items()):
-                await probe_peer(phost, pport, tcp_config, what=f"shard {shard}")
+            # Probe with replica-group tolerance: a member that died
+            # before this source finished starting up is dropped iff
+            # another member of its group is reachable -- losing a
+            # shard's last member still fails the process.
+            unreachable: list = []
+            probe_errors: dict = {}
+            reachable_shards: set[int] = set()
+            for key, (phost, pport) in sorted(shard_addresses.items()):
+                try:
+                    await probe_peer(
+                        phost,
+                        pport,
+                        tcp_config,
+                        what=f"member {_member_label(key)}",
+                    )
+                    reachable_shards.add(_as_member(key).shard)
+                except TransportRetriesExceeded as exc:
+                    unreachable.append(key)
+                    probe_errors[key] = exc
+            for key in unreachable:
+                dead_member = _as_member(key)
+                if dead_member.shard not in reachable_shards:
+                    raise probe_errors[key]
+                print(
+                    f"source[{node.name}] member {dead_member.label}"
+                    " unreachable at probe time; surviving member(s)"
+                    f" carry shard {dead_member.shard}",
+                    flush=True,
+                )
+                await node.drop_member(key)
         updater = None
         if drive and index in workload.schedules:
             updater = ScheduledUpdater(
@@ -1362,6 +1759,16 @@ class ShardSupervisor:
     exits (:data:`CLEAN_FAILURE_EXIT`, e.g. a failed consistency check or
     ``TransportRetriesExceeded`` from a probe) are never restarted: they
     are answers, not accidents.
+
+    A member launched with ``standby_for="shard3"`` is shard3's **hot
+    standby**: when the primary *crashes* while the standby is alive the
+    supervisor promotes instead of failing the fleet (the standby
+    already holds the state at the same FIFO position -- promotion is
+    pure bookkeeping here, recorded in :attr:`promotions`); a crashed
+    standby whose primary is healthy is tolerated the same way.
+    Promotion takes precedence over restart, and clean failures
+    (:data:`_NO_RESTART_CODES`) never promote -- a verification failure
+    would reproduce on the standby too, so it must fail the fleet.
     """
 
     def __init__(
@@ -1382,16 +1789,31 @@ class ShardSupervisor:
         self.restarts: dict[str, int] = {}
         #: human-readable record of every relaunch decision.
         self.restart_log: list[str] = []
+        #: standby name -> the primary process it shadows.
+        self.standby_of: dict[str, str] = {}
+        #: dead primary name -> the standby promoted in its place.
+        self.promoted: dict[str, str] = {}
+        #: human-readable record of every promotion/tolerance decision,
+        #: stamped with seconds since the supervisor started waiting.
+        self.failover_log: list[str] = []
+        self._wait_started: float | None = None
 
     def launch(
         self,
         name: str,
         argv: list[str],
         restartable: bool = False,
+        standby_for: str | None = None,
         **popen_kwargs,
     ) -> None:
         if name in self.procs:
             raise ValueError(f"duplicate process name {name!r}")
+        if standby_for is not None:
+            if standby_for not in self.procs:
+                raise ValueError(
+                    f"standby {name!r} shadows unknown process {standby_for!r}"
+                )
+            self.standby_of[name] = standby_for
         self._specs[name] = (list(argv), dict(popen_kwargs), restartable)
         self.restarts[name] = 0
         self.procs[name] = self._spawn(name)
@@ -1434,6 +1856,54 @@ class ShardSupervisor:
         self.procs[name] = self._spawn(name)
         return True
 
+    def _elapsed(self) -> float:
+        if self._wait_started is None:
+            return 0.0
+        return _time.monotonic() - self._wait_started
+
+    def _is_healthy(self, name: str) -> bool:
+        """Still running, or finished its work cleanly."""
+        proc = self.procs.get(name)
+        return proc is not None and proc.poll() in (None, 0)
+
+    def _standbys_for(self, name: str) -> list[str]:
+        return [s for s, p in self.standby_of.items() if p == name]
+
+    def _try_failover(self, name: str, code: int) -> bool:
+        """Absorb a replica-group member's crash; True when tolerated.
+
+        A crashed primary with a live standby is *promoted over*: the
+        standby becomes the group's authority (it verifies its own views
+        before exiting, so fleet success still implies oracle success).
+        A crashed standby with a healthy primary is simply dropped.
+        Clean failures are answers, not accidents -- never absorbed.
+        """
+        if code in _NO_RESTART_CODES:
+            return False
+        standbys = [s for s in self._standbys_for(name) if self._is_healthy(s)]
+        if standbys:
+            promoted = standbys[0]
+            _, stderr = self.procs[name].communicate()
+            del self.procs[name]
+            self.standby_of.pop(promoted, None)
+            self.promoted[name] = promoted
+            self.failover_log.append(
+                f"[t+{self._elapsed():.2f}s] {name}: exit {code},"
+                f" promoted standby {promoted}"
+            )
+            return True
+        primary = self.standby_of.get(name)
+        if primary is not None and self._is_healthy(primary):
+            self.procs[name].communicate()
+            del self.procs[name]
+            del self.standby_of[name]
+            self.failover_log.append(
+                f"[t+{self._elapsed():.2f}s] {name}: exit {code}, standby"
+                f" death tolerated (primary {primary} healthy)"
+            )
+            return True
+        return False
+
     def running(self) -> list[str]:
         return [
             name for name, proc in self.procs.items() if proc.poll() is None
@@ -1460,6 +1930,7 @@ class ShardSupervisor:
         the fleet outlives ``timeout`` seconds.
         """
         deadline = _time.monotonic() + timeout
+        self._wait_started = _time.monotonic()
         try:
             while True:
                 all_done = True
@@ -1468,6 +1939,8 @@ class ShardSupervisor:
                     if code is None:
                         all_done = False
                     elif code != 0:
+                        if self._try_failover(name, code):
+                            continue
                         if self._try_restart(name, code):
                             all_done = False
                             continue
@@ -1530,43 +2003,73 @@ def build_sharded_supervisor(
     durable_root: str | None = None,
     restart: str = "never",
     max_restarts: int = 2,
+    replicas: int = 0,
 ) -> ShardSupervisor:
     """Launch a full sharded fleet and return its (not yet waited) supervisor.
 
-    One ``repro serve-shard`` per active shard, one ``repro serve-source``
-    per source.  With ``durable_root`` each shard gets
-    ``--durable-dir <durable_root>/shard<id>`` and is launched
-    ``restartable``; combined with ``restart="on-crash"`` a SIGKILLed
-    shard is relaunched and recovers from its durable directory while the
-    sources retransmit their unacked frames.
+    One ``repro serve-shard`` per replica-group member, one
+    ``repro serve-source`` per source.  With ``durable_root`` each member
+    gets ``--durable-dir <durable_root>/<label>`` and primaries are
+    launched ``restartable``; combined with ``restart="on-crash"`` a
+    SIGKILLed shard is relaunched and recovers from its durable directory
+    while the sources retransmit their unacked frames.
+
+    ``replicas`` adds that many hot standbys per shard, each launched
+    with ``--standby-of`` and registered with the supervisor via
+    ``standby_for`` -- so a SIGKILLed primary is *promoted over* (the
+    standby carries the shard and the fleet exits 0) rather than failing
+    or restarting the deployment.
     """
     rngs = RngRegistry(config.seed)
     workload = build_workload(config, rngs)
     family = _sharded_views(config, workload)
     plan = partition_views(family, n_shards, strategy=strategy)
+    rplan = assign_replicas(plan, replicas)
     primary = family[0]
     n = primary.n_relations
-    fanout_by_name = plan.source_fanout()
-    shard_ports = {shard: free_port(host) for shard in plan.active_shards}
+    member_fanout_by_name = rplan.member_fanout()
+    member_ports = {member: free_port(host) for member in rplan.members}
     source_ports = {index: free_port(host) for index in range(1, n + 1)}
     base = [sys.executable, "-m", "repro"]
     cfg_argv = _config_argv(config, time_scale)
     supervisor = ShardSupervisor(restart=restart, max_restarts=max_restarts)
-    for shard in plan.active_shards:
+
+    def _proc_name(member: ShardMember) -> str:
+        if member.is_primary:
+            return f"shard{member.shard}"
+        return f"shard{member.shard}r{member.replica}"
+
+    for member in rplan.members:
         argv = base + [
             "serve-shard", *cfg_argv,
-            "--shard-id", str(shard),
             "--shards", str(n_shards),
             "--strategy", strategy,
-            "--listen", f"{host}:{shard_ports[shard]}",
+            "--listen", f"{host}:{member_ports[member]}",
             "--timeout", str(timeout),
         ]
+        if member.is_primary:
+            argv += ["--shard-id", str(member.shard)]
+        elif member.replica == 1:
+            argv += ["--standby-of", str(member.shard)]
+        else:
+            argv += [
+                "--shard-id", str(member.shard),
+                "--replica", str(member.replica),
+            ]
         if durable_root is not None:
-            argv += ["--durable-dir", os.path.join(durable_root, f"shard{shard}")]
+            argv += [
+                "--durable-dir",
+                os.path.join(durable_root, _proc_name(member)),
+            ]
         for index in range(1, n + 1):
             argv += ["--source", f"{index}={host}:{source_ports[index]}"]
         supervisor.launch(
-            f"shard{shard}", argv, restartable=durable_root is not None
+            _proc_name(member),
+            argv,
+            restartable=durable_root is not None and member.is_primary,
+            standby_for=(
+                None if member.is_primary else f"shard{member.shard}"
+            ),
         )
     for index in range(1, n + 1):
         argv = base + [
@@ -1576,8 +2079,13 @@ def build_sharded_supervisor(
             "--linger", str(linger),
             "--timeout", str(timeout),
         ]
-        for shard in fanout_by_name.get(primary.name_of(index), ()):
-            argv += ["--shard", f"{shard}={host}:{shard_ports[shard]}"]
+        for member in member_fanout_by_name.get(primary.name_of(index), ()):
+            key = (
+                str(member.shard)
+                if member.is_primary
+                else f"{member.shard}r{member.replica}"
+            )
+            argv += ["--shard", f"{key}={host}:{member_ports[member]}"]
         supervisor.launch(f"source{index}", argv)
     return supervisor
 
@@ -1593,6 +2101,7 @@ def launch_sharded_processes(
     durable_root: str | None = None,
     restart: str = "never",
     max_restarts: int = 2,
+    replicas: int = 0,
 ) -> dict[str, str]:
     """Run one sharded deployment as real OS processes, supervised.
 
@@ -1600,8 +2109,8 @@ def launch_sharded_processes(
     to exit cleanly, and returns each member's captured stdout.  Shards
     verify their views before exiting, so a clean fleet exit means every
     view passed its claimed consistency level; any member exiting
-    non-zero (and not restarted by the policy) kills the rest and raises
-    :class:`ShardCrashed`.
+    non-zero (and not absorbed by the restart or failover policy) kills
+    the rest and raises :class:`ShardCrashed`.
     """
     supervisor = build_sharded_supervisor(
         config,
@@ -1614,6 +2123,7 @@ def launch_sharded_processes(
         durable_root=durable_root,
         restart=restart,
         max_restarts=max_restarts,
+        replicas=replicas,
     )
     return supervisor.wait(timeout=timeout)
 
@@ -1621,6 +2131,7 @@ def launch_sharded_processes(
 __all__ = [
     "CLAIMED_LEVELS",
     "CLEAN_FAILURE_EXIT",
+    "FailoverSpec",
     "ShardCrashed",
     "ShardNode",
     "ShardSupervisor",

@@ -238,12 +238,22 @@ class TcpChannel(RuntimeChannel):
         self.negotiated_codec = 1
         self.reconnects = 0
         self.batches_sent = 0
+        #: Optional dead-peer tolerance hook.  Called with the
+        #: :class:`TransportRetriesExceeded` when the retry budget is
+        #: exhausted; returning True marks the channel dead (queued
+        #: frames dropped, future sends ignored) instead of failing the
+        #: runtime -- how a source tolerates a crashed standby whose
+        #: replica group still has a live member.
+        self.on_give_up = None
+        self.dead = False
         self._task = runtime.create_task(self._run(), f"tcp-writer:{name}")
 
     # ------------------------------------------------------------------
     # The Channel contract
     # ------------------------------------------------------------------
     def send(self, message: Message) -> None:
+        if self.dead:
+            return
         if self.queued >= self.max_queue:
             raise TransportOverflowError(
                 f"channel {self.name!r}: bounded send window full"
@@ -292,10 +302,16 @@ class TcpChannel(RuntimeChannel):
                     backoff = cfg.backoff_initial
                 retries += 1
                 if retries > cfg.max_retries:
-                    raise TransportRetriesExceeded(
+                    error = TransportRetriesExceeded(
                         f"channel {self.name!r}: {self.host}:{self.port}"
                         f" unreachable after {cfg.max_retries} retries"
-                    ) from None
+                    )
+                    if self.on_give_up is not None and self.on_give_up(error):
+                        self.dead = True
+                        self._pending.clear()
+                        self._inflight.clear()
+                        return
+                    raise error from None
                 self.reconnects += 1
                 await asyncio.sleep(backoff)
                 backoff = min(backoff * cfg.backoff_factor, cfg.backoff_max)

@@ -21,3 +21,14 @@ class DeadProcessError(SimulationError):
 
 class MailboxOwnershipError(SimulationError):
     """A second process tried to wait on a single-consumer mailbox."""
+
+
+class ProcessKilled(BaseException):
+    """Deliberate termination of one process, not a failure.
+
+    Raised *inside* a process frame (by a failover kill switch) to
+    unwind it; :class:`~repro.simulation.process.Process` treats it like
+    ``StopIteration`` -- the process finishes cleanly and the kernel
+    keeps running.  Derives from ``BaseException`` so protocol-level
+    ``except Exception`` handlers cannot swallow a kill.
+    """

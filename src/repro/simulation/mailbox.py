@@ -40,12 +40,15 @@ class Mailbox:
         self._queue: deque[Any] = deque()
         self._waiter: "Process | None" = None
         self._wakeup_scheduled = False
+        self._sealed = False
 
     # ------------------------------------------------------------------
     # Producer side
     # ------------------------------------------------------------------
     def put(self, message: Any) -> None:
         """Deliver ``message``; wakes the waiting consumer, if any."""
+        if self._sealed:
+            return
         self._queue.append(message)
         self._maybe_wake()
 
@@ -79,6 +82,21 @@ class Mailbox:
 
     def __len__(self) -> int:
         return len(self._queue)
+
+    def seal(self) -> None:
+        """Drop everything queued and discard all future deliveries.
+
+        A killed warehouse member's mailboxes would otherwise keep
+        accumulating fanned-out frames and hold the run out of
+        quiescence forever; sealing models the process being gone while
+        its peers keep sending.
+        """
+        self._queue.clear()
+        self._sealed = True
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
 
     # ------------------------------------------------------------------
     # Kernel plumbing

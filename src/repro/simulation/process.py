@@ -18,7 +18,11 @@ from collections.abc import Generator
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
-from repro.simulation.errors import DeadProcessError, SimulationError
+from repro.simulation.errors import (
+    DeadProcessError,
+    ProcessKilled,
+    SimulationError,
+)
 
 if TYPE_CHECKING:
     from repro.simulation.kernel import Simulator
@@ -68,7 +72,10 @@ class Process:
     def _advance(self, value: Any) -> None:
         try:
             effect = self._generator.send(value)
-        except StopIteration:
+        except (StopIteration, ProcessKilled):
+            # ProcessKilled is a failover kill switch unwinding this one
+            # process deliberately; like normal completion it must not
+            # fail the kernel.
             self.finished = True
             return
         except BaseException as exc:

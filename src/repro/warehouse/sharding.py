@@ -144,6 +144,187 @@ def partition_views(
     return ShardPlan(n_shards=n_shards, views=views, assignment=assignment)
 
 
+@dataclass(frozen=True, order=True)
+class ShardMember:
+    """One member of a replica group: ``replica`` 0 is the primary.
+
+    The label is the member's wire identity -- channel names, durable
+    directories, and supervisor argv all derive from it -- so promotion
+    (the standby *becoming* the primary) is purely a routing change: the
+    standby already holds the primary's state at the same FIFO position.
+    """
+
+    shard: int
+    replica: int = 0
+
+    def __post_init__(self) -> None:
+        if self.shard < 0:
+            raise ValueError(f"shard must be >= 0, got {self.shard}")
+        if self.replica < 0:
+            raise ValueError(f"replica must be >= 0, got {self.replica}")
+
+    @property
+    def label(self) -> str:
+        """``sh3`` for a primary, ``sh3r1`` for its first standby."""
+        if self.replica == 0:
+            return f"sh{self.shard}"
+        return f"sh{self.shard}r{self.replica}"
+
+    @property
+    def is_primary(self) -> bool:
+        return self.replica == 0
+
+
+def parse_member(text: str) -> ShardMember:
+    """Parse ``"3"`` or ``"3r1"`` back into a :class:`ShardMember`."""
+    raw = text.strip().removeprefix("sh")
+    shard_text, sep, replica_text = raw.partition("r")
+    try:
+        shard = int(shard_text)
+        replica = int(replica_text) if sep else 0
+    except ValueError:
+        raise ValueError(f"not a shard member: {text!r}") from None
+    return ShardMember(shard=shard, replica=replica)
+
+
+@dataclass(frozen=True)
+class ReplicaPlan:
+    """A :class:`ShardPlan` plus a replica group per active shard.
+
+    ``members_by_shard[s][0]`` is shard ``s``'s current primary; the
+    rest are hot standbys consuming duplicates of every frame the
+    primary sees (same per-(source, shard) FIFO channels), so any of
+    them can take over at the exact FIFO position.  ``slots`` places
+    each member on a process slot with anti-affinity: a primary and its
+    own standby never share a slot, so one process (or machine) loss
+    cannot take out a whole replica group.
+    """
+
+    plan: ShardPlan
+    replicas: int
+    members_by_shard: dict[int, tuple[ShardMember, ...]] = field(
+        default_factory=dict
+    )
+    slots: dict[ShardMember, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.replicas < 0:
+            raise ValueError(f"replicas must be >= 0, got {self.replicas}")
+        for shard, group in self.members_by_shard.items():
+            if not group:
+                raise ValueError(f"shard {shard} has an empty replica group")
+            if any(m.shard != shard for m in group):
+                raise ValueError(
+                    f"shard {shard} group references other shards: {group!r}"
+                )
+            placed = [self.slots[m] for m in group if m in self.slots]
+            if len(set(placed)) != len(placed):
+                raise ValueError(
+                    f"shard {shard} members share a process slot:"
+                    f" { {m.label: self.slots.get(m) for m in group} }"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def members(self) -> list[ShardMember]:
+        """Every member, primaries first within each shard."""
+        out: list[ShardMember] = []
+        for shard in self.plan.active_shards:
+            out.extend(self.members_by_shard[shard])
+        return out
+
+    def primary_of(self, shard: int) -> ShardMember:
+        return self.members_by_shard[shard][0]
+
+    def standbys_of(self, shard: int) -> tuple[ShardMember, ...]:
+        return self.members_by_shard[shard][1:]
+
+    @property
+    def n_slots(self) -> int:
+        return 1 + max(self.slots.values(), default=0)
+
+    def member_fanout(self) -> dict[str, tuple[ShardMember, ...]]:
+        """Dup-fanout table: relation -> every member of each fanned shard.
+
+        The FIFO argument survives duplication because a source sends
+        each member its *own* copy of the identical frame sequence over
+        that member's own channel: per (source, member) order is the per
+        (source, shard) order, so primary and standby install the same
+        schedule and stay byte-identical at every position.
+        """
+        base = self.plan.source_fanout()
+        return {
+            name: tuple(
+                member
+                for shard in shards
+                for member in self.members_by_shard[shard]
+            )
+            for name, shards in base.items()
+        }
+
+    def promote(self, shard: int) -> "ReplicaPlan":
+        """The plan after shard ``shard`` loses its primary.
+
+        The first standby becomes the new primary (keeping its slot);
+        a shard with no standby cannot be promoted.
+        """
+        group = self.members_by_shard[shard]
+        if len(group) < 2:
+            raise ValueError(
+                f"shard {shard} has no standby to promote (group {group!r})"
+            )
+        members = dict(self.members_by_shard)
+        members[shard] = group[1:]
+        slots = {m: s for m, s in self.slots.items() if m != group[0]}
+        return ReplicaPlan(
+            plan=self.plan,
+            replicas=self.replicas,
+            members_by_shard=members,
+            slots=slots,
+        )
+
+    def describe(self) -> str:
+        parts = []
+        for shard in self.plan.active_shards:
+            labels = [
+                f"{m.label}@slot{self.slots[m]}"
+                for m in self.members_by_shard[shard]
+            ]
+            parts.append(f"shard {shard}: {', '.join(labels)}")
+        return "; ".join(parts)
+
+
+def assign_replicas(plan: ShardPlan, replicas: int = 0) -> ReplicaPlan:
+    """Pair every active shard with ``replicas`` hot standbys.
+
+    Process slots are assigned diagonally: with ``S`` active shards the
+    slot of replica ``k`` of the ``i``-th active shard is
+    ``(i + k) mod n_slots`` where ``n_slots = max(S, replicas + 1)`` --
+    so members of one group always land on distinct slots (anti-
+    affinity) and, when ``S >= replicas + 1``, no extra slots are needed
+    beyond the ``S`` a replica-less deployment already runs.
+    """
+    if replicas < 0:
+        raise ValueError(f"replicas must be >= 0, got {replicas}")
+    active = plan.active_shards
+    n_slots = max(len(active), replicas + 1)
+    members_by_shard: dict[int, tuple[ShardMember, ...]] = {}
+    slots: dict[ShardMember, int] = {}
+    for i, shard in enumerate(active):
+        group = tuple(
+            ShardMember(shard=shard, replica=k) for k in range(replicas + 1)
+        )
+        members_by_shard[shard] = group
+        for k, member in enumerate(group):
+            slots[member] = (i + k) % n_slots
+    return ReplicaPlan(
+        plan=plan,
+        replicas=replicas,
+        members_by_shard=members_by_shard,
+        slots=slots,
+    )
+
+
 def view_family(base: ViewDefinition, n_views: int) -> list[ViewDefinition]:
     """A deterministic family of ``n_views`` SPJ variants of ``base``.
 
@@ -193,8 +374,12 @@ def canonical_view_bytes(relation: Relation) -> bytes:
 
 __all__ = [
     "STRATEGIES",
+    "ReplicaPlan",
+    "ShardMember",
     "ShardPlan",
+    "assign_replicas",
     "canonical_view_bytes",
+    "parse_member",
     "partition_views",
     "stable_shard_of",
     "view_family",

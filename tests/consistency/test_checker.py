@@ -167,6 +167,26 @@ class TestChecks:
         assert not check_convergence(paper_view, h, log)
         assert classify(paper_view, h, notices, log) == ConsistencyLevel.NONE
 
+    def test_overdelivered_source_is_dishonest_not_a_crash(
+        self, paper_view, paper_states
+    ):
+        """More deliveries from a source than its history holds -> NONE.
+
+        A duplicate that crossed the FIFO fence (an unfenced standby
+        takeover) can push a source's delivery count past its update
+        log; the oracle must judge that log dishonest, not blow up
+        evaluating an unrepresentable state vector.
+        """
+        h, notices = build_history(paper_states)
+        log = _figure5_snapshot_log(paper_view, h, notices)
+        replayed = notices + [notices[-1]]  # R1's only update, twice
+        log.record(
+            4.0, evaluate_at(paper_view, h, h.final_vector()),
+            h.final_vector(),
+        )
+        level = classify(paper_view, h, replayed, log)
+        assert level == ConsistencyLevel.NONE
+
     def test_no_snapshots_at_all(self, paper_view, paper_states):
         h, notices = build_history(paper_states)
         log = SnapshotLog()

@@ -55,6 +55,14 @@ class TestRunCase:
         assert row["ok"], row["error"]
         assert row["faults"] > 0
 
+    def test_replicated_sharded_row_keeps_claimed_level(self):
+        # Hot standbys are mute on the answer path, so replicas=1 must
+        # not move the claimed or achieved level of the sharded case.
+        row = run_case("sharded-sweep-r1", "healthy", seed=1, **FAST)
+        assert row["ok"], row["error"]
+        assert row["claimed"] == "complete"
+        assert row["achieved"] == "complete"
+
     @pytest.mark.parametrize("profile", ["source-stall", "source-burst"])
     def test_source_fault_profiles_inject_and_converge(self, profile):
         """The seeded sender-side faults fire and SWEEP still converges."""

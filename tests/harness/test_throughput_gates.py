@@ -1,0 +1,68 @@
+"""Throughput-suite acceptance gates, tested on synthetic rows.
+
+The suite itself drives real runs (``python -m repro
+bench-throughput``); here we pin the pure arithmetic of the overhead
+gates so a regression message fires exactly when a budget is exceeded.
+"""
+
+from repro.harness.throughput import (
+    DURABLE_OVERHEAD_TARGET,
+    REPLICA_OVERHEAD_TARGET,
+    compare_reports,
+    durable_overhead,
+    replica_overhead,
+)
+
+
+def shard_row(algorithm, updates_per_sec):
+    return {
+        "mode": "sharded",
+        "transport": "local",
+        "algorithm": algorithm,
+        "locality": "off",
+        "updates": 60,
+        "updates_installed": 60,
+        "updates_per_sec": updates_per_sec,
+        "consistency": "complete",
+    }
+
+
+def test_replica_overhead_is_worst_pair():
+    rows = [
+        shard_row("sweep@shards=2", 100.0),
+        shard_row("sweep@shards=2+r1", 95.0),
+        shard_row("sweep@shards=4", 200.0),
+        shard_row("sweep@shards=4+r1", 160.0),
+    ]
+    # shards=2 costs 5%, shards=4 costs 20% -- the gate sees the worst.
+    assert replica_overhead(rows) == 0.2
+
+
+def test_replica_overhead_none_without_replica_rows():
+    assert replica_overhead([shard_row("sweep@shards=2", 100.0)]) is None
+    assert replica_overhead([]) is None
+
+
+def test_durable_and_replica_pairs_do_not_cross():
+    rows = [
+        shard_row("sweep@shards=1", 50.0),
+        shard_row("sweep@shards=1+durable", 45.0),
+        shard_row("sweep@shards=2", 100.0),
+        shard_row("sweep@shards=2+r1", 90.0),
+    ]
+    assert durable_overhead(rows) == 0.1
+    assert replica_overhead(rows) == 0.1
+
+
+def test_compare_reports_gates_replica_budget():
+    over = 1.0 - (REPLICA_OVERHEAD_TARGET + 0.05)
+    current = {
+        "durable_overhead": DURABLE_OVERHEAD_TARGET - 0.01,
+        "replica_overhead": round(1.0 - over, 3),
+        "speedups": {},
+        "rows": [],
+    }
+    problems = compare_reports(current, {"speedups": {}, "rows": []})
+    assert any("replica_overhead" in p for p in problems)
+    current["replica_overhead"] = REPLICA_OVERHEAD_TARGET - 0.01
+    assert compare_reports(current, {"speedups": {}, "rows": []}) == []

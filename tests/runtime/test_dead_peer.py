@@ -21,10 +21,12 @@ from repro.runtime import (
     free_port,
     probe_peer,
     serve_shard_async,
+    serve_sharded_source_async,
     serve_source_async,
     serve_warehouse_async,
 )
 from repro.runtime.tcp import TcpChannelConfig
+from repro.warehouse.sharding import ShardMember
 
 #: A retry budget small enough that every test fails in well under a second.
 TIGHT = TcpChannelConfig(
@@ -163,3 +165,78 @@ def test_cli_serve_shard_exits_nonzero(capsys):
     captured = capsys.readouterr()
     assert rc == CLEAN_FAILURE_EXIT
     assert "error:" in captured.err
+
+
+# ---------------------------------------------------------------------------
+# Replica groups: a dead standby is tolerated, a dead *shard* is not
+# ---------------------------------------------------------------------------
+
+def test_sharded_source_fails_when_every_member_of_a_shard_is_dead():
+    # Both the primary and the standby are unreachable: no surviving
+    # member carries shard 0, so the probe failure must propagate.
+    addresses = {
+        ShardMember(0): _dead_address(),
+        ShardMember(0, 1): _dead_address(),
+    }
+    with pytest.raises(TransportRetriesExceeded, match="unreachable"):
+        asyncio.run(
+            serve_sharded_source_async(
+                _config(n_views=2),
+                index=1,
+                shard_addresses=addresses,
+                timeout=30.0,
+                tcp_config=TIGHT,
+            )
+        )
+
+
+def test_fleet_tolerates_a_dead_standby():
+    """Live primary + unreachable standby address: the fleet completes.
+
+    Every source drops the standby member at probe time (its shard is
+    still carried by the primary) and the shard verifies its views --
+    the replica-group equivalent of "a crashed standby with a healthy
+    primary is tolerated"."""
+    config = _config(n_views=2)
+    source_ports = {i: free_port() for i in range(1, config.n_sources + 1)}
+    shard_port = free_port()
+    members = {
+        ShardMember(0): ("127.0.0.1", shard_port),
+        ShardMember(0, 1): _dead_address(),
+    }
+
+    async def fleet():
+        shard = serve_shard_async(
+            config,
+            shard_id=0,
+            n_shards=1,
+            source_addresses={
+                i: ("127.0.0.1", port) for i, port in source_ports.items()
+            },
+            listen_port=shard_port,
+            time_scale=0.001,
+            expect_updates=config.n_updates,
+            timeout=60.0,
+            tcp_config=TIGHT,
+        )
+        sources = [
+            serve_sharded_source_async(
+                config,
+                index=i,
+                shard_addresses=members,
+                listen_port=source_ports[i],
+                time_scale=0.001,
+                linger=0.2,
+                timeout=60.0,
+                tcp_config=TIGHT,
+            )
+            for i in source_ports
+        ]
+        result, *_ = await asyncio.gather(shard, *sources)
+        return result
+
+    result = asyncio.run(fleet())
+    # serve_shard_async(verify=True) would have raised on a view below
+    # the claimed level, so reaching here already implies oracle success.
+    assert result.deliveries_total == config.n_updates
+    assert set(result.levels) == set(result.final_views)

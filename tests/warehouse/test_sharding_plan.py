@@ -10,8 +10,12 @@ shards, and a view family that is a pure function of its inputs.
 import pytest
 
 from repro.warehouse.sharding import (
+    ReplicaPlan,
+    ShardMember,
     ShardPlan,
+    assign_replicas,
     canonical_view_bytes,
+    parse_member,
     partition_views,
     stable_shard_of,
     view_family,
@@ -174,3 +178,104 @@ def test_canonical_bytes_differ_when_contents_differ(base_view):
     b = variant.evaluate(states)
     if dict(a.items()) != dict(b.items()):
         assert canonical_view_bytes(a) != canonical_view_bytes(b)
+
+
+# ---------------------------------------------------------------------------
+# Replica groups (ShardMember / assign_replicas / ReplicaPlan)
+# ---------------------------------------------------------------------------
+
+def test_member_labels_and_parse_round_trip():
+    for shard in (0, 1, 7):
+        for replica in (0, 1, 3):
+            member = ShardMember(shard, replica)
+            assert parse_member(member.label) == member
+    assert ShardMember(3).label == "sh3"
+    assert ShardMember(3, 1).label == "sh3r1"
+    assert parse_member("3") == ShardMember(3)
+    assert parse_member("3r2") == ShardMember(3, 2)
+    with pytest.raises(ValueError):
+        parse_member("banana")
+    with pytest.raises(ValueError):
+        ShardMember(-1)
+
+
+def test_replica_less_plan_is_just_the_primaries(base_view):
+    family = view_family(base_view, 4)
+    plan = partition_views(family, 2, strategy="round-robin")
+    rplan = assign_replicas(plan, 0)
+    assert rplan.members == [ShardMember(s) for s in plan.active_shards]
+    assert all(m.is_primary for m in rplan.members)
+    # The primary's label matches the historic channel-name fragment, so
+    # replica-less wire names are byte-identical to pre-replica builds.
+    assert [m.label for m in rplan.members] == [
+        f"sh{s}" for s in plan.active_shards
+    ]
+
+
+def test_replica_assignment_properties_random(base_view):
+    """Seeded-random sweep over (n_views, n_shards, replicas, strategy).
+
+    Properties: every group has replicas+1 members of its own shard with
+    the primary first; no two members of one group share a process slot
+    (anti-affinity); the member fanout lists every member of every
+    fanned shard; promotion produces a valid plan led by the standby.
+    """
+    import random
+
+    rng = random.Random(42)
+    for _ in range(50):
+        n_views = rng.randint(1, 8)
+        n_shards = rng.randint(1, 4)
+        replicas = rng.randint(0, 2)
+        strategy = rng.choice(("hash", "round-robin"))
+        family = view_family(base_view, n_views)
+        plan = partition_views(family, n_shards, strategy=strategy)
+        rplan = assign_replicas(plan, replicas)
+        for shard in plan.active_shards:
+            group = rplan.members_by_shard[shard]
+            assert len(group) == replicas + 1
+            assert all(m.shard == shard for m in group)
+            assert group[0].is_primary
+            slots = [rplan.slots[m] for m in group]
+            assert len(set(slots)) == len(slots), (
+                f"group {shard} shares a slot: {slots}"
+            )
+        shard_fanout = plan.source_fanout()
+        member_fanout = rplan.member_fanout()
+        assert set(member_fanout) == set(shard_fanout)
+        for name, shards in shard_fanout.items():
+            members = member_fanout[name]
+            assert len(members) == len(shards) * (replicas + 1)
+            assert {m.shard for m in members} == set(shards)
+        if replicas >= 1:
+            victim = rng.choice(plan.active_shards)
+            promoted = rplan.promote(victim)
+            new_group = promoted.members_by_shard[victim]
+            assert len(new_group) == replicas
+            assert new_group[0] == ShardMember(victim, 1)
+            assert rplan.primary_of(victim) not in promoted.members
+
+
+def test_promote_without_standby_raises(base_view):
+    family = view_family(base_view, 2)
+    plan = partition_views(family, 2, strategy="round-robin")
+    rplan = assign_replicas(plan, 0)
+    with pytest.raises(ValueError):
+        rplan.promote(plan.active_shards[0])
+
+
+def test_replica_plan_rejects_shared_slot(base_view):
+    family = view_family(base_view, 2)
+    plan = partition_views(family, 1)
+    rplan = assign_replicas(plan, 1)
+    shard = plan.active_shards[0]
+    bad_slots = dict(rplan.slots)
+    for member in rplan.members_by_shard[shard]:
+        bad_slots[member] = 0
+    with pytest.raises(ValueError, match="slot"):
+        ReplicaPlan(
+            plan=plan,
+            replicas=1,
+            members_by_shard=rplan.members_by_shard,
+            slots=bad_slots,
+        )
