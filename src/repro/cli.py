@@ -143,8 +143,12 @@ def _add_tcp_args(p: argparse.ArgumentParser) -> None:
     """Transport fast-path knobs shared by every TCP-speaking command."""
     p.add_argument(
         "--codec-version", type=int, default=None, metavar="N",
-        help="pin the advertised wire codec (1 disables mb frames and"
-             " flat-row encoding; default: newest supported)",
+        choices=(1, 2, 3),
+        help="pin the advertised wire codec: 1 disables mb frames and"
+             " flat-row encoding, 2 is JSON flat rows, 3 serializes frames"
+             " through the binary kernel (binwire); peers negotiate the"
+             " pairwise minimum and decode accepts every version"
+             " (default: 2; 3 is opt-in)",
     )
     p.add_argument(
         "--compress-min", type=int, default=None, metavar="BYTES",
@@ -250,6 +254,9 @@ def _add_run_sharded_parser(sub: argparse._SubParsersAction) -> None:
                         " DIR/shard<id> and a re-run recovers from it")
     p.add_argument("--checkpoint-every", type=int, default=None,
                    metavar="N", help="checkpoint every N installed updates")
+    p.add_argument("--fsync-batch", type=int, default=8, metavar="N",
+                   help="fsync the WAL once per N appended updates"
+                        " (group commit; default: 8)")
     p.add_argument("--restart", choices=("never", "on-crash"),
                    default="never",
                    help="supervisor restart policy for crashed shard"
@@ -312,6 +319,7 @@ def _cmd_run_sharded(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         durable_dir=args.durable_dir,
         checkpoint_policy=_checkpoint_policy(args),
+        fsync_batch=args.fsync_batch,
         replicas=args.replicas,
     )
     print(result.report())
@@ -365,6 +373,9 @@ def _add_serve_shard_parser(sub: argparse._SubParsersAction) -> None:
                    metavar="SECONDS",
                    help="also checkpoint when this much wall time has"
                         " passed since the last one")
+    p.add_argument("--fsync-batch", type=int, default=8, metavar="N",
+                   help="fsync the WAL once per N appended updates"
+                        " (group commit; default: 8)")
 
 
 def _cmd_serve_shard(args: argparse.Namespace) -> int:
@@ -405,6 +416,7 @@ def _cmd_serve_shard(args: argparse.Namespace) -> int:
             verify=not args.no_verify,
             durable_dir=args.durable_dir,
             checkpoint_policy=_checkpoint_policy(args),
+            fsync_batch=args.fsync_batch,
             replica=replica,
             seed_from=args.seed_from,
         )
@@ -441,6 +453,9 @@ def _add_serve_warehouse_parser(sub: argparse._SubParsersAction) -> None:
                    metavar="SECONDS",
                    help="also checkpoint when this much wall time has"
                         " passed since the last one")
+    p.add_argument("--fsync-batch", type=int, default=8, metavar="N",
+                   help="fsync the WAL once per N appended updates"
+                        " (group commit; default: 8)")
 
 
 def _cmd_serve_warehouse(args: argparse.Namespace) -> int:
@@ -471,6 +486,7 @@ def _cmd_serve_warehouse(args: argparse.Namespace) -> int:
             tcp_config=_tcp_config(args),
             durable_dir=args.durable_dir,
             checkpoint_policy=_checkpoint_policy(args),
+            fsync_batch=args.fsync_batch,
         )
     )
     if result is not None:
@@ -711,6 +727,13 @@ def build_parser() -> argparse.ArgumentParser:
              " cell 2x faster and 3x fewer messages; every +aux pair"
              " at least 2x fewer messages, consistency preserved)",
     )
+    bench.add_argument(
+        "--require-codec-efficiency", action="store_true",
+        help="fail unless codec v3 clears a gate arm on the saturated"
+             " TCP sweep pair (1.3x updates/sec or 2x fewer"
+             " pre-compression bytes per update vs the same-run v2 twin,"
+             " consistency unchanged)",
+    )
 
     conf = sub.add_parser(
         "conformance",
@@ -735,6 +758,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated locality modes to cross with each case"
              " (off,aux,cache,auto; unsupported algorithm/mode pairs"
              " are skipped)",
+    )
+    conf.add_argument(
+        "--codec-version", default="auto", metavar="V",
+        help="pin the wire codec for every case: 1|2|3, or 'mixed' for a"
+             " v3 warehouse with v1-only sources (handshake-downgrade"
+             " check; distributed cases only).  Default: auto (negotiate)",
     )
     conf.add_argument("--updates", "-u", type=int, default=None)
     conf.add_argument("--sources", "-n", type=int, default=None)
@@ -833,6 +862,7 @@ def _cmd_advise(args: argparse.Namespace) -> int:
 def _cmd_bench_throughput(args: argparse.Namespace) -> int:
     from repro.harness.throughput import (
         build_report,
+        codec_problems,
         compare_reports,
         format_suite,
         load_report,
@@ -853,6 +883,13 @@ def _cmd_bench_throughput(args: argparse.Namespace) -> int:
                 print(f"LOCALITY GATE: {problem}", file=sys.stderr)
             return 1
         print("locality gate passed")
+    if args.require_codec_efficiency:
+        problems = codec_problems(rows)
+        if problems:
+            for problem in problems:
+                print(f"CODEC GATE: {problem}", file=sys.stderr)
+            return 1
+        print("codec gate passed")
     if args.check_against:
         problems = compare_reports(
             report, load_report(args.check_against), tolerance=args.tolerance
@@ -956,6 +993,13 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    if args.codec_version not in conformance.CODEC_CHOICES:
+        print(
+            f"unknown codec pin {args.codec_version!r}; available:"
+            f" {','.join(conformance.CODEC_CHOICES)}",
+            file=sys.stderr,
+        )
+        return 2
     localities = tuple(args.localities.split(","))
     for name in localities:
         if name not in ("off", "aux", "cache", "auto"):
@@ -990,6 +1034,7 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
         seeds=range(args.seed, args.seed + args.runs),
         transport=args.transport,
         localities=localities,
+        codec=args.codec_version,
         progress=progress,
         **case_kwargs,
     )

@@ -19,6 +19,17 @@ exact protocol position:
 Files are written atomically (tmp + fsync + rename), carry a CRC over
 the canonical body, and are named by generation; the matching WAL
 (``update-<generation>.wal``) records deliveries after the checkpoint.
+
+Two envelope formats exist, distinguished by the file's first byte:
+format 1 is a JSON envelope ``{"format": 1, "crc", "body"}`` with the CRC
+over the canonical (sorted, compact) JSON body; format 2 is a binwire
+envelope (the shared binary kernel codec v3 uses on the wire -- see
+:mod:`repro.runtime.binwire`) whose ``body`` is a nested binwire document
+carried as bytes, with the CRC over exactly those bytes.  :meth:`
+ViewCheckpoint.load` sniffs the first byte and accepts either, so
+pre-existing JSON checkpoints recover unchanged; the ``.json`` filename
+is kept for both (the generation glob patterns are part of the on-disk
+contract).
 """
 
 from __future__ import annotations
@@ -32,6 +43,16 @@ from repro.durability.encoding import encode_bag, encode_notice
 from repro.durability.errors import CheckpointCorruptionError
 
 CHECKPOINT_FORMAT = 1
+CHECKPOINT_FORMAT_BINARY = 2
+
+
+def _binwire():
+    # NOTE: imported lazily -- a module-level import of repro.runtime
+    # from the durability package would close the package import cycle
+    # (runtime -> distributed -> harness -> warehouse -> durability).
+    from repro.runtime import binwire
+
+    return binwire
 
 
 def checkpoint_path(directory: str, generation: int) -> str:
@@ -101,23 +122,41 @@ class ViewCheckpoint:
         )
 
     # ------------------------------------------------------------------
-    def write(self, directory: str) -> str:
+    def write(self, directory: str, binary: bool = True) -> str:
         """Atomic write: tmp file, fsync, rename over the final name.
 
         On POSIX a crash can leave a stale tmp file but never a torn
         file under the final name, which is why recovery may treat any
-        present checkpoint as all-or-nothing.
+        present checkpoint as all-or-nothing.  ``binary`` selects the
+        format-2 binwire envelope (the default; ``load`` sniffs, so both
+        formats stay readable); ``binary=False`` writes the legacy JSON
+        envelope.
         """
-        body = json.dumps(self.to_json(), sort_keys=True, separators=(",", ":"))
-        envelope = {
-            "format": CHECKPOINT_FORMAT,
-            "crc": zlib.crc32(body.encode("utf-8")),
-            "body": self.to_json(),
-        }
+        if binary:
+            body_bytes = _binwire().dumps(self.to_json())
+            blob = _binwire().dumps(
+                {
+                    "format": CHECKPOINT_FORMAT_BINARY,
+                    "crc": zlib.crc32(body_bytes),
+                    "body": body_bytes,
+                }
+            )
+        else:
+            body = json.dumps(
+                self.to_json(), sort_keys=True, separators=(",", ":")
+            )
+            envelope = {
+                "format": CHECKPOINT_FORMAT,
+                "crc": zlib.crc32(body.encode("utf-8")),
+                "body": self.to_json(),
+            }
+            blob = json.dumps(
+                envelope, sort_keys=True, separators=(",", ":")
+            ).encode("utf-8")
         final = checkpoint_path(directory, self.generation)
         tmp = final + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(envelope, handle, sort_keys=True, separators=(",", ":"))
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, final)
@@ -134,8 +173,21 @@ class ViewCheckpoint:
     @classmethod
     def load(cls, path: str) -> "ViewCheckpoint":
         try:
-            with open(path, encoding="utf-8") as handle:
-                envelope = json.load(handle)
+            with open(path, "rb") as handle:
+                blob = handle.read()
+            binwire = _binwire()
+            if binwire.is_binary(blob):
+                envelope = binwire.loads(blob)
+                if int(envelope.get("format", 0)) != CHECKPOINT_FORMAT_BINARY:
+                    raise CheckpointCorruptionError(
+                        f"{path}: unsupported checkpoint format"
+                        f" {envelope.get('format')!r}"
+                    )
+                body_bytes = envelope["body"]
+                if zlib.crc32(body_bytes) != int(envelope["crc"]):
+                    raise CheckpointCorruptionError(f"{path}: body fails CRC")
+                return cls.from_json(binwire.loads(body_bytes))
+            envelope = json.loads(blob.decode("utf-8"))
             if int(envelope.get("format", 0)) != CHECKPOINT_FORMAT:
                 raise CheckpointCorruptionError(
                     f"{path}: unsupported checkpoint format"
@@ -231,6 +283,7 @@ def capture_checkpoint(
 
 __all__ = [
     "CHECKPOINT_FORMAT",
+    "CHECKPOINT_FORMAT_BINARY",
     "ViewCheckpoint",
     "capture_checkpoint",
     "checkpoint_generations",

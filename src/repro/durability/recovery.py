@@ -230,12 +230,16 @@ def attach_durability(
     policy: CheckpointPolicy | None = None,
     fsync_batch: int = 8,
     crash_plan: CrashPlan | None = None,
+    binary: bool = True,
 ) -> tuple[DurabilityManager, RecoveredState | None]:
     """Recover (if durable state exists), resume, and start logging.
 
     Returns the manager and the recovered state (``None`` on a fresh
     directory).  The manager immediately writes this incarnation's base
-    checkpoint, so the WAL never straddles a crash boundary.
+    checkpoint, so the WAL never straddles a crash boundary.  ``binary``
+    picks the on-disk format for what this incarnation *writes*; reading
+    always accepts both formats, so a JSON-era directory recovers here
+    unchanged (and is upgraded in place by the base checkpoint).
     """
     views = getattr(warehouse, "views", None) or [warehouse.view]
     state = load_state(directory, list(views))
@@ -246,6 +250,7 @@ def attach_durability(
         policy=policy,
         fsync_batch=fsync_batch,
         crash_plan=crash_plan,
+        binary=binary,
     )
     manager.attach(warehouse, state)
     return manager, state

@@ -4,12 +4,18 @@ Frame format (all integers big-endian, mirroring the TCP transport's
 length-prefix convention)::
 
     +----------------+----------------+------------------------+
-    | length (4B BE) | crc32 (4B BE)  | payload (JSON, utf-8)  |
+    | length (4B BE) | crc32 (4B BE)  | payload                |
     +----------------+----------------+------------------------+
 
-Frame 0 is a header record ``{"wal": 1, "generation": G}`` binding the
-file to checkpoint generation ``G``; every later frame is one encoded
-:class:`~repro.sources.messages.UpdateNotice` in delivery order.
+Frame 0 is a header record ``{"wal": <format>, "generation": G}`` binding
+the file to checkpoint generation ``G``; every later frame is one encoded
+:class:`~repro.sources.messages.UpdateNotice` in delivery order.  Format
+1 serializes payloads as UTF-8 JSON; format 2 serializes them through the
+shared binary kernel (:mod:`repro.runtime.binwire` -- the same encoder
+codec v3 uses on the wire), eliminating the second JSON encode on the
+durable path.  :func:`read_update_log` sniffs each payload's first byte,
+so logs of either format (and mixed tails left by an upgrade) recover
+identically.
 
 Damage policy (the satellite contract):
 
@@ -39,6 +45,16 @@ from repro.durability.errors import WalCorruptionError
 
 _FRAME_HEADER = struct.Struct("!II")
 WAL_FORMAT = 1
+WAL_FORMAT_BINARY = 2
+
+
+def _binwire():
+    # NOTE: imported lazily -- a module-level import of repro.runtime
+    # from the durability package would close the package import cycle
+    # (runtime -> distributed -> harness -> warehouse -> durability).
+    from repro.runtime import binwire
+
+    return binwire
 
 
 def wal_path(directory: str, generation: int) -> str:
@@ -64,28 +80,39 @@ def _frame(payload: bytes) -> bytes:
 class UpdateLog:
     """Writer half: an open, appendable WAL for one checkpoint generation."""
 
-    def __init__(self, directory: str, generation: int, fsync_batch: int = 8):
+    def __init__(
+        self,
+        directory: str,
+        generation: int,
+        fsync_batch: int = 8,
+        binary: bool = True,
+    ):
         if fsync_batch < 1:
             raise ValueError(f"fsync_batch must be >= 1, got {fsync_batch}")
         self.generation = generation
         self.fsync_batch = fsync_batch
+        self.binary = binary
         self.path = wal_path(directory, generation)
         self.appended = 0
         self._since_sync = 0
         self._file = open(self.path, "wb")
-        header = json.dumps(
-            {"wal": WAL_FORMAT, "generation": generation},
-            separators=(",", ":"),
-        ).encode("utf-8")
-        self._file.write(_frame(header))
+        header = {
+            "wal": WAL_FORMAT_BINARY if binary else WAL_FORMAT,
+            "generation": generation,
+        }
+        self._file.write(_frame(self._serialize(header)))
         self._file.flush()
         os.fsync(self._file.fileno())
+
+    def _serialize(self, record: dict) -> bytes:
+        if self.binary:
+            return _binwire().dumps(record)
+        return json.dumps(record, separators=(",", ":")).encode("utf-8")
 
     # ------------------------------------------------------------------
     def append(self, record: dict) -> None:
         """Append one record; flushed now, fsynced once per batch."""
-        payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
-        self._file.write(_frame(payload))
+        self._file.write(_frame(self._serialize(record)))
         self._file.flush()
         self.appended += 1
         self._since_sync += 1
@@ -152,14 +179,25 @@ def read_update_log(
             os.fsync(handle.fileno())
     if not frames:
         return None, [], torn
+    binwire = _binwire()
+
+    def _deserialize(frame: bytes):
+        # Per-frame sniff: JSON and binwire frames may coexist in one log
+        # (a process upgraded between restarts appends binary frames to
+        # no log it did not itself open, but mixed *logs* in one dir do
+        # happen), and decode must accept both regardless of format.
+        if binwire.is_binary(frame):
+            return binwire.loads(frame)
+        return json.loads(frame)
+
     try:
-        header = json.loads(frames[0])
+        header = _deserialize(frames[0])
         generation = int(header["generation"])
-        if int(header.get("wal", 0)) != WAL_FORMAT:
+        if int(header.get("wal", 0)) not in (WAL_FORMAT, WAL_FORMAT_BINARY):
             raise WalCorruptionError(
                 f"{path}: unsupported WAL format {header.get('wal')!r}"
             )
-        records = [json.loads(frame) for frame in frames[1:]]
+        records = [_deserialize(frame) for frame in frames[1:]]
     except (ValueError, KeyError, TypeError) as exc:
         raise WalCorruptionError(f"{path}: undecodable frame: {exc}") from exc
     return generation, records, torn
@@ -168,6 +206,7 @@ def read_update_log(
 __all__ = [
     "UpdateLog",
     "WAL_FORMAT",
+    "WAL_FORMAT_BINARY",
     "read_update_log",
     "wal_generations",
     "wal_path",

@@ -87,6 +87,26 @@ CASE_DEFAULTS: dict = {
     "timeout": 120.0,
 }
 
+#: Codec pins a conformance case accepts: a single version for the whole
+#: fleet, ``auto`` (negotiate freely), or ``mixed`` -- a v3 warehouse
+#: against v1-only sources, the handshake-downgrade case.
+CODEC_CHOICES: tuple[str, ...] = ("auto", "1", "2", "3", "mixed")
+
+
+def _codec_configs(codec: str):
+    """(warehouse tcp_config, source tcp_config) for one codec pin."""
+    from repro.runtime.tcp import TcpChannelConfig
+
+    if codec == "auto":
+        return None, None
+    if codec == "mixed":
+        return (
+            TcpChannelConfig(codec_version=3),
+            TcpChannelConfig(codec_version=1),
+        )
+    config = TcpChannelConfig(codec_version=int(codec))
+    return config, config
+
 
 def run_case(
     algorithm: str,
@@ -99,6 +119,7 @@ def run_case(
     time_scale: float = CASE_DEFAULTS["time_scale"],
     timeout: float = CASE_DEFAULTS["timeout"],
     locality: str = "off",
+    codec: str = "auto",
 ) -> dict:
     """One (algorithm, profile, seed) conformance case as a flat row dict."""
     from repro.runtime import run_distributed
@@ -106,6 +127,15 @@ def run_case(
     if profile not in PROFILES:
         raise KeyError(
             f"unknown chaos profile {profile!r}; available: {sorted(PROFILES)}"
+        )
+    if codec not in CODEC_CHOICES:
+        raise ValueError(
+            f"unknown codec pin {codec!r}; available: {CODEC_CHOICES}"
+        )
+    if codec == "mixed" and algorithm in SHARDED_ALGORITHMS:
+        raise ValueError(
+            "mixed-version fleets are a distributed (non-sharded) case;"
+            f" {algorithm!r} cannot pin per-side codecs"
         )
     if algorithm in SHARDED_ALGORITHMS:
         claimed = SHARDED_ALGORITHMS[algorithm]["claimed"]
@@ -117,6 +147,7 @@ def run_case(
         "seed": seed,
         "transport": transport,
         "locality": locality,
+        "codec": codec,
         "claimed": claimed.name.lower(),
         "achieved": None,
         "ok": False,
@@ -142,6 +173,7 @@ def run_case(
             time_scale=time_scale,
             timeout=timeout,
             locality=locality,
+            codec=codec,
         )
     config = ExperimentConfig(
         algorithm=algorithm,
@@ -152,6 +184,7 @@ def run_case(
         check_consistency=True,
         locality=locality,
     )
+    tcp_config, source_tcp_config = _codec_configs(codec)
     try:
         result = run_distributed(
             config,
@@ -159,6 +192,8 @@ def run_case(
             time_scale=time_scale,
             timeout=timeout,
             chaos=profile,
+            tcp_config=tcp_config,
+            source_tcp_config=source_tcp_config,
         )
     except Exception as exc:  # noqa: BLE001 -- a crash is a conformance verdict
         row["error"] = f"{type(exc).__name__}: {exc}"
@@ -205,6 +240,7 @@ def _run_sharded_case(
     time_scale: float,
     timeout: float,
     locality: str = "off",
+    codec: str = "auto",
 ) -> dict:
     """Fill ``row`` from one sharded-runtime conformance run.
 
@@ -225,6 +261,7 @@ def _run_sharded_case(
         check_consistency=True,
         locality=locality,
     )
+    tcp_config, _ = _codec_configs(codec)
     try:
         result = run_sharded(
             config,
@@ -233,6 +270,7 @@ def _run_sharded_case(
             time_scale=time_scale,
             timeout=timeout,
             chaos=profile,
+            tcp_config=tcp_config,
             strategy="round-robin",
             replicas=spec.get("replicas", 0),
         )
@@ -278,6 +316,7 @@ def run_matrix(
     seeds: Sequence[int] = (0,),
     transport: str = "local",
     localities: Sequence[str] = ("off",),
+    codec: str = "auto",
     progress=None,
     **case_kwargs,
 ) -> dict:
@@ -286,11 +325,14 @@ def run_matrix(
     Locality modes beyond ``off`` only apply to the sweep-family
     schedulers (see :data:`repro.warehouse.locality.SUPPORTED_ALGORITHMS`);
     unsupported (algorithm, locality) combinations are skipped, not
-    failed.
+    failed.  The same applies to ``codec="mixed"`` and the sharded
+    cases, which cannot pin per-side codec versions.
     """
     rows = []
     for algorithm in algorithms:
         base = SHARDED_ALGORITHMS.get(algorithm, {}).get("algorithm", algorithm)
+        if codec == "mixed" and algorithm in SHARDED_ALGORITHMS:
+            continue
         for locality in localities:
             if locality != "off" and base not in LOCALITY_ALGORITHMS:
                 continue
@@ -302,6 +344,7 @@ def run_matrix(
                         seed,
                         transport=transport,
                         locality=locality,
+                        codec=codec,
                         **case_kwargs,
                     )
                     rows.append(row)
@@ -338,14 +381,15 @@ def format_report(report: dict) -> str:
     """Human-readable verdict table for one conformance report."""
     rows = report["rows"]
     table = format_table(
-        ["algorithm", "profile", "seed", "locality", "claimed", "achieved",
-         "faults", "installs", "stale", "batched", "verdict"],
+        ["algorithm", "profile", "seed", "locality", "codec", "claimed",
+         "achieved", "faults", "installs", "stale", "batched", "verdict"],
         [
             [
                 row["algorithm"],
                 row["profile"],
                 row["seed"],
                 row.get("locality", "off"),
+                row.get("codec", "auto"),
                 row["claimed"],
                 row["achieved"] or "-",
                 row["faults"],
@@ -370,6 +414,7 @@ def format_report(report: dict) -> str:
 __all__ = [
     "BATCHING_ALGORITHMS",
     "CASE_DEFAULTS",
+    "CODEC_CHOICES",
     "DEFAULT_ALGORITHMS",
     "DEFAULT_PROFILES",
     "SHARDED_ALGORITHMS",

@@ -94,6 +94,16 @@ REPLICA_OVERHEAD_TARGET = 0.15
 LOCALITY_SPEEDUP_TARGET = 2.0
 LOCALITY_MESSAGE_REDUCTION_TARGET = 3.0
 
+#: The codec row family pins the binary wire codec (v3) against the JSON
+#: flat-row codec (v2) on the message-bound saturated sweep workload --
+#: same run, same machine, so the ratios transfer to CI.  v3 earns its
+#: keep by either delivering updates faster over saturated TCP or by
+#: shrinking the pre-compression bytes shipped per update (either arm
+#: passes the gate; consistency must be unchanged either way).
+CODEC_VERSIONS = (2, 3)
+CODEC_SPEEDUP_TARGET = 1.3
+CODEC_BYTES_REDUCTION_TARGET = 2.0
+
 
 def run_cell(
     mode: str,
@@ -104,9 +114,11 @@ def run_cell(
     time_scale: float,
     timeout: float = 120.0,
     locality: str = "off",
+    codec_version: int | None = None,
 ) -> dict:
     """One (mode, transport, algorithm) measurement as a flat row dict."""
     from repro.runtime import run_distributed
+    from repro.runtime.tcp import TcpChannelConfig
 
     config = ExperimentConfig(
         algorithm=algorithm,
@@ -116,8 +128,17 @@ def run_cell(
         mean_interarrival=mean_interarrival,
         locality=locality,
     )
+    tcp_config = (
+        None
+        if codec_version is None
+        else TcpChannelConfig(codec_version=codec_version)
+    )
     result = run_distributed(
-        config, transport=transport, time_scale=time_scale, timeout=timeout
+        config,
+        transport=transport,
+        time_scale=time_scale,
+        timeout=timeout,
+        tcp_config=tcp_config,
     )
     counters = result.metrics.counters
     delivered = result.recorder.updates_delivered
@@ -127,6 +148,7 @@ def run_cell(
         "transport": transport,
         "algorithm": algorithm,
         "locality": locality,
+        "codec": codec_version,
         "updates": delivered,
         "installs": counters.get("installs", 0),
         "updates_installed": counters.get("updates_installed", 0),
@@ -134,7 +156,26 @@ def run_cell(
         "aux_hits": counters.get("locality_aux_hits", 0),
         "wall_seconds": round(result.wall_seconds, 4),
         "updates_per_sec": round(delivered / result.wall_seconds, 1),
+        **_wire_columns(counters, delivered),
         "consistency": level.name.lower() if level is not None else "none",
+    }
+
+
+def _wire_columns(counters: dict, delivered: int) -> dict:
+    """Wire-cost columns from the sender-side channel counters.
+
+    ``bytes_per_update`` divides the *pre-compression* serialized bytes
+    by the delivered updates: that is the codec's own footprint, with the
+    zlib frame compressor factored out (``wire_bytes_total`` keeps the
+    post-compression truth).  All three are zero on the local transport.
+    """
+    precompress = counters.get("wire_bytes_precompress", 0)
+    return {
+        "wire_bytes_total": counters.get("wire_bytes_total", 0),
+        "bytes_per_update": (
+            round(precompress / delivered, 1) if delivered else 0.0
+        ),
+        "encode_seconds": round(counters.get("encode_ns", 0) / 1e9, 4),
     }
 
 
@@ -148,6 +189,9 @@ def run_shard_cell(
     timeout: float = 120.0,
     durable: bool = False,
     replicas: int = 0,
+    transport: str = "local",
+    codec_version: int | None = None,
+    fsync_batch: int = 8,
 ) -> dict:
     """One sharded-runtime measurement (always the same workload).
 
@@ -158,6 +202,7 @@ def run_shard_cell(
     for speed shows up as a regression, not a win.
     """
     from repro.runtime import run_sharded
+    from repro.runtime.tcp import TcpChannelConfig
 
     config = ExperimentConfig(
         algorithm="sweep",
@@ -176,14 +221,21 @@ def run_shard_cell(
         kwargs["durable_dir"] = stack.name
     else:
         stack = None
+    tcp_config = (
+        None
+        if codec_version is None
+        else TcpChannelConfig(codec_version=codec_version)
+    )
     try:
         result = run_sharded(
             config,
             n_shards=n_shards,
-            transport="local",
+            transport=transport,
             time_scale=time_scale,
             timeout=timeout,
+            tcp_config=tcp_config,
             strategy="round-robin",
+            fsync_batch=fsync_batch,
             replicas=replicas,
             **kwargs,
         )
@@ -192,8 +244,10 @@ def run_shard_cell(
             stack.cleanup()
     counters = result.metrics.counters
     level = result.min_level()
-    suffix = ("+durable" if durable else "") + (
-        f"+r{replicas}" if replicas else ""
+    suffix = (
+        ("+durable" if durable else "")
+        + (f"+fsync{fsync_batch}" if fsync_batch != 8 else "")
+        + (f"+r{replicas}" if replicas else "")
     )
     # Distinct source updates reflected by *every* view.  The raw
     # ``updates_installed`` counter is shared across shards, so an update
@@ -209,9 +263,10 @@ def run_shard_cell(
         )
     return {
         "mode": "sharded",
-        "transport": "local",
+        "transport": transport,
         "algorithm": f"sweep@shards={n_shards}{suffix}",
         "locality": "off",
+        "codec": codec_version,
         "updates": result.updates_total,
         "installs": result.installs,
         "updates_installed": min(installed_per_view, default=0),
@@ -222,6 +277,7 @@ def run_shard_cell(
         "messages_total": counters.get("messages_total", 0),
         "wall_seconds": round(result.wall_seconds, 4),
         "updates_per_sec": round(result.updates_per_sec, 1),
+        **_wire_columns(counters, result.updates_total),
         "consistency": level.name.lower() if result.levels else "unchecked",
         "checkpoints": counters.get("checkpoints_written", 0),
     }
@@ -264,6 +320,34 @@ def run_suite(quick: bool = False) -> list[dict]:
     rows.append(run_shard_cell(2, replicas=1, **SHARD_MODE))
     if not quick:
         rows.append(run_shard_cell(4, replicas=1, **SHARD_MODE))
+    # Codec family: v2 (JSON flat rows) vs v3 (binary kernel) on the
+    # message-bound saturated sweep, plain on both transports and with
+    # the durable path on (checkpoint + WAL share the same kernel, so
+    # the durable pair measures the whole single-serialization claim).
+    for transport in TRANSPORTS:
+        for codec in CODEC_VERSIONS:
+            rows.append(
+                run_cell(
+                    "saturated",
+                    transport,
+                    "sweep",
+                    codec_version=codec,
+                    **MODES["saturated"],
+                )
+            )
+    for codec in CODEC_VERSIONS:
+        rows.append(
+            run_shard_cell(
+                1,
+                durable=True,
+                transport="tcp",
+                codec_version=codec,
+                **SHARD_MODE,
+            )
+        )
+    # Group commit: the durable shards=1 cell fsyncing once per 32
+    # appended updates instead of the default 8.
+    rows.append(run_shard_cell(1, durable=True, fsync_batch=32, **SHARD_MODE))
     return rows
 
 
@@ -271,6 +355,8 @@ def _row_key(row: dict) -> str:
     key = f"{row['mode']}/{row['transport']}/{row['algorithm']}"
     if row.get("locality", "off") != "off":
         key += f"+{row['locality']}"
+    if row.get("codec"):
+        key += f"@codec={row['codec']}"
     return key
 
 
@@ -298,6 +384,11 @@ def speedups(rows: list[dict]) -> dict[str, float]:
     if shard_base and shard_base["updates_per_sec"]:
         for row in rows:
             if row["mode"] != "sharded" or row is shard_base:
+                continue
+            # Codec-family shard cells run over TCP against their own
+            # same-codec twin (see codec_efficiency); they are not
+            # comparable to the local shards=1 base.
+            if row.get("codec") or row["transport"] != "local":
                 continue
             count = row["algorithm"].partition("@")[2]  # "shards=N[+durable]"
             out[f"sharded/local/{count}"] = round(
@@ -375,6 +466,83 @@ def locality_problems(
     return problems
 
 
+def codec_efficiency(rows: list[dict]) -> dict[str, float]:
+    """v3-over-v2 ratios for each codec row pair, from one run.
+
+    ``*/speedup`` is delivered updates/sec of the v3 cell over its v2
+    twin; ``*/bytes_reduction`` is the v2 cell's pre-compression bytes
+    per update over the v3 cell's (>1 means the binary codec ships fewer
+    bytes).  Byte ratios only exist where frames exist, i.e. on TCP.
+    """
+    by_key = {_row_key(r): r for r in rows}
+    pairs = {
+        "codec/local/sweep": "saturated/local/sweep@codec={v}",
+        "codec/tcp/sweep": "saturated/tcp/sweep@codec={v}",
+        "codec/tcp/durable": "sharded/tcp/sweep@shards=1+durable@codec={v}",
+    }
+    out = {}
+    for name, template in pairs.items():
+        v2 = by_key.get(template.format(v=2))
+        v3 = by_key.get(template.format(v=3))
+        if not v2 or not v3:
+            continue
+        if v2["updates_per_sec"]:
+            out[f"{name}/speedup"] = round(
+                v3["updates_per_sec"] / v2["updates_per_sec"], 2
+            )
+        if v3.get("bytes_per_update"):
+            out[f"{name}/bytes_reduction"] = round(
+                v2["bytes_per_update"] / v3["bytes_per_update"], 2
+            )
+    return out
+
+
+def codec_problems(
+    rows: list[dict],
+    min_speedup: float = CODEC_SPEEDUP_TARGET,
+    min_bytes_reduction: float = CODEC_BYTES_REDUCTION_TARGET,
+) -> list[str]:
+    """The codec acceptance gate, as regression messages.
+
+    The headline pair (saturated/tcp/sweep at codec 2 vs 3) must clear
+    *either* arm -- ``min_speedup`` on delivered updates/sec or
+    ``min_bytes_reduction`` on pre-compression bytes per update -- and
+    no codec pair may trade away its v2 twin's consistency verdict or
+    install count.
+    """
+    problems = []
+    ratios = codec_efficiency(rows)
+    speedup = ratios.get("codec/tcp/sweep/speedup")
+    reduction = ratios.get("codec/tcp/sweep/bytes_reduction")
+    if speedup is None or reduction is None:
+        problems.append("codec/tcp/sweep: codec rows missing from the suite")
+        return problems
+    if speedup < min_speedup and reduction < min_bytes_reduction:
+        problems.append(
+            f"codec/tcp/sweep: v3 clears neither gate arm"
+            f" ({speedup}x updates/sec < {min_speedup}x and"
+            f" {reduction}x bytes/update reduction < {min_bytes_reduction}x)"
+        )
+    by_key = {_row_key(r): r for r in rows}
+    for key, row in by_key.items():
+        if not key.endswith("@codec=3"):
+            continue
+        twin = by_key.get(key.replace("@codec=3", "@codec=2"))
+        if twin is None:
+            continue
+        if row["consistency"] != twin["consistency"]:
+            problems.append(
+                f"{key}: consistency {row['consistency']!r} differs from"
+                f" the codec-2 twin's {twin['consistency']!r}"
+            )
+        if row["updates_installed"] != twin["updates_installed"]:
+            problems.append(
+                f"{key}: installed {row['updates_installed']} updates, the"
+                f" codec-2 twin installed {twin['updates_installed']}"
+            )
+    return problems
+
+
 def durable_overhead(rows: list[dict]) -> float | None:
     """Fractional throughput lost to durability on the shards=1 cell."""
     by_key = {_row_key(r): r for r in rows}
@@ -415,9 +583,12 @@ def build_report(rows: list[dict], quick: bool = False) -> dict:
         "replica_overhead_target": REPLICA_OVERHEAD_TARGET,
         "locality_speedup_target": LOCALITY_SPEEDUP_TARGET,
         "locality_message_reduction_target": LOCALITY_MESSAGE_REDUCTION_TARGET,
+        "codec_speedup_target": CODEC_SPEEDUP_TARGET,
+        "codec_bytes_reduction_target": CODEC_BYTES_REDUCTION_TARGET,
         "rows": rows,
         "speedups": speedups(rows),
         "message_reductions": message_reductions(rows),
+        "codec_efficiency": codec_efficiency(rows),
         "durable_overhead": durable_overhead(rows),
         "replica_overhead": replica_overhead(rows),
     }
@@ -491,19 +662,21 @@ def compare_reports(
 def format_suite(rows: list[dict]) -> str:
     ratio = speedups(rows)
     table = format_table(
-        ["mode", "transport", "algorithm", "locality", "updates", "installs",
-         "wall s", "upd/s", "msgs", "consistency"],
+        ["mode", "transport", "algorithm", "locality", "codec", "updates",
+         "installs", "wall s", "upd/s", "msgs", "B/upd", "consistency"],
         [
             [
                 row["mode"],
                 row["transport"],
                 row["algorithm"],
                 row.get("locality", "off"),
+                row.get("codec") or "-",
                 row["updates"],
                 row["installs"],
                 row["wall_seconds"],
                 row["updates_per_sec"],
                 row["messages_total"],
+                row.get("bytes_per_update", 0.0) or "-",
                 row["consistency"],
             ]
             for row in rows
@@ -515,6 +688,8 @@ def format_suite(rows: list[dict]) -> str:
         lines.append(f"speedup[{key}] = {value}x")
     for key, value in sorted(message_reductions(rows).items()):
         lines.append(f"message reduction[{key}] = {value}x")
+    for key, value in sorted(codec_efficiency(rows).items()):
+        lines.append(f"codec[{key}] = {value}x")
     lines.append(
         f"floor: saturated/local batched >= {SPEEDUP_TARGET}x"
         f" {BASELINE_UPDATES_PER_SEC} upd/s"
@@ -536,12 +711,22 @@ def format_suite(rows: list[dict]) -> str:
             f"hot-standby overhead = {r_overhead:.1%} (budget"
             f" {REPLICA_OVERHEAD_TARGET:.0%} of the replica-less twin)"
         )
+    if codec_efficiency(rows):
+        lines.append(
+            f"floor: codec v3 on saturated/tcp/sweep >="
+            f" {CODEC_SPEEDUP_TARGET}x updates/sec OR"
+            f" {CODEC_BYTES_REDUCTION_TARGET}x bytes/update reduction"
+            " over the same-run v2 twin"
+        )
     return "\n".join(lines)
 
 
 __all__ = [
     "ALGORITHMS",
     "BASELINE_UPDATES_PER_SEC",
+    "CODEC_BYTES_REDUCTION_TARGET",
+    "CODEC_SPEEDUP_TARGET",
+    "CODEC_VERSIONS",
     "DURABLE_OVERHEAD_TARGET",
     "LOCALITY_MESSAGE_REDUCTION_TARGET",
     "LOCALITY_SPEEDUP_TARGET",
@@ -554,6 +739,8 @@ __all__ = [
     "SPEEDUP_TARGET",
     "TRANSPORTS",
     "build_report",
+    "codec_efficiency",
+    "codec_problems",
     "compare_reports",
     "durable_overhead",
     "format_suite",

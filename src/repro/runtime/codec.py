@@ -13,9 +13,9 @@ with simulator metrics.
 
 Codec versions
 --------------
-Two row encodings exist, negotiated per channel during the TCP handshake
-(see :mod:`repro.runtime.tcp`) and selectable via ``WireCodec(view,
-version=...)``:
+Three codec versions exist, negotiated per channel during the TCP
+handshake (see :mod:`repro.runtime.tcp`) and selectable via
+``WireCodec(view, version=...)``:
 
 * **v1** (default): ``[[row values], count]`` per row -- verbose but
   self-describing.
@@ -24,9 +24,18 @@ version=...)``:
   schema both endpoints already share; for the small tuples this protocol
   ships, dropping the per-row array nesting roughly halves the JSON byte
   volume and the encode/parse work.
+* **v3**: the v2 *object layout* serialized through the binary kernel
+  (:mod:`repro.runtime.binwire`) instead of JSON -- type-tagged scalars,
+  per-frame string interning, varint counts, and the same batched
+  ``arity + 1`` flat row blocks.  v3 changes how a *frame* is serialized,
+  not the message objects inside it, so this module's encode path for
+  ``version >= 2`` covers it unchanged; the transport picks the frame
+  serializer (see ``write_frame``/``read_frame`` in
+  :mod:`repro.runtime.tcp`).
 
-Decoding is version-agnostic -- the two shapes are distinguishable (list
-vs. object), so a decoder accepts either regardless of its configured
+Decoding is version-agnostic -- v1/v2 shapes are distinguishable (list
+vs. object) and binwire frames are distinguishable from JSON by their
+first byte, so a decoder accepts any version regardless of its configured
 version.  Only *encoding* follows the negotiated version, which is what
 makes the handshake downgrade-safe.
 """
@@ -58,8 +67,14 @@ from repro.sources.messages import (
 )
 
 
-#: Highest row-encoding version this codec implements.
-CODEC_VERSION_MAX = 2
+#: Highest codec version this runtime implements (and will accept in a
+#: handshake).
+CODEC_VERSION_MAX = 3
+
+#: Version a channel *advertises* by default.  v3 is implemented but held
+#: at opt-in (``--codec-version 3``) until the bench gate keeps it honest;
+#: decode accepts all versions regardless.
+CODEC_VERSION_DEFAULT = 2
 
 
 def _encode_rows(bag, version: int = 1):
@@ -374,4 +389,4 @@ class WireCodec:
         return Delta(schema, _decode_counts(rows, len(schema)))
 
 
-__all__ = ["CODEC_VERSION_MAX", "WireCodec"]
+__all__ = ["CODEC_VERSION_DEFAULT", "CODEC_VERSION_MAX", "WireCodec"]

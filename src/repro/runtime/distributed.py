@@ -133,10 +133,16 @@ async def _wire_tcp(
     host: str,
     tcp_config: TcpChannelConfig | None,
     chaos: ChaosConfig | None = None,
+    source_tcp_config: TcpChannelConfig | None = None,
 ) -> _System:
     view = workload.view
     info = algorithm_info(config.algorithm)
     system = _System()
+    # Mixed-fleet knob: sources may run a different transport config than
+    # the warehouse (e.g. a v1-only source against a v3 warehouse -- the
+    # handshake then negotiates each pair down independently).
+    if source_tcp_config is None:
+        source_tcp_config = tcp_config
     if chaos is not None and chaos.active:
         system.chaos_stats = ChaosStats()
 
@@ -177,7 +183,7 @@ async def _wire_tcp(
             metrics=metrics,
             trace=trace,
             listen_host=host,
-            tcp_config=tcp_config,
+            tcp_config=source_tcp_config,
         )
         await central_node.start()
         warehouse_node = WarehouseNode(
@@ -242,7 +248,7 @@ async def _wire_tcp(
             metrics=metrics,
             trace=trace,
             listen_host=host,
-            tcp_config=tcp_config,
+            tcp_config=source_tcp_config,
         )
         await node.start()
         node.server.add_update_listener(recorder.on_source_update)
@@ -403,6 +409,7 @@ async def run_distributed_async(
     timeout: float = 60.0,
     tcp_config: TcpChannelConfig | None = None,
     chaos: "ChaosConfig | str | None" = None,
+    source_tcp_config: TcpChannelConfig | None = None,
 ) -> DistributedRunResult:
     """Run one distributed experiment to quiescence on the current loop.
 
@@ -413,6 +420,12 @@ async def run_distributed_async(
     crash-restart blackouts), so protocol code still sees exactly-once
     in-order delivery -- the run should end in the same state as a
     healthy one, just later.
+
+    ``source_tcp_config`` (TCP transport only) gives the source nodes a
+    different transport config than the warehouse -- the mixed-fleet
+    case, e.g. a warehouse advertising codec v3 against sources that
+    only speak v1; each channel pair negotiates down independently.
+    Defaults to ``tcp_config`` (a homogeneous fleet).
     """
     if transport not in ("tcp", "local"):
         raise ValueError(f"unknown transport {transport!r}")
@@ -440,6 +453,7 @@ async def run_distributed_async(
             host,
             tcp_config,
             chaos,
+            source_tcp_config=source_tcp_config,
         )
     else:
         system = _wire_local(
@@ -503,6 +517,7 @@ def run_distributed(
     timeout: float = 60.0,
     tcp_config: TcpChannelConfig | None = None,
     chaos: "ChaosConfig | str | None" = None,
+    source_tcp_config: TcpChannelConfig | None = None,
 ) -> DistributedRunResult:
     """Blocking wrapper: run one distributed experiment in a fresh loop."""
     return asyncio.run(
@@ -514,6 +529,7 @@ def run_distributed(
             timeout=timeout,
             tcp_config=tcp_config,
             chaos=chaos,
+            source_tcp_config=source_tcp_config,
         )
     )
 
@@ -557,6 +573,7 @@ async def serve_warehouse_async(
     probe: bool = True,
     durable_dir: str | None = None,
     checkpoint_policy=None,
+    fsync_batch: int = 8,
 ) -> DistributedRunResult:
     """Host the warehouse site of a multi-process deployment.
 
@@ -604,6 +621,7 @@ async def serve_warehouse_async(
         locality=build_locality(config, [view], workload.initial_states),
         durable_dir=durable_dir,
         checkpoint_policy=checkpoint_policy,
+        fsync_batch=fsync_batch,
     )
     await node.start()
     print(f"warehouse[{config.algorithm}] listening on {node.address[0]}:{node.address[1]}")

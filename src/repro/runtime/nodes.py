@@ -21,7 +21,7 @@ from __future__ import annotations
 from repro.consistency.oracle import RunRecorder
 from repro.relational.relation import Relation
 from repro.relational.view import ViewDefinition
-from repro.runtime.codec import WireCodec
+from repro.runtime.codec import CODEC_VERSION_MAX, WireCodec
 from repro.runtime.kernel import AsyncRuntime
 from repro.runtime.tcp import ChannelListener, TcpChannel, TcpChannelConfig
 from repro.simulation.mailbox import Mailbox
@@ -31,6 +31,17 @@ from repro.sources.base import SourceBackend
 from repro.sources.central import CentralSource
 from repro.sources.server import DataSourceServer
 from repro.warehouse.registry import algorithm_info
+
+
+def _listener_codec_cap(tcp_config: TcpChannelConfig | None) -> int:
+    """The codec version a node's listener welcomes.
+
+    A node configured with ``--codec-version`` speaks at most that
+    version in *both* directions -- outbound channels advertise it,
+    and the inbound listener caps its welcome with it.  An unconfigured
+    node accepts whatever the peer can speak.
+    """
+    return CODEC_VERSION_MAX if tcp_config is None else tcp_config.codec_version
 
 
 class SourceNode:
@@ -73,7 +84,12 @@ class SourceNode:
             query_service_time=query_service_time,
             trace=trace,
         )
-        self.listener = ChannelListener(runtime, listen_host, listen_port)
+        self.listener = ChannelListener(
+            runtime,
+            listen_host,
+            listen_port,
+            codec_version_max=_listener_codec_cap(tcp_config),
+        )
         self.listener.register(f"wh->{self.name}", self.server.query_inbox, self.codec)
 
     async def start(self) -> None:
@@ -133,7 +149,12 @@ class CentralSourceNode:
             query_service_time=query_service_time,
             trace=trace,
         )
-        self.listener = ChannelListener(runtime, listen_host, listen_port)
+        self.listener = ChannelListener(
+            runtime,
+            listen_host,
+            listen_port,
+            codec_version_max=_listener_codec_cap(tcp_config),
+        )
         self.listener.register("wh->central", self.source.query_inbox, self.codec)
 
     async def start(self) -> None:
@@ -204,7 +225,11 @@ class WarehouseNode:
         # sources' listeners reset their FIFO expectations to its hellos.
         epoch = state.generation + 1 if state is not None else 0
         self.listener = ChannelListener(
-            runtime, listen_host, listen_port, adopt_next=state is not None
+            runtime,
+            listen_host,
+            listen_port,
+            adopt_next=state is not None,
+            codec_version_max=_listener_codec_cap(tcp_config),
         )
         if self.info.architecture == "centralized":
             inbound = ["central->wh"]

@@ -83,6 +83,7 @@ from repro.runtime.chaos import (
 from repro.runtime.codec import WireCodec
 from repro.runtime.errors import RuntimeHostError, TransportRetriesExceeded
 from repro.runtime.kernel import AsyncRuntime
+from repro.runtime.nodes import _listener_codec_cap
 from repro.runtime.tcp import (
     ChannelListener,
     TcpChannel,
@@ -545,7 +546,11 @@ class ShardNode:
             self.inbox = Mailbox(runtime, f"{label}-inbox")
         epoch = state.generation + 1 if state is not None else 0
         self.listener = ChannelListener(
-            runtime, listen_host, listen_port, adopt_next=state is not None
+            runtime,
+            listen_host,
+            listen_port,
+            adopt_next=state is not None,
+            codec_version_max=_listener_codec_cap(tcp_config),
         )
         for index in range(1, primary.n_relations + 1):
             self.listener.register(
@@ -660,7 +665,12 @@ class ShardedSourceNode:
             query_service_time=query_service_time,
             trace=trace,
         )
-        self.listener = ChannelListener(runtime, listen_host, listen_port)
+        self.listener = ChannelListener(
+            runtime,
+            listen_host,
+            listen_port,
+            codec_version_max=_listener_codec_cap(tcp_config),
+        )
         for key in sorted(shard_addresses):
             self.listener.register(
                 f"{_member_label(key)}->{self.name}",
@@ -909,6 +919,7 @@ async def run_sharded_async(
     strategy: str = "hash",
     durable_dir: str | None = None,
     checkpoint_policy: CheckpointPolicy | None = None,
+    fsync_batch: int = 8,
     crash_plans: "dict[int, CrashPlan] | None" = None,
     replicas: int = 0,
     failover: FailoverSpec | None = None,
@@ -1111,6 +1122,7 @@ async def run_sharded_async(
                     warehouses[member],
                     _member_dir(member),
                     policy=checkpoint_policy,
+                    fsync_batch=fsync_batch,
                     crash_plan=(
                         crash_plans.get(member.shard)
                         if member.is_primary
@@ -1170,6 +1182,7 @@ async def run_sharded_async(
                 tcp_config=tcp_config,
                 durable_dir=_member_dir(member),
                 checkpoint_policy=checkpoint_policy,
+                fsync_batch=fsync_batch,
                 crash_plan=(
                     crash_plans.get(member.shard)
                     if member.is_primary
@@ -1378,6 +1391,7 @@ def run_sharded(
     strategy: str = "hash",
     durable_dir: str | None = None,
     checkpoint_policy: CheckpointPolicy | None = None,
+    fsync_batch: int = 8,
     crash_plans: "dict[int, CrashPlan] | None" = None,
     replicas: int = 0,
     failover: FailoverSpec | None = None,
@@ -1397,6 +1411,7 @@ def run_sharded(
             strategy=strategy,
             durable_dir=durable_dir,
             checkpoint_policy=checkpoint_policy,
+            fsync_batch=fsync_batch,
             crash_plans=crash_plans,
             replicas=replicas,
             failover=failover,
@@ -1424,6 +1439,7 @@ async def serve_shard_async(
     verify: bool = True,
     durable_dir: str | None = None,
     checkpoint_policy: CheckpointPolicy | None = None,
+    fsync_batch: int = 8,
     replica: int = 0,
     seed_from: str | None = None,
 ) -> ShardedRunResult:
@@ -1499,6 +1515,7 @@ async def serve_shard_async(
         tcp_config=tcp_config,
         durable_dir=durable_dir,
         checkpoint_policy=checkpoint_policy,
+        fsync_batch=fsync_batch,
         member=member,
     )
     await node.start()

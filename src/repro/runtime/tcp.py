@@ -1,11 +1,14 @@
-"""TCP transport: length-prefixed JSON frames with FIFO sessions.
+"""TCP transport: length-prefixed frames with FIFO sessions.
 
 Wire format
 -----------
-Every frame is a 4-byte big-endian length followed by a UTF-8 JSON object.
-The length's most significant bit flags a zlib-compressed body (large
-snapshot payloads shrink by an order of magnitude); the remaining 31 bits
-are the on-wire body length.  Five frame types flow on a connection::
+Every frame is a 4-byte big-endian length followed by a frame body: a
+UTF-8 JSON object on codec <= 2 sessions, a :mod:`repro.runtime.binwire`
+document on codec >= 3 sessions.  The length's most significant bit flags
+a zlib-compressed body (large snapshot payloads shrink by an order of
+magnitude); the remaining 31 bits are the on-wire body length.  The
+compression threshold applies to the serialized body whichever serializer
+produced it.  Five frame types flow on a connection::
 
     {"t": "hello",   "channel": name, "next": seq,
      "codec": max_version, "epoch": e?}              sender -> receiver
@@ -14,12 +17,16 @@ are the on-wire body length.  Five frame types flow on a connection::
     {"t": "mb",      "frames": [{"seq", "m"}, ...]}  sender -> receiver
     {"t": "ack",     "seq": n}                       receiver -> sender
 
-``codec`` negotiates the row encoding (see :mod:`repro.runtime.codec`):
+``codec`` negotiates the codec version (see :mod:`repro.runtime.codec`):
 each side advertises the highest version it speaks and both use the
 minimum, so either endpoint may be upgraded first.  A pre-negotiation
 peer omits the key and is treated as version 1, which also disables the
 ``mb`` (message batch) framing and compression -- the fast path is taken
-only when both ends opted in.
+only when both ends opted in.  Handshake and ack frames are always JSON
+(they predate negotiation or must be readable by any peer); only
+``msg``/``mb`` bodies switch serializers, and :func:`read_frame` sniffs
+the body's first byte (binwire's magic ``0xB3`` can never start compact
+JSON), so decode stays downgrade-safe without any frame-level flag.
 
 The **fast path**: protocol messages accepted by ``send`` while the
 writer task was busy are flushed as one ``mb`` frame -- one JSON
@@ -73,7 +80,8 @@ import zlib
 from collections import deque
 from dataclasses import dataclass
 
-from repro.runtime.codec import CODEC_VERSION_MAX, WireCodec
+from repro.runtime import binwire
+from repro.runtime.codec import CODEC_VERSION_DEFAULT, CODEC_VERSION_MAX, WireCodec
 from repro.runtime.errors import (
     TransportOverflowError,
     TransportRetriesExceeded,
@@ -91,10 +99,12 @@ _COMPRESSED_FLAG = 0x80000000
 
 
 async def read_frame(reader: asyncio.StreamReader, timeout: float | None = None) -> dict:
-    """Read one length-prefixed JSON frame (raises on EOF/oversize/timeout).
+    """Read one length-prefixed frame (raises on EOF/oversize/timeout).
 
     A set MSB in the length prefix marks a zlib-compressed body; readers
     always accept both, so compression needs no negotiation of its own.
+    The (decompressed) body's first byte picks the deserializer -- binwire
+    magic or JSON -- so a reader accepts frames from any codec version.
     """
 
     async def _read() -> dict:
@@ -108,8 +118,10 @@ async def read_frame(reader: asyncio.StreamReader, timeout: float | None = None)
         try:
             if compressed:
                 body = zlib.decompress(body)
+            if binwire.is_binary(body):
+                return binwire.loads(body)
             return json.loads(body)
-        except (json.JSONDecodeError, zlib.error) as exc:
+        except (json.JSONDecodeError, binwire.BinwireError, zlib.error) as exc:
             raise WireProtocolError(f"undecodable frame: {exc}") from exc
 
     if timeout is None:
@@ -121,19 +133,29 @@ def write_frame(
     writer: asyncio.StreamWriter,
     obj: dict,
     compress_min: int | None = None,
-) -> None:
+    binary: bool = False,
+) -> tuple[int, int]:
     """Serialize one frame onto ``writer`` (caller drains).
 
-    Bodies of at least ``compress_min`` bytes are zlib-compressed and
-    flagged via the length prefix's MSB; ``None`` disables compression.
+    ``binary=True`` serializes through :mod:`repro.runtime.binwire` (the
+    codec v3 body format) instead of JSON.  Bodies of at least
+    ``compress_min`` bytes are zlib-compressed and flagged via the length
+    prefix's MSB; ``None`` disables compression.  Returns ``(raw_len,
+    wire_len)`` -- serialized body bytes before and after compression --
+    for the caller's byte accounting.
     """
-    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
-    if compress_min is not None and len(body) >= compress_min:
+    if binary:
+        body = binwire.dumps(obj)
+    else:
+        body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    raw_len = len(body)
+    if compress_min is not None and raw_len >= compress_min:
         packed = zlib.compress(body, 1)
-        if len(packed) < len(body):
+        if len(packed) < raw_len:
             writer.write(_HEADER.pack(len(packed) | _COMPRESSED_FLAG) + packed)
-            return
-    writer.write(_HEADER.pack(len(body)) + body)
+            return raw_len, len(packed)
+    writer.write(_HEADER.pack(raw_len) + body)
+    return raw_len, raw_len
 
 
 @dataclass(frozen=True)
@@ -148,7 +170,9 @@ class TcpChannelConfig:
     backoff_max: float = 2.0
     max_queue: int = 1024
     #: Advertised codec version (handshake settles on the pairwise min).
-    codec_version: int = CODEC_VERSION_MAX
+    #: Also caps what this node's *listener* welcomes, so it is a true
+    #: speak-at-most knob in both directions.
+    codec_version: int = CODEC_VERSION_DEFAULT
     #: Compress frame bodies at least this large (None disables).  Only
     #: effective once the peer negotiated codec >= 2.
     compress_min_bytes: int | None = 16 * 1024
@@ -343,11 +367,15 @@ class TcpChannel(RuntimeChannel):
                     f"channel {self.name!r}: expected welcome, got {welcome!r}"
                 )
             self._rewind(int(welcome["expect"]))
-            # Settle on the pairwise-minimum row encoding; a peer that
+            # Settle on the pairwise-minimum codec version; a peer that
             # predates negotiation omits the key and gets version 1.
             self.negotiated_codec = max(
                 1, min(cfg.codec_version, int(welcome.get("codec", 1)))
             )
+            if self.metrics is not None:
+                self.metrics.increment(
+                    f"wire_sessions_v{self.negotiated_codec}"
+                )
             self._session_established = True
 
             # A plain task (not runtime-guarded): a dropped connection here
@@ -382,11 +410,13 @@ class TcpChannel(RuntimeChannel):
         """Flush every accepted message; the caller drains once.
 
         On a codec>=2 session a multi-message burst leaves as a single
-        ``mb`` frame -- one serialization, one write, one ack.
+        ``mb`` frame -- one serialization, one write, one ack.  Codec>=3
+        sessions serialize frame bodies through binwire instead of JSON.
         """
         if not self._pending:
             return
         version = self.negotiated_codec
+        binary = version >= 3
         compress_min = (
             self.config.compress_min_bytes if version >= 2 else None
         )
@@ -395,21 +425,33 @@ class TcpChannel(RuntimeChannel):
             entry = self._pending.popleft()
             self._inflight.append(entry)
             burst.append(entry)
+        started = time.perf_counter_ns()
+        raw_total = wire_total = 0
         if version >= 2 and len(burst) > 1:
             frames = [
                 {"seq": seq, "m": self.codec.encode_message(message, version)}
                 for seq, message in burst
             ]
-            write_frame(writer, {"t": "mb", "frames": frames}, compress_min)
+            raw_total, wire_total = write_frame(
+                writer, {"t": "mb", "frames": frames}, compress_min, binary
+            )
             self.batches_sent += 1
-            return
-        for seq, message in burst:
-            frame = {
-                "t": "msg",
-                "seq": seq,
-                "m": self.codec.encode_message(message, version),
-            }
-            write_frame(writer, frame, compress_min)
+        else:
+            for seq, message in burst:
+                frame = {
+                    "t": "msg",
+                    "seq": seq,
+                    "m": self.codec.encode_message(message, version),
+                }
+                raw, wire = write_frame(writer, frame, compress_min, binary)
+                raw_total += raw
+                wire_total += wire
+        if self.metrics is not None:
+            self.metrics.increment("wire_bytes_precompress", raw_total)
+            self.metrics.increment("wire_bytes_total", wire_total)
+            self.metrics.increment(
+                "encode_ns", time.perf_counter_ns() - started
+            )
 
     async def _wait_for_work(self, ack_task: asyncio.Task) -> None:
         """Sleep until there is something to send or the connection died."""
@@ -459,11 +501,15 @@ class ChannelListener:
         host: str = "127.0.0.1",
         port: int = 0,
         adopt_next: bool = False,
+        codec_version_max: int = CODEC_VERSION_MAX,
     ):
         self.runtime = runtime
         self.host = host
         self.port = port
         self.adopt_next = adopt_next
+        #: highest codec version this node welcomes (inbound direction of
+        #: the ``--codec-version`` knob; decode still accepts everything).
+        self.codec_version_max = max(1, min(CODEC_VERSION_MAX, codec_version_max))
         self._registrations: dict[str, tuple[Mailbox, WireCodec]] = {}
         self._expect: dict[str, int] = {}
         #: highest crash-restart epoch seen per channel.
@@ -531,7 +577,7 @@ class ChannelListener:
                     "t": "welcome",
                     "expect": self._expect[name],
                     "codec": max(
-                        1, min(CODEC_VERSION_MAX, int(hello.get("codec", 1)))
+                        1, min(self.codec_version_max, int(hello.get("codec", 1)))
                     ),
                 },
             )

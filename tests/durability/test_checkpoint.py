@@ -63,7 +63,9 @@ def test_load_latest_empty_directory(tmp_path):
 
 def test_corrupt_newest_raises_not_falls_back(tmp_path, paper_view):
     _checkpoint(paper_view, generation=1).write(str(tmp_path))
-    newest = _checkpoint(paper_view, generation=3).write(str(tmp_path))
+    newest = _checkpoint(paper_view, generation=3).write(
+        str(tmp_path), binary=False
+    )
     envelope = json.loads(open(newest, encoding="utf-8").read())
     envelope["body"]["installs"] += 1  # body no longer matches the CRC
     with open(newest, "w", encoding="utf-8") as handle:
@@ -72,8 +74,23 @@ def test_corrupt_newest_raises_not_falls_back(tmp_path, paper_view):
         ViewCheckpoint.load_latest(str(tmp_path))
 
 
+def test_corrupt_newest_binary_raises_not_falls_back(tmp_path, paper_view):
+    from repro.runtime import binwire
+
+    _checkpoint(paper_view, generation=1).write(str(tmp_path))
+    newest = _checkpoint(paper_view, generation=3).write(str(tmp_path))
+    envelope = binwire.loads(open(newest, "rb").read())
+    body = binwire.loads(envelope["body"])
+    body["installs"] += 1  # body no longer matches the CRC
+    envelope["body"] = binwire.dumps(body)
+    with open(newest, "wb") as handle:
+        handle.write(binwire.dumps(envelope))
+    with pytest.raises(CheckpointCorruptionError, match="fails CRC"):
+        ViewCheckpoint.load_latest(str(tmp_path))
+
+
 def test_unsupported_format_raises(tmp_path, paper_view):
-    path = _checkpoint(paper_view).write(str(tmp_path))
+    path = _checkpoint(paper_view).write(str(tmp_path), binary=False)
     envelope = json.loads(open(path, encoding="utf-8").read())
     envelope["format"] = 99
     with open(path, "w", encoding="utf-8") as handle:

@@ -1,0 +1,109 @@
+"""Durable-format compatibility: JSON-era directories recover unchanged.
+
+The binary kernel changed what new checkpoints and WAL frames look like
+on disk, not what they mean: a directory written entirely by the JSON
+formats (checkpoint envelope format 1, WAL format 1), one written by the
+binary formats, and a mixed directory left behind by an upgrade must all
+load to the same recovered state.
+"""
+
+import json
+
+import pytest
+
+from repro.durability import UpdateLog, load_state
+from repro.durability.checkpoint import ViewCheckpoint, checkpoint_path
+from repro.durability.wal import WAL_FORMAT, WAL_FORMAT_BINARY, read_update_log
+from repro.relational.delta import Delta
+from repro.sources.messages import UpdateNotice
+from tests.durability.test_checkpoint import _checkpoint
+
+
+def _notice(seq: int, paper_view, source: int = 1) -> UpdateNotice:
+    delta = Delta(paper_view.schema_of(source))
+    delta.add((seq, seq + 1), +1)
+    return UpdateNotice(source_index=source, seq=seq, delta=delta)
+
+
+def _populate(directory: str, paper_view, binary: bool) -> None:
+    _checkpoint(paper_view, generation=2).write(directory, binary=binary)
+    log = UpdateLog(directory, generation=2, binary=binary)
+    log.append_notice(_notice(5, paper_view))
+    log.append_notice(_notice(2, paper_view, source=2))
+    log.close()
+
+
+def _fingerprint(state) -> tuple:
+    return (
+        state.generation,
+        [(n.source_index, n.seq) for n in state.pending],
+        dict(state.delivered_marks),
+        dict(state.applied_counts),
+        state.wal_records,
+        state.request_watermark,
+    )
+
+
+def test_json_and_binary_directories_recover_identically(tmp_path, paper_view):
+    json_dir, bin_dir = str(tmp_path / "json"), str(tmp_path / "bin")
+    for directory, binary in ((json_dir, False), (bin_dir, True)):
+        (tmp_path / ("bin" if binary else "json")).mkdir()
+        _populate(directory, paper_view, binary)
+    json_state = load_state(json_dir, [paper_view])
+    bin_state = load_state(bin_dir, [paper_view])
+    assert _fingerprint(json_state) == _fingerprint(bin_state)
+    assert json_state.view_states["V"] == bin_state.view_states["V"]
+
+
+def test_json_era_artifacts_really_are_json(tmp_path, paper_view):
+    """Guard the *legacy* writer: ``binary=False`` must keep emitting the
+    v2 on-disk formats an old reader understands, byte-level."""
+    _populate(str(tmp_path), paper_view, binary=False)
+    envelope = json.loads(
+        open(checkpoint_path(str(tmp_path), 2), encoding="utf-8").read()
+    )
+    assert envelope["format"] == 1
+    generation, records, torn = read_update_log(
+        str(tmp_path / "update-00000002.wal")
+    )
+    assert (generation, len(records), torn) == (2, 2, 0)
+    header = open(str(tmp_path / "update-00000002.wal"), "rb").read()
+    assert b'"wal"' in header  # JSON header frame, not binwire
+
+
+def test_upgraded_directory_mixes_formats_and_recovers(tmp_path, paper_view):
+    """A JSON-era directory a binary-writing node checkpoints into: the
+    newest (binary) generation wins; older JSON artifacts stay readable."""
+    _populate(str(tmp_path), paper_view, binary=False)
+    _checkpoint(paper_view, generation=4).write(str(tmp_path), binary=True)
+    log = UpdateLog(str(tmp_path), generation=4, binary=True)
+    log.append_notice(_notice(6, paper_view))
+    log.close()
+    state = load_state(str(tmp_path), [paper_view])
+    assert state.generation == 4
+    assert [(n.source_index, n.seq) for n in state.pending] == [(1, 4), (1, 6)]
+    # The superseded JSON checkpoint is still individually loadable.
+    old = ViewCheckpoint.load(checkpoint_path(str(tmp_path), 2))
+    assert old.generation == 2
+
+
+@pytest.mark.parametrize("binary", [False, True], ids=["json", "binary"])
+def test_wal_header_format_matches_writer(tmp_path, paper_view, binary):
+    log = UpdateLog(str(tmp_path), generation=1, binary=binary)
+    log.append_notice(_notice(1, paper_view))
+    log.close()
+    generation, records, _ = read_update_log(str(tmp_path / "update-00000001.wal"))
+    assert generation == 1 and len(records) == 1
+    import struct
+    import zlib  # noqa: F401  (frame layout doc)
+
+    data = open(str(tmp_path / "update-00000001.wal"), "rb").read()
+    length, _crc = struct.unpack_from("!II", data, 0)
+    header = json.loads(data[8 : 8 + length]) if not binary else None
+    if binary:
+        from repro.runtime import binwire
+
+        header = binwire.loads(data[8 : 8 + length])
+        assert header["wal"] == WAL_FORMAT_BINARY
+    else:
+        assert header["wal"] == WAL_FORMAT
