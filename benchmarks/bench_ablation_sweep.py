@@ -23,4 +23,7 @@ def bench_ablation_sweep_variants(benchmark, save_result):
     # The parallel sweep wins on install latency...
     assert by["parallel"]["mean_install_lag"] < by["sequential"]["mean_install_lag"]
     # ... and pipelining wins big: sweeps overlap instead of queueing.
-    assert by["pipelined"]["mean_install_lag"] < by["sequential"]["mean_install_lag"] / 2
+    assert (
+        by["pipelined"]["mean_install_lag"]
+        < by["sequential"]["mean_install_lag"] / 2
+    )

@@ -28,5 +28,8 @@ def bench_ablation_termination(benchmark, save_result):
     assert by[0]["depth_limit_hits"] > 0
 
     # The guard trades messages for install granularity.
-    assert by[0]["queries_total"] >= by[1]["queries_total"] >= by["unbounded"]["queries_total"]
+    assert (
+        by[0]["queries_total"] >= by[1]["queries_total"]
+        >= by["unbounded"]["queries_total"]
+    )
     assert by[0]["installs"] >= by[1]["installs"] >= by["unbounded"]["installs"]

@@ -11,7 +11,6 @@ import random
 from repro.relational.algebra import join
 from repro.relational.delta import Delta
 from repro.relational.incremental import PartialView
-from repro.relational.relation import Relation
 from repro.sources.memory import MemoryBackend
 from repro.sources.sqlite import SqliteBackend
 from repro.workloads.data_gen import generate_initial_states

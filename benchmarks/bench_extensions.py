@@ -10,7 +10,6 @@
 
 from benchmarks.conftest import run_once
 from repro.consistency.atomicity import check_transaction_atomicity
-from repro.consistency.levels import ConsistencyLevel
 from repro.harness.config import ExperimentConfig
 from repro.harness.report import format_dict_table
 from repro.harness.runner import run_experiment

@@ -68,7 +68,10 @@ def build_workload() -> Workload:
             # a cancellation + replacement, atomically
             ScheduledUpdate(
                 12.0,
-                Transaction().delete((1002, 2, 10)).insert((1007, 2, 11)).as_delta(ORDERS),
+                Transaction()
+                .delete((1002, 2, 10))
+                .insert((1007, 2, 11))
+                .as_delta(ORDERS),
             ),
         ],
         # catalog: a price change is a modify = delete + insert

@@ -108,7 +108,9 @@ def nested_updates_per_install(n: int, lam: float, latency: float) -> float:
 # ECA
 # ---------------------------------------------------------------------------
 
-def eca_expected_pending(lam: float, latency: float, service_time: float = 0.0) -> float:
+def eca_expected_pending(
+    lam: float, latency: float, service_time: float = 0.0
+) -> float:
     """Expected in-flight queries when a new update arrives (M/G/infinity).
 
     Each query occupies one round trip; arrivals are Poisson, so the

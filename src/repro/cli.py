@@ -14,6 +14,10 @@ Commands
 ``experiments``      run every experiment module and print its table
 ``bench-throughput`` run the throughput regression suite (BENCH_throughput.json)
 ``conformance``      sweep algorithms x chaos fault profiles against the oracle
+``recovery-sweep``   crash + recover each seeded case against its baseline
+``failover-sweep``   kill primaries, promote standbys, compare baselines
+``rebalance``        host a sharded fleet and migrate one view mid-run
+``rebalance-sweep``  migrate views at protocol points, compare baselines
 """
 
 from __future__ import annotations
@@ -263,6 +267,12 @@ def _add_run_sharded_parser(sub: argparse._SubParsersAction) -> None:
                         " processes (--processes with --durable-dir only)")
     p.add_argument("--max-restarts", type=int, default=2,
                    help="restart budget per shard process")
+    p.add_argument("--rebalance", default=None, metavar="VIEW@STEP",
+                   help="migrate VIEW to --rebalance-to mid-run; STEP is"
+                        " deliveries:N or installs:N (bare N counts"
+                        " deliveries) on the donor primary")
+    p.add_argument("--rebalance-to", type=int, default=None, metavar="SHARD",
+                   help="recipient shard of the --rebalance migration")
     p.add_argument("--no-check", action="store_true",
                    help="skip consistency verification")
 
@@ -282,10 +292,42 @@ def _checkpoint_policy(args: argparse.Namespace):
     return CheckpointPolicy(**kwargs)
 
 
+def _parse_rebalance(args: argparse.Namespace):
+    """``--rebalance VIEW@STEP`` + ``--rebalance-to`` -> RebalanceSpec."""
+    if args.rebalance is None:
+        if args.rebalance_to is not None:
+            raise SystemExit("--rebalance-to needs --rebalance VIEW@STEP")
+        return None
+    if args.rebalance_to is None:
+        raise SystemExit("--rebalance needs --rebalance-to SHARD")
+    from repro.runtime import RebalanceSpec
+
+    view, sep, step = args.rebalance.partition("@")
+    if not sep or not view or not step:
+        raise SystemExit(
+            f"--rebalance wants VIEW@STEP, got {args.rebalance!r}"
+        )
+    counter, sep, count = step.partition(":")
+    if not sep:
+        counter, count = "deliveries", step
+    if counter not in ("deliveries", "installs") or not count.isdigit():
+        raise SystemExit(
+            f"--rebalance STEP wants deliveries:N or installs:N, got {step!r}"
+        )
+    kwargs = {f"after_{counter}": int(count)}
+    return RebalanceSpec(view=view, to_shard=args.rebalance_to, **kwargs)
+
+
 def _cmd_run_sharded(args: argparse.Namespace) -> int:
     from repro.runtime import launch_sharded_processes, run_sharded
 
     config = _workload_config(args, check_consistency=not args.no_check)
+    rebalance = _parse_rebalance(args)
+    if args.processes and rebalance is not None:
+        raise SystemExit(
+            "--rebalance drives the single-loop fleet; it cannot be"
+            " combined with --processes"
+        )
     if args.processes:
         outputs = launch_sharded_processes(
             config,
@@ -307,21 +349,116 @@ def _cmd_run_sharded(args: argparse.Namespace) -> int:
         print(f"\nsharded deployment of {len(outputs)} process(es) exited"
               " cleanly (every shard verified its views)")
         return 0
-    result = run_sharded(
-        config,
-        n_shards=args.shards,
-        transport=args.transport,
-        time_scale=args.time_scale,
-        host=args.host,
-        timeout=args.timeout,
-        tcp_config=_tcp_config(args),
-        chaos=args.chaos,
-        strategy=args.strategy,
-        durable_dir=args.durable_dir,
-        checkpoint_policy=_checkpoint_policy(args),
-        fsync_batch=args.fsync_batch,
-        replicas=args.replicas,
+    try:
+        result = run_sharded(
+            config,
+            n_shards=args.shards,
+            transport=args.transport,
+            time_scale=args.time_scale,
+            host=args.host,
+            timeout=args.timeout,
+            tcp_config=_tcp_config(args),
+            chaos=args.chaos,
+            strategy=args.strategy,
+            durable_dir=args.durable_dir,
+            checkpoint_policy=_checkpoint_policy(args),
+            fsync_batch=args.fsync_batch,
+            replicas=args.replicas,
+            rebalance=rebalance,
+        )
+    except ValueError as exc:
+        if rebalance is None:
+            raise
+        # A misconfigured --rebalance (primary view, unknown view,
+        # inactive recipient, durability combo) is a usage error.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.report())
+    return 0
+
+
+def _add_rebalance_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "rebalance",
+        help="host a live sharded fleet and migrate one view between"
+             " shards mid-run (drain, handoff, fenced re-route)",
     )
+    _add_workload_args(p)
+    _add_tcp_args(p)
+    # A one-view family has nothing migratable (the primary is pinned);
+    # default to a family worth redistributing.
+    p.set_defaults(views=4)
+    p.add_argument("--shards", type=int, default=2,
+                   help="number of warehouse shards")
+    p.add_argument("--replicas", type=int, default=0,
+                   help="hot standbys per shard (standbys migrate in"
+                        " lockstep with their primaries)")
+    p.add_argument("--strategy", choices=("hash", "round-robin"),
+                   default="round-robin",
+                   help="launch-time view-to-shard assignment rule")
+    p.add_argument("--transport", choices=("tcp", "local"), default="local")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="interface the TCP listeners bind")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="wall-clock quiescence timeout in seconds")
+    p.add_argument("--view", default=None, metavar="NAME",
+                   help="view to migrate (default: the first non-primary"
+                        " view of the first multi-view shard)")
+    p.add_argument("--to-shard", type=int, default=None, metavar="SHARD",
+                   help="recipient shard (default: the next active shard)")
+    p.add_argument("--after-deliveries", type=int, default=None, metavar="N",
+                   help="fire after the donor primary's N-th delivery")
+    p.add_argument("--after-installs", type=int, default=None, metavar="N",
+                   help="fire after the donor primary's N-th install")
+    p.add_argument("--no-check", action="store_true",
+                   help="skip consistency verification")
+
+
+def _cmd_rebalance(args: argparse.Namespace) -> int:
+    from repro.harness.rebalance import pick_migration
+    from repro.runtime import RebalanceSpec, run_sharded
+    from repro.warehouse.sharding import partition_views, view_family
+
+    config = _workload_config(args, check_consistency=not args.no_check)
+    if args.view is None or args.to_shard is None:
+        from repro.harness.runner import build_workload
+        from repro.simulation.rng import RngRegistry
+
+        workload = build_workload(config, RngRegistry(config.seed))
+        family = view_family(workload.view, max(1, config.n_views))
+        plan = partition_views(family, args.shards, strategy=args.strategy)
+        view, to_shard = pick_migration(plan)
+        view = args.view if args.view is not None else view
+        to_shard = args.to_shard if args.to_shard is not None else to_shard
+    else:
+        view, to_shard = args.view, args.to_shard
+    kwargs = {}
+    if args.after_installs is not None:
+        kwargs["after_installs"] = args.after_installs
+    else:
+        kwargs["after_deliveries"] = (
+            args.after_deliveries if args.after_deliveries is not None else 3
+        )
+    try:
+        spec = RebalanceSpec(view=view, to_shard=to_shard, **kwargs)
+        result = run_sharded(
+            config,
+            n_shards=args.shards,
+            transport=args.transport,
+            time_scale=args.time_scale,
+            host=args.host,
+            timeout=args.timeout,
+            tcp_config=_tcp_config(args),
+            strategy=args.strategy,
+            replicas=args.replicas,
+            rebalance=spec,
+        )
+    except ValueError as exc:
+        # Plan/spec validation (primary view, unknown view, inactive
+        # recipient, bad trigger) is operator misconfiguration: a usage
+        # error, not a crash.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(result.report())
     return 0
 
@@ -688,6 +825,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_parser(sub)
     _add_run_distributed_parser(sub)
     _add_run_sharded_parser(sub)
+    _add_rebalance_parser(sub)
     _add_serve_warehouse_parser(sub)
     _add_serve_source_parser(sub)
     _add_serve_shard_parser(sub)
@@ -746,7 +884,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     conf.add_argument(
         "--profiles", default=None, metavar="P,Q,...",
-        help="comma-separated chaos profiles (default: healthy,delay,dup,crash)",
+        help="comma-separated chaos profiles (default: healthy,delay,dup,"
+             "crash,source-stall,source-reorder)",
     )
     conf.add_argument("--seed", "-s", type=int, default=0,
                       help="first workload seed")
@@ -819,6 +958,25 @@ def build_parser() -> argparse.ArgumentParser:
                          " (SIGKILL the primary serve-shard process; the"
                          " supervisor must promote the standby)")
     fo.add_argument("--json", default="failover_report.json",
+                    metavar="PATH", help="where to write the JSON report")
+
+    rb = sub.add_parser(
+        "rebalance-sweep",
+        help="migrate one view between shards at deterministic protocol"
+             " points and compare against a never-migrated baseline",
+    )
+    rb.add_argument("--seed", "-s", type=int, default=0,
+                    help="first workload seed")
+    rb.add_argument("--seeds", type=int, default=30,
+                    help="seeds per sweep: seed, seed+1, ...")
+    rb.add_argument("--tcp-every", type=int, default=5,
+                    help="every Nth seed runs over loopback TCP"
+                         " (0 = local only)")
+    rb.add_argument("--time-scale", type=float, default=0.002,
+                    help="wall seconds per virtual time unit")
+    rb.add_argument("--timeout", type=float, default=120.0,
+                    help="wall-clock quiescence timeout per run")
+    rb.add_argument("--json", default="rebalance_report.json",
                     metavar="PATH", help="where to write the JSON report")
 
     adv = sub.add_parser(
@@ -963,6 +1121,34 @@ def _cmd_failover_sweep(args: argparse.Namespace) -> int:
     return 0 if report["ok"] else 1
 
 
+def _cmd_rebalance_sweep(args: argparse.Namespace) -> int:
+    from repro.harness import rebalance
+
+    def progress(row: dict) -> None:
+        verdict = "pass" if row["ok"] else f"FAIL ({row['error']})"
+        mutated = " MUT" if row["mutated"] else ""
+        print(
+            f"  {row['algorithm']:>13s} x {row['transport']:<5s}"
+            f" seed={row['seed']} {row['migration_point']:<16s}{mutated}"
+            f" ... {verdict}",
+            flush=True,
+        )
+
+    rows = rebalance.run_rebalance_sweep(
+        seeds=range(args.seed, args.seed + args.seeds),
+        tcp_every=args.tcp_every,
+        time_scale=args.time_scale,
+        timeout=args.timeout,
+        progress=progress,
+    )
+    report = rebalance.build_report(rows)
+    print()
+    print(rebalance.format_report(report))
+    path = rebalance.write_report(report, args.json)
+    print(f"\nwrote {path}")
+    return 0 if report["ok"] else 1
+
+
 def _cmd_conformance(args: argparse.Namespace) -> int:
     from repro.harness import conformance
 
@@ -1049,6 +1235,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "run-distributed": _cmd_run_distributed,
     "run-sharded": _cmd_run_sharded,
+    "rebalance": _cmd_rebalance,
     "serve-warehouse": _cmd_serve_warehouse,
     "serve-source": _cmd_serve_source,
     "serve-shard": _cmd_serve_shard,
@@ -1061,6 +1248,7 @@ _COMMANDS = {
     "conformance": _cmd_conformance,
     "recovery-sweep": _cmd_recovery_sweep,
     "failover-sweep": _cmd_failover_sweep,
+    "rebalance-sweep": _cmd_rebalance_sweep,
 }
 
 
@@ -1068,8 +1256,8 @@ _COMMANDS = {
 #: crash, failed verification, quiescence timeout) must surface as a clean
 #: message and a non-zero exit, not a traceback -- and never exit 0.
 _HOST_COMMANDS = frozenset({
-    "run-distributed", "run-sharded", "serve-warehouse", "serve-source",
-    "serve-shard",
+    "run-distributed", "run-sharded", "rebalance", "serve-warehouse",
+    "serve-source", "serve-shard",
 })
 
 

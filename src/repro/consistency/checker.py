@@ -111,6 +111,40 @@ def _delivery_overflow(
     return ""
 
 
+def missing_deliveries(
+    history: SourceHistory,
+    deliveries: list[UpdateNotice],
+    base_vector: dict[int, int] | None = None,
+) -> dict[int, list[int]]:
+    """Per-source sequence numbers the history holds but the log never
+    delivered (the dual of :func:`_delivery_overflow`).
+
+    A quiesced warehouse must have seen every source update exactly once,
+    so a hole here means an update was silently dropped in transit -- the
+    failure mode a migration that skips its straggler window produces.
+    It is invisible to the snapshot checks whenever the dropped delta
+    happens to join to nothing, which is why it is checked directly
+    against the delivery log rather than against installed states.
+    ``base_vector`` exempts the prefix a recovered run restored from its
+    checkpoint.
+    """
+    seen: dict[int, set[int]] = {}
+    for notice in deliveries:
+        seen.setdefault(notice.source_index, set()).add(notice.seq)
+    missing: dict[int, list[int]] = {}
+    base = base_vector or {}
+    for index in history.source_indices:
+        start = base.get(index, 0) + 1
+        holes = [
+            seq
+            for seq in range(start, history.n_updates(index) + 1)
+            if seq not in seen.get(index, ())
+        ]
+        if holes:
+            missing[index] = holes
+    return missing
+
+
 def _view_key(relation: Relation) -> tuple:
     """A hashable canonical form of a view state."""
     return tuple(sorted(relation.items()))
@@ -478,5 +512,6 @@ __all__ = [
     "check_weak",
     "classify",
     "evaluate_at",
+    "missing_deliveries",
     "vector_for_delivery_prefix",
 ]

@@ -23,6 +23,7 @@ from repro.consistency.checker import (
     check_strong,
     check_weak,
     classify,
+    missing_deliveries,
 )
 from repro.consistency.history import SourceHistory
 from repro.consistency.levels import ConsistencyLevel
@@ -91,6 +92,18 @@ class RunRecorder:
     # ------------------------------------------------------------------
     # Verdicts
     # ------------------------------------------------------------------
+    def missing_deliveries(self) -> dict[int, list[int]]:
+        """Source updates the history holds but this view never saw.
+
+        Empty for every correct quiesced run; a migration that drops its
+        straggler window leaves the skipped sequence numbers here even
+        when their deltas join to nothing (snapshot checks can't see
+        those).
+        """
+        return missing_deliveries(
+            self.history, self.deliveries, base_vector=self.base_vector
+        )
+
     def check(self, level: ConsistencyLevel, max_vectors: int = 50_000) -> CheckResult:
         """Run one named consistency check over the recorded run."""
         if level == ConsistencyLevel.CONVERGENCE:

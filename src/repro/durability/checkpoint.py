@@ -281,11 +281,82 @@ def capture_checkpoint(
     )
 
 
+#: Envelope tag for a shard-rebalance view handoff (same binwire kernel
+#: and CRC discipline as a format-2 checkpoint, different payload shape).
+HANDOFF_FORMAT = 3
+
+
+def encode_view_handoff(
+    view_name: str,
+    position: dict[int, int],
+    relation,
+    aux: dict[str, object] | None = None,
+    epoch: int = 0,
+) -> bytes:
+    """Serialize one view's migration handoff as a binwire envelope.
+
+    The body carries the view's contents (codec-v2 flat rows, the same
+    ``encode_bag`` the checkpoint writer uses), the per-source position
+    vector the contents reflect (the donor's seal snapshot ``P``), and
+    the donor's auxiliary source copies so a locality-enabled recipient
+    can adopt rather than rebuild them.  CRC and format tagging mirror
+    :meth:`ViewCheckpoint.write` so a torn or corrupt handoff is caught
+    at decode time, not as a silently wrong view.
+    """
+    body = {
+        "view": view_name,
+        "position": {str(k): int(v) for k, v in position.items()},
+        "rows": encode_bag(relation),
+        "aux": {
+            name: encode_bag(rel) for name, rel in (aux or {}).items()
+        },
+        "epoch": int(epoch),
+    }
+    body_bytes = _binwire().dumps(body)
+    return _binwire().dumps(
+        {
+            "format": HANDOFF_FORMAT,
+            "crc": zlib.crc32(body_bytes),
+            "body": body_bytes,
+        }
+    )
+
+
+def decode_view_handoff(blob: bytes) -> dict:
+    """Decode and verify a handoff produced by :func:`encode_view_handoff`.
+
+    Returns ``{"view", "position", "rows", "aux", "epoch"}`` with the
+    position keyed by int source index; ``rows``/``aux`` values stay in
+    flat-row form for the caller to decode against its schemas (see
+    :func:`repro.durability.encoding.decode_relation`).
+    """
+    binwire = _binwire()
+    envelope = binwire.loads(blob)
+    if int(envelope.get("format", 0)) != HANDOFF_FORMAT:
+        raise CheckpointCorruptionError(
+            f"unsupported handoff format {envelope.get('format')!r}"
+        )
+    body_bytes = envelope["body"]
+    if zlib.crc32(body_bytes) != int(envelope["crc"]):
+        raise CheckpointCorruptionError("handoff body fails CRC")
+    body = binwire.loads(body_bytes)
+    return {
+        "view": body["view"],
+        "position": {int(k): int(v) for k, v in body["position"].items()},
+        "rows": body["rows"],
+        "aux": dict(body.get("aux", {})),
+        "epoch": int(body.get("epoch", 0)),
+    }
+
+
 __all__ = [
     "CHECKPOINT_FORMAT",
     "CHECKPOINT_FORMAT_BINARY",
+    "HANDOFF_FORMAT",
     "ViewCheckpoint",
     "capture_checkpoint",
     "checkpoint_generations",
     "checkpoint_path",
+    "decode_view_handoff",
+    "encode_view_handoff",
 ]

@@ -8,7 +8,6 @@ verdict per view.
 
 from __future__ import annotations
 
-import random
 from collections.abc import Sequence
 from dataclasses import dataclass
 

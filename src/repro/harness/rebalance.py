@@ -1,0 +1,389 @@
+"""Rebalance equivalence: migrate a view mid-run, drain, hand off, compare.
+
+Live rebalancing is an *equivalence* claim: a run that seals a view on
+its donor shard at an arbitrary protocol point, drains the in-flight
+sweeps, hands the state off and re-routes the stream behind a fencing
+epoch must be observably identical to a run that never migrated
+anything.  Every case in this harness tests exactly that, over the
+sharded runtime (4-view family, 2 shards, round-robin so both shards
+host a migratable non-primary view):
+
+1. **baseline** -- the static launch plan, never migrated: the reference
+   final views and the consistency level an unperturbed run classifies
+   at.
+2. **rebalance** -- the same workload with a deterministic
+   :class:`~repro.runtime.shard.RebalanceSpec` that fires inside the
+   donor primary's own protocol frame: *mid-batch* (after the N-th
+   install, so the seal request lands inside a composite batch),
+   *mid-compensation* (after the N-th delivery, between a sweep's query
+   and its answer), or *late* (within the last few deliveries, so the
+   gap window closes against an almost-drained stream).
+
+A case passes only if the rebalanced run (a) actually migrated (a
+trigger that never fires is a configuration error, not a pass) and
+completed catch-up on every recipient member, (b) reaches at least the
+scheduler's claimed consistency level on *every* view -- the migrated
+view classifies under its own spliced delivery order (donor prefix +
+forwarded gap + pen + steady state) -- (c) left **no delivery holes**:
+the migrated view's recorder saw every source update exactly once
+(:meth:`~repro.consistency.oracle.RunRecorder.missing_deliveries`),
+which is the check that stays sharp even when a dropped straggler's
+delta joins to nothing, (d) delivers exactly the baseline's update
+count, and (e) every final view is byte-equal
+(:func:`~repro.warehouse.sharding.canonical_view_bytes`) to the
+never-migrated baseline's.
+
+The **mutation** case re-runs one migration with
+``skip_straggler_forwarding=True`` -- the donor seals and hands off but
+silently drops the straggler window ``(P_i, B_i]``.  The harness
+requires the mutation to be *non-vacuous* (at least one straggler was
+actually skipped) and *caught*: the migrated view must show delivery
+holes, and typically also degrades below its claimed level or diverges
+from the baseline bytes.  A harness that cannot see the bug it guards
+against proves nothing.
+
+:func:`run_rebalance_sweep` drives the default 30-seed matrix:
+migration points rotate per seed, schedulers alternate, and every
+``tcp_every``-th seed runs over loopback TCP so the fences ride real
+listener sessions (they are ordinary empty update notices, so the
+binwire codec carries them unchanged).
+"""
+
+from __future__ import annotations
+
+import json
+import time as _time
+from pathlib import Path
+from typing import Sequence
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.report import format_table
+from repro.runtime.shard import CLAIMED_LEVELS, RebalanceSpec
+
+#: Workload shared by every case (kept small: each case runs it twice).
+CASE_DEFAULTS = dict(
+    n_sources=3,
+    n_updates=12,
+    mean_interarrival=6.0,
+)
+N_VIEWS = 4
+N_SHARDS = 2
+
+#: Schedulers under test (the sharded runtime's two claimants).
+ALGORITHMS = ("sweep", "batched-sweep")
+
+#: Protocol points the migration can fire at; seeds rotate through all.
+MIGRATION_POINTS = ("mid-batch", "mid-compensation", "late-drain")
+
+#: Mid-compensation seeds (seed % 3 == 1) the mutation case probes for a
+#: fire point whose gap actually holds a straggler to skip.
+MUTATION_SEEDS = (1, 4, 7, 10, 13)
+
+
+def migration_point(seed: int) -> str:
+    return MIGRATION_POINTS[seed % len(MIGRATION_POINTS)]
+
+
+def rebalance_spec(
+    seed: int, view: str, to_shard: int, mutated: bool = False
+) -> RebalanceSpec:
+    """The deterministic migration for a seed: point and threshold vary.
+
+    Thresholds stay below the 12-delivery drain of the shared workload
+    on either scheduler, so the trigger always fires; the ``late-drain``
+    band sits in the last third of the stream, where the straggler
+    window closes against nearly exhausted channels.
+    """
+    point = migration_point(seed)
+    if point == "mid-batch":
+        kwargs = dict(after_installs=1 + (seed // 3) % 3)
+    elif point == "mid-compensation":
+        kwargs = dict(after_deliveries=2 + (seed // 3) % 5)
+    else:
+        kwargs = dict(after_deliveries=8 + (seed // 3) % 3)
+    return RebalanceSpec(
+        view=view,
+        to_shard=to_shard,
+        skip_straggler_forwarding=mutated,
+        **kwargs,
+    )
+
+
+def pick_migration(plan) -> tuple[str, int]:
+    """The migrating view and its destination, derived from the plan.
+
+    Deterministic per plan: the first active shard hosting more than its
+    primary donates its first extra view to the next active shard.
+    """
+    for shard in plan.active_shards:
+        views = plan.views_for(shard)
+        if len(views) > 1:
+            recipients = [s for s in plan.active_shards if s != shard]
+            return views[1].name, recipients[0]
+    raise ValueError(f"no migratable view under [{plan.describe()}]")
+
+
+def run_rebalance_case(
+    algorithm: str,
+    seed: int,
+    transport: str = "local",
+    time_scale: float = 0.002,
+    timeout: float = 120.0,
+    mutated: bool = False,
+) -> dict:
+    """One baseline/rebalance pair; returns a flat report row."""
+    from repro.runtime import run_sharded
+
+    config = ExperimentConfig(
+        algorithm=algorithm,
+        seed=seed,
+        n_views=N_VIEWS,
+        **CASE_DEFAULTS,
+    )
+    claimed = CLAIMED_LEVELS[algorithm]
+    row = {
+        "algorithm": algorithm,
+        "transport": transport,
+        "seed": seed,
+        "migration_point": migration_point(seed),
+        "view": "",
+        "from_shard": None,
+        "to_shard": None,
+        "spec": {},
+        "mutated": mutated,
+        "claimed": claimed.name.lower(),
+        "ok": False,
+        "completed": False,
+        "achieved": "none",
+        "views_equal": False,
+        "deliveries_equal": False,
+        "missing": {},
+        "gap_forwarded": 0,
+        "gap_skipped": 0,
+        "pen_retained": 0,
+        "wall_seconds": 0.0,
+        "error": "",
+    }
+    common = dict(
+        n_shards=N_SHARDS,
+        time_scale=time_scale,
+        timeout=timeout,
+        strategy="round-robin",
+    )
+    started = _time.perf_counter()
+    try:
+        from repro.warehouse.sharding import canonical_view_bytes
+
+        baseline = run_sharded(config, transport="local", **common)
+        expected = {
+            name: canonical_view_bytes(view)
+            for name, view in baseline.final_views.items()
+        }
+        view, to_shard = pick_migration(baseline.plan)
+        spec = rebalance_spec(seed, view, to_shard, mutated=mutated)
+        row["view"] = view
+        row["from_shard"] = baseline.plan.shard_of(view)
+        row["to_shard"] = to_shard
+        row["spec"] = {
+            k: v
+            for k, v in (
+                ("after_installs", spec.after_installs),
+                ("after_deliveries", spec.after_deliveries),
+            )
+            if v is not None
+        }
+        result = run_sharded(
+            config, transport=transport, rebalance=spec, **common
+        )
+        stats = result.rebalance_stats or {}
+        row["completed"] = bool(stats.get("completed"))
+        for counter in ("gap_forwarded", "gap_skipped", "pen_retained"):
+            row[counter] = stats.get(counter, 0)
+        achieved = result.min_level()
+        row["achieved"] = achieved.name.lower()
+        row["deliveries_equal"] = (
+            result.deliveries_total == baseline.deliveries_total
+        )
+        row["missing"] = {
+            str(idx): seqs
+            for idx, seqs in result.recorders[view].missing_deliveries().items()
+        }
+        mismatched = sorted(
+            name
+            for name, final in result.final_views.items()
+            if canonical_view_bytes(final) != expected.get(name)
+        )
+        row["views_equal"] = not mismatched
+        if mutated:
+            # The mutation must be non-vacuous AND caught by the oracle:
+            # skipped stragglers leave delivery holes on the migrated view.
+            if row["gap_skipped"] < 1:
+                row["error"] = (
+                    "mutation vacuous: no straggler was actually skipped"
+                )
+            elif not row["missing"]:
+                row["error"] = (
+                    "oracle blind: stragglers skipped but no delivery"
+                    " holes reported"
+                )
+            else:
+                row["ok"] = True
+        elif not row["completed"]:
+            row["error"] = "migration did not complete catch-up"
+        elif achieved < claimed:
+            row["error"] = f"achieved {achieved.name.lower()} < claimed"
+        elif row["missing"]:
+            row["error"] = (
+                f"migrated view has delivery holes: {row['missing']}"
+            )
+        elif not row["deliveries_equal"]:
+            row["error"] = (
+                f"rebalanced run delivered {result.deliveries_total}"
+                f" updates, baseline {baseline.deliveries_total}"
+            )
+        elif mismatched:
+            row["error"] = (
+                f"view(s) {', '.join(mismatched)} differ from the"
+                " never-migrated baseline"
+            )
+        else:
+            row["ok"] = True
+        return row
+    except Exception as exc:  # noqa: BLE001 - report rows, don't abort sweeps
+        row["error"] = f"{type(exc).__name__}: {exc}"
+        return row
+    finally:
+        row["wall_seconds"] = round(_time.perf_counter() - started, 3)
+
+
+def run_rebalance_sweep(
+    seeds: Sequence[int] = range(30),
+    tcp_every: int = 5,
+    time_scale: float = 0.002,
+    timeout: float = 120.0,
+    progress=None,
+) -> list[dict]:
+    """The seed sweep: migration points rotate (seed mod 3), schedulers
+    alternate (seed mod 2 -- over 30 seeds every (algorithm, point) pair
+    recurs), and every ``tcp_every``-th seed runs over loopback TCP (0
+    disables TCP cases).  Two mutation cases -- one per scheduler -- ride
+    at the end of every sweep, so the harness proves on each run that it
+    can still see the bug it guards against.
+    """
+    rows = []
+    for seed in seeds:
+        algorithm = ALGORITHMS[seed % len(ALGORITHMS)]
+        transport = (
+            "tcp" if tcp_every and seed % tcp_every == tcp_every - 1
+            else "local"
+        )
+        row = run_rebalance_case(
+            algorithm,
+            seed,
+            transport=transport,
+            time_scale=time_scale,
+            timeout=timeout,
+        )
+        rows.append(row)
+        if progress is not None:
+            progress(row)
+    for algorithm in ALGORITHMS:
+        # Whether the gap holds a straggler at fire time depends on the
+        # donor's queue depth, so probe the mid-compensation band until
+        # the mutation is non-vacuous; a caught (or blind) mutation ends
+        # the probe, and a fully vacuous band is itself a failure.
+        row = None
+        for candidate in MUTATION_SEEDS:
+            row = run_rebalance_case(
+                algorithm,
+                candidate,
+                transport="local",
+                time_scale=time_scale,
+                timeout=timeout,
+                mutated=True,
+            )
+            if row["gap_skipped"] >= 1:
+                break
+        rows.append(row)
+        if progress is not None:
+            progress(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Report plumbing (mirrors repro.harness.failover)
+# ---------------------------------------------------------------------------
+
+def build_report(rows: list[dict]) -> dict:
+    return {
+        "suite": "rebalance-equivalence",
+        "cases": len(rows),
+        "failed": sum(1 for row in rows if not row["ok"]),
+        "mutation_cases": sum(1 for row in rows if row["mutated"]),
+        "ok": all(row["ok"] for row in rows),
+        "rows": rows,
+    }
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_report(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def format_report(report: dict) -> str:
+    rows = report["rows"]
+    table = format_table(
+        ["algorithm", "transport", "seed", "move", "fire", "claimed",
+         "achieved", "gap", "views", "wall s", "verdict"],
+        [
+            [
+                row["algorithm"],
+                row["transport"],
+                row["seed"],
+                f"{row['view'] or '?'}"
+                f" s{row['from_shard']}->s{row['to_shard']}",
+                ",".join(
+                    f"{k.split('_')[1]}={v}" for k, v in row["spec"].items()
+                ) + (" MUT" if row["mutated"] else ""),
+                row["claimed"],
+                row["achieved"],
+                f"{row['gap_forwarded']}+{row['pen_retained']}p"
+                + (f" skip={row['gap_skipped']}" if row["mutated"] else ""),
+                "equal" if row["views_equal"] else "DIFFER",
+                row["wall_seconds"],
+                "PASS" if row["ok"] else f"FAIL ({row['error']})",
+            ]
+            for row in rows
+        ],
+        title="Rebalance equivalence: migrated runs vs static baselines",
+    )
+    lines = [table]
+    lines.append(
+        "\nall migrated runs equivalent (mutations caught)" if report["ok"]
+        else f"\n{report['failed']} of {report['cases']} case(s) FAILED"
+    )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "ALGORITHMS",
+    "CASE_DEFAULTS",
+    "MIGRATION_POINTS",
+    "MUTATION_SEEDS",
+    "N_SHARDS",
+    "N_VIEWS",
+    "build_report",
+    "format_report",
+    "load_report",
+    "migration_point",
+    "pick_migration",
+    "rebalance_spec",
+    "run_rebalance_case",
+    "run_rebalance_sweep",
+    "write_report",
+]

@@ -165,15 +165,13 @@ def run_experiment(config: ExperimentConfig, warehouse_hook=None) -> RunResult:
                 enforce_fifo=config.fifo_channels,
             )
         }
-        updaters = [
+        for index, schedule in sorted(workload.schedules.items()):
             ScheduledUpdater(
                 sim,
                 f"R{index}",
                 (lambda delta, i=index: central.local_update(i, delta)),
                 schedule,
             )
-            for index, schedule in sorted(workload.schedules.items())
-        ]
     else:
         query_channels = {}
         servers: dict[int, DataSourceServer] = {}
@@ -209,11 +207,11 @@ def run_experiment(config: ExperimentConfig, warehouse_hook=None) -> RunResult:
                 enforce_fifo=config.fifo_channels,
             )
             servers[index] = server
-        updaters = [
-            ScheduledUpdater(sim, view.name_of(index), servers[index].local_update, schedule)
-            for index, schedule in sorted(workload.schedules.items())
-        ]
-    del updaters  # processes are owned by the simulator
+        for index, schedule in sorted(workload.schedules.items()):
+            # processes are owned by the simulator
+            ScheduledUpdater(
+                sim, view.name_of(index), servers[index].local_update, schedule
+            )
 
     warehouse = info.cls(
         sim,

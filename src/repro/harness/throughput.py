@@ -84,6 +84,18 @@ DURABLE_OVERHEAD_TARGET = 0.15
 #: overhead should be the extra install work only.
 REPLICA_OVERHEAD_TARGET = 0.15
 
+#: Maximum fraction of throughput one live view migration may cost on
+#: the saturated multi-view workload: a ``+rebal`` row re-runs its twin
+#: with one mid-run drain/handoff/re-route (seal the donor, ship the
+#: handoff blob, replay the gap on the recipient) and must stay within
+#: this budget of the static-plan cell.  The pair runs a 9-view family
+#: so the move is *load-neutral* -- the donor starts one view heavier
+#: (3/2/2/2 at four shards) and hands that view to a lighter shard, so
+#: the bottleneck shard serves 3 views before and after and the measured
+#: cost is the protocol (seal, handoff, gap replay), not placement skew.
+REBALANCE_OVERHEAD_TARGET = 0.15
+REBALANCE_MODE: dict[str, Any] = {**SHARD_MODE, "n_views": 9}
+
 #: The locality row family re-runs the saturated regime with every source
 #: covered by a warehouse-local auxiliary copy (``--locality=aux``): a
 #: covered sweep step answers its own query, so the gated quantities are
@@ -192,6 +204,7 @@ def run_shard_cell(
     transport: str = "local",
     codec_version: int | None = None,
     fsync_batch: int = 8,
+    rebalance: bool = False,
 ) -> dict:
     """One sharded-runtime measurement (always the same workload).
 
@@ -201,7 +214,7 @@ def run_shard_cell(
     baseline's (``complete``), so a sharded run that trades correctness
     for speed shows up as a regression, not a win.
     """
-    from repro.runtime import run_sharded
+    from repro.runtime import RebalanceSpec, run_sharded
     from repro.runtime.tcp import TcpChannelConfig
 
     config = ExperimentConfig(
@@ -226,6 +239,15 @@ def run_shard_cell(
         if codec_version is None
         else TcpChannelConfig(codec_version=codec_version)
     )
+    if rebalance:
+        # Round-robin places family view ``i`` on shard ``i % n_shards``,
+        # so the donor's first non-primary view is ``V#s<n_shards>``;
+        # firing at half the workload lands the migration mid-saturation.
+        kwargs["rebalance"] = RebalanceSpec(
+            view=f"V#s{n_shards}",
+            to_shard=1 % n_shards,
+            after_deliveries=max(1, n_updates // 2),
+        )
     try:
         result = run_sharded(
             config,
@@ -248,6 +270,8 @@ def run_shard_cell(
         ("+durable" if durable else "")
         + (f"+fsync{fsync_batch}" if fsync_batch != 8 else "")
         + (f"+r{replicas}" if replicas else "")
+        + (f"+v{n_views}" if n_views != SHARD_MODE["n_views"] else "")
+        + ("+rebal" if rebalance else "")
     )
     # Distinct source updates reflected by *every* view.  The raw
     # ``updates_installed`` counter is shared across shards, so an update
@@ -320,6 +344,15 @@ def run_suite(quick: bool = False) -> list[dict]:
     rows.append(run_shard_cell(2, replicas=1, **SHARD_MODE))
     if not quick:
         rows.append(run_shard_cell(4, replicas=1, **SHARD_MODE))
+    # Rebalance family: each ``+rebal`` cell performs one mid-run view
+    # migration (drain/handoff/re-route) on the load-neutral 9-view
+    # workload; the gated quantity is its throughput relative to the
+    # same-workload static-plan twin right above it.
+    rows.append(run_shard_cell(2, **REBALANCE_MODE))
+    rows.append(run_shard_cell(2, rebalance=True, **REBALANCE_MODE))
+    if not quick:
+        rows.append(run_shard_cell(4, **REBALANCE_MODE))
+        rows.append(run_shard_cell(4, rebalance=True, **REBALANCE_MODE))
     # Codec family: v2 (JSON flat rows) vs v3 (binary kernel) on the
     # message-bound saturated sweep, plain on both transports and with
     # the durable path on (checkpoint + WAL share the same kernel, so
@@ -559,7 +592,27 @@ def replica_overhead(rows: list[dict]) -> float | None:
     by_key = {_row_key(r): r for r in rows}
     worst = None
     for key, row in by_key.items():
-        base_key, sep, _ = key.rpartition("+r")
+        base_key, sep, count = key.rpartition("+r")
+        # ``count`` must be the replica count -- "+rebal" rows also
+        # split on "+r" but leave a non-numeric tail.
+        if not sep or not count.isdigit() or not base_key.startswith("sharded/"):
+            continue
+        plain = by_key.get(base_key)
+        if not plain or not plain["updates_per_sec"]:
+            continue
+        cost = round(1.0 - row["updates_per_sec"] / plain["updates_per_sec"], 3)
+        if worst is None or cost > worst:
+            worst = cost
+    return worst
+
+
+def rebalance_overhead(rows: list[dict]) -> float | None:
+    """Worst fractional throughput lost to a live migration, over all
+    ``+rebal`` rows versus their same-run static-plan twins."""
+    by_key = {_row_key(r): r for r in rows}
+    worst = None
+    for key, row in by_key.items():
+        base_key, sep, _ = key.rpartition("+rebal")
         if not sep or not base_key.startswith("sharded/"):
             continue
         plain = by_key.get(base_key)
@@ -581,6 +634,7 @@ def build_report(rows: list[dict], quick: bool = False) -> dict:
         "speedup_target": SPEEDUP_TARGET,
         "durable_overhead_target": DURABLE_OVERHEAD_TARGET,
         "replica_overhead_target": REPLICA_OVERHEAD_TARGET,
+        "rebalance_overhead_target": REBALANCE_OVERHEAD_TARGET,
         "locality_speedup_target": LOCALITY_SPEEDUP_TARGET,
         "locality_message_reduction_target": LOCALITY_MESSAGE_REDUCTION_TARGET,
         "codec_speedup_target": CODEC_SPEEDUP_TARGET,
@@ -591,6 +645,7 @@ def build_report(rows: list[dict], quick: bool = False) -> dict:
         "codec_efficiency": codec_efficiency(rows),
         "durable_overhead": durable_overhead(rows),
         "replica_overhead": replica_overhead(rows),
+        "rebalance_overhead": rebalance_overhead(rows),
     }
 
 
@@ -629,6 +684,12 @@ def compare_reports(
         problems.append(
             f"replica_overhead: {r_overhead:.1%} throughput cost exceeds"
             f" the {REPLICA_OVERHEAD_TARGET:.0%} hot-standby budget"
+        )
+    m_overhead = current.get("rebalance_overhead")
+    if m_overhead is not None and m_overhead > REBALANCE_OVERHEAD_TARGET:
+        problems.append(
+            f"rebalance_overhead: {m_overhead:.1%} throughput cost exceeds"
+            f" the {REBALANCE_OVERHEAD_TARGET:.0%} live-migration budget"
         )
     base_speedups = baseline.get("speedups", {})
     for key, ratio in current.get("speedups", {}).items():
@@ -711,6 +772,12 @@ def format_suite(rows: list[dict]) -> str:
             f"hot-standby overhead = {r_overhead:.1%} (budget"
             f" {REPLICA_OVERHEAD_TARGET:.0%} of the replica-less twin)"
         )
+    m_overhead = rebalance_overhead(rows)
+    if m_overhead is not None:
+        lines.append(
+            f"live-migration overhead = {m_overhead:.1%} (budget"
+            f" {REBALANCE_OVERHEAD_TARGET:.0%} of the static-plan twin)"
+        )
     if codec_efficiency(rows):
         lines.append(
             f"floor: codec v3 on saturated/tcp/sweep >="
@@ -732,6 +799,8 @@ __all__ = [
     "LOCALITY_SPEEDUP_TARGET",
     "MODES",
     "QUICK_SHARD_COUNTS",
+    "REBALANCE_MODE",
+    "REBALANCE_OVERHEAD_TARGET",
     "REPLICA_OVERHEAD_TARGET",
     "SHARD_COUNTS",
     "SHARD_MODE",
@@ -747,6 +816,7 @@ __all__ = [
     "load_report",
     "locality_problems",
     "message_reductions",
+    "rebalance_overhead",
     "replica_overhead",
     "run_cell",
     "run_shard_cell",

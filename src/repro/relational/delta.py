@@ -15,7 +15,7 @@ compensating the answer from source 1 for the concurrent delete
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable
 
 from repro.relational.relation import BagBase, Relation, Row
 from repro.relational.schema import Schema

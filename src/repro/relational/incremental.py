@@ -51,7 +51,9 @@ class PartialView:
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def initial(cls, view: ViewDefinition, index: int, change: BagBase) -> "PartialView":
+    def initial(
+        cls, view: ViewDefinition, index: int, change: BagBase
+    ) -> "PartialView":
         """Seed a sweep with an update ``Delta-Ri`` at relation ``index``."""
         expected = view.schema_of(index)
         if change.schema.attributes != expected.attributes:
@@ -178,7 +180,9 @@ class PartialView:
         )
 
 
-def compute_join(view: ViewDefinition, partial: PartialView, index: int, relation: BagBase) -> PartialView:
+def compute_join(
+    view: ViewDefinition, partial: PartialView, index: int, relation: BagBase
+) -> PartialView:
     """The data-source service ``ComputeJoin(Delta-V, R)`` (paper Figure 3).
 
     Free-function form used by source servers; equivalent to

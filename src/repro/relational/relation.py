@@ -180,7 +180,10 @@ class BagBase:
         shown = sorted(self._counts.items())[:8]
         body = ", ".join(f"{row}[{count}]" for row, count in shown)
         more = "" if len(self._counts) <= 8 else f", ... ({len(self._counts)} rows)"
-        return f"{type(self).__name__}({list(self.schema.attributes)!r}: {{{body}{more}}})"
+        return (
+            f"{type(self).__name__}"
+            f"({list(self.schema.attributes)!r}: {{{body}{more}}})"
+        )
 
     def pretty(self, sort: bool = True) -> str:
         """Multi-line rendering used by examples and experiment reports."""
@@ -192,7 +195,9 @@ class BagBase:
         lines = [header, rule]
         for row, count in entries:
             cells = " | ".join(str(v) for v in row)
-            lines.append(f"{cells}  [{count:+d}]" if count < 0 else f"{cells}  [{count}]")
+            lines.append(
+                f"{cells}  [{count:+d}]" if count < 0 else f"{cells}  [{count}]"
+            )
         if len(lines) == 2:
             lines.append("(empty)")
         return "\n".join(lines)

@@ -103,8 +103,7 @@ class Schema:
 
     def project(self, attributes: Sequence[str]) -> "Schema":
         """Schema after projecting onto ``attributes`` (keys intersected)."""
-        indices = self.project_indices(attributes)  # validates names
-        del indices
+        self.project_indices(attributes)  # validates names
         kept = tuple(a for a in self.key if a in set(attributes))
         return Schema(tuple(attributes), key=kept)
 

@@ -66,7 +66,10 @@ _TOKEN_RE = re.compile(
     re.VERBOSE,
 )
 
-_OP_MAP = {"=": "==", "<>": "!=", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+_OP_MAP = {
+    "=": "==", "<>": "!=", "!=": "!=",
+    "<": "<", "<=": "<=", ">": ">", ">=": ">=",
+}
 
 
 def _tokenize(sql: str) -> list[str]:

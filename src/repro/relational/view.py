@@ -90,7 +90,9 @@ class ViewDefinition:
         self.relation_names = tuple(relation_names)
         self.schemas = tuple(schemas)
         self.join_conditions = tuple(join_conditions)
-        self.selection: Predicate = selection if selection is not None else TruePredicate()
+        self.selection: Predicate = (
+            selection if selection is not None else TruePredicate()
+        )
         self.projection = tuple(projection) if projection is not None else None
 
         # Wide schema: concatenation of all base schemas, left to right.

@@ -47,6 +47,8 @@ from repro.runtime.nodes import CentralSourceNode, SourceNode, WarehouseNode
 from repro.runtime.shard import (
     CLEAN_FAILURE_EXIT,
     FailoverSpec,
+    RebalanceCoordinator,
+    RebalanceSpec,
     ShardCrashed,
     ShardNode,
     ShardSupervisor,
@@ -70,6 +72,8 @@ __all__ = [
     "CLEAN_FAILURE_EXIT",
     "CentralSourceNode",
     "FailoverSpec",
+    "RebalanceCoordinator",
+    "RebalanceSpec",
     "ChannelListener",
     "ChaosConfig",
     "ChaosLocalChannel",
@@ -97,6 +101,7 @@ __all__ = [
     "TransportRetriesExceeded",
     "WarehouseNode",
     "WireCodec",
+    "WireProtocolError",
     "build_sharded_supervisor",
     "free_port",
     "launch_sharded_processes",

@@ -42,7 +42,7 @@ import asyncio
 import random
 import struct
 from collections import deque
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 
 from repro.runtime.errors import TransportOverflowError
 from repro.runtime.transport import RuntimeChannel

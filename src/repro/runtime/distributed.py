@@ -624,7 +624,10 @@ async def serve_warehouse_async(
         fsync_batch=fsync_batch,
     )
     await node.start()
-    print(f"warehouse[{config.algorithm}] listening on {node.address[0]}:{node.address[1]}")
+    print(
+        f"warehouse[{config.algorithm}] listening on"
+        f" {node.address[0]}:{node.address[1]}"
+    )
     recovered = node.recovered_state
     if recovered is not None:
         print(

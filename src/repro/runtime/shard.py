@@ -70,6 +70,7 @@ from repro.durability.recovery import (
 )
 from repro.harness.config import ExperimentConfig
 from repro.harness.runner import build_workload, record_predicate_cache_delta
+from repro.relational.delta import Delta
 from repro.relational.predicate import compile_cache_stats
 from repro.relational.relation import Relation
 from repro.relational.view import ViewDefinition
@@ -108,16 +109,25 @@ from repro.sources.messages import (
     SnapshotAnswer,
     SnapshotRequest,
     UpdateNotice,
+    make_rebalance_fence,
 )
 from repro.sources.sqlite import SqliteBackend
 from repro.sources.updater import ScheduledUpdater
 from repro.warehouse.locality import build_locality
+from repro.warehouse.migration import (
+    GapComplete,
+    GapFrame,
+    HandoffState,
+    MigratingMultiViewBatchedSweepWarehouse,
+    MigratingMultiViewSweepWarehouse,
+    MigrationMemberState,
+)
 from repro.warehouse.multiview import (
     MultiViewBatchedSweepWarehouse,
     MultiViewSweepWarehouse,
 )
 from repro.warehouse.sharding import (
-    ReplicaPlan,
+    RebalancePlan,
     ShardMember,
     ShardPlan,
     assign_replicas,
@@ -276,6 +286,216 @@ class _KillSwitch:
         self.on_fire(self)
         raise ProcessKilled(
             f"failover kill switch: shard {self.spec.shard} primary"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Rebalancing: live view migration between shards
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RebalanceSpec:
+    """Migrate ``view`` to shard ``to_shard`` at a deterministic point.
+
+    Exactly one of the ``after_*`` thresholds must be set; the trigger
+    fires inside the donor primary's own process frame the moment that
+    count is reached, so the seal request lands *mid-protocol* (mid-batch
+    when counting installs, mid-compensation when counting deliveries)
+    rather than at a tidy quiescent boundary -- exactly the points the
+    drain/handoff/re-route protocol has to survive.
+
+    ``skip_straggler_forwarding`` is the mutation hook for the oracle
+    tests: the donor seals and hands off but never forwards the gap
+    ``(P_i, B_i]``, sending the completion signal immediately -- the
+    migrated view then silently misses the straggler window and both the
+    consistency oracle and the baseline byte-comparison must catch it.
+    """
+
+    view: str
+    to_shard: int
+    after_deliveries: int | None = None
+    after_installs: int | None = None
+    skip_straggler_forwarding: bool = False
+
+    def __post_init__(self) -> None:
+        thresholds = [
+            t
+            for t in (self.after_deliveries, self.after_installs)
+            if t is not None
+        ]
+        if len(thresholds) != 1:
+            raise ValueError(
+                "set exactly one of after_deliveries/after_installs,"
+                f" got {self!r}"
+            )
+        if thresholds[0] < 1:
+            raise ValueError(f"rebalance threshold must be >= 1, got {self!r}")
+
+
+class _RebalanceTrigger:
+    """Wraps the donor primary's protocol hooks to fire a rebalance.
+
+    The non-lethal sibling of :class:`_KillSwitch`: same deterministic
+    counting inside the victim's own generator frames, but instead of
+    raising it asks the coordinator to start the migration and lets the
+    current unit of work finish -- the donor seals at its next
+    unit-of-work boundary (see ``ViewMigrationMixin._before_unit``).
+    """
+
+    def __init__(self, spec: RebalanceSpec, warehouse, coordinator):
+        self.spec = spec
+        self.warehouse = warehouse
+        self.coordinator = coordinator
+        self.fired = False
+        self._deliveries = 0
+        self._installs = 0
+        self._arm()
+
+    def _arm(self) -> None:
+        wh, spec = self.warehouse, self.spec
+        orig_note = wh.note_delivery
+
+        def note_delivery(notice):
+            orig_note(notice)
+            self._deliveries += 1
+            if (
+                spec.after_deliveries is not None
+                and self._deliveries >= spec.after_deliveries
+            ):
+                self._fire()
+
+        wh.note_delivery = note_delivery
+        orig_install = wh._after_install
+
+        def _after_install(note):
+            orig_install(note)
+            self._installs += 1
+            if (
+                spec.after_installs is not None
+                and self._installs >= spec.after_installs
+            ):
+                self._fire()
+
+        wh._after_install = _after_install
+
+    def _fire(self) -> None:
+        if self.fired:
+            return
+        self.fired = True
+        self.coordinator.fire()
+
+
+class RebalanceCoordinator:
+    """Control plane of one live migration (fencing epoch 1).
+
+    Pairs donor and recipient members positionally (primary with
+    primary, standby ``k`` with standby ``k``), posts one fence per
+    source down the *real* per-(source, member) update channels of every
+    participating member, and injects the in-process control frames --
+    handoff, gap stragglers, gap-complete -- into the paired recipient
+    member's inbox.  Fences are the only protocol frames that ride the
+    wire (they are ordinary empty :class:`UpdateNotice` frames, so the
+    binwire codec carries them unchanged over TCP); the handoff blob and
+    gap frames are coordinator deliveries even under the tcp transport,
+    modelling the operator-driven control plane of a real rebalance.
+    """
+
+    def __init__(
+        self,
+        rebalance: RebalancePlan,
+        runtime,
+        chain: ViewDefinition,
+        fronts: dict[int, "ShardedSourceFront"],
+        member_recorders: dict[ShardMember, dict[str, RunRecorder]],
+        epoch: int = 1,
+    ):
+        self.rebalance = rebalance
+        self.runtime = runtime
+        self.chain = chain
+        self.fronts = fronts
+        self.member_recorders = member_recorders
+        self.epoch = epoch
+        self.fired = False
+        #: source index -> boundary seq ``B_i`` captured at fire time.
+        self.boundaries: dict[int, int] = {}
+        self._donor_states: dict[ShardMember, MigrationMemberState] = {}
+        self._pair: dict[ShardMember, ShardMember] = {}
+        self._recipient_inboxes: dict[ShardMember, Mailbox] = {}
+
+    def register_pair(
+        self,
+        donor: ShardMember,
+        recipient: ShardMember,
+        donor_state: MigrationMemberState,
+        recipient_inbox: Mailbox,
+    ) -> None:
+        self._donor_states[donor] = donor_state
+        self._pair[donor] = recipient
+        self._recipient_inboxes[recipient] = recipient_inbox
+
+    @property
+    def members(self) -> list[ShardMember]:
+        return [*self._donor_states, *self._recipient_inboxes]
+
+    def fire(self) -> None:
+        """Request the seal on every donor member and post the fences.
+
+        The boundary ``B_i`` is each source's committed position *now*;
+        channel FIFO pins the fence between update ``B_i`` and
+        ``B_i + 1`` on every participating member's stream, so all
+        members agree on the pre/post-boundary split even though each
+        has its own channel.
+        """
+        if self.fired:
+            return
+        self.fired = True
+        for state in self._donor_states.values():
+            state.seal_requested = True
+        for index in sorted(self.fronts):
+            front = self.fronts[index]
+            boundary = front.update_seq
+            self.boundaries[index] = boundary
+            fence = make_rebalance_fence(
+                index,
+                boundary,
+                Delta.empty(self.chain.schema_of(index)),
+                self.epoch,
+                applied_at=self.runtime.now,
+            )
+            for member in self.members:
+                # Fresh frame per member, mirroring local_update's fanout.
+                front.update_channels[member].send(
+                    Message(
+                        kind="update",
+                        sender=front.name,
+                        payload=dataclasses.replace(fence),
+                    )
+                )
+
+    # -- callbacks from the donor-side warehouse mixin -----------------
+    def handoff(self, donor: ShardMember, state: HandoffState) -> None:
+        recipient = self._pair[donor]
+        # The view's recorder follows the view: history keeps accruing on
+        # the same object, and the result collector reads it from the
+        # recipient member's set.
+        self.member_recorders[donor].pop(state.view, None)
+        if state.recorder is not None:
+            self.member_recorders[recipient][state.view] = state.recorder
+        self._inject(recipient, state)
+
+    def forward_gap(self, donor: ShardMember, notice: UpdateNotice) -> None:
+        self._inject(self._pair[donor], GapFrame(self.epoch, notice))
+
+    def gap_complete(self, donor: ShardMember) -> None:
+        self._inject(self._pair[donor], GapComplete(self.epoch))
+
+    def _inject(self, recipient: ShardMember, payload) -> None:
+        self._recipient_inboxes[recipient].put(
+            Message(
+                kind="rebalance",
+                sender="rebalance-coordinator",
+                payload=payload,
+            )
         )
 
 
@@ -460,8 +680,15 @@ def build_shard_warehouse(
     inbox: Mailbox,
     metrics: MetricsCollector,
     trace: TraceLog | None,
+    migratable: bool = False,
 ):
-    """One shard's warehouse over its assigned views (SWEEP or batched)."""
+    """One shard's warehouse over its assigned views (SWEEP or batched).
+
+    ``migratable`` selects the migration-capable subclasses (see
+    :mod:`repro.warehouse.migration`) so a live rebalance can seal,
+    donate, or adopt a view; they are behaviourally identical until the
+    coordinator attaches a migration state.
+    """
     primary = views[0]
     recorders = recorders or {}
     common = dict(
@@ -478,7 +705,12 @@ def build_shard_warehouse(
         },
     )
     if config.algorithm == "batched-sweep":
-        return MultiViewBatchedSweepWarehouse(
+        cls = (
+            MigratingMultiViewBatchedSweepWarehouse
+            if migratable
+            else MultiViewBatchedSweepWarehouse
+        )
+        return cls(
             runtime,
             primary,
             query_channels,
@@ -487,7 +719,12 @@ def build_shard_warehouse(
             **common,
         )
     if config.algorithm == "sweep":
-        return MultiViewSweepWarehouse(runtime, primary, query_channels, **common)
+        cls = (
+            MigratingMultiViewSweepWarehouse
+            if migratable
+            else MultiViewSweepWarehouse
+        )
+        return cls(runtime, primary, query_channels, **common)
     raise ValueError(
         f"sharded runtime supports sweep/batched-sweep, not {config.algorithm!r}"
     )
@@ -523,6 +760,8 @@ class ShardNode:
         crash_plan: CrashPlan | None = None,
         fsync_batch: int = 8,
         member: ShardMember | None = None,
+        migratable: bool = False,
+        codec_views: list[ViewDefinition] | None = None,
     ):
         if not views:
             raise ValueError(f"shard {shard_id} has no views to host")
@@ -534,7 +773,12 @@ class ShardNode:
         self.member = member if member is not None else ShardMember(shard_id)
         label = self.member.label
         self.views = list(views)
-        self.codec = _family_codec(self.views)
+        # A migratable shard may adopt a view it does not host at launch,
+        # so its wire codec must span the whole family (``codec_views``),
+        # not just the hosted subset.
+        self.codec = _family_codec(
+            list(codec_views) if codec_views else self.views
+        )
         primary = self.views[0]
         self.durability: DurabilityManager | None = None
         self.recovered_state: RecoveredState | None = None
@@ -580,6 +824,7 @@ class ShardNode:
             self.inbox,
             metrics,
             trace,
+            migratable=migratable,
         )
         if durable_dir is not None:
             if state is not None:
@@ -777,6 +1022,10 @@ class ShardedRunResult:
     replicas: int = 0
     #: shard id -> label of the member promoted after its primary died.
     promotions: dict[int, str] | None = None
+    #: structured protocol counters of a mid-run view migration (None
+    #: when no rebalance was requested); ``plan`` then holds the
+    #: POST-migration assignment.
+    rebalance_stats: dict | None = None
 
     @property
     def installs(self) -> int:
@@ -835,6 +1084,15 @@ class ShardedRunResult:
                     f"shard {shard} -> {label}"
                     for shard, label in sorted(self.promotions.items())
                 )
+            )
+        if self.rebalance_stats:
+            rs = self.rebalance_stats
+            lines.append(
+                f"rebalance        : {rs['view']!r} shard {rs['from_shard']}"
+                f" -> {rs['to_shard']},"
+                f" gap fwd={rs['gap_forwarded']} pen={rs['pen_retained']}"
+                f" catchup={rs['catchup_installs']} dup={rs['dup_dropped']}"
+                f" {'complete' if rs['completed'] else 'INCOMPLETE'}"
             )
         if self.chaos_profile is not None and self.chaos_stats is not None:
             lines.append(
@@ -902,7 +1160,9 @@ def seed_history_from_workload(
 # Single-call sharded runs (local or loopback TCP, one event loop)
 # ---------------------------------------------------------------------------
 
-def _sharded_views(config: ExperimentConfig, workload: Workload) -> list[ViewDefinition]:
+def _sharded_views(
+    config: ExperimentConfig, workload: Workload
+) -> list[ViewDefinition]:
     return view_family(workload.view, max(1, config.n_views))
 
 
@@ -923,6 +1183,7 @@ async def run_sharded_async(
     crash_plans: "dict[int, CrashPlan] | None" = None,
     replicas: int = 0,
     failover: FailoverSpec | None = None,
+    rebalance: RebalanceSpec | None = None,
 ) -> ShardedRunResult:
     """Run one sharded experiment to quiescence on the current loop.
 
@@ -948,6 +1209,14 @@ async def run_sharded_async(
     shard's primary at a deterministic protocol point and promotes its
     first standby -- the in-process half of the failover-equivalence
     harness (:mod:`repro.harness.failover`).
+
+    ``rebalance`` migrates one non-primary view to another active shard
+    *mid-run*: the donor seals and drains at the chosen protocol point,
+    hands off the view's checkpoint-encoded state, and the fencing epoch
+    re-routes the per-(source, member) streams with the donor forwarding
+    the straggler window (see :mod:`repro.warehouse.migration`).  The
+    run's ``rebalance_stats`` carries the structured protocol counters.
+    Rebalancing a durable deployment is not supported.
     """
     if transport not in ("tcp", "local"):
         raise ValueError(f"unknown transport {transport!r}")
@@ -955,12 +1224,23 @@ async def run_sharded_async(
         raise ValueError(
             "failover needs at least one hot standby (replicas >= 1)"
         )
+    if rebalance is not None and (
+        durable_dir is not None or crash_plans
+    ):
+        raise ValueError(
+            "rebalance cannot be combined with durability: a mid-migration"
+            " checkpoint would split one view's authority across two WALs"
+        )
     chaos = profile(chaos)
     predicate_stats_before = compile_cache_stats()
     rngs = RngRegistry(config.seed)
     workload = build_workload(config, rngs)
     family = views if views is not None else _sharded_views(config, workload)
     plan = partition_views(family, n_shards, strategy=strategy)
+    reb_plan: RebalancePlan | None = None
+    if rebalance is not None:
+        reb_plan = RebalancePlan(plan, rebalance.view, rebalance.to_shard)
+    migratable = reb_plan is not None
     rplan = assign_replicas(plan, replicas)
     members = rplan.members
     member_fanout_by_name = rplan.member_fanout()
@@ -1116,6 +1396,7 @@ async def run_sharded_async(
                 member_inboxes[member],
                 metrics,
                 trace_arg,
+                migratable=migratable,
             )
             if durable_dir is not None:
                 manager, state = attach_durability(
@@ -1189,6 +1470,8 @@ async def run_sharded_async(
                     else None
                 ),
                 member=member,
+                migratable=migratable,
+                codec_views=family if migratable else None,
             )
             await node.start()
             member_nodes[member] = node
@@ -1203,6 +1486,55 @@ async def run_sharded_async(
                     f"{source.name}->{member.label}",
                     member_nodes[member].address,
                 )
+
+    # Attach migration states and arm the rebalance trigger on the donor
+    # primary.  Standby members migrate in lockstep with their primaries:
+    # donor standby k seals and donates to recipient standby k over their
+    # own channel pair, so a later failover on either shard still finds a
+    # standby whose view set matches its primary's.
+    rebalance_trigger: _RebalanceTrigger | None = None
+    coordinator: RebalanceCoordinator | None = None
+    if reb_plan is not None:
+        vdef = next(v for v in family if v.name == reb_plan.view)
+        coordinator = RebalanceCoordinator(
+            reb_plan, runtime, primary_chain, fronts, member_recorders
+        )
+        donor_members = rplan.members_by_shard[reb_plan.from_shard]
+        recipient_members = rplan.members_by_shard[reb_plan.to_shard]
+        mutated = rebalance.skip_straggler_forwarding
+        for donor_m, recipient_m in zip(donor_members, recipient_members):
+            donor_state = MigrationMemberState(
+                role="donor",
+                view_def=vdef,
+                epoch=coordinator.epoch,
+                coordinator=coordinator,
+                member=donor_m,
+                n_sources=n,
+                skip_forwarding=mutated,
+            )
+            recipient_state = MigrationMemberState(
+                role="recipient",
+                view_def=vdef,
+                epoch=coordinator.epoch,
+                coordinator=coordinator,
+                member=recipient_m,
+                n_sources=n,
+                skip_forwarding=mutated,
+                relaxed=mutated,
+            )
+            warehouses[donor_m].attach_migration(donor_state)
+            warehouses[recipient_m].attach_migration(recipient_state)
+            coordinator.register_pair(
+                donor_m,
+                recipient_m,
+                donor_state,
+                member_inboxes[recipient_m],
+            )
+        rebalance_trigger = _RebalanceTrigger(
+            rebalance,
+            warehouses[rplan.primary_of(reb_plan.from_shard)],
+            coordinator,
+        )
 
     # Arm the deterministic kill switch on the victim shard's primary.
     kill_switch: _KillSwitch | None = None
@@ -1301,6 +1633,21 @@ async def run_sharded_async(
                 f"failover kill switch never fired ({failover!r}):"
                 " thresholds exceed the workload's protocol events"
             )
+        if rebalance_trigger is not None and not rebalance_trigger.fired:
+            raise RuntimeHostError(
+                f"rebalance trigger never fired ({rebalance!r}):"
+                " thresholds exceed the workload's protocol events"
+            )
+        if coordinator is not None:
+            for recipient_m in coordinator._recipient_inboxes:
+                if recipient_m in dead:
+                    continue
+                member_stats = warehouses[recipient_m].migration_stats()
+                if not member_stats["catchup_done"]:
+                    raise RuntimeHostError(
+                        f"rebalance incomplete: member {recipient_m.label}"
+                        f" settled before catch-up ({member_stats!r})"
+                    )
 
         # Authority per shard: the primary, or -- after a failover --
         # the first surviving standby.  Only the authoritative member's
@@ -1312,17 +1659,28 @@ async def run_sharded_async(
                     return candidate
             raise RuntimeHostError(f"shard {shard}: no surviving member")
 
+        # Views (and their recorders) are read from the member that hosts
+        # them at the END of the run: the launch plan unless a rebalance
+        # moved one.  The migrated view's recorder owns its own spliced
+        # delivery order (donor prefix + catch-up + steady state), so it
+        # is excluded from the primary-order copy below.
+        effective_plan = (
+            reb_plan.result_plan() if reb_plan is not None else plan
+        )
+        migrated = reb_plan.view if reb_plan is not None else None
         recorders: dict[str, RunRecorder] = {}
         final_views: dict[str, Relation] = {}
-        for shard in plan.active_shards:
+        for shard in effective_plan.active_shards:
             member = _authority(shard)
             recs = member_recorders[member]
             # Extra views share their shard primary's delivery order.
             primary_deliveries = recs[shard_primaries[shard]].deliveries
-            for view in plan.views_for(shard)[1:]:
+            for view in effective_plan.views_for(shard):
+                if view.name in (shard_primaries[shard], migrated):
+                    continue
                 recs[view.name].deliveries = list(primary_deliveries)
             recorders.update(recs)
-            for view in plan.views_for(shard):
+            for view in effective_plan.views_for(shard):
                 final_views[view.name] = warehouses[member].view_contents(
                     view.name
                 )
@@ -1334,12 +1692,53 @@ async def run_sharded_async(
                 )
                 for name in final_views
             }
+        rebalance_stats = None
+        if coordinator is not None:
+            per_member = {
+                key.label: warehouses[key].migration_stats()
+                for key in coordinator.members
+                if key not in dead
+            }
+            totals = {
+                counter: sum(m.get(counter, 0) for m in per_member.values())
+                for counter in (
+                    "gap_forwarded",
+                    "gap_skipped",
+                    "pen_retained",
+                    "dup_dropped",
+                    "catchup_installs",
+                    "aux_adopted",
+                    "aux_adopt_skipped",
+                )
+            }
+            donor_primary = rplan.primary_of(reb_plan.from_shard)
+            seal_position = (
+                warehouses[donor_primary].migration_stats()["seal_position"]
+                if donor_primary not in dead
+                else {}
+            )
+            rebalance_stats = {
+                "view": reb_plan.view,
+                "from_shard": reb_plan.from_shard,
+                "to_shard": reb_plan.to_shard,
+                "epoch": coordinator.epoch,
+                "fired": rebalance_trigger.fired,
+                "boundaries": dict(coordinator.boundaries),
+                "seal_position": seal_position,
+                "completed": all(
+                    m["catchup_done"]
+                    for m in per_member.values()
+                    if m["role"] == "recipient"
+                ),
+                **totals,
+                "members": per_member,
+            }
         return ShardedRunResult(
             config=config,
             n_shards=n_shards,
             transport=transport,
             time_scale=time_scale,
-            plan=plan,
+            plan=effective_plan,
             final_views=final_views,
             levels=levels,
             recorders=recorders,
@@ -1363,6 +1762,7 @@ async def run_sharded_async(
             ),
             replicas=replicas,
             promotions=promotions or None,
+            rebalance_stats=rebalance_stats,
         )
     finally:
         for manager in managers:
@@ -1395,6 +1795,7 @@ def run_sharded(
     crash_plans: "dict[int, CrashPlan] | None" = None,
     replicas: int = 0,
     failover: FailoverSpec | None = None,
+    rebalance: RebalanceSpec | None = None,
 ) -> ShardedRunResult:
     """Blocking wrapper: one sharded experiment in a fresh event loop."""
     return asyncio.run(
@@ -1415,6 +1816,7 @@ def run_sharded(
             crash_plans=crash_plans,
             replicas=replicas,
             failover=failover,
+            rebalance=rebalance,
         )
     )
 

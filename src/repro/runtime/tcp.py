@@ -98,7 +98,9 @@ _MAX_FRAME = 64 * 1024 * 1024
 _COMPRESSED_FLAG = 0x80000000
 
 
-async def read_frame(reader: asyncio.StreamReader, timeout: float | None = None) -> dict:
+async def read_frame(
+    reader: asyncio.StreamReader, timeout: float | None = None
+) -> dict:
     """Read one length-prefixed frame (raises on EOF/oversize/timeout).
 
     A set MSB in the length prefix marks a zlib-compressed body; readers
@@ -543,7 +545,9 @@ class ChannelListener:
             self._server = None
 
     # ------------------------------------------------------------------
-    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
         name = "?"
         try:
             hello = await read_frame(reader, timeout=30.0)

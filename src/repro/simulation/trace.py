@@ -38,7 +38,9 @@ class TraceLog:
             return
         self.records.append(TraceRecord(time, actor, kind, str(detail)))
 
-    def filter(self, kind: str | None = None, actor: str | None = None) -> list[TraceRecord]:
+    def filter(
+        self, kind: str | None = None, actor: str | None = None
+    ) -> list[TraceRecord]:
         """Records matching the given kind and/or actor."""
         out = self.records
         if kind is not None:

@@ -24,7 +24,9 @@ class MemoryBackend(SourceBackend):
         Initial contents; empty when omitted.
     """
 
-    def __init__(self, view: ViewDefinition, index: int, initial: Relation | None = None):
+    def __init__(
+        self, view: ViewDefinition, index: int, initial: Relation | None = None
+    ):
         self.view = view
         self.index = index
         schema = view.schema_of(index)

@@ -72,6 +72,50 @@ class UpdateNotice:
         )
 
 
+#: ``txn_id`` prefix marking a shard-rebalance fence frame.  A fence is a
+#: regular :class:`UpdateNotice` with an **empty** delta whose ``seq`` is
+#: the sending source's boundary position -- it rides the per-(source,
+#: member) update channel so FIFO places it exactly between the pre- and
+#: post-boundary updates, and every wire codec carries it unchanged.
+REBALANCE_FENCE_PREFIX = "__rebalance_fence__"
+
+
+def make_rebalance_fence(
+    source_index: int,
+    boundary: int,
+    delta: Delta,
+    epoch: int,
+    applied_at: float = 0.0,
+) -> UpdateNotice:
+    """Build the fence frame posted at a source's boundary ``seq``.
+
+    ``delta`` must be an empty delta of the source's schema (the fence
+    changes nothing; it only marks a position in the FIFO stream).
+    """
+    return UpdateNotice(
+        source_index=source_index,
+        seq=boundary,
+        delta=delta,
+        applied_at=applied_at,
+        txn_id=f"{REBALANCE_FENCE_PREFIX}:{epoch}",
+    )
+
+
+def is_rebalance_fence(notice: object) -> bool:
+    """True when ``notice`` is a rebalance fence frame."""
+    txn_id = getattr(notice, "txn_id", None)
+    return isinstance(txn_id, str) and txn_id.startswith(
+        REBALANCE_FENCE_PREFIX
+    )
+
+
+def rebalance_fence_epoch(notice: UpdateNotice) -> int:
+    """The fencing epoch a fence frame was posted under."""
+    if not is_rebalance_fence(notice):
+        raise ValueError(f"not a rebalance fence: {notice!r}")
+    return int(notice.txn_id.rsplit(":", 1)[1])
+
+
 @dataclass(slots=True)
 class QueryRequest:
     """One sweep step: extend ``partial`` with the receiving source's relation.
@@ -255,9 +299,13 @@ __all__ = [
     "PositionRequest",
     "QueryAnswer",
     "QueryRequest",
+    "REBALANCE_FENCE_PREFIX",
     "SnapshotAnswer",
     "SnapshotRequest",
     "UpdateNotice",
     "ensure_request_ids_above",
+    "is_rebalance_fence",
+    "make_rebalance_fence",
     "next_request_id",
+    "rebalance_fence_epoch",
 ]

@@ -37,6 +37,7 @@ from repro.simulation.trace import TraceLog
 from repro.sources.messages import (
     QueryRequest,
     UpdateNotice,
+    is_rebalance_fence,
     next_request_id,
 )
 from repro.warehouse.errors import ProtocolError
@@ -230,6 +231,8 @@ class QueueDrivenWarehouse(WarehouseBase):
         while True:
             msg = yield self.inbox.get()
             if msg.kind == "update":
+                if self._intercept_update(msg):
+                    continue
                 if self.durability is not None:
                     # Fences redeliveries, logs new deliveries, and holds
                     # recovered pending parked until the source's position
@@ -277,10 +280,54 @@ class QueueDrivenWarehouse(WarehouseBase):
                 # compensated against it (it was applied after the query was
                 # evaluated), yet its delivery event may fire before the
                 # sweep process wakes up.  The snapshot closes that window.
-                pending = tuple(m.payload for m in self.update_queue.peek_all())
+                pending = self._queued_update_payloads()
                 self._answer_box.put((msg, pending))
+            elif msg.kind == "rebalance":
+                self._on_rebalance_message(msg)
             else:  # pragma: no cover - defensive
                 raise ProtocolError(f"unexpected message kind {msg.kind!r}")
+
+    # ------------------------------------------------------------------
+    # Rebalance hooks (overridden by the migration mixin)
+    # ------------------------------------------------------------------
+    def _intercept_update(self, msg: Message) -> bool:
+        """Claim an incoming update frame before normal dispatch.
+
+        Return True to swallow the frame (it is neither counted as a
+        delivery nor queued by the default path).  The migration mixin
+        routes rebalance fences through here so they keep their FIFO slot
+        in the update queue without perturbing delivery accounting.
+        """
+        return False
+
+    def _on_rebalance_message(self, msg: Message) -> None:
+        """Handle a rebalance control frame (handoff / gap / complete)."""
+        raise ProtocolError(
+            f"rebalance frame at non-migratable warehouse: {msg.payload!r}"
+        )
+
+    def _queued_update_payloads(self) -> tuple[UpdateNotice, ...]:
+        """The real updates currently queued, in FIFO order.
+
+        Control frames sharing the queue (rebalance fences, handoff
+        state) are not source updates and never participate in
+        compensation.
+        """
+        return tuple(
+            m.payload
+            for m in self.update_queue.peek_all()
+            if isinstance(m.payload, UpdateNotice)
+            and not is_rebalance_fence(m.payload)
+        )
+
+    def _live_locality(self):
+        """The locality layer, or None while its answers are unusable.
+
+        A recipient shard mid-migration has one view whose position lags
+        the shard's installed position; its sweeps must not consume
+        covered/cached answers pinned to the shared position.
+        """
+        return self.locality
 
     # ------------------------------------------------------------------
     # UpdateView
@@ -289,10 +336,31 @@ class QueueDrivenWarehouse(WarehouseBase):
         while True:
             self._stable_point()
             msg = yield self.update_queue.get()
+            self._before_unit()
+            if self._is_control(msg):
+                yield from self._handle_control(msg)
+                continue
             notice: UpdateNotice = msg.payload
             if self.trace:
                 self.trace.record(self.sim.now, "warehouse", "process", notice)
             yield from self.process_update(notice)
+
+    def _before_unit(self) -> None:
+        """Entry of one unit of work, right after the head-of-queue pop.
+
+        Installs are complete and no sweep is in flight -- the migration
+        mixin seals the donor's migrating view here.
+        """
+
+    def _is_control(self, msg: Message) -> bool:
+        """True when a queued message is a protocol control frame (a
+        rebalance fence or handoff) rather than a source update."""
+        return False
+
+    def _handle_control(self, msg: Message) -> Generator:
+        """Consume one control frame as its own unit of work."""
+        raise ProtocolError(f"unexpected control frame {msg.payload!r}")
+        yield  # pragma: no cover - generator shape
 
     def _stable_point(self) -> None:
         """Between units of work: every install complete, no sweep in
@@ -344,9 +412,10 @@ class QueueDrivenWarehouse(WarehouseBase):
         remote answer plus local compensation would reconstruct -- so the
         caller skips compensation entirely.
         """
-        if self.locality is None:
+        locality = self._live_locality()
+        if locality is None:
             return None
-        return self.locality.aux_answer(index, partial)
+        return locality.aux_answer(index, partial)
 
     def local_cached_answer(self, index: int, partial: PartialView):
         """Cached sweep-step answer, or None.
@@ -355,14 +424,13 @@ class QueueDrivenWarehouse(WarehouseBase):
         the pending-updates snapshot is latched against the current queue
         and the caller runs its ordinary compensation against it.
         """
-        if self.locality is None:
+        locality = self._live_locality()
+        if locality is None:
             return None
-        hit = self.locality.cache_lookup(index, partial)
+        hit = locality.cache_lookup(index, partial)
         if hit is None:
             return None
-        self._pending_at_answer = tuple(
-            m.payload for m in self.update_queue.peek_all()
-        )
+        self._pending_at_answer = self._queued_update_payloads()
         return hit
 
     def pending_updates_from(self, index: int) -> list[UpdateNotice]:

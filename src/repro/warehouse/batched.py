@@ -181,14 +181,23 @@ class BatchedSweepWarehouse(QueueDrivenWarehouse):
         while True:
             self._stable_point()
             msg = yield self.update_queue.get()
+            self._before_unit()
+            if self._is_control(msg):
+                yield from self._handle_control(msg)
+                continue
             batch: list[UpdateNotice] = [msg.payload]
             cap = self._drain_cap(msg.payload)
             # Drain everything already queued into this batch.  Updates
             # delivered *after* this point stay queued; the wavefront
             # compensates their interference and the next batch applies
             # them -- exactly SWEEP's treatment of concurrent updates.
+            # Control frames (rebalance fences) end the drain: per-source
+            # FIFO means nothing behind a fence may share a batch with
+            # the pre-fence prefix.
             for queued in list(self.update_queue.peek_all()):
                 if cap and len(batch) >= cap:
+                    break
+                if self._is_control(queued):
                     break
                 self.update_queue.remove(queued)
                 batch.append(queued.payload)
@@ -229,7 +238,8 @@ class BatchedSweepWarehouse(QueueDrivenWarehouse):
             active = sorted(i for i in terms if i > j)
             if not active:
                 continue
-            if self.locality is not None and self.locality.covers(j):
+            locality = self._live_locality()
+            if locality is not None and locality.covers(j):
                 batch_delta = merged.get(j)
                 for i in active:
                     terms[i] = self._local_wave_answer(j, terms[i], batch_delta)
@@ -244,11 +254,12 @@ class BatchedSweepWarehouse(QueueDrivenWarehouse):
             active = sorted(i for i in terms if i < j)
             if not active:
                 continue
-            if self.locality is not None and self.locality.covers(j):
+            locality = self._live_locality()
+            if locality is not None and locality.covers(j):
                 # The covered copy *is* R_j^old (pre-batch installed
                 # position): no queued-update or batch-delta error terms.
                 for i in active:
-                    terms[i] = self.locality.aux_answer(j, terms[i])
+                    terms[i] = locality.aux_answer(j, terms[i])
                 continue
             temps = {i: terms[i] for i in active}
             answers = yield from self._multi_query(j, [temps[i] for i in active])
@@ -287,7 +298,7 @@ class BatchedSweepWarehouse(QueueDrivenWarehouse):
         the join.  Updates queued after the drain are simply absent --
         exactly what remote-path compensation would have subtracted.
         """
-        answer = self.locality.aux_answer(index, term)
+        answer = self._live_locality().aux_answer(index, term)
         if batch_delta is not None:
             answer = answer.add_in_place(term.extend(index, batch_delta))
         return answer
@@ -303,15 +314,14 @@ class BatchedSweepWarehouse(QueueDrivenWarehouse):
         """
         send = list(partials)
         mapping = None
-        if self.locality is not None:
-            send, mapping = self.locality.dedupe(send)
-            hits = self.locality.cache_lookup_many(index, send)
+        locality = self._live_locality()
+        if locality is not None:
+            send, mapping = locality.dedupe(send)
+            hits = locality.cache_lookup_many(index, send)
             if hits is not None:
                 # A full cache hit is an answer routed this instant.
-                self._pending_at_answer = tuple(
-                    m.payload for m in self.update_queue.peek_all()
-                )
-                return self.locality.expand(hits, mapping)
+                self._pending_at_answer = self._queued_update_payloads()
+                return locality.expand(hits, mapping)
         request = MultiQueryRequest(
             request_id=next_request_id(),
             partials=send,
@@ -333,10 +343,14 @@ class BatchedSweepWarehouse(QueueDrivenWarehouse):
             )
         if mapping is None:
             return answer.partials
-        return self.locality.expand(answer.partials, mapping)
+        return locality.expand(answer.partials, mapping)
 
     def _compensate_queued(
-        self, index: int, answer: PartialView, temp: PartialView
+        self,
+        index: int,
+        answer: PartialView,
+        temp: PartialView,
+        floor: int | None = None,
     ) -> PartialView:
         """Subtract error terms of updates queued after the batch drained.
 
@@ -344,8 +358,14 @@ class BatchedSweepWarehouse(QueueDrivenWarehouse):
         ``index`` still in the queue when the answer was routed was --
         by FIFO -- applied before the query was evaluated, so its effect
         is rolled back locally to land on the batch-boundary state.
+
+        ``floor`` (a per-view migration position, see
+        ``MultiViewStateMixin._pending_floor``) restricts the subtraction
+        to queued seqs above it: lower seqs are already in that view.
         """
         pending = self.pending_updates_from(index)
+        if floor is not None:
+            pending = [p for p in pending if p.seq > floor]
         if not pending:
             return answer
         self.metrics.increment("compensations")

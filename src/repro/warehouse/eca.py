@@ -27,7 +27,6 @@ from collections.abc import Generator
 from dataclasses import dataclass, field
 
 from repro.relational.delta import Delta
-from repro.simulation.channel import Channel, Message
 from repro.sources.messages import (
     EcaAnswer,
     EcaQuery,

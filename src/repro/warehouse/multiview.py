@@ -96,13 +96,58 @@ class MultiViewStateMixin:
             recorder.on_install(
                 self.sim.now,
                 store.relation,
-                claimed_vector=dict(self.applied_counts),
+                claimed_vector=self._claimed_vector_for(view),
                 note=note,
             )
 
     def view_contents(self, name: str) -> Relation:
         """Current contents of the named view."""
         return self.stores[name].snapshot()
+
+    # ------------------------------------------------------------------
+    # Per-view participation hooks.
+    #
+    # Normally every view of the shard participates in every unit of work
+    # at the shard's shared position, so the defaults are trivial.  A view
+    # mid-migration (see repro.warehouse.migration) lags or leads the
+    # shard's position while it catches up from the donor's handoff, and
+    # overrides these to steer exactly which updates it applies and which
+    # queued updates its compensation may subtract.
+    # ------------------------------------------------------------------
+    def _partition_batch(
+        self, batch: list[UpdateNotice]
+    ) -> dict[str, list[UpdateNotice]]:
+        """Which of ``batch`` each view applies in this unit of work."""
+        return {view.name: list(batch) for view in self.views}
+
+    def _claimed_vector_for(self, view: ViewDefinition) -> dict[int, int]:
+        """The per-source position vector ``view``'s next install claims."""
+        return dict(self.applied_counts)
+
+    def _pending_floor(
+        self,
+        view: ViewDefinition,
+        index: int,
+        *,
+        after_batch: bool,
+        batch_count: int,
+    ) -> int | None:
+        """Smallest queued ``seq`` from ``index`` that may be compensated.
+
+        ``None`` means no floor: every queued update interferes (the
+        shard-position default -- queued seqs always exceed the applied
+        count plus the in-flight batch, by the FIFO prefix property).
+        A migrating view whose position differs from the shard's returns
+        its own position (plus its ``batch_count`` participating updates
+        when the wave targets the post-batch state, ``after_batch``).
+        """
+        return None
+
+    def _note_applied_for_views(
+        self, assignment: dict[str, list[UpdateNotice]]
+    ) -> None:
+        """Per-view position accounting, after ``mark_applied`` and before
+        the installs of a unit of work."""
 
 
 class MultiViewSweepWarehouse(MultiViewStateMixin, QueueDrivenWarehouse):
@@ -141,33 +186,43 @@ class MultiViewSweepWarehouse(MultiViewStateMixin, QueueDrivenWarehouse):
     def process_update(self, notice: UpdateNotice) -> Generator:
         i = notice.source_index
         n = self.view.n_relations
-        partials = [
-            PartialView.initial(view, i, notice.delta) for view in self.views
-        ]
+        assignment = self._partition_batch([notice])
+        participants = [view for view in self.views if assignment[view.name]]
+        if not participants:
+            # Every view skipped this update (migration duplicate); the
+            # shard position still advances past it.
+            self.mark_applied([notice])
+            self._note_applied_for_views(assignment)
+            return
+        partials = {
+            view.name: PartialView.initial(view, i, notice.delta)
+            for view in participants
+        }
         sweep_order = list(range(i - 1, 0, -1)) + list(range(i + 1, n + 1))
         for j in sweep_order:
-            temps = partials
-            if self.locality is not None and self.locality.covers(j):
+            temps = dict(partials)
+            locality = self._live_locality()
+            if locality is not None and locality.covers(j):
                 # Covered source: every view's step is answered from the
                 # same local copy, compensation-free (sequential install
                 # order makes the copy exactly this update's position).
-                partials = [
-                    self.locality.aux_answer(j, partial) for partial in partials
-                ]
-                continue
-            if self.locality is not None:
-                hits = self.locality.cache_lookup_many(j, partials)
-                if hits is not None:
-                    self._pending_at_answer = tuple(
-                        m.payload for m in self.update_queue.peek_all()
+                for view in participants:
+                    partials[view.name] = locality.aux_answer(
+                        j, partials[view.name]
                     )
-                    partials = [
-                        self._compensate_one(j, hit, temp)
-                        for hit, temp in zip(hits, temps)
-                    ]
+                continue
+            ordered = [partials[view.name] for view in participants]
+            if locality is not None:
+                hits = locality.cache_lookup_many(j, ordered)
+                if hits is not None:
+                    self._pending_at_answer = self._queued_update_payloads()
+                    for view, hit in zip(participants, hits):
+                        partials[view.name] = self._compensate_one(
+                            j, hit, temps[view.name], view=view
+                        )
                     continue
             request = MultiQueryRequest(
-                request_id=next_request_id(), partials=partials, target_index=j
+                request_id=next_request_id(), partials=ordered, target_index=j
             )
             self.send_query(j, request)
             msg, pending = yield self._answer_box.get()
@@ -178,14 +233,16 @@ class MultiViewSweepWarehouse(MultiViewStateMixin, QueueDrivenWarehouse):
                     f"answer {answer.request_id} does not match request"
                     f" {request.request_id}"
                 )
-            partials = [
-                self._compensate_one(j, got, temp)
-                for got, temp in zip(answer.partials, temps)
-            ]
+            for view, got in zip(participants, answer.partials):
+                partials[view.name] = self._compensate_one(
+                    j, got, temps[view.name], view=view
+                )
 
         self.mark_applied([notice])
+        self._note_applied_for_views(assignment)
         note = f"update src={notice.source_index} seq={notice.seq}"
-        for view, partial in zip(self.views, partials):
+        for view in participants:
+            partial = partials[view.name]
             if view.name == self.view.name:
                 self.store.install_wide(partial.delta)
                 self._after_install(note)
@@ -195,9 +252,19 @@ class MultiViewSweepWarehouse(MultiViewStateMixin, QueueDrivenWarehouse):
 
     # ------------------------------------------------------------------
     def _compensate_one(
-        self, index: int, answer: PartialView, temp: PartialView
+        self,
+        index: int,
+        answer: PartialView,
+        temp: PartialView,
+        view: ViewDefinition | None = None,
     ) -> PartialView:
         pending = self.pending_updates_from(index)
+        if view is not None:
+            floor = self._pending_floor(
+                view, index, after_batch=False, batch_count=0
+            )
+            if floor is not None:
+                pending = [p for p in pending if p.seq > floor]
         if not pending:
             return answer
         self.metrics.increment("compensations")
@@ -245,76 +312,124 @@ class MultiViewBatchedSweepWarehouse(MultiViewStateMixin, BatchedSweepWarehouse)
         self.metrics.increment("batched_sweeps")
         self.metrics.observe("batch_size", len(batch))
 
-        merged: dict[int, Delta] = {}
-        for notice in batch:
-            seen = merged.get(notice.source_index)
-            if seen is None:
-                merged[notice.source_index] = notice.delta.copy()
-            else:
-                seen.merge_in_place(notice.delta)
+        # Merge same-source deltas per view over that view's participating
+        # prefix of the batch (normally the whole batch for every view).
+        assignment = self._partition_batch(batch)
+        merged_by_view: dict[str, dict[int, Delta]] = {}
+        counts: dict[str, dict[int, int]] = {}
+        for view in self.views:
+            merged: dict[int, Delta] = {}
+            count: dict[int, int] = {}
+            for notice in assignment[view.name]:
+                seen = merged.get(notice.source_index)
+                if seen is None:
+                    merged[notice.source_index] = notice.delta.copy()
+                else:
+                    seen.merge_in_place(notice.delta)
+                count[notice.source_index] = count.get(notice.source_index, 0) + 1
+            merged_by_view[view.name] = merged
+            counts[view.name] = count
         # terms[view.name][i]: the term seeded with Delta-R_i, per view.
         terms: dict[str, dict[int, PartialView]] = {
             view.name: {
                 index: PartialView.initial(view, index, delta)
-                for index, delta in merged.items()
+                for index, delta in merged_by_view[view.name].items()
             }
             for view in self.views
         }
+        union_sources = sorted(
+            {i for merged in merged_by_view.values() for i in merged}
+        )
 
         # Leftward wave: every view's term i wants R_j^new for j < i.
         for j in range(n - 1, 0, -1):
-            active = sorted(i for i in merged if i > j)
-            if not active:
+            active_by_view = {
+                view.name: sorted(
+                    i for i in merged_by_view[view.name] if i > j
+                )
+                for view in self.views
+            }
+            if not any(active_by_view.values()):
                 continue
-            if self.locality is not None and self.locality.covers(j):
-                batch_delta = merged.get(j)
+            locality = self._live_locality()
+            if locality is not None and locality.covers(j):
                 for view in self.views:
-                    for i in active:
+                    batch_delta = merged_by_view[view.name].get(j)
+                    for i in active_by_view[view.name]:
                         terms[view.name][i] = self._local_wave_answer(
                             j, terms[view.name][i], batch_delta
                         )
                 continue
-            answers = yield from self._multi_query_views(j, terms, active)
+            answers = yield from self._multi_query_views(
+                j, terms, active_by_view
+            )
             for view in self.views:
-                for i in active:
+                floor = self._pending_floor(
+                    view,
+                    j,
+                    after_batch=True,
+                    batch_count=counts[view.name].get(j, 0),
+                )
+                for i in active_by_view[view.name]:
                     terms[view.name][i] = self._compensate_queued(
-                        j, answers[view.name][i], terms[view.name][i]
+                        j,
+                        answers[view.name][i],
+                        terms[view.name][i],
+                        floor=floor,
                     )
 
         # Rightward wave: term i wants R_j^old for j > i; subtract the
-        # batch's own delta at j on top of the queued-update compensation.
+        # view's own batch delta at j on top of the queued-update
+        # compensation.
         for j in range(2, n + 1):
-            active = sorted(i for i in merged if i < j)
-            if not active:
+            active_by_view = {
+                view.name: sorted(
+                    i for i in merged_by_view[view.name] if i < j
+                )
+                for view in self.views
+            }
+            if not any(active_by_view.values()):
                 continue
-            if self.locality is not None and self.locality.covers(j):
+            locality = self._live_locality()
+            if locality is not None and locality.covers(j):
                 # The covered copy is R_j^old for every view alike.
                 for view in self.views:
-                    for i in active:
-                        terms[view.name][i] = self.locality.aux_answer(
+                    for i in active_by_view[view.name]:
+                        terms[view.name][i] = locality.aux_answer(
                             j, terms[view.name][i]
                         )
                 continue
             temps = {
-                view.name: {i: terms[view.name][i] for i in active}
+                view.name: {
+                    i: terms[view.name][i] for i in active_by_view[view.name]
+                }
                 for view in self.views
             }
-            answers = yield from self._multi_query_views(j, temps, active)
-            batch_delta = merged.get(j)
+            answers = yield from self._multi_query_views(
+                j, temps, active_by_view
+            )
             for view in self.views:
-                for i in active:
+                batch_delta = merged_by_view[view.name].get(j)
+                floor = self._pending_floor(
+                    view, j, after_batch=False, batch_count=0
+                )
+                for i in active_by_view[view.name]:
                     temp = temps[view.name][i]
                     answer = self._compensate_queued(
-                        j, answers[view.name][i], temp
+                        j, answers[view.name][i], temp, floor=floor
                     )
                     if batch_delta is not None:
                         answer = answer.compensate(temp.extend(j, batch_delta))
                     terms[view.name][i] = answer
 
         self.mark_applied(batch)
+        self._note_applied_for_views(assignment)
         self.metrics.observe("updates_per_install", len(batch))
-        note = f"batch of {len(batch)} update(s), sources {sorted(merged)}"
+        note = f"batch of {len(batch)} update(s), sources {union_sources}"
         for view in self.views:
+            if not assignment[view.name]:
+                # View skipped the whole batch (migration duplicates).
+                continue
             composite: PartialView | None = None
             for index in sorted(terms[view.name]):
                 term = terms[view.name][index]
@@ -332,20 +447,24 @@ class MultiViewBatchedSweepWarehouse(MultiViewStateMixin, BatchedSweepWarehouse)
         self,
         index: int,
         terms: dict[str, dict[int, PartialView]],
-        active: list[int],
+        active_by_view: dict[str, list[int]],
     ) -> Generator:
         """One wave step for every view at once: a single MultiQueryRequest
         carries each (view, active term) partial, and the answer is split
         back per view.  All joins are evaluated against the same atomic
         source state, which is what keeps every view's batch boundary
         aligned with the same delivery-order prefix."""
-        flat = [terms[view.name][i] for view in self.views for i in active]
+        flat = [
+            terms[view.name][i]
+            for view in self.views
+            for i in active_by_view[view.name]
+        ]
         answers = yield from self._multi_query(index, flat)
         out: dict[str, dict[int, PartialView]] = {}
         pos = 0
         for view in self.views:
             out[view.name] = {}
-            for i in active:
+            for i in active_by_view[view.name]:
                 out[view.name][i] = answers[pos]
                 pos += 1
         return out

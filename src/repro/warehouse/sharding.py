@@ -325,6 +325,67 @@ def assign_replicas(plan: ShardPlan, replicas: int = 0) -> ReplicaPlan:
     )
 
 
+@dataclass(frozen=True)
+class RebalancePlan:
+    """One live view migration: move ``view`` to shard ``to_shard``.
+
+    Validated against the launch :class:`ShardPlan`:
+
+    * the view must exist and must not be its donor shard's primary
+      (``views_for(donor)[0]``) -- the primary's recorder, inbox and
+      wire labels are the shard's identity and are not migratable;
+    * the recipient must be an *active* shard (same-chain families fan
+      every source to every active shard, so moving a view to an active
+      shard changes no fanout set -- the whole FIFO re-route reduces to
+      the fencing protocol);
+    * donor and recipient must differ.
+    """
+
+    plan: ShardPlan
+    view: str
+    to_shard: int
+
+    def __post_init__(self) -> None:
+        names = [v.name for v in self.plan.views]
+        if self.view not in names:
+            raise ValueError(
+                f"unknown view {self.view!r}; have {names!r}"
+            )
+        donor = self.plan.shard_of(self.view)
+        if self.plan.views_for(donor)[0].name == self.view:
+            raise ValueError(
+                f"view {self.view!r} is shard {donor}'s primary and cannot"
+                " migrate; move a non-primary view"
+            )
+        if self.to_shard not in self.plan.active_shards:
+            raise ValueError(
+                f"recipient shard {self.to_shard} is not active"
+                f" (active: {self.plan.active_shards})"
+            )
+        if self.to_shard == donor:
+            raise ValueError(
+                f"view {self.view!r} already lives on shard {donor}"
+            )
+
+    @property
+    def from_shard(self) -> int:
+        return self.plan.shard_of(self.view)
+
+    def result_plan(self) -> ShardPlan:
+        """The post-migration assignment (same views, one moved)."""
+        explicit = dict(self.plan.assignment)
+        explicit[self.view] = self.to_shard
+        return partition_views(
+            self.plan.views, self.plan.n_shards, explicit=explicit
+        )
+
+    def describe(self) -> str:
+        return (
+            f"move {self.view!r}: shard {self.from_shard} ->"
+            f" shard {self.to_shard}"
+        )
+
+
 def view_family(base: ViewDefinition, n_views: int) -> list[ViewDefinition]:
     """A deterministic family of ``n_views`` SPJ variants of ``base``.
 
@@ -374,6 +435,7 @@ def canonical_view_bytes(relation: Relation) -> bytes:
 
 __all__ = [
     "STRATEGIES",
+    "RebalancePlan",
     "ReplicaPlan",
     "ShardMember",
     "ShardPlan",

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from repro.relational.delta import Delta
 from repro.relational.incremental import PartialView
 from repro.relational.relation import Relation
-from repro.sources.messages import UpdateNotice, next_request_id
+from repro.sources.messages import UpdateNotice
 from repro.warehouse.base import WarehouseBase
 from repro.warehouse.errors import ProtocolError
 from repro.warehouse.keys import (

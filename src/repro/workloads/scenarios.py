@@ -10,7 +10,7 @@ unguarded Nested SWEEP oscillate.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.relational.delta import Delta
 from repro.relational.relation import Relation

@@ -265,8 +265,10 @@ class TestRunRecorder:
         for idx, name in ((1, "R1"), (2, "R2"), (3, "R3")):
             rec.register_source(idx, name, paper_states[name])
         rec.set_initial_view(paper_view.evaluate(paper_states))
-        assert rec.check(ConsistencyLevel.CONVERGENCE).ok  # no updates: trivially converged
-        assert rec.classify() == ConsistencyLevel.COMPLETE  # zero deliveries, zero installs
+        # no updates: trivially converged
+        assert rec.check(ConsistencyLevel.CONVERGENCE).ok
+        # zero deliveries, zero installs
+        assert rec.classify() == ConsistencyLevel.COMPLETE
         with pytest.raises(ValueError):
             rec.check(ConsistencyLevel.NONE)
 

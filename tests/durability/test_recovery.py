@@ -15,7 +15,7 @@ from repro.durability import (
     UpdateLog,
     load_state,
 )
-from repro.durability.encoding import encode_bag, encode_notice
+from repro.durability.encoding import encode_bag
 from repro.relational.delta import Delta
 from repro.relational.relation import Relation
 from repro.sources.messages import UpdateNotice

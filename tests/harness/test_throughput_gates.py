@@ -7,9 +7,11 @@ gates so a regression message fires exactly when a budget is exceeded.
 
 from repro.harness.throughput import (
     DURABLE_OVERHEAD_TARGET,
+    REBALANCE_OVERHEAD_TARGET,
     REPLICA_OVERHEAD_TARGET,
     compare_reports,
     durable_overhead,
+    rebalance_overhead,
     replica_overhead,
 )
 
@@ -52,6 +54,35 @@ def test_durable_and_replica_pairs_do_not_cross():
     ]
     assert durable_overhead(rows) == 0.1
     assert replica_overhead(rows) == 0.1
+
+
+def test_rebalance_overhead_is_worst_pair_and_stays_out_of_replica():
+    rows = [
+        shard_row("sweep@shards=2+v9", 100.0),
+        shard_row("sweep@shards=2+v9+rebal", 95.0),
+        shard_row("sweep@shards=4+v9", 200.0),
+        shard_row("sweep@shards=4+v9+rebal", 170.0),
+    ]
+    assert rebalance_overhead(rows) == 0.15
+    # "+rebal" splits on "+r" too; it must never count as a replica row.
+    assert replica_overhead(rows) is None
+
+
+def test_rebalance_overhead_none_without_rebalance_rows():
+    assert rebalance_overhead([shard_row("sweep@shards=2", 100.0)]) is None
+    assert rebalance_overhead([]) is None
+
+
+def test_compare_reports_gates_rebalance_budget():
+    current = {
+        "rebalance_overhead": REBALANCE_OVERHEAD_TARGET + 0.05,
+        "speedups": {},
+        "rows": [],
+    }
+    problems = compare_reports(current, {"speedups": {}, "rows": []})
+    assert any("rebalance_overhead" in p for p in problems)
+    current["rebalance_overhead"] = REBALANCE_OVERHEAD_TARGET - 0.01
+    assert compare_reports(current, {"speedups": {}, "rows": []}) == []
 
 
 def test_compare_reports_gates_replica_budget():

@@ -39,7 +39,9 @@ class TestRenderTimeline:
         result = traced_run()
         text = render_timeline(result.trace, limit=3)
         assert "more events" in text
-        assert len([l for l in text.splitlines() if l.startswith("t=")]) == 3
+        assert len(
+            [ln for ln in text.splitlines() if ln.startswith("t=")]
+        ) == 3
 
     def test_empty_trace(self):
         assert render_timeline(TraceLog()) == "(no trace records)"

@@ -4,7 +4,7 @@ These pin down the algebraic identities every maintenance algorithm relies
 on; a violation in any of them would silently corrupt compensation.
 """
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.relational.algebra import difference, join, project, select, union

@@ -66,7 +66,7 @@ class TestConstruction:
             )
 
     def test_unknown_attrs_rejected(self):
-        with pytest.raises(Exception):
+        with pytest.raises(SchemaError):
             AggregateView(SCHEMA, ("zone",), (AggregateSpec("count"),))
 
 
@@ -180,10 +180,6 @@ class TestWarehouseIntegration:
         recompute over the final view after a full SWEEP run."""
         from repro.harness.config import ExperimentConfig
         from repro.harness.runner import run_experiment
-        from repro.workloads.schema_gen import chain_view
-
-        # run an experiment, attaching the aggregate before updates flow
-        from repro.harness import runner as runner_mod
 
         config = ExperimentConfig(
             algorithm="sweep", seed=4, n_sources=3, n_updates=15,

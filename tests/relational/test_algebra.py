@@ -11,7 +11,7 @@ from repro.relational.algebra import (
     union,
 )
 from repro.relational.delta import Delta, delta_from_rows
-from repro.relational.errors import HeterogeneousSchemaError
+from repro.relational.errors import HeterogeneousSchemaError, SchemaError
 from repro.relational.predicate import AttrCompare, AttrEq, And
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
@@ -175,7 +175,7 @@ class TestJoin:
         assert ab.total_count == ba.total_count == 10
 
     def test_overlapping_schemas_rejected(self):
-        with pytest.raises(Exception):
+        with pytest.raises(SchemaError):
             join(Relation(AB), Relation(AB))
 
 

@@ -154,7 +154,11 @@ class TestDelta:
             Delta(AB).merged(Delta(Schema(("X", "Y"))))
 
     def test_merge_deltas(self):
-        parts = [Delta.insert(AB, (1, 2)), Delta.insert(AB, (1, 2)), Delta.delete(AB, (1, 2))]
+        parts = [
+            Delta.insert(AB, (1, 2)),
+            Delta.insert(AB, (1, 2)),
+            Delta.delete(AB, (1, 2)),
+        ]
         total = merge_deltas(AB, parts)
         assert total.count((1, 2)) == 1
 

@@ -59,8 +59,8 @@ class TestPendingWorkVisibility:
         self, paper_view, paper_states
     ):
         sim = Simulator()
-        backend = MemoryBackend(paper_view, 1, paper_states["R1"])
-        del backend  # only needed to prove construction requires no queue
+        # construction must not require an internal queue
+        MemoryBackend(paper_view, 1, paper_states["R1"])
 
         class Minimal(WarehouseBase):
             pass

@@ -193,7 +193,10 @@ class TestRng:
         assert reg.stream("x").random() != reg.stream("y").random()
 
     def test_seed_changes_streams(self):
-        assert RngRegistry(1).stream("x").random() != RngRegistry(2).stream("x").random()
+        assert (
+            RngRegistry(1).stream("x").random()
+            != RngRegistry(2).stream("x").random()
+        )
 
     def test_stream_cached(self):
         reg = RngRegistry(1)

@@ -8,7 +8,6 @@ completely consistent on every seed; without it, some seed produces an
 inconsistent run (or the strict view store refuses a corrupted delta).
 """
 
-import pytest
 
 from repro.consistency.levels import ConsistencyLevel
 from repro.harness.config import ExperimentConfig

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.relational.delta import Delta
-from repro.relational.relation import Relation
 from repro.simulation.channel import Channel, Message
 from repro.simulation.kernel import Simulator
 from repro.simulation.latency import ConstantLatency

@@ -93,7 +93,6 @@ class TestNonChainJoinConditions:
     """Views whose conditions skip over the chain (e.g. R1-R3)."""
 
     def _workload(self, seed=4):
-        import random
 
         from repro.relational.predicate import AttrEq
         from repro.relational.schema import Schema
@@ -103,7 +102,6 @@ class TestNonChainJoinConditions:
         from repro.sources.updater import ScheduledUpdate
         from repro.workloads.scenarios import Workload
 
-        rng = random.Random(seed)
         # R1(A,X) |><| R2(B) |><| R3(C,Y) with conditions A=B and X=Y:
         # the X=Y condition links R1 directly to R3, firing only when the
         # sweep's coverage finally spans both.

@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.relational.errors import SchemaError
 from repro.relational.relation import Relation
 from repro.workloads.data_gen import generate_initial_states
 from repro.workloads.paper_example import (
@@ -164,7 +163,7 @@ class TestUpdateStream:
         by_txn = {}
         for part in parts:
             by_txn.setdefault(part.txn_id, []).append(part)
-        for txn_id, txn_parts in by_txn.items():
+        for txn_parts in by_txn.values():
             assert len(txn_parts) == txn_parts[0].txn_total
             assert 2 <= len(txn_parts) <= 3
             # parts of one txn commit at the same instant
